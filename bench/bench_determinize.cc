@@ -1,0 +1,131 @@
+// E3 (claim C3): determinization of hedge automata is exponential in the
+// worst case, but document-like expressions determinize quickly — the
+// paper's "we conjecture that such conversion is usually efficient".
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "automata/analysis.h"
+#include "automata/determinize.h"
+#include "bench/bench_util.h"
+#include "hre/compile.h"
+#include "query/phr_compile.h"
+
+namespace hedgeq {
+namespace {
+
+// Adversarial family: c< (a|b)* a (a|b)^{k-1} > — "the k-th child from the
+// end is an a". The content model's NFA needs k states of lookback, so the
+// horizontal determinization materializes ~2^k subsets.
+std::string AdversarialExpr(int k) {
+  std::string expr = "c<(a|b)* a";
+  for (int i = 1; i < k; ++i) expr += " (a|b)";
+  expr += ">";
+  return expr;
+}
+
+void BM_DeterminizeAdversarial(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(AdversarialExpr(static_cast<int>(state.range(0))),
+                         vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  automata::Nha nha = hre::CompileHre(*e);
+  size_t h_states = 0, dha_states = 0;
+  for (auto _ : state) {
+    auto det = automata::Determinize(nha);
+    if (!det.ok()) {
+      state.SkipWithError(det.status().ToString().c_str());
+      return;
+    }
+    h_states = det->dha.num_h_states();
+    dha_states = det->dha.num_states();
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["h_states"] = static_cast<double>(h_states);
+  state.counters["dha_states"] = static_cast<double>(dha_states);
+}
+BENCHMARK(BM_DeterminizeAdversarial)
+    ->DenseRange(2, 14, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Document-like expressions: the kind of content models real schemas and
+// queries use. Expected to stay tiny (supporting the conjecture).
+void BM_DeterminizeDocumentLike(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  const char* exprs[] = {
+      "section<title<$#text> (para<$#text>|figure<image>)*>",
+      "article<title<$#text> section<title<$#text> para<$#text>*>*>",
+      "(a|b c)* d? (e|f)+",
+      "figure<image> caption<$#text>?",
+  };
+  auto e = hre::ParseHre(exprs[state.range(0)], vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  automata::Nha nha = hre::CompileHre(*e);
+  size_t h_states = 0;
+  for (auto _ : state) {
+    auto det = automata::Determinize(nha);
+    h_states = det->dha.num_h_states();
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["h_states"] = static_cast<double>(h_states);
+}
+BENCHMARK(BM_DeterminizeDocumentLike)
+    ->DenseRange(0, 3)
+    ->Unit(benchmark::kMicrosecond);
+
+// Minimization after determinization (the Section 9 optimization pass):
+// how much of the subset-construction output is redundant? On the
+// adversarial family the 2^k horizontal states are inherent (the language
+// really needs k letters of lookback), so minimization confirms rather
+// than collapses the blowup.
+void BM_MinimizeAfterDeterminize(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(AdversarialExpr(static_cast<int>(state.range(0))),
+                         vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  auto det = automata::Determinize(hre::CompileHre(*e));
+  if (!det.ok()) {
+    state.SkipWithError(det.status().ToString().c_str());
+    return;
+  }
+  size_t h_before = det->dha.num_h_states(), h_after = 0;
+  for (auto _ : state) {
+    automata::Dha min = automata::MinimizeDha(det->dha);
+    h_after = min.num_h_states();
+    benchmark::DoNotOptimize(min);
+  }
+  state.counters["h_before"] = static_cast<double>(h_before);
+  state.counters["h_after"] = static_cast<double>(h_after);
+}
+BENCHMARK(BM_MinimizeAfterDeterminize)
+    ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// The full Theorem 4 pipeline (determinize + class product + mirror) on a
+// realistic query, the preprocessing the paper calls exponential-but-fine.
+void BM_Theorem4Pipeline(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  query::SelectionQuery q = bench::FigureCaptionQuery(vocab);
+  size_t classes = 0;
+  for (auto _ : state) {
+    auto compiled = query::CompilePhr(q.envelope);
+    classes = compiled->num_classes();
+    benchmark::DoNotOptimize(compiled);
+  }
+  state.counters["equiv_classes"] = static_cast<double>(classes);
+}
+BENCHMARK(BM_Theorem4Pipeline)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hedgeq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// E4 (claim C2): Lemma 1 compilation of hedge regular expressions to
+// non-deterministic hedge automata takes time (and produces automata of
+// size) linear in the expression size.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "hre/compile.h"
+
+namespace hedgeq {
+namespace {
+
+// Wide family: (a<$x>|b<c d>)^n concatenated.
+std::string WideExpr(int n) {
+  std::string out;
+  for (int i = 0; i < n; ++i) {
+    if (i > 0) out += " ";
+    out += "(a<$x>|b<c d>)";
+  }
+  return out;
+}
+
+// Deep family: a<a<...a<$x>...> b> nested n levels.
+std::string DeepExpr(int n) {
+  std::string out = "$x";
+  for (int i = 0; i < n; ++i) out = "a<" + out + " b>";
+  return out;
+}
+
+// Operator-heavy family: alternating star/union/optional wrappers (linear
+// growth in n).
+std::string MixedExpr(int n) {
+  std::string out = "a";
+  for (int i = 0; i < n; ++i) {
+    out = "(" + out + "|b)* c?";
+  }
+  return out;
+}
+
+template <std::string (*MakeExpr)(int)>
+void CompileFamily(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(MakeExpr(static_cast<int>(state.range(0))), vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  size_t expr_size = hre::HreSize(*e);
+  size_t states = 0;
+  for (auto _ : state) {
+    automata::Nha nha = hre::CompileHre(*e);
+    states = nha.num_states();
+    benchmark::DoNotOptimize(nha);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(expr_size));
+  state.counters["expr_size"] = static_cast<double>(expr_size);
+  state.counters["nha_states"] = static_cast<double>(states);
+  state.counters["states_per_expr_node"] =
+      static_cast<double>(states) / static_cast<double>(expr_size);
+}
+
+void BM_CompileWide(benchmark::State& state) {
+  CompileFamily<WideExpr>(state);
+}
+BENCHMARK(BM_CompileWide)->Arg(10)->Arg(100)->Arg(1000)->Arg(3000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_CompileDeep(benchmark::State& state) {
+  CompileFamily<DeepExpr>(state);
+}
+BENCHMARK(BM_CompileDeep)->Arg(10)->Arg(100)->Arg(1000)->Arg(3000)->Unit(
+    benchmark::kMicrosecond);
+
+void BM_CompileMixed(benchmark::State& state) {
+  CompileFamily<MixedExpr>(state);
+}
+BENCHMARK(BM_CompileMixed)->Arg(10)->Arg(100)->Arg(1000)->Unit(
+    benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hedgeq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,106 @@
+// E7 (claim C7): for traditional path expressions, the simplified
+// match-identifying construction at the end of Section 8 (no equivalence
+// classes, no consistency subtraction) against the general Theorem 5
+// construction.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "schema/match_identify.h"
+
+namespace hedgeq {
+namespace {
+
+struct Setup {
+  hedge::Vocabulary vocab;
+  std::optional<query::CompiledPhr> compiled;
+  std::vector<hedge::SymbolId> symbols;
+  std::vector<hedge::VarId> vars;
+};
+
+Setup MakeSetup() {
+  Setup s;
+  auto phr = phr::ParsePhr("figure (section|article)*", s.vocab);
+  auto compiled = query::CompilePhr(*phr);
+  s.compiled = std::move(compiled).value();
+  workload::ArticleVocab names = workload::ArticleVocab::Intern(s.vocab);
+  s.symbols = {names.article, names.title, names.section, names.para,
+               names.figure,  names.table, names.caption, names.image};
+  s.vars = {names.text};
+  return s;
+}
+
+void BM_GeneralConstruction(benchmark::State& state) {
+  Setup s = MakeSetup();
+  size_t states = 0, rules = 0;
+  for (auto _ : state) {
+    schema::MatchIdentifying up =
+        schema::BuildMatchIdentifying(*s.compiled, s.symbols, s.vars);
+    states = up.nha().num_states();
+    rules = up.nha().rules().size();
+    benchmark::DoNotOptimize(up);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_GeneralConstruction)->Unit(benchmark::kMillisecond);
+
+void BM_SimplifiedPathConstruction(benchmark::State& state) {
+  Setup s = MakeSetup();
+  size_t states = 0, rules = 0;
+  for (auto _ : state) {
+    schema::MatchIdentifying up =
+        schema::BuildMatchIdentifyingPathExpr(*s.compiled, s.symbols, s.vars);
+    states = up.nha().num_states();
+    rules = up.nha().rules().size();
+    benchmark::DoNotOptimize(up);
+  }
+  state.counters["states"] = static_cast<double>(states);
+  state.counters["rules"] = static_cast<double>(rules);
+}
+BENCHMARK(BM_SimplifiedPathConstruction)->Unit(benchmark::kMillisecond);
+
+// Longer path expressions: construction cost vs path length for both.
+void BM_GeneralVsPathLength(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  std::string text = "figure";
+  for (int i = 0; i < state.range(0); ++i) text += " (section|article)";
+  auto phr = phr::ParsePhr(text, vocab);
+  auto compiled = query::CompilePhr(*phr);
+  workload::ArticleVocab names = workload::ArticleVocab::Intern(vocab);
+  std::vector<hedge::SymbolId> symbols = {
+      names.article, names.title, names.section, names.para,
+      names.figure,  names.table, names.caption, names.image};
+  std::vector<hedge::VarId> vars = {names.text};
+  for (auto _ : state) {
+    schema::MatchIdentifying up =
+        schema::BuildMatchIdentifying(*compiled, symbols, vars);
+    benchmark::DoNotOptimize(up);
+  }
+}
+BENCHMARK(BM_GeneralVsPathLength)->DenseRange(1, 7, 2)->Unit(
+    benchmark::kMillisecond);
+
+void BM_SimplifiedVsPathLength(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  std::string text = "figure";
+  for (int i = 0; i < state.range(0); ++i) text += " (section|article)";
+  auto phr = phr::ParsePhr(text, vocab);
+  auto compiled = query::CompilePhr(*phr);
+  workload::ArticleVocab names = workload::ArticleVocab::Intern(vocab);
+  std::vector<hedge::SymbolId> symbols = {
+      names.article, names.title, names.section, names.para,
+      names.figure,  names.table, names.caption, names.image};
+  std::vector<hedge::VarId> vars = {names.text};
+  for (auto _ : state) {
+    schema::MatchIdentifying up = schema::BuildMatchIdentifyingPathExpr(
+        *compiled, symbols, vars);
+    benchmark::DoNotOptimize(up);
+  }
+}
+BENCHMARK(BM_SimplifiedVsPathLength)->DenseRange(1, 7, 2)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hedgeq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// E5 (claim C6): schema transformation via match-identifying hedge automata
+// — output-schema construction cost as the input schema grows.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "schema/transform.h"
+
+namespace hedgeq {
+namespace {
+
+void BM_SelectOutputSchema(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto input = schema::ParseSchema(
+      bench::ArticleGrammar(static_cast<size_t>(state.range(0))), vocab);
+  if (!input.ok()) {
+    state.SkipWithError(input.status().ToString().c_str());
+    return;
+  }
+  auto q = query::ParseSelectionQuery(
+      "select(*; figure (section|article)*)", vocab);
+  size_t out_states = 0, out_rules = 0;
+  for (auto _ : state) {
+    auto output = schema::SelectOutputSchema(*input, *q);
+    if (!output.ok()) {
+      state.SkipWithError(output.status().ToString().c_str());
+      return;
+    }
+    out_states = output->nha().num_states();
+    out_rules = output->nha().rules().size();
+    benchmark::DoNotOptimize(output);
+  }
+  state.counters["schema_rules"] =
+      static_cast<double>(input->nha().rules().size());
+  state.counters["output_states"] = static_cast<double>(out_states);
+  state.counters["output_rules"] = static_cast<double>(out_rules);
+}
+BENCHMARK(BM_SelectOutputSchema)
+    ->Arg(0)
+    ->Arg(4)
+    ->Arg(8)
+    ->Arg(16)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_DeleteOutputSchema(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto input = schema::ParseSchema(
+      bench::ArticleGrammar(static_cast<size_t>(state.range(0))), vocab);
+  if (!input.ok()) {
+    state.SkipWithError(input.status().ToString().c_str());
+    return;
+  }
+  auto q = query::ParseSelectionQuery(
+      "select(*; figure (section|article)*)", vocab);
+  for (auto _ : state) {
+    auto output = schema::DeleteOutputSchema(*input, *q);
+    benchmark::DoNotOptimize(output);
+  }
+}
+BENCHMARK(BM_DeleteOutputSchema)
+    ->Arg(0)
+    ->Arg(8)
+    ->Arg(32)
+    ->Unit(benchmark::kMillisecond);
+
+// Sibling-condition query against the fixed article schema: the heavier
+// Theorem 5 consistency machinery.
+void BM_SelectOutputSiblingQuery(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto input = schema::ParseSchema(bench::ArticleGrammar(), vocab);
+  if (!input.ok()) {
+    state.SkipWithError(input.status().ToString().c_str());
+    return;
+  }
+  query::SelectionQuery q = bench::FigureCaptionQuery(vocab);
+  size_t out_states = 0;
+  for (auto _ : state) {
+    auto output = schema::SelectOutputSchema(*input, q);
+    if (!output.ok()) {
+      state.SkipWithError(output.status().ToString().c_str());
+      return;
+    }
+    out_states = output->nha().num_states();
+    benchmark::DoNotOptimize(output);
+  }
+  state.counters["output_states"] = static_cast<double>(out_states);
+}
+BENCHMARK(BM_SelectOutputSiblingQuery)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hedgeq
+
+BENCHMARK_MAIN();

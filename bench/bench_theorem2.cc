@@ -1,0 +1,92 @@
+// E9 (Theorem 2): round-trip cost between the two formalisms. Lemma 1
+// (expression -> automaton) is linear; Lemma 2 (automaton -> expression)
+// pays the decomposition recursion — expression size grows steeply with
+// the number of split states, the asymmetry the paper's Section 9 remarks
+// on understandability hinge on.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "automata/analysis.h"
+#include "hre/compile.h"
+#include "hre/from_nha.h"
+
+namespace hedgeq {
+namespace {
+
+// Family with k distinct tree shapes: a<b ... k times nested alternation>.
+std::string Family(int k) {
+  std::string expr = "$x";
+  for (int i = 0; i < k; ++i) {
+    expr = "(a<" + expr + ">|b<" + expr + " " + "$x*>)";
+  }
+  return expr + "*";
+}
+
+void BM_Lemma1Compile(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(Family(static_cast<int>(state.range(0))), vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  size_t states = 0;
+  for (auto _ : state) {
+    automata::Nha nha = hre::CompileHre(*e);
+    states = nha.num_states();
+    benchmark::DoNotOptimize(nha);
+  }
+  state.counters["nha_states"] = static_cast<double>(states);
+}
+BENCHMARK(BM_Lemma1Compile)->DenseRange(1, 4)->Unit(benchmark::kMicrosecond);
+
+void BM_Lemma2RoundTrip(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(Family(static_cast<int>(state.range(0))), vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  automata::Nha pruned = automata::PruneNha(hre::CompileHre(*e));
+  size_t expr_size = 0;
+  for (auto _ : state) {
+    auto back = hre::NhaToHre(pruned, vocab);
+    if (!back.ok()) {
+      state.SkipWithError(back.status().ToString().c_str());
+      return;
+    }
+    expr_size = hre::HreSize(*back);
+    benchmark::DoNotOptimize(back);
+  }
+  state.counters["nha_states"] = static_cast<double>(pruned.num_states());
+  state.counters["expr_size"] = static_cast<double>(expr_size);
+}
+// expr_size counts unique DAG nodes; the unfolded expression tree is
+// doubly exponential (k=3 unfolds to ~4e10 nodes).
+BENCHMARK(BM_Lemma2RoundTrip)->DenseRange(1, 3)->Unit(
+    benchmark::kMillisecond);
+
+void BM_AmbiguityCheck(benchmark::State& state) {
+  // Section 9 machinery: the unambiguity decision procedure on the same
+  // family (flagged self-product emptiness).
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(Family(static_cast<int>(state.range(0))), vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  automata::Nha pruned = automata::PruneNha(hre::CompileHre(*e));
+  bool ambiguous = false;
+  for (auto _ : state) {
+    ambiguous = automata::IsAmbiguous(pruned);
+    benchmark::DoNotOptimize(ambiguous);
+  }
+  state.counters["ambiguous"] = ambiguous ? 1 : 0;
+}
+BENCHMARK(BM_AmbiguityCheck)->DenseRange(1, 3)->Unit(
+    benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hedgeq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,82 @@
+#ifndef HEDGEQ_BENCH_BENCH_UTIL_H_
+#define HEDGEQ_BENCH_BENCH_UTIL_H_
+
+// Shared workload builders for the experiment harness (see DESIGN.md
+// section 4 for the experiment index E1..E8).
+
+#include <string>
+#include <vector>
+
+#include "hre/sugar.h"
+#include "query/selection.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::bench {
+
+/// Deterministic article document with ~n nodes.
+inline hedge::Hedge MakeArticle(hedge::Vocabulary& vocab, size_t n,
+                                uint64_t seed = 42) {
+  Rng rng(seed);
+  workload::ArticleOptions options;
+  options.target_nodes = n;
+  return workload::RandomArticle(rng, vocab, options);
+}
+
+/// Path-expression query: figures anywhere under sections/article.
+inline query::SelectionQuery FigurePathQuery(hedge::Vocabulary& vocab) {
+  auto q = query::ParseSelectionQuery(
+      "select(*; figure (section|article)*)", vocab);
+  return std::move(q).value();
+}
+
+/// Sibling-order query: figures immediately followed by a caption (built
+/// with the any-hedge sugar; exercises the full Theorem 4 machinery).
+inline query::SelectionQuery FigureCaptionQuery(hedge::Vocabulary& vocab) {
+  workload::ArticleVocab names = workload::ArticleVocab::Intern(vocab);
+  std::vector<hedge::SymbolId> symbols = {
+      names.article, names.title, names.section, names.para,
+      names.figure,  names.table, names.caption, names.image};
+  std::vector<hedge::VarId> vars = {names.text};
+  hedge::SubstId z = vocab.substs.Intern("z");
+  hre::Hre any = hre::AnyHedgeExpr(symbols, vars, z);
+  hre::Hre caption_tree = hre::AnyTreeExpr(names.caption, symbols, vars, z);
+
+  std::vector<phr::PointedBaseRep> triplets;
+  triplets.push_back(
+      {nullptr, names.figure, hre::HConcat(caption_tree, any)});
+  triplets.push_back({nullptr, names.section, nullptr});
+  triplets.push_back({nullptr, names.article, nullptr});
+  strre::Regex regex = strre::Concat(
+      strre::Sym(0), strre::Star(strre::Alt(strre::Sym(1), strre::Sym(2))));
+  return {nullptr, phr::Phr(std::move(triplets), std::move(regex))};
+}
+
+/// The article grammar, optionally widened with `extra_paras` additional
+/// paragraph flavors (schema-size scaling for E5).
+inline std::string ArticleGrammar(size_t extra_paras = 0) {
+  std::string item_union = "Para|Figure|Caption|Table|Section";
+  std::string extra_rules;
+  for (size_t i = 0; i < extra_paras; ++i) {
+    std::string name = "Para" + std::to_string(i);
+    item_union += "|" + name;
+    extra_rules += name + " = para" + std::to_string(i) + "<Text>\n";
+  }
+  return "start   = Article\n"
+         "Article = article<Title Section*>\n"
+         "Title   = title<Text>\n"
+         "Text    = $#text\n"
+         "Section = section<Title (" +
+         item_union +
+         ")*>\n"
+         "Para    = para<Text>\n"
+         "Figure  = figure<Image>\n"
+         "Image   = image<>\n"
+         "Caption = caption<Text>\n"
+         "Table   = table<>\n" +
+         extra_rules;
+}
+
+}  // namespace hedgeq::bench
+
+#endif  // HEDGEQ_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,64 @@
+// E6 (claim C5): the two-traversal automaton evaluation (linear) against
+// the naive per-node envelope re-matching (quadratic and worse). The shape
+// to reproduce: the automaton evaluator wins by a widening margin as
+// documents grow.
+#include <benchmark/benchmark.h>
+
+#include "bench/bench_util.h"
+#include "query/selection.h"
+
+namespace hedgeq {
+namespace {
+
+void BM_AlgorithmOne(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  query::SelectionQuery q = bench::FigureCaptionQuery(vocab);
+  auto eval = query::SelectionEvaluator::Create(q);
+  if (!eval.ok()) {
+    state.SkipWithError(eval.status().ToString().c_str());
+    return;
+  }
+  hedge::Hedge doc =
+      bench::MakeArticle(vocab, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(eval->Locate(doc));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.num_nodes()));
+  state.counters["nodes"] = static_cast<double>(doc.num_nodes());
+}
+BENCHMARK(BM_AlgorithmOne)
+    ->Arg(100)
+    ->Arg(316)
+    ->Arg(1000)
+    ->Arg(3162)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_NaivePerNode(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  query::SelectionQuery q = bench::FigureCaptionQuery(vocab);
+  query::NaiveSelectionEvaluator naive(q);
+  hedge::Hedge doc =
+      bench::MakeArticle(vocab, static_cast<size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(naive.Locate(doc));
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.num_nodes()));
+  state.counters["nodes"] = static_cast<double>(doc.num_nodes());
+}
+// The naive evaluator re-extracts and re-matches each node's envelope; it
+// is already ~1000x slower at 3k nodes, so the sweep stops there.
+BENCHMARK(BM_NaivePerNode)
+    ->Arg(100)
+    ->Arg(316)
+    ->Arg(1000)
+    ->Arg(3162)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace hedgeq
+
+BENCHMARK_MAIN();

@@ -1,0 +1,108 @@
+// E8 (claim C8): comparison with the XPath-subset baseline on queries both
+// formalisms express. The automaton evaluator pays one pass regardless of
+// query shape; the XPath engine walks axes per step and re-evaluates
+// predicates per candidate.
+#include <benchmark/benchmark.h>
+
+#include "baseline/xpath.h"
+#include "bench/bench_util.h"
+#include "query/selection.h"
+
+namespace hedgeq {
+namespace {
+
+void BM_XPathAllFigures(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto xp = baseline::ParseXPath("//figure", vocab);
+  hedge::Hedge doc =
+      bench::MakeArticle(vocab, static_cast<size_t>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    std::vector<hedge::NodeId> result = baseline::EvaluateXPath(doc, *xp);
+    hits = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.num_nodes()));
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_XPathAllFigures)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PhrAllFigures(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  query::SelectionQuery q = bench::FigurePathQuery(vocab);
+  auto eval = query::SelectionEvaluator::Create(q);
+  hedge::Hedge doc =
+      bench::MakeArticle(vocab, static_cast<size_t>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    std::vector<hedge::NodeId> result = eval->LocatedNodes(doc);
+    hits = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.num_nodes()));
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_PhrAllFigures)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_XPathFigureCaption(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto xp = baseline::ParseXPath(
+      "//figure[following-sibling::*[1][self::caption]]", vocab);
+  hedge::Hedge doc =
+      bench::MakeArticle(vocab, static_cast<size_t>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    std::vector<hedge::NodeId> result = baseline::EvaluateXPath(doc, *xp);
+    hits = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.num_nodes()));
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_XPathFigureCaption)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_PhrFigureCaption(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  query::SelectionQuery q = bench::FigureCaptionQuery(vocab);
+  auto eval = query::SelectionEvaluator::Create(q);
+  if (!eval.ok()) {
+    state.SkipWithError(eval.status().ToString().c_str());
+    return;
+  }
+  hedge::Hedge doc =
+      bench::MakeArticle(vocab, static_cast<size_t>(state.range(0)));
+  size_t hits = 0;
+  for (auto _ : state) {
+    std::vector<hedge::NodeId> result = eval->LocatedNodes(doc);
+    hits = result.size();
+    benchmark::DoNotOptimize(result);
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(doc.num_nodes()));
+  state.counters["hits"] = static_cast<double>(hits);
+}
+BENCHMARK(BM_PhrFigureCaption)
+    ->Arg(1000)
+    ->Arg(10000)
+    ->Arg(100000)
+    ->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+}  // namespace hedgeq
+
+BENCHMARK_MAIN();

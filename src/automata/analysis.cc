@@ -1,0 +1,386 @@
+#include "automata/analysis.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+
+#include "strre/ops.h"
+#include "util/check.h"
+
+namespace hedgeq::automata {
+
+using strre::Nfa;
+using strre::StateId;
+
+namespace {
+
+// Letters appearing on some accepting path of `nfa` restricted to letters
+// in `allowed`.
+Bitset UsableLetters(const Nfa& nfa, const Bitset& allowed,
+                     size_t num_letters) {
+  Bitset usable(num_letters);
+  if (nfa.num_states() == 0 || nfa.start() == strre::kNoState) return usable;
+  auto letter_ok = [&](strre::Symbol p) {
+    return p < allowed.size() && allowed.Test(p);
+  };
+  Bitset fwd(nfa.num_states());
+  std::deque<StateId> queue;
+  fwd.Set(nfa.start());
+  queue.push_back(nfa.start());
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (letter_ok(t.symbol) && !fwd.Test(t.to)) {
+        fwd.Set(t.to);
+        queue.push_back(t.to);
+      }
+    }
+    for (StateId t : nfa.EpsilonsFrom(s)) {
+      if (!fwd.Test(t)) {
+        fwd.Set(t);
+        queue.push_back(t);
+      }
+    }
+  }
+  std::vector<std::vector<StateId>> rev(nfa.num_states());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (letter_ok(t.symbol)) rev[t.to].push_back(s);
+    }
+    for (StateId t : nfa.EpsilonsFrom(s)) rev[t].push_back(s);
+  }
+  Bitset bwd(nfa.num_states());
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.IsAccepting(s)) {
+      bwd.Set(s);
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    StateId s = queue.front();
+    queue.pop_front();
+    for (StateId t : rev[s]) {
+      if (!bwd.Test(t)) {
+        bwd.Set(t);
+        queue.push_back(t);
+      }
+    }
+  }
+  for (StateId s = 0; s < nfa.num_states(); ++s) {
+    if (!fwd.Test(s)) continue;
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (letter_ok(t.symbol) && bwd.Test(t.to) && t.symbol < num_letters) {
+        usable.Set(t.symbol);
+      }
+    }
+  }
+  return usable;
+}
+
+// Keeps only transitions on allowed letters, renaming letters via `rename`
+// (kNoState-valued renames drop the transition).
+Nfa FilterAndRename(const Nfa& in, const std::vector<HState>& rename) {
+  Nfa out;
+  for (StateId s = 0; s < in.num_states(); ++s) {
+    out.AddState(in.IsAccepting(s));
+  }
+  if (in.start() != strre::kNoState) out.SetStart(in.start());
+  for (StateId s = 0; s < in.num_states(); ++s) {
+    for (const Nfa::Transition& t : in.TransitionsFrom(s)) {
+      if (t.symbol < rename.size() && rename[t.symbol] != strre::kNoState) {
+        out.AddTransition(s, rename[t.symbol], t.to);
+      }
+    }
+    for (StateId t : in.EpsilonsFrom(s)) out.AddEpsilon(s, t);
+  }
+  return out;
+}
+
+// Product of two content NFAs reading pair letters p1 * n + p2, where n is
+// the state count of the underlying NHA.
+Nfa PairContentNfa(const Nfa& a, const Nfa& b, size_t n) {
+  Nfa out;
+  const size_t nb = b.num_states();
+  for (size_t i = 0; i < a.num_states() * nb; ++i) out.AddState(false);
+  if (a.num_states() == 0 || b.num_states() == 0 ||
+      a.start() == strre::kNoState || b.start() == strre::kNoState) {
+    return out;
+  }
+  auto pid = [nb](StateId sa, StateId sb) {
+    return static_cast<StateId>(sa * nb + sb);
+  };
+  out.SetStart(pid(a.start(), b.start()));
+  for (StateId sa = 0; sa < a.num_states(); ++sa) {
+    for (StateId sb = 0; sb < b.num_states(); ++sb) {
+      if (a.IsAccepting(sa) && b.IsAccepting(sb)) {
+        out.SetAccepting(pid(sa, sb), true);
+      }
+      for (StateId ta : a.EpsilonsFrom(sa)) {
+        out.AddEpsilon(pid(sa, sb), pid(ta, sb));
+      }
+      for (StateId tb : b.EpsilonsFrom(sb)) {
+        out.AddEpsilon(pid(sa, sb), pid(sa, tb));
+      }
+      for (const Nfa::Transition& ta : a.TransitionsFrom(sa)) {
+        for (const Nfa::Transition& tb : b.TransitionsFrom(sb)) {
+          out.AddTransition(pid(sa, sb),
+                            static_cast<strre::Symbol>(ta.symbol * n +
+                                                       tb.symbol),
+                            pid(ta.to, tb.to));
+        }
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Nha PruneNha(const Nha& nha, std::vector<HState>* mapping) {
+  const size_t n = nha.num_states();
+  Bitset derivable = ReachableStates(nha);
+
+  // Co-reachability: seeded from the final language, propagated through
+  // contents of co-reachable targets.
+  Bitset co = UsableLetters(nha.final_nfa(), derivable, n);
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nha::Rule& rule : nha.rules()) {
+      if (!co.Test(rule.target)) continue;
+      Bitset usable = UsableLetters(rule.content, derivable, n);
+      Bitset before = co;
+      co |= usable;
+      if (!(co == before)) changed = true;
+    }
+  }
+  Bitset useful = derivable;
+  useful &= co;
+
+  // Dense renumbering of the surviving states.
+  std::vector<HState> rename(n, strre::kNoState);
+  Nha out;
+  for (HState q = 0; q < n; ++q) {
+    if (useful.Test(q)) rename[q] = out.AddState();
+  }
+  for (const Nha::Rule& rule : nha.rules()) {
+    if (rule.target >= n || !useful.Test(rule.target)) continue;
+    out.AddRule(rule.symbol, FilterAndRename(rule.content, rename),
+                rename[rule.target]);
+  }
+  for (const auto& [x, states] : nha.var_map()) {
+    for (HState q : states) {
+      if (useful.Test(q)) out.AddVariableState(x, rename[q]);
+    }
+  }
+  for (const auto& [z, states] : nha.subst_map()) {
+    for (HState q : states) {
+      if (useful.Test(q)) out.AddSubstState(z, rename[q]);
+    }
+  }
+  out.SetFinal(FilterAndRename(nha.final_nfa(), rename));
+  if (mapping != nullptr) *mapping = rename;
+  return out;
+}
+
+bool IsAmbiguous(const Nha& nha) {
+  const size_t n = nha.num_states();
+  if (n == 0) return false;
+  // Flagged self-product: state (q1, q2, d) with d = "the two labelings
+  // differ at or below this node".
+  Nha product;
+  product.AddStates(n * n * 2);
+  auto encode = [n](HState q1, HState q2, bool d) {
+    return static_cast<HState>((q1 * n + q2) * 2 + (d ? 1 : 0));
+  };
+
+  // NFA over the full flagged-pair alphabet accepting words with at least
+  // one flagged letter.
+  const size_t num_letters = n * n * 2;
+  Nfa flagged_once;
+  {
+    StateId s0 = flagged_once.AddState(false);
+    StateId s1 = flagged_once.AddState(true);
+    for (strre::Symbol letter = 0; letter < num_letters; ++letter) {
+      flagged_once.AddTransition(s0, letter, s0);
+      flagged_once.AddTransition(s1, letter, s1);
+      if (letter % 2 == 1) flagged_once.AddTransition(s0, letter, s1);
+    }
+  }
+
+  auto expand_bits = [](strre::Symbol pair) {
+    return std::vector<strre::Symbol>{2 * pair, 2 * pair + 1};
+  };
+  auto only_unflagged = [](strre::Symbol pair) {
+    return std::vector<strre::Symbol>{2 * pair};
+  };
+
+  for (const Nha::Rule& r1 : nha.rules()) {
+    for (const Nha::Rule& r2 : nha.rules()) {
+      if (r1.symbol != r2.symbol) continue;
+      Nfa base = PairContentNfa(r1.content, r2.content, n);
+      if (r1.target != r2.target) {
+        // The labelings differ right here: children may be anything.
+        product.AddRule(r1.symbol, strre::SubstituteSets(base, expand_bits),
+                        encode(r1.target, r2.target, true));
+      } else {
+        // Same label here: differ iff some child differs.
+        product.AddRule(r1.symbol, strre::SubstituteSets(base, only_unflagged),
+                        encode(r1.target, r2.target, false));
+        Nfa any_bits = strre::SubstituteSets(base, expand_bits);
+        product.AddRule(r1.symbol,
+                        strre::IntersectNfa(any_bits, flagged_once),
+                        encode(r1.target, r2.target, true));
+      }
+    }
+  }
+  for (const auto& [x, states] : nha.var_map()) {
+    for (HState q1 : states) {
+      for (HState q2 : states) {
+        product.AddVariableState(x, encode(q1, q2, q1 != q2));
+      }
+    }
+  }
+  for (const auto& [z, states] : nha.subst_map()) {
+    for (HState q1 : states) {
+      for (HState q2 : states) {
+        product.AddSubstState(z, encode(q1, q2, q1 != q2));
+      }
+    }
+  }
+
+  // Accept: both projections accept and some top-level letter is flagged.
+  Nfa final_pairs = PairContentNfa(nha.final_nfa(), nha.final_nfa(), n);
+  product.SetFinal(strre::IntersectNfa(
+      strre::SubstituteSets(final_pairs, expand_bits), flagged_once));
+
+  return !IsEmptyNha(product);
+}
+
+Dha MinimizeDha(const Dha& dha) {
+  const HState nq = dha.num_states();
+  const HhState nh = dha.num_h_states();
+
+  // Minimal complete final DFA: two letters are final-indistinguishable iff
+  // they induce the same transition from every minimal state.
+  std::vector<strre::Symbol> alphabet(nq);
+  for (HState q = 0; q < nq; ++q) alphabet[q] = q;
+  strre::Dfa fmin =
+      strre::Complete(strre::Minimize(dha.final_dfa(), alphabet), alphabet);
+
+  // Initial state partition: final-DFA letter signatures (condition A).
+  std::vector<uint32_t> qblock(nq, 0);
+  {
+    std::map<std::vector<StateId>, uint32_t> ids;
+    for (HState q = 0; q < nq; ++q) {
+      std::vector<StateId> sig;
+      sig.reserve(fmin.num_states());
+      for (StateId s = 0; s < fmin.num_states(); ++s) {
+        sig.push_back(fmin.Next(s, q));
+      }
+      auto [it, inserted] =
+          ids.try_emplace(std::move(sig), static_cast<uint32_t>(ids.size()));
+      qblock[q] = it->second;
+    }
+  }
+  std::vector<uint32_t> hblock(nh, 0);
+
+  // Mutual Moore refinement: H-blocks must agree on assignments (up to the
+  // state partition) and successors (up to the H partition); state blocks
+  // must agree on how every horizontal state reads them.
+  const auto& assign_map = dha.assign_map();
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    {
+      std::map<std::vector<uint32_t>, uint32_t> ids;
+      std::vector<uint32_t> next(nh);
+      for (HhState h = 0; h < nh; ++h) {
+        std::vector<uint32_t> sig;
+        sig.reserve(assign_map.size() + nq + 1);
+        sig.push_back(hblock[h]);
+        for (const auto& [symbol, row] : assign_map) {
+          (void)symbol;  // map iteration order is stable per run
+          sig.push_back(qblock[row[h]]);
+        }
+        for (HState q = 0; q < nq; ++q) {
+          sig.push_back(hblock[dha.HNext(h, q)]);
+        }
+        auto [it, inserted] = ids.try_emplace(
+            std::move(sig), static_cast<uint32_t>(ids.size()));
+        next[h] = it->second;
+      }
+      if (next != hblock) {
+        changed = true;
+        hblock = std::move(next);
+      }
+    }
+    {
+      std::map<std::vector<uint32_t>, uint32_t> ids;
+      std::vector<uint32_t> next(nq);
+      for (HState q = 0; q < nq; ++q) {
+        std::vector<uint32_t> sig;
+        sig.reserve(nh + 1);
+        sig.push_back(qblock[q]);
+        for (HhState h = 0; h < nh; ++h) {
+          sig.push_back(hblock[dha.HNext(h, q)]);
+        }
+        auto [it, inserted] = ids.try_emplace(
+            std::move(sig), static_cast<uint32_t>(ids.size()));
+        next[q] = it->second;
+      }
+      if (next != qblock) {
+        changed = true;
+        qblock = std::move(next);
+      }
+    }
+  }
+
+  const uint32_t num_qblocks =
+      *std::max_element(qblock.begin(), qblock.end()) + 1;
+  const uint32_t num_hblocks =
+      *std::max_element(hblock.begin(), hblock.end()) + 1;
+
+  // Representatives.
+  std::vector<HState> qrep(num_qblocks, 0);
+  for (HState q = nq; q-- > 0;) qrep[qblock[q]] = q;
+  std::vector<HhState> hrep(num_hblocks, 0);
+  for (HhState h = nh; h-- > 0;) hrep[hblock[h]] = h;
+
+  Dha out(num_qblocks, num_hblocks, hblock[dha.h_start()],
+          qblock[dha.sink()]);
+  for (uint32_t hb = 0; hb < num_hblocks; ++hb) {
+    for (uint32_t qb = 0; qb < num_qblocks; ++qb) {
+      out.SetHTransition(hb, qb, hblock[dha.HNext(hrep[hb], qrep[qb])]);
+    }
+  }
+  for (const auto& [symbol, row] : assign_map) {
+    for (uint32_t hb = 0; hb < num_hblocks; ++hb) {
+      out.SetAssign(symbol, hb, qblock[row[hrep[hb]]]);
+    }
+  }
+  for (const auto& [x, q] : dha.var_map()) {
+    out.SetVariableState(x, qblock[q]);
+  }
+  for (const auto& [z, q] : dha.subst_map()) {
+    out.SetSubstState(z, qblock[q]);
+  }
+  // Final: fmin with letters renamed to blocks (well-defined by condition
+  // A: letters in one block share all fmin transitions).
+  strre::Dfa final_out;
+  for (StateId s = 0; s < fmin.num_states(); ++s) {
+    final_out.AddState(fmin.IsAccepting(s));
+  }
+  final_out.SetStart(fmin.start());
+  for (StateId s = 0; s < fmin.num_states(); ++s) {
+    for (uint32_t qb = 0; qb < num_qblocks; ++qb) {
+      StateId t = fmin.Next(s, qrep[qb]);
+      if (t != strre::kNoState) final_out.SetTransition(s, qb, t);
+    }
+  }
+  out.SetFinalDfa(std::move(final_out));
+  return out;
+}
+
+}  // namespace hedgeq::automata

@@ -1,0 +1,36 @@
+#ifndef HEDGEQ_AUTOMATA_ANALYSIS_H_
+#define HEDGEQ_AUTOMATA_ANALYSIS_H_
+
+#include "automata/dha.h"
+#include "automata/nha.h"
+
+namespace hedgeq::automata {
+
+/// Removes states that no hedge derives (not bottom-up reachable) or that
+/// no accepting computation uses (not co-reachable), compacting the state
+/// space and dropping dead rules. Preserves the language. Addresses the
+/// paper's Section 9 question of porting path-expression optimization
+/// techniques: pruning is the basic enabling pass. When `mapping` is
+/// non-null it receives old-state -> new-state (strre::kNoState for
+/// dropped states), so per-state annotations (marks) can follow.
+Nha PruneNha(const Nha& nha, std::vector<HState>* mapping = nullptr);
+
+/// Is some hedge accepted along two distinct computations (two different
+/// state labelings)? Section 9 proposes adding variables to *unambiguous*
+/// hedge regular expressions; this is the decision procedure, via a
+/// flagged self-product: pair states (q1, q2, differ) where `differ`
+/// records a label mismatch at or below the node, accepting iff both
+/// projections accept and some top-level pair is flagged.
+bool IsAmbiguous(const Nha& nha);
+
+/// Minimizes a deterministic hedge automaton by mutual partition
+/// refinement: two automaton states are merged when no context (final
+/// language, or any content-model position of any rule) distinguishes
+/// them, and two horizontal states are merged when all their assignments
+/// and successors agree up to the state partition. Language-preserving;
+/// typically shrinks subset-construction output substantially.
+Dha MinimizeDha(const Dha& dha);
+
+}  // namespace hedgeq::automata
+
+#endif  // HEDGEQ_AUTOMATA_ANALYSIS_H_

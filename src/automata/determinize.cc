@@ -1,0 +1,247 @@
+#include "automata/determinize.h"
+
+#include <map>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace hedgeq::automata {
+
+using strre::Nfa;
+
+namespace {
+
+// All rule content NFAs glued into one disjoint automaton so one horizontal
+// state (a set of combined states) simulates every content model at once.
+struct CombinedContent {
+  Nfa nfa;                // letters are NHA state ids; no start/accept used
+  std::vector<strre::StateId> starts;  // one per rule
+  // accept_info[s]: rules (by index) whose content accepts at combined
+  // state s.
+  std::vector<std::vector<uint32_t>> accept_info;
+};
+
+CombinedContent CombineContents(const Nha& nha) {
+  CombinedContent out;
+  for (uint32_t rule_index = 0; rule_index < nha.rules().size();
+       ++rule_index) {
+    const Nha::Rule& rule = nha.rules()[rule_index];
+    strre::StateId offset = static_cast<strre::StateId>(out.nfa.num_states());
+    for (strre::StateId s = 0; s < rule.content.num_states(); ++s) {
+      out.nfa.AddState(false);
+      out.accept_info.emplace_back();
+      if (rule.content.IsAccepting(s)) {
+        out.accept_info.back().push_back(rule_index);
+      }
+    }
+    for (strre::StateId s = 0; s < rule.content.num_states(); ++s) {
+      for (const Nfa::Transition& t : rule.content.TransitionsFrom(s)) {
+        out.nfa.AddTransition(offset + s, t.symbol, offset + t.to);
+      }
+      for (strre::StateId t : rule.content.EpsilonsFrom(s)) {
+        out.nfa.AddEpsilon(offset + s, offset + t);
+      }
+    }
+    out.starts.push_back(rule.content.start() == strre::kNoState
+                             ? strre::kNoState
+                             : offset + rule.content.start());
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Determinized> Determinize(const Nha& nha,
+                                 const DeterminizeOptions& options) {
+  CombinedContent combined = CombineContents(nha);
+  const size_t ncomb = combined.nfa.num_states();
+  const size_t nq = nha.num_states();
+
+  // --- DHA states: canonical subsets of NHA states. Sink (empty) is id 0.
+  std::unordered_map<Bitset, HState, BitsetHash> subset_ids;
+  std::vector<Bitset> subsets;
+  auto intern_subset = [&](Bitset subset) -> HState {
+    auto it = subset_ids.find(subset);
+    if (it != subset_ids.end()) return it->second;
+    HState id = static_cast<HState>(subsets.size());
+    subset_ids.emplace(subset, id);
+    subsets.push_back(std::move(subset));
+    return id;
+  };
+  intern_subset(Bitset(nq));  // sink = empty subset
+
+  // Variable/substitution subsets are DHA letters from the start.
+  std::unordered_map<hedge::VarId, HState> var_sid;
+  for (const auto& [x, states] : nha.var_map()) {
+    Bitset b(nq);
+    for (HState q : states) b.Set(q);
+    var_sid[x] = intern_subset(std::move(b));
+  }
+  std::unordered_map<hedge::SubstId, HState> subst_sid;
+  for (const auto& [z, states] : nha.subst_map()) {
+    Bitset b(nq);
+    for (HState q : states) b.Set(q);
+    subst_sid[z] = intern_subset(std::move(b));
+  }
+
+  // --- Horizontal states: epsilon-closed sets of combined-content states.
+  std::unordered_map<Bitset, HhState, BitsetHash> h_ids;
+  std::vector<Bitset> h_sets;
+  auto intern_h = [&](Bitset set) -> HhState {
+    combined.nfa.EpsilonClosure(set);
+    auto it = h_ids.find(set);
+    if (it != h_ids.end()) return it->second;
+    HhState id = static_cast<HhState>(h_sets.size());
+    h_ids.emplace(set, id);
+    h_sets.push_back(std::move(set));
+    return id;
+  };
+  Bitset h0(ncomb);
+  for (strre::StateId s : combined.starts) {
+    if (s != strre::kNoState) h0.Set(s);
+  }
+  HhState h_start = intern_h(std::move(h0));
+  HEDGEQ_CHECK(h_start == 0);
+
+  // assign_table[h] : symbol -> subset id reached after the rules accepting
+  // at h fire. h_trans[h] : subset id -> next horizontal state.
+  std::vector<std::map<hedge::SymbolId, HState>> assign_table;
+  std::vector<std::vector<HhState>> h_trans;
+
+  size_t h_assigned = 0;          // prefix of h_sets with assigns computed
+  // h_trans[h].size() tracks how many subset letters are processed for h.
+  while (true) {
+    bool progress = false;
+
+    // 1. Compute assignments for newly discovered horizontal states; this
+    //    may discover new DHA states (subsets).
+    while (h_assigned < h_sets.size()) {
+      const Bitset& hs = h_sets[h_assigned];
+      std::map<hedge::SymbolId, Bitset> per_symbol;
+      for (uint32_t cs : hs.ToVector()) {
+        for (uint32_t rule_index : combined.accept_info[cs]) {
+          const Nha::Rule& rule = nha.rules()[rule_index];
+          auto [it, inserted] =
+              per_symbol.try_emplace(rule.symbol, Bitset(nq));
+          it->second.Set(rule.target);
+        }
+      }
+      std::map<hedge::SymbolId, HState> row;
+      for (auto& [symbol, bits] : per_symbol) {
+        row[symbol] = intern_subset(std::move(bits));
+      }
+      assign_table.push_back(std::move(row));
+      ++h_assigned;
+      progress = true;
+      if (subsets.size() > options.max_dha_states) {
+        return Status::ResourceExhausted(
+            StrCat("determinization exceeded max_dha_states=",
+                   options.max_dha_states));
+      }
+    }
+
+    // 2. Extend horizontal transitions to every known subset letter; this
+    //    may discover new horizontal states.
+    for (HhState hs = 0; hs < h_sets.size(); ++hs) {
+      if (h_trans.size() <= hs) h_trans.emplace_back();
+      while (h_trans[hs].size() < subsets.size()) {
+        HState sid = static_cast<HState>(h_trans[hs].size());
+        const Bitset& letter = subsets[sid];
+        Bitset next(ncomb);
+        for (uint32_t cs : h_sets[hs].ToVector()) {
+          for (const Nfa::Transition& t :
+               combined.nfa.TransitionsFrom(cs)) {
+            if (t.symbol < letter.size() && letter.Test(t.symbol)) {
+              next.Set(t.to);
+            }
+          }
+        }
+        h_trans[hs].push_back(intern_h(std::move(next)));
+        progress = true;
+        if (h_sets.size() > options.max_h_states) {
+          return Status::ResourceExhausted(
+              StrCat("determinization exceeded max_h_states=",
+                     options.max_h_states));
+        }
+      }
+    }
+
+    if (!progress) break;
+  }
+
+  // --- Assemble the DHA.
+  const HState num_states = static_cast<HState>(subsets.size());
+  const HhState num_h = static_cast<HhState>(h_sets.size());
+  Dha dha(num_states, num_h, h_start, /*sink=*/0);
+  for (HhState hs = 0; hs < num_h; ++hs) {
+    for (HState sid = 0; sid < num_states; ++sid) {
+      dha.SetHTransition(hs, sid, h_trans[hs][sid]);
+    }
+    for (const auto& [symbol, sid] : assign_table[hs]) {
+      dha.SetAssign(symbol, hs, sid);
+    }
+  }
+  for (const auto& [x, sid] : var_sid) dha.SetVariableState(x, sid);
+  for (const auto& [z, sid] : subst_sid) dha.SetSubstState(z, sid);
+  dha.SetFinalDfa(LiftToSubsets(nha.final_nfa(), subsets));
+
+  return Determinized{std::move(dha), std::move(subsets)};
+}
+
+strre::Dfa LiftToSubsets(const Nfa& lang, std::span<const Bitset> subsets) {
+  strre::Dfa out;
+  if (lang.num_states() == 0 || lang.start() == strre::kNoState) {
+    // Empty language: a single non-accepting total state.
+    strre::StateId dead = out.AddState(false);
+    for (strre::Symbol sid = 0; sid < subsets.size(); ++sid) {
+      out.SetTransition(dead, sid, dead);
+    }
+    return out;
+  }
+
+  std::unordered_map<Bitset, strre::StateId, BitsetHash> ids;
+  std::vector<Bitset> worklist;
+
+  auto intern = [&](Bitset set) -> strre::StateId {
+    lang.EpsilonClosure(set);
+    auto it = ids.find(set);
+    if (it != ids.end()) return it->second;
+    bool accepting = false;
+    for (uint32_t s : set.ToVector()) {
+      if (lang.IsAccepting(s)) {
+        accepting = true;
+        break;
+      }
+    }
+    strre::StateId id = out.AddState(accepting);
+    ids.emplace(set, id);
+    worklist.push_back(std::move(set));
+    return id;
+  };
+
+  Bitset start(lang.num_states());
+  start.Set(lang.start());
+  intern(std::move(start));
+
+  for (size_t wi = 0; wi < worklist.size(); ++wi) {
+    Bitset current = worklist[wi];  // copy: worklist grows during the loop
+    strre::StateId from = ids.at(current);
+    for (strre::Symbol sid = 0; sid < subsets.size(); ++sid) {
+      const Bitset& letter = subsets[sid];
+      Bitset next(lang.num_states());
+      for (uint32_t s : current.ToVector()) {
+        for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+          if (t.symbol < letter.size() && letter.Test(t.symbol)) {
+            next.Set(t.to);
+          }
+        }
+      }
+      out.SetTransition(from, sid, intern(std::move(next)));
+    }
+  }
+  return out;
+}
+
+}  // namespace hedgeq::automata

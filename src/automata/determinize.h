@@ -1,0 +1,44 @@
+#ifndef HEDGEQ_AUTOMATA_DETERMINIZE_H_
+#define HEDGEQ_AUTOMATA_DETERMINIZE_H_
+
+#include <span>
+#include <vector>
+
+#include "automata/dha.h"
+#include "automata/nha.h"
+#include "util/status.h"
+
+namespace hedgeq::automata {
+
+/// Limits for the subset construction. Determinization is worst-case
+/// exponential (the paper conjectures it is "usually efficient"; experiment
+/// E3 measures both sides), so callers can cap the explosion.
+struct DeterminizeOptions {
+  size_t max_dha_states = 1u << 20;
+  size_t max_h_states = 1u << 20;
+};
+
+/// Result of determinizing an NHA: the DHA plus, for every DHA state, the
+/// subset of NHA states it denotes. The sink is always state 0 (the empty
+/// subset).
+struct Determinized {
+  Dha dha;
+  std::vector<Bitset> subsets;
+};
+
+/// Theorem 1: subset construction from a non-deterministic to a
+/// deterministic hedge automaton with L(dha) = L(nha). Fails with
+/// kResourceExhausted when the options' caps are exceeded.
+Result<Determinized> Determinize(const Nha& nha,
+                                 const DeterminizeOptions& options = {});
+
+/// Lifts a regular language over NHA states (an NFA with letters in Q_nha)
+/// to a complete DFA over DHA states (letters are subset ids): the lifted
+/// DFA accepts a word S1...Sk of subsets iff some q1 in S1, ..., qk in Sk
+/// with q1...qk in L(lang). This is how final languages and the Theorem 4
+/// per-triplet languages F_i1/F_i2 ride on one shared determinization.
+strre::Dfa LiftToSubsets(const strre::Nfa& lang, std::span<const Bitset> subsets);
+
+}  // namespace hedgeq::automata
+
+#endif  // HEDGEQ_AUTOMATA_DETERMINIZE_H_

@@ -1,0 +1,231 @@
+#include "automata/serialize.h"
+
+#include <sstream>
+
+#include "util/strings.h"
+
+namespace hedgeq::automata {
+
+using strre::Nfa;
+
+namespace {
+
+void WriteNfa(const Nfa& nfa, std::string& out) {
+  out += StrCat("nfa ", nfa.num_states(), " ",
+                nfa.start() == strre::kNoState
+                    ? std::string("-")
+                    : std::to_string(nfa.start()),
+                "\n");
+  std::string accepts = "accept";
+  for (strre::StateId s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.IsAccepting(s)) accepts += StrCat(" ", s);
+  }
+  out += accepts + "\n";
+  for (strre::StateId s = 0; s < nfa.num_states(); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      out += StrCat("t ", s, " ", t.symbol, " ", t.to, "\n");
+    }
+    for (strre::StateId t : nfa.EpsilonsFrom(s)) {
+      out += StrCat("e ", s, " ", t, "\n");
+    }
+  }
+  out += "end\n";
+}
+
+class LineReader {
+ public:
+  explicit LineReader(std::string_view text) : lines_(StrSplit(text, '\n')) {}
+
+  bool Done() const { return index_ >= lines_.size(); }
+
+  // Next non-empty line, split on spaces.
+  Result<std::vector<std::string>> Next() {
+    while (index_ < lines_.size()) {
+      std::string_view stripped = StripAsciiWhitespace(lines_[index_]);
+      ++index_;
+      if (stripped.empty() || stripped[0] == '#') continue;
+      std::vector<std::string> fields;
+      for (std::string& f : StrSplit(stripped, ' ')) {
+        if (!f.empty()) fields.push_back(std::move(f));
+      }
+      return fields;
+    }
+    return Status::InvalidArgument("unexpected end of automaton text");
+  }
+
+  size_t line() const { return index_; }
+
+ private:
+  std::vector<std::string> lines_;
+  size_t index_ = 0;
+};
+
+Result<uint32_t> ParseU32(const std::string& field) {
+  uint32_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrCat("expected a number, got '", field, "'"));
+    }
+    value = value * 10 + static_cast<uint32_t>(c - '0');
+  }
+  return value;
+}
+
+Result<Nfa> ReadNfa(LineReader& reader) {
+  Result<std::vector<std::string>> header = reader.Next();
+  if (!header.ok()) return header.status();
+  if (header->size() != 3 || (*header)[0] != "nfa") {
+    return Status::InvalidArgument(
+        StrCat("expected 'nfa <states> <start>' near line ", reader.line()));
+  }
+  Result<uint32_t> count = ParseU32((*header)[1]);
+  if (!count.ok()) return count.status();
+  Nfa nfa;
+  for (uint32_t s = 0; s < *count; ++s) nfa.AddState(false);
+  if ((*header)[2] != "-") {
+    Result<uint32_t> start = ParseU32((*header)[2]);
+    if (!start.ok()) return start.status();
+    if (*start >= *count) {
+      return Status::InvalidArgument("nfa start out of range");
+    }
+    nfa.SetStart(*start);
+  }
+
+  Result<std::vector<std::string>> accepts = reader.Next();
+  if (!accepts.ok()) return accepts.status();
+  if (accepts->empty() || (*accepts)[0] != "accept") {
+    return Status::InvalidArgument(
+        StrCat("expected 'accept ...' near line ", reader.line()));
+  }
+  for (size_t i = 1; i < accepts->size(); ++i) {
+    Result<uint32_t> s = ParseU32((*accepts)[i]);
+    if (!s.ok()) return s.status();
+    if (*s >= *count) return Status::InvalidArgument("accept out of range");
+    nfa.SetAccepting(*s, true);
+  }
+
+  while (true) {
+    Result<std::vector<std::string>> fields = reader.Next();
+    if (!fields.ok()) return fields.status();
+    const std::string& tag = (*fields)[0];
+    if (tag == "end") break;
+    if (tag == "t" && fields->size() == 4) {
+      Result<uint32_t> from = ParseU32((*fields)[1]);
+      Result<uint32_t> letter = ParseU32((*fields)[2]);
+      Result<uint32_t> to = ParseU32((*fields)[3]);
+      if (!from.ok() || !letter.ok() || !to.ok()) {
+        return Status::InvalidArgument("bad transition line");
+      }
+      if (*from >= *count || *to >= *count) {
+        return Status::InvalidArgument("transition state out of range");
+      }
+      nfa.AddTransition(*from, *letter, *to);
+    } else if (tag == "e" && fields->size() == 3) {
+      Result<uint32_t> from = ParseU32((*fields)[1]);
+      Result<uint32_t> to = ParseU32((*fields)[2]);
+      if (!from.ok() || !to.ok()) {
+        return Status::InvalidArgument("bad epsilon line");
+      }
+      if (*from >= *count || *to >= *count) {
+        return Status::InvalidArgument("epsilon state out of range");
+      }
+      nfa.AddEpsilon(*from, *to);
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unexpected line in nfa block near line ", reader.line()));
+    }
+  }
+  return nfa;
+}
+
+}  // namespace
+
+std::string SerializeNha(const Nha& nha, const hedge::Vocabulary& vocab) {
+  std::string out = "nha 1\n";
+  out += StrCat("states ", nha.num_states(), "\n");
+  for (const auto& [x, states] : nha.var_map()) {
+    std::string line = StrCat("var ", vocab.variables.NameOf(x));
+    for (HState q : states) line += StrCat(" ", q);
+    out += line + "\n";
+  }
+  for (const auto& [z, states] : nha.subst_map()) {
+    std::string line = StrCat("subst ", vocab.substs.NameOf(z));
+    for (HState q : states) line += StrCat(" ", q);
+    out += line + "\n";
+  }
+  for (const Nha::Rule& rule : nha.rules()) {
+    out += StrCat("rule ", vocab.symbols.NameOf(rule.symbol), " ",
+                  rule.target, "\n");
+    WriteNfa(rule.content, out);
+  }
+  out += "final\n";
+  WriteNfa(nha.final_nfa(), out);
+  return out;
+}
+
+Result<Nha> DeserializeNha(std::string_view text, hedge::Vocabulary& vocab) {
+  LineReader reader(text);
+  Result<std::vector<std::string>> magic = reader.Next();
+  if (!magic.ok()) return magic.status();
+  if (magic->size() != 2 || (*magic)[0] != "nha" || (*magic)[1] != "1") {
+    return Status::InvalidArgument("expected 'nha 1' header");
+  }
+  Result<std::vector<std::string>> states_line = reader.Next();
+  if (!states_line.ok()) return states_line.status();
+  if (states_line->size() != 2 || (*states_line)[0] != "states") {
+    return Status::InvalidArgument("expected 'states <n>'");
+  }
+  Result<uint32_t> num_states = ParseU32((*states_line)[1]);
+  if (!num_states.ok()) return num_states.status();
+
+  Nha nha;
+  nha.AddStates(*num_states);
+
+  while (true) {
+    Result<std::vector<std::string>> fields = reader.Next();
+    if (!fields.ok()) return fields.status();
+    const std::string& tag = (*fields)[0];
+    if (tag == "var" || tag == "subst") {
+      if (fields->size() < 2) {
+        return Status::InvalidArgument(StrCat("bad ", tag, " line"));
+      }
+      for (size_t i = 2; i < fields->size(); ++i) {
+        Result<uint32_t> q = ParseU32((*fields)[i]);
+        if (!q.ok()) return q.status();
+        if (*q >= *num_states) {
+          return Status::InvalidArgument(StrCat(tag, " state out of range"));
+        }
+        if (tag == "var") {
+          nha.AddVariableState(vocab.variables.Intern((*fields)[1]), *q);
+        } else {
+          nha.AddSubstState(vocab.substs.Intern((*fields)[1]), *q);
+        }
+      }
+    } else if (tag == "rule") {
+      if (fields->size() != 3) {
+        return Status::InvalidArgument("expected 'rule <symbol> <target>'");
+      }
+      Result<uint32_t> target = ParseU32((*fields)[2]);
+      if (!target.ok()) return target.status();
+      if (*target >= *num_states) {
+        return Status::InvalidArgument("rule target out of range");
+      }
+      Result<Nfa> content = ReadNfa(reader);
+      if (!content.ok()) return content.status();
+      nha.AddRule(vocab.symbols.Intern((*fields)[1]),
+                  std::move(content).value(), *target);
+    } else if (tag == "final") {
+      Result<Nfa> final_nfa = ReadNfa(reader);
+      if (!final_nfa.ok()) return final_nfa.status();
+      nha.SetFinal(std::move(final_nfa).value());
+      return nha;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unexpected directive '", tag, "' near line ",
+                 reader.line()));
+    }
+  }
+}
+
+}  // namespace hedgeq::automata

@@ -1,0 +1,41 @@
+#ifndef HEDGEQ_AUTOMATA_SERIALIZE_H_
+#define HEDGEQ_AUTOMATA_SERIALIZE_H_
+
+#include <string>
+#include <string_view>
+
+#include "automata/nha.h"
+#include "hedge/hedge.h"
+
+namespace hedgeq::automata {
+
+/// Text serialization of non-deterministic hedge automata, so compiled
+/// queries and schemas can be cached across processes. Names (element,
+/// variable, substitution) are stored as strings and re-interned on load;
+/// state ids and NFA structure are stored verbatim. The format is
+/// line-oriented and versioned:
+///
+///   nha 1
+///   states <n>
+///   var <name> <q>...
+///   subst <name> <q>...
+///   rule <symbol> <target>
+///   <nfa block>
+///   final
+///   <nfa block>
+///
+/// where an nfa block is
+///
+///   nfa <states> <start|->
+///   accept <s>...
+///   t <from> <letter> <to>
+///   e <from> <to>
+///   end
+std::string SerializeNha(const Nha& nha, const hedge::Vocabulary& vocab);
+
+/// Inverse of SerializeNha; new names are interned into `vocab`.
+Result<Nha> DeserializeNha(std::string_view text, hedge::Vocabulary& vocab);
+
+}  // namespace hedgeq::automata
+
+#endif  // HEDGEQ_AUTOMATA_SERIALIZE_H_

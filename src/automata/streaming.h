@@ -1,0 +1,64 @@
+#ifndef HEDGEQ_AUTOMATA_STREAMING_H_
+#define HEDGEQ_AUTOMATA_STREAMING_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "automata/dha.h"
+
+namespace hedgeq::automata {
+
+/// Runs a deterministic hedge automaton over a SAX-style event stream in
+/// O(element depth) memory: because the horizontal DFA folds child states
+/// left to right, one horizontal state per open element suffices — no tree
+/// is ever materialized. Feed events in document order, then query
+/// Accepted(). This is the streaming-validation face of Definition 4's
+/// bottom-up computation.
+class StreamingDhaRun {
+ public:
+  explicit StreamingDhaRun(const Dha& dha)
+      : dha_(dha), final_state_(dha.final_dfa().start()) {}
+
+  void StartElement(hedge::SymbolId name) {
+    (void)name;  // the symbol matters on exit, when alpha is applied
+    stack_.push_back(dha_.h_start());
+    max_depth_ = std::max(max_depth_, stack_.size());
+  }
+
+  void EndElement(hedge::SymbolId name) {
+    HhState h = stack_.back();
+    stack_.pop_back();
+    Fold(dha_.Assign(name, h));
+  }
+
+  void Text(hedge::VarId variable) { Fold(dha_.VariableState(variable)); }
+
+  /// Is the stream consumed so far — taken as a complete hedge — in the
+  /// language? Only meaningful when every element has been closed.
+  bool Accepted() const {
+    return stack_.empty() && final_state_ != strre::kNoState &&
+           dha_.final_dfa().IsAccepting(final_state_);
+  }
+
+  bool InProgress() const { return !stack_.empty(); }
+  /// Peak number of simultaneously open elements (the memory bound).
+  size_t max_depth() const { return max_depth_; }
+
+ private:
+  void Fold(HState q) {
+    if (stack_.empty()) {
+      final_state_ = dha_.final_dfa().Next(final_state_, q);
+    } else {
+      stack_.back() = dha_.HNext(stack_.back(), q);
+    }
+  }
+
+  const Dha& dha_;
+  std::vector<HhState> stack_;
+  strre::StateId final_state_;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace hedgeq::automata
+
+#endif  // HEDGEQ_AUTOMATA_STREAMING_H_

@@ -1,0 +1,117 @@
+#include "baseline/translate.h"
+
+#include "strre/regex.h"
+
+namespace hedgeq::baseline {
+
+using query::SelectionQuery;
+
+Result<SelectionQuery> TranslateXPath(
+    const PathExpr& path, std::span<const hedge::SymbolId> alphabet) {
+  // Triplet alphabet: one unconditional path step per element name; index
+  // of symbol i is i.
+  std::vector<phr::PointedBaseRep> triplets;
+  triplets.reserve(alphabet.size());
+  for (hedge::SymbolId s : alphabet) {
+    triplets.push_back({nullptr, s, nullptr});
+  }
+  auto step_regex = [&](const Step& step) -> Result<strre::Regex> {
+    switch (step.test) {
+      case NodeTest::kName: {
+        for (size_t i = 0; i < alphabet.size(); ++i) {
+          if (alphabet[i] == step.name) {
+            return strre::Sym(static_cast<strre::Symbol>(i));
+          }
+        }
+        // A name outside the alphabet matches nothing.
+        return strre::EmptySet();
+      }
+      case NodeTest::kAnyElement: {
+        std::vector<strre::Regex> alts;
+        for (size_t i = 0; i < alphabet.size(); ++i) {
+          alts.push_back(strre::Sym(static_cast<strre::Symbol>(i)));
+        }
+        return strre::AltAll(alts);
+      }
+      case NodeTest::kText:
+      case NodeTest::kAnyNode:
+        return Status::InvalidArgument(
+            "only element node tests translate to pointed hedge "
+            "representations (text nodes cannot be located)");
+    }
+    return Status::InvalidArgument("unknown node test");
+  };
+
+  std::vector<strre::Regex> any_sym_alts;
+  for (size_t i = 0; i < alphabet.size(); ++i) {
+    any_sym_alts.push_back(strre::Sym(static_cast<strre::Symbol>(i)));
+  }
+  strre::Regex any_ancestors = strre::Star(strre::AltAll(any_sym_alts));
+
+  if (path.steps.empty()) {
+    return Status::InvalidArgument("empty location path");
+  }
+
+  // Identify which steps are the '//' markers (descendant-or-self::node())
+  // the parser inserted, and validate the rest.
+  std::vector<bool> is_dos(path.steps.size(), false);
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const Step& step = path.steps[i];
+    if (!step.predicates.empty()) {
+      return Status::InvalidArgument(
+          "predicates are outside the translatable fragment; use triplet "
+          "conditions directly");
+    }
+    if (step.axis == Axis::kDescendantOrSelf &&
+        step.test == NodeTest::kAnyNode) {
+      is_dos[i] = true;
+      continue;
+    }
+    if (step.axis == Axis::kDescendant) {
+      is_dos[i] = false;  // handled below as dos + child
+      continue;
+    }
+    if (step.axis != Axis::kChild) {
+      return Status::InvalidArgument(
+          "only child and '//' (descendant) steps translate to path "
+          "expressions; sibling/ancestor conditions need triplets");
+    }
+  }
+  if (is_dos[path.steps.size() - 1]) {
+    return Status::InvalidArgument(
+        "a translatable path must end in an element step");
+  }
+
+  // Build the pointed hedge representation bottom-to-top: the last step is
+  // the located node, then its ancestors in reverse step order; '//'
+  // markers become (any element)* gaps, as does an explicit descendant
+  // axis on the following step.
+  Result<strre::Regex> last = step_regex(path.steps.back());
+  if (!last.ok()) return last.status();
+  strre::Regex regex = std::move(last).value();
+  bool pending_gap = path.steps.back().axis == Axis::kDescendant;
+  for (size_t i = path.steps.size() - 1; i-- > 0;) {
+    const Step& step = path.steps[i];
+    if (is_dos[i]) {
+      pending_gap = true;
+      continue;
+    }
+    if (pending_gap) {
+      regex = strre::Concat(std::move(regex), any_ancestors);
+      pending_gap = false;
+    }
+    Result<strre::Regex> sr = step_regex(step);
+    if (!sr.ok()) return sr.status();
+    regex = strre::Concat(std::move(regex), std::move(sr).value());
+    if (step.axis == Axis::kDescendant) pending_gap = true;
+  }
+  if (pending_gap) {
+    // Leading '//' (or descendant axis on the first step): anything above.
+    regex = strre::Concat(std::move(regex), any_ancestors);
+  }
+
+  return SelectionQuery{nullptr,
+                        phr::Phr(std::move(triplets), std::move(regex))};
+}
+
+}  // namespace hedgeq::baseline

@@ -1,0 +1,26 @@
+#ifndef HEDGEQ_BASELINE_TRANSLATE_H_
+#define HEDGEQ_BASELINE_TRANSLATE_H_
+
+#include <span>
+
+#include "baseline/xpath.h"
+#include "query/selection.h"
+
+namespace hedgeq::baseline {
+
+/// Translates the downward-axis XPath fragment (child steps, '//'
+/// descendant steps, name tests and '*', no predicates) into an equivalent
+/// selection query over pointed hedge representations — the formal
+/// counterpart the paper argues for in Sections 1-2. Wildcards need the
+/// concrete element alphabet, so the caller supplies it.
+///
+/// Returns kInvalidArgument for steps outside the fragment (reverse axes,
+/// predicates, text()/node() result nodes); those require either the full
+/// triplet syntax (sibling axes), or are features of the host language
+/// rather than of path expressions (position arithmetic).
+Result<query::SelectionQuery> TranslateXPath(
+    const PathExpr& path, std::span<const hedge::SymbolId> alphabet);
+
+}  // namespace hedgeq::baseline
+
+#endif  // HEDGEQ_BASELINE_TRANSLATE_H_

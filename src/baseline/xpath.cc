@@ -1,0 +1,403 @@
+#include "baseline/xpath.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace hedgeq::baseline {
+
+using hedge::Hedge;
+using hedge::kNullNode;
+using hedge::LabelKind;
+using hedge::NodeId;
+
+namespace {
+
+const char* AxisName(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+      return "child";
+    case Axis::kDescendant:
+      return "descendant";
+    case Axis::kDescendantOrSelf:
+      return "descendant-or-self";
+    case Axis::kSelf:
+      return "self";
+    case Axis::kParent:
+      return "parent";
+    case Axis::kAncestor:
+      return "ancestor";
+    case Axis::kAncestorOrSelf:
+      return "ancestor-or-self";
+    case Axis::kFollowingSibling:
+      return "following-sibling";
+    case Axis::kPrecedingSibling:
+      return "preceding-sibling";
+  }
+  return "?";
+}
+
+class XPathParser {
+ public:
+  XPathParser(std::string_view text, hedge::Vocabulary& vocab)
+      : text_(text), vocab_(vocab) {}
+
+  Result<PathExpr> Parse() {
+    Result<PathExpr> p = ParsePath();
+    if (!p.ok()) return p;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(StrCat("unexpected character '",
+                                            text_[pos_], "' at offset ", pos_,
+                                            " in XPath: ", text_));
+    }
+    return p;
+  }
+
+  Result<PathExpr> ParsePath() {
+    PathExpr path;
+    SkipSpace();
+    if (Peek("//")) {
+      path.absolute = true;
+      pos_ += 2;
+      path.steps.push_back(DescendantOrSelfNode());
+    } else if (Peek("/")) {
+      path.absolute = true;
+      ++pos_;
+    }
+    Result<Step> first = ParseStep();
+    if (!first.ok()) return first.status();
+    path.steps.push_back(std::move(first).value());
+    while (true) {
+      SkipSpace();
+      if (Peek("//")) {
+        pos_ += 2;
+        path.steps.push_back(DescendantOrSelfNode());
+      } else if (Peek("/")) {
+        ++pos_;
+      } else {
+        break;
+      }
+      Result<Step> step = ParseStep();
+      if (!step.ok()) return step.status();
+      path.steps.push_back(std::move(step).value());
+    }
+    return path;
+  }
+
+ private:
+  static Step DescendantOrSelfNode() {
+    Step s;
+    s.axis = Axis::kDescendantOrSelf;
+    s.test = NodeTest::kAnyNode;
+    return s;
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool Peek(std::string_view token) const {
+    return StartsWith(text_.substr(pos_), token);
+  }
+
+  static bool IsNameChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-' || c == '@';
+  }
+
+  Result<Step> ParseStep() {
+    SkipSpace();
+    Step step;
+    if (Peek("..")) {
+      pos_ += 2;
+      step.axis = Axis::kParent;
+      step.test = NodeTest::kAnyNode;
+      return step;
+    }
+    if (Peek(".")) {
+      ++pos_;
+      step.axis = Axis::kSelf;
+      step.test = NodeTest::kAnyNode;
+      return step;
+    }
+
+    // Optional explicit axis.
+    size_t save = pos_;
+    std::string word = ReadWord();
+    if (Peek("::")) {
+      pos_ += 2;
+      bool found = false;
+      for (Axis axis :
+           {Axis::kChild, Axis::kDescendant, Axis::kDescendantOrSelf,
+            Axis::kSelf, Axis::kParent, Axis::kAncestor, Axis::kAncestorOrSelf,
+            Axis::kFollowingSibling, Axis::kPrecedingSibling}) {
+        if (word == AxisName(axis)) {
+          step.axis = axis;
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        return Status::InvalidArgument(StrCat("unknown axis '", word, "'"));
+      }
+    } else {
+      pos_ = save;  // no axis; default child
+      step.axis = Axis::kChild;
+    }
+
+    // Node test.
+    SkipSpace();
+    if (Peek("*")) {
+      ++pos_;
+      step.test = NodeTest::kAnyElement;
+    } else {
+      std::string name = ReadWord();
+      if (name.empty()) {
+        return Status::InvalidArgument(
+            StrCat("expected a node test at offset ", pos_, " in: ", text_));
+      }
+      if (Peek("()")) {
+        pos_ += 2;
+        if (name == "text") {
+          step.test = NodeTest::kText;
+        } else if (name == "node") {
+          step.test = NodeTest::kAnyNode;
+        } else {
+          return Status::InvalidArgument(
+              StrCat("unsupported node-type test ", name, "()"));
+        }
+      } else {
+        step.test = NodeTest::kName;
+        step.name = vocab_.symbols.Intern(name);
+      }
+    }
+
+    // Predicates.
+    while (true) {
+      SkipSpace();
+      if (!Peek("[")) break;
+      ++pos_;
+      SkipSpace();
+      Predicate pred;
+      if (pos_ < text_.size() &&
+          std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        int value = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          value = value * 10 + (text_[pos_++] - '0');
+        }
+        if (value < 1) {
+          return Status::InvalidArgument("positions are 1-based");
+        }
+        pred.position = value;
+      } else {
+        Result<PathExpr> inner = ParsePath();
+        if (!inner.ok()) return inner.status();
+        pred.path =
+            std::make_shared<const PathExpr>(std::move(inner).value());
+      }
+      SkipSpace();
+      if (!Peek("]")) {
+        return Status::InvalidArgument(
+            StrCat("missing ']' at offset ", pos_, " in: ", text_));
+      }
+      ++pos_;
+      step.predicates.push_back(std::move(pred));
+    }
+    return step;
+  }
+
+  std::string ReadWord() {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsNameChar(text_[pos_])) ++pos_;
+    return std::string(text_.substr(start, pos_ - start));
+  }
+
+  std::string_view text_;
+  hedge::Vocabulary& vocab_;
+  size_t pos_ = 0;
+};
+
+class Evaluator {
+ public:
+  explicit Evaluator(const Hedge& doc) : doc_(doc) {}
+
+  // Context kNullNode denotes the document node (parent of the top-level
+  // sequence).
+  std::vector<NodeId> EvaluatePath(const PathExpr& path,
+                                   std::vector<NodeId> context) {
+    for (const Step& step : path.steps) {
+      std::vector<NodeId> result;
+      for (NodeId ctx : context) {
+        std::vector<NodeId> candidates = AxisNodes(step.axis, ctx);
+        // Node-test filter, preserving axis order.
+        std::vector<NodeId> filtered;
+        for (NodeId n : candidates) {
+          if (PassesTest(step, n)) filtered.push_back(n);
+        }
+        // Predicates filter one at a time with positions within the
+        // current list (axis order = proximity order, as in XPath 1.0).
+        for (const Predicate& pred : step.predicates) {
+          std::vector<NodeId> kept;
+          for (size_t i = 0; i < filtered.size(); ++i) {
+            if (pred.position > 0) {
+              if (static_cast<int>(i) + 1 == pred.position) {
+                kept.push_back(filtered[i]);
+              }
+            } else {
+              if (!EvaluatePath(*pred.path, {filtered[i]}).empty()) {
+                kept.push_back(filtered[i]);
+              }
+            }
+          }
+          filtered = std::move(kept);
+        }
+        result.insert(result.end(), filtered.begin(), filtered.end());
+      }
+      // Document order + dedupe. Arena ids are document order for parsed
+      // documents (nodes are appended in document order).
+      std::sort(result.begin(), result.end());
+      result.erase(std::unique(result.begin(), result.end()), result.end());
+      context = std::move(result);
+    }
+    return context;
+  }
+
+ private:
+  bool PassesTest(const Step& step, NodeId n) const {
+    if (n == kNullNode) return step.test == NodeTest::kAnyNode;
+    const hedge::Label label = doc_.label(n);
+    switch (step.test) {
+      case NodeTest::kAnyNode:
+        return true;
+      case NodeTest::kText:
+        return label.kind == LabelKind::kVariable;
+      case NodeTest::kAnyElement:
+        return label.kind == LabelKind::kSymbol;
+      case NodeTest::kName:
+        return label.kind == LabelKind::kSymbol && label.id == step.name;
+    }
+    return false;
+  }
+
+  // Candidates in axis order (proximity order for reverse axes).
+  std::vector<NodeId> AxisNodes(Axis axis, NodeId ctx) const {
+    std::vector<NodeId> out;
+    switch (axis) {
+      case Axis::kChild:
+        out = doc_.ChildrenOf(ctx);
+        break;
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf: {
+        // The document node itself participates in descendant-or-self (it
+        // only ever passes the node() test); this is what makes '//'
+        // reach top-level elements.
+        if (axis == Axis::kDescendantOrSelf) out.push_back(ctx);
+        std::vector<NodeId> stack = doc_.ChildrenOf(ctx);
+        std::reverse(stack.begin(), stack.end());
+        while (!stack.empty()) {
+          NodeId n = stack.back();
+          stack.pop_back();
+          out.push_back(n);
+          std::vector<NodeId> kids = doc_.ChildrenOf(n);
+          for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+            stack.push_back(*it);
+          }
+        }
+        break;
+      }
+      case Axis::kSelf:
+        if (ctx != kNullNode) out.push_back(ctx);
+        break;
+      case Axis::kParent:
+        if (ctx != kNullNode && doc_.parent(ctx) != kNullNode) {
+          out.push_back(doc_.parent(ctx));
+        }
+        break;
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        if (ctx == kNullNode) break;
+        if (axis == Axis::kAncestorOrSelf) out.push_back(ctx);
+        for (NodeId p = doc_.parent(ctx); p != kNullNode; p = doc_.parent(p)) {
+          out.push_back(p);  // proximity order: nearest ancestor first
+        }
+        break;
+      }
+      case Axis::kFollowingSibling: {
+        if (ctx == kNullNode) break;
+        for (NodeId s = doc_.next_sibling(ctx); s != kNullNode;
+             s = doc_.next_sibling(s)) {
+          out.push_back(s);
+        }
+        break;
+      }
+      case Axis::kPrecedingSibling: {
+        if (ctx == kNullNode) break;
+        for (NodeId s = doc_.prev_sibling(ctx); s != kNullNode;
+             s = doc_.prev_sibling(s)) {
+          out.push_back(s);  // proximity order: nearest first
+        }
+        break;
+      }
+    }
+    return out;
+  }
+
+  const Hedge& doc_;
+};
+
+}  // namespace
+
+Result<PathExpr> ParseXPath(std::string_view text, hedge::Vocabulary& vocab) {
+  XPathParser parser(text, vocab);
+  return parser.Parse();
+}
+
+std::vector<NodeId> EvaluateXPath(const Hedge& doc, const PathExpr& path) {
+  Evaluator evaluator(doc);
+  return evaluator.EvaluatePath(path, {kNullNode});
+}
+
+std::string XPathToString(const PathExpr& path,
+                          const hedge::Vocabulary& vocab) {
+  std::string out = path.absolute ? "/" : "";
+  for (size_t i = 0; i < path.steps.size(); ++i) {
+    const Step& step = path.steps[i];
+    if (i > 0) out += "/";
+    out += AxisName(step.axis);
+    out += "::";
+    switch (step.test) {
+      case NodeTest::kName:
+        out += vocab.symbols.NameOf(step.name);
+        break;
+      case NodeTest::kAnyElement:
+        out += "*";
+        break;
+      case NodeTest::kText:
+        out += "text()";
+        break;
+      case NodeTest::kAnyNode:
+        out += "node()";
+        break;
+    }
+    for (const Predicate& pred : step.predicates) {
+      out += "[";
+      if (pred.position > 0) {
+        out += StrCat(pred.position);
+      } else {
+        out += XPathToString(*pred.path, vocab);
+      }
+      out += "]";
+    }
+  }
+  return out;
+}
+
+}  // namespace hedgeq::baseline

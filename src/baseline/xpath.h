@@ -1,0 +1,81 @@
+#ifndef HEDGEQ_BASELINE_XPATH_H_
+#define HEDGEQ_BASELINE_XPATH_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hedge/hedge.h"
+#include "util/status.h"
+
+namespace hedgeq::baseline {
+
+/// The industrial comparator of the paper's related work (Section 2): an
+/// XPath 1.0 subset over hedges. Supported: the nine core axes, name tests,
+/// '*', text(), node(), abbreviated steps (., .., //, bare names), and
+/// predicates that are either relative paths (existence) or integer
+/// positions (with proper reverse-axis numbering).
+
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+/// What a step's node test accepts.
+enum class NodeTest {
+  kName,      // a specific element name
+  kAnyElement,  // *
+  kText,      // text()
+  kAnyNode,   // node()
+};
+
+struct Step;
+
+/// A location path: /a/b or relative a/b.
+struct PathExpr {
+  bool absolute = false;
+  std::vector<Step> steps;
+};
+
+/// One predicate: [path] (existence) or [n] (position).
+struct Predicate {
+  // Exactly one of the two is meaningful; path predicates own a PathExpr.
+  std::shared_ptr<const PathExpr> path;
+  int position = 0;  // 1-based; 0 means "not a position predicate"
+};
+
+struct Step {
+  Axis axis = Axis::kChild;
+  NodeTest test = NodeTest::kName;
+  hedge::SymbolId name = 0;  // for kName
+  std::vector<Predicate> predicates;
+};
+
+/// Parses the XPath subset. Grammar (abbreviations expanded as in XPath 1.0):
+///   path      := '/'? step ('/' step | '//' step)*
+///   step      := (axis '::')? nodetest predicate*  |  '.'  |  '..'
+///   nodetest  := NAME | '*' | 'text()' | 'node()'
+///   predicate := '[' (path | INTEGER) ']'
+///   axis      := child|descendant|descendant-or-self|self|parent|ancestor|
+///                ancestor-or-self|following-sibling|preceding-sibling
+Result<PathExpr> ParseXPath(std::string_view text, hedge::Vocabulary& vocab);
+
+/// Evaluates the path with the document node as context (for absolute and
+/// relative paths alike), returning the node-set in document order.
+std::vector<hedge::NodeId> EvaluateXPath(const hedge::Hedge& doc,
+                                         const PathExpr& path);
+
+/// Renders a parsed path back to XPath syntax.
+std::string XPathToString(const PathExpr& path,
+                          const hedge::Vocabulary& vocab);
+
+}  // namespace hedgeq::baseline
+
+#endif  // HEDGEQ_BASELINE_XPATH_H_

@@ -1,0 +1,98 @@
+#include "hedge/pointed.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hedgeq::hedge {
+
+std::optional<NodeId> FindEta(const Hedge& h) {
+  std::optional<NodeId> found;
+  for (NodeId n : h.PreOrder()) {
+    if (h.label(n).kind == LabelKind::kEta) {
+      if (found.has_value()) return std::nullopt;  // more than one
+      found = n;
+    }
+  }
+  return found;
+}
+
+bool IsPointed(const Hedge& h) { return FindEta(h).has_value(); }
+
+namespace {
+
+// Copies the subtree at `root` of `src` into `dst` under `parent`, replacing
+// the (single) eta leaf by a copy of the whole hedge `replacement`.
+void CopyReplacingEta(const Hedge& src, NodeId root, Hedge& dst, NodeId parent,
+                      const Hedge& replacement) {
+  if (src.label(root).kind == LabelKind::kEta) {
+    dst.AppendHedgeCopy(parent, replacement);
+    return;
+  }
+  NodeId copy = dst.Append(parent, src.label(root));
+  for (NodeId c = src.first_child(root); c != kNullNode;
+       c = src.next_sibling(c)) {
+    CopyReplacingEta(src, c, dst, copy, replacement);
+  }
+}
+
+}  // namespace
+
+Hedge PointedProduct(const Hedge& u, const Hedge& v) {
+  HEDGEQ_CHECK_MSG(IsPointed(u) && IsPointed(v),
+                   "pointed product requires pointed operands");
+  Hedge out;
+  for (NodeId r : v.roots()) {
+    CopyReplacingEta(v, r, out, kNullNode, u);
+  }
+  return out;
+}
+
+std::vector<PointedBase> Decompose(const Hedge& pointed) {
+  std::optional<NodeId> eta = FindEta(pointed);
+  HEDGEQ_CHECK_MSG(eta.has_value(), "Decompose requires a pointed hedge");
+  NodeId anchor = pointed.parent(*eta);
+  HEDGEQ_CHECK_MSG(anchor != kNullNode,
+                   "eta at the top level has no base decomposition");
+
+  std::vector<PointedBase> bases;
+  // Walk from eta's parent up to the top level; at each level the base hedge
+  // is (elder siblings) label<eta> (younger siblings).
+  for (NodeId p = anchor; p != kNullNode; p = pointed.parent(p)) {
+    HEDGEQ_CHECK(pointed.label(p).kind == LabelKind::kSymbol);
+    PointedBase base;
+    base.label = pointed.label(p).id;
+    std::vector<NodeId> elders;
+    for (NodeId s = pointed.prev_sibling(p); s != kNullNode;
+         s = pointed.prev_sibling(s)) {
+      elders.push_back(s);
+    }
+    std::reverse(elders.begin(), elders.end());
+    for (NodeId s : elders) base.elder.AppendCopy(kNullNode, pointed, s);
+    for (NodeId s = pointed.next_sibling(p); s != kNullNode;
+         s = pointed.next_sibling(s)) {
+      base.younger.AppendCopy(kNullNode, pointed, s);
+    }
+    bases.push_back(std::move(base));
+  }
+  return bases;
+}
+
+Hedge Recompose(const std::vector<PointedBase>& bases) {
+  HEDGEQ_CHECK(!bases.empty());
+  auto build_base = [](const PointedBase& b) {
+    Hedge h;
+    h.AppendHedgeCopy(kNullNode, b.elder);
+    NodeId a = h.Append(kNullNode, Label::Symbol(b.label));
+    h.Append(a, Label::Eta());
+    h.AppendHedgeCopy(kNullNode, b.younger);
+    return h;
+  };
+  Hedge acc = build_base(bases[0]);
+  for (size_t i = 1; i < bases.size(); ++i) {
+    acc = PointedProduct(acc, build_base(bases[i]));
+  }
+  return acc;
+}
+
+}  // namespace hedgeq::hedge

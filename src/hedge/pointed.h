@@ -1,0 +1,47 @@
+#ifndef HEDGEQ_HEDGE_POINTED_H_
+#define HEDGEQ_HEDGE_POINTED_H_
+
+#include <optional>
+#include <vector>
+
+#include "hedge/hedge.h"
+
+namespace hedgeq::hedge {
+
+/// A pointed hedge (Definition 13) is a hedge containing exactly one eta
+/// leaf. These helpers validate, combine and decompose such hedges.
+
+/// Returns the unique eta node, or nullopt when the hedge is not pointed
+/// (zero or multiple eta occurrences).
+std::optional<NodeId> FindEta(const Hedge& h);
+
+/// True when h contains exactly one eta leaf.
+bool IsPointed(const Hedge& h);
+
+/// The product u (+) v of pointed hedges (Definition 14): replaces the eta
+/// leaf of v by the whole hedge u. Both inputs must be pointed; the result
+/// is pointed (its eta is the one inside u).
+Hedge PointedProduct(const Hedge& u, const Hedge& v);
+
+/// One pointed base hedge (Definition 15) u1 a<eta> u2, split into its
+/// elder-sibling hedge u1, the symbol a labeling eta's parent, and the
+/// younger-sibling hedge u2.
+struct PointedBase {
+  Hedge elder;    // u1
+  SymbolId label;  // a
+  Hedge younger;  // u2
+};
+
+/// The unique decomposition of a pointed hedge into pointed base hedges
+/// (Figure 2): element 0 is the innermost base (eta's parent level), the
+/// last element is the top level. Recomposing with PointedProduct
+/// left-to-right yields the original hedge. The input must be pointed and
+/// eta must not occur at the top level (it must have a parent).
+std::vector<PointedBase> Decompose(const Hedge& pointed);
+
+/// Rebuilds a pointed hedge from base hedges: bases[0] (+) bases[1] (+) ...
+Hedge Recompose(const std::vector<PointedBase>& bases);
+
+}  // namespace hedgeq::hedge
+
+#endif  // HEDGEQ_HEDGE_POINTED_H_

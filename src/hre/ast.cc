@@ -1,0 +1,374 @@
+#include "hre/ast.h"
+
+#include <cctype>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace hedgeq::hre {
+
+namespace {
+
+Hre Make(HreKind kind, InternId id, hedge::SubstId subst, Hre left,
+         Hre right) {
+  return std::make_shared<const HreNode>(kind, id, subst, std::move(left),
+                                         std::move(right));
+}
+
+}  // namespace
+
+Hre HEmptySet() {
+  static const Hre kEmpty = Make(HreKind::kEmptySet, 0, 0, nullptr, nullptr);
+  return kEmpty;
+}
+
+Hre HEpsilon() {
+  static const Hre kEps = Make(HreKind::kEpsilon, 0, 0, nullptr, nullptr);
+  return kEps;
+}
+
+Hre HVar(hedge::VarId x) {
+  return Make(HreKind::kVariable, x, 0, nullptr, nullptr);
+}
+
+Hre HTree(hedge::SymbolId a, Hre e) {
+  return Make(HreKind::kTree, a, 0, std::move(e), nullptr);
+}
+
+Hre HConcat(Hre e1, Hre e2) {
+  if (e1->kind() == HreKind::kEmptySet || e2->kind() == HreKind::kEmptySet)
+    return HEmptySet();
+  if (e1->kind() == HreKind::kEpsilon) return e2;
+  if (e2->kind() == HreKind::kEpsilon) return e1;
+  return Make(HreKind::kConcat, 0, 0, std::move(e1), std::move(e2));
+}
+
+Hre HUnion(Hre e1, Hre e2) {
+  if (e1->kind() == HreKind::kEmptySet) return e2;
+  if (e2->kind() == HreKind::kEmptySet) return e1;
+  return Make(HreKind::kUnion, 0, 0, std::move(e1), std::move(e2));
+}
+
+Hre HStar(Hre e) {
+  if (e->kind() == HreKind::kEmptySet || e->kind() == HreKind::kEpsilon)
+    return HEpsilon();
+  if (e->kind() == HreKind::kStar) return e;
+  return Make(HreKind::kStar, 0, 0, std::move(e), nullptr);
+}
+
+Hre HSubstLeaf(hedge::SymbolId a, hedge::SubstId z) {
+  return Make(HreKind::kSubstLeaf, a, z, nullptr, nullptr);
+}
+
+Hre HEmbed(Hre e1, hedge::SubstId z, Hre e2) {
+  return Make(HreKind::kEmbed, 0, z, std::move(e1), std::move(e2));
+}
+
+Hre HVClose(Hre e, hedge::SubstId z) {
+  return Make(HreKind::kVClose, 0, z, std::move(e), nullptr);
+}
+
+namespace {
+
+void CountNodes(const Hre& e, std::unordered_set<const HreNode*>& seen) {
+  if (e == nullptr || !seen.insert(e.get()).second) return;
+  CountNodes(e->left(), seen);
+  CountNodes(e->right(), seen);
+}
+
+}  // namespace
+
+size_t HreSize(const Hre& e) {
+  // Expressions are shared DAGs (the parser reuses subtrees for e+, and
+  // Lemma 2 memoizes aggressively); count unique nodes so the size reflects
+  // actual memory rather than the unfolded tree.
+  std::unordered_set<const HreNode*> seen;
+  CountNodes(e, seen);
+  return seen.size();
+}
+
+namespace {
+
+// Precedence: embed(0) < union(1) < concat(2) < postfix(3).
+std::string ToStringPrec(const Hre& e, const hedge::Vocabulary& vocab,
+                         int parent_prec) {
+  int prec = 3;
+  std::string body;
+  switch (e->kind()) {
+    case HreKind::kEmptySet:
+      return "{}";
+    case HreKind::kEpsilon:
+      return "()";
+    case HreKind::kVariable:
+      return "$" + vocab.variables.NameOf(e->id());
+    case HreKind::kTree:
+      if (e->left()->kind() == HreKind::kEpsilon) {
+        return vocab.symbols.NameOf(e->id());
+      }
+      return vocab.symbols.NameOf(e->id()) + "<" +
+             ToStringPrec(e->left(), vocab, 0) + ">";
+    case HreKind::kSubstLeaf:
+      return vocab.symbols.NameOf(e->id()) + "<%" +
+             vocab.substs.NameOf(e->subst()) + ">";
+    case HreKind::kConcat:
+      prec = 2;
+      body = ToStringPrec(e->left(), vocab, prec) + " " +
+             ToStringPrec(e->right(), vocab, prec);
+      break;
+    case HreKind::kUnion:
+      prec = 1;
+      body = ToStringPrec(e->left(), vocab, prec) + "|" +
+             ToStringPrec(e->right(), vocab, prec);
+      break;
+    case HreKind::kStar:
+      prec = 3;
+      body = ToStringPrec(e->left(), vocab, prec) + "*";
+      break;
+    case HreKind::kVClose:
+      prec = 3;
+      body = ToStringPrec(e->left(), vocab, prec) + "^" +
+             vocab.substs.NameOf(e->subst());
+      break;
+    case HreKind::kEmbed:
+      prec = 0;
+      body = ToStringPrec(e->left(), vocab, prec + 1) + " @" +
+             vocab.substs.NameOf(e->subst()) + " " +
+             ToStringPrec(e->right(), vocab, prec + 1);
+      break;
+  }
+  if (prec < parent_prec) return "(" + body + ")";
+  return body;
+}
+
+class HreParser {
+ public:
+  HreParser(std::string_view text, hedge::Vocabulary& vocab)
+      : text_(text), vocab_(vocab) {}
+
+  Result<Hre> Parse() {
+    Result<Hre> e = ParseEmbed();
+    if (!e.ok()) return e;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(StrCat("unexpected character '",
+                                            text_[pos_], "' at offset ", pos_,
+                                            " in expression: ", text_));
+    }
+    return e;
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-' || c == '#';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == ')' || c == '>' || c == '|' || c == '@') return false;
+    return IsIdentChar(c) || c == '(' || c == '{' || c == '$';
+  }
+
+  Result<Hre> ParseEmbed() {
+    Result<Hre> left = ParseUnion();
+    if (!left.ok()) return left;
+    Hre out = std::move(left).value();
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '@') {
+        ++pos_;
+        std::string z;
+        HEDGEQ_RETURN_IF_ERROR(ParseIdent(z));
+        Result<Hre> right = ParseUnion();
+        if (!right.ok()) return right;
+        // e1 @z e2 embeds e1 into e2 at z.
+        out = HEmbed(std::move(out), vocab_.substs.Intern(z),
+                     std::move(right).value());
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Hre> ParseUnion() {
+    Result<Hre> left = ParseConcat();
+    if (!left.ok()) return left;
+    Hre out = std::move(left).value();
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        Result<Hre> right = ParseConcat();
+        if (!right.ok()) return right;
+        out = HUnion(std::move(out), std::move(right).value());
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Hre> ParseConcat() {
+    Hre out = HEpsilon();
+    bool any = false;
+    while (AtAtomStart()) {
+      Result<Hre> f = ParseFactor();
+      if (!f.ok()) return f;
+      out = HConcat(std::move(out), std::move(f).value());
+      any = true;
+    }
+    if (!any) {
+      return Status::InvalidArgument(
+          StrCat("expected an atom at offset ", pos_, " in: ", text_));
+    }
+    return out;
+  }
+
+  Result<Hre> ParseFactor() {
+    Result<Hre> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    Hre out = std::move(atom).value();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '*') {
+        out = HStar(std::move(out));
+        ++pos_;
+      } else if (c == '+') {
+        out = HConcat(out, HStar(out));
+        ++pos_;
+      } else if (c == '?') {
+        out = HUnion(std::move(out), HEpsilon());
+        ++pos_;
+      } else if (c == '^') {
+        ++pos_;
+        std::string z;
+        HEDGEQ_RETURN_IF_ERROR(ParseIdent(z));
+        out = HVClose(std::move(out), vocab_.substs.Intern(z));
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Hre> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of expression");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '}') {
+        pos_ += 2;
+        return HEmptySet();
+      }
+      return Status::InvalidArgument(
+          StrCat("expected '{}' at offset ", pos_, " in: ", text_));
+    }
+    if (c == '$') {
+      ++pos_;
+      std::string x;
+      HEDGEQ_RETURN_IF_ERROR(ParseIdent(x));
+      return HVar(vocab_.variables.Intern(x));
+    }
+    if (c == '(') {
+      size_t look = pos_ + 1;
+      while (look < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[look]))) {
+        ++look;
+      }
+      if (look < text_.size() && text_[look] == ')') {
+        pos_ = look + 1;
+        return HEpsilon();
+      }
+      ++pos_;
+      Result<Hre> inner = ParseEmbed();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::InvalidArgument(
+            StrCat("missing ')' at offset ", pos_, " in: ", text_));
+      }
+      ++pos_;
+      return inner;
+    }
+    if (IsIdentChar(c)) {
+      std::string name;
+      HEDGEQ_RETURN_IF_ERROR(ParseIdent(name));
+      hedge::SymbolId a = vocab_.symbols.Intern(name);
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '<') {
+        ++pos_;
+        SkipSpace();
+        if (pos_ < text_.size() && text_[pos_] == '%') {
+          ++pos_;
+          std::string z;
+          HEDGEQ_RETURN_IF_ERROR(ParseIdent(z));
+          SkipSpace();
+          if (pos_ >= text_.size() || text_[pos_] != '>') {
+            return Status::InvalidArgument(
+                StrCat("missing '>' at offset ", pos_, " in: ", text_));
+          }
+          ++pos_;
+          return HSubstLeaf(a, vocab_.substs.Intern(z));
+        }
+        if (pos_ < text_.size() && text_[pos_] == '>') {
+          ++pos_;
+          return HTree(a, HEpsilon());
+        }
+        Result<Hre> inner = ParseEmbed();
+        if (!inner.ok()) return inner;
+        SkipSpace();
+        if (pos_ >= text_.size() || text_[pos_] != '>') {
+          return Status::InvalidArgument(
+              StrCat("missing '>' at offset ", pos_, " in: ", text_));
+        }
+        ++pos_;
+        return HTree(a, std::move(inner).value());
+      }
+      return HTree(a, HEpsilon());
+    }
+    return Status::InvalidArgument(StrCat("unexpected character '", c,
+                                          "' at offset ", pos_,
+                                          " in: ", text_));
+  }
+
+  Status ParseIdent(std::string& out) {
+    SkipSpace();
+    size_t start = pos_;
+    while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+    if (pos_ == start) {
+      return Status::InvalidArgument(
+          StrCat("expected an identifier at offset ", pos_, " in: ", text_));
+    }
+    out = std::string(text_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  std::string_view text_;
+  hedge::Vocabulary& vocab_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string HreToString(const Hre& e, const hedge::Vocabulary& vocab) {
+  return ToStringPrec(e, vocab, 0);
+}
+
+Result<Hre> ParseHre(std::string_view text, hedge::Vocabulary& vocab) {
+  HreParser parser(text, vocab);
+  return parser.Parse();
+}
+
+}  // namespace hedgeq::hre

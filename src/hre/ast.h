@@ -1,0 +1,88 @@
+#ifndef HEDGEQ_HRE_AST_H_
+#define HEDGEQ_HRE_AST_H_
+
+#include <memory>
+#include <string>
+
+#include "hedge/hedge.h"
+#include "util/status.h"
+
+namespace hedgeq::hre {
+
+/// The ten forms of hedge regular expressions (Definition 11).
+enum class HreKind {
+  kEmptySet,   // {}          : the empty language
+  kEpsilon,    // ()          : { epsilon }
+  kVariable,   // $x          : { x }
+  kTree,       // a<e>        : { a<u> | u in L(e) }
+  kConcat,     // e1 e2
+  kUnion,      // e1 | e2
+  kStar,       // e*
+  kSubstLeaf,  // a<%z>       : { a<z> }
+  kEmbed,      // e1 @z e2    : L(e1) o_z L(e2)
+  kVClose,     // e^z         : iterated self-embedding at z
+};
+
+class HreNode;
+/// Hedge regular expressions are immutable shared trees.
+using Hre = std::shared_ptr<const HreNode>;
+
+/// One node of a hedge regular expression. Construct via the factories.
+class HreNode {
+ public:
+  HreNode(HreKind kind, InternId id, hedge::SubstId subst, Hre left, Hre right)
+      : kind_(kind),
+        id_(id),
+        subst_(subst),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  HreKind kind() const { return kind_; }
+  /// Symbol id for kTree/kSubstLeaf, variable id for kVariable.
+  InternId id() const { return id_; }
+  /// Substitution symbol for kSubstLeaf/kEmbed/kVClose.
+  hedge::SubstId subst() const { return subst_; }
+  const Hre& left() const { return left_; }
+  const Hre& right() const { return right_; }
+
+ private:
+  HreKind kind_;
+  InternId id_;
+  hedge::SubstId subst_;
+  Hre left_;
+  Hre right_;
+};
+
+Hre HEmptySet();
+Hre HEpsilon();
+Hre HVar(hedge::VarId x);
+Hre HTree(hedge::SymbolId a, Hre e);
+Hre HConcat(Hre e1, Hre e2);
+Hre HUnion(Hre e1, Hre e2);
+Hre HStar(Hre e);
+Hre HSubstLeaf(hedge::SymbolId a, hedge::SubstId z);
+Hre HEmbed(Hre e1, hedge::SubstId z, Hre e2);
+Hre HVClose(Hre e, hedge::SubstId z);
+
+/// Number of unique AST nodes (expressions are shared DAGs).
+size_t HreSize(const Hre& e);
+
+/// Renders in the textual syntax accepted by ParseHre.
+std::string HreToString(const Hre& e, const hedge::Vocabulary& vocab);
+
+/// Parses the textual syntax (new names are interned into `vocab`):
+///   expr    := union ('@' IDENT union)*        -- left-assoc embedding e1 @z e2
+///   union   := cat ('|' cat)*
+///   cat     := factor+
+///   factor  := atom ('*' | '+' | '?' | '^' IDENT)*   -- '^z' vertical closure
+///   atom    := '{}' | '()' | '$' IDENT
+///            | IDENT                            -- a, abbreviation of a<()>
+///            | IDENT '<' '%' IDENT '>'          -- a<%z> substitution leaf
+///            | IDENT '<' expr '>'               -- a<e>
+///            | '(' expr ')'
+/// The paper's example a<z>^{*z} is written "a<%z>*^z".
+Result<Hre> ParseHre(std::string_view text, hedge::Vocabulary& vocab);
+
+}  // namespace hedgeq::hre
+
+#endif  // HEDGEQ_HRE_AST_H_

@@ -1,0 +1,23 @@
+#ifndef HEDGEQ_HRE_COMPILE_H_
+#define HEDGEQ_HRE_COMPILE_H_
+
+#include "automata/nha.h"
+#include "hre/ast.h"
+
+namespace hedgeq::hre {
+
+/// Lemma 1: constructs a non-deterministic hedge automaton M(e) with
+/// L(M(e)) = L(e). The construction follows the paper's ten cases; the
+/// states z-bar introduced for substitution symbols appear in iota (as
+/// substitution-state entries) and inside content models, never in final
+/// state sequences. Linear in the size of the expression.
+automata::Nha CompileHre(const Hre& e);
+
+/// Membership test by compiling once and simulating (Definition 12
+/// semantics). Convenience for tests and small inputs; reuse the Nha from
+/// CompileHre when matching many hedges.
+bool HreMatches(const Hre& e, const hedge::Hedge& h);
+
+}  // namespace hedgeq::hre
+
+#endif  // HEDGEQ_HRE_COMPILE_H_

@@ -1,0 +1,35 @@
+#ifndef HEDGEQ_HRE_FROM_NHA_H_
+#define HEDGEQ_HRE_FROM_NHA_H_
+
+#include "automata/nha.h"
+#include "hre/ast.h"
+
+namespace hedgeq::hre {
+
+/// Lemma 2: constructs a hedge regular expression denoting L(nha),
+/// completing Theorem 2 (hedge regular expressions and hedge automata are
+/// equally expressive).
+///
+/// Follows the paper's decomposition: states are first split per producing
+/// symbol so every connector node has a unique label zeta(q); hedges are
+/// then cut at state occurrences, with R(q, Q1, Q2) — hedges whose internal
+/// nodes use states in Q1 and whose connectors use states in Q2 — computed
+/// by the three-equation recursion over |Q1| (embedding for the top/bottom
+/// split, vertical closure for repeated middles).
+///
+/// One fresh substitution symbol per split state ("_zq<i>") is interned
+/// into `vocab`. The construction is worst-case doubly exponential in
+/// automaton size (the price of expression-ness); a cap of 62 split states
+/// is enforced (kResourceExhausted beyond, kInvalidArgument for automata
+/// with substitution-symbol states, whose languages need bare-z hedges that
+/// expressions cannot denote).
+Result<Hre> NhaToHre(const automata::Nha& nha, hedge::Vocabulary& vocab);
+
+/// Structural translation of a string regex into an HRE via a leaf mapping
+/// (exposed for reuse and tests).
+Hre RegexToHre(const strre::Regex& regex,
+               const std::function<Hre(strre::Symbol)>& leaf);
+
+}  // namespace hedgeq::hre
+
+#endif  // HEDGEQ_HRE_FROM_NHA_H_

@@ -1,0 +1,32 @@
+#include "hre/sugar.h"
+
+namespace hedgeq::hre {
+
+Hre AnyHedgeExpr(std::span<const hedge::SymbolId> symbols,
+                 std::span<const hedge::VarId> variables, hedge::SubstId z) {
+  Hre alternatives = HEmptySet();
+  for (hedge::SymbolId a : symbols) {
+    alternatives = HUnion(std::move(alternatives), HSubstLeaf(a, z));
+  }
+  for (hedge::VarId x : variables) {
+    alternatives = HUnion(std::move(alternatives), HVar(x));
+  }
+  return HVClose(HStar(std::move(alternatives)), z);
+}
+
+Hre AnyTreeExpr(hedge::SymbolId a, std::span<const hedge::SymbolId> symbols,
+                std::span<const hedge::VarId> variables, hedge::SubstId z) {
+  return HEmbed(AnyHedgeExpr(symbols, variables, z), z, HSubstLeaf(a, z));
+}
+
+Hre AnyTreeOfExpr(std::span<const hedge::SymbolId> labels,
+                  std::span<const hedge::SymbolId> symbols,
+                  std::span<const hedge::VarId> variables, hedge::SubstId z) {
+  Hre out = HEmptySet();
+  for (hedge::SymbolId a : labels) {
+    out = HUnion(std::move(out), AnyTreeExpr(a, symbols, variables, z));
+  }
+  return out;
+}
+
+}  // namespace hedgeq::hre

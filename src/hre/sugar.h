@@ -1,0 +1,35 @@
+#ifndef HEDGEQ_HRE_SUGAR_H_
+#define HEDGEQ_HRE_SUGAR_H_
+
+#include <span>
+
+#include "hre/ast.h"
+
+namespace hedgeq::hre {
+
+/// Building blocks for common "don't care" conditions. Hedge regular
+/// expressions describe complete subtree structure, so a sibling condition
+/// like "the next sibling is a caption" needs an explicit "and then
+/// anything" tail; these helpers construct that "anything" over a concrete
+/// vocabulary.
+
+/// Every hedge (including the empty one) whose symbols come from `symbols`
+/// and whose leaf variables come from `variables`:
+///   ((a1<z>|...|ak<z>|x1|...|xm)*)^z
+Hre AnyHedgeExpr(std::span<const hedge::SymbolId> symbols,
+                 std::span<const hedge::VarId> variables, hedge::SubstId z);
+
+/// Exactly one tree: labeled `a` with arbitrary content over the
+/// vocabulary. Built as AnyHedgeExpr embedded into a<z>.
+Hre AnyTreeExpr(hedge::SymbolId a, std::span<const hedge::SymbolId> symbols,
+                std::span<const hedge::VarId> variables, hedge::SubstId z);
+
+/// Exactly one tree with any label from `labels` and arbitrary content over
+/// the vocabulary (union of AnyTreeExpr).
+Hre AnyTreeOfExpr(std::span<const hedge::SymbolId> labels,
+                  std::span<const hedge::SymbolId> symbols,
+                  std::span<const hedge::VarId> variables, hedge::SubstId z);
+
+}  // namespace hedgeq::hre
+
+#endif  // HEDGEQ_HRE_SUGAR_H_

@@ -1,0 +1,262 @@
+#include "phr/phr.h"
+
+#include <cctype>
+
+#include "hre/compile.h"
+#include "strre/ops.h"
+#include "util/strings.h"
+
+namespace hedgeq::phr {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+bool Phr::IsPathExpression() const {
+  for (const PointedBaseRep& t : triplets_) {
+    if (!t.IsPathStep()) return false;
+  }
+  return true;
+}
+
+std::string Phr::ToString(const Vocabulary& vocab) const {
+  return strre::RegexToString(regex_, [&](strre::Symbol s) {
+    const PointedBaseRep& t = triplets_[s];
+    if (t.IsPathStep()) return vocab.symbols.NameOf(t.label);
+    std::string e1 = t.elder ? hre::HreToString(t.elder, vocab) : "*";
+    std::string e2 = t.younger ? hre::HreToString(t.younger, vocab) : "*";
+    return StrCat("[", e1, "; ", vocab.symbols.NameOf(t.label), "; ", e2,
+                  "]");
+  });
+}
+
+namespace {
+
+class PhrParser {
+ public:
+  PhrParser(std::string_view text, Vocabulary& vocab)
+      : text_(text), vocab_(vocab) {}
+
+  Result<Phr> Parse() {
+    Result<strre::Regex> r = ParseUnion();
+    if (!r.ok()) return r.status();
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(StrCat("unexpected character '",
+                                            text_[pos_], "' at offset ", pos_,
+                                            " in: ", text_));
+    }
+    return Phr(std::move(triplets_), std::move(r).value());
+  }
+
+ private:
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-';
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    if (c == ')' || c == '|') return false;
+    return IsIdentChar(c) || c == '(' || c == '[';
+  }
+
+  Result<strre::Regex> ParseUnion() {
+    Result<strre::Regex> left = ParseConcat();
+    if (!left.ok()) return left;
+    strre::Regex out = std::move(left).value();
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        Result<strre::Regex> right = ParseConcat();
+        if (!right.ok()) return right;
+        out = strre::Alt(std::move(out), std::move(right).value());
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<strre::Regex> ParseConcat() {
+    strre::Regex out = strre::Epsilon();
+    bool any = false;
+    while (AtAtomStart()) {
+      Result<strre::Regex> f = ParseFactor();
+      if (!f.ok()) return f;
+      out = strre::Concat(std::move(out), std::move(f).value());
+      any = true;
+    }
+    if (!any) {
+      return Status::InvalidArgument(
+          StrCat("expected a triplet or symbol at offset ", pos_,
+                 " in: ", text_));
+    }
+    return out;
+  }
+
+  Result<strre::Regex> ParseFactor() {
+    Result<strre::Regex> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    strre::Regex out = std::move(atom).value();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '*') {
+        out = strre::Star(std::move(out));
+        ++pos_;
+      } else if (c == '+') {
+        out = strre::Plus(std::move(out));
+        ++pos_;
+      } else if (c == '?') {
+        out = strre::Optional(std::move(out));
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<strre::Regex> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of pointed hedge "
+                                     "representation");
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      Result<strre::Regex> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::InvalidArgument(
+            StrCat("missing ')' at offset ", pos_, " in: ", text_));
+      }
+      ++pos_;
+      return inner;
+    }
+    if (c == '[') {
+      ++pos_;
+      size_t end = text_.find(']', pos_);
+      if (end == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrCat("missing ']' at offset ", pos_, " in: ", text_));
+      }
+      std::vector<std::string> parts =
+          StrSplit(text_.substr(pos_, end - pos_), ';');
+      if (parts.size() != 3) {
+        return Status::InvalidArgument(
+            StrCat("a triplet needs exactly two ';' separators: [",
+                   std::string(text_.substr(pos_, end - pos_)), "]"));
+      }
+      pos_ = end + 1;
+
+      PointedBaseRep triplet;
+      Status s1 = ParseCond(parts[0], &triplet.elder);
+      if (!s1.ok()) return s1;
+      std::string_view name = StripAsciiWhitespace(parts[1]);
+      if (name.empty()) {
+        return Status::InvalidArgument("triplet symbol must not be empty");
+      }
+      triplet.label = vocab_.symbols.Intern(name);
+      Status s2 = ParseCond(parts[2], &triplet.younger);
+      if (!s2.ok()) return s2;
+      return AddTriplet(std::move(triplet));
+    }
+    if (IsIdentChar(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+      PointedBaseRep triplet;
+      triplet.elder = nullptr;
+      triplet.younger = nullptr;
+      triplet.label =
+          vocab_.symbols.Intern(text_.substr(start, pos_ - start));
+      return AddTriplet(std::move(triplet));
+    }
+    return Status::InvalidArgument(StrCat("unexpected character '", c,
+                                          "' at offset ", pos_,
+                                          " in: ", text_));
+  }
+
+  Status ParseCond(std::string_view part, hre::Hre* out) {
+    part = StripAsciiWhitespace(part);
+    if (part == "*") {
+      *out = nullptr;
+      return Status::Ok();
+    }
+    Result<hre::Hre> e = hre::ParseHre(part, vocab_);
+    if (!e.ok()) return e.status();
+    *out = std::move(e).value();
+    return Status::Ok();
+  }
+
+  strre::Regex AddTriplet(PointedBaseRep triplet) {
+    triplets_.push_back(std::move(triplet));
+    return strre::Sym(static_cast<strre::Symbol>(triplets_.size() - 1));
+  }
+
+  std::string_view text_;
+  Vocabulary& vocab_;
+  std::vector<PointedBaseRep> triplets_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<Phr> ParsePhr(std::string_view text, Vocabulary& vocab) {
+  PhrParser parser(text, vocab);
+  return parser.Parse();
+}
+
+NaivePhrMatcher::NaivePhrMatcher(const Phr& phr)
+    : phr_(phr), regex_nfa_(strre::CompileRegex(phr.regex())) {
+  for (const PointedBaseRep& t : phr.triplets()) {
+    elder_nhas_.push_back(
+        t.elder ? std::optional<automata::Nha>(hre::CompileHre(t.elder))
+                : std::nullopt);
+    younger_nhas_.push_back(
+        t.younger ? std::optional<automata::Nha>(hre::CompileHre(t.younger))
+                  : std::nullopt);
+  }
+}
+
+bool NaivePhrMatcher::Matches(const Hedge& pointed) const {
+  std::optional<hedge::NodeId> eta = hedge::FindEta(pointed);
+  if (!eta.has_value()) return false;
+  if (pointed.parent(*eta) == hedge::kNullNode) {
+    // Only the bare pointed hedge "eta" decomposes (into zero bases).
+    if (pointed.num_nodes() != 1) return false;
+    return strre::AcceptsChoices(regex_nfa_, {});
+  }
+  std::vector<hedge::PointedBase> bases = hedge::Decompose(pointed);
+  std::vector<std::vector<strre::Symbol>> choices(bases.size());
+  for (size_t i = 0; i < bases.size(); ++i) {
+    for (size_t t = 0; t < phr_.triplets().size(); ++t) {
+      const PointedBaseRep& rep = phr_.triplets()[t];
+      if (rep.label != bases[i].label) continue;
+      if (elder_nhas_[t].has_value() &&
+          !elder_nhas_[t]->Accepts(bases[i].elder)) {
+        continue;
+      }
+      if (younger_nhas_[t].has_value() &&
+          !younger_nhas_[t]->Accepts(bases[i].younger)) {
+        continue;
+      }
+      choices[i].push_back(static_cast<strre::Symbol>(t));
+    }
+    if (choices[i].empty()) return false;
+  }
+  return strre::AcceptsChoices(regex_nfa_, choices);
+}
+
+}  // namespace hedgeq::phr

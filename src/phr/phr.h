@@ -1,0 +1,89 @@
+#ifndef HEDGEQ_PHR_PHR_H_
+#define HEDGEQ_PHR_PHR_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/nha.h"
+#include "hedge/pointed.h"
+#include "hre/ast.h"
+#include "strre/automaton.h"
+#include "strre/regex.h"
+#include "util/status.h"
+
+namespace hedgeq::phr {
+
+/// A pointed base hedge representation (Definition 16): a triplet
+/// (e1, a, e2) where e1 constrains the elder siblings (and their
+/// descendants), a constrains the node label, and e2 constrains the younger
+/// siblings. A null expression means "no condition" (any hedge) — with both
+/// null the triplet degenerates to a classic path-expression step, which is
+/// what the simplified construction at the end of Section 8 exploits.
+struct PointedBaseRep {
+  hre::Hre elder;          // e1; nullptr = any hedge
+  hedge::SymbolId label;   // a
+  hre::Hre younger;        // e2; nullptr = any hedge
+
+  bool IsPathStep() const { return elder == nullptr && younger == nullptr; }
+};
+
+/// A pointed hedge representation (Definition 18): a regular expression over
+/// a finite alphabet of pointed base hedge representations. The regex's
+/// symbols are indices into `triplets`. Reading order follows the unique
+/// decomposition of pointed hedges: position 0 is the innermost base (the
+/// level of the located node), the last position is the top level.
+class Phr {
+ public:
+  Phr(std::vector<PointedBaseRep> triplets, strre::Regex regex)
+      : triplets_(std::move(triplets)), regex_(std::move(regex)) {}
+
+  const std::vector<PointedBaseRep>& triplets() const { return triplets_; }
+  const strre::Regex& regex() const { return regex_; }
+
+  /// True when every triplet is an unconditional path step, i.e. the PHR is
+  /// a traditional path expression.
+  bool IsPathExpression() const;
+
+  std::string ToString(const hedge::Vocabulary& vocab) const;
+
+ private:
+  std::vector<PointedBaseRep> triplets_;
+  strre::Regex regex_;
+};
+
+/// Parses the textual PHR syntax (a regex whose atoms are triplets):
+///   phr     := union
+///   union   := cat ('|' cat)*
+///   cat     := factor+
+///   factor  := atom ('*' | '+' | '?')*
+///   atom    := '[' cond ';' NAME ';' cond ']'   -- (e1, a, e2)
+///            | NAME                             -- sugar for [*; NAME; *]
+///            | '(' phr ')'
+///   cond    := '*' | HRE                        -- '*' = no condition
+/// Example (paper Section 5): [a<%z>*^z; b; a<%z>*^z]* — nodes whose
+/// ancestors are all b and everything else is a.
+Result<Phr> ParsePhr(std::string_view text, hedge::Vocabulary& vocab);
+
+/// Direct implementation of Definition 19, used as the correctness oracle
+/// and the naive complexity baseline: decomposes the pointed hedge, tests
+/// every base against every triplet by NHA simulation, and simulates the
+/// PHR regex over the resulting letter choices.
+class NaivePhrMatcher {
+ public:
+  explicit NaivePhrMatcher(const Phr& phr);
+
+  /// Does this pointed hedge match the representation?
+  bool Matches(const hedge::Hedge& pointed) const;
+
+ private:
+  const Phr& phr_;
+  strre::Nfa regex_nfa_;
+  // Compiled automata per triplet (null expressions compile to nothing and
+  // always match).
+  std::vector<std::optional<automata::Nha>> elder_nhas_;
+  std::vector<std::optional<automata::Nha>> younger_nhas_;
+};
+
+}  // namespace hedgeq::phr
+
+#endif  // HEDGEQ_PHR_PHR_H_

@@ -1,0 +1,124 @@
+#include "query/boolean.h"
+
+#include "util/check.h"
+
+namespace hedgeq::query {
+
+BooleanQuery BooleanQuery::Leaf(SelectionQuery query) {
+  BooleanQuery out;
+  out.kind_ = Kind::kLeaf;
+  out.leaf_ = std::make_shared<const SelectionQuery>(std::move(query));
+  return out;
+}
+
+BooleanQuery BooleanQuery::And(BooleanQuery a, BooleanQuery b) {
+  BooleanQuery out;
+  out.kind_ = Kind::kAnd;
+  out.left_ = std::make_shared<const BooleanQuery>(std::move(a));
+  out.right_ = std::make_shared<const BooleanQuery>(std::move(b));
+  return out;
+}
+
+BooleanQuery BooleanQuery::Or(BooleanQuery a, BooleanQuery b) {
+  BooleanQuery out;
+  out.kind_ = Kind::kOr;
+  out.left_ = std::make_shared<const BooleanQuery>(std::move(a));
+  out.right_ = std::make_shared<const BooleanQuery>(std::move(b));
+  return out;
+}
+
+BooleanQuery BooleanQuery::Not(BooleanQuery a) {
+  BooleanQuery out;
+  out.kind_ = Kind::kNot;
+  out.left_ = std::make_shared<const BooleanQuery>(std::move(a));
+  return out;
+}
+
+namespace {
+
+void CollectLeaves(const BooleanQuery& q,
+                   std::vector<const SelectionQuery*>& out) {
+  switch (q.kind()) {
+    case BooleanQuery::Kind::kLeaf:
+      out.push_back(&q.leaf());
+      break;
+    case BooleanQuery::Kind::kAnd:
+    case BooleanQuery::Kind::kOr:
+      CollectLeaves(q.left(), out);
+      CollectLeaves(q.right(), out);
+      break;
+    case BooleanQuery::Kind::kNot:
+      CollectLeaves(q.left(), out);
+      break;
+  }
+}
+
+}  // namespace
+
+std::vector<const SelectionQuery*> BooleanQuery::Leaves() const {
+  std::vector<const SelectionQuery*> out;
+  CollectLeaves(*this, out);
+  return out;
+}
+
+bool BooleanQuery::EvaluateAt(const std::vector<bool>& verdicts,
+                              size_t& next) const {
+  switch (kind_) {
+    case Kind::kLeaf: {
+      HEDGEQ_CHECK(next < verdicts.size());
+      return verdicts[next++];
+    }
+    case Kind::kAnd: {
+      bool l = left_->EvaluateAt(verdicts, next);
+      bool r = right_->EvaluateAt(verdicts, next);
+      return l && r;
+    }
+    case Kind::kOr: {
+      bool l = left_->EvaluateAt(verdicts, next);
+      bool r = right_->EvaluateAt(verdicts, next);
+      return l || r;
+    }
+    case Kind::kNot:
+      return !left_->EvaluateAt(verdicts, next);
+  }
+  return false;
+}
+
+bool BooleanQuery::Evaluate(const std::vector<bool>& leaf_verdicts) const {
+  size_t next = 0;
+  bool result = EvaluateAt(leaf_verdicts, next);
+  HEDGEQ_CHECK_MSG(next == leaf_verdicts.size(),
+                   "verdict count must match leaf count");
+  return result;
+}
+
+Result<BooleanEvaluator> BooleanEvaluator::Create(
+    BooleanQuery query, const automata::DeterminizeOptions& options) {
+  std::vector<SelectionEvaluator> evaluators;
+  for (const SelectionQuery* leaf : query.Leaves()) {
+    Result<SelectionEvaluator> e = SelectionEvaluator::Create(*leaf, options);
+    if (!e.ok()) return e.status();
+    evaluators.push_back(std::move(e).value());
+  }
+  return BooleanEvaluator(std::move(query), std::move(evaluators));
+}
+
+std::vector<bool> BooleanEvaluator::Locate(const hedge::Hedge& doc) const {
+  std::vector<std::vector<bool>> per_leaf;
+  per_leaf.reserve(evaluators_.size());
+  for (const SelectionEvaluator& e : evaluators_) {
+    per_leaf.push_back(e.Locate(doc));
+  }
+  std::vector<bool> out(doc.num_nodes(), false);
+  std::vector<bool> verdicts(evaluators_.size(), false);
+  for (hedge::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.label(n).kind != hedge::LabelKind::kSymbol) continue;
+    for (size_t l = 0; l < per_leaf.size(); ++l) {
+      verdicts[l] = per_leaf[l][n];
+    }
+    out[n] = query_.Evaluate(verdicts);
+  }
+  return out;
+}
+
+}  // namespace hedgeq::query

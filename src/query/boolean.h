@@ -1,0 +1,73 @@
+#ifndef HEDGEQ_QUERY_BOOLEAN_H_
+#define HEDGEQ_QUERY_BOOLEAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "query/selection.h"
+
+namespace hedgeq::query {
+
+/// Boolean combinations of selection queries. Section 6 shows selection
+/// queries capture exactly the MSO-definable queries, and MSO is closed
+/// under boolean connectives — these classes make that closure effective:
+/// each leaf evaluates independently (two traversals each), and the
+/// formula combines per-node verdicts. Negation is relative to element
+/// nodes (text nodes are never located).
+class BooleanQuery {
+ public:
+  enum class Kind { kLeaf, kAnd, kOr, kNot };
+
+  static BooleanQuery Leaf(SelectionQuery query);
+  static BooleanQuery And(BooleanQuery a, BooleanQuery b);
+  static BooleanQuery Or(BooleanQuery a, BooleanQuery b);
+  static BooleanQuery Not(BooleanQuery a);
+
+  Kind kind() const { return kind_; }
+  const SelectionQuery& leaf() const { return *leaf_; }
+  const BooleanQuery& left() const { return *left_; }
+  const BooleanQuery& right() const { return *right_; }
+
+  /// The leaves in evaluation order (left-to-right).
+  std::vector<const SelectionQuery*> Leaves() const;
+
+  /// Evaluates the formula given per-leaf verdicts (indexed as in
+  /// Leaves()).
+  bool Evaluate(const std::vector<bool>& leaf_verdicts) const;
+
+ private:
+  BooleanQuery() = default;
+
+  Kind kind_ = Kind::kLeaf;
+  std::shared_ptr<const SelectionQuery> leaf_;
+  std::shared_ptr<const BooleanQuery> left_;
+  std::shared_ptr<const BooleanQuery> right_;
+
+  bool EvaluateAt(const std::vector<bool>& verdicts, size_t& next) const;
+};
+
+/// Compiles every leaf once; Locate runs each leaf's two traversals and
+/// combines per node. O(leaves * nodes) per document.
+class BooleanEvaluator {
+ public:
+  static Result<BooleanEvaluator> Create(
+      BooleanQuery query, const automata::DeterminizeOptions& options = {});
+
+  /// located[n] == true iff n is a symbol node and the formula holds for
+  /// the leaf verdicts at n.
+  std::vector<bool> Locate(const hedge::Hedge& doc) const;
+
+  const BooleanQuery& query() const { return query_; }
+
+ private:
+  BooleanEvaluator(BooleanQuery query,
+                   std::vector<SelectionEvaluator> evaluators)
+      : query_(std::move(query)), evaluators_(std::move(evaluators)) {}
+
+  BooleanQuery query_;
+  std::vector<SelectionEvaluator> evaluators_;
+};
+
+}  // namespace hedgeq::query
+
+#endif  // HEDGEQ_QUERY_BOOLEAN_H_

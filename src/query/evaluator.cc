@@ -1,0 +1,96 @@
+#include "query/evaluator.h"
+
+#include <numeric>
+
+#include "util/check.h"
+
+namespace hedgeq::query {
+
+using automata::HState;
+using hedge::Hedge;
+using hedge::kNullNode;
+using hedge::NodeId;
+
+SiblingClasses ComputeSiblingClasses(const Hedge& doc,
+                                     const std::vector<HState>& states,
+                                     const strre::Dfa& equiv) {
+  SiblingClasses out;
+  out.elder.assign(doc.num_nodes(), equiv.start());
+  out.younger.assign(doc.num_nodes(), equiv.start());
+  const size_t num_classes = equiv.num_states();
+
+  auto process_group = [&](const std::vector<NodeId>& kids) {
+    if (kids.empty()) return;
+    // Prefix classes: forward run of the (complete) == DFA.
+    strre::StateId s = equiv.start();
+    for (NodeId kid : kids) {
+      out.elder[kid] = s;
+      s = equiv.Next(s, states[kid]);
+      HEDGEQ_CHECK_MSG(s != strre::kNoState, "equiv DFA must be complete");
+    }
+    // Suffix classes: compose transition functions right-to-left. g maps
+    // each == state to the state reached after reading the suffix that
+    // starts right of the current position.
+    std::vector<strre::StateId> g(num_classes);
+    std::iota(g.begin(), g.end(), 0);
+    std::vector<strre::StateId> next_g(num_classes);
+    for (size_t jj = kids.size(); jj-- > 0;) {
+      out.younger[kids[jj]] = g[equiv.start()];
+      if (jj == 0) break;
+      for (uint32_t c = 0; c < num_classes; ++c) {
+        strre::StateId step = equiv.Next(c, states[kids[jj]]);
+        HEDGEQ_CHECK(step != strre::kNoState);
+        next_g[c] = g[step];
+      }
+      g.swap(next_g);
+    }
+  };
+
+  process_group(doc.roots());
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.label(n).kind == hedge::LabelKind::kSymbol &&
+        doc.first_child(n) != kNullNode) {
+      process_group(doc.ChildrenOf(n));
+    }
+  }
+  return out;
+}
+
+Result<PhrEvaluator> PhrEvaluator::Create(
+    const phr::Phr& phr, const automata::DeterminizeOptions& options) {
+  Result<CompiledPhr> compiled = CompilePhr(phr, options);
+  if (!compiled.ok()) return compiled.status();
+  return PhrEvaluator(std::move(compiled).value());
+}
+
+std::vector<bool> PhrEvaluator::Locate(const Hedge& doc) const {
+  // First traversal: bottom-up state assignment by M, then sibling classes.
+  std::vector<HState> states = compiled_.dha().Run(doc);
+  SiblingClasses classes = ComputeSiblingClasses(doc, states,
+                                                 compiled_.equiv());
+
+  // Second traversal: top-down run of N (which accepts the mirror of L, so
+  // feeding triplets from the top level toward the node evaluates the
+  // bottom-to-top decomposition sequence). Arena ids ascend from parents to
+  // children, so a forward sweep visits parents first.
+  const strre::Dfa& mirror = compiled_.mirror();
+  std::vector<strre::StateId> nstate(doc.num_nodes(), strre::kNoState);
+  std::vector<bool> located(doc.num_nodes(), false);
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.label(n).kind != hedge::LabelKind::kSymbol) continue;
+    NodeId parent = doc.parent(n);
+    strre::StateId from =
+        parent == kNullNode ? mirror.start() : nstate[parent];
+    if (from == strre::kNoState) continue;  // dead branch
+    uint32_t si = compiled_.SymbolIndex(doc.label(n).id);
+    if (si == CompiledPhr::kNoSymbol) continue;  // label in no triplet
+    strre::Symbol letter =
+        compiled_.EncodeLetter(classes.elder[n], si, classes.younger[n]);
+    strre::StateId to = mirror.Next(from, letter);
+    nstate[n] = to;
+    located[n] = to != strre::kNoState && mirror.IsAccepting(to);
+  }
+  return located;
+}
+
+}  // namespace hedgeq::query

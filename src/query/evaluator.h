@@ -1,0 +1,50 @@
+#ifndef HEDGEQ_QUERY_EVALUATOR_H_
+#define HEDGEQ_QUERY_EVALUATOR_H_
+
+#include <vector>
+
+#include "hedge/hedge.h"
+#include "query/phr_compile.h"
+
+namespace hedgeq::query {
+
+/// Per-node sibling context computed during the first traversal: the
+/// equivalence class (a state of the == DFA) of the elder-sibling state
+/// sequence and of the younger-sibling state sequence.
+struct SiblingClasses {
+  std::vector<uint32_t> elder;
+  std::vector<uint32_t> younger;
+};
+
+/// Computes elder/younger classes for every node in O(nodes * |classes|):
+/// prefixes by a forward run of the == DFA, suffixes by right-to-left
+/// composition of its transition functions (a right-invariant DFA cannot be
+/// extended leftward state-by-state, but its transition functions compose).
+SiblingClasses ComputeSiblingClasses(const hedge::Hedge& doc,
+                                     const std::vector<automata::HState>& states,
+                                     const strre::Dfa& equiv);
+
+/// Algorithm 1: evaluates a compiled pointed hedge representation against
+/// documents with two depth-first traversals, linear in the node count.
+class PhrEvaluator {
+ public:
+  explicit PhrEvaluator(CompiledPhr compiled) : compiled_(std::move(compiled)) {}
+
+  /// Compiles (Theorem 4) and wraps. Exponential-time preprocessing,
+  /// linear-time evaluation.
+  static Result<PhrEvaluator> Create(
+      const phr::Phr& phr, const automata::DeterminizeOptions& options = {});
+
+  /// located[n] == true iff the envelope of node n matches the
+  /// representation. Only symbol-labeled nodes can be located.
+  std::vector<bool> Locate(const hedge::Hedge& doc) const;
+
+  const CompiledPhr& compiled() const { return compiled_; }
+
+ private:
+  CompiledPhr compiled_;
+};
+
+}  // namespace hedgeq::query
+
+#endif  // HEDGEQ_QUERY_EVALUATOR_H_

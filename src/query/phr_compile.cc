@@ -1,0 +1,135 @@
+#include "query/phr_compile.h"
+
+#include "hre/compile.h"
+#include "strre/ops.h"
+#include "util/check.h"
+
+namespace hedgeq::query {
+
+using automata::Determinize;
+using automata::DeterminizeOptions;
+using automata::HState;
+using automata::LiftToSubsets;
+using automata::Nha;
+using strre::Dfa;
+using strre::Nfa;
+
+namespace {
+
+// Complete one-state accept-everything DFA over [0, alphabet_size).
+Dfa AcceptAllDfa(size_t alphabet_size) {
+  Dfa dfa;
+  strre::StateId s = dfa.AddState(true);
+  for (strre::Symbol a = 0; a < alphabet_size; ++a) {
+    dfa.SetTransition(s, a, s);
+  }
+  return dfa;
+}
+
+Nfa ShiftLetters(const Nfa& nfa, HState offset) {
+  return strre::SubstituteSets(nfa, [offset](strre::Symbol q) {
+    return std::vector<strre::Symbol>{q + offset};
+  });
+}
+
+}  // namespace
+
+Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
+                               const DeterminizeOptions& options) {
+  CompiledPhr out;
+  const size_t n = phr.triplets().size();
+
+  // --- Shared automaton M: the union NHA of every triplet expression.
+  // Using one state set for all M_i1/M_i2 is the paper's "without loss of
+  // generality" step (disjoint union instead of full cross product; the
+  // subsequent determinization and class product play the same role).
+  Nha union_nha;
+  std::vector<Nfa> elder_final(n);    // over union_nha states
+  std::vector<Nfa> younger_final(n);  // over union_nha states
+  std::vector<bool> elder_any(n, false), younger_any(n, false);
+  for (size_t i = 0; i < n; ++i) {
+    const phr::PointedBaseRep& t = phr.triplets()[i];
+    if (t.elder == nullptr) {
+      elder_any[i] = true;
+    } else {
+      Nha m = hre::CompileHre(t.elder);
+      HState off = automata::CopyNhaInto(m, union_nha);
+      elder_final[i] = ShiftLetters(m.final_nfa(), off);
+    }
+    if (t.younger == nullptr) {
+      younger_any[i] = true;
+    } else {
+      Nha m = hre::CompileHre(t.younger);
+      HState off = automata::CopyNhaInto(m, union_nha);
+      younger_final[i] = ShiftLetters(m.final_nfa(), off);
+    }
+  }
+
+  auto det = Determinize(union_nha, options);
+  if (!det.ok()) return det.status();
+  out.dha_ = std::move(det->dha);
+  out.subsets_ = std::move(det->subsets);
+
+  // --- Lift every final language to a DFA over M's (subset) states and
+  // take the synchronous product: its states are the classes of ==.
+  const size_t num_dha_states = out.dha_.num_states();
+  std::vector<Dfa> components;
+  components.reserve(2 * n);
+  for (size_t i = 0; i < n; ++i) {
+    components.push_back(elder_any[i]
+                             ? AcceptAllDfa(num_dha_states)
+                             : LiftToSubsets(elder_final[i], out.subsets_));
+    components.push_back(younger_any[i]
+                             ? AcceptAllDfa(num_dha_states)
+                             : LiftToSubsets(younger_final[i], out.subsets_));
+  }
+  std::vector<strre::Symbol> state_alphabet;
+  state_alphabet.reserve(num_dha_states);
+  for (HState q = 0; q < num_dha_states; ++q) state_alphabet.push_back(q);
+  strre::MultiDfa multi = strre::ProductAll(components, state_alphabet);
+  out.equiv_ = std::move(multi.dfa);
+  out.num_classes_ = static_cast<uint32_t>(out.equiv_.num_states());
+
+  out.elder_ok_.resize(n);
+  out.younger_ok_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    out.elder_ok_[i] = std::move(multi.component_accepts[2 * i]);
+    out.younger_ok_[i] = std::move(multi.component_accepts[2 * i + 1]);
+  }
+
+  // --- Dense symbol index over the triplet alphabet.
+  for (const phr::PointedBaseRep& t : phr.triplets()) {
+    if (!out.symbol_index_.contains(t.label)) {
+      out.symbol_index_.emplace(t.label,
+                                static_cast<uint32_t>(out.symbols_.size()));
+      out.symbols_.push_back(t.label);
+    }
+  }
+
+  // --- L = xi(L(r)): substitute each triplet letter by its set of
+  // (class1, symbol, class2) encodings (the homomorphism image of
+  // Theorem 4).
+  std::vector<std::vector<strre::Symbol>> images(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint32_t si = out.SymbolIndex(phr.triplets()[i].label);
+    HEDGEQ_CHECK(si != CompiledPhr::kNoSymbol);
+    for (uint32_t c1 = 0; c1 < out.num_classes_; ++c1) {
+      if (!out.elder_ok_[i][c1]) continue;
+      for (uint32_t c2 = 0; c2 < out.num_classes_; ++c2) {
+        if (!out.younger_ok_[i][c2]) continue;
+        images[i].push_back(out.EncodeLetter(c1, si, c2));
+      }
+    }
+  }
+  Nfa regex_nfa = strre::CompileRegex(phr.regex());
+  out.language_ = strre::SubstituteSets(
+      regex_nfa,
+      [&images](strre::Symbol t) { return images[t]; });
+
+  // --- N: deterministic automaton for the mirror image of L.
+  out.mirror_ = strre::Determinize(strre::ReverseNfa(out.language_));
+
+  return out;
+}
+
+}  // namespace hedgeq::query

@@ -1,0 +1,92 @@
+#ifndef HEDGEQ_QUERY_PHR_COMPILE_H_
+#define HEDGEQ_QUERY_PHR_COMPILE_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/dha.h"
+#include "phr/phr.h"
+#include "strre/automaton.h"
+#include "util/status.h"
+
+namespace hedgeq::query {
+
+/// The Theorem 4 artifacts for a pointed hedge representation r:
+///  - one deterministic hedge automaton M shared by every hedge regular
+///    expression occurring in r's triplets (their union NHA, determinized),
+///  - the right-invariant equivalence relation over Q*, realized as a
+///    complete DFA over M's states whose states are the classes (the
+///    synchronous product of all lifted final-language DFAs saturates every
+///    F_i1/F_i2),
+///  - saturation tables telling which classes lie inside each F_i1/F_i2,
+///  - the regular set L over (Q*/==) x Sigma x (Q*/==) (letters encoded as
+///    integers), and
+///  - the deterministic string automaton N accepting the mirror image of L
+///    (run top-down during the second traversal of Algorithm 1).
+class CompiledPhr {
+ public:
+  /// Dense index of a symbol within the triplet alphabet; kNoSymbol when a
+  /// document symbol occurs in no triplet (such nodes can never be located).
+  static constexpr uint32_t kNoSymbol = UINT32_MAX;
+
+  uint32_t num_classes() const { return num_classes_; }
+  uint32_t num_symbols() const {
+    return static_cast<uint32_t>(symbols_.size());
+  }
+
+  uint32_t SymbolIndex(hedge::SymbolId s) const {
+    auto it = symbol_index_.find(s);
+    return it == symbol_index_.end() ? kNoSymbol : it->second;
+  }
+  hedge::SymbolId SymbolAt(uint32_t index) const { return symbols_[index]; }
+
+  /// Encodes one letter of the triplet alphabet.
+  strre::Symbol EncodeLetter(uint32_t elder_class, uint32_t symbol_index,
+                             uint32_t younger_class) const {
+    return (elder_class * num_symbols() + symbol_index) * num_classes_ +
+           younger_class;
+  }
+
+  const automata::Dha& dha() const { return dha_; }
+  const std::vector<Bitset>& subsets() const { return subsets_; }
+  const strre::Dfa& equiv() const { return equiv_; }
+  const strre::Nfa& L() const { return language_; }
+  const strre::Dfa& mirror() const { return mirror_; }
+
+  /// Does equivalence class `cls` lie inside F_i1 (elder condition of
+  /// triplet i)? Unconditional triplets accept every class.
+  bool ElderClassOk(size_t triplet, uint32_t cls) const {
+    return elder_ok_[triplet][cls];
+  }
+  bool YoungerClassOk(size_t triplet, uint32_t cls) const {
+    return younger_ok_[triplet][cls];
+  }
+  size_t num_triplets() const { return elder_ok_.size(); }
+
+ private:
+  friend Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
+                                        const automata::DeterminizeOptions&);
+
+  automata::Dha dha_{1, 1, 0, 0};
+  std::vector<Bitset> subsets_;
+  strre::Dfa equiv_;
+  uint32_t num_classes_ = 0;
+  std::vector<hedge::SymbolId> symbols_;
+  std::unordered_map<hedge::SymbolId, uint32_t> symbol_index_;
+  std::vector<std::vector<bool>> elder_ok_;
+  std::vector<std::vector<bool>> younger_ok_;
+  strre::Nfa language_;
+  strre::Dfa mirror_;
+};
+
+/// Theorem 4: compiles a pointed hedge representation. Exponential in the
+/// representation size in the worst case (determinization of M and of N);
+/// the produced artifacts evaluate documents in linear time.
+Result<CompiledPhr> CompilePhr(
+    const phr::Phr& phr,
+    const automata::DeterminizeOptions& options = {});
+
+}  // namespace hedgeq::query
+
+#endif  // HEDGEQ_QUERY_PHR_COMPILE_H_

@@ -1,0 +1,79 @@
+#include "schema/algebra.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "automata/analysis.h"
+#include "automata/dha.h"
+
+namespace hedgeq::schema {
+
+namespace {
+
+// Joint element/variable vocabulary of two schemas.
+void JointVocabulary(const Schema& a, const Schema& b,
+                     std::vector<hedge::SymbolId>* symbols,
+                     std::vector<hedge::VarId>* variables) {
+  *symbols = a.Symbols();
+  std::vector<hedge::SymbolId> sb = b.Symbols();
+  symbols->insert(symbols->end(), sb.begin(), sb.end());
+  std::sort(symbols->begin(), symbols->end());
+  symbols->erase(std::unique(symbols->begin(), symbols->end()),
+                 symbols->end());
+
+  *variables = a.Variables();
+  std::vector<hedge::VarId> vb = b.Variables();
+  variables->insert(variables->end(), vb.begin(), vb.end());
+  std::sort(variables->begin(), variables->end());
+  variables->erase(std::unique(variables->begin(), variables->end()),
+                   variables->end());
+}
+
+}  // namespace
+
+Schema IntersectSchemas(const Schema& a, const Schema& b) {
+  return Schema(
+      automata::PruneNha(automata::IntersectNha(a.nha(), b.nha())));
+}
+
+Schema UnionSchemas(const Schema& a, const Schema& b) {
+  return Schema(automata::UnionNha(a.nha(), b.nha()));
+}
+
+Result<Schema> ComplementSchema(const Schema& a, const Schema& universe_hint,
+                                const automata::DeterminizeOptions& options) {
+  std::vector<hedge::SymbolId> symbols;
+  std::vector<hedge::VarId> variables;
+  JointVocabulary(a, universe_hint, &symbols, &variables);
+
+  auto det = automata::Determinize(a.nha(), options);
+  if (!det.ok()) return det.status();
+  automata::Dha complement = automata::ComplementDha(det->dha);
+  return Schema(automata::DhaToNha(complement, variables, symbols));
+}
+
+Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
+                                 const automata::DeterminizeOptions& options) {
+  Result<Schema> not_b = ComplementSchema(b, a, options);
+  if (!not_b.ok()) return not_b.status();
+  return IntersectSchemas(a, *not_b);
+}
+
+Result<bool> SchemaIncludes(const Schema& a, const Schema& b,
+                            const automata::DeterminizeOptions& options) {
+  Result<Schema> diff = DifferenceSchemas(a, b, options);
+  if (!diff.ok()) return diff.status();
+  return diff->IsEmpty();
+}
+
+Result<bool> SchemasEquivalent(const Schema& a, const Schema& b,
+                               const automata::DeterminizeOptions& options) {
+  Result<bool> ab = SchemaIncludes(a, b, options);
+  if (!ab.ok()) return ab.status();
+  if (!*ab) return false;
+  Result<bool> ba = SchemaIncludes(b, a, options);
+  if (!ba.ok()) return ba.status();
+  return *ba;
+}
+
+}  // namespace hedgeq::schema

@@ -1,0 +1,43 @@
+#ifndef HEDGEQ_SCHEMA_ALGEBRA_H_
+#define HEDGEQ_SCHEMA_ALGEBRA_H_
+
+#include "automata/determinize.h"
+#include "schema/schema.h"
+
+namespace hedgeq::schema {
+
+/// Boolean algebra and decision procedures over schemas (hedge regular
+/// languages are closed under all of these — the property that makes the
+/// RELAX/TREX family composable; Section 2).
+
+/// L(a) ∩ L(b).
+Schema IntersectSchemas(const Schema& a, const Schema& b);
+
+/// L(a) ∪ L(b).
+Schema UnionSchemas(const Schema& a, const Schema& b);
+
+/// Documents over the joint vocabulary of `a` and `universe_hint` that are
+/// NOT valid under `a`. The complement is relative to hedges whose element
+/// names and variables appear in either schema (hedge languages over an
+/// open alphabet have no absolute complement).
+Result<Schema> ComplementSchema(
+    const Schema& a, const Schema& universe_hint,
+    const automata::DeterminizeOptions& options = {});
+
+/// L(a) \ L(b) over their joint vocabulary.
+Result<Schema> DifferenceSchemas(
+    const Schema& a, const Schema& b,
+    const automata::DeterminizeOptions& options = {});
+
+/// L(a) ⊆ L(b)?
+Result<bool> SchemaIncludes(const Schema& a, const Schema& b,
+                            const automata::DeterminizeOptions& options = {});
+
+/// L(a) == L(b)?
+Result<bool> SchemasEquivalent(
+    const Schema& a, const Schema& b,
+    const automata::DeterminizeOptions& options = {});
+
+}  // namespace hedgeq::schema
+
+#endif  // HEDGEQ_SCHEMA_ALGEBRA_H_

@@ -1,0 +1,346 @@
+#include "schema/match_identify.h"
+
+#include <algorithm>
+
+#include "query/evaluator.h"
+#include "strre/ops.h"
+#include "util/check.h"
+
+namespace hedgeq::schema {
+
+using automata::HState;
+using hedge::Hedge;
+using hedge::kNullNode;
+using hedge::NodeId;
+using query::CompiledPhr;
+using strre::Dfa;
+using strre::Nfa;
+
+namespace {
+
+// Shared scaffolding for both constructions.
+struct Builder {
+  const CompiledPhr& compiled;
+  uint32_t num_q;
+  uint32_t num_s_total;  // N states + dead
+  uint32_t num_sym_ext;  // triplet symbols + "other"
+  uint32_t num_classes;
+  std::vector<uint32_t> mu;  // [s][c1][si_ext][c2] flattened
+
+  explicit Builder(const CompiledPhr& c)
+      : compiled(c),
+        num_q(c.dha().num_states()),
+        num_s_total(static_cast<uint32_t>(c.mirror().num_states()) + 1),
+        num_sym_ext(c.num_symbols() + 1),
+        num_classes(c.num_classes()) {
+    const uint32_t dead = num_s_total - 1;
+    mu.assign(static_cast<size_t>(num_s_total) * num_classes * num_sym_ext *
+                  num_classes,
+              dead);
+    for (uint32_t s = 0; s + 1 < num_s_total; ++s) {
+      for (uint32_t c1 = 0; c1 < num_classes; ++c1) {
+        for (uint32_t si = 0; si + 1 < num_sym_ext; ++si) {
+          for (uint32_t c2 = 0; c2 < num_classes; ++c2) {
+            strre::StateId t =
+                compiled.mirror().Next(s, compiled.EncodeLetter(c1, si, c2));
+            MuRef(s, c1, si, c2) = t == strre::kNoState ? dead : t;
+          }
+        }
+      }
+    }
+  }
+
+  uint32_t& MuRef(uint32_t s, uint32_t c1, uint32_t si, uint32_t c2) {
+    return mu[(s * num_classes + c1) * num_sym_ext * num_classes +
+              si * num_classes + c2];
+  }
+  uint32_t Mu(uint32_t s, uint32_t c1, uint32_t si, uint32_t c2) const {
+    return mu[(s * num_classes + c1) * num_sym_ext * num_classes +
+              si * num_classes + c2];
+  }
+
+  uint32_t EncodeState(uint32_t q, uint32_t s, uint32_t si) const {
+    return (q * num_s_total + s) * num_sym_ext + si;
+  }
+  uint32_t EncodeLeaf(uint32_t q) const {
+    return num_q * num_s_total * num_sym_ext + q;
+  }
+  uint32_t NumStates() const {
+    return num_q * num_s_total * num_sym_ext + num_q;
+  }
+  bool IsLeaf(uint32_t state) const {
+    return state >= num_q * num_s_total * num_sym_ext;
+  }
+  uint32_t QOf(uint32_t state) const {
+    return IsLeaf(state) ? state - num_q * num_s_total * num_sym_ext
+                         : state / (num_s_total * num_sym_ext);
+  }
+  uint32_t SOf(uint32_t state) const {
+    return (state / num_sym_ext) % num_s_total;
+  }
+  uint32_t SiOf(uint32_t state) const { return state % num_sym_ext; }
+
+  // The consistency language K_s over state letters: sequences of child
+  // states where every non-leaf child's N-component equals
+  // mu((prefix class, child symbol, suffix class), s). Realized as the
+  // paper's h(Q*) \ union h(C1) Omega h(C2) via one structured bad-word NFA
+  // (guess the suffix class at the violating child, verify it afterwards),
+  // then complemented.
+  Dfa ConsistencyLanguage(uint32_t s) const {
+    const strre::Dfa& equiv = compiled.equiv();
+    const uint32_t ncls = num_classes;
+    Nfa bad;
+    // States: [0, ncls) track the prefix class; verify states encode
+    // (guessed class, class of what has been read since the violation).
+    for (uint32_t c = 0; c < ncls; ++c) bad.AddState(false);
+    auto verify_id = [ncls](uint32_t c2, uint32_t cur) {
+      return ncls + c2 * ncls + cur;
+    };
+    for (uint32_t c2 = 0; c2 < ncls; ++c2) {
+      for (uint32_t cur = 0; cur < ncls; ++cur) {
+        bad.AddState(cur == c2);
+      }
+    }
+    bad.SetStart(equiv.start());
+
+    const uint32_t total_states = NumStates();
+    for (uint32_t letter = 0; letter < total_states; ++letter) {
+      uint32_t qc = QOf(letter);
+      for (uint32_t c = 0; c < ncls; ++c) {
+        strre::StateId cnext = equiv.Next(c, qc);
+        HEDGEQ_CHECK(cnext != strre::kNoState);
+        bad.AddTransition(c, letter, cnext);
+        if (!IsLeaf(letter)) {
+          uint32_t schild = SOf(letter);
+          uint32_t si = SiOf(letter);
+          for (uint32_t c2 = 0; c2 < ncls; ++c2) {
+            if (schild != Mu(s, c, si, c2)) {
+              bad.AddTransition(c, letter, verify_id(c2, equiv.start()));
+            }
+          }
+        }
+        for (uint32_t c2 = 0; c2 < ncls; ++c2) {
+          bad.AddTransition(verify_id(c2, c), letter,
+                            verify_id(c2, cnext));
+        }
+      }
+    }
+
+    std::vector<strre::Symbol> alphabet(total_states);
+    for (uint32_t i = 0; i < total_states; ++i) alphabet[i] = i;
+    return strre::Complement(strre::Determinize(bad), alphabet);
+  }
+
+  // alpha^{-1}(a, q) of the shared DHA M, lifted from Q letters to state
+  // letters by the q-projection homomorphism h (each Q letter fans out to
+  // every state with that q-component). The lift stays deterministic.
+  Dfa LiftedContent(hedge::SymbolId symbol, HState q) const {
+    const automata::Dha& dha = compiled.dha();
+    Dfa out;
+    for (automata::HhState h = 0; h < dha.num_h_states(); ++h) {
+      out.AddState(dha.Assign(symbol, h) == q);
+    }
+    out.SetStart(dha.h_start());
+    const uint32_t total_states = NumStates();
+    for (automata::HhState h = 0; h < dha.num_h_states(); ++h) {
+      for (uint32_t letter = 0; letter < total_states; ++letter) {
+        out.SetTransition(h, letter, dha.HNext(h, QOf(letter)));
+      }
+    }
+    return out;
+  }
+
+  // All q values alpha(a, .) can produce for this symbol (always includes
+  // the sink).
+  std::vector<HState> TargetsOf(hedge::SymbolId symbol) const {
+    const automata::Dha& dha = compiled.dha();
+    std::vector<HState> out = {dha.sink()};
+    auto it = dha.assign_map().find(symbol);
+    if (it != dha.assign_map().end()) {
+      out.insert(out.end(), it->second.begin(), it->second.end());
+    }
+    std::sort(out.begin(), out.end());
+    out.erase(std::unique(out.begin(), out.end()), out.end());
+    return out;
+  }
+};
+
+}  // namespace
+
+MatchIdentifying BuildMatchIdentifying(
+    const CompiledPhr& compiled, std::span<const hedge::SymbolId> symbols,
+    std::span<const hedge::VarId> variables) {
+  Builder b(compiled);
+  MatchIdentifying out;
+  out.compiled_ = &compiled;
+  out.num_q_ = b.num_q;
+  out.num_s_total_ = b.num_s_total;
+  out.num_sym_ext_ = b.num_sym_ext;
+  out.num_classes_ = b.num_classes;
+  out.mu_ = b.mu;
+
+  automata::Nha& nha = out.nha_;
+  nha.AddStates(b.NumStates());
+
+  // Covered symbol set: the requested symbols plus every triplet symbol.
+  std::vector<hedge::SymbolId> all_symbols(symbols.begin(), symbols.end());
+  for (uint32_t i = 0; i < compiled.num_symbols(); ++i) {
+    all_symbols.push_back(compiled.SymbolAt(i));
+  }
+  std::sort(all_symbols.begin(), all_symbols.end());
+  all_symbols.erase(std::unique(all_symbols.begin(), all_symbols.end()),
+                    all_symbols.end());
+
+  // K_s per parent N'-state (including dead: children of unlocatable
+  // regions must carry the dead component too).
+  std::vector<Dfa> consistency;
+  consistency.reserve(b.num_s_total);
+  for (uint32_t s = 0; s < b.num_s_total; ++s) {
+    consistency.push_back(b.ConsistencyLanguage(s));
+  }
+
+  for (hedge::SymbolId a : all_symbols) {
+    uint32_t si = compiled.SymbolIndex(a);
+    uint32_t si_ext = si == CompiledPhr::kNoSymbol ? b.num_sym_ext - 1 : si;
+    for (HState q : b.TargetsOf(a)) {
+      Dfa lifted = b.LiftedContent(a, q);
+      for (uint32_t s = 0; s < b.num_s_total; ++s) {
+        Dfa content =
+            strre::Product(lifted, consistency[s], strre::BoolOp::kAnd);
+        nha.AddRule(a, strre::NfaFromDfa(content),
+                    b.EncodeState(q, s, si_ext));
+      }
+    }
+  }
+
+  for (hedge::VarId x : variables) {
+    nha.AddVariableState(x, b.EncodeLeaf(compiled.dha().VariableState(x)));
+  }
+
+  // F' = K_{s0}: the top-level sequence behaves like children of a parent
+  // whose N-state is the start state of N.
+  uint32_t s0 = compiled.mirror().num_states() == 0
+                    ? b.num_s_total - 1
+                    : compiled.mirror().start();
+  nha.SetFinal(strre::NfaFromDfa(consistency[s0]));
+
+  out.marked_.assign(b.NumStates(), false);
+  for (uint32_t state = 0; state < b.NumStates(); ++state) {
+    if (b.IsLeaf(state)) continue;
+    uint32_t s = b.SOf(state);
+    if (s + 1 < b.num_s_total && compiled.mirror().IsAccepting(s)) {
+      out.marked_[state] = true;
+    }
+  }
+  return out;
+}
+
+MatchIdentifying BuildMatchIdentifyingPathExpr(
+    const CompiledPhr& compiled, std::span<const hedge::SymbolId> symbols,
+    std::span<const hedge::VarId> variables) {
+  Builder b(compiled);
+  HEDGEQ_CHECK_MSG(b.num_classes == 1,
+                   "the simplified construction requires a path expression "
+                   "(trivial equivalence)");
+  MatchIdentifying out;
+  out.compiled_ = &compiled;
+  out.num_q_ = b.num_q;
+  out.num_s_total_ = b.num_s_total;
+  out.num_sym_ext_ = b.num_sym_ext;
+  out.num_classes_ = 1;
+  out.mu_ = b.mu;
+
+  automata::Nha& nha = out.nha_;
+  nha.AddStates(b.NumStates());
+
+  std::vector<hedge::SymbolId> all_symbols(symbols.begin(), symbols.end());
+  for (uint32_t i = 0; i < compiled.num_symbols(); ++i) {
+    all_symbols.push_back(compiled.SymbolAt(i));
+  }
+  std::sort(all_symbols.begin(), all_symbols.end());
+  all_symbols.erase(std::unique(all_symbols.begin(), all_symbols.end()),
+                    all_symbols.end());
+
+  // beta^{-1}(a, (s, a)) = ({(s', a') : mu(a', s) = s'} u {bottom})^*:
+  // a single-state self-loop NFA per parent N-state — no subtraction, no
+  // class product (Section 8's simplification).
+  const uint32_t total_states = b.NumStates();
+  auto star_content = [&](uint32_t s) {
+    Nfa content;
+    strre::StateId only = content.AddState(true);
+    for (uint32_t letter = 0; letter < total_states; ++letter) {
+      if (b.IsLeaf(letter) ||
+          b.SOf(letter) == b.Mu(s, 0, b.SiOf(letter), 0)) {
+        content.AddTransition(only, letter, only);
+      }
+    }
+    return content;
+  };
+
+  for (hedge::SymbolId a : all_symbols) {
+    uint32_t si = compiled.SymbolIndex(a);
+    uint32_t si_ext = si == CompiledPhr::kNoSymbol ? b.num_sym_ext - 1 : si;
+    for (HState q : b.TargetsOf(a)) {
+      for (uint32_t s = 0; s < b.num_s_total; ++s) {
+        nha.AddRule(a, star_content(s), b.EncodeState(q, s, si_ext));
+      }
+    }
+  }
+  for (hedge::VarId x : variables) {
+    nha.AddVariableState(x, b.EncodeLeaf(compiled.dha().VariableState(x)));
+  }
+  uint32_t s0 = compiled.mirror().num_states() == 0
+                    ? b.num_s_total - 1
+                    : compiled.mirror().start();
+  nha.SetFinal(star_content(s0));
+
+  out.marked_.assign(b.NumStates(), false);
+  for (uint32_t state = 0; state < b.NumStates(); ++state) {
+    if (b.IsLeaf(state)) continue;
+    uint32_t s = b.SOf(state);
+    if (s + 1 < b.num_s_total && compiled.mirror().IsAccepting(s)) {
+      out.marked_[state] = true;
+    }
+  }
+  return out;
+}
+
+std::vector<uint32_t> MatchIdentifying::UniqueRunStates(
+    const Hedge& doc) const {
+  HEDGEQ_CHECK(compiled_ != nullptr);
+  const CompiledPhr& compiled = *compiled_;
+  std::vector<HState> qstates = compiled.dha().Run(doc);
+  query::SiblingClasses classes =
+      query::ComputeSiblingClasses(doc, qstates, compiled.equiv());
+
+  std::vector<uint32_t> sstate(doc.num_nodes(), dead_s());
+  std::vector<uint32_t> out(doc.num_nodes(), 0);
+  uint32_t s0 = compiled.mirror().num_states() == 0
+                    ? dead_s()
+                    : compiled.mirror().start();
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.label(n).kind != hedge::LabelKind::kSymbol) {
+      out[n] = EncodeLeaf(qstates[n]);
+      continue;
+    }
+    NodeId parent = doc.parent(n);
+    uint32_t sp = parent == kNullNode ? s0 : sstate[parent];
+    uint32_t si = compiled.SymbolIndex(doc.label(n).id);
+    uint32_t si_ext = si == CompiledPhr::kNoSymbol ? num_sym_ext_ - 1 : si;
+    uint32_t s = MuTotal(sp, classes.elder[n], si_ext, classes.younger[n]);
+    sstate[n] = s;
+    out[n] = EncodeState(qstates[n], s, si_ext);
+  }
+  return out;
+}
+
+std::vector<bool> MatchIdentifying::UniqueRunMarks(const Hedge& doc) const {
+  std::vector<uint32_t> states = UniqueRunStates(doc);
+  std::vector<bool> out(doc.num_nodes(), false);
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    out[n] = marked_[states[n]];
+  }
+  return out;
+}
+
+}  // namespace hedgeq::schema

@@ -1,0 +1,111 @@
+#ifndef HEDGEQ_SCHEMA_MATCH_IDENTIFY_H_
+#define HEDGEQ_SCHEMA_MATCH_IDENTIFY_H_
+
+#include <span>
+#include <vector>
+
+#include "automata/nha.h"
+#include "hedge/hedge.h"
+#include "query/phr_compile.h"
+
+namespace hedgeq::schema {
+
+/// Theorem 5: the match-identifying non-deterministic hedge automaton
+/// M-up-e2. Its states are triples (q, s, a) — a state q of the shared
+/// deterministic automaton M, a state s of the reverse-simulated string
+/// automaton N' (we complete N with an explicit dead state so unlocatable
+/// regions still carry a state), and the node's symbol (as a dense triplet
+/// index, with one extra "other" bucket for symbols outside the triplet
+/// alphabet) — plus leaf states (q, s-bot, a-bot). For any hedge over the
+/// covered vocabulary there is exactly one successful computation, and a
+/// node is located by the pointed hedge representation iff that computation
+/// assigns it a marked state (s in S_fin).
+class MatchIdentifying {
+ public:
+  const automata::Nha& nha() const { return nha_; }
+  const std::vector<bool>& marked() const { return marked_; }
+  /// Consumes the automaton (invalidates nha()/UniqueRun on this object).
+  automata::Nha TakeNha() { return std::move(nha_); }
+
+  uint32_t num_q() const { return num_q_; }
+  /// N-states plus the dead completion state (last index).
+  uint32_t num_s_total() const { return num_s_total_; }
+  uint32_t dead_s() const { return num_s_total_ - 1; }
+  /// Triplet symbols plus the trailing "other" bucket.
+  uint32_t num_sym_ext() const { return num_sym_ext_; }
+
+  uint32_t EncodeState(uint32_t q, uint32_t s, uint32_t si) const {
+    return (q * num_s_total_ + s) * num_sym_ext_ + si;
+  }
+  uint32_t EncodeLeaf(uint32_t q) const {
+    return num_q_ * num_s_total_ * num_sym_ext_ + q;
+  }
+  bool IsLeafState(uint32_t state) const {
+    return state >= num_q_ * num_s_total_ * num_sym_ext_;
+  }
+  uint32_t QOf(uint32_t state) const {
+    return IsLeafState(state)
+               ? state - num_q_ * num_s_total_ * num_sym_ext_
+               : state / (num_s_total_ * num_sym_ext_);
+  }
+  uint32_t SOf(uint32_t state) const {
+    return (state / num_sym_ext_) % num_s_total_;
+  }
+
+  /// mu of the completed N on an extended letter (elder class, extended
+  /// symbol index, younger class).
+  uint32_t MuTotal(uint32_t s, uint32_t c1, uint32_t si_ext,
+                   uint32_t c2) const {
+    return mu_[(s * num_classes_ + c1) * num_sym_ext_ * num_classes_ +
+               si_ext * num_classes_ + c2];
+  }
+
+  /// The unique successful computation's state for every node (test and
+  /// debugging aid; computed directly from the Theorem 4 artifacts rather
+  /// than by simulating the NHA).
+  std::vector<uint32_t> UniqueRunStates(const hedge::Hedge& doc) const;
+
+  /// Marks of the unique run: true iff the node's state is marked.
+  std::vector<bool> UniqueRunMarks(const hedge::Hedge& doc) const;
+
+ private:
+  friend MatchIdentifying BuildMatchIdentifying(
+      const query::CompiledPhr& compiled,
+      std::span<const hedge::SymbolId> symbols,
+      std::span<const hedge::VarId> variables);
+  friend MatchIdentifying BuildMatchIdentifyingPathExpr(
+      const query::CompiledPhr& compiled,
+      std::span<const hedge::SymbolId> symbols,
+      std::span<const hedge::VarId> variables);
+
+  automata::Nha nha_;
+  std::vector<bool> marked_;
+  uint32_t num_q_ = 0;
+  uint32_t num_s_total_ = 0;
+  uint32_t num_sym_ext_ = 0;
+  uint32_t num_classes_ = 0;
+  std::vector<uint32_t> mu_;  // completed transition table of N
+  const query::CompiledPhr* compiled_ = nullptr;  // borrowed for UniqueRun
+};
+
+/// Builds M-up-e2 covering the given document symbols and variables (the
+/// triplet symbols are always covered). The compiled artifacts must outlive
+/// the result.
+MatchIdentifying BuildMatchIdentifying(
+    const query::CompiledPhr& compiled,
+    std::span<const hedge::SymbolId> symbols,
+    std::span<const hedge::VarId> variables);
+
+/// The simplified construction for traditional path expressions (end of
+/// Section 8): the equivalence relation is trivial, so content models are
+/// plain star languages and the subtraction machinery disappears. Only
+/// valid when the compiled representation came from a path expression
+/// (every triplet unconditional). Used by the E7 ablation.
+MatchIdentifying BuildMatchIdentifyingPathExpr(
+    const query::CompiledPhr& compiled,
+    std::span<const hedge::SymbolId> symbols,
+    std::span<const hedge::VarId> variables);
+
+}  // namespace hedgeq::schema
+
+#endif  // HEDGEQ_SCHEMA_MATCH_IDENTIFY_H_

@@ -1,0 +1,199 @@
+#include "schema/schema.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "strre/ops.h"
+#include "strre/regex.h"
+#include "util/strings.h"
+
+namespace hedgeq::schema {
+
+using automata::HState;
+using automata::Nha;
+
+std::vector<hedge::SymbolId> Schema::Symbols() const {
+  std::vector<hedge::SymbolId> out;
+  for (const Nha::Rule& rule : nha_.rules()) out.push_back(rule.symbol);
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+std::vector<hedge::VarId> Schema::Variables() const {
+  std::vector<hedge::VarId> out;
+  for (const auto& [x, states] : nha_.var_map()) {
+    (void)states;
+    out.push_back(x);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+namespace {
+
+struct Declaration {
+  std::string lhs;
+  std::string rhs;
+  size_t line;
+};
+
+}  // namespace
+
+Result<Schema> ParseSchema(std::string_view text, hedge::Vocabulary& vocab) {
+  // Split into declarations on newlines and ';'.
+  std::vector<Declaration> decls;
+  size_t line_number = 0;
+  for (const std::string& raw_line : StrSplit(text, '\n')) {
+    ++line_number;
+    for (const std::string& piece : StrSplit(raw_line, ';')) {
+      std::string_view stripped = StripAsciiWhitespace(piece);
+      if (stripped.empty() || stripped[0] == '#') continue;
+      size_t eq = stripped.find('=');
+      if (eq == std::string_view::npos) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_number, ": expected 'name = ...', got: ",
+                   std::string(stripped)));
+      }
+      Declaration d;
+      d.lhs = std::string(StripAsciiWhitespace(stripped.substr(0, eq)));
+      d.rhs = std::string(StripAsciiWhitespace(stripped.substr(eq + 1)));
+      d.line = line_number;
+      if (d.lhs.empty() || d.rhs.empty()) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_number, ": empty side of '='"));
+      }
+      decls.push_back(std::move(d));
+    }
+  }
+  if (decls.empty()) {
+    return Status::InvalidArgument("schema has no declarations");
+  }
+
+  // First pass: allocate one state per nonterminal.
+  Nha nha;
+  std::unordered_map<std::string, HState> nonterminals;
+  bool has_start = false;
+  for (const Declaration& d : decls) {
+    if (d.lhs == "start") {
+      has_start = true;
+      continue;
+    }
+    if (!nonterminals.contains(d.lhs)) {
+      nonterminals.emplace(d.lhs, nha.AddState());
+    }
+  }
+  if (!has_start) {
+    return Status::InvalidArgument("schema needs a 'start = ...' declaration");
+  }
+
+  // Resolver mapping nonterminal names inside regexes to their states;
+  // unknown names are an error, reported via a sentinel collection pass.
+  std::vector<std::string> unknown;
+  auto resolve = [&](std::string_view name) -> strre::Symbol {
+    auto it = nonterminals.find(std::string(name));
+    if (it == nonterminals.end()) {
+      unknown.emplace_back(name);
+      return 0;
+    }
+    return it->second;
+  };
+
+  // Second pass: build rules and the final language.
+  strre::Regex start_regex = nullptr;
+  for (const Declaration& d : decls) {
+    if (d.lhs == "start") {
+      Result<strre::Regex> r = strre::ParseRegex(d.rhs, resolve);
+      if (!r.ok()) {
+        return Status::InvalidArgument(
+            StrCat("line ", d.line, ": ", r.status().message()));
+      }
+      start_regex = start_regex == nullptr
+                        ? *r
+                        : strre::Alt(start_regex, *r);
+      continue;
+    }
+    HState target = nonterminals.at(d.lhs);
+    if (d.rhs[0] == '$') {
+      std::string_view var = StripAsciiWhitespace(
+          std::string_view(d.rhs).substr(1));
+      if (var.empty()) {
+        return Status::InvalidArgument(
+            StrCat("line ", d.line, ": '$' needs a variable name"));
+      }
+      nha.AddVariableState(vocab.variables.Intern(var), target);
+      continue;
+    }
+    // Element rule: symbol '<' regex '>'.
+    size_t open = d.rhs.find('<');
+    if (open == std::string::npos || d.rhs.back() != '>') {
+      return Status::InvalidArgument(
+          StrCat("line ", d.line,
+                 ": element rules have the form symbol<content>: ", d.rhs));
+    }
+    std::string_view symbol_name =
+        StripAsciiWhitespace(std::string_view(d.rhs).substr(0, open));
+    if (symbol_name.empty()) {
+      return Status::InvalidArgument(
+          StrCat("line ", d.line, ": missing element name"));
+    }
+    std::string_view content_text =
+        StripAsciiWhitespace(std::string_view(d.rhs).substr(
+            open + 1, d.rhs.size() - open - 2));
+    strre::Regex content;
+    if (content_text.empty()) {
+      content = strre::Epsilon();
+    } else {
+      Result<strre::Regex> r = strre::ParseRegex(content_text, resolve);
+      if (!r.ok()) {
+        return Status::InvalidArgument(
+            StrCat("line ", d.line, ": ", r.status().message()));
+      }
+      content = *r;
+    }
+    nha.AddRule(vocab.symbols.Intern(symbol_name),
+                strre::CompileRegex(content), target);
+  }
+  if (!unknown.empty()) {
+    return Status::InvalidArgument(
+        StrCat("unknown nonterminal(s): ", StrJoin(unknown, ", ")));
+  }
+  nha.SetFinal(strre::CompileRegex(start_regex));
+  return Schema(std::move(nha));
+}
+
+std::string FormatSchema(const Schema& schema,
+                         const hedge::Vocabulary& vocab) {
+  const Nha& nha = schema.nha();
+  auto nonterminal = [](strre::Symbol q) { return StrCat("N", q); };
+
+  std::string out;
+  out += "start = " +
+         strre::RegexToString(strre::NfaToRegex(nha.final_nfa()),
+                              nonterminal) +
+         "\n";
+  for (const Nha::Rule& rule : nha.rules()) {
+    strre::Regex content = strre::NfaToRegex(rule.content);
+    std::string body;
+    if (content->kind() == strre::RegexKind::kEpsilon) {
+      body = "";
+    } else if (content->kind() == strre::RegexKind::kEmptySet) {
+      continue;  // a rule that can never fire
+    } else {
+      body = strre::RegexToString(content, nonterminal);
+    }
+    out += StrCat(nonterminal(rule.target), " = ",
+                  vocab.symbols.NameOf(rule.symbol), "<", body, ">\n");
+  }
+  for (const auto& [x, states] : nha.var_map()) {
+    for (HState q : states) {
+      out += StrCat(nonterminal(q), " = $", vocab.variables.NameOf(x), "\n");
+    }
+  }
+  if (!nha.subst_map().empty()) {
+    out += "# note: substitution-symbol states omitted\n";
+  }
+  return out;
+}
+
+}  // namespace hedgeq::schema

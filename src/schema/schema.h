@@ -1,0 +1,62 @@
+#ifndef HEDGEQ_SCHEMA_SCHEMA_H_
+#define HEDGEQ_SCHEMA_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "automata/nha.h"
+#include "hedge/hedge.h"
+#include "util/status.h"
+
+namespace hedgeq::schema {
+
+/// A schema denotes a hedge regular language, exactly what RELAX/TREX/XML
+/// Schema denote (Section 2); internally it is a non-deterministic hedge
+/// automaton whose states correspond to the grammar's nonterminals.
+class Schema {
+ public:
+  explicit Schema(automata::Nha nha) : nha_(std::move(nha)) {}
+
+  const automata::Nha& nha() const { return nha_; }
+  automata::Nha& mutable_nha() { return nha_; }
+
+  /// Document validity = hedge automaton acceptance.
+  bool Validates(const hedge::Hedge& doc) const { return nha_.Accepts(doc); }
+
+  /// True when no document satisfies the schema.
+  bool IsEmpty() const { return automata::IsEmptyNha(nha_); }
+
+  /// Element symbols appearing in any rule.
+  std::vector<hedge::SymbolId> Symbols() const;
+  /// Variables appearing in iota.
+  std::vector<hedge::VarId> Variables() const;
+
+ private:
+  automata::Nha nha_;
+};
+
+/// Parses a RELAX-flavoured grammar, one declaration per line (or ';'):
+///   start = <regex over nonterminals>
+///   NonTerm = symbol<regex over nonterminals>   -- element rule
+///   NonTerm = symbol<>                          -- empty element
+///   NonTerm = $var                              -- text rule
+/// A nonterminal may have several rules (their languages union). Lines
+/// starting with '#' are comments. Example:
+///   start   = Article
+///   Article = article<Title Section*>
+///   Title   = title<Text>
+///   Text    = $#text
+///   Section = section<Title (Para|Figure)*>
+///   Para    = para<Text?>
+///   Figure  = figure<>
+Result<Schema> ParseSchema(std::string_view text, hedge::Vocabulary& vocab);
+
+/// Renders a schema back to the grammar syntax (states become
+/// nonterminals N0, N1, ...; content models via regex state elimination).
+/// The output reparses to an equivalent schema; inferred (transformed)
+/// schemas can be large and are best pruned first.
+std::string FormatSchema(const Schema& schema, const hedge::Vocabulary& vocab);
+
+}  // namespace hedgeq::schema
+
+#endif  // HEDGEQ_SCHEMA_SCHEMA_H_

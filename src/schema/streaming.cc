@@ -1,0 +1,49 @@
+#include "schema/streaming.h"
+
+namespace hedgeq::schema {
+
+namespace {
+
+// Adapts SAX events onto the streaming automaton run.
+class ValidatorHandler : public xml::XmlHandler {
+ public:
+  explicit ValidatorHandler(const automata::Dha& dha) : run_(dha) {}
+
+  Status StartElement(hedge::SymbolId name) override {
+    run_.StartElement(name);
+    return Status::Ok();
+  }
+  Status EndElement(hedge::SymbolId name) override {
+    run_.EndElement(name);
+    return Status::Ok();
+  }
+  Status Text(hedge::VarId variable, std::string_view) override {
+    run_.Text(variable);
+    return Status::Ok();
+  }
+
+  bool Accepted() const { return run_.Accepted(); }
+
+ private:
+  automata::StreamingDhaRun run_;
+};
+
+}  // namespace
+
+Result<StreamingValidator> StreamingValidator::Create(
+    const Schema& schema, const automata::DeterminizeOptions& options) {
+  auto det = automata::Determinize(schema.nha(), options);
+  if (!det.ok()) return det.status();
+  return StreamingValidator(std::move(det->dha));
+}
+
+Result<bool> StreamingValidator::Validate(
+    std::string_view xml_text, hedge::Vocabulary& vocab,
+    const xml::XmlParseOptions& options) const {
+  ValidatorHandler handler(*dha_);
+  Status parse = xml::ParseXmlStream(xml_text, vocab, handler, options);
+  if (!parse.ok()) return parse;
+  return handler.Accepted();
+}
+
+}  // namespace hedgeq::schema

@@ -1,0 +1,40 @@
+#ifndef HEDGEQ_SCHEMA_STREAMING_H_
+#define HEDGEQ_SCHEMA_STREAMING_H_
+
+#include <memory>
+#include <string_view>
+
+#include "automata/determinize.h"
+#include "automata/streaming.h"
+#include "schema/schema.h"
+#include "xml/xml.h"
+
+namespace hedgeq::schema {
+
+/// Streaming schema validation: determinize once, then validate XML text of
+/// any size in O(element depth) memory — no tree is built. The RELAX-style
+/// use case of hedge automata.
+class StreamingValidator {
+ public:
+  /// Determinizes the schema (worst-case exponential preprocessing; real
+  /// schemas are small — experiment E3).
+  static Result<StreamingValidator> Create(
+      const Schema& schema, const automata::DeterminizeOptions& options = {});
+
+  /// Parses and validates in one pass. kInvalidArgument for malformed XML;
+  /// otherwise the validity verdict.
+  Result<bool> Validate(std::string_view xml_text, hedge::Vocabulary& vocab,
+                        const xml::XmlParseOptions& options = {}) const;
+
+  const automata::Dha& dha() const { return *dha_; }
+
+ private:
+  explicit StreamingValidator(automata::Dha dha)
+      : dha_(std::make_shared<automata::Dha>(std::move(dha))) {}
+
+  std::shared_ptr<const automata::Dha> dha_;
+};
+
+}  // namespace hedgeq::schema
+
+#endif  // HEDGEQ_SCHEMA_STREAMING_H_

@@ -1,0 +1,118 @@
+#include "strre/automaton.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+
+namespace hedgeq::strre {
+
+StateId Nfa::AddState(bool accepting) {
+  StateId id = static_cast<StateId>(accepting_.size());
+  transitions_.emplace_back();
+  epsilons_.emplace_back();
+  accepting_.push_back(accepting);
+  if (start_ == kNoState) start_ = id;
+  return id;
+}
+
+void Nfa::AddTransition(StateId from, Symbol symbol, StateId to) {
+  HEDGEQ_CHECK(from < num_states() && to < num_states());
+  transitions_[from].push_back({symbol, to});
+}
+
+void Nfa::AddEpsilon(StateId from, StateId to) {
+  HEDGEQ_CHECK(from < num_states() && to < num_states());
+  epsilons_[from].push_back(to);
+}
+
+void Nfa::SetAccepting(StateId s, bool accepting) {
+  HEDGEQ_CHECK(s < num_states());
+  accepting_[s] = accepting;
+}
+
+void Nfa::EpsilonClosure(Bitset& states) const {
+  std::vector<StateId> stack = states.ToVector();
+  while (!stack.empty()) {
+    StateId s = stack.back();
+    stack.pop_back();
+    for (StateId t : epsilons_[s]) {
+      if (!states.Test(t)) {
+        states.Set(t);
+        stack.push_back(t);
+      }
+    }
+  }
+}
+
+bool Nfa::Accepts(std::span<const Symbol> word) const {
+  if (num_states() == 0 || start_ == kNoState) return false;
+  Bitset current(num_states());
+  current.Set(start_);
+  EpsilonClosure(current);
+  for (Symbol a : word) {
+    Bitset next(num_states());
+    for (uint32_t s : current.ToVector()) {
+      for (const Transition& t : transitions_[s]) {
+        if (t.symbol == a) next.Set(t.to);
+      }
+    }
+    EpsilonClosure(next);
+    current = std::move(next);
+    if (current.None()) return false;
+  }
+  for (uint32_t s : current.ToVector()) {
+    if (accepting_[s]) return true;
+  }
+  return false;
+}
+
+std::vector<Symbol> Nfa::AlphabetInUse() const {
+  std::vector<Symbol> out;
+  for (const auto& ts : transitions_) {
+    for (const Transition& t : ts) out.push_back(t.symbol);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+StateId Dfa::AddState(bool accepting) {
+  StateId id = static_cast<StateId>(accepting_.size());
+  transitions_.emplace_back();
+  accepting_.push_back(accepting);
+  if (start_ == kNoState) start_ = id;
+  return id;
+}
+
+void Dfa::SetTransition(StateId from, Symbol symbol, StateId to) {
+  HEDGEQ_CHECK(from < num_states() && to < num_states());
+  transitions_[from][symbol] = to;
+}
+
+StateId Dfa::Next(StateId s, Symbol symbol) const {
+  if (s == kNoState) return kNoState;
+  const auto& map = transitions_[s];
+  auto it = map.find(symbol);
+  return it == map.end() ? kNoState : it->second;
+}
+
+StateId Dfa::Run(std::span<const Symbol> word) const {
+  StateId s = start_;
+  for (Symbol a : word) {
+    s = Next(s, a);
+    if (s == kNoState) return kNoState;
+  }
+  return s;
+}
+
+std::vector<Symbol> Dfa::AlphabetInUse() const {
+  std::vector<Symbol> out;
+  for (const auto& ts : transitions_) {
+    for (const auto& [symbol, to] : ts) out.push_back(symbol);
+  }
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace hedgeq::strre

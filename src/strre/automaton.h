@@ -1,0 +1,109 @@
+#ifndef HEDGEQ_STRRE_AUTOMATON_H_
+#define HEDGEQ_STRRE_AUTOMATON_H_
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "strre/regex.h"
+#include "util/bitset.h"
+
+namespace hedgeq::strre {
+
+/// Dense automaton state id.
+using StateId = uint32_t;
+
+/// Sentinel for "no state" / the implicit dead (rejecting sink) state of a
+/// DFA whose transition table omits an entry.
+inline constexpr StateId kNoState = UINT32_MAX;
+
+/// Non-deterministic finite automaton with epsilon moves over a generic
+/// symbol alphabet. States are created through AddState and are dense.
+class Nfa {
+ public:
+  struct Transition {
+    Symbol symbol;
+    StateId to;
+  };
+
+  Nfa() = default;
+
+  /// Adds a state; the first state added becomes the start state by default.
+  StateId AddState(bool accepting = false);
+
+  void AddTransition(StateId from, Symbol symbol, StateId to);
+  void AddEpsilon(StateId from, StateId to);
+  void SetStart(StateId s) { start_ = s; }
+  void SetAccepting(StateId s, bool accepting);
+
+  StateId start() const { return start_; }
+  size_t num_states() const { return accepting_.size(); }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+  const std::vector<Transition>& TransitionsFrom(StateId s) const {
+    return transitions_[s];
+  }
+  const std::vector<StateId>& EpsilonsFrom(StateId s) const {
+    return epsilons_[s];
+  }
+
+  /// Expands `states` to its epsilon closure in place.
+  void EpsilonClosure(Bitset& states) const;
+
+  /// Membership by direct subset simulation (no determinization).
+  bool Accepts(std::span<const Symbol> word) const;
+
+  /// All symbols appearing on any transition, deduplicated and sorted.
+  std::vector<Symbol> AlphabetInUse() const;
+
+ private:
+  std::vector<std::vector<Transition>> transitions_;
+  std::vector<std::vector<StateId>> epsilons_;
+  std::vector<bool> accepting_;
+  StateId start_ = kNoState;
+};
+
+/// Deterministic finite automaton over a generic alphabet. Transitions not
+/// present in the table implicitly lead to a dead rejecting sink; Next
+/// reports this as kNoState. Use ops.h/Complete to materialize the sink.
+class Dfa {
+ public:
+  Dfa() = default;
+
+  StateId AddState(bool accepting = false);
+  void SetStart(StateId s) { start_ = s; }
+  void SetAccepting(StateId s, bool accepting) { accepting_[s] = accepting; }
+  void SetTransition(StateId from, Symbol symbol, StateId to);
+
+  StateId start() const { return start_; }
+  size_t num_states() const { return accepting_.size(); }
+  bool IsAccepting(StateId s) const { return accepting_[s]; }
+
+  /// Successor of `s` on `symbol`; kNoState when the transition is absent
+  /// (implicit dead sink) or when s is kNoState itself.
+  StateId Next(StateId s, Symbol symbol) const;
+
+  /// State reached from the start on `word` (kNoState if the run dies).
+  StateId Run(std::span<const Symbol> word) const;
+
+  bool Accepts(std::span<const Symbol> word) const {
+    StateId s = Run(word);
+    return s != kNoState && accepting_[s];
+  }
+
+  const std::unordered_map<Symbol, StateId>& TransitionsFrom(StateId s) const {
+    return transitions_[s];
+  }
+
+  /// All symbols appearing on any transition, deduplicated and sorted.
+  std::vector<Symbol> AlphabetInUse() const;
+
+ private:
+  std::vector<std::unordered_map<Symbol, StateId>> transitions_;
+  std::vector<bool> accepting_;
+  StateId start_ = kNoState;
+};
+
+}  // namespace hedgeq::strre
+
+#endif  // HEDGEQ_STRRE_AUTOMATON_H_

@@ -1,0 +1,95 @@
+#ifndef HEDGEQ_STRRE_OPS_H_
+#define HEDGEQ_STRRE_OPS_H_
+
+#include <functional>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "strre/automaton.h"
+#include "strre/regex.h"
+
+namespace hedgeq::strre {
+
+/// Thompson construction: NFA accepting L(e).
+Nfa CompileRegex(const Regex& e);
+
+/// Subset construction. The result keeps the dead sink implicit (absent
+/// transitions reject); only reachable, useful subsets become states.
+Dfa Determinize(const Nfa& nfa);
+
+/// Makes the transition function total over `alphabet` by materializing an
+/// explicit rejecting sink (if any transition was missing).
+Dfa Complete(const Dfa& dfa, std::span<const Symbol> alphabet);
+
+/// DFA for alphabet^* \ L(dfa).
+Dfa Complement(const Dfa& dfa, std::span<const Symbol> alphabet);
+
+/// Moore partition-refinement minimization over `alphabet`. The result is
+/// the unique minimal DFA (up to naming) with the sink kept implicit.
+Dfa Minimize(const Dfa& dfa, std::span<const Symbol> alphabet);
+
+/// Language-level boolean combination of two DFAs by product construction.
+enum class BoolOp { kAnd, kOr, kDiff };
+Dfa Product(const Dfa& a, const Dfa& b, BoolOp op);
+
+/// Synchronous product of two NFAs (epsilon moves interleaved): accepts
+/// L(a) ∩ L(b). State count is |a|·|b|.
+Nfa IntersectNfa(const Nfa& a, const Nfa& b);
+
+/// NFA combinators (Thompson-style glue; inputs are copied in).
+Nfa UnionNfa(const Nfa& a, const Nfa& b);
+Nfa ConcatNfa(const Nfa& a, const Nfa& b);
+Nfa StarNfa(const Nfa& a);
+/// Views a DFA as an NFA.
+Nfa NfaFromDfa(const Dfa& d);
+/// NFA for the mirror image { w_k...w_1 | w_1...w_k in L(a) }.
+Nfa ReverseNfa(const Nfa& a);
+
+/// String homomorphism by symbol substitution-with-sets: every transition on
+/// symbol s is replaced by one transition per element of image(s). With
+/// singleton images this is a plain relabeling homomorphism; used for the
+/// map h of Theorem 5 and xi of Theorem 4.
+Nfa SubstituteSets(const Nfa& a,
+                   const std::function<std::vector<Symbol>(Symbol)>& image);
+
+/// True when some word w1...wk with wi in choices[i] is accepted: subset
+/// simulation where every position offers a set of letters.
+bool AcceptsChoices(const Nfa& nfa,
+                    const std::vector<std::vector<Symbol>>& choices);
+
+/// True when the automaton accepts no string.
+bool IsEmpty(const Dfa& dfa);
+bool IsEmpty(const Nfa& nfa);
+
+/// A shortest accepted string, or nullopt when the language is empty.
+std::optional<std::vector<Symbol>> ShortestWitness(const Dfa& dfa);
+
+/// Language equivalence over `alphabet`.
+bool Equivalent(const Dfa& a, const Dfa& b, std::span<const Symbol> alphabet);
+
+/// Convenience: regex -> minimal DFA over `alphabet`.
+Dfa MinimalDfaOfRegex(const Regex& e, std::span<const Symbol> alphabet);
+
+/// A regex denoting L(nfa), by GNFA state elimination. Worst-case
+/// exponential output size; intended for presenting small automata (e.g.
+/// inferred schema content models) to humans.
+Regex NfaToRegex(const Nfa& nfa);
+
+/// Synchronous product of many DFAs, with a transition function made total
+/// over `alphabet`. Each product state is simultaneously a state of every
+/// component (dead components included), so two strings reach the same
+/// product state iff no component distinguishes any right-extension of them:
+/// the product states are exactly the classes of the right-invariant
+/// equivalence of Theorem 4 that saturates every component language.
+struct MultiDfa {
+  Dfa dfa;
+  /// component_accepts[i][s]: component i accepts at product state s.
+  std::vector<std::vector<bool>> component_accepts;
+};
+MultiDfa ProductAll(std::span<const Dfa> components,
+                    std::span<const Symbol> alphabet);
+
+}  // namespace hedgeq::strre
+
+#endif  // HEDGEQ_STRRE_OPS_H_

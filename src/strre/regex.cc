@@ -1,0 +1,479 @@
+#include "strre/regex.h"
+
+#include <cctype>
+
+#include "util/strings.h"
+
+namespace hedgeq::strre {
+
+namespace {
+
+Regex Make(RegexKind kind, Symbol symbol, Regex left, Regex right) {
+  return std::make_shared<const RegexNode>(kind, symbol, std::move(left),
+                                           std::move(right));
+}
+
+}  // namespace
+
+Regex EmptySet() {
+  static const Regex kEmpty = Make(RegexKind::kEmptySet, 0, nullptr, nullptr);
+  return kEmpty;
+}
+
+Regex Epsilon() {
+  static const Regex kEps = Make(RegexKind::kEpsilon, 0, nullptr, nullptr);
+  return kEps;
+}
+
+Regex Sym(Symbol s) { return Make(RegexKind::kSymbol, s, nullptr, nullptr); }
+
+Regex Concat(Regex e1, Regex e2) {
+  if (e1->kind() == RegexKind::kEmptySet || e2->kind() == RegexKind::kEmptySet)
+    return EmptySet();
+  if (e1->kind() == RegexKind::kEpsilon) return e2;
+  if (e2->kind() == RegexKind::kEpsilon) return e1;
+  return Make(RegexKind::kConcat, 0, std::move(e1), std::move(e2));
+}
+
+Regex ConcatAll(const std::vector<Regex>& es) {
+  Regex out = Epsilon();
+  for (const Regex& e : es) out = Concat(out, e);
+  return out;
+}
+
+Regex Alt(Regex e1, Regex e2) {
+  if (e1->kind() == RegexKind::kEmptySet) return e2;
+  if (e2->kind() == RegexKind::kEmptySet) return e1;
+  return Make(RegexKind::kUnion, 0, std::move(e1), std::move(e2));
+}
+
+Regex AltAll(const std::vector<Regex>& es) {
+  Regex out = EmptySet();
+  for (const Regex& e : es) out = Alt(out, e);
+  return out;
+}
+
+Regex Star(Regex e) {
+  if (e->kind() == RegexKind::kEmptySet || e->kind() == RegexKind::kEpsilon)
+    return Epsilon();
+  if (e->kind() == RegexKind::kStar) return e;
+  return Make(RegexKind::kStar, 0, std::move(e), nullptr);
+}
+
+Regex Plus(Regex e) {
+  if (e->kind() == RegexKind::kEmptySet) return EmptySet();
+  if (e->kind() == RegexKind::kEpsilon) return Epsilon();
+  return Make(RegexKind::kPlus, 0, std::move(e), nullptr);
+}
+
+Regex Optional(Regex e) {
+  if (e->kind() == RegexKind::kEmptySet || e->kind() == RegexKind::kEpsilon)
+    return Epsilon();
+  return Make(RegexKind::kOptional, 0, std::move(e), nullptr);
+}
+
+Regex Literal(const std::vector<Symbol>& symbols) {
+  Regex out = Epsilon();
+  for (Symbol s : symbols) out = Concat(out, Sym(s));
+  return out;
+}
+
+size_t RegexSize(const Regex& e) {
+  if (e == nullptr) return 0;
+  return 1 + RegexSize(e->left()) + RegexSize(e->right());
+}
+
+bool RegexEquals(const Regex& a, const Regex& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  if (a->kind() != b->kind()) return false;
+  if (a->kind() == RegexKind::kSymbol) return a->symbol() == b->symbol();
+  return RegexEquals(a->left(), b->left()) &&
+         RegexEquals(a->right(), b->right());
+}
+
+namespace {
+
+void FlattenAlt(const Regex& e, std::vector<Regex>& out) {
+  if (e->kind() == RegexKind::kUnion) {
+    FlattenAlt(e->left(), out);
+    FlattenAlt(e->right(), out);
+  } else {
+    out.push_back(e);
+  }
+}
+
+void FlattenConcat(const Regex& e, std::vector<Regex>& out) {
+  if (e->kind() == RegexKind::kConcat) {
+    FlattenConcat(e->left(), out);
+    FlattenConcat(e->right(), out);
+  } else {
+    out.push_back(e);
+  }
+}
+
+bool ContainsEquivalent(const std::vector<Regex>& list, const Regex& e) {
+  for (const Regex& other : list) {
+    if (RegexEquals(other, e)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+Regex SimplifyRegex(const Regex& e) {
+  if (e == nullptr) return e;
+  switch (e->kind()) {
+    case RegexKind::kEmptySet:
+    case RegexKind::kEpsilon:
+    case RegexKind::kSymbol:
+      return e;
+    case RegexKind::kConcat: {
+      // Work over the flattened chain so e e* -> e+ fires regardless of the
+      // tree's associativity, as do e* e -> e+ and e* e* -> e*.
+      std::vector<Regex> chain;
+      FlattenConcat(e, chain);
+      for (Regex& part : chain) part = SimplifyRegex(part);
+      std::vector<Regex> out_chain;
+      for (Regex& part : chain) {
+        if (!out_chain.empty()) {
+          Regex& prev = out_chain.back();
+          if (part->kind() == RegexKind::kStar &&
+              RegexEquals(prev, part->left())) {
+            prev = Plus(part->left());
+            continue;
+          }
+          if (prev->kind() == RegexKind::kStar &&
+              RegexEquals(part, prev->left())) {
+            prev = Plus(part);
+            continue;
+          }
+          if (prev->kind() == RegexKind::kStar && RegexEquals(prev, part)) {
+            continue;
+          }
+          // e* e? and e* (e*)? collapse into e*.
+          if (prev->kind() == RegexKind::kStar &&
+              (part->kind() == RegexKind::kOptional ||
+               part->kind() == RegexKind::kStar) &&
+              (RegexEquals(prev->left(), part->left()) ||
+               RegexEquals(prev, part->left()))) {
+            continue;
+          }
+        }
+        out_chain.push_back(std::move(part));
+      }
+      return ConcatAll(out_chain);
+    }
+    case RegexKind::kUnion: {
+      std::vector<Regex> parts;
+      FlattenAlt(e, parts);
+      std::vector<Regex> kept;
+      bool has_epsilon = false;
+      for (Regex& part : parts) {
+        Regex p = SimplifyRegex(part);
+        if (p->kind() == RegexKind::kEmptySet) continue;
+        if (p->kind() == RegexKind::kEpsilon) {
+          has_epsilon = true;
+          continue;
+        }
+        if (p->kind() == RegexKind::kOptional) {
+          // a? | b == (a | b)?: hoist the epsilon to the whole union.
+          has_epsilon = true;
+          p = p->left();
+        }
+        if (!ContainsEquivalent(kept, p)) kept.push_back(std::move(p));
+      }
+      // Left factoring to fixpoint over concat chains:
+      // a | a b -> a b?,  a b | a c -> a (b|c).
+      bool factored = true;
+      while (factored) {
+        factored = false;
+        for (size_t i = 0; i < kept.size() && !factored; ++i) {
+          for (size_t j = 0; j < kept.size() && !factored; ++j) {
+            if (i == j) continue;
+            std::vector<Regex> ci, cj;
+            FlattenConcat(kept[i], ci);
+            FlattenConcat(kept[j], cj);
+            if (!RegexEquals(ci[0], cj[0])) continue;
+            std::vector<Regex> rest_i(ci.begin() + 1, ci.end());
+            std::vector<Regex> rest_j(cj.begin() + 1, cj.end());
+            Regex tail = Alt(ConcatAll(rest_i), ConcatAll(rest_j));
+            kept[i] = SimplifyRegex(Concat(ci[0], SimplifyRegex(tail)));
+            kept.erase(kept.begin() + static_cast<long>(j));
+            factored = true;
+          }
+        }
+      }
+      if (has_epsilon) {
+        // () | e+ -> e*; () | e* -> e*; otherwise () | e -> e?.
+        bool absorbed = false;
+        for (Regex& k : kept) {
+          if (k->kind() == RegexKind::kStar) {
+            absorbed = true;
+            break;
+          }
+          if (k->kind() == RegexKind::kPlus) {
+            k = Star(k->left());
+            absorbed = true;
+            break;
+          }
+          if (k->kind() == RegexKind::kOptional) {
+            absorbed = true;
+            break;
+          }
+        }
+        if (!absorbed) {
+          if (kept.size() == 1) return Optional(kept[0]);
+          if (kept.empty()) return Epsilon();
+          return Optional(AltAll(kept));
+        }
+      }
+      return AltAll(kept);
+    }
+    case RegexKind::kStar: {
+      Regex inner = SimplifyRegex(e->left());
+      // (e+)*, (e?)*, (e*)* all equal e*.
+      while (inner->kind() == RegexKind::kStar ||
+             inner->kind() == RegexKind::kPlus ||
+             inner->kind() == RegexKind::kOptional) {
+        inner = inner->left();
+      }
+      // Inside a star, optional alternatives lose their '?'.
+      if (inner->kind() == RegexKind::kUnion) {
+        std::vector<Regex> parts;
+        FlattenAlt(inner, parts);
+        bool stripped = false;
+        for (Regex& part : parts) {
+          while (part->kind() == RegexKind::kOptional ||
+                 part->kind() == RegexKind::kPlus ||
+                 part->kind() == RegexKind::kStar) {
+            part = part->left();
+            stripped = true;
+          }
+        }
+        if (stripped) inner = SimplifyRegex(AltAll(parts));
+      }
+      return Star(std::move(inner));
+    }
+    case RegexKind::kPlus: {
+      Regex inner = SimplifyRegex(e->left());
+      if (inner->kind() == RegexKind::kStar ||
+          inner->kind() == RegexKind::kOptional) {
+        return Star(inner->left());
+      }
+      if (inner->kind() == RegexKind::kPlus) return inner;
+      return Plus(std::move(inner));
+    }
+    case RegexKind::kOptional: {
+      Regex inner = SimplifyRegex(e->left());
+      if (inner->kind() == RegexKind::kStar) return inner;
+      if (inner->kind() == RegexKind::kPlus) return Star(inner->left());
+      if (inner->kind() == RegexKind::kOptional) return inner;
+      return Optional(std::move(inner));
+    }
+  }
+  return e;
+}
+
+namespace {
+
+// Precedence levels for printing: union < concat < postfix.
+std::string ToStringPrec(const Regex& e,
+                         const std::function<std::string(Symbol)>& name,
+                         int parent_prec) {
+  int prec = 0;
+  std::string body;
+  switch (e->kind()) {
+    case RegexKind::kEmptySet:
+      return "{}";
+    case RegexKind::kEpsilon:
+      return "()";
+    case RegexKind::kSymbol:
+      return name(e->symbol());
+    case RegexKind::kConcat:
+      prec = 1;
+      body = ToStringPrec(e->left(), name, prec) + " " +
+             ToStringPrec(e->right(), name, prec);
+      break;
+    case RegexKind::kUnion:
+      prec = 0;
+      body = ToStringPrec(e->left(), name, prec) + "|" +
+             ToStringPrec(e->right(), name, prec);
+      break;
+    case RegexKind::kStar:
+      prec = 2;
+      body = ToStringPrec(e->left(), name, prec) + "*";
+      break;
+    case RegexKind::kPlus:
+      prec = 2;
+      body = ToStringPrec(e->left(), name, prec) + "+";
+      break;
+    case RegexKind::kOptional:
+      prec = 2;
+      body = ToStringPrec(e->left(), name, prec) + "?";
+      break;
+  }
+  if (prec < parent_prec) return "(" + body + ")";
+  return body;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view text,
+         const std::function<Symbol(std::string_view)>& resolve)
+      : text_(text), resolve_(resolve) {}
+
+  Result<Regex> Parse() {
+    Result<Regex> e = ParseUnion();
+    if (!e.ok()) return e;
+    SkipSpace();
+    if (pos_ != text_.size()) {
+      return Status::InvalidArgument(
+          StrCat("unexpected character '", text_[pos_], "' at offset ", pos_,
+                 " in regex: ", text_));
+    }
+    return e;
+  }
+
+ private:
+  void SkipSpace() {
+    while (pos_ < text_.size() && std::isspace(static_cast<unsigned char>(
+                                      text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  bool AtAtomStart() {
+    SkipSpace();
+    if (pos_ >= text_.size()) return false;
+    char c = text_[pos_];
+    return IsIdentChar(c) || c == '(' || c == '{';
+  }
+
+  static bool IsIdentChar(char c) {
+    return std::isalnum(static_cast<unsigned char>(c)) || c == '_' ||
+           c == '.' || c == '-';
+  }
+
+  Result<Regex> ParseUnion() {
+    Result<Regex> left = ParseConcat();
+    if (!left.ok()) return left;
+    Regex out = std::move(left).value();
+    while (true) {
+      SkipSpace();
+      if (pos_ < text_.size() && text_[pos_] == '|') {
+        ++pos_;
+        Result<Regex> right = ParseConcat();
+        if (!right.ok()) return right;
+        out = Alt(std::move(out), std::move(right).value());
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Regex> ParseConcat() {
+    Regex out = Epsilon();
+    bool any = false;
+    while (AtAtomStart()) {
+      Result<Regex> f = ParseFactor();
+      if (!f.ok()) return f;
+      out = Concat(std::move(out), std::move(f).value());
+      any = true;
+    }
+    if (!any) {
+      return Status::InvalidArgument(
+          StrCat("expected a regex atom at offset ", pos_, " in: ", text_));
+    }
+    return out;
+  }
+
+  Result<Regex> ParseFactor() {
+    Result<Regex> atom = ParseAtom();
+    if (!atom.ok()) return atom;
+    Regex out = std::move(atom).value();
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (c == '*') {
+        out = Star(std::move(out));
+        ++pos_;
+      } else if (c == '+') {
+        out = Plus(std::move(out));
+        ++pos_;
+      } else if (c == '?') {
+        out = Optional(std::move(out));
+        ++pos_;
+      } else {
+        break;
+      }
+    }
+    return out;
+  }
+
+  Result<Regex> ParseAtom() {
+    SkipSpace();
+    if (pos_ >= text_.size()) {
+      return Status::InvalidArgument("unexpected end of regex");
+    }
+    char c = text_[pos_];
+    if (c == '{') {
+      if (pos_ + 1 < text_.size() && text_[pos_ + 1] == '}') {
+        pos_ += 2;
+        return EmptySet();
+      }
+      return Status::InvalidArgument(
+          StrCat("expected '{}' at offset ", pos_, " in: ", text_));
+    }
+    if (c == '(') {
+      // "()" is epsilon; otherwise a parenthesized sub-expression.
+      size_t look = pos_ + 1;
+      while (look < text_.size() &&
+             std::isspace(static_cast<unsigned char>(text_[look]))) {
+        ++look;
+      }
+      if (look < text_.size() && text_[look] == ')') {
+        pos_ = look + 1;
+        return Epsilon();
+      }
+      ++pos_;
+      Result<Regex> inner = ParseUnion();
+      if (!inner.ok()) return inner;
+      SkipSpace();
+      if (pos_ >= text_.size() || text_[pos_] != ')') {
+        return Status::InvalidArgument(
+            StrCat("missing ')' at offset ", pos_, " in: ", text_));
+      }
+      ++pos_;
+      return inner;
+    }
+    if (IsIdentChar(c)) {
+      size_t start = pos_;
+      while (pos_ < text_.size() && IsIdentChar(text_[pos_])) ++pos_;
+      return Sym(resolve_(text_.substr(start, pos_ - start)));
+    }
+    return Status::InvalidArgument(
+        StrCat("unexpected character '", c, "' at offset ", pos_,
+               " in regex: ", text_));
+  }
+
+  std::string_view text_;
+  const std::function<Symbol(std::string_view)>& resolve_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+std::string RegexToString(
+    const Regex& e, const std::function<std::string(Symbol)>& symbol_name) {
+  return ToStringPrec(e, symbol_name, 0);
+}
+
+Result<Regex> ParseRegex(
+    std::string_view text,
+    const std::function<Symbol(std::string_view)>& resolve) {
+  Parser parser(text, resolve);
+  return parser.Parse();
+}
+
+}  // namespace hedgeq::strre

@@ -1,0 +1,108 @@
+#ifndef HEDGEQ_STRRE_REGEX_H_
+#define HEDGEQ_STRRE_REGEX_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hedgeq::strre {
+
+/// Symbol of a string regular language. The alphabet is generic: symbols are
+/// dense integer ids, typically interned names or hedge-automaton state ids.
+using Symbol = uint32_t;
+
+/// Kinds of regex AST nodes.
+enum class RegexKind {
+  kEmptySet,  // {} : the empty language
+  kEpsilon,   // () : the language containing only the empty string
+  kSymbol,    // a single alphabet symbol
+  kConcat,    // e1 e2
+  kUnion,     // e1 | e2
+  kStar,      // e*
+  kPlus,      // e+  (sugar for e e*)
+  kOptional,  // e?  (sugar for e | ())
+};
+
+class RegexNode;
+/// Regexes are immutable shared trees; copying a Regex is cheap.
+using Regex = std::shared_ptr<const RegexNode>;
+
+/// One node of a regex AST. Construct through the factory functions below.
+class RegexNode {
+ public:
+  RegexNode(RegexKind kind, Symbol symbol, Regex left, Regex right)
+      : kind_(kind),
+        symbol_(symbol),
+        left_(std::move(left)),
+        right_(std::move(right)) {}
+
+  RegexKind kind() const { return kind_; }
+  Symbol symbol() const { return symbol_; }
+  const Regex& left() const { return left_; }
+  const Regex& right() const { return right_; }
+
+ private:
+  RegexKind kind_;
+  Symbol symbol_;  // only for kSymbol
+  Regex left_;     // operand / left operand
+  Regex right_;    // right operand for binary nodes
+};
+
+/// The empty language {}.
+Regex EmptySet();
+/// The empty-string language ().
+Regex Epsilon();
+/// Single-symbol language.
+Regex Sym(Symbol s);
+/// Concatenation e1 e2 (simplifies around epsilon / empty set).
+Regex Concat(Regex e1, Regex e2);
+/// Concatenation of a whole sequence (epsilon when empty).
+Regex ConcatAll(const std::vector<Regex>& es);
+/// Union e1 | e2 (simplifies around empty set).
+Regex Alt(Regex e1, Regex e2);
+/// Union of a whole sequence (empty set when empty).
+Regex AltAll(const std::vector<Regex>& es);
+/// Kleene closure e*.
+Regex Star(Regex e);
+/// e+.
+Regex Plus(Regex e);
+/// e?.
+Regex Optional(Regex e);
+/// The literal string s1 s2 ... sn.
+Regex Literal(const std::vector<Symbol>& symbols);
+
+/// Number of AST nodes.
+size_t RegexSize(const Regex& e);
+
+/// Structural equality of two regexes.
+bool RegexEquals(const Regex& a, const Regex& b);
+
+/// Bottom-up algebraic simplification: flattens and deduplicates unions,
+/// absorbs epsilon into stars (()|e e* -> e*), rewrites e e* as e+, and
+/// collapses nested closure operators. Language-preserving; used to keep
+/// state-elimination output readable.
+Regex SimplifyRegex(const Regex& e);
+
+/// Renders using the textual syntax accepted by ParseRegex, with symbols
+/// printed through `symbol_name`.
+std::string RegexToString(const Regex& e,
+                          const std::function<std::string(Symbol)>& symbol_name);
+
+/// Parses the textual regex syntax:
+///   expr     := term ('|' term)*
+///   term     := factor*
+///   factor   := atom ('*' | '+' | '?')*
+///   atom     := IDENT | '(' expr ')' | '()' | '{}'
+/// IDENT is [A-Za-z0-9_.-]+ and is resolved to a Symbol via `resolve`.
+/// Whitespace separates juxtaposed factors.
+Result<Regex> ParseRegex(std::string_view text,
+                         const std::function<Symbol(std::string_view)>& resolve);
+
+}  // namespace hedgeq::strre
+
+#endif  // HEDGEQ_STRRE_REGEX_H_

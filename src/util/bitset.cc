@@ -1,0 +1,64 @@
+#include "util/bitset.h"
+
+#include <bit>
+
+#include "util/check.h"
+
+namespace hedgeq {
+
+bool Bitset::None() const {
+  for (uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+size_t Bitset::Count() const {
+  size_t n = 0;
+  for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+  return n;
+}
+
+Bitset& Bitset::operator|=(const Bitset& other) {
+  HEDGEQ_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  return *this;
+}
+
+Bitset& Bitset::operator&=(const Bitset& other) {
+  HEDGEQ_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  return *this;
+}
+
+bool Bitset::Intersects(const Bitset& other) const {
+  HEDGEQ_CHECK(num_bits_ == other.num_bits_);
+  for (size_t i = 0; i < words_.size(); ++i) {
+    if (words_[i] & other.words_[i]) return true;
+  }
+  return false;
+}
+
+std::vector<uint32_t> Bitset::ToVector() const {
+  std::vector<uint32_t> out;
+  for (size_t w = 0; w < words_.size(); ++w) {
+    uint64_t word = words_[w];
+    while (word != 0) {
+      int bit = std::countr_zero(word);
+      out.push_back(static_cast<uint32_t>(w * 64 + static_cast<size_t>(bit)));
+      word &= word - 1;
+    }
+  }
+  return out;
+}
+
+size_t Bitset::Hash() const {
+  size_t h = 1469598103934665603ULL;
+  for (uint64_t w : words_) {
+    h ^= static_cast<size_t>(w);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace hedgeq

@@ -1,0 +1,57 @@
+#ifndef HEDGEQ_UTIL_BITSET_H_
+#define HEDGEQ_UTIL_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hedgeq {
+
+/// Fixed-capacity dynamic bitset used for state sets during subset
+/// constructions. Supports hashing and ordering so canonical subsets can key
+/// hash maps.
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  size_t size() const { return num_bits_; }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
+  void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+
+  /// True when no bit is set.
+  bool None() const;
+  /// Number of set bits.
+  size_t Count() const;
+
+  Bitset& operator|=(const Bitset& other);
+  Bitset& operator&=(const Bitset& other);
+  bool Intersects(const Bitset& other) const;
+
+  bool operator==(const Bitset& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  /// Indices of all set bits in ascending order.
+  std::vector<uint32_t> ToVector() const;
+
+  /// FNV-style hash over the words.
+  size_t Hash() const;
+
+ private:
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+struct BitsetHash {
+  size_t operator()(const Bitset& b) const { return b.Hash(); }
+};
+
+}  // namespace hedgeq
+
+#endif  // HEDGEQ_UTIL_BITSET_H_

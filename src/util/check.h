@@ -1,0 +1,29 @@
+#ifndef HEDGEQ_UTIL_CHECK_H_
+#define HEDGEQ_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+// Internal invariant checking. These macros abort on failure; they guard
+// programmer errors (broken invariants), not user input. User input errors
+// are reported through Status/Result instead.
+
+#define HEDGEQ_CHECK(cond)                                                   \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HEDGEQ_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define HEDGEQ_CHECK_MSG(cond, msg)                                          \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "HEDGEQ_CHECK failed at %s:%d: %s (%s)\n",        \
+                   __FILE__, __LINE__, #cond, (msg));                        \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#endif  // HEDGEQ_UTIL_CHECK_H_

@@ -1,0 +1,48 @@
+#ifndef HEDGEQ_UTIL_RNG_H_
+#define HEDGEQ_UTIL_RNG_H_
+
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace hedgeq {
+
+/// Deterministic, seedable pseudo-random generator (splitmix64). Used by the
+/// workload generators and property tests so that every run is reproducible.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed) {}
+
+  /// Next raw 64-bit value.
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform integer in [0, bound). bound must be positive.
+  uint64_t Below(uint64_t bound) {
+    HEDGEQ_CHECK(bound > 0);
+    return Next() % bound;
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    HEDGEQ_CHECK(lo <= hi);
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  /// True with probability p (0 <= p <= 1).
+  bool Chance(double p) {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0) < p;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace hedgeq
+
+#endif  // HEDGEQ_UTIL_RNG_H_

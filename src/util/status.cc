@@ -1,0 +1,31 @@
+#include "util/status.h"
+
+namespace hedgeq {
+
+const char* StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid-argument";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "ok";
+  std::string out = StatusCodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace hedgeq

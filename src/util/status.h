@@ -1,0 +1,112 @@
+#ifndef HEDGEQ_UTIL_STATUS_H_
+#define HEDGEQ_UTIL_STATUS_H_
+
+#include <string>
+#include <utility>
+#include <variant>
+
+#include "util/check.h"
+
+namespace hedgeq {
+
+/// Error categories used throughout the library. The library does not use
+/// exceptions; fallible operations return Status or Result<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,  // malformed input (bad regex, bad XML, bad grammar)
+  kNotFound,         // lookup misses (unknown symbol, unknown nonterminal)
+  kFailedPrecondition,
+  kResourceExhausted,  // configured limits exceeded (e.g. determinization cap)
+  kInternal,
+};
+
+/// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+/// A success-or-error value. Cheap to copy on success (empty message).
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "ok" or "<code>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Either a value of type T or an error Status. Accessing the value of an
+/// error Result is a checked programmer error.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : state_(std::move(value)) {}  // NOLINT: intended implicit
+  Result(Status status) : state_(std::move(status)) {  // NOLINT
+    HEDGEQ_CHECK_MSG(!std::get<Status>(state_).ok(),
+                     "Result constructed from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(state_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(state_);
+  }
+
+  const T& value() const& {
+    HEDGEQ_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(state_);
+  }
+  T& value() & {
+    HEDGEQ_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(state_);
+  }
+  T&& value() && {
+    HEDGEQ_CHECK_MSG(ok(), status().message().c_str());
+    return std::get<T>(std::move(state_));
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::variant<T, Status> state_;
+};
+
+}  // namespace hedgeq
+
+/// Propagates an error Status from a Result/Status expression.
+#define HEDGEQ_RETURN_IF_ERROR(expr)                  \
+  do {                                                \
+    ::hedgeq::Status hedgeq_status__ = (expr);        \
+    if (!hedgeq_status__.ok()) return hedgeq_status__; \
+  } while (false)
+
+#endif  // HEDGEQ_UTIL_STATUS_H_

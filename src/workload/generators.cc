@@ -1,0 +1,167 @@
+#include "workload/generators.h"
+
+#include <algorithm>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace hedgeq::workload {
+
+using hedge::Hedge;
+using hedge::kNullNode;
+using hedge::Label;
+using hedge::NodeId;
+using hedge::Vocabulary;
+
+Hedge RandomHedge(Rng& rng, Vocabulary& vocab,
+                  const RandomHedgeOptions& options) {
+  std::vector<hedge::SymbolId> symbols;
+  for (size_t i = 0; i < options.num_symbols; ++i) {
+    symbols.push_back(vocab.symbols.Intern(StrCat("a", i)));
+  }
+  hedge::VarId text = vocab.variables.Intern("x");
+
+  Hedge h;
+  std::vector<NodeId> open = {kNullNode};
+  for (size_t i = 0; i < options.target_nodes; ++i) {
+    // Depth bias: repeatedly prefer later (deeper) open nodes.
+    size_t pick = rng.Below(open.size());
+    for (double bias = options.depth_bias; bias > 1.0; bias -= 1.0) {
+      size_t other = rng.Below(open.size());
+      pick = std::max(pick, other);
+    }
+    NodeId parent = open[pick];
+    if (rng.Chance(options.leaf_probability)) {
+      h.Append(parent, Label::Variable(text));
+    } else {
+      NodeId node = h.Append(
+          parent, Label::Symbol(symbols[rng.Below(symbols.size())]));
+      open.push_back(node);
+    }
+  }
+  return h;
+}
+
+ArticleVocab ArticleVocab::Intern(Vocabulary& vocab) {
+  ArticleVocab v;
+  v.article = vocab.symbols.Intern("article");
+  v.title = vocab.symbols.Intern("title");
+  v.section = vocab.symbols.Intern("section");
+  v.para = vocab.symbols.Intern("para");
+  v.figure = vocab.symbols.Intern("figure");
+  v.table = vocab.symbols.Intern("table");
+  v.caption = vocab.symbols.Intern("caption");
+  v.image = vocab.symbols.Intern("image");
+  v.text = vocab.variables.Intern("#text");
+  return v;
+}
+
+namespace {
+
+class ArticleBuilder {
+ public:
+  ArticleBuilder(Rng& rng, const ArticleVocab& names,
+                 const ArticleOptions& options)
+      : rng_(rng), names_(names), options_(options) {}
+
+  Hedge Build() {
+    NodeId article = Append(kNullNode, names_.article);
+    AppendTitle(article);
+    while (budget_ > 0) {
+      BuildSection(article, 1);
+    }
+    return std::move(hedge_);
+  }
+
+ private:
+  NodeId Append(NodeId parent, hedge::SymbolId s) {
+    if (budget_ > 0) --budget_;
+    return hedge_.Append(parent, Label::Symbol(s));
+  }
+
+  void AppendTitle(NodeId parent) {
+    NodeId title = Append(parent, names_.title);
+    if (budget_ > 0) --budget_;
+    hedge_.Append(title, Label::Variable(names_.text));
+  }
+
+  void BuildSection(NodeId parent, size_t depth) {
+    NodeId section = Append(parent, names_.section);
+    AppendTitle(section);
+    size_t items = 1 + rng_.Below(6);
+    for (size_t i = 0; i < items && budget_ > 0; ++i) {
+      switch (rng_.Below(6)) {
+        case 0:
+        case 1:
+        case 2: {  // paragraph with text
+          NodeId para = Append(section, names_.para);
+          if (budget_ > 0) --budget_;
+          hedge_.Append(para, Label::Variable(names_.text));
+          break;
+        }
+        case 3: {  // figure (image inside), maybe followed by a caption
+          NodeId figure = Append(section, names_.figure);
+          Append(figure, names_.image);
+          if (rng_.Chance(options_.caption_after_figure)) {
+            NodeId caption = Append(section, names_.caption);
+            if (budget_ > 0) --budget_;
+            hedge_.Append(caption, Label::Variable(names_.text));
+          }
+          break;
+        }
+        case 4: {  // table
+          Append(section, names_.table);
+          break;
+        }
+        default: {  // nested section
+          if (depth < options_.max_section_depth) {
+            BuildSection(section, depth + 1);
+          } else {
+            NodeId para = Append(section, names_.para);
+            if (budget_ > 0) --budget_;
+            hedge_.Append(para, Label::Variable(names_.text));
+          }
+          break;
+        }
+      }
+    }
+  }
+
+  Rng& rng_;
+  const ArticleVocab& names_;
+  const ArticleOptions& options_;
+  Hedge hedge_;
+  size_t budget_ = 0;
+
+ public:
+  void set_budget(size_t b) { budget_ = b; }
+};
+
+}  // namespace
+
+Hedge RandomArticle(Rng& rng, Vocabulary& vocab,
+                    const ArticleOptions& options) {
+  ArticleVocab names = ArticleVocab::Intern(vocab);
+  ArticleBuilder builder(rng, names, options);
+  builder.set_budget(options.target_nodes);
+  return builder.Build();
+}
+
+Hedge UniformTree(Vocabulary& vocab, size_t depth, size_t fanout,
+                  const std::string& symbol) {
+  hedge::SymbolId s = vocab.symbols.Intern(symbol);
+  Hedge h;
+  std::vector<NodeId> level = {h.Append(kNullNode, Label::Symbol(s))};
+  for (size_t d = 0; d < depth; ++d) {
+    std::vector<NodeId> next;
+    for (NodeId n : level) {
+      for (size_t f = 0; f < fanout; ++f) {
+        next.push_back(h.Append(n, Label::Symbol(s)));
+      }
+    }
+    level = std::move(next);
+  }
+  return h;
+}
+
+}  // namespace hedgeq::workload

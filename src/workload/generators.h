@@ -1,0 +1,57 @@
+#ifndef HEDGEQ_WORKLOAD_GENERATORS_H_
+#define HEDGEQ_WORKLOAD_GENERATORS_H_
+
+#include <string>
+#include <vector>
+
+#include "hedge/hedge.h"
+#include "util/rng.h"
+
+namespace hedgeq::workload {
+
+/// Uniform random hedges: symbols a0..a{k-1}, text variable "x".
+struct RandomHedgeOptions {
+  size_t target_nodes = 100;
+  size_t num_symbols = 4;
+  /// Probability that a new node becomes a text leaf instead of an element.
+  double leaf_probability = 0.25;
+  /// Bias toward attaching to deeper open nodes (1.0 = uniform over open
+  /// nodes; larger values produce deeper documents).
+  double depth_bias = 1.0;
+};
+
+/// Generates a pseudo-random hedge with exactly target_nodes nodes.
+/// Deterministic given the rng state.
+hedge::Hedge RandomHedge(Rng& rng, hedge::Vocabulary& vocab,
+                         const RandomHedgeOptions& options);
+
+/// Article-like documents matching the paper's motivating examples:
+/// article > title, section*; section > title, (para | figure | table |
+/// caption | section)*; figures are often immediately followed by captions.
+struct ArticleOptions {
+  size_t target_nodes = 1000;
+  size_t max_section_depth = 4;
+  /// Probability that a figure is immediately followed by a caption (the
+  /// paper's sibling-order query keys on this).
+  double caption_after_figure = 0.6;
+};
+
+hedge::Hedge RandomArticle(Rng& rng, hedge::Vocabulary& vocab,
+                           const ArticleOptions& options);
+
+/// The symbol names used by RandomArticle, for building queries.
+struct ArticleVocab {
+  hedge::SymbolId article, title, section, para, figure, table, caption,
+      image;
+  hedge::VarId text;
+  static ArticleVocab Intern(hedge::Vocabulary& vocab);
+};
+
+/// A full n-ary tree of the given depth and fanout with a single symbol;
+/// used for scaling sweeps where shape must stay fixed.
+hedge::Hedge UniformTree(hedge::Vocabulary& vocab, size_t depth,
+                         size_t fanout, const std::string& symbol = "a");
+
+}  // namespace hedgeq::workload
+
+#endif  // HEDGEQ_WORKLOAD_GENERATORS_H_

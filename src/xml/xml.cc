@@ -1,0 +1,488 @@
+#include "xml/xml.h"
+
+#include <cctype>
+
+#include "util/check.h"
+#include "util/strings.h"
+
+namespace hedgeq::xml {
+
+using hedge::Hedge;
+using hedge::kNullNode;
+using hedge::Label;
+using hedge::NodeId;
+
+namespace {
+
+bool IsNameStartChar(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_' || c == ':';
+}
+
+bool IsNameChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_' || c == ':' ||
+         c == '-' || c == '.';
+}
+
+bool IsWhitespaceOnly(std::string_view s) {
+  for (char c : s) {
+    if (c != ' ' && c != '\t' && c != '\n' && c != '\r') return false;
+  }
+  return true;
+}
+
+// Extended sink used internally: the streaming parser also reports
+// attributes so the tree builder can fill the side table.
+class AttributeSink {
+ public:
+  virtual ~AttributeSink() = default;
+  virtual Status Attribute(std::string_view name, std::string_view value) = 0;
+};
+
+// The single streaming parser; ParseXml runs it with a tree-building
+// handler, ParseXmlStream with the caller's.
+class XmlStreamParser {
+ public:
+  XmlStreamParser(std::string_view input, hedge::Vocabulary& vocab,
+                  XmlHandler& handler, AttributeSink* attribute_sink,
+                  const XmlParseOptions& options)
+      : input_(input),
+        vocab_(vocab),
+        handler_(handler),
+        attribute_sink_(attribute_sink),
+        options_(options),
+        text_variable_(vocab.variables.Intern(options.text_variable)) {}
+
+  Status Parse() {
+    HEDGEQ_RETURN_IF_ERROR(SkipMisc(/*allow_doctype=*/true));
+    while (pos_ < input_.size()) {
+      if (input_[pos_] == '<') {
+        HEDGEQ_RETURN_IF_ERROR(ParseElement());
+      } else {
+        size_t start = pos_;
+        while (pos_ < input_.size() && input_[pos_] != '<') ++pos_;
+        if (!IsWhitespaceOnly(input_.substr(start, pos_ - start))) {
+          return Status::InvalidArgument(
+              StrCat("character data outside the document element at offset ",
+                     start));
+        }
+      }
+      HEDGEQ_RETURN_IF_ERROR(SkipMisc(/*allow_doctype=*/false));
+    }
+    return Status::Ok();
+  }
+
+ private:
+  void SkipWhitespace() {
+    while (pos_ < input_.size() &&
+           std::isspace(static_cast<unsigned char>(input_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  Status SkipMisc(bool allow_doctype) {
+    while (true) {
+      SkipWhitespace();
+      if (StartsWith(Rest(), "<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument(
+              "unterminated processing instruction");
+        }
+        pos_ = end + 2;
+      } else if (StartsWith(Rest(), "<!--")) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated comment");
+        }
+        pos_ = end + 3;
+      } else if (allow_doctype && StartsWith(Rest(), "<!DOCTYPE")) {
+        int depth = 0;
+        while (pos_ < input_.size()) {
+          char c = input_[pos_++];
+          if (c == '[') ++depth;
+          if (c == ']') --depth;
+          if (c == '>' && depth == 0) break;
+        }
+      } else {
+        return Status::Ok();
+      }
+    }
+  }
+
+  std::string_view Rest() const { return input_.substr(pos_); }
+
+  Status ParseName(std::string& out) {
+    if (pos_ >= input_.size() || !IsNameStartChar(input_[pos_])) {
+      return Status::InvalidArgument(
+          StrCat("expected a name at offset ", pos_));
+    }
+    size_t start = pos_;
+    while (pos_ < input_.size() && IsNameChar(input_[pos_])) ++pos_;
+    out = std::string(input_.substr(start, pos_ - start));
+    return Status::Ok();
+  }
+
+  Status DecodeEntity(std::string& out) {
+    size_t end = input_.find(';', pos_);
+    if (end == std::string_view::npos || end - pos_ > 12) {
+      return Status::InvalidArgument(
+          StrCat("malformed entity reference at offset ", pos_));
+    }
+    std::string_view name = input_.substr(pos_ + 1, end - pos_ - 1);
+    if (name == "lt") {
+      out += '<';
+    } else if (name == "gt") {
+      out += '>';
+    } else if (name == "amp") {
+      out += '&';
+    } else if (name == "apos") {
+      out += '\'';
+    } else if (name == "quot") {
+      out += '"';
+    } else if (!name.empty() && name[0] == '#') {
+      int base = 10;
+      std::string_view digits = name.substr(1);
+      if (!digits.empty() && (digits[0] == 'x' || digits[0] == 'X')) {
+        base = 16;
+        digits = digits.substr(1);
+      }
+      unsigned long code = 0;
+      for (char c : digits) {
+        int d;
+        if (c >= '0' && c <= '9') {
+          d = c - '0';
+        } else if (base == 16 && c >= 'a' && c <= 'f') {
+          d = c - 'a' + 10;
+        } else if (base == 16 && c >= 'A' && c <= 'F') {
+          d = c - 'A' + 10;
+        } else {
+          return Status::InvalidArgument(
+              StrCat("bad character reference &", std::string(name), ";"));
+        }
+        code = code * static_cast<unsigned long>(base) +
+               static_cast<unsigned long>(d);
+      }
+      if (code < 0x80) {
+        out += static_cast<char>(code);
+      } else if (code < 0x800) {
+        out += static_cast<char>(0xC0 | (code >> 6));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else if (code < 0x10000) {
+        out += static_cast<char>(0xE0 | (code >> 12));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      } else {
+        out += static_cast<char>(0xF0 | (code >> 18));
+        out += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
+        out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+        out += static_cast<char>(0x80 | (code & 0x3F));
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown entity &", std::string(name), ";"));
+    }
+    pos_ = end + 1;
+    return Status::Ok();
+  }
+
+  Status ParseAttrValue(std::string& out) {
+    if (pos_ >= input_.size() ||
+        (input_[pos_] != '"' && input_[pos_] != '\'')) {
+      return Status::InvalidArgument(
+          StrCat("expected a quoted attribute value at offset ", pos_));
+    }
+    char quote = input_[pos_++];
+    while (pos_ < input_.size() && input_[pos_] != quote) {
+      if (input_[pos_] == '&') {
+        HEDGEQ_RETURN_IF_ERROR(DecodeEntity(out));
+      } else if (input_[pos_] == '<') {
+        return Status::InvalidArgument(
+            StrCat("'<' in attribute value at offset ", pos_));
+      } else {
+        out += input_[pos_++];
+      }
+    }
+    if (pos_ >= input_.size()) {
+      return Status::InvalidArgument("unterminated attribute value");
+    }
+    ++pos_;
+    return Status::Ok();
+  }
+
+  Status EmitText(std::string text) {
+    if (text.empty()) return Status::Ok();
+    if (options_.ignore_whitespace_text && IsWhitespaceOnly(text)) {
+      return Status::Ok();
+    }
+    return handler_.Text(text_variable_, text);
+  }
+
+  Status ParseElement() {
+    HEDGEQ_CHECK(input_[pos_] == '<');
+    ++pos_;
+    std::string name;
+    HEDGEQ_RETURN_IF_ERROR(ParseName(name));
+    hedge::SymbolId symbol = vocab_.symbols.Intern(name);
+    HEDGEQ_RETURN_IF_ERROR(handler_.StartElement(symbol));
+
+    // Attributes.
+    std::vector<std::pair<std::string, std::string>> attributes;
+    while (true) {
+      SkipWhitespace();
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument("unterminated start tag");
+      }
+      if (input_[pos_] == '>' || StartsWith(Rest(), "/>")) break;
+      std::string attr_name;
+      HEDGEQ_RETURN_IF_ERROR(ParseName(attr_name));
+      SkipWhitespace();
+      if (pos_ >= input_.size() || input_[pos_] != '=') {
+        return Status::InvalidArgument(
+            StrCat("expected '=' after attribute ", attr_name));
+      }
+      ++pos_;
+      SkipWhitespace();
+      std::string value;
+      HEDGEQ_RETURN_IF_ERROR(ParseAttrValue(value));
+      if (attribute_sink_ != nullptr) {
+        HEDGEQ_RETURN_IF_ERROR(attribute_sink_->Attribute(attr_name, value));
+      }
+      attributes.emplace_back(std::move(attr_name), std::move(value));
+    }
+
+    if (options_.attributes_as_elements) {
+      for (const auto& [attr_name, value] : attributes) {
+        hedge::SymbolId attr_symbol =
+            vocab_.symbols.Intern("@" + attr_name);
+        HEDGEQ_RETURN_IF_ERROR(handler_.StartElement(attr_symbol));
+        HEDGEQ_RETURN_IF_ERROR(handler_.Text(text_variable_, value));
+        HEDGEQ_RETURN_IF_ERROR(handler_.EndElement(attr_symbol));
+      }
+    }
+
+    if (StartsWith(Rest(), "/>")) {
+      pos_ += 2;
+      return handler_.EndElement(symbol);
+    }
+    ++pos_;  // '>'
+
+    std::string pending_text;
+    while (true) {
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument(
+            StrCat("unterminated element <", name, ">"));
+      }
+      if (StartsWith(Rest(), "</")) {
+        HEDGEQ_RETURN_IF_ERROR(EmitText(std::move(pending_text)));
+        pending_text.clear();
+        pos_ += 2;
+        std::string close_name;
+        HEDGEQ_RETURN_IF_ERROR(ParseName(close_name));
+        if (close_name != name) {
+          return Status::InvalidArgument(StrCat("mismatched close tag </",
+                                                close_name, "> for <", name,
+                                                ">"));
+        }
+        SkipWhitespace();
+        if (pos_ >= input_.size() || input_[pos_] != '>') {
+          return Status::InvalidArgument("malformed close tag");
+        }
+        ++pos_;
+        return handler_.EndElement(symbol);
+      }
+      if (StartsWith(Rest(), "<!--")) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWith(Rest(), "<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated CDATA section");
+        }
+        pending_text += std::string(input_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWith(Rest(), "<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument(
+              "unterminated processing instruction");
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (input_[pos_] == '<') {
+        HEDGEQ_RETURN_IF_ERROR(EmitText(std::move(pending_text)));
+        pending_text.clear();
+        HEDGEQ_RETURN_IF_ERROR(ParseElement());
+        continue;
+      }
+      if (input_[pos_] == '&') {
+        HEDGEQ_RETURN_IF_ERROR(DecodeEntity(pending_text));
+        continue;
+      }
+      pending_text += input_[pos_++];
+    }
+  }
+
+  std::string_view input_;
+  hedge::Vocabulary& vocab_;
+  XmlHandler& handler_;
+  AttributeSink* attribute_sink_;
+  const XmlParseOptions& options_;
+  hedge::VarId text_variable_;
+  size_t pos_ = 0;
+};
+
+// Builds an XmlDocument from the event stream (what ParseXml returns).
+class TreeBuilder : public XmlHandler, public AttributeSink {
+ public:
+  Status StartElement(hedge::SymbolId name) override {
+    NodeId parent = stack_.empty() ? kNullNode : stack_.back();
+    NodeId node = doc_.hedge.Append(parent, Label::Symbol(name));
+    doc_.texts.emplace_back();
+    doc_.attributes.emplace_back();
+    stack_.push_back(node);
+    return Status::Ok();
+  }
+  Status EndElement(hedge::SymbolId) override {
+    stack_.pop_back();
+    return Status::Ok();
+  }
+  Status Text(hedge::VarId variable, std::string_view content) override {
+    NodeId parent = stack_.empty() ? kNullNode : stack_.back();
+    doc_.hedge.Append(parent, Label::Variable(variable));
+    doc_.texts.emplace_back(content);
+    doc_.attributes.emplace_back();
+    return Status::Ok();
+  }
+  Status Attribute(std::string_view name, std::string_view value) override {
+    HEDGEQ_CHECK(!stack_.empty());
+    doc_.attributes[stack_.back()].emplace_back(name, value);
+    return Status::Ok();
+  }
+
+  XmlDocument Take() { return std::move(doc_); }
+
+ private:
+  XmlDocument doc_;
+  std::vector<NodeId> stack_;
+};
+
+void SerializeNode(const XmlDocument& doc, const hedge::Vocabulary& vocab,
+                   NodeId n, std::string& out) {
+  const Label label = doc.hedge.label(n);
+  if (label.kind == hedge::LabelKind::kVariable) {
+    out += EscapeText(n < doc.texts.size() ? doc.texts[n] : "");
+    return;
+  }
+  HEDGEQ_CHECK(label.kind == hedge::LabelKind::kSymbol);
+  const std::string& name = vocab.symbols.NameOf(label.id);
+  out += "<" + name;
+  if (n < doc.attributes.size()) {
+    for (const auto& [attr, value] : doc.attributes[n]) {
+      out += " " + attr + "=\"" + EscapeText(value) + "\"";
+    }
+  }
+  NodeId child = doc.hedge.first_child(n);
+  if (child == kNullNode) {
+    out += "/>";
+    return;
+  }
+  out += ">";
+  for (; child != kNullNode; child = doc.hedge.next_sibling(child)) {
+    SerializeNode(doc, vocab, child, out);
+  }
+  out += "</" + name + ">";
+}
+
+}  // namespace
+
+Result<XmlDocument> ParseXml(std::string_view input, hedge::Vocabulary& vocab,
+                             const XmlParseOptions& options) {
+  TreeBuilder builder;
+  XmlStreamParser parser(input, vocab, builder, &builder, options);
+  Status status = parser.Parse();
+  if (!status.ok()) return status;
+  XmlDocument doc = builder.Take();
+  doc.texts.resize(doc.hedge.num_nodes());
+  doc.attributes.resize(doc.hedge.num_nodes());
+  return doc;
+}
+
+Status ParseXmlStream(std::string_view input, hedge::Vocabulary& vocab,
+                      XmlHandler& handler, const XmlParseOptions& options) {
+  XmlStreamParser parser(input, vocab, handler, nullptr, options);
+  return parser.Parse();
+}
+
+std::string SerializeXml(const XmlDocument& doc,
+                         const hedge::Vocabulary& vocab) {
+  std::string out;
+  for (NodeId r : doc.hedge.roots()) {
+    SerializeNode(doc, vocab, r, out);
+  }
+  return out;
+}
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      case '&':
+        out += "&amp;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out += c;
+    }
+  }
+  return out;
+}
+
+XmlDocument WrapHedge(const hedge::Hedge& h, hedge::Vocabulary& vocab,
+                      std::string placeholder_text) {
+  XmlDocument doc;
+  std::vector<NodeId> map(h.num_nodes(), kNullNode);
+  for (NodeId n : h.PreOrder()) {
+    NodeId parent = h.parent(n) == kNullNode ? kNullNode : map[h.parent(n)];
+    Label label = h.label(n);
+    switch (label.kind) {
+      case hedge::LabelKind::kSymbol:
+      case hedge::LabelKind::kVariable:
+        break;
+      case hedge::LabelKind::kSubst:
+        label = Label::Symbol(
+            vocab.symbols.Intern("z:" + vocab.substs.NameOf(label.id)));
+        break;
+      case hedge::LabelKind::kEta:
+        label = Label::Symbol(vocab.symbols.Intern("eta"));
+        break;
+    }
+    map[n] = doc.hedge.Append(parent, label);
+  }
+  doc.texts.assign(doc.hedge.num_nodes(), "");
+  doc.attributes.resize(doc.hedge.num_nodes());
+  for (NodeId n = 0; n < doc.hedge.num_nodes(); ++n) {
+    if (doc.hedge.label(n).kind == hedge::LabelKind::kVariable) {
+      doc.texts[n] = placeholder_text;
+    }
+  }
+  return doc;
+}
+
+}  // namespace hedgeq::xml

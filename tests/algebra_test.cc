@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include "schema/algebra.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::schema {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+class AlgebraTest : public ::testing::Test {
+ protected:
+  Schema ParseS(const std::string& text) {
+    auto r = ParseSchema(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(AlgebraTest, IntersectUnionBasics) {
+  // A: docs of a's (at least one); B: docs of length exactly 2 over {a,b}.
+  Schema a_docs = ParseS("start = A+\nA = a<>");
+  Schema two = ParseS("start = X X\nX = a<>\nX = b<>");
+  Schema inter = IntersectSchemas(a_docs, two);
+  EXPECT_TRUE(inter.Validates(Parse("a a")));
+  EXPECT_FALSE(inter.Validates(Parse("a")));
+  EXPECT_FALSE(inter.Validates(Parse("a b")));
+  EXPECT_FALSE(inter.Validates(Parse("b b")));
+
+  Schema uni = UnionSchemas(a_docs, two);
+  EXPECT_TRUE(uni.Validates(Parse("a")));
+  EXPECT_TRUE(uni.Validates(Parse("a b")));
+  EXPECT_TRUE(uni.Validates(Parse("b a")));
+  EXPECT_FALSE(uni.Validates(Parse("b")));
+  EXPECT_FALSE(uni.Validates(Parse("b b b")));
+}
+
+TEST_F(AlgebraTest, ComplementFlipsMembershipOverJointVocabulary) {
+  Schema a_docs = ParseS("start = A+\nA = a<>");
+  Schema universe = ParseS("start = X*\nX = a<>\nX = b<X*>");
+  auto comp = ComplementSchema(a_docs, universe);
+  ASSERT_TRUE(comp.ok()) << comp.status().ToString();
+  EXPECT_FALSE(comp->Validates(Parse("a")));
+  EXPECT_FALSE(comp->Validates(Parse("a a")));
+  EXPECT_TRUE(comp->Validates(Parse("")));
+  EXPECT_TRUE(comp->Validates(Parse("b")));
+  EXPECT_TRUE(comp->Validates(Parse("a b")));
+  EXPECT_TRUE(comp->Validates(Parse("a<a>")));  // a with content is not A+
+}
+
+TEST_F(AlgebraTest, DifferenceAndInclusion) {
+  Schema any_ab = ParseS("start = X*\nX = a<>\nX = b<>");
+  Schema only_a = ParseS("start = A*\nA = a<>");
+  auto diff = DifferenceSchemas(any_ab, only_a);
+  ASSERT_TRUE(diff.ok());
+  EXPECT_FALSE(diff->Validates(Parse("")));
+  EXPECT_FALSE(diff->Validates(Parse("a a")));
+  EXPECT_TRUE(diff->Validates(Parse("a b")));
+  EXPECT_TRUE(diff->Validates(Parse("b")));
+
+  auto inc = SchemaIncludes(only_a, any_ab);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_TRUE(*inc);
+  auto not_inc = SchemaIncludes(any_ab, only_a);
+  ASSERT_TRUE(not_inc.ok());
+  EXPECT_FALSE(*not_inc);
+}
+
+TEST_F(AlgebraTest, EquivalenceOfSyntacticVariants) {
+  // A+ written two ways.
+  Schema v1 = ParseS("start = A A*\nA = a<>");
+  Schema v2 = ParseS("start = A* A\nA = a<>");
+  Schema v3 = ParseS("start = A*\nA = a<>");
+  auto eq12 = SchemasEquivalent(v1, v2);
+  ASSERT_TRUE(eq12.ok());
+  EXPECT_TRUE(*eq12);
+  auto eq13 = SchemasEquivalent(v1, v3);
+  ASSERT_TRUE(eq13.ok());
+  EXPECT_FALSE(*eq13);  // v3 also accepts the empty document
+}
+
+TEST_F(AlgebraTest, ArticleSchemaRefinement) {
+  // A stricter article (figures always captioned) is included in the
+  // permissive one.
+  Schema permissive = ParseS(
+      "start = Article\n"
+      "Article = article<Title Section*>\n"
+      "Title = title<Text>\n"
+      "Text = $#text\n"
+      "Section = section<Title (Para|Figure|Caption)*>\n"
+      "Para = para<Text>\n"
+      "Figure = figure<>\n"
+      "Caption = caption<Text>\n");
+  Schema strict = ParseS(
+      "start = Article\n"
+      "Article = article<Title Section*>\n"
+      "Title = title<Text>\n"
+      "Text = $#text\n"
+      "Section = section<Title (Para|Figure Caption)*>\n"
+      "Para = para<Text>\n"
+      "Figure = figure<>\n"
+      "Caption = caption<Text>\n");
+  auto inc = SchemaIncludes(strict, permissive);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_TRUE(*inc);
+  auto rev = SchemaIncludes(permissive, strict);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_FALSE(*rev);
+
+  // Witness of the difference: a figure without its caption.
+  auto diff = DifferenceSchemas(permissive, strict);
+  ASSERT_TRUE(diff.ok());
+  auto witness = automata::WitnessHedge(diff->nha());
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(permissive.Validates(*witness));
+  EXPECT_FALSE(strict.Validates(*witness));
+}
+
+TEST_F(AlgebraTest, RandomizedBooleanLaws) {
+  Schema s1 = ParseS("start = X*\nX = a<X*>\nX = b<>");
+  Schema s2 = ParseS("start = Y Y*\nY = a<>\nY = b<Y?>");
+  Schema inter = IntersectSchemas(s1, s2);
+  Schema uni = UnionSchemas(s1, s2);
+  auto comp1 = ComplementSchema(s1, s2);
+  ASSERT_TRUE(comp1.ok());
+
+  Rng rng(88);
+  for (int trial = 0; trial < 80; ++trial) {
+    workload::RandomHedgeOptions options;
+    options.target_nodes = 1 + rng.Below(8);
+    options.num_symbols = 2;  // a0/a1... different names than a/b
+    Hedge doc = workload::RandomHedge(rng, vocab_, options);
+    bool in1 = s1.Validates(doc);
+    bool in2 = s2.Validates(doc);
+    EXPECT_EQ(inter.Validates(doc), in1 && in2) << doc.ToString(vocab_);
+    EXPECT_EQ(uni.Validates(doc), in1 || in2) << doc.ToString(vocab_);
+  }
+  // Complement laws on the joint vocabulary {a, b}.
+  for (const char* text : {"", "a", "b", "a b", "a<a b>", "b<b<a>>",
+                           "a<b> a", "b b b"}) {
+    Hedge doc = Parse(text);
+    EXPECT_NE(s1.Validates(doc), comp1->Validates(doc)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::schema

@@ -1,0 +1,125 @@
+// Boolean-operation laws for hedge automata over random documents, plus
+// determinization/complement interplay — the closure properties Section 8
+// leans on ("regular sets are closed under ... boolean operations").
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "hre/compile.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::automata {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+class HedgeBooleanTest : public ::testing::Test {
+ protected:
+  Nha Compile(const std::string& expr) {
+    auto e = hre::ParseHre(expr, vocab_);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return hre::CompileHre(*e);
+  }
+
+  // Random hedges over the fixed vocabulary {a, b} x {x}.
+  Hedge RandomDoc(Rng& rng) {
+    hedge::SymbolId a = vocab_.symbols.Intern("a");
+    hedge::SymbolId b = vocab_.symbols.Intern("b");
+    hedge::VarId x = vocab_.variables.Intern("x");
+    Hedge h;
+    std::vector<hedge::NodeId> open = {hedge::kNullNode};
+    size_t size = 1 + rng.Below(10);
+    for (size_t i = 0; i < size; ++i) {
+      hedge::NodeId parent = open[rng.Below(open.size())];
+      switch (rng.Below(3)) {
+        case 0:
+          open.push_back(h.Append(parent, hedge::Label::Symbol(a)));
+          break;
+        case 1:
+          open.push_back(h.Append(parent, hedge::Label::Symbol(b)));
+          break;
+        default:
+          h.Append(parent, hedge::Label::Variable(x));
+          break;
+      }
+    }
+    return h;
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(HedgeBooleanTest, IntersectionAndUnionLaws) {
+  const char* exprs[] = {"(a|b|$x)*", "a (a|b|$x)*", "(a<(a|b|$x)*>|b|$x)*",
+                         "($x|a)*", "(b<$x*>|a)*"};
+  Rng rng(31337);
+  for (const char* ea : exprs) {
+    for (const char* eb : exprs) {
+      Nha a = Compile(ea);
+      Nha b = Compile(eb);
+      Nha inter = IntersectNha(a, b);
+      Nha uni = UnionNha(a, b);
+      for (int trial = 0; trial < 15; ++trial) {
+        Hedge doc = RandomDoc(rng);
+        bool in_a = a.Accepts(doc);
+        bool in_b = b.Accepts(doc);
+        ASSERT_EQ(inter.Accepts(doc), in_a && in_b)
+            << ea << " ∩ " << eb << " on " << doc.ToString(vocab_);
+        ASSERT_EQ(uni.Accepts(doc), in_a || in_b)
+            << ea << " ∪ " << eb << " on " << doc.ToString(vocab_);
+      }
+    }
+  }
+}
+
+TEST_F(HedgeBooleanTest, ComplementViaDeterminization) {
+  Rng rng(404);
+  for (const char* expr : {"a (a|b|$x)*", "(a<(b|$x)*>|b)*", "($x $x)*"}) {
+    Nha nha = Compile(expr);
+    auto det = Determinize(nha);
+    ASSERT_TRUE(det.ok());
+    Dha comp = ComplementDha(det->dha);
+    for (int trial = 0; trial < 30; ++trial) {
+      Hedge doc = RandomDoc(rng);
+      ASSERT_NE(nha.Accepts(doc), comp.Accepts(doc))
+          << expr << " on " << doc.ToString(vocab_);
+    }
+  }
+}
+
+TEST_F(HedgeBooleanTest, DoubleComplementRestoresLanguage) {
+  Rng rng(808);
+  Nha nha = Compile("(a<(b|$x)*>|b)*");
+  auto det = Determinize(nha);
+  ASSERT_TRUE(det.ok());
+  Dha comp2 = ComplementDha(ComplementDha(det->dha));
+  for (int trial = 0; trial < 30; ++trial) {
+    Hedge doc = RandomDoc(rng);
+    ASSERT_EQ(nha.Accepts(doc), comp2.Accepts(doc)) << doc.ToString(vocab_);
+  }
+}
+
+TEST_F(HedgeBooleanTest, EmptinessOfContradictoryIntersection) {
+  // "root label a" ∩ "root label b" at the top level = empty.
+  Nha only_a = Compile("a<(a|b|$x)*>");
+  Nha only_b = Compile("b<(a|b|$x)*>");
+  EXPECT_TRUE(IsEmptyNha(IntersectNha(only_a, only_b)));
+  EXPECT_FALSE(IsEmptyNha(UnionNha(only_a, only_b)));
+}
+
+TEST_F(HedgeBooleanTest, IntersectionAssociatesOnMembership) {
+  Rng rng(111);
+  Nha a = Compile("(a|b|$x)*");
+  Nha b = Compile("(a<(a|b|$x)*>|$x)*");
+  Nha c = Compile("($x|a|b)*");
+  Nha left = IntersectNha(IntersectNha(a, b), c);
+  Nha right = IntersectNha(a, IntersectNha(b, c));
+  for (int trial = 0; trial < 20; ++trial) {
+    Hedge doc = RandomDoc(rng);
+    ASSERT_EQ(left.Accepts(doc), right.Accepts(doc)) << doc.ToString(vocab_);
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::automata

@@ -1,0 +1,135 @@
+// Query containment and equivalence under a schema, with counterexample
+// synthesis — the Section 9 "optimization techniques" question made
+// decidable by match-identifying products.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "query/selection.h"
+#include "schema/transform.h"
+
+namespace hedgeq::schema {
+namespace {
+
+using hedge::Vocabulary;
+
+constexpr const char* kArticleGrammar = R"(
+start   = Article
+Article = article<Title Section*>
+Title   = title<Text>
+Text    = $#text
+Section = section<Title (Para|Figure|Caption|Table|Section)*>
+Para    = para<Text>
+Figure  = figure<Image>
+Image   = image<>
+Caption = caption<Text>
+Table   = table<>
+)";
+
+class ContainmentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = ParseSchema(kArticleGrammar, vocab_);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    schema_ = std::make_unique<Schema>(std::move(s).value());
+  }
+  query::SelectionQuery ParseQ(const std::string& text) {
+    auto r = query::ParseSelectionQuery(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+  std::unique_ptr<Schema> schema_;
+};
+
+TEST_F(ContainmentTest, StrictContainment) {
+  // Figures directly under a top-level section ⊆ figures anywhere.
+  query::SelectionQuery narrow = ParseQ("select(*; figure section article)");
+  query::SelectionQuery wide = ParseQ("select(*; figure (section|article)*)");
+
+  auto forward = QueryContainment(*schema_, narrow, wide);
+  ASSERT_TRUE(forward.ok()) << forward.status().ToString();
+  EXPECT_TRUE(forward->contained);
+  EXPECT_FALSE(forward->counterexample.has_value());
+
+  auto backward = QueryContainment(*schema_, wide, narrow);
+  ASSERT_TRUE(backward.ok());
+  EXPECT_FALSE(backward->contained);
+  // The counterexample shows a node wide locates but narrow does not: a
+  // figure deeper than one section.
+  ASSERT_TRUE(backward->counterexample.has_value());
+  const hedge::Hedge& doc = backward->counterexample->document;
+  hedge::NodeId n = backward->counterexample->located;
+  EXPECT_TRUE(schema_->Validates(doc));
+  auto wide_eval = query::SelectionEvaluator::Create(wide);
+  auto narrow_eval = query::SelectionEvaluator::Create(narrow);
+  EXPECT_TRUE(wide_eval->Locate(doc)[n]) << doc.ToString(vocab_);
+  EXPECT_FALSE(narrow_eval->Locate(doc)[n]) << doc.ToString(vocab_);
+}
+
+TEST_F(ContainmentTest, SchemaMakesSyntacticallyDifferentQueriesEquivalent) {
+  // Under this schema every figure's content is exactly one image, so the
+  // subhedge condition "image" is vacuous — the queries differ as syntax
+  // but locate identical nodes on every valid document.
+  query::SelectionQuery plain = ParseQ("select(*; figure (section|article)*)");
+  query::SelectionQuery with_subhedge =
+      ParseQ("select(image; figure (section|article)*)");
+  auto equivalent =
+      QueriesEquivalentUnderSchema(*schema_, plain, with_subhedge);
+  ASSERT_TRUE(equivalent.ok()) << equivalent.status().ToString();
+  EXPECT_TRUE(*equivalent);
+
+  // Without schema support the distinction matters: sections with only a
+  // title vs all sections.
+  query::SelectionQuery sections =
+      ParseQ("select(*; section (section|article)*)");
+  query::SelectionQuery title_only =
+      ParseQ("select(title<$#text>; section (section|article)*)");
+  auto not_equiv =
+      QueriesEquivalentUnderSchema(*schema_, sections, title_only);
+  ASSERT_TRUE(not_equiv.ok());
+  EXPECT_FALSE(*not_equiv);
+  // But the subhedge-constrained one is contained in the plain one.
+  auto inc = QueryContainment(*schema_, title_only, sections);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_TRUE(inc->contained);
+}
+
+TEST_F(ContainmentTest, DisjointQueriesContainedOnlyViaEmptiness) {
+  // Captions directly under article never match; the empty query is
+  // contained in everything.
+  query::SelectionQuery impossible = ParseQ("select(*; caption article)");
+  query::SelectionQuery anything = ParseQ("select(*; figure (section|article)*)");
+  auto inc = QueryContainment(*schema_, impossible, anything);
+  ASSERT_TRUE(inc.ok());
+  EXPECT_TRUE(inc->contained);
+  auto rev = QueryContainment(*schema_, anything, impossible);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_FALSE(rev->contained);
+}
+
+TEST_F(ContainmentTest, SiblingConditionRefinesPathQuery) {
+  query::SelectionQuery with_caption = ParseQ(
+      "select(*; [*; figure; caption<$#text> "
+      "(para<$#text>|figure<image>|caption<$#text>|table|"
+      "section<%z>*^z|title<$#text>|$#text)*] (section|article)*)");
+  query::SelectionQuery all_figures =
+      ParseQ("select(*; figure (section|article)*)");
+  auto inc = QueryContainment(*schema_, with_caption, all_figures);
+  ASSERT_TRUE(inc.ok()) << inc.status().ToString();
+  EXPECT_TRUE(inc->contained);
+  auto rev = QueryContainment(*schema_, all_figures, with_caption);
+  ASSERT_TRUE(rev.ok());
+  EXPECT_FALSE(rev->contained);
+  ASSERT_TRUE(rev->counterexample.has_value());
+  // The counterexample figure is not followed by a caption.
+  const hedge::Hedge& doc = rev->counterexample->document;
+  hedge::NodeId n = rev->counterexample->located;
+  hedge::NodeId next = doc.next_sibling(n);
+  EXPECT_TRUE(next == hedge::kNullNode ||
+              vocab_.symbols.NameOf(doc.label(next).id) != "caption")
+      << doc.ToString(vocab_);
+}
+
+}  // namespace
+}  // namespace hedgeq::schema

@@ -1,0 +1,251 @@
+#include <gtest/gtest.h>
+
+#include "automata/determinize.h"
+#include "automata/dha.h"
+#include "automata/nha.h"
+#include "strre/ops.h"
+#include "util/rng.h"
+
+namespace hedgeq::automata {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+using strre::CompileRegex;
+using strre::Concat;
+using strre::Star;
+using strre::Sym;
+
+class DeterminizeTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  Nha BuildM1() {
+    Nha m;
+    HState qd = m.AddState();
+    HState qp1 = m.AddState();
+    HState qp2 = m.AddState();
+    HState qx = m.AddState();
+    m.AddVariableState(vocab_.variables.Intern("x"), qx);
+    hedge::SymbolId d = vocab_.symbols.Intern("d");
+    hedge::SymbolId p = vocab_.symbols.Intern("p");
+    m.AddRule(d, CompileRegex(Concat(Sym(qp1), Star(Sym(qp2)))), qd);
+    m.AddRule(p, CompileRegex(Concat(Sym(qx), Sym(qx))), qp1);
+    m.AddRule(p, CompileRegex(Concat(Sym(qx), Sym(qx))), qp2);
+    m.AddRule(p, CompileRegex(Sym(qx)), qp1);
+    m.SetFinal(CompileRegex(Star(Sym(qd))));
+    return m;
+  }
+
+  // Generates a random hedge over {a,b} x {x} with ~`size` nodes.
+  Hedge RandomHedge(Rng& rng, int size) {
+    Hedge h;
+    std::vector<hedge::NodeId> open = {hedge::kNullNode};
+    hedge::SymbolId a = vocab_.symbols.Intern("a");
+    hedge::SymbolId b = vocab_.symbols.Intern("b");
+    hedge::VarId x = vocab_.variables.Intern("x");
+    for (int i = 0; i < size; ++i) {
+      hedge::NodeId parent = open[rng.Below(open.size())];
+      switch (rng.Below(3)) {
+        case 0:
+          open.push_back(h.Append(parent, hedge::Label::Symbol(a)));
+          break;
+        case 1:
+          open.push_back(h.Append(parent, hedge::Label::Symbol(b)));
+          break;
+        default:
+          h.Append(parent, hedge::Label::Variable(x));
+          break;
+      }
+    }
+    return h;
+  }
+
+  // A small non-deterministic automaton over {a,b}: accepts hedges with at
+  // least one "a" node all of whose children are x leaves.
+  Nha BuildGuesser() {
+    Nha m;
+    HState any = m.AddState();   // any tree
+    HState hit = m.AddState();   // subtree containing the pattern
+    HState leaf = m.AddState();  // x leaf
+    hedge::SymbolId a = vocab_.symbols.Intern("a");
+    hedge::SymbolId b = vocab_.symbols.Intern("b");
+    m.AddVariableState(vocab_.variables.Intern("x"), leaf);
+    strre::Regex anyseq = Star(strre::Alt(Sym(any), Sym(leaf)));
+    for (hedge::SymbolId s : {a, b}) {
+      m.AddRule(s, CompileRegex(anyseq), any);
+      // Propagate a hit from any child position.
+      m.AddRule(s,
+                CompileRegex(strre::ConcatAll(
+                    {anyseq, Sym(hit), anyseq})),
+                hit);
+    }
+    // The pattern itself: an "a" whose children are all x leaves (at least
+    // one child, to keep it non-trivial).
+    m.AddRule(a, CompileRegex(strre::Plus(Sym(leaf))), hit);
+    m.SetFinal(CompileRegex(strre::ConcatAll(
+        {Star(strre::Alt(Sym(any), Sym(leaf))), Sym(hit),
+         Star(strre::Alt(Sym(any), Sym(leaf)))})));
+    return m;
+  }
+
+  // Reference implementation of the guesser property.
+  bool HasPattern(const Hedge& h) {
+    hedge::SymbolId a = vocab_.symbols.Intern("a");
+    for (hedge::NodeId n : h.PreOrder()) {
+      if (h.label(n).kind != hedge::LabelKind::kSymbol ||
+          h.label(n).id != a) {
+        continue;
+      }
+      std::vector<hedge::NodeId> kids = h.ChildrenOf(n);
+      if (kids.empty()) continue;
+      bool all_leaves = true;
+      for (hedge::NodeId c : kids) {
+        if (h.label(c).kind != hedge::LabelKind::kVariable) {
+          all_leaves = false;
+          break;
+        }
+      }
+      if (all_leaves) return true;
+    }
+    return false;
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(DeterminizeTest, DhaAgreesWithNhaOnPaperExamples) {
+  Nha m1 = BuildM1();
+  auto det = Determinize(m1);
+  ASSERT_TRUE(det.ok()) << det.status().ToString();
+  const Dha& dha = det->dha;
+  for (const char* text :
+       {"d<p<$x> p<$y>>", "d<p<$x $x> p<$x $x>>", "d<p<$x>>", "",
+        "d<p<$x $x>>", "d<p<$x $x> p<$x $x> p<$x $x>>", "p<$x>",
+        "d<p<$x $x> p<$x>>", "d<p<$x> p<$x $x>>"}) {
+    Hedge h = Parse(text);
+    EXPECT_EQ(m1.Accepts(h), dha.Accepts(h)) << text;
+  }
+}
+
+TEST_F(DeterminizeTest, SinkIsEmptySubset) {
+  auto det = Determinize(BuildM1());
+  ASSERT_TRUE(det.ok());
+  EXPECT_EQ(det->dha.sink(), 0u);
+  EXPECT_TRUE(det->subsets[0].None());
+}
+
+TEST_F(DeterminizeTest, RunAssignsSubsetOfSimulatedStates) {
+  Nha m1 = BuildM1();
+  auto det = Determinize(m1);
+  ASSERT_TRUE(det.ok());
+  Hedge h = Parse("d<p<$x $x> p<$x $x>>");
+  std::vector<Bitset> sets = m1.ComputeStateSets(h);
+  std::vector<HState> run = det->dha.Run(h);
+  for (hedge::NodeId n = 0; n < h.num_nodes(); ++n) {
+    if (h.label(n).kind == hedge::LabelKind::kEta) continue;
+    EXPECT_EQ(det->subsets[run[n]], sets[n]) << "node " << n;
+  }
+}
+
+TEST_F(DeterminizeTest, RandomizedAgreementWithSimulation) {
+  Nha guesser = BuildGuesser();
+  auto det = Determinize(guesser);
+  ASSERT_TRUE(det.ok()) << det.status().ToString();
+  Rng rng(20260706);
+  int accepted = 0;
+  for (int trial = 0; trial < 200; ++trial) {
+    Hedge h = RandomHedge(rng, 1 + static_cast<int>(rng.Below(40)));
+    bool expected = HasPattern(h);
+    EXPECT_EQ(guesser.Accepts(h), expected) << h.ToString(vocab_);
+    EXPECT_EQ(det->dha.Accepts(h), expected) << h.ToString(vocab_);
+    accepted += expected ? 1 : 0;
+  }
+  // Sanity: the workload exercises both outcomes.
+  EXPECT_GT(accepted, 10);
+  EXPECT_LT(accepted, 190);
+}
+
+TEST_F(DeterminizeTest, CapsAreEnforced) {
+  DeterminizeOptions options;
+  options.max_dha_states = 1;  // sink alone already hits the cap
+  auto det = Determinize(BuildM1(), options);
+  ASSERT_FALSE(det.ok());
+  EXPECT_EQ(det.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST_F(DeterminizeTest, UnknownSymbolsFallToSink) {
+  auto det = Determinize(BuildM1());
+  ASSERT_TRUE(det.ok());
+  Hedge h = Parse("unheard-of<d<p<$x $x>>>");
+  std::vector<HState> run = det->dha.Run(h);
+  EXPECT_EQ(run[h.roots()[0]], det->dha.sink());
+  EXPECT_FALSE(det->dha.Accepts(h));
+}
+
+TEST_F(DeterminizeTest, MarkedDhaMatchesRunWithMarks) {
+  Nha guesser = BuildGuesser();
+  auto det = Determinize(guesser);
+  ASSERT_TRUE(det.ok());
+  Dha marked = BuildMarkedDha(det->dha);
+  Rng rng(7);
+  for (int trial = 0; trial < 50; ++trial) {
+    Hedge h = RandomHedge(rng, 1 + static_cast<int>(rng.Below(30)));
+    Dha::MarkedRun mr = det->dha.RunWithMarks(h);
+    std::vector<HState> run2 = marked.Run(h);
+    for (hedge::NodeId n = 0; n < h.num_nodes(); ++n) {
+      if (h.label(n).kind != hedge::LabelKind::kSymbol) continue;
+      // Marked DHA state encodes (q, bit) as 2q + bit.
+      EXPECT_EQ(run2[n] / 2, mr.states[n]);
+      EXPECT_EQ(run2[n] % 2 == 1, mr.marks[n]);
+    }
+    EXPECT_TRUE(marked.Accepts(h));  // Theorem 3: accepts every hedge
+  }
+}
+
+TEST_F(DeterminizeTest, ComplementDhaFlipsAcceptance) {
+  Nha guesser = BuildGuesser();
+  auto det = Determinize(guesser);
+  ASSERT_TRUE(det.ok());
+  Dha comp = ComplementDha(det->dha);
+  Rng rng(99);
+  for (int trial = 0; trial < 100; ++trial) {
+    Hedge h = RandomHedge(rng, 1 + static_cast<int>(rng.Below(25)));
+    EXPECT_NE(det->dha.Accepts(h), comp.Accepts(h));
+  }
+}
+
+TEST_F(DeterminizeTest, DhaToNhaPreservesLanguage) {
+  Nha guesser = BuildGuesser();
+  auto det = Determinize(guesser);
+  ASSERT_TRUE(det.ok());
+  Nha back = DhaToNha(det->dha);
+  Rng rng(123);
+  for (int trial = 0; trial < 60; ++trial) {
+    Hedge h = RandomHedge(rng, 1 + static_cast<int>(rng.Below(20)));
+    EXPECT_EQ(det->dha.Accepts(h), back.Accepts(h)) << h.ToString(vocab_);
+  }
+}
+
+TEST_F(DeterminizeTest, LiftToSubsetsMatchesSemantics) {
+  Nha m1 = BuildM1();
+  auto det = Determinize(m1);
+  ASSERT_TRUE(det.ok());
+  // Lift the final language and compare with the built-in final DFA on the
+  // state sequences produced by runs.
+  strre::Dfa lifted = LiftToSubsets(m1.final_nfa(), det->subsets);
+  for (const char* text : {"", "d<p<$x>>", "d<p<$x>> d<p<$x $x>>", "p<$x>"}) {
+    Hedge h = Parse(text);
+    std::vector<HState> run = det->dha.Run(h);
+    std::vector<strre::Symbol> roots;
+    for (hedge::NodeId r : h.roots()) roots.push_back(run[r]);
+    EXPECT_EQ(lifted.Accepts(roots), det->dha.Accepts(h)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::automata

@@ -1,0 +1,149 @@
+// Theorem 2 round trips: expression -> automaton (Lemma 1) -> expression
+// (Lemma 2) -> automaton, comparing languages on random hedges.
+#include <gtest/gtest.h>
+
+#include "automata/analysis.h"
+#include "hre/compile.h"
+#include "hre/from_nha.h"
+#include "strre/ops.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::hre {
+namespace {
+
+using automata::Nha;
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+class FromNhaTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(FromNhaTest, RegexToHreStructure) {
+  auto resolve = [](std::string_view) { return strre::Symbol{0}; };
+  auto r = strre::ParseRegex("(x|y)* x+", resolve);
+  ASSERT_TRUE(r.ok());
+  Vocabulary vocab;
+  hedge::VarId v = vocab.variables.Intern("v");
+  Hre hre = RegexToHre(*r, [&](strre::Symbol) { return HVar(v); });
+  // ($v|$v)* ($v $v*): shape preserved, leaves mapped.
+  EXPECT_EQ(hre->kind(), HreKind::kConcat);
+}
+
+TEST_F(FromNhaTest, HandAutomatonRoundTrip) {
+  // The paper's M0 language: sequences of d<p<x> p<y>*>.
+  Nha m0;
+  automata::HState qd = m0.AddState();
+  automata::HState qp1 = m0.AddState();
+  automata::HState qp2 = m0.AddState();
+  automata::HState qx = m0.AddState();
+  automata::HState qy = m0.AddState();
+  m0.AddVariableState(vocab_.variables.Intern("x"), qx);
+  m0.AddVariableState(vocab_.variables.Intern("y"), qy);
+  m0.AddRule(vocab_.symbols.Intern("d"),
+             strre::CompileRegex(
+                 strre::Concat(strre::Sym(qp1), strre::Star(strre::Sym(qp2)))),
+             qd);
+  m0.AddRule(vocab_.symbols.Intern("p"), strre::CompileRegex(strre::Sym(qx)),
+             qp1);
+  m0.AddRule(vocab_.symbols.Intern("p"), strre::CompileRegex(strre::Sym(qy)),
+             qp2);
+  m0.SetFinal(strre::CompileRegex(strre::Star(strre::Sym(qd))));
+
+  auto expr = NhaToHre(m0, vocab_);
+  ASSERT_TRUE(expr.ok()) << expr.status().ToString();
+  Nha back = CompileHre(*expr);
+
+  for (const char* text :
+       {"", "d<p<$x>>", "d<p<$x> p<$y>> d<p<$x>>", "d<p<$x> p<$y> p<$y>>"}) {
+    EXPECT_TRUE(back.Accepts(Parse(text))) << text;
+  }
+  for (const char* text :
+       {"d", "p<$x>", "d<p<$y>>", "d<p<$x> p<$x>>", "$x",
+        "d<p<$x>> p<$y>"}) {
+    EXPECT_FALSE(back.Accepts(Parse(text))) << text;
+  }
+}
+
+class Theorem2RoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(Theorem2RoundTrip, LanguagesAgreeOnRandomHedges) {
+  Vocabulary vocab;
+  auto e = ParseHre(GetParam(), vocab);
+  ASSERT_TRUE(e.ok()) << e.status().ToString();
+  Nha nha = CompileHre(*e);
+  // Prune first: Lemma 2 is doubly exponential in split-state count.
+  Nha pruned = automata::PruneNha(nha);
+  auto back_expr = NhaToHre(pruned, vocab);
+  ASSERT_TRUE(back_expr.ok()) << back_expr.status().ToString();
+  Nha back = CompileHre(*back_expr);
+
+  Rng rng(2026);
+  int accepted = 0;
+  for (int trial = 0; trial < 120; ++trial) {
+    workload::RandomHedgeOptions options;
+    options.target_nodes = 1 + rng.Below(8);
+    options.num_symbols = 2;  // a0, a1 - rename below
+    Hedge raw = workload::RandomHedge(rng, vocab, options);
+    // Relabel onto the expression's probable vocabulary {a, b, $x, $y}.
+    hedge::SymbolId a = vocab.symbols.Intern("a");
+    hedge::SymbolId b = vocab.symbols.Intern("b");
+    hedge::VarId x = vocab.variables.Intern("x");
+    hedge::VarId y = vocab.variables.Intern("y");
+    Hedge doc;
+    std::vector<hedge::NodeId> map(raw.num_nodes());
+    for (hedge::NodeId n : raw.PreOrder()) {
+      hedge::Label label = raw.label(n);
+      if (label.kind == hedge::LabelKind::kSymbol) {
+        label.id = label.id % 2 == 0 ? a : b;
+      } else {
+        label = label.id % 2 == 0 ? hedge::Label::Variable(x)
+                                  : hedge::Label::Variable(y);
+      }
+      hedge::NodeId parent = raw.parent(n) == hedge::kNullNode
+                                 ? hedge::kNullNode
+                                 : map[raw.parent(n)];
+      map[n] = doc.Append(parent, label);
+    }
+    bool expected = nha.Accepts(doc);
+    EXPECT_EQ(back.Accepts(doc), expected)
+        << GetParam() << " on " << doc.ToString(vocab);
+    accepted += expected ? 1 : 0;
+  }
+  // Also the canonical members/non-members: empty hedge.
+  Hedge empty;
+  EXPECT_EQ(back.Accepts(empty), nha.Accepts(empty));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, Theorem2RoundTrip,
+                         ::testing::Values("a", "a*", "a|b", "a<b>",
+                                           "a<b*>*", "(a b)*", "a<$x>",
+                                           "($x|$y)*", "a<a<$x>|b>",
+                                           "a<b> b<a>", "(a<$x*>|b)*"));
+
+TEST_F(FromNhaTest, RejectsSubstitutionStates) {
+  auto e = ParseHre("a<%z>", vocab_);
+  ASSERT_TRUE(e.ok());
+  Nha nha = CompileHre(*e);
+  auto back = NhaToHre(nha, vocab_);
+  ASSERT_FALSE(back.ok());
+  EXPECT_EQ(back.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(FromNhaTest, EmptyAutomaton) {
+  Nha empty;
+  empty.SetFinal(strre::CompileRegex(strre::EmptySet()));
+  auto expr = NhaToHre(empty, vocab_);
+  ASSERT_TRUE(expr.ok());
+  EXPECT_EQ((*expr)->kind(), HreKind::kEmptySet);
+}
+
+}  // namespace
+}  // namespace hedgeq::hre

@@ -1,0 +1,120 @@
+// Robustness sweeps: every parser must reject (never crash on) arbitrary
+// byte soup, near-miss mutations of valid inputs, and adversarial nesting.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "baseline/xpath.h"
+#include "hre/ast.h"
+#include "phr/phr.h"
+#include "query/selection.h"
+#include "schema/schema.h"
+#include "util/rng.h"
+#include "xml/xml.h"
+
+namespace hedgeq {
+namespace {
+
+using hedge::Vocabulary;
+
+std::string RandomBytes(Rng& rng, size_t len) {
+  // Printable-heavy soup with the grammar's metacharacters over-represented.
+  static const char kChars[] =
+      "abcxyz $%@<>()[]{}|*+?^;=/#!&'\"-_.0123456789\n\t\\";
+  std::string out;
+  for (size_t i = 0; i < len; ++i) {
+    out += kChars[rng.Below(sizeof(kChars) - 1)];
+  }
+  return out;
+}
+
+// Every parser, one entry point each; none may crash.
+void TryAll(const std::string& input) {
+  Vocabulary vocab;
+  (void)ParseHedge(input, vocab);
+  (void)hre::ParseHre(input, vocab);
+  (void)phr::ParsePhr(input, vocab);
+  (void)query::ParseSelectionQuery(input, vocab);
+  (void)schema::ParseSchema(input, vocab);
+  (void)baseline::ParseXPath(input, vocab);
+  (void)xml::ParseXml(input, vocab);
+  (void)strre::ParseRegex(input, [&](std::string_view name) {
+    return vocab.symbols.Intern(name);
+  });
+}
+
+TEST(FuzzParsersTest, RandomByteSoup) {
+  Rng rng(0xF0220);
+  for (int trial = 0; trial < 300; ++trial) {
+    TryAll(RandomBytes(rng, 1 + rng.Below(120)));
+  }
+}
+
+TEST(FuzzParsersTest, MutatedValidInputs) {
+  const char* seeds[] = {
+      "select((b|$x)*; [(); a; b] [b; a; ()])",
+      "a<b<$x> %z> c @z d<%z>*^z",
+      "<doc a='1'><p>hi &amp; bye</p><![CDATA[x]]></doc>",
+      "start = A\nA = a<B* C?>\nB = b<>\nC = $t",
+      "//figure[following-sibling::*[1][self::caption]]",
+  };
+  Rng rng(0xF0221);
+  for (const char* seed : seeds) {
+    std::string base = seed;
+    for (int trial = 0; trial < 120; ++trial) {
+      std::string mutated = base;
+      size_t edits = 1 + rng.Below(4);
+      for (size_t e = 0; e < edits && !mutated.empty(); ++e) {
+        size_t pos = rng.Below(mutated.size());
+        switch (rng.Below(3)) {
+          case 0:
+            mutated[pos] = static_cast<char>(32 + rng.Below(95));
+            break;
+          case 1:
+            mutated.erase(pos, 1);
+            break;
+          default:
+            mutated.insert(pos, 1, static_cast<char>(32 + rng.Below(95)));
+            break;
+        }
+      }
+      TryAll(mutated);
+    }
+  }
+}
+
+TEST(FuzzParsersTest, DeepNestingDoesNotOverflow) {
+  // Parsers recurse on nesting; make sure plausible depths are fine and
+  // errors (not crashes) come back for unbalanced versions.
+  std::string open, both;
+  for (int i = 0; i < 2000; ++i) {
+    open += "a<";
+    both += "a<";
+  }
+  std::string closed = both;
+  for (int i = 0; i < 2000; ++i) closed += ">";
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseHedge(open, vocab).ok());
+  EXPECT_TRUE(ParseHedge(closed, vocab).ok());
+
+  std::string xml_open, xml_closed;
+  for (int i = 0; i < 2000; ++i) xml_open += "<a>";
+  xml_closed = xml_open;
+  for (int i = 0; i < 2000; ++i) xml_closed += "</a>";
+  EXPECT_FALSE(xml::ParseXml(xml_open, vocab).ok());
+  EXPECT_TRUE(xml::ParseXml(xml_closed, vocab).ok());
+}
+
+TEST(FuzzParsersTest, ErrorsCarryPositions) {
+  Vocabulary vocab;
+  auto r = ParseHedge("a<b $", vocab);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("offset"), std::string::npos);
+
+  auto x = xml::ParseXml("<a><b></a>", vocab);
+  ASSERT_FALSE(x.ok());
+  EXPECT_NE(x.status().message().find("mismatched"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace hedgeq

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "hedge/hedge.h"
+
+namespace hedgeq::hedge {
+namespace {
+
+class HedgeTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(HedgeTest, ParseEmpty) {
+  Hedge h = Parse("");
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.roots().size(), 0u);
+}
+
+TEST_F(HedgeTest, ParseAbbreviatedLeaf) {
+  // "a" abbreviates a<> (Definition 1 discussion).
+  Hedge h = Parse("a");
+  ASSERT_EQ(h.roots().size(), 1u);
+  EXPECT_EQ(h.label(h.roots()[0]).kind, LabelKind::kSymbol);
+  EXPECT_EQ(h.first_child(h.roots()[0]), kNullNode);
+}
+
+TEST_F(HedgeTest, ParsePaperExample) {
+  // a<eps> b<b<eps> x> from Section 3, written a b<b $x>.
+  Hedge h = Parse("a b<b $x>");
+  ASSERT_EQ(h.roots().size(), 2u);
+  NodeId b = h.roots()[1];
+  std::vector<NodeId> kids = h.ChildrenOf(b);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(h.label(kids[0]).kind, LabelKind::kSymbol);
+  EXPECT_EQ(h.label(kids[1]).kind, LabelKind::kVariable);
+  EXPECT_EQ(vocab_.variables.NameOf(h.label(kids[1]).id), "x");
+}
+
+TEST_F(HedgeTest, RoundTrip) {
+  for (const char* text :
+       {"a", "a b c", "a<b<c> $x> d", "d<p<$x> p<$y>> d<p<$x>>",
+        "a<%z> b<@>", "b a<a<b $x> b>"}) {
+    Hedge h = Parse(text);
+    EXPECT_EQ(h.ToString(vocab_), text);
+  }
+}
+
+TEST_F(HedgeTest, ParseErrors) {
+  Vocabulary v;
+  EXPECT_FALSE(ParseHedge("a<", v).ok());
+  EXPECT_FALSE(ParseHedge("a>", v).ok());
+  EXPECT_FALSE(ParseHedge("$", v).ok());
+  EXPECT_FALSE(ParseHedge("<a>", v).ok());
+}
+
+TEST_F(HedgeTest, CeilMatchesPaper) {
+  // Ceil of a<x> is a; ceil of a b<b x> is ab (Definition 2).
+  Hedge h = Parse("a<$x>");
+  std::vector<Label> ceil = h.Ceil();
+  ASSERT_EQ(ceil.size(), 1u);
+  EXPECT_EQ(ceil[0].kind, LabelKind::kSymbol);
+
+  Hedge h2 = Parse("a b<b $x>");
+  EXPECT_EQ(h2.Ceil().size(), 2u);
+}
+
+TEST_F(HedgeTest, StructuralNavigation) {
+  Hedge h = Parse("a<b c d>");
+  NodeId a = h.roots()[0];
+  std::vector<NodeId> kids = h.ChildrenOf(a);
+  ASSERT_EQ(kids.size(), 3u);
+  EXPECT_EQ(h.parent(kids[1]), a);
+  EXPECT_EQ(h.prev_sibling(kids[1]), kids[0]);
+  EXPECT_EQ(h.next_sibling(kids[1]), kids[2]);
+  EXPECT_EQ(h.prev_sibling(kids[0]), kNullNode);
+  EXPECT_EQ(h.next_sibling(kids[2]), kNullNode);
+}
+
+TEST_F(HedgeTest, PreOrderVisitsAllNodesParentFirst) {
+  Hedge h = Parse("a<b<c>> d");
+  std::vector<NodeId> order = h.PreOrder();
+  EXPECT_EQ(order.size(), h.num_nodes());
+  // Parents precede children.
+  for (NodeId n : order) {
+    if (h.parent(n) != kNullNode) {
+      auto parent_pos = std::find(order.begin(), order.end(), h.parent(n));
+      auto node_pos = std::find(order.begin(), order.end(), n);
+      EXPECT_LT(parent_pos - order.begin(), node_pos - order.begin());
+    }
+  }
+}
+
+TEST_F(HedgeTest, DeweyRoundTrip) {
+  Hedge h = Parse("a<b c<d e>> f");
+  for (NodeId n : h.PreOrder()) {
+    EXPECT_EQ(h.AtDewey(h.DeweyOf(n)), n);
+  }
+  EXPECT_EQ(h.AtDewey({9}), kNullNode);
+  EXPECT_EQ(h.AtDewey({0, 5}), kNullNode);
+}
+
+TEST_F(HedgeTest, DepthAndSubtreeSize) {
+  Hedge h = Parse("a<b<c> d>");
+  NodeId a = h.roots()[0];
+  EXPECT_EQ(h.DepthOf(a), 0u);
+  NodeId b = h.ChildrenOf(a)[0];
+  EXPECT_EQ(h.DepthOf(b), 1u);
+  EXPECT_EQ(h.DepthOf(h.ChildrenOf(b)[0]), 2u);
+  EXPECT_EQ(h.SubtreeSize(a), 4u);
+  EXPECT_EQ(h.SubtreeSize(b), 2u);
+}
+
+TEST_F(HedgeTest, SubhedgeMatchesPaperExample) {
+  // Section 6: the subhedge of the first second-level node of b a<a<b x> b>
+  // is "b x".
+  Hedge h = Parse("b a<a<b $x> b>");
+  NodeId second_top = h.roots()[1];
+  NodeId target = h.ChildrenOf(second_top)[0];
+  Hedge sub = h.SubhedgeOf(target);
+  Hedge expected = Parse("b $x");
+  EXPECT_TRUE(sub.EqualTo(expected));
+}
+
+TEST_F(HedgeTest, EnvelopeMatchesPaperExample) {
+  // ... and its envelope is b a<a<eta> b>.
+  Hedge h = Parse("b a<a<b $x> b>");
+  NodeId second_top = h.roots()[1];
+  NodeId target = h.ChildrenOf(second_top)[0];
+  NodeId eta_parent = kNullNode;
+  Hedge env = h.EnvelopeOf(target, &eta_parent);
+  Hedge expected = Parse("b a<a<@> b>");
+  EXPECT_TRUE(env.EqualTo(expected));
+  EXPECT_EQ(env.label(eta_parent).id, h.label(target).id);
+}
+
+TEST_F(HedgeTest, EqualToIsStructural) {
+  Hedge h1 = Parse("a<b> c");
+  Hedge h2 = Parse("a<b> c");
+  Hedge h3 = Parse("a<c> c");
+  Hedge h4 = Parse("a<b>");
+  EXPECT_TRUE(h1.EqualTo(h2));
+  EXPECT_FALSE(h1.EqualTo(h3));
+  EXPECT_FALSE(h1.EqualTo(h4));
+}
+
+TEST_F(HedgeTest, AppendCopyDeepCopies) {
+  Hedge src = Parse("a<b<c> d>");
+  Hedge dst;
+  dst.AppendCopy(kNullNode, src, src.roots()[0]);
+  EXPECT_TRUE(dst.EqualTo(src));
+}
+
+TEST_F(HedgeTest, ChildrenHaveLargerIdsThanParents) {
+  // The bottom-up executors rely on this arena invariant.
+  Hedge h = Parse("a<b<c d> e<f>> g<h>");
+  for (NodeId n : h.PreOrder()) {
+    if (h.parent(n) != kNullNode) {
+      EXPECT_GT(n, h.parent(n));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::hedge

@@ -1,0 +1,147 @@
+#include <gtest/gtest.h>
+
+#include "query/evaluator.h"
+#include "schema/match_identify.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::schema {
+namespace {
+
+using hedge::Hedge;
+using hedge::NodeId;
+using hedge::Vocabulary;
+using query::CompiledPhr;
+using query::CompilePhr;
+
+class MatchIdentifyTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  // Random hedges over {a0..a2} with $x leaves (all covered below).
+  Hedge RandomDoc(Rng& rng, size_t nodes) {
+    workload::RandomHedgeOptions options;
+    options.target_nodes = nodes;
+    options.num_symbols = 3;
+    return workload::RandomHedge(rng, vocab_, options);
+  }
+
+  std::vector<hedge::SymbolId> CoveredSymbols() {
+    return {vocab_.symbols.Intern("a0"), vocab_.symbols.Intern("a1"),
+            vocab_.symbols.Intern("a2")};
+  }
+  std::vector<hedge::VarId> CoveredVars() {
+    return {vocab_.variables.Intern("x")};
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(MatchIdentifyTest, AcceptsEveryCoveredHedge) {
+  auto phr = phr::ParsePhr("[a0*; a1; *] (a0|a1|a2)*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto compiled = CompilePhr(*phr);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<hedge::SymbolId> symbols = CoveredSymbols();
+  std::vector<hedge::VarId> vars = CoveredVars();
+  MatchIdentifying up = BuildMatchIdentifying(*compiled, symbols, vars);
+
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    Hedge doc = RandomDoc(rng, 5 + rng.Below(30));
+    EXPECT_TRUE(up.nha().Accepts(doc)) << doc.ToString(vocab_);
+  }
+  EXPECT_TRUE(up.nha().Accepts(Parse("")));
+}
+
+TEST_F(MatchIdentifyTest, UniqueRunIsAValidComputation) {
+  auto phr = phr::ParsePhr("[a0*; a1; a0*] (a0|a2)*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto compiled = CompilePhr(*phr);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<hedge::SymbolId> symbols = CoveredSymbols();
+  std::vector<hedge::VarId> vars = CoveredVars();
+  MatchIdentifying up = BuildMatchIdentifying(*compiled, symbols, vars);
+
+  Rng rng(32);
+  for (int trial = 0; trial < 10; ++trial) {
+    Hedge doc = RandomDoc(rng, 5 + rng.Below(25));
+    std::vector<uint32_t> expected = up.UniqueRunStates(doc);
+    std::vector<Bitset> sets = up.nha().ComputeStateSets(doc);
+    for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+      EXPECT_TRUE(sets[n].Test(expected[n]))
+          << "node " << n << " in " << doc.ToString(vocab_);
+    }
+  }
+}
+
+TEST_F(MatchIdentifyTest, MarksAgreeWithAlgorithmOne) {
+  auto phr = phr::ParsePhr("[a0*; a1; (a0|a1|$x)*] (a0|a1|a2)*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto compiled = CompilePhr(*phr);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<hedge::SymbolId> symbols = CoveredSymbols();
+  std::vector<hedge::VarId> vars = CoveredVars();
+  query::PhrEvaluator evaluator(std::move(compiled).value());
+  // The evaluator owns its CompiledPhr; UniqueRun needs one that outlives
+  // the MatchIdentifying, so compile a second (deterministic) copy.
+  auto compiled2 = CompilePhr(*phr);
+  ASSERT_TRUE(compiled2.ok());
+  MatchIdentifying up2 = BuildMatchIdentifying(*compiled2, symbols, vars);
+
+  Rng rng(33);
+  for (int trial = 0; trial < 15; ++trial) {
+    Hedge doc = RandomDoc(rng, 5 + rng.Below(40));
+    EXPECT_EQ(up2.UniqueRunMarks(doc), evaluator.Locate(doc))
+        << doc.ToString(vocab_);
+  }
+}
+
+TEST_F(MatchIdentifyTest, PathExpressionVariantAgrees) {
+  auto phr = phr::ParsePhr("a1 a0*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  ASSERT_TRUE(phr->IsPathExpression());
+  auto compiled = CompilePhr(*phr);
+  ASSERT_TRUE(compiled.ok());
+  ASSERT_EQ(compiled->num_classes(), 1u);
+
+  std::vector<hedge::SymbolId> symbols = CoveredSymbols();
+  std::vector<hedge::VarId> vars = CoveredVars();
+  MatchIdentifying general = BuildMatchIdentifying(*compiled, symbols, vars);
+  MatchIdentifying simplified =
+      BuildMatchIdentifyingPathExpr(*compiled, symbols, vars);
+
+  Rng rng(34);
+  for (int trial = 0; trial < 15; ++trial) {
+    Hedge doc = RandomDoc(rng, 5 + rng.Below(30));
+    EXPECT_EQ(general.nha().Accepts(doc), simplified.nha().Accepts(doc));
+    EXPECT_EQ(general.UniqueRunMarks(doc), simplified.UniqueRunMarks(doc))
+        << doc.ToString(vocab_);
+    // Both accept everything covered.
+    EXPECT_TRUE(simplified.nha().Accepts(doc));
+  }
+}
+
+TEST_F(MatchIdentifyTest, MarkedStatesAreFinNStates) {
+  auto phr = phr::ParsePhr("a0*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto compiled = CompilePhr(*phr);
+  ASSERT_TRUE(compiled.ok());
+  std::vector<hedge::SymbolId> symbols = CoveredSymbols();
+  std::vector<hedge::VarId> vars = CoveredVars();
+  MatchIdentifying up = BuildMatchIdentifying(*compiled, symbols, vars);
+  for (uint32_t state = 0; state < up.nha().num_states(); ++state) {
+    if (!up.marked()[state]) continue;
+    EXPECT_FALSE(up.IsLeafState(state));
+    uint32_t s = up.SOf(state);
+    EXPECT_LT(s, up.dead_s());
+    EXPECT_TRUE(compiled->mirror().IsAccepting(s));
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::schema

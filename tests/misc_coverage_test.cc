@@ -1,0 +1,138 @@
+// Coverage for corners the module suites leave out: determinization caps,
+// choice simulation, minimization on real schemas, interner/bitset edges.
+#include <gtest/gtest.h>
+
+#include "automata/analysis.h"
+#include "automata/determinize.h"
+#include "hre/compile.h"
+#include "schema/schema.h"
+#include "strre/ops.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+TEST(DeterminizeCapsTest, HorizontalStateCap) {
+  Vocabulary vocab;
+  auto e = hre::ParseHre("c<(a|b)* a (a|b) (a|b) (a|b) (a|b) (a|b)>", vocab);
+  ASSERT_TRUE(e.ok());
+  automata::Nha nha = hre::CompileHre(*e);
+  automata::DeterminizeOptions options;
+  options.max_h_states = 8;  // needs ~2^6
+  auto det = automata::Determinize(nha, options);
+  ASSERT_FALSE(det.ok());
+  EXPECT_EQ(det.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(det.status().message().find("max_h_states"), std::string::npos);
+}
+
+TEST(AcceptsChoicesTest, Basics) {
+  // Language (0 1 | 2): choices per position.
+  auto nfa = strre::CompileRegex(strre::Alt(
+      strre::Concat(strre::Sym(0), strre::Sym(1)), strre::Sym(2)));
+  using Choices = std::vector<std::vector<strre::Symbol>>;
+  EXPECT_TRUE(strre::AcceptsChoices(nfa, Choices{{0, 5}, {1}}));
+  EXPECT_TRUE(strre::AcceptsChoices(nfa, Choices{{2}}));
+  EXPECT_TRUE(strre::AcceptsChoices(nfa, Choices{{0, 2}}));  // picks 2
+  EXPECT_FALSE(strre::AcceptsChoices(nfa, Choices{{0}}));
+  EXPECT_FALSE(strre::AcceptsChoices(nfa, Choices{{0}, {0}}));
+  EXPECT_FALSE(strre::AcceptsChoices(nfa, Choices{}));
+  // Empty choice set at a position kills every word.
+  EXPECT_FALSE(strre::AcceptsChoices(nfa, Choices{{0}, {}}));
+}
+
+TEST(MinimizeDhaTest, ArticleSchemaStaysValidAndSmall) {
+  Vocabulary vocab;
+  auto schema = schema::ParseSchema(
+      "start = Article\n"
+      "Article = article<Title Section*>\n"
+      "Title = title<Text>\n"
+      "Text = $#text\n"
+      "Section = section<Title (Para|Figure)*>\n"
+      "Para = para<Text>\n"
+      "Figure = figure<>\n",
+      vocab);
+  ASSERT_TRUE(schema.ok());
+  auto det = automata::Determinize(schema->nha());
+  ASSERT_TRUE(det.ok());
+  automata::Dha min = automata::MinimizeDha(det->dha);
+  EXPECT_LE(min.num_states(), det->dha.num_states());
+
+  Rng rng(4242);
+  for (int trial = 0; trial < 10; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 30 + 30 * trial;
+    // The generator emits captions/tables/images this schema rejects, so
+    // both accept and reject paths are exercised.
+    Hedge doc = workload::RandomArticle(rng, vocab, options);
+    EXPECT_EQ(det->dha.Accepts(doc), min.Accepts(doc));
+    EXPECT_EQ(schema->Validates(doc), min.Accepts(doc));
+  }
+}
+
+TEST(BitsetEdgeTest, ZeroAndWordBoundarySizes) {
+  Bitset empty(0);
+  EXPECT_TRUE(empty.None());
+  EXPECT_EQ(empty.Count(), 0u);
+  EXPECT_TRUE(empty.ToVector().empty());
+
+  Bitset b64(64);
+  b64.Set(63);
+  EXPECT_TRUE(b64.Test(63));
+  EXPECT_EQ(b64.Count(), 1u);
+  Bitset b65(65);
+  b65.Set(64);
+  EXPECT_EQ(b65.ToVector(), (std::vector<uint32_t>{64}));
+}
+
+TEST(ShortestWordTest, ContainingLetter) {
+  // (a|b)* with letters {0,1}; shortest word containing 1 is "1".
+  auto nfa = strre::CompileRegex(
+      strre::Star(strre::Alt(strre::Sym(0), strre::Sym(1))));
+  Bitset allowed(2);
+  allowed.Set(0);
+  allowed.Set(1);
+  auto word = automata::ShortestWordContaining(nfa, allowed, 1);
+  ASSERT_TRUE(word.has_value());
+  EXPECT_EQ(*word, (std::vector<strre::Symbol>{1}));
+
+  // If the letter is not allowed, no word qualifies.
+  Bitset only_zero(2);
+  only_zero.Set(0);
+  EXPECT_FALSE(
+      automata::ShortestWordContaining(nfa, only_zero, 1).has_value());
+
+  // Letter required but the language never contains it after position 0:
+  // language = 0 1: containing 0 -> "0 1".
+  auto seq = strre::CompileRegex(strre::Concat(strre::Sym(0), strre::Sym(1)));
+  auto w2 = automata::ShortestWordContaining(seq, allowed, 0);
+  ASSERT_TRUE(w2.has_value());
+  EXPECT_EQ(*w2, (std::vector<strre::Symbol>{0, 1}));
+}
+
+TEST(VocabularyTest, NamespacesAreDisjoint) {
+  Vocabulary vocab;
+  hedge::SymbolId sym = vocab.symbols.Intern("x");
+  hedge::VarId var = vocab.variables.Intern("x");
+  hedge::SubstId sub = vocab.substs.Intern("x");
+  // Same spelling, independent interners: each starts at id 0.
+  EXPECT_EQ(sym, 0u);
+  EXPECT_EQ(var, 0u);
+  EXPECT_EQ(sub, 0u);
+  EXPECT_EQ(vocab.symbols.size(), 1u);
+  EXPECT_EQ(vocab.variables.size(), 1u);
+}
+
+TEST(HedgeLabelTest, EqualityAcrossKinds) {
+  using hedge::Label;
+  EXPECT_TRUE(Label::Eta() == Label::Eta());
+  EXPECT_FALSE(Label::Symbol(0) == Label::Variable(0));
+  EXPECT_FALSE(Label::Symbol(0) == Label::Symbol(1));
+  EXPECT_TRUE(Label::Subst(2) == Label::Subst(2));
+}
+
+}  // namespace
+}  // namespace hedgeq

@@ -1,0 +1,169 @@
+#include <gtest/gtest.h>
+
+#include "automata/nha.h"
+#include "strre/ops.h"
+
+namespace hedgeq::automata {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+using strre::CompileRegex;
+using strre::Concat;
+using strre::Epsilon;
+using strre::Star;
+using strre::Sym;
+
+class NhaTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  // The paper's M0 (Section 3, without the explicit dead state q0): accepts
+  // sequences of trees d<p<x>>, d<p<x> p<y>>, d<p<x> p<y> p<y>>, ...
+  Nha BuildM0() {
+    Nha m;
+    HState qd = m.AddState();
+    HState qp1 = m.AddState();
+    HState qp2 = m.AddState();
+    HState qx = m.AddState();
+    HState qy = m.AddState();
+    m.AddVariableState(vocab_.variables.Intern("x"), qx);
+    m.AddVariableState(vocab_.variables.Intern("y"), qy);
+    hedge::SymbolId d = vocab_.symbols.Intern("d");
+    hedge::SymbolId p = vocab_.symbols.Intern("p");
+    m.AddRule(d, CompileRegex(Concat(Sym(qp1), Star(Sym(qp2)))), qd);
+    m.AddRule(p, CompileRegex(Sym(qx)), qp1);
+    m.AddRule(p, CompileRegex(Sym(qy)), qp2);
+    m.SetFinal(CompileRegex(Star(Sym(qd))));
+    return m;
+  }
+
+  // The paper's M1 (Section 3): non-deterministic; iota(y) is empty, and
+  // alpha(p, qx qx) = {qp1, qp2}, alpha(p, qx) = {qp1}.
+  Nha BuildM1() {
+    Nha m;
+    HState qd = m.AddState();
+    HState qp1 = m.AddState();
+    HState qp2 = m.AddState();
+    HState qx = m.AddState();
+    m.AddVariableState(vocab_.variables.Intern("x"), qx);
+    hedge::SymbolId d = vocab_.symbols.Intern("d");
+    hedge::SymbolId p = vocab_.symbols.Intern("p");
+    m.AddRule(d, CompileRegex(Concat(Sym(qp1), Star(Sym(qp2)))), qd);
+    m.AddRule(p, CompileRegex(Concat(Sym(qx), Sym(qx))), qp1);
+    m.AddRule(p, CompileRegex(Concat(Sym(qx), Sym(qx))), qp2);
+    m.AddRule(p, CompileRegex(Sym(qx)), qp1);
+    m.SetFinal(CompileRegex(Star(Sym(qd))));
+    return m;
+  }
+
+  Vocabulary vocab_;
+};
+
+TEST_F(NhaTest, M0AcceptsPaperExample) {
+  Nha m0 = BuildM0();
+  // d<p<x> p<y>> d<p<x>> is the paper's worked acceptance example.
+  EXPECT_TRUE(m0.Accepts(Parse("d<p<$x> p<$y>> d<p<$x>>")));
+  EXPECT_TRUE(m0.Accepts(Parse("")));
+  EXPECT_TRUE(m0.Accepts(Parse("d<p<$x>>")));
+  EXPECT_TRUE(m0.Accepts(Parse("d<p<$x> p<$y> p<$y>>")));
+}
+
+TEST_F(NhaTest, M0Rejections) {
+  Nha m0 = BuildM0();
+  EXPECT_FALSE(m0.Accepts(Parse("d<p<$y>>")));       // first child must be p<x>
+  EXPECT_FALSE(m0.Accepts(Parse("d<p<$x> p<$x>>"))); // second must be p<y>
+  EXPECT_FALSE(m0.Accepts(Parse("p<$x>")));          // top level must be d's
+  EXPECT_FALSE(m0.Accepts(Parse("d")));              // d needs children
+  EXPECT_FALSE(m0.Accepts(Parse("$x")));             // bare variable
+}
+
+TEST_F(NhaTest, M1MatchesPaperWorkedExamples) {
+  Nha m1 = BuildM1();
+  // "The set of computations of the first hedge is empty."
+  EXPECT_FALSE(m1.Accepts(Parse("d<p<$x> p<$y>>")));
+  // "...the second hedge is accepted."
+  EXPECT_TRUE(m1.Accepts(Parse("d<p<$x $x> p<$x $x>>")));
+}
+
+TEST_F(NhaTest, ComputeStateSetsExposesNondeterminism) {
+  Nha m1 = BuildM1();
+  Hedge h = Parse("d<p<$x $x> p<$x $x>>");
+  std::vector<Bitset> sets = m1.ComputeStateSets(h);
+  // Each p node can be assigned both qp1 and qp2 (states 1 and 2).
+  hedge::NodeId d = h.roots()[0];
+  for (hedge::NodeId p : h.ChildrenOf(d)) {
+    EXPECT_TRUE(sets[p].Test(1));
+    EXPECT_TRUE(sets[p].Test(2));
+  }
+  EXPECT_TRUE(sets[d].Test(0));
+}
+
+TEST_F(NhaTest, IntersectionOfM0AndM1) {
+  // L(M0) requires p<x> then p<y>*; L(M1) requires every p to hold x's and
+  // iota(y) empty. Intersection: only d<p<x>> sequences survive.
+  Nha inter = IntersectNha(BuildM0(), BuildM1());
+  EXPECT_TRUE(inter.Accepts(Parse("d<p<$x>>")));
+  EXPECT_TRUE(inter.Accepts(Parse("d<p<$x>> d<p<$x>>")));
+  EXPECT_TRUE(inter.Accepts(Parse("")));
+  EXPECT_FALSE(inter.Accepts(Parse("d<p<$x> p<$y>>")));
+  EXPECT_FALSE(inter.Accepts(Parse("d<p<$x $x>>")));
+}
+
+TEST_F(NhaTest, UnionAcceptsEitherLanguage) {
+  Nha u = UnionNha(BuildM0(), BuildM1());
+  EXPECT_TRUE(u.Accepts(Parse("d<p<$x> p<$y>>")));    // only M0
+  EXPECT_TRUE(u.Accepts(Parse("d<p<$x $x>>")));       // only M1
+  EXPECT_FALSE(u.Accepts(Parse("d<p<$y>>")));         // neither
+}
+
+TEST_F(NhaTest, EmptinessAndReachability) {
+  EXPECT_FALSE(IsEmptyNha(BuildM0()));
+  EXPECT_FALSE(IsEmptyNha(BuildM1()));
+
+  // An automaton whose only rule needs an underivable state is empty.
+  Nha dead;
+  HState q0 = dead.AddState();
+  HState q1 = dead.AddState();
+  hedge::SymbolId a = vocab_.symbols.Intern("a");
+  dead.AddRule(a, CompileRegex(Sym(q1)), q0);  // q1 never derivable
+  dead.SetFinal(CompileRegex(Sym(q0)));
+  EXPECT_TRUE(IsEmptyNha(dead));
+  Bitset reach = ReachableStates(dead);
+  EXPECT_FALSE(reach.Test(q0));
+  EXPECT_FALSE(reach.Test(q1));
+}
+
+TEST_F(NhaTest, EmptyFinalLanguageMeansEmpty) {
+  Nha m = BuildM0();
+  m.SetFinal(CompileRegex(strre::EmptySet()));
+  EXPECT_TRUE(IsEmptyNha(m));
+}
+
+TEST_F(NhaTest, EpsilonOnlyLanguage) {
+  Nha m;
+  m.SetFinal(CompileRegex(Epsilon()));
+  EXPECT_TRUE(m.Accepts(Parse("")));
+  EXPECT_FALSE(m.Accepts(Parse("a")));
+  EXPECT_FALSE(IsEmptyNha(m));
+}
+
+TEST_F(NhaTest, SubstitutionLeavesCarryStates) {
+  // Automaton for { a<z> }: iota(z) = {zbar}, alpha(a, zbar) = q.
+  Nha m;
+  HState zbar = m.AddState();
+  HState q = m.AddState();
+  m.AddSubstState(vocab_.substs.Intern("z"), zbar);
+  m.AddRule(vocab_.symbols.Intern("a"), CompileRegex(Sym(zbar)), q);
+  m.SetFinal(CompileRegex(Sym(q)));
+  EXPECT_TRUE(m.Accepts(Parse("a<%z>")));
+  EXPECT_FALSE(m.Accepts(Parse("a")));
+  EXPECT_FALSE(m.Accepts(Parse("%z")));
+}
+
+}  // namespace
+}  // namespace hedgeq::automata

@@ -1,0 +1,124 @@
+#include <gtest/gtest.h>
+
+#include "hedge/pointed.h"
+#include "phr/phr.h"
+
+namespace hedgeq::phr {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+class PhrTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Phr ParseP(const std::string& text) {
+    auto r = ParsePhr(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(PhrTest, ParseBareSymbolsArePathSteps) {
+  Phr phr = ParseP("(section)* figure");
+  EXPECT_EQ(phr.triplets().size(), 2u);
+  EXPECT_TRUE(phr.IsPathExpression());
+}
+
+TEST_F(PhrTest, ParseTriplets) {
+  Phr phr = ParseP("[(); a; b] [b; a; ()]");
+  ASSERT_EQ(phr.triplets().size(), 2u);
+  EXPECT_FALSE(phr.IsPathExpression());
+  EXPECT_EQ(phr.triplets()[0].elder->kind(), hre::HreKind::kEpsilon);
+  EXPECT_EQ(vocab_.symbols.NameOf(phr.triplets()[0].label), "a");
+}
+
+TEST_F(PhrTest, ParseStarCondition) {
+  Phr phr = ParseP("[*; a; caption b*]");
+  ASSERT_EQ(phr.triplets().size(), 1u);
+  EXPECT_EQ(phr.triplets()[0].elder, nullptr);
+  EXPECT_NE(phr.triplets()[0].younger, nullptr);
+}
+
+TEST_F(PhrTest, ParseErrors) {
+  Vocabulary v;
+  EXPECT_FALSE(ParsePhr("", v).ok());
+  EXPECT_FALSE(ParsePhr("[a; b]", v).ok());
+  EXPECT_FALSE(ParsePhr("[a; b; c; d]", v).ok());
+  EXPECT_FALSE(ParsePhr("[; a; ]", v).ok());
+  EXPECT_FALSE(ParsePhr("(a", v).ok());
+  EXPECT_FALSE(ParsePhr("[a; ; b]", v).ok());
+}
+
+TEST_F(PhrTest, RoundTripPrinting) {
+  for (const char* text :
+       {"a", "(section)* figure", "[(); a; b] [b; a; ()]",
+        "[a<%z>*^z; b; a<%z>*^z]*", "(a|b)+ [*; c; d*]?"}) {
+    Phr phr = ParseP(text);
+    std::string printed = phr.ToString(vocab_);
+    Phr phr2 = ParseP(printed);
+    EXPECT_EQ(phr2.ToString(vocab_), printed) << text;
+  }
+}
+
+TEST_F(PhrTest, NaiveMatcherPathExpression) {
+  // PHR "figure section*" (bottom-to-top): the located node is a figure and
+  // every ancestor is a section.
+  Phr phr = ParseP("figure section*");
+  NaivePhrMatcher matcher(phr);
+  EXPECT_TRUE(matcher.Matches(Parse("section<figure<@>>")));
+  EXPECT_TRUE(matcher.Matches(Parse("figure<@>")));
+  EXPECT_TRUE(matcher.Matches(Parse("section<section<figure<@> para>>")));
+  EXPECT_FALSE(matcher.Matches(Parse("doc<figure<@>>")));
+  EXPECT_FALSE(matcher.Matches(Parse("section<para<@>>")));
+  EXPECT_FALSE(matcher.Matches(Parse("section<section<@>>")));
+}
+
+TEST_F(PhrTest, NaiveMatcherSiblingConditions) {
+  // Figures whose immediately following sibling is a caption, at any depth:
+  // [*; figure; caption (...)*] then any path upward. The younger condition
+  // uses an HRE: caption<$t?> then anything.
+  Phr phr = ParseP(
+      "[*; figure; caption<$t*> (section<%z>*^z|para|caption|figure|$t)*] "
+      "(section|doc)*");
+  NaivePhrMatcher matcher(phr);
+  EXPECT_TRUE(matcher.Matches(
+      Parse("doc<section<figure<@> caption<$t>>>")));
+  EXPECT_TRUE(matcher.Matches(
+      Parse("doc<section<figure<@> caption<$t> para>>")));
+  EXPECT_FALSE(matcher.Matches(Parse("doc<section<figure<@>>>")));
+  EXPECT_FALSE(matcher.Matches(
+      Parse("doc<section<figure<@> para caption<$t>>>")));
+}
+
+TEST_F(PhrTest, PaperSection5Example) {
+  // (a<z>^{*z}, b, a<z>^{*z})^*: parent of eta is b, ancestors all b, all
+  // other nodes a.
+  Phr phr = ParseP("[a<%z>*^z; b; a<%z>*^z]*");
+  NaivePhrMatcher matcher(phr);
+  EXPECT_TRUE(matcher.Matches(Parse("b<@>")));
+  EXPECT_TRUE(matcher.Matches(Parse("a b<a<a> b<@> a> a")));
+  EXPECT_TRUE(matcher.Matches(Parse("b<b<b<@>>>")));
+  EXPECT_FALSE(matcher.Matches(Parse("a<@>")));
+  EXPECT_FALSE(matcher.Matches(Parse("b<a<b<@>>>")));  // an ancestor is a
+  EXPECT_FALSE(matcher.Matches(Parse("c b<@>")));      // a sibling is c
+}
+
+TEST_F(PhrTest, NaiveMatcherEtaEdgeCases) {
+  Phr phr = ParseP("a*");
+  NaivePhrMatcher matcher(phr);
+  // Not pointed at all.
+  EXPECT_FALSE(matcher.Matches(Parse("a<b>")));
+  // Bare eta decomposes into zero bases; a* accepts the empty sequence.
+  EXPECT_TRUE(matcher.Matches(Parse("@")));
+  // Top-level eta with siblings has no base decomposition.
+  EXPECT_FALSE(matcher.Matches(Parse("a @")));
+}
+
+}  // namespace
+}  // namespace hedgeq::phr

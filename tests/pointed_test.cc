@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "hedge/pointed.h"
+
+namespace hedgeq::hedge {
+namespace {
+
+class PointedTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(PointedTest, FindEta) {
+  EXPECT_TRUE(FindEta(Parse("a<@>")).has_value());
+  EXPECT_FALSE(FindEta(Parse("a<b>")).has_value());
+  EXPECT_FALSE(FindEta(Parse("a<@> b<@>")).has_value());  // two etas
+  EXPECT_TRUE(IsPointed(Parse("a<$x> b<c<@> $y>")));
+}
+
+TEST_F(PointedTest, ProductMatchesFigure1) {
+  // Figure 1: a<x> b<eta>  (+)  a<x> b<c<eta> y>  =  a<x> b<c<a<x> b<eta>> y>.
+  Hedge u = Parse("a<$x> b<@>");
+  Hedge v = Parse("a<$x> b<c<@> $y>");
+  Hedge product = PointedProduct(u, v);
+  Hedge expected = Parse("a<$x> b<c<a<$x> b<@>> $y>");
+  EXPECT_TRUE(product.EqualTo(expected));
+}
+
+TEST_F(PointedTest, ProductIsAssociative) {
+  Hedge u = Parse("a<@>");
+  Hedge v = Parse("b<@> c");
+  Hedge w = Parse("d d<@>");
+  Hedge left = PointedProduct(PointedProduct(u, v), w);
+  Hedge right = PointedProduct(u, PointedProduct(v, w));
+  EXPECT_TRUE(left.EqualTo(right));
+}
+
+TEST_F(PointedTest, DecomposeMatchesPaperExample) {
+  // a<x> b<c<eta> y> decomposes into c<eta> y and a<x> b<eta> (Section 5).
+  Hedge u = Parse("a<$x> b<c<@> $y>");
+  std::vector<PointedBase> bases = Decompose(u);
+  ASSERT_EQ(bases.size(), 2u);
+
+  // Innermost: c<eta> y -> elder = eps, label = c, younger = y.
+  EXPECT_TRUE(bases[0].elder.empty());
+  EXPECT_EQ(vocab_.symbols.NameOf(bases[0].label), "c");
+  EXPECT_TRUE(bases[0].younger.EqualTo(Parse("$y")));
+
+  // Topmost: a<x> b<eta> -> elder = a<x>, label = b, younger = eps.
+  EXPECT_TRUE(bases[1].elder.EqualTo(Parse("a<$x>")));
+  EXPECT_EQ(vocab_.symbols.NameOf(bases[1].label), "b");
+  EXPECT_TRUE(bases[1].younger.empty());
+}
+
+TEST_F(PointedTest, DecomposeRecomposeRoundTrip) {
+  for (const char* text :
+       {"a<@>", "a b<@> c", "a<b<c<@>>>", "a<$x> b<c<@> $y>",
+        "x y<a b<d<@> e> c>", "p q<r<s<@> t> u> v"}) {
+    Hedge u = Parse(text);
+    std::vector<PointedBase> bases = Decompose(u);
+    Hedge rebuilt = Recompose(bases);
+    EXPECT_TRUE(rebuilt.EqualTo(u)) << text;
+  }
+}
+
+TEST_F(PointedTest, DecompositionDepthEqualsEtaDepth) {
+  Hedge u = Parse("a<b<c<d<@>>>>");
+  EXPECT_EQ(Decompose(u).size(), 4u);
+}
+
+TEST_F(PointedTest, EnvelopeDecomposesWithNodeLevelFirst) {
+  // The envelope of node n decomposes with base 0 describing n itself:
+  // elder siblings of n, label of n, younger siblings of n (Section 7).
+  Hedge doc = Parse("r<a b<c d e> f>");
+  NodeId r = doc.roots()[0];
+  NodeId b = doc.ChildrenOf(r)[1];
+  NodeId d = doc.ChildrenOf(b)[1];
+  Hedge env = doc.EnvelopeOf(d);
+  std::vector<PointedBase> bases = Decompose(env);
+  ASSERT_EQ(bases.size(), 3u);
+  EXPECT_EQ(vocab_.symbols.NameOf(bases[0].label), "d");
+  EXPECT_TRUE(bases[0].elder.EqualTo(Parse("c")));
+  EXPECT_TRUE(bases[0].younger.EqualTo(Parse("e")));
+  EXPECT_EQ(vocab_.symbols.NameOf(bases[1].label), "b");
+  EXPECT_TRUE(bases[1].elder.EqualTo(Parse("a")));
+  EXPECT_TRUE(bases[1].younger.EqualTo(Parse("f")));
+  EXPECT_EQ(vocab_.symbols.NameOf(bases[2].label), "r");
+}
+
+}  // namespace
+}  // namespace hedgeq::hedge

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "query/evaluator.h"
+#include "query/phr_compile.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::query {
+namespace {
+
+using hedge::Hedge;
+using hedge::NodeId;
+using hedge::Vocabulary;
+using phr::NaivePhrMatcher;
+using phr::ParsePhr;
+using phr::Phr;
+
+// PHRs exercised by the randomized agreement sweep. All symbols come from
+// the article/random generators' vocabulary.
+const char* kSweepPhrs[] = {
+    // Pure path expressions.
+    "figure section*",
+    "figure (section|article)*",
+    "para section* article",
+    "(section)+",
+    // Sibling conditions.
+    "[*; figure; caption<$#text*> (para<$#text*>|figure|caption<$#text*>|"
+    "table|section<%z>*^z|image|title<$#text*>|$#text)*] (section|article)*",
+    "[title<$#text*>; figure; *] (section|article)*",
+    "[*; section; ()] (section|article)*",
+    // Conditions on both sides.
+    "[(para<$#text*>|title<$#text*>)*; figure; *] (section|article)*",
+    // Counting ancestors: figures at even section depth (regex structure
+    // over the vertical axis — beyond XPath's location paths).
+    "figure (section section)* article",
+    "figure section (section section)* article",
+    // Random-hedge alphabet (a0..a3, $x).
+    "a0*",
+    "a1 a0*",
+    "[a0<%z>*^z|$x (a0<%z>*^z|a1<%z>*^z|$x)*; a1; *] (a0|a1|a2|a3)*",
+    "[*; a2; (a0<%z>*^z|a1<%z>*^z|a2<%z>*^z|a3<%z>*^z|$x)* $x] (a0|a1)*",
+};
+
+class PhrAgreementTest : public ::testing::TestWithParam<const char*> {};
+
+// The central correctness property: Algorithm 1 (two linear traversals via
+// Theorem 4 artifacts) locates exactly the nodes whose envelopes the direct
+// Definition 19 matcher accepts.
+TEST_P(PhrAgreementTest, EvaluatorAgreesWithNaiveOracle) {
+  Vocabulary vocab;
+  auto phr = ParsePhr(GetParam(), vocab);
+  ASSERT_TRUE(phr.ok()) << phr.status().ToString();
+  auto evaluator = PhrEvaluator::Create(*phr);
+  ASSERT_TRUE(evaluator.ok()) << evaluator.status().ToString();
+  NaivePhrMatcher naive(*phr);
+
+  Rng rng(20010615);
+  size_t total_located = 0;
+  for (int trial = 0; trial < 12; ++trial) {
+    Hedge doc;
+    if (trial % 2 == 0) {
+      workload::ArticleOptions options;
+      options.target_nodes = 60 + 30 * trial;
+      doc = workload::RandomArticle(rng, vocab, options);
+    } else {
+      workload::RandomHedgeOptions options;
+      options.target_nodes = 40 + 20 * trial;
+      doc = workload::RandomHedge(rng, vocab, options);
+    }
+    std::vector<bool> located = evaluator->Locate(doc);
+    for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+      bool expected = false;
+      if (doc.label(n).kind == hedge::LabelKind::kSymbol) {
+        expected = naive.Matches(doc.EnvelopeOf(n));
+      }
+      EXPECT_EQ(located[n], expected)
+          << GetParam() << " node " << n << " in " << doc.ToString(vocab);
+      total_located += located[n] ? 1 : 0;
+    }
+  }
+  // The sweep should not be vacuous for path-style queries; sibling-heavy
+  // ones may legitimately match rarely.
+  (void)total_located;
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, PhrAgreementTest,
+                         ::testing::ValuesIn(kSweepPhrs));
+
+class QueryTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(QueryTest, PathExpressionLocatesFiguresUnderSections) {
+  auto phr = ParsePhr("figure section*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto evaluator = PhrEvaluator::Create(*phr);
+  ASSERT_TRUE(evaluator.ok());
+
+  Hedge doc = Parse("section<figure section<figure para> para> figure");
+  std::vector<bool> located = evaluator->Locate(doc);
+  std::vector<NodeId> hits;
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (located[n]) hits.push_back(n);
+  }
+  // All three figures: two nested under sections, one at the top level.
+  ASSERT_EQ(hits.size(), 3u);
+  for (NodeId n : hits) {
+    EXPECT_EQ(vocab_.symbols.NameOf(doc.label(n).id), "figure");
+  }
+}
+
+TEST_F(QueryTest, AllAncestorsCondition) {
+  // The paper's "a*" path expression beyond XPath: every ancestor is a.
+  auto phr = ParsePhr("b a*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto evaluator = PhrEvaluator::Create(*phr);
+  ASSERT_TRUE(evaluator.ok());
+
+  Hedge doc = Parse("a<b a<b> c<b>> b");
+  std::vector<bool> located = evaluator->Locate(doc);
+  size_t count = 0;
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (!located[n]) continue;
+    ++count;
+    for (NodeId p = doc.parent(n); p != hedge::kNullNode; p = doc.parent(p)) {
+      EXPECT_EQ(vocab_.symbols.NameOf(doc.label(p).id), "a");
+    }
+  }
+  // b under a, b under a<a>, and the top-level b; NOT the b under c.
+  EXPECT_EQ(count, 3u);
+}
+
+TEST_F(QueryTest, SiblingClassesMatchDirectRuns) {
+  auto phr = ParsePhr("[a0*; a1; a0*] (a0|a1)*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto compiled = CompilePhr(*phr);
+  ASSERT_TRUE(compiled.ok());
+
+  Rng rng(5);
+  workload::RandomHedgeOptions options;
+  options.target_nodes = 80;
+  Hedge doc = workload::RandomHedge(rng, vocab_, options);
+  std::vector<automata::HState> states = compiled->dha().Run(doc);
+  SiblingClasses classes =
+      ComputeSiblingClasses(doc, states, compiled->equiv());
+
+  // Reference: run the equiv DFA directly on each prefix/suffix.
+  auto check_group = [&](const std::vector<NodeId>& kids) {
+    for (size_t j = 0; j < kids.size(); ++j) {
+      std::vector<strre::Symbol> prefix, suffix;
+      for (size_t i = 0; i < j; ++i) prefix.push_back(states[kids[i]]);
+      for (size_t i = j + 1; i < kids.size(); ++i) {
+        suffix.push_back(states[kids[i]]);
+      }
+      EXPECT_EQ(classes.elder[kids[j]], compiled->equiv().Run(prefix));
+      EXPECT_EQ(classes.younger[kids[j]], compiled->equiv().Run(suffix));
+    }
+  };
+  check_group(doc.roots());
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.label(n).kind == hedge::LabelKind::kSymbol) {
+      check_group(doc.ChildrenOf(n));
+    }
+  }
+}
+
+TEST_F(QueryTest, CompiledArtifactsShapes) {
+  auto phr = ParsePhr("[(); a; b] [b; a; ()]", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto compiled = CompilePhr(*phr);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->num_triplets(), 2u);
+  EXPECT_EQ(compiled->num_symbols(), 1u);  // only symbol "a"
+  EXPECT_GE(compiled->num_classes(), 2u);
+  // The equivalence DFA is complete over the DHA states.
+  for (strre::StateId c = 0; c < compiled->equiv().num_states(); ++c) {
+    for (automata::HState q = 0; q < compiled->dha().num_states(); ++q) {
+      EXPECT_NE(compiled->equiv().Next(c, q), strre::kNoState);
+    }
+  }
+}
+
+TEST_F(QueryTest, UnknownSymbolsNeverLocated) {
+  auto phr = ParsePhr("figure section*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  auto evaluator = PhrEvaluator::Create(*phr);
+  ASSERT_TRUE(evaluator.ok());
+  Hedge doc = Parse("weird<figure>");
+  std::vector<bool> located = evaluator->Locate(doc);
+  // The figure's ancestor is not a section: not located. The weird node has
+  // no triplet: not located either.
+  for (NodeId n = 0; n < doc.num_nodes(); ++n) EXPECT_FALSE(located[n]);
+}
+
+TEST_F(QueryTest, DeterminizationCapsPropagate) {
+  auto phr = ParsePhr("[a<%z>*^z; b; a<%z>*^z]*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  automata::DeterminizeOptions options;
+  options.max_dha_states = 1;
+  auto evaluator = PhrEvaluator::Create(*phr, options);
+  ASSERT_FALSE(evaluator.ok());
+  EXPECT_EQ(evaluator.status().code(), StatusCode::kResourceExhausted);
+}
+
+}  // namespace
+}  // namespace hedgeq::query

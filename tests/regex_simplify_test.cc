@@ -1,0 +1,96 @@
+#include <gtest/gtest.h>
+
+#include "strre/ops.h"
+#include "util/interner.h"
+
+namespace hedgeq::strre {
+namespace {
+
+const std::vector<Symbol> kAlphabet = {0, 1, 2};
+
+Symbol ResolveAbc(std::string_view name) {
+  if (name == "a") return 0;
+  if (name == "b") return 1;
+  if (name == "c") return 2;
+  ADD_FAILURE() << "unknown symbol " << name;
+  return 99;
+}
+
+std::string NameAbc(Symbol s) {
+  return std::string(1, static_cast<char>('a' + s));
+}
+
+Regex Rx(const std::string& text) {
+  auto r = ParseRegex(text, ResolveAbc);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+bool SameLanguage(const Regex& a, const Regex& b) {
+  return Equivalent(MinimalDfaOfRegex(a, kAlphabet),
+                    MinimalDfaOfRegex(b, kAlphabet), kAlphabet);
+}
+
+class SimplifyTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(SimplifyTest, PreservesLanguage) {
+  Regex e = Rx(GetParam());
+  Regex s = SimplifyRegex(e);
+  EXPECT_TRUE(SameLanguage(e, s))
+      << GetParam() << " simplified to " << RegexToString(s, NameAbc);
+  EXPECT_LE(RegexSize(s), RegexSize(e)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SimplifyTest,
+    ::testing::Values("a|a", "a a*", "a* a", "()|a a*", "()|a|b",
+                      "a|a b", "a b|a c", "a b c|a b a|a c",
+                      "(a?|b)*", "(a*|b)*", "a* a?", "a* a*",
+                      "(a|b)|(b|a)", "()|(a|()) a*", "a?|b?",
+                      "((a))", "a* (a*)?", "{}|a", "a|{}",
+                      "(a+)*", "(a?)+", "a b|a", "a b a|a b b"));
+
+TEST(SimplifyShapeTest, CanonicalForms) {
+  auto printed = [](const Regex& e) { return RegexToString(e, NameAbc); };
+  EXPECT_EQ(printed(SimplifyRegex(Rx("a|a"))), "a");
+  EXPECT_EQ(printed(SimplifyRegex(Rx("a a*"))), "a+");
+  EXPECT_EQ(printed(SimplifyRegex(Rx("()|a a*"))), "a*");
+  EXPECT_EQ(printed(SimplifyRegex(Rx("a|a b"))), "a b?");
+  EXPECT_EQ(printed(SimplifyRegex(Rx("a b|a c"))), "a (b|c)");
+  EXPECT_EQ(printed(SimplifyRegex(Rx("(a?|b)*"))), "(a|b)*");
+  EXPECT_EQ(printed(SimplifyRegex(Rx("a* a?"))), "a*");
+  EXPECT_EQ(printed(SimplifyRegex(Rx("(a+)*"))), "a*");
+}
+
+class NfaToRegexTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NfaToRegexTest, RoundTripPreservesLanguage) {
+  Regex e = Rx(GetParam());
+  Nfa nfa = CompileRegex(e);
+  Regex back = NfaToRegex(nfa);
+  EXPECT_TRUE(SameLanguage(e, back))
+      << GetParam() << " came back as " << RegexToString(back, NameAbc);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, NfaToRegexTest,
+    ::testing::Values("{}", "()", "a", "a b c", "a|b|c", "(a|b)* c",
+                      "a* b* c*", "(a b)* c?", "a (b|c)+ a",
+                      "((a|b) (b|c))*", "(a a|b b)*", "a* (b a*)*",
+                      "(a|b c)* (c|())"));
+
+TEST(NfaToRegexTest, MinimalDfaRoundTrip) {
+  // Going through the minimal DFA produces compact output.
+  Regex e = Rx("(a|b)* b (a|b)");
+  Dfa min = MinimalDfaOfRegex(e, kAlphabet);
+  Regex back = NfaToRegex(NfaFromDfa(min));
+  EXPECT_TRUE(SameLanguage(e, back));
+}
+
+TEST(NfaToRegexTest, EmptyAutomaton) {
+  Nfa empty;
+  EXPECT_EQ(NfaToRegex(empty)->kind(), RegexKind::kEmptySet);
+}
+
+}  // namespace
+}  // namespace hedgeq::strre

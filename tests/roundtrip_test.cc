@@ -1,0 +1,71 @@
+// Print/parse round-trip properties across the surface syntaxes, on
+// randomized inputs.
+#include <gtest/gtest.h>
+
+#include "hre/sugar.h"
+#include "hre/compile.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+TEST(RoundTripTest, RandomHedgesSurviveToStringParse) {
+  Vocabulary vocab;
+  Rng rng(808080);
+  for (int trial = 0; trial < 60; ++trial) {
+    workload::RandomHedgeOptions options;
+    options.target_nodes = 1 + rng.Below(40);
+    options.num_symbols = 3;
+    Hedge h = workload::RandomHedge(rng, vocab, options);
+    std::string text = h.ToString(vocab);
+    auto back = ParseHedge(text, vocab);
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_TRUE(back->EqualTo(h)) << text;
+    EXPECT_EQ(back->ToString(vocab), text);
+  }
+}
+
+TEST(RoundTripTest, SugarExpressionsPrintAndReparse) {
+  Vocabulary vocab;
+  hedge::SymbolId a = vocab.symbols.Intern("a");
+  hedge::SymbolId b = vocab.symbols.Intern("b");
+  hedge::VarId x = vocab.variables.Intern("x");
+  hedge::SubstId z = vocab.substs.Intern("z");
+  std::vector<hedge::SymbolId> symbols = {a, b};
+  std::vector<hedge::VarId> vars = {x};
+
+  for (hre::Hre e :
+       {hre::AnyHedgeExpr(symbols, vars, z),
+        hre::AnyTreeExpr(a, symbols, vars, z),
+        hre::AnyTreeOfExpr(symbols, symbols, vars, z),
+        hre::HConcat(hre::AnyTreeExpr(b, symbols, vars, z),
+                     hre::AnyHedgeExpr(symbols, vars, z))}) {
+    std::string text = hre::HreToString(e, vocab);
+    auto back = hre::ParseHre(text, vocab);
+    ASSERT_TRUE(back.ok()) << text;
+    EXPECT_EQ(hre::HreToString(*back, vocab), text);
+    // And the reparse denotes the same language (spot checks).
+    automata::Nha m1 = hre::CompileHre(e);
+    automata::Nha m2 = hre::CompileHre(*back);
+    Rng rng(11);
+    for (int trial = 0; trial < 25; ++trial) {
+      workload::RandomHedgeOptions options;
+      options.target_nodes = 1 + rng.Below(8);
+      options.num_symbols = 2;  // a0/a1; not in {a,b} so mostly rejections
+      Hedge doc = workload::RandomHedge(rng, vocab, options);
+      ASSERT_EQ(m1.Accepts(doc), m2.Accepts(doc)) << text;
+    }
+    for (const char* doc : {"", "a", "b<a $x>", "a b", "$x"}) {
+      auto h = ParseHedge(doc, vocab);
+      ASSERT_TRUE(h.ok());
+      ASSERT_EQ(m1.Accepts(*h), m2.Accepts(*h)) << text << " on " << doc;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq

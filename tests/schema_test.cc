@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "schema/schema.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "xml/xml.h"
+
+namespace hedgeq::schema {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+constexpr const char* kArticleGrammar = R"(
+# The article schema used across tests and benchmarks.
+start   = Article
+Article = article<Title Section*>
+Title   = title<Text>
+Text    = $#text
+Section = section<Title (Para|Figure|Caption|Table|Section)*>
+Para    = para<Text>
+Figure  = figure<Image>
+Image   = image<>
+Caption = caption<Text>
+Table   = table<>
+)";
+
+class SchemaTest : public ::testing::Test {
+ protected:
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Schema ParseS(const std::string& text) {
+    auto r = ParseSchema(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(SchemaTest, ValidatesHandWrittenDocuments) {
+  Schema schema = ParseS(kArticleGrammar);
+  EXPECT_TRUE(schema.Validates(
+      Parse("article<title<$#text> section<title<$#text> para<$#text>>>")));
+  EXPECT_TRUE(schema.Validates(Parse("article<title<$#text>>")));
+  EXPECT_TRUE(schema.Validates(
+      Parse("article<title<$#text> section<title<$#text> figure<image> "
+            "caption<$#text>>>")));
+  // Violations.
+  EXPECT_FALSE(schema.Validates(Parse("article")));  // missing title
+  EXPECT_FALSE(schema.Validates(
+      Parse("article<section<title<$#text>> title<$#text>>")));  // order
+  EXPECT_FALSE(schema.Validates(
+      Parse("article<title<$#text> para<$#text>>")));  // para at top
+  EXPECT_FALSE(schema.Validates(
+      Parse("article<title<$#text> section<title<$#text> figure>>")));
+  EXPECT_FALSE(schema.Validates(Parse("")));
+}
+
+TEST_F(SchemaTest, ValidatesGeneratedArticles) {
+  Schema schema = ParseS(kArticleGrammar);
+  Rng rng(99);
+  for (int trial = 0; trial < 10; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 50 + 70 * trial;
+    Hedge doc = workload::RandomArticle(rng, vocab_, options);
+    EXPECT_TRUE(schema.Validates(doc)) << doc.ToString(vocab_);
+  }
+}
+
+TEST_F(SchemaTest, ValidatesParsedXml) {
+  Schema schema = ParseS(kArticleGrammar);
+  auto doc = xml::ParseXml(
+      "<article><title>t</title>"
+      "<section><title>s</title><figure><image/></figure>"
+      "<caption>c</caption></section></article>",
+      vocab_);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_TRUE(schema.Validates(doc->hedge));
+}
+
+TEST_F(SchemaTest, MultipleRulesPerNonterminalUnion) {
+  Schema schema = ParseS(
+      "start = Doc\n"
+      "Doc = doc<Item*>\n"
+      "Item = a<>\n"
+      "Item = b<Item>\n");
+  EXPECT_TRUE(schema.Validates(Parse("doc<a b<a> b<b<a>>>")));
+  EXPECT_FALSE(schema.Validates(Parse("doc<b>")));
+}
+
+TEST_F(SchemaTest, StartUnion) {
+  Schema schema = ParseS(
+      "start = A | B B\n"
+      "A = a<>\n"
+      "B = b<>\n");
+  EXPECT_TRUE(schema.Validates(Parse("a")));
+  EXPECT_TRUE(schema.Validates(Parse("b b")));
+  EXPECT_FALSE(schema.Validates(Parse("b")));
+  EXPECT_FALSE(schema.Validates(Parse("a b")));
+}
+
+TEST_F(SchemaTest, SemicolonSeparatedDeclarations) {
+  Schema schema = ParseS("start = A; A = a<B*>; B = b<>");
+  EXPECT_TRUE(schema.Validates(Parse("a<b b>")));
+}
+
+TEST_F(SchemaTest, Errors) {
+  Vocabulary v;
+  EXPECT_FALSE(ParseSchema("", v).ok());
+  EXPECT_FALSE(ParseSchema("A = a<>", v).ok());            // no start
+  EXPECT_FALSE(ParseSchema("start = A", v).ok());          // unknown A
+  EXPECT_FALSE(ParseSchema("start = A\nA = a<B>", v).ok());  // unknown B
+  EXPECT_FALSE(ParseSchema("start = A\nA = <>", v).ok());
+  EXPECT_FALSE(ParseSchema("start = A\nA = $", v).ok());
+  EXPECT_FALSE(ParseSchema("bogus line\nstart = A\nA = a<>", v).ok());
+}
+
+TEST_F(SchemaTest, EmptinessDetection) {
+  // B is underivable: its only rule needs itself.
+  Schema empty = ParseS(
+      "start = B\n"
+      "B = b<B>\n");
+  EXPECT_TRUE(empty.IsEmpty());
+
+  Schema nonempty = ParseS(
+      "start = B\n"
+      "B = b<B?>\n");
+  EXPECT_FALSE(nonempty.IsEmpty());
+}
+
+TEST_F(SchemaTest, SymbolsAndVariables) {
+  Schema schema = ParseS(kArticleGrammar);
+  EXPECT_EQ(schema.Symbols().size(), 8u);
+  EXPECT_EQ(schema.Variables().size(), 1u);
+}
+
+}  // namespace
+}  // namespace hedgeq::schema

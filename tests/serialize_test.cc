@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include "automata/serialize.h"
+#include "hre/compile.h"
+#include "schema/schema.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::automata {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+TEST(SerializeTest, RoundTripPreservesLanguage) {
+  Vocabulary vocab;
+  Rng rng(707);
+  for (const char* expr :
+       {"a", "(a|b)* c", "a<b<$x> c>*", "a<%z>*^z", "d<p<$x> p<$y>*>+",
+        "(b|c) @z a<%z>"}) {
+    auto e = hre::ParseHre(expr, vocab);
+    ASSERT_TRUE(e.ok());
+    Nha original = hre::CompileHre(*e);
+    std::string text = SerializeNha(original, vocab);
+
+    // Load into a FRESH vocabulary: names must re-intern consistently.
+    Vocabulary vocab2;
+    auto loaded = DeserializeNha(text, vocab2);
+    ASSERT_TRUE(loaded.ok()) << expr << ": " << loaded.status().ToString();
+    EXPECT_EQ(loaded->num_states(), original.num_states());
+    EXPECT_EQ(loaded->rules().size(), original.rules().size());
+
+    for (int trial = 0; trial < 30; ++trial) {
+      workload::RandomHedgeOptions options;
+      options.target_nodes = 1 + rng.Below(10);
+      // Same generator stream against both vocabularies: the documents are
+      // structurally identical because names intern in the same order.
+      Rng fork1 = rng;
+      Rng fork2 = rng;
+      Hedge doc1 = workload::RandomHedge(fork1, vocab, options);
+      Hedge doc2 = workload::RandomHedge(fork2, vocab2, options);
+      rng = fork1;
+      ASSERT_EQ(original.Accepts(doc1), loaded->Accepts(doc2)) << expr;
+    }
+  }
+}
+
+TEST(SerializeTest, SchemaRoundTrip) {
+  Vocabulary vocab;
+  auto schema = schema::ParseSchema(
+      "start = A\nA = a<B* C?>\nB = b<>\nC = $t\n", vocab);
+  ASSERT_TRUE(schema.ok());
+  std::string text = SerializeNha(schema->nha(), vocab);
+  auto loaded = DeserializeNha(text, vocab);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  for (const char* doc : {"a", "a<b b>", "a<$t>", "a<b $t>", "a<$t b>", "b"}) {
+    auto h = ParseHedge(doc, vocab);
+    ASSERT_TRUE(h.ok());
+    EXPECT_EQ(schema->nha().Accepts(*h), loaded->Accepts(*h)) << doc;
+  }
+}
+
+TEST(SerializeTest, RejectsMalformedInput) {
+  Vocabulary vocab;
+  EXPECT_FALSE(DeserializeNha("", vocab).ok());
+  EXPECT_FALSE(DeserializeNha("nha 2\nstates 1\nfinal\n", vocab).ok());
+  EXPECT_FALSE(DeserializeNha("nha 1\nstates x\n", vocab).ok());
+  EXPECT_FALSE(
+      DeserializeNha("nha 1\nstates 1\nrule a 5\nnfa 0 -\naccept\nend\n"
+                     "final\nnfa 0 -\naccept\nend\n",
+                     vocab)
+          .ok());  // target out of range
+  EXPECT_FALSE(
+      DeserializeNha("nha 1\nstates 1\nbogus\n", vocab).ok());
+  // Truncated nfa block.
+  EXPECT_FALSE(
+      DeserializeNha("nha 1\nstates 1\nfinal\nnfa 2 0\naccept 1\nt 0 0 1\n",
+                     vocab)
+          .ok());
+}
+
+TEST(SerializeTest, CommentsAndBlankLinesIgnored) {
+  Vocabulary vocab;
+  auto schema = schema::ParseSchema("start = A\nA = a<>\n", vocab);
+  ASSERT_TRUE(schema.ok());
+  std::string text = SerializeNha(schema->nha(), vocab);
+  std::string padded = "# cached automaton\n\n" + text + "\n# trailing\n";
+  auto loaded = DeserializeNha(padded, vocab);
+  ASSERT_TRUE(loaded.ok());
+  auto h = ParseHedge("a", vocab);
+  EXPECT_TRUE(loaded->Accepts(*h));
+}
+
+}  // namespace
+}  // namespace hedgeq::automata

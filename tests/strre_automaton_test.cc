@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include "strre/automaton.h"
+#include "strre/ops.h"
+
+namespace hedgeq::strre {
+namespace {
+
+std::vector<Symbol> W(std::initializer_list<Symbol> syms) { return syms; }
+
+TEST(NfaTest, HandBuiltAcceptance) {
+  // (ab)* by hand.
+  Nfa nfa;
+  StateId s0 = nfa.AddState(true);
+  StateId s1 = nfa.AddState(false);
+  nfa.AddTransition(s0, 0, s1);
+  nfa.AddTransition(s1, 1, s0);
+  EXPECT_TRUE(nfa.Accepts(W({})));
+  EXPECT_TRUE(nfa.Accepts(W({0, 1})));
+  EXPECT_TRUE(nfa.Accepts(W({0, 1, 0, 1})));
+  EXPECT_FALSE(nfa.Accepts(W({0})));
+  EXPECT_FALSE(nfa.Accepts(W({1, 0})));
+}
+
+TEST(NfaTest, EpsilonMoves) {
+  Nfa nfa;
+  StateId s0 = nfa.AddState(false);
+  StateId s1 = nfa.AddState(false);
+  StateId s2 = nfa.AddState(true);
+  nfa.AddEpsilon(s0, s1);
+  nfa.AddTransition(s1, 5, s2);
+  EXPECT_TRUE(nfa.Accepts(W({5})));
+  EXPECT_FALSE(nfa.Accepts(W({})));
+}
+
+TEST(NfaTest, AlphabetInUse) {
+  Nfa nfa;
+  StateId s0 = nfa.AddState();
+  nfa.AddTransition(s0, 7, s0);
+  nfa.AddTransition(s0, 3, s0);
+  nfa.AddTransition(s0, 7, s0);
+  EXPECT_EQ(nfa.AlphabetInUse(), (std::vector<Symbol>{3, 7}));
+}
+
+TEST(DfaTest, RunAndImplicitDead) {
+  Dfa dfa;
+  StateId s0 = dfa.AddState(false);
+  StateId s1 = dfa.AddState(true);
+  dfa.SetTransition(s0, 0, s1);
+  EXPECT_EQ(dfa.Run(W({0})), s1);
+  EXPECT_EQ(dfa.Run(W({1})), kNoState);
+  EXPECT_TRUE(dfa.Accepts(W({0})));
+  EXPECT_FALSE(dfa.Accepts(W({0, 0})));
+}
+
+TEST(DfaTest, NextFromDeadStaysDead) {
+  Dfa dfa;
+  dfa.AddState(false);
+  EXPECT_EQ(dfa.Next(kNoState, 0), kNoState);
+}
+
+TEST(EmptyAutomataTest, EmptyNfaAcceptsNothing) {
+  Nfa nfa;
+  EXPECT_FALSE(nfa.Accepts(W({})));
+  EXPECT_TRUE(IsEmpty(nfa));
+}
+
+}  // namespace
+}  // namespace hedgeq::strre

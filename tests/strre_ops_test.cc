@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "strre/ops.h"
+#include "util/interner.h"
+
+namespace hedgeq::strre {
+namespace {
+
+// Fixed tiny alphabet {a=0, b=1, c=2} for exhaustive comparisons.
+const std::vector<Symbol> kAlphabet = {0, 1, 2};
+
+Symbol ResolveAbc(std::string_view name) {
+  if (name == "a") return 0;
+  if (name == "b") return 1;
+  if (name == "c") return 2;
+  ADD_FAILURE() << "unknown symbol " << name;
+  return 99;
+}
+
+Regex Rx(const std::string& text) {
+  auto r = ParseRegex(text, ResolveAbc);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  return *r;
+}
+
+// All words over kAlphabet with length <= max_len.
+std::vector<std::vector<Symbol>> AllWords(size_t max_len) {
+  std::vector<std::vector<Symbol>> out = {{}};
+  std::vector<std::vector<Symbol>> frontier = {{}};
+  for (size_t len = 1; len <= max_len; ++len) {
+    std::vector<std::vector<Symbol>> next;
+    for (const auto& w : frontier) {
+      for (Symbol s : kAlphabet) {
+        auto w2 = w;
+        w2.push_back(s);
+        next.push_back(w2);
+        out.push_back(std::move(w2));
+      }
+    }
+    frontier = std::move(next);
+  }
+  return out;
+}
+
+class RegexSemanticsTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(RegexSemanticsTest, DeterminizePreservesLanguage) {
+  Regex e = Rx(GetParam());
+  Nfa nfa = CompileRegex(e);
+  Dfa dfa = Determinize(nfa);
+  for (const auto& w : AllWords(5)) {
+    EXPECT_EQ(nfa.Accepts(w), dfa.Accepts(w)) << GetParam();
+  }
+}
+
+TEST_P(RegexSemanticsTest, MinimizePreservesLanguage) {
+  Regex e = Rx(GetParam());
+  Dfa dfa = Determinize(CompileRegex(e));
+  Dfa min = Minimize(dfa, kAlphabet);
+  for (const auto& w : AllWords(5)) {
+    EXPECT_EQ(dfa.Accepts(w), min.Accepts(w)) << GetParam();
+  }
+  EXPECT_LE(min.num_states(), dfa.num_states() + 1);
+}
+
+TEST_P(RegexSemanticsTest, ComplementFlipsMembership) {
+  Regex e = Rx(GetParam());
+  Dfa dfa = Determinize(CompileRegex(e));
+  Dfa comp = Complement(dfa, kAlphabet);
+  for (const auto& w : AllWords(5)) {
+    EXPECT_NE(dfa.Accepts(w), comp.Accepts(w)) << GetParam();
+  }
+}
+
+TEST_P(RegexSemanticsTest, ReverseAcceptsMirror) {
+  Regex e = Rx(GetParam());
+  Nfa nfa = CompileRegex(e);
+  Nfa rev = ReverseNfa(nfa);
+  for (const auto& w : AllWords(4)) {
+    std::vector<Symbol> mirror(w.rbegin(), w.rend());
+    EXPECT_EQ(nfa.Accepts(w), rev.Accepts(mirror)) << GetParam();
+  }
+}
+
+TEST_P(RegexSemanticsTest, MinimalDfaEquivalentToSelf) {
+  Regex e = Rx(GetParam());
+  Dfa a = MinimalDfaOfRegex(e, kAlphabet);
+  Dfa b = Determinize(CompileRegex(e));
+  EXPECT_TRUE(Equivalent(a, b, kAlphabet)) << GetParam();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RegexSemanticsTest,
+    ::testing::Values("{}", "()", "a", "a b c", "a|b", "(a|b)*",
+                      "a* b* c*", "(a b)* c?", "a (b|c)+ a", "(a|b|c)*",
+                      "((a|b) (b|c))*", "a? b? c?", "(a a|b b)*",
+                      "a* (b a*)*", "(a|()) (b|{}) c*"));
+
+TEST(ProductTest, IntersectionOfOverlappingStars) {
+  // (a|b)* intersect (b|c)* == b*.
+  Dfa ab = Determinize(CompileRegex(Rx("(a|b)*")));
+  Dfa bc = Determinize(CompileRegex(Rx("(b|c)*")));
+  Dfa inter = Product(ab, bc, BoolOp::kAnd);
+  Dfa bstar = Determinize(CompileRegex(Rx("b*")));
+  EXPECT_TRUE(Equivalent(inter, bstar, kAlphabet));
+}
+
+TEST(ProductTest, UnionCoversBoth) {
+  Dfa a = Determinize(CompileRegex(Rx("a a")));
+  Dfa b = Determinize(CompileRegex(Rx("b")));
+  Dfa u = Product(a, b, BoolOp::kOr);
+  EXPECT_TRUE(u.Accepts(std::vector<Symbol>{0, 0}));
+  EXPECT_TRUE(u.Accepts(std::vector<Symbol>{1}));
+  EXPECT_FALSE(u.Accepts(std::vector<Symbol>{0}));
+}
+
+TEST(ProductTest, DifferenceRemovesSecond) {
+  Dfa all = Determinize(CompileRegex(Rx("(a|b|c)*")));
+  Dfa b = Determinize(CompileRegex(Rx("(a|b)*")));
+  Dfa diff = Product(all, b, BoolOp::kDiff);
+  EXPECT_FALSE(diff.Accepts(std::vector<Symbol>{}));
+  EXPECT_FALSE(diff.Accepts(std::vector<Symbol>{0, 1}));
+  EXPECT_TRUE(diff.Accepts(std::vector<Symbol>{2}));
+  EXPECT_TRUE(diff.Accepts(std::vector<Symbol>{0, 2, 1}));
+}
+
+TEST(NfaCombinatorTest, UnionConcatStar) {
+  Nfa a = CompileRegex(Rx("a"));
+  Nfa b = CompileRegex(Rx("b"));
+  Nfa u = UnionNfa(a, b);
+  EXPECT_TRUE(u.Accepts(std::vector<Symbol>{0}));
+  EXPECT_TRUE(u.Accepts(std::vector<Symbol>{1}));
+  EXPECT_FALSE(u.Accepts(std::vector<Symbol>{0, 1}));
+
+  Nfa cat = ConcatNfa(a, b);
+  EXPECT_TRUE(cat.Accepts(std::vector<Symbol>{0, 1}));
+  EXPECT_FALSE(cat.Accepts(std::vector<Symbol>{0}));
+
+  Nfa star = StarNfa(cat);
+  EXPECT_TRUE(star.Accepts(std::vector<Symbol>{}));
+  EXPECT_TRUE(star.Accepts(std::vector<Symbol>{0, 1, 0, 1}));
+  EXPECT_FALSE(star.Accepts(std::vector<Symbol>{0, 1, 0}));
+}
+
+TEST(SubstituteSetsTest, RelabelsAndFansOut) {
+  Nfa a = CompileRegex(Rx("a b"));
+  // a -> {b, c}; b -> {a}.
+  Nfa sub = SubstituteSets(a, [](Symbol s) {
+    if (s == 0) return std::vector<Symbol>{1, 2};
+    return std::vector<Symbol>{0};
+  });
+  EXPECT_TRUE(sub.Accepts(std::vector<Symbol>{1, 0}));
+  EXPECT_TRUE(sub.Accepts(std::vector<Symbol>{2, 0}));
+  EXPECT_FALSE(sub.Accepts(std::vector<Symbol>{0, 1}));
+}
+
+TEST(EmptinessTest, WitnessIsShortest) {
+  Dfa d = Determinize(CompileRegex(Rx("a a a|b b")));
+  auto w = ShortestWitness(d);
+  ASSERT_TRUE(w.has_value());
+  EXPECT_EQ(w->size(), 2u);
+  EXPECT_EQ(*w, (std::vector<Symbol>{1, 1}));
+}
+
+TEST(EmptinessTest, EmptyLanguage) {
+  Dfa d = Determinize(CompileRegex(Rx("{}")));
+  EXPECT_TRUE(IsEmpty(d));
+  EXPECT_FALSE(ShortestWitness(d).has_value());
+}
+
+TEST(CompleteTest, TotalOverAlphabet) {
+  Dfa d = Determinize(CompileRegex(Rx("a")));
+  Dfa total = Complete(d, kAlphabet);
+  for (StateId s = 0; s < total.num_states(); ++s) {
+    for (Symbol a : kAlphabet) {
+      EXPECT_NE(total.Next(s, a), kNoState);
+    }
+  }
+}
+
+TEST(MinimizeTest, CollapsesRedundantStates) {
+  // (a|b) and (b|a) compile to different NFAs but the same 2-state min DFA.
+  Dfa m1 = MinimalDfaOfRegex(Rx("a|b"), kAlphabet);
+  Dfa m2 = MinimalDfaOfRegex(Rx("b|a"), kAlphabet);
+  EXPECT_EQ(m1.num_states(), m2.num_states());
+  EXPECT_EQ(m1.num_states(), 2u);
+}
+
+TEST(ProductAllTest, StatesAreRightInvariantClasses) {
+  // Components: F1 = a*, F2 = (a|b)* b. Two words land in the same product
+  // state iff every right-extension is treated identically by both.
+  std::vector<Dfa> parts;
+  parts.push_back(Determinize(CompileRegex(Rx("a*"))));
+  parts.push_back(Determinize(CompileRegex(Rx("(a|b)* b"))));
+  MultiDfa multi = ProductAll(parts, kAlphabet);
+
+  // The product is total.
+  for (StateId s = 0; s < multi.dfa.num_states(); ++s) {
+    for (Symbol a : kAlphabet) EXPECT_NE(multi.dfa.Next(s, a), kNoState);
+  }
+
+  // Saturation: class membership determines acceptance in each component.
+  for (const auto& w : AllWords(4)) {
+    StateId cls = multi.dfa.Run(w);
+    ASSERT_NE(cls, kNoState);
+    EXPECT_EQ(parts[0].Accepts(w), multi.component_accepts[0][cls]);
+    EXPECT_EQ(parts[1].Accepts(w), multi.component_accepts[1][cls]);
+  }
+
+  // Right invariance: w1 ~ w2 implies w1 x ~ w2 x for every letter. This is
+  // structural (same state, same successor); spot-check a pair.
+  StateId c1 = multi.dfa.Run(std::vector<Symbol>{0});
+  StateId c2 = multi.dfa.Run(std::vector<Symbol>{0, 0});
+  if (c1 == c2) {
+    for (Symbol a : kAlphabet) {
+      EXPECT_EQ(multi.dfa.Next(c1, a), multi.dfa.Next(c2, a));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::strre

@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "strre/regex.h"
+#include "util/interner.h"
+
+namespace hedgeq::strre {
+namespace {
+
+class RegexTest : public ::testing::Test {
+ protected:
+  Symbol Resolve(std::string_view name) { return interner_.Intern(name); }
+  std::function<Symbol(std::string_view)> resolver() {
+    return [this](std::string_view s) { return Resolve(s); };
+  }
+  std::function<std::string(Symbol)> namer() {
+    return [this](Symbol s) { return interner_.NameOf(s); };
+  }
+  Interner interner_;
+};
+
+TEST_F(RegexTest, FactorySimplifications) {
+  EXPECT_EQ(Concat(Epsilon(), Sym(1))->kind(), RegexKind::kSymbol);
+  EXPECT_EQ(Concat(EmptySet(), Sym(1))->kind(), RegexKind::kEmptySet);
+  EXPECT_EQ(Alt(EmptySet(), Sym(1))->kind(), RegexKind::kSymbol);
+  EXPECT_EQ(Star(Epsilon())->kind(), RegexKind::kEpsilon);
+  EXPECT_EQ(Star(Star(Sym(1)))->kind(), RegexKind::kStar);
+  EXPECT_EQ(Optional(EmptySet())->kind(), RegexKind::kEpsilon);
+}
+
+TEST_F(RegexTest, ParseBasics) {
+  auto r = ParseRegex("a b|c*", resolver());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ((*r)->kind(), RegexKind::kUnion);
+}
+
+TEST_F(RegexTest, ParseEpsilonAndEmpty) {
+  auto eps = ParseRegex("()", resolver());
+  ASSERT_TRUE(eps.ok());
+  EXPECT_EQ((*eps)->kind(), RegexKind::kEpsilon);
+
+  auto empty = ParseRegex("{}", resolver());
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ((*empty)->kind(), RegexKind::kEmptySet);
+}
+
+TEST_F(RegexTest, ParsePostfixChain) {
+  auto r = ParseRegex("a*+?", resolver());
+  ASSERT_TRUE(r.ok());
+}
+
+TEST_F(RegexTest, ParseRejectsGarbage) {
+  EXPECT_FALSE(ParseRegex("a )", resolver()).ok());
+  EXPECT_FALSE(ParseRegex("(a", resolver()).ok());
+  EXPECT_FALSE(ParseRegex("|a", resolver()).ok());
+  EXPECT_FALSE(ParseRegex("", resolver()).ok());
+  EXPECT_FALSE(ParseRegex("{a}", resolver()).ok());
+}
+
+TEST_F(RegexTest, RoundTripPrinting) {
+  for (const char* text :
+       {"a", "a b", "a|b", "(a|b) c*", "a+ b?", "()", "{}", "a (b|()) c"}) {
+    auto r = ParseRegex(text, resolver());
+    ASSERT_TRUE(r.ok()) << text;
+    std::string printed = RegexToString(*r, namer());
+    auto r2 = ParseRegex(printed, resolver());
+    ASSERT_TRUE(r2.ok()) << printed;
+    // Printing the reparse must be stable.
+    EXPECT_EQ(RegexToString(*r2, namer()), printed);
+  }
+}
+
+TEST_F(RegexTest, SizeCountsNodes) {
+  auto r = ParseRegex("a b", resolver());
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(RegexSize(*r), 3u);  // concat + two symbols
+  EXPECT_EQ(RegexSize(Sym(0)), 1u);
+}
+
+TEST_F(RegexTest, LiteralBuildsConcatenation) {
+  Regex lit = Literal({0, 1, 2});
+  EXPECT_EQ(RegexSize(lit), 5u);  // 3 symbols + 2 concats
+  EXPECT_EQ(Literal({})->kind(), RegexKind::kEpsilon);
+}
+
+}  // namespace
+}  // namespace hedgeq::strre

@@ -1,0 +1,346 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <memory>
+
+#include "query/selection.h"
+#include "schema/transform.h"
+#include "schema/algebra.h"
+#include "automata/analysis.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::schema {
+namespace {
+
+using hedge::Hedge;
+using hedge::kNullNode;
+using hedge::NodeId;
+using hedge::Vocabulary;
+
+constexpr const char* kArticleGrammar = R"(
+start   = Article
+Article = article<Title Section*>
+Title   = title<Text>
+Text    = $#text
+Section = section<Title (Para|Figure|Caption|Table|Section)*>
+Para    = para<Text>
+Figure  = figure<Image>
+Image   = image<>
+Caption = caption<Text>
+Table   = table<>
+)";
+
+// Copies the subtree rooted at n into a fresh single-tree hedge.
+Hedge SubtreeOf(const Hedge& doc, NodeId n) {
+  Hedge out;
+  out.AppendCopy(kNullNode, doc, n);
+  return out;
+}
+
+// Copies the document, dropping the subtrees of all `drop` nodes.
+Hedge EraseNodes(const Hedge& doc, const std::vector<bool>& drop) {
+  Hedge out;
+  // Recursive copy in document order.
+  std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId parent) {
+    if (drop[src]) return;
+    NodeId c = out.Append(parent, doc.label(src));
+    for (NodeId kid = doc.first_child(src); kid != kNullNode;
+         kid = doc.next_sibling(kid)) {
+      copy(kid, c);
+    }
+  };
+  for (NodeId r : doc.roots()) copy(r, kNullNode);
+  return out;
+}
+
+class TransformTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto s = ParseSchema(kArticleGrammar, vocab_);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    schema_ = std::make_unique<Schema>(std::move(s).value());
+  }
+
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  query::SelectionQuery ParseQ(const std::string& text) {
+    auto r = query::ParseSelectionQuery(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+
+  Vocabulary vocab_;
+  std::unique_ptr<Schema> schema_;
+};
+
+TEST_F(TransformTest, ProductPreservesSchemaLanguage) {
+  query::SelectionQuery q = ParseQ("select(*; figure (section|article)*)");
+  auto prod = BuildMatchIdentifyingProduct(*schema_, q);
+  ASSERT_TRUE(prod.ok()) << prod.status().ToString();
+  Rng rng(40);
+  for (int trial = 0; trial < 6; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 40 + 40 * trial;
+    Hedge doc = workload::RandomArticle(rng, vocab_, options);
+    EXPECT_TRUE(prod->nha.Accepts(doc));
+  }
+  EXPECT_FALSE(prod->nha.Accepts(Parse("article")));  // schema violation
+}
+
+TEST_F(TransformTest, SelectOutputValidatesLocatedSubtrees) {
+  query::SelectionQuery q = ParseQ("select(*; figure (section|article)*)");
+  auto output = SelectOutputSchema(*schema_, q);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  EXPECT_FALSE(output->IsEmpty());
+
+  query::SelectionQuery q2 = ParseQ("select(*; figure (section|article)*)");
+  auto eval = query::SelectionEvaluator::Create(q2);
+  ASSERT_TRUE(eval.ok());
+
+  Rng rng(41);
+  size_t checked = 0;
+  for (int trial = 0; trial < 6; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 60 + 40 * trial;
+    Hedge doc = workload::RandomArticle(rng, vocab_, options);
+    for (NodeId n : eval->LocatedNodes(doc)) {
+      EXPECT_TRUE(output->Validates(SubtreeOf(doc, n)));
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0u);
+
+  // Non-results are rejected: a paragraph subtree, a caption, a bare image.
+  EXPECT_FALSE(output->Validates(Parse("para<$#text>")));
+  EXPECT_FALSE(output->Validates(Parse("caption<$#text>")));
+  EXPECT_FALSE(output->Validates(Parse("image")));
+  // The only possible result shape in this schema.
+  EXPECT_TRUE(output->Validates(Parse("figure<image>")));
+  // A figure with wrong content can never be located in a valid document.
+  EXPECT_FALSE(output->Validates(Parse("figure<para<$#text>>")));
+  EXPECT_FALSE(output->Validates(Parse("figure")));
+}
+
+TEST_F(TransformTest, SelectOutputRespectsEnvelopeContext) {
+  // Sections directly under the article (not nested) whose first item
+  // after the title is a figure: context constrains what can be selected.
+  query::SelectionQuery q =
+      ParseQ("select(title<$#text> figure<image> "
+             "(para<$#text>|figure<image>|caption<$#text>|table|"
+             "section<%z>*^z|$#text)*; section article)");
+  auto output = SelectOutputSchema(*schema_, q);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  EXPECT_FALSE(output->IsEmpty());
+  EXPECT_TRUE(output->Validates(
+      Parse("section<title<$#text> figure<image>>")));
+  EXPECT_FALSE(output->Validates(
+      Parse("section<title<$#text> para<$#text>>")));
+  EXPECT_FALSE(output->Validates(Parse("figure<image>")));
+}
+
+TEST_F(TransformTest, ImpossibleQueryYieldsEmptyOutput) {
+  // Captions can never appear directly under article in a valid document.
+  query::SelectionQuery q = ParseQ("select(*; caption article)");
+  auto output = SelectOutputSchema(*schema_, q);
+  ASSERT_TRUE(output.ok());
+  EXPECT_TRUE(output->IsEmpty());
+}
+
+TEST_F(TransformTest, SubhedgeConditionNarrowsOutput) {
+  // Sections whose content is exactly a title followed by tables.
+  query::SelectionQuery q =
+      ParseQ("select(title<$#text> table*; section (section|article)*)");
+  auto output = SelectOutputSchema(*schema_, q);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+  EXPECT_TRUE(output->Validates(Parse("section<title<$#text> table table>")));
+  EXPECT_TRUE(output->Validates(Parse("section<title<$#text>>")));
+  EXPECT_FALSE(
+      output->Validates(Parse("section<title<$#text> para<$#text>>")));
+}
+
+TEST_F(TransformTest, DeleteAllFigures) {
+  query::SelectionQuery q = ParseQ("select(*; figure (section|article)*)");
+  auto output = DeleteOutputSchema(*schema_, q);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  query::SelectionQuery q2 = ParseQ("select(*; figure (section|article)*)");
+  auto eval = query::SelectionEvaluator::Create(q2);
+  ASSERT_TRUE(eval.ok());
+
+  Rng rng(42);
+  for (int trial = 0; trial < 6; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 60 + 40 * trial;
+    Hedge doc = workload::RandomArticle(rng, vocab_, options);
+    Hedge erased = EraseNodes(doc, eval->Locate(doc));
+    EXPECT_TRUE(output->Validates(erased)) << erased.ToString(vocab_);
+  }
+
+  // Documents still containing figures are not erase images.
+  EXPECT_FALSE(output->Validates(
+      Parse("article<title<$#text> section<title<$#text> figure<image>>>")));
+  // The figure-free version is.
+  EXPECT_TRUE(output->Validates(
+      Parse("article<title<$#text> section<title<$#text>>>")));
+  // But other schema constraints still apply.
+  EXPECT_FALSE(output->Validates(Parse("article")));
+}
+
+TEST_F(TransformTest, RenameFiguresEverywhere) {
+  query::SelectionQuery q = ParseQ("select(*; figure (section|article)*)");
+  hedge::SymbolId fig = vocab_.symbols.Intern("fig");
+  auto output = RenameOutputSchema(*schema_, q, fig);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  auto eval = query::SelectionEvaluator::Create(q);
+  ASSERT_TRUE(eval.ok());
+
+  // Property: relabeling located nodes of valid documents yields members.
+  Rng rng(44);
+  for (int trial = 0; trial < 5; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 60 + 40 * trial;
+    Hedge doc = workload::RandomArticle(rng, vocab_, options);
+    std::vector<bool> located = eval->Locate(doc);
+    Hedge renamed;
+    std::function<void(NodeId, NodeId)> copy = [&](NodeId src, NodeId parent) {
+      hedge::Label label = doc.label(src);
+      if (located[src]) label.id = fig;
+      NodeId c = renamed.Append(parent, label);
+      for (NodeId kid = doc.first_child(src); kid != kNullNode;
+           kid = doc.next_sibling(kid)) {
+        copy(kid, c);
+      }
+    };
+    for (NodeId r : doc.roots()) copy(r, kNullNode);
+    EXPECT_TRUE(output->Validates(renamed)) << renamed.ToString(vocab_);
+    // Documents still using the old name where it would be located are not
+    // members (every figure is located by this query).
+    bool had_figure = false;
+    for (bool b : located) had_figure |= b;
+    if (had_figure) {
+      EXPECT_FALSE(output->Validates(doc));
+    }
+  }
+
+  EXPECT_TRUE(output->Validates(
+      Parse("article<title<$#text> section<title<$#text> fig<image>>>")));
+  EXPECT_FALSE(output->Validates(
+      Parse("article<title<$#text> section<title<$#text> figure<image>>>")));
+}
+
+TEST_F(TransformTest, RenameWithSiblingConditionIsSelective) {
+  // Rename only figures immediately followed by a caption.
+  query::SelectionQuery q = ParseQ(
+      "select(*; [*; figure; caption<$#text> "
+      "(para<$#text>|figure<image>|caption<$#text>|table|"
+      "section<%z>*^z|title<$#text>|$#text)*] (section|article)*)");
+  hedge::SymbolId fig = vocab_.symbols.Intern("fig");
+  auto output = RenameOutputSchema(*schema_, q, fig);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  // Captioned figure renamed, bare figure untouched.
+  EXPECT_TRUE(output->Validates(
+      Parse("article<title<$#text> section<title<$#text> fig<image> "
+            "caption<$#text> figure<image>>>")));
+  // A captioned figure must not keep the old name.
+  EXPECT_FALSE(output->Validates(
+      Parse("article<title<$#text> section<title<$#text> figure<image> "
+            "caption<$#text>>>")));
+  // An uncaptioned fig (renamed where nothing was located) is wrong too.
+  EXPECT_FALSE(output->Validates(
+      Parse("article<title<$#text> section<title<$#text> fig<image>>>")));
+}
+
+TEST_F(TransformTest, FormatSchemaRoundTripsTransformOutputs) {
+  query::SelectionQuery q = ParseQ("select(*; figure (section|article)*)");
+  auto output = DeleteOutputSchema(*schema_, q);
+  ASSERT_TRUE(output.ok());
+  Schema pruned(automata::PruneNha(output->nha()));
+  std::string grammar = FormatSchema(pruned, vocab_);
+  auto reparsed = ParseSchema(grammar, vocab_);
+  ASSERT_TRUE(reparsed.ok()) << grammar << "\n"
+                             << reparsed.status().ToString();
+  auto equal = SchemasEquivalent(pruned, *reparsed);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(*equal) << grammar;
+}
+
+TEST_F(TransformTest, FormatSchemaRoundTripsInputGrammar) {
+  std::string grammar = FormatSchema(*schema_, vocab_);
+  auto reparsed = ParseSchema(grammar, vocab_);
+  ASSERT_TRUE(reparsed.ok()) << grammar;
+  auto equal = SchemasEquivalent(*schema_, *reparsed);
+  ASSERT_TRUE(equal.ok());
+  EXPECT_TRUE(*equal) << grammar;
+}
+
+TEST_F(TransformTest, SampleMatchingDocumentIsValidAndLocates) {
+  struct Case {
+    const char* name;
+    const char* query;
+  };
+  const Case cases[] = {
+      {"figures anywhere", "select(*; figure (section|article)*)"},
+      {"empty-content sections at depth 2",
+       "select(title<$#text>; section section article)"},
+      {"figure followed by caption",
+       "select(*; [*; figure; caption<$#text> "
+       "(para<$#text>|figure<image>|caption<$#text>|table|"
+       "section<%z>*^z|title<$#text>|$#text)*] (section|article)*)"},
+  };
+  for (const Case& c : cases) {
+    query::SelectionQuery q = ParseQ(c.query);
+    auto sample = SampleMatchingDocument(*schema_, q);
+    ASSERT_TRUE(sample.ok()) << c.name << ": " << sample.status().ToString();
+    ASSERT_TRUE(sample->has_value()) << c.name;
+    const Hedge& doc = (*sample)->document;
+    NodeId located = (*sample)->located;
+
+    EXPECT_TRUE(schema_->Validates(doc))
+        << c.name << ": " << doc.ToString(vocab_);
+    auto eval = query::SelectionEvaluator::Create(q);
+    ASSERT_TRUE(eval.ok());
+    std::vector<bool> hits = eval->Locate(doc);
+    ASSERT_LT(located, hits.size()) << c.name;
+    EXPECT_TRUE(hits[located])
+        << c.name << ": node " << located << " in " << doc.ToString(vocab_);
+  }
+}
+
+TEST_F(TransformTest, SampleMatchingDocumentEmptyWhenImpossible) {
+  query::SelectionQuery q = ParseQ("select(*; caption article)");
+  auto sample = SampleMatchingDocument(*schema_, q);
+  ASSERT_TRUE(sample.ok());
+  EXPECT_FALSE(sample->has_value());
+}
+
+TEST_F(TransformTest, DeleteWithSiblingCondition) {
+  // Delete figures immediately followed by a caption.
+  query::SelectionQuery q = ParseQ(
+      "select(*; [*; figure; caption<$#text> "
+      "(para<$#text>|figure<image>|caption<$#text>|table|"
+      "section<%z>*^z|title<$#text>|$#text)*] (section|article)*)");
+  auto output = DeleteOutputSchema(*schema_, q);
+  ASSERT_TRUE(output.ok()) << output.status().ToString();
+
+  auto eval = query::SelectionEvaluator::Create(q);
+  ASSERT_TRUE(eval.ok());
+
+  Rng rng(43);
+  for (int trial = 0; trial < 6; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 60 + 40 * trial;
+    Hedge doc = workload::RandomArticle(rng, vocab_, options);
+    Hedge erased = EraseNodes(doc, eval->Locate(doc));
+    EXPECT_TRUE(output->Validates(erased)) << erased.ToString(vocab_);
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::schema

@@ -1,0 +1,107 @@
+#include <gtest/gtest.h>
+
+#include "baseline/translate.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq::baseline {
+namespace {
+
+using hedge::Hedge;
+using hedge::NodeId;
+using hedge::Vocabulary;
+
+class TranslateTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    workload::ArticleVocab names = workload::ArticleVocab::Intern(vocab_);
+    alphabet_ = {names.article, names.title,   names.section, names.para,
+                 names.figure,  names.table,   names.caption, names.image};
+  }
+
+  // Locates via the translated selection query.
+  std::vector<NodeId> ViaPhr(const Hedge& doc, const std::string& xpath) {
+    auto parsed = ParseXPath(xpath, vocab_);
+    EXPECT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto translated = TranslateXPath(*parsed, alphabet_);
+    EXPECT_TRUE(translated.ok()) << xpath << ": "
+                                 << translated.status().ToString();
+    auto eval = query::SelectionEvaluator::Create(*translated);
+    EXPECT_TRUE(eval.ok()) << eval.status().ToString();
+    return eval->LocatedNodes(doc);
+  }
+
+  std::vector<NodeId> ViaXPath(const Hedge& doc, const std::string& xpath) {
+    auto parsed = ParseXPath(xpath, vocab_);
+    EXPECT_TRUE(parsed.ok());
+    return EvaluateXPath(doc, *parsed);
+  }
+
+  Vocabulary vocab_;
+  std::vector<hedge::SymbolId> alphabet_;
+};
+
+TEST_F(TranslateTest, AgreementOnRandomArticles) {
+  const char* paths[] = {
+      "/article",
+      "/article/section",
+      "/article/section/figure",
+      "//figure",
+      "//section//figure",
+      "/article//para",
+      "//section/section",
+      "//*",
+      "/article/*/figure",
+      "/*/section",
+      "//image",
+      "//section/*",
+      "/descendant::figure",
+      "/article/descendant::caption",
+  };
+  Rng rng(606);
+  for (int trial = 0; trial < 5; ++trial) {
+    workload::ArticleOptions options;
+    options.target_nodes = 100 + 150 * trial;
+    Hedge doc = workload::RandomArticle(rng, vocab_, options);
+    for (const char* path : paths) {
+      EXPECT_EQ(ViaXPath(doc, path), ViaPhr(doc, path))
+          << path << " on trial " << trial;
+    }
+  }
+}
+
+TEST_F(TranslateTest, NamesOutsideAlphabetMatchNothing) {
+  Rng rng(1);
+  workload::ArticleOptions options;
+  options.target_nodes = 200;
+  Hedge doc = workload::RandomArticle(rng, vocab_, options);
+  EXPECT_TRUE(ViaPhr(doc, "//nonexistent").empty());
+  EXPECT_TRUE(ViaPhr(doc, "/article/nonexistent/figure").empty());
+}
+
+TEST_F(TranslateTest, OutsideFragmentIsRejected) {
+  auto reject = [&](const std::string& xpath) {
+    auto parsed = ParseXPath(xpath, vocab_);
+    ASSERT_TRUE(parsed.ok()) << xpath;
+    auto translated = TranslateXPath(*parsed, alphabet_);
+    EXPECT_FALSE(translated.ok()) << xpath;
+    EXPECT_EQ(translated.status().code(), StatusCode::kInvalidArgument);
+  };
+  reject("//figure[following-sibling::caption]");  // predicate
+  reject("//figure/parent::section");              // reverse axis
+  reject("//caption/preceding-sibling::figure");   // sibling axis
+  reject("//title/text()");                        // text result
+  reject("//figure/..");                           // parent abbreviation
+}
+
+TEST_F(TranslateTest, TranslatedQueriesArePathExpressions) {
+  auto parsed = ParseXPath("//section/figure", vocab_);
+  ASSERT_TRUE(parsed.ok());
+  auto translated = TranslateXPath(*parsed, alphabet_);
+  ASSERT_TRUE(translated.ok());
+  EXPECT_TRUE(translated->envelope.IsPathExpression());
+  EXPECT_EQ(translated->subhedge, nullptr);
+}
+
+}  // namespace
+}  // namespace hedgeq::baseline

@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "util/bitset.h"
+#include "util/interner.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/strings.h"
+
+namespace hedgeq {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "ok");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad regex");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "invalid-argument: bad regex");
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("missing");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(InternerTest, AssignsDenseIds) {
+  Interner interner;
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.Intern("b"), 1u);
+  EXPECT_EQ(interner.Intern("a"), 0u);
+  EXPECT_EQ(interner.size(), 2u);
+  EXPECT_EQ(interner.NameOf(1), "b");
+}
+
+TEST(InternerTest, FindDoesNotIntern) {
+  Interner interner;
+  EXPECT_FALSE(interner.Find("x").has_value());
+  interner.Intern("x");
+  EXPECT_EQ(interner.Find("x").value(), 0u);
+  EXPECT_EQ(interner.size(), 1u);
+}
+
+TEST(BitsetTest, SetTestReset) {
+  Bitset b(130);
+  EXPECT_TRUE(b.None());
+  b.Set(0);
+  b.Set(64);
+  b.Set(129);
+  EXPECT_TRUE(b.Test(0));
+  EXPECT_TRUE(b.Test(64));
+  EXPECT_TRUE(b.Test(129));
+  EXPECT_FALSE(b.Test(1));
+  EXPECT_EQ(b.Count(), 3u);
+  b.Reset(64);
+  EXPECT_FALSE(b.Test(64));
+  EXPECT_EQ(b.Count(), 2u);
+}
+
+TEST(BitsetTest, ToVectorAscending) {
+  Bitset b(100);
+  b.Set(99);
+  b.Set(3);
+  b.Set(64);
+  EXPECT_EQ(b.ToVector(), (std::vector<uint32_t>{3, 64, 99}));
+}
+
+TEST(BitsetTest, OrAndIntersects) {
+  Bitset a(10), b(10);
+  a.Set(1);
+  b.Set(2);
+  EXPECT_FALSE(a.Intersects(b));
+  Bitset c = a;
+  c |= b;
+  EXPECT_TRUE(c.Test(1));
+  EXPECT_TRUE(c.Test(2));
+  EXPECT_TRUE(c.Intersects(b));
+  c &= b;
+  EXPECT_FALSE(c.Test(1));
+  EXPECT_TRUE(c.Test(2));
+}
+
+TEST(BitsetTest, EqualityAndHash) {
+  Bitset a(70), b(70);
+  a.Set(5);
+  b.Set(5);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(a.Hash(), b.Hash());
+  b.Set(6);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, RangeInclusive) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.Range(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(StringsTest, StrCatAndJoin) {
+  EXPECT_EQ(StrCat("a", 1, "b"), "a1b");
+  EXPECT_EQ(StrJoin({"x", "y", "z"}, ", "), "x, y, z");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringsTest, SplitAndStrip) {
+  EXPECT_EQ(StrSplit("a,b,,c", ','),
+            (std::vector<std::string>{"a", "b", "", "c"}));
+  EXPECT_EQ(StripAsciiWhitespace("  hi \n"), "hi");
+  EXPECT_EQ(StripAsciiWhitespace(""), "");
+}
+
+}  // namespace
+}  // namespace hedgeq

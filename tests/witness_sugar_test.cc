@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <functional>
+
+#include "automata/nha.h"
+#include "hre/compile.h"
+#include "hre/sugar.h"
+#include "strre/ops.h"
+#include "schema/schema.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+
+namespace hedgeq {
+namespace {
+
+using automata::Nha;
+using automata::WitnessHedge;
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+class WitnessTest : public ::testing::Test {
+ protected:
+  Nha Compile(const std::string& expr) {
+    auto e = hre::ParseHre(expr, vocab_);
+    EXPECT_TRUE(e.ok()) << e.status().ToString();
+    return hre::CompileHre(*e);
+  }
+  Vocabulary vocab_;
+};
+
+TEST_F(WitnessTest, WitnessIsAccepted) {
+  for (const char* expr :
+       {"()", "a", "a<b c>", "(a|b)* c", "a<%z>*^z", "d<p<$x> p<$y>*>+",
+        "(b|c) @z a<%z>"}) {
+    Nha nha = Compile(expr);
+    auto witness = WitnessHedge(nha);
+    ASSERT_TRUE(witness.has_value()) << expr;
+    EXPECT_TRUE(nha.Accepts(*witness))
+        << expr << " does not accept its own witness "
+        << witness->ToString(vocab_);
+  }
+}
+
+TEST_F(WitnessTest, EmptyLanguageHasNoWitness) {
+  EXPECT_FALSE(WitnessHedge(Compile("{}")).has_value());
+  // b needs an underivable content.
+  Nha dead;
+  automata::HState q0 = dead.AddState();
+  automata::HState q1 = dead.AddState();
+  dead.AddRule(vocab_.symbols.Intern("b"),
+               strre::CompileRegex(strre::Sym(q1)), q0);
+  dead.SetFinal(strre::CompileRegex(strre::Sym(q0)));
+  EXPECT_FALSE(WitnessHedge(dead).has_value());
+}
+
+TEST_F(WitnessTest, EpsilonWitnessIsEmptyHedge) {
+  auto witness = WitnessHedge(Compile("()"));
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(witness->empty());
+}
+
+TEST_F(WitnessTest, SchemaWitnessValidates) {
+  auto schema = schema::ParseSchema(
+      "start = Article\n"
+      "Article = article<Title Section*>\n"
+      "Title = title<Text>\n"
+      "Text = $#text\n"
+      "Section = section<Title Para+>\n"
+      "Para = para<Text>\n",
+      vocab_);
+  ASSERT_TRUE(schema.ok());
+  auto witness = WitnessHedge(schema->nha());
+  ASSERT_TRUE(witness.has_value());
+  EXPECT_TRUE(schema->Validates(*witness));
+}
+
+class SugarTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    a_ = vocab_.symbols.Intern("a");
+    b_ = vocab_.symbols.Intern("b");
+    x_ = vocab_.variables.Intern("x");
+    z_ = vocab_.substs.Intern("z");
+    symbols_ = {a_, b_};
+    vars_ = {x_};
+  }
+  Hedge Parse(const std::string& text) {
+    auto r = ParseHedge(text, vocab_);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    return std::move(r).value();
+  }
+  Vocabulary vocab_;
+  hedge::SymbolId a_, b_;
+  hedge::VarId x_;
+  hedge::SubstId z_;
+  std::vector<hedge::SymbolId> symbols_;
+  std::vector<hedge::VarId> vars_;
+};
+
+TEST_F(SugarTest, AnyHedgeAcceptsEverythingOverVocabulary) {
+  Nha any = hre::CompileHre(hre::AnyHedgeExpr(symbols_, vars_, z_));
+  Rng rng(9);
+  EXPECT_TRUE(any.Accepts(Parse("")));
+  for (int trial = 0; trial < 60; ++trial) {
+    workload::RandomHedgeOptions options;
+    options.target_nodes = 1 + rng.Below(20);
+    options.num_symbols = 2;  // generator uses a0, a1
+    Hedge doc = workload::RandomHedge(rng, vocab_, options);
+    // Rebuild with our {a, b} alphabet by relabeling.
+    Hedge relabeled;
+    std::function<void(hedge::NodeId, hedge::NodeId)> copy =
+        [&](hedge::NodeId src, hedge::NodeId parent) {
+          hedge::Label label = doc.label(src);
+          if (label.kind == hedge::LabelKind::kSymbol) {
+            label.id = label.id % 2 == 0 ? a_ : b_;
+          } else {
+            label = hedge::Label::Variable(x_);
+          }
+          hedge::NodeId c = relabeled.Append(parent, label);
+          for (hedge::NodeId kid = doc.first_child(src);
+               kid != hedge::kNullNode; kid = doc.next_sibling(kid)) {
+            copy(kid, c);
+          }
+        };
+    for (hedge::NodeId r : doc.roots()) copy(r, hedge::kNullNode);
+    EXPECT_TRUE(any.Accepts(relabeled)) << relabeled.ToString(vocab_);
+  }
+  // ... but not hedges mentioning foreign names.
+  EXPECT_FALSE(any.Accepts(Parse("outsider")));
+  EXPECT_FALSE(any.Accepts(Parse("a<$other>")));
+}
+
+TEST_F(SugarTest, AnyTreeIsExactlyOneTreeWithTheLabel) {
+  Nha tree_a = hre::CompileHre(hre::AnyTreeExpr(a_, symbols_, vars_, z_));
+  EXPECT_TRUE(tree_a.Accepts(Parse("a")));
+  EXPECT_TRUE(tree_a.Accepts(Parse("a<b $x>")));
+  EXPECT_TRUE(tree_a.Accepts(Parse("a<a<b> b<a>>")));
+  EXPECT_FALSE(tree_a.Accepts(Parse("")));
+  EXPECT_FALSE(tree_a.Accepts(Parse("b")));
+  EXPECT_FALSE(tree_a.Accepts(Parse("a a")));
+  EXPECT_FALSE(tree_a.Accepts(Parse("$x")));
+}
+
+TEST_F(SugarTest, AnyTreeOfUnionsLabels) {
+  Nha tree = hre::CompileHre(
+      hre::AnyTreeOfExpr(symbols_, symbols_, vars_, z_));
+  EXPECT_TRUE(tree.Accepts(Parse("a<b>")));
+  EXPECT_TRUE(tree.Accepts(Parse("b")));
+  EXPECT_FALSE(tree.Accepts(Parse("a b")));
+  EXPECT_FALSE(tree.Accepts(Parse("")));
+}
+
+}  // namespace
+}  // namespace hedgeq

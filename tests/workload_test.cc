@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "workload/generators.h"
+
+namespace hedgeq::workload {
+namespace {
+
+using hedge::Hedge;
+using hedge::Vocabulary;
+
+TEST(RandomHedgeTest, ExactNodeCountAndDeterminism) {
+  Vocabulary v1, v2;
+  Rng r1(11), r2(11);
+  RandomHedgeOptions options;
+  options.target_nodes = 500;
+  Hedge h1 = RandomHedge(r1, v1, options);
+  Hedge h2 = RandomHedge(r2, v2, options);
+  EXPECT_EQ(h1.num_nodes(), 500u);
+  EXPECT_TRUE(h1.EqualTo(h2));
+}
+
+TEST(RandomHedgeTest, DifferentSeedsDiffer) {
+  Vocabulary vocab;
+  Rng r1(1), r2(2);
+  RandomHedgeOptions options;
+  options.target_nodes = 200;
+  Hedge h1 = RandomHedge(r1, vocab, options);
+  Hedge h2 = RandomHedge(r2, vocab, options);
+  EXPECT_FALSE(h1.EqualTo(h2));
+}
+
+TEST(RandomHedgeTest, RespectsSymbolCount) {
+  Vocabulary vocab;
+  Rng rng(3);
+  RandomHedgeOptions options;
+  options.target_nodes = 300;
+  options.num_symbols = 2;
+  Hedge h = RandomHedge(rng, vocab, options);
+  for (hedge::NodeId n : h.PreOrder()) {
+    if (h.label(n).kind == hedge::LabelKind::kSymbol) {
+      EXPECT_LT(h.label(n).id, 2u);
+    }
+  }
+}
+
+TEST(RandomArticleTest, StructureBasics) {
+  Vocabulary vocab;
+  Rng rng(7);
+  ArticleOptions options;
+  options.target_nodes = 800;
+  Hedge h = RandomArticle(rng, vocab, options);
+  ArticleVocab names = ArticleVocab::Intern(vocab);
+
+  // Roughly the requested size (the builder may finish a subtree).
+  EXPECT_GE(h.num_nodes(), 800u);
+  EXPECT_LE(h.num_nodes(), 900u);
+
+  ASSERT_EQ(h.roots().size(), 1u);
+  EXPECT_EQ(h.label(h.roots()[0]).id, names.article);
+
+  size_t figures = 0, captions_after_figure = 0;
+  for (hedge::NodeId n : h.PreOrder()) {
+    if (h.label(n).kind != hedge::LabelKind::kSymbol) continue;
+    if (h.label(n).id == names.figure) {
+      ++figures;
+      hedge::NodeId next = h.next_sibling(n);
+      if (next != hedge::kNullNode && h.label(next).id == names.caption) {
+        ++captions_after_figure;
+      }
+    }
+    if (h.label(n).id == names.section) {
+      EXPECT_LE(h.DepthOf(n), options.max_section_depth);
+    }
+  }
+  // The workload must exercise both figure variants.
+  EXPECT_GT(figures, 5u);
+  EXPECT_GT(captions_after_figure, 0u);
+  EXPECT_LT(captions_after_figure, figures);
+}
+
+TEST(UniformTreeTest, SizeFormula) {
+  Vocabulary vocab;
+  Hedge h = UniformTree(vocab, 3, 2);  // 1 + 2 + 4 + 8
+  EXPECT_EQ(h.num_nodes(), 15u);
+  Hedge flat = UniformTree(vocab, 1, 10);
+  EXPECT_EQ(flat.num_nodes(), 11u);
+}
+
+}  // namespace
+}  // namespace hedgeq::workload

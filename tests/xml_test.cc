@@ -1,0 +1,129 @@
+#include <gtest/gtest.h>
+
+#include "xml/xml.h"
+
+namespace hedgeq::xml {
+namespace {
+
+using hedge::LabelKind;
+using hedge::NodeId;
+using hedge::Vocabulary;
+
+TEST(XmlParseTest, SimpleElement) {
+  Vocabulary vocab;
+  auto doc = ParseXml("<a/>", vocab);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  ASSERT_EQ(doc->hedge.roots().size(), 1u);
+  EXPECT_EQ(vocab.symbols.NameOf(doc->hedge.label(doc->hedge.roots()[0]).id),
+            "a");
+}
+
+TEST(XmlParseTest, NestedStructureAndText) {
+  Vocabulary vocab;
+  auto doc = ParseXml("<doc><p>hello</p><p>world</p></doc>", vocab);
+  ASSERT_TRUE(doc.ok());
+  NodeId root = doc->hedge.roots()[0];
+  std::vector<NodeId> ps = doc->hedge.ChildrenOf(root);
+  ASSERT_EQ(ps.size(), 2u);
+  NodeId text = doc->hedge.first_child(ps[0]);
+  ASSERT_NE(text, hedge::kNullNode);
+  EXPECT_EQ(doc->hedge.label(text).kind, LabelKind::kVariable);
+  EXPECT_EQ(doc->texts[text], "hello");
+}
+
+TEST(XmlParseTest, WhitespaceTextDroppedByDefault) {
+  Vocabulary vocab;
+  auto doc = ParseXml("<a>\n  <b/>\n  <c/>\n</a>", vocab);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->hedge.ChildrenOf(doc->hedge.roots()[0]).size(), 2u);
+
+  XmlParseOptions keep;
+  keep.ignore_whitespace_text = false;
+  auto doc2 = ParseXml("<a>\n  <b/>\n</a>", vocab, keep);
+  ASSERT_TRUE(doc2.ok());
+  EXPECT_EQ(doc2->hedge.ChildrenOf(doc2->hedge.roots()[0]).size(), 3u);
+}
+
+TEST(XmlParseTest, AttributesInSideTable) {
+  Vocabulary vocab;
+  auto doc = ParseXml(R"(<a id="1" class='x y'/>)", vocab);
+  ASSERT_TRUE(doc.ok());
+  NodeId root = doc->hedge.roots()[0];
+  ASSERT_EQ(doc->attributes[root].size(), 2u);
+  EXPECT_EQ(doc->attributes[root][0].first, "id");
+  EXPECT_EQ(doc->attributes[root][0].second, "1");
+  EXPECT_EQ(doc->attributes[root][1].second, "x y");
+}
+
+TEST(XmlParseTest, AttributesAsElements) {
+  Vocabulary vocab;
+  XmlParseOptions options;
+  options.attributes_as_elements = true;
+  auto doc = ParseXml(R"(<a id="1"><b/></a>)", vocab, options);
+  ASSERT_TRUE(doc.ok());
+  NodeId root = doc->hedge.roots()[0];
+  std::vector<NodeId> kids = doc->hedge.ChildrenOf(root);
+  ASSERT_EQ(kids.size(), 2u);
+  EXPECT_EQ(vocab.symbols.NameOf(doc->hedge.label(kids[0]).id), "@id");
+}
+
+TEST(XmlParseTest, EntitiesAndCharRefs) {
+  Vocabulary vocab;
+  auto doc = ParseXml("<a>&lt;&amp;&gt;&#65;&#x42;</a>", vocab);
+  ASSERT_TRUE(doc.ok());
+  NodeId text = doc->hedge.first_child(doc->hedge.roots()[0]);
+  EXPECT_EQ(doc->texts[text], "<&>AB");
+}
+
+TEST(XmlParseTest, CommentsCdataPisAndDoctype) {
+  Vocabulary vocab;
+  auto doc = ParseXml(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE doc [<!ELEMENT doc ANY>]>\n"
+      "<!-- comment -->\n"
+      "<doc><!-- inner --><![CDATA[<raw>&stuff;]]><?pi data?></doc>",
+      vocab);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  NodeId text = doc->hedge.first_child(doc->hedge.roots()[0]);
+  ASSERT_NE(text, hedge::kNullNode);
+  EXPECT_EQ(doc->texts[text], "<raw>&stuff;");
+}
+
+TEST(XmlParseTest, Malformed) {
+  Vocabulary vocab;
+  EXPECT_FALSE(ParseXml("<a>", vocab).ok());
+  EXPECT_FALSE(ParseXml("<a></b>", vocab).ok());
+  EXPECT_FALSE(ParseXml("<a attr></a>", vocab).ok());
+  EXPECT_FALSE(ParseXml("<a>&unknown;</a>", vocab).ok());
+  EXPECT_FALSE(ParseXml("<a><b att='<'/></a>", vocab).ok());
+  EXPECT_FALSE(ParseXml("text outside", vocab).ok());
+  EXPECT_FALSE(ParseXml("<a><!-- unterminated </a>", vocab).ok());
+}
+
+TEST(XmlSerializeTest, RoundTrip) {
+  Vocabulary vocab;
+  const std::string input =
+      R"(<doc id="7"><p>hi &amp; bye</p><hr/><p>two</p></doc>)";
+  auto doc = ParseXml(input, vocab);
+  ASSERT_TRUE(doc.ok());
+  std::string printed = SerializeXml(*doc, vocab);
+  auto doc2 = ParseXml(printed, vocab);
+  ASSERT_TRUE(doc2.ok()) << printed;
+  EXPECT_TRUE(doc->hedge.EqualTo(doc2->hedge));
+  EXPECT_EQ(printed, SerializeXml(*doc2, vocab));
+}
+
+TEST(XmlSerializeTest, EscapesSpecials) {
+  EXPECT_EQ(EscapeText("a<b&c>d\"e"), "a&lt;b&amp;c&gt;d&quot;e");
+}
+
+TEST(XmlParseTest, MultipleTopLevelElementsFormAHedge) {
+  // Hedges are sequences of trees; the parser accepts fragment inputs.
+  Vocabulary vocab;
+  auto doc = ParseXml("<a/><b/><c/>", vocab);
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->hedge.roots().size(), 3u);
+}
+
+}  // namespace
+}  // namespace hedgeq::xml

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "baseline/xpath.h"
+#include "xml/xml.h"
+
+namespace hedgeq::baseline {
+namespace {
+
+using hedge::Hedge;
+using hedge::NodeId;
+using hedge::Vocabulary;
+
+class XPathTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto doc = xml::ParseXml(
+        "<doc>"
+        "<section><title>one</title><figure/><caption>c1</caption>"
+        "<para>p</para></section>"
+        "<section><title>two</title><figure/><para>p</para>"
+        "<section><figure/><caption>c2</caption></section></section>"
+        "</doc>",
+        vocab_);
+    ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+    doc_ = std::move(doc).value().hedge;
+  }
+
+  std::vector<NodeId> Eval(const std::string& xpath) {
+    auto p = ParseXPath(xpath, vocab_);
+    EXPECT_TRUE(p.ok()) << p.status().ToString();
+    return EvaluateXPath(doc_, *p);
+  }
+
+  std::string NameOf(NodeId n) {
+    return vocab_.symbols.NameOf(doc_.label(n).id);
+  }
+
+  Vocabulary vocab_;
+  Hedge doc_;
+};
+
+TEST_F(XPathTest, ChildSteps) {
+  EXPECT_EQ(Eval("/doc").size(), 1u);
+  EXPECT_EQ(Eval("/doc/section").size(), 2u);
+  EXPECT_EQ(Eval("/doc/section/title").size(), 2u);
+  EXPECT_EQ(Eval("/nope").size(), 0u);
+}
+
+TEST_F(XPathTest, DescendantShortcut) {
+  EXPECT_EQ(Eval("//figure").size(), 3u);
+  EXPECT_EQ(Eval("//section").size(), 3u);
+  EXPECT_EQ(Eval("//section//figure").size(), 3u);
+  EXPECT_EQ(Eval("/doc//caption").size(), 2u);
+}
+
+TEST_F(XPathTest, Wildcards) {
+  EXPECT_EQ(Eval("/doc/*").size(), 2u);
+  EXPECT_EQ(Eval("/*").size(), 1u);
+  // text() selects text nodes.
+  EXPECT_EQ(Eval("//title/text()").size(), 2u);
+}
+
+TEST_F(XPathTest, ExplicitAxes) {
+  EXPECT_EQ(Eval("//figure/parent::section").size(), 3u);
+  EXPECT_EQ(Eval("//caption/ancestor::section").size(), 3u);
+  EXPECT_EQ(Eval("//figure/following-sibling::caption").size(), 2u);
+  EXPECT_EQ(Eval("//caption/preceding-sibling::figure").size(), 2u);
+  EXPECT_EQ(Eval("//figure/self::figure").size(), 3u);
+  // Union over the three figures: each figure, section1..3, and doc.
+  EXPECT_EQ(Eval("//figure/ancestor-or-self::*").size(), 7u);
+}
+
+TEST_F(XPathTest, ExistencePredicates) {
+  // Figures having SOME following caption sibling.
+  std::vector<NodeId> with_caption =
+      Eval("//figure[following-sibling::caption]");
+  EXPECT_EQ(with_caption.size(), 2u);
+  // Sections containing figures.
+  EXPECT_EQ(Eval("//section[figure]").size(), 3u);
+  // Sections containing nested sections.
+  EXPECT_EQ(Eval("//section[section]").size(), 1u);
+}
+
+TEST_F(XPathTest, PositionPredicates) {
+  EXPECT_EQ(Eval("/doc/section[1]/title/text()").size(), 1u);
+  EXPECT_EQ(Eval("/doc/section[2]/section").size(), 1u);
+  EXPECT_EQ(Eval("/doc/section[3]").size(), 0u);
+  // The paper's motivating query: figures whose IMMEDIATELY following
+  // sibling is a caption.
+  EXPECT_EQ(Eval("//figure[following-sibling::*[1][self::caption]]").size(),
+            2u);
+}
+
+TEST_F(XPathTest, DotAndDotDot) {
+  EXPECT_EQ(Eval("//figure/.").size(), 3u);
+  EXPECT_EQ(Eval("//caption/..").size(), 2u);
+}
+
+TEST_F(XPathTest, ResultsInDocumentOrderDeduplicated) {
+  std::vector<NodeId> all = Eval("//*");
+  for (size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LT(all[i - 1], all[i]);
+  }
+}
+
+TEST_F(XPathTest, ParseErrors) {
+  Vocabulary v;
+  EXPECT_FALSE(ParseXPath("", v).ok());
+  EXPECT_FALSE(ParseXPath("//figure[", v).ok());
+  EXPECT_FALSE(ParseXPath("//figure[0]", v).ok());
+  EXPECT_FALSE(ParseXPath("bogus-axis::a", v).ok());
+  EXPECT_FALSE(ParseXPath("a/", v).ok());
+  EXPECT_FALSE(ParseXPath("comment()", v).ok());
+}
+
+TEST_F(XPathTest, RoundTripPrinting) {
+  for (const char* text :
+       {"/doc/section", "//figure[following-sibling::*[1][self::caption]]",
+        "//caption/ancestor::section", "/doc/section[2]/section"}) {
+    auto p = ParseXPath(text, vocab_);
+    ASSERT_TRUE(p.ok()) << text;
+    std::string printed = XPathToString(*p, vocab_);
+    auto p2 = ParseXPath(printed, vocab_);
+    ASSERT_TRUE(p2.ok()) << printed;
+    EXPECT_EQ(EvaluateXPath(doc_, *p), EvaluateXPath(doc_, *p2)) << text;
+  }
+}
+
+}  // namespace
+}  // namespace hedgeq::baseline

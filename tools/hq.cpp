@@ -1,0 +1,346 @@
+// hq — command-line front end for the hedgeq library.
+//
+//   hq query  '<selection query>' file.xml       locate nodes in a document
+//   hq xpath  '<location path>' file.xml         run the XPath-subset engine
+//   hq validate schema.grammar file.xml          schema validity
+//   hq transform select|delete  schema.grammar '<query>'
+//   hq transform rename schema.grammar '<query>' <new-name>
+//                                                print the inferred output
+//                                                schema (pruned) + witness
+//   hq gen article <nodes> [seed]                emit a synthetic document
+//   hq ambiguous '<hedge regular expression>'    Section 9 unambiguity check
+//
+// Queries use the textual syntax documented in the README; documents may be
+// XML files or '-' for stdin.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "automata/analysis.h"
+#include "baseline/xpath.h"
+#include "hre/compile.h"
+#include "query/selection.h"
+#include "schema/algebra.h"
+#include "schema/transform.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace hedgeq;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "hq: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result<xml::XmlDocument> LoadXml(const std::string& path,
+                                 hedge::Vocabulary& vocab) {
+  Result<std::string> text = ReadFile(path);
+  if (!text.ok()) return text.status();
+  return xml::ParseXml(*text, vocab);
+}
+
+std::string DeweyString(const hedge::Hedge& h, hedge::NodeId n) {
+  std::string out;
+  for (uint32_t step : h.DeweyOf(n)) out += "/" + std::to_string(step);
+  return out.empty() ? "/" : out;
+}
+
+int CmdQuery(const std::string& query_text, const std::string& file) {
+  hedge::Vocabulary vocab;
+  auto doc = LoadXml(file, vocab);
+  if (!doc.ok()) return Fail(doc.status().ToString());
+  auto query = query::ParseSelectionQuery(query_text, vocab);
+  if (!query.ok()) return Fail(query.status().ToString());
+  auto eval = query::SelectionEvaluator::Create(*query);
+  if (!eval.ok()) return Fail(eval.status().ToString());
+  for (hedge::NodeId n : eval->LocatedNodes(doc->hedge)) {
+    std::printf("%s\t%s\n", DeweyString(doc->hedge, n).c_str(),
+                vocab.symbols.NameOf(doc->hedge.label(n).id).c_str());
+  }
+  return 0;
+}
+
+int CmdXPath(const std::string& path_text, const std::string& file) {
+  hedge::Vocabulary vocab;
+  auto doc = LoadXml(file, vocab);
+  if (!doc.ok()) return Fail(doc.status().ToString());
+  auto path = baseline::ParseXPath(path_text, vocab);
+  if (!path.ok()) return Fail(path.status().ToString());
+  for (hedge::NodeId n : baseline::EvaluateXPath(doc->hedge, *path)) {
+    const hedge::Label label = doc->hedge.label(n);
+    std::printf("%s\t%s\n", DeweyString(doc->hedge, n).c_str(),
+                label.kind == hedge::LabelKind::kSymbol
+                    ? vocab.symbols.NameOf(label.id).c_str()
+                    : "#text");
+  }
+  return 0;
+}
+
+int CmdValidate(const std::string& schema_file, const std::string& file) {
+  hedge::Vocabulary vocab;
+  auto grammar = ReadFile(schema_file);
+  if (!grammar.ok()) return Fail(grammar.status().ToString());
+  auto schema = schema::ParseSchema(*grammar, vocab);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  auto doc = LoadXml(file, vocab);
+  if (!doc.ok()) return Fail(doc.status().ToString());
+  bool ok = schema->Validates(doc->hedge);
+  std::printf("%s\n", ok ? "valid" : "INVALID");
+  return ok ? 0 : 2;
+}
+
+int CmdTransform(const std::string& op, const std::string& schema_file,
+                 const std::string& query_text, const char* new_name) {
+  hedge::Vocabulary vocab;
+  auto grammar = ReadFile(schema_file);
+  if (!grammar.ok()) return Fail(grammar.status().ToString());
+  auto input = schema::ParseSchema(*grammar, vocab);
+  if (!input.ok()) return Fail(input.status().ToString());
+  auto query = query::ParseSelectionQuery(query_text, vocab);
+  if (!query.ok()) return Fail(query.status().ToString());
+
+  Result<schema::Schema> output = Status::Internal("unset");
+  if (op == "select") {
+    output = schema::SelectOutputSchema(*input, *query);
+  } else if (op == "delete") {
+    output = schema::DeleteOutputSchema(*input, *query);
+  } else if (op == "rename") {
+    if (new_name == nullptr) {
+      return Fail("rename needs a new element name");
+    }
+    output = schema::RenameOutputSchema(*input, *query,
+                                        vocab.symbols.Intern(new_name));
+  } else {
+    return Fail("unknown transform '" + op + "' (select|delete|rename)");
+  }
+  if (!output.ok()) return Fail(output.status().ToString());
+
+  schema::Schema pruned(automata::PruneNha(output->nha()));
+  std::printf("# inferred output schema (%zu states, %zu rules)\n",
+              pruned.nha().num_states(), pruned.nha().rules().size());
+  if (pruned.IsEmpty()) {
+    std::printf("# EMPTY: the query can never match a valid document\n");
+    return 0;
+  }
+  std::printf("%s", schema::FormatSchema(pruned, vocab).c_str());
+  if (auto witness = automata::WitnessHedge(pruned.nha());
+      witness.has_value()) {
+    xml::XmlDocument wrapped = xml::WrapHedge(*witness, vocab);
+    std::printf("# sample member: %s\n",
+                xml::SerializeXml(wrapped, vocab).c_str());
+  }
+  return 0;
+}
+
+int CmdExample(const std::string& schema_file, const std::string& query_text) {
+  hedge::Vocabulary vocab;
+  auto grammar = ReadFile(schema_file);
+  if (!grammar.ok()) return Fail(grammar.status().ToString());
+  auto input = schema::ParseSchema(*grammar, vocab);
+  if (!input.ok()) return Fail(input.status().ToString());
+  auto query = query::ParseSelectionQuery(query_text, vocab);
+  if (!query.ok()) return Fail(query.status().ToString());
+  auto sample = schema::SampleMatchingDocument(*input, *query);
+  if (!sample.ok()) return Fail(sample.status().ToString());
+  if (!sample->has_value()) {
+    std::printf("no valid document matches this query\n");
+    return 2;
+  }
+  xml::XmlDocument wrapped = xml::WrapHedge((*sample)->document, vocab);
+  std::printf("%s\n", xml::SerializeXml(wrapped, vocab).c_str());
+  std::printf("located: %s at %s\n",
+              vocab.symbols
+                  .NameOf((*sample)->document.label((*sample)->located).id)
+                  .c_str(),
+              DeweyString((*sample)->document, (*sample)->located).c_str());
+  return 0;
+}
+
+int CmdContains(const std::string& schema_file, const std::string& q1_text,
+                const std::string& q2_text) {
+  hedge::Vocabulary vocab;
+  auto grammar = ReadFile(schema_file);
+  if (!grammar.ok()) return Fail(grammar.status().ToString());
+  auto input = schema::ParseSchema(*grammar, vocab);
+  if (!input.ok()) return Fail(input.status().ToString());
+  auto q1 = query::ParseSelectionQuery(q1_text, vocab);
+  if (!q1.ok()) return Fail(q1.status().ToString());
+  auto q2 = query::ParseSelectionQuery(q2_text, vocab);
+  if (!q2.ok()) return Fail(q2.status().ToString());
+
+  auto result = schema::QueryContainment(*input, *q1, *q2);
+  if (!result.ok()) return Fail(result.status().ToString());
+  if (result->contained) {
+    std::printf("contained: every node located by Q1 is located by Q2\n");
+    return 0;
+  }
+  std::printf("NOT contained\n");
+  if (result->counterexample.has_value()) {
+    xml::XmlDocument wrapped =
+        xml::WrapHedge(result->counterexample->document, vocab);
+    std::printf("counterexample: %s\n",
+                xml::SerializeXml(wrapped, vocab).c_str());
+    std::printf("Q1 locates %s at %s; Q2 does not\n",
+                vocab.symbols
+                    .NameOf(result->counterexample->document
+                                .label(result->counterexample->located)
+                                .id)
+                    .c_str(),
+                DeweyString(result->counterexample->document,
+                            result->counterexample->located)
+                    .c_str());
+  }
+  return 2;
+}
+
+int CmdGen(const std::string& kind, size_t nodes, uint64_t seed) {
+  hedge::Vocabulary vocab;
+  Rng rng(seed);
+  hedge::Hedge doc;
+  if (kind == "article") {
+    workload::ArticleOptions options;
+    options.target_nodes = nodes;
+    doc = workload::RandomArticle(rng, vocab, options);
+  } else if (kind == "random") {
+    workload::RandomHedgeOptions options;
+    options.target_nodes = nodes;
+    doc = workload::RandomHedge(rng, vocab, options);
+  } else {
+    return Fail("unknown generator '" + kind + "' (article|random)");
+  }
+  xml::XmlDocument wrapped = xml::WrapHedge(doc, vocab);
+  std::printf("%s\n", xml::SerializeXml(wrapped, vocab).c_str());
+  return 0;
+}
+
+int CmdSchemaDiff(const std::string& file_a, const std::string& file_b) {
+  hedge::Vocabulary vocab;
+  auto ga = ReadFile(file_a);
+  if (!ga.ok()) return Fail(ga.status().ToString());
+  auto gb = ReadFile(file_b);
+  if (!gb.ok()) return Fail(gb.status().ToString());
+  auto a = schema::ParseSchema(*ga, vocab);
+  if (!a.ok()) return Fail(file_a + ": " + a.status().ToString());
+  auto b = schema::ParseSchema(*gb, vocab);
+  if (!b.ok()) return Fail(file_b + ": " + b.status().ToString());
+
+  auto ab = schema::SchemaIncludes(*a, *b);
+  auto ba = schema::SchemaIncludes(*b, *a);
+  if (!ab.ok()) return Fail(ab.status().ToString());
+  if (!ba.ok()) return Fail(ba.status().ToString());
+  if (*ab && *ba) {
+    std::printf("equivalent\n");
+    return 0;
+  }
+  std::printf("%s\n", *ab   ? "A is strictly included in B"
+                      : *ba ? "B is strictly included in A"
+                            : "incomparable");
+  auto show_witness = [&](const schema::Schema& x, const schema::Schema& y,
+                          const char* which) {
+    auto diff = schema::DifferenceSchemas(x, y);
+    if (!diff.ok()) return;
+    if (auto witness = automata::WitnessHedge(diff->nha());
+        witness.has_value()) {
+      xml::XmlDocument wrapped = xml::WrapHedge(*witness, vocab);
+      std::printf("only in %s: %s\n", which,
+                  xml::SerializeXml(wrapped, vocab).c_str());
+    }
+  };
+  if (!*ab) show_witness(*a, *b, "A");
+  if (!*ba) show_witness(*b, *a, "B");
+  return 3;
+}
+
+int CmdCanon(const std::string& schema_file) {
+  hedge::Vocabulary vocab;
+  auto grammar = ReadFile(schema_file);
+  if (!grammar.ok()) return Fail(grammar.status().ToString());
+  auto input = schema::ParseSchema(*grammar, vocab);
+  if (!input.ok()) return Fail(input.status().ToString());
+  auto det = automata::Determinize(input->nha());
+  if (!det.ok()) return Fail(det.status().ToString());
+  automata::Dha min = automata::MinimizeDha(det->dha);
+  schema::Schema canon(
+      automata::PruneNha(automata::DhaToNha(min, input->Variables())));
+  std::printf("# canonical (determinized, minimized, pruned) form\n%s",
+              schema::FormatSchema(canon, vocab).c_str());
+  return 0;
+}
+
+int CmdAmbiguous(const std::string& expr) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(expr, vocab);
+  if (!e.ok()) return Fail(e.status().ToString());
+  bool ambiguous = automata::IsAmbiguous(hre::CompileHre(*e));
+  std::printf("%s\n", ambiguous ? "ambiguous" : "unambiguous");
+  return ambiguous ? 2 : 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hq query '<selection query>' file.xml\n"
+      "  hq xpath '<location path>' file.xml\n"
+      "  hq validate schema.grammar file.xml\n"
+      "  hq transform select|delete schema.grammar '<query>'\n"
+      "  hq transform rename schema.grammar '<query>' <new-name>\n"
+      "  hq gen article|random <nodes> [seed]\n"
+      "  hq example schema.grammar '<query>'   (synthesize a matching doc)\n"
+      "  hq contains schema.grammar '<q1>' '<q2>'  (query containment)\n"
+      "  hq schema-diff a.grammar b.grammar\n"
+      "  hq canon schema.grammar               (canonical minimized form)\n"
+      "  hq ambiguous '<hedge regular expression>'\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    Usage();
+    return 1;
+  }
+  std::string cmd = argv[1];
+  if (cmd == "query" && argc == 4) return CmdQuery(argv[2], argv[3]);
+  if (cmd == "xpath" && argc == 4) return CmdXPath(argv[2], argv[3]);
+  if (cmd == "validate" && argc == 4) return CmdValidate(argv[2], argv[3]);
+  if (cmd == "transform" && (argc == 5 || argc == 6)) {
+    return CmdTransform(argv[2], argv[3], argv[4],
+                        argc == 6 ? argv[5] : nullptr);
+  }
+  if (cmd == "gen" && (argc == 4 || argc == 5)) {
+    return CmdGen(argv[2], static_cast<size_t>(std::atol(argv[3])),
+                  argc == 5 ? static_cast<uint64_t>(std::atoll(argv[4]))
+                            : 42);
+  }
+  if (cmd == "schema-diff" && argc == 4) {
+    return CmdSchemaDiff(argv[2], argv[3]);
+  }
+  if (cmd == "example" && argc == 4) return CmdExample(argv[2], argv[3]);
+  if (cmd == "contains" && argc == 5) {
+    return CmdContains(argv[2], argv[3], argv[4]);
+  }
+  if (cmd == "canon" && argc == 3) return CmdCanon(argv[2]);
+  if (cmd == "ambiguous" && argc == 3) return CmdAmbiguous(argv[2]);
+  Usage();
+  return 1;
+}
