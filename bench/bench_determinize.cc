@@ -7,9 +7,11 @@
 
 #include "automata/analysis.h"
 #include "automata/determinize.h"
+#include "automata/lazy_dha.h"
 #include "bench/bench_util.h"
 #include "hre/compile.h"
 #include "query/phr_compile.h"
+#include "util/rng.h"
 
 namespace hedgeq {
 namespace {
@@ -78,6 +80,67 @@ void BM_DeterminizeDocumentLike(benchmark::State& state) {
 BENCHMARK(BM_DeterminizeDocumentLike)
     ->DenseRange(0, 3)
     ->Unit(benchmark::kMicrosecond);
+
+// A document for the adversarial family: one c node with ~64 random a/b
+// children (every letter of lookback exercised).
+hedge::Hedge AdversarialDoc(hedge::Vocabulary& vocab) {
+  Rng rng(12345);
+  hedge::Hedge h;
+  hedge::NodeId root =
+      h.Append(hedge::kNullNode, hedge::Label::Symbol(vocab.symbols.Intern("c")));
+  hedge::SymbolId a = vocab.symbols.Intern("a");
+  hedge::SymbolId b = vocab.symbols.Intern("b");
+  for (int i = 0; i < 64; ++i) {
+    h.Append(root, hedge::Label::Symbol(rng.Below(2) == 0 ? a : b));
+  }
+  return h;
+}
+
+// Eager column of the eager-vs-lazy comparison: pay the full 2^k subset
+// construction, then answer by table lookup. Past k≈16 this is the path
+// the ExecBudget cuts off.
+void BM_AdversarialEagerTotal(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(AdversarialExpr(static_cast<int>(state.range(0))),
+                         vocab);
+  automata::Nha nha = hre::CompileHre(*e);
+  hedge::Hedge doc = AdversarialDoc(vocab);
+  size_t h_states = 0;
+  for (auto _ : state) {
+    auto det = automata::Determinize(nha);
+    if (!det.ok()) {
+      state.SkipWithError(det.status().ToString().c_str());
+      return;
+    }
+    benchmark::DoNotOptimize(det->dha.Accepts(doc));
+    h_states = det->dha.num_h_states();
+  }
+  state.counters["h_states"] = static_cast<double>(h_states);
+}
+BENCHMARK(BM_AdversarialEagerTotal)
+    ->DenseRange(2, 16, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// Lazy column: no preprocessing at all — on-the-fly subset simulation
+// materializes only the horizontal sets this document touches, so the
+// cost is flat in k where the eager column is exponential.
+void BM_AdversarialLazyTotal(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(AdversarialExpr(static_cast<int>(state.range(0))),
+                         vocab);
+  automata::Nha nha = hre::CompileHre(*e);
+  hedge::Hedge doc = AdversarialDoc(vocab);
+  size_t materialized = 0;
+  for (auto _ : state) {
+    automata::LazyDha lazy(nha);
+    benchmark::DoNotOptimize(lazy.Accepts(doc));
+    materialized = lazy.stats().states_materialized;
+  }
+  state.counters["materialized"] = static_cast<double>(materialized);
+}
+BENCHMARK(BM_AdversarialLazyTotal)
+    ->DenseRange(2, 24, 2)
+    ->Unit(benchmark::kMillisecond);
 
 // Minimization after determinization (the Section 9 optimization pass):
 // how much of the subset-construction output is redundant? On the

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_determinize.dir/bench_determinize.cc.o"
+  "CMakeFiles/bench_determinize.dir/bench_determinize.cc.o.d"
+  "bench_determinize"
+  "bench_determinize.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_determinize.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dha_run.dir/bench_dha_run.cc.o"
+  "CMakeFiles/bench_dha_run.dir/bench_dha_run.cc.o.d"
+  "bench_dha_run"
+  "bench_dha_run.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dha_run.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_hre_compile.dir/bench_hre_compile.cc.o"
+  "CMakeFiles/bench_hre_compile.dir/bench_hre_compile.cc.o.d"
+  "bench_hre_compile"
+  "bench_hre_compile.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_hre_compile.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pathexpr_ablation.dir/bench_pathexpr_ablation.cc.o"
+  "CMakeFiles/bench_pathexpr_ablation.dir/bench_pathexpr_ablation.cc.o.d"
+  "bench_pathexpr_ablation"
+  "bench_pathexpr_ablation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pathexpr_ablation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

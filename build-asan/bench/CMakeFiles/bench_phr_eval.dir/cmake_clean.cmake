@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_phr_eval.dir/bench_phr_eval.cc.o"
+  "CMakeFiles/bench_phr_eval.dir/bench_phr_eval.cc.o.d"
+  "bench_phr_eval"
+  "bench_phr_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_phr_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

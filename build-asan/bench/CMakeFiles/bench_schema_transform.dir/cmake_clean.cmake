@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_schema_transform.dir/bench_schema_transform.cc.o"
+  "CMakeFiles/bench_schema_transform.dir/bench_schema_transform.cc.o.d"
+  "bench_schema_transform"
+  "bench_schema_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_schema_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

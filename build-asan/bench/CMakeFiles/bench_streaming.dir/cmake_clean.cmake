@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_streaming.dir/bench_streaming.cc.o"
+  "CMakeFiles/bench_streaming.dir/bench_streaming.cc.o.d"
+  "bench_streaming"
+  "bench_streaming.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_streaming.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_theorem2.dir/bench_theorem2.cc.o"
+  "CMakeFiles/bench_theorem2.dir/bench_theorem2.cc.o.d"
+  "bench_theorem2"
+  "bench_theorem2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_theorem2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

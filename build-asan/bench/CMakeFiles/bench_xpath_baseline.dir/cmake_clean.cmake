@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_xpath_baseline.dir/bench_xpath_baseline.cc.o"
+  "CMakeFiles/bench_xpath_baseline.dir/bench_xpath_baseline.cc.o.d"
+  "bench_xpath_baseline"
+  "bench_xpath_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_xpath_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/doc_query.cpp" "examples/CMakeFiles/doc_query.dir/doc_query.cpp.o" "gcc" "examples/CMakeFiles/doc_query.dir/doc_query.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/query/CMakeFiles/hedgeq_query.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/schema/CMakeFiles/hedgeq_schema.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/baseline/CMakeFiles/hedgeq_baseline.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/workload/CMakeFiles/hedgeq_workload.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xml/CMakeFiles/hedgeq_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phr/CMakeFiles/hedgeq_phr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hre/CMakeFiles/hedgeq_hre.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/automata/CMakeFiles/hedgeq_automata.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/strre/CMakeFiles/hedgeq_strre.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hedge/CMakeFiles/hedgeq_hedge.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/hedgeq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/doc_query.dir/doc_query.cpp.o"
+  "CMakeFiles/doc_query.dir/doc_query.cpp.o.d"
+  "doc_query"
+  "doc_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/doc_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_transform.dir/schema_transform.cpp.o"
+  "CMakeFiles/schema_transform.dir/schema_transform.cpp.o.d"
+  "schema_transform"
+  "schema_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/streaming_validate.dir/streaming_validate.cpp.o"
+  "CMakeFiles/streaming_validate.dir/streaming_validate.cpp.o.d"
+  "streaming_validate"
+  "streaming_validate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/streaming_validate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xpath_vs_phr.dir/xpath_vs_phr.cpp.o"
+  "CMakeFiles/xpath_vs_phr.dir/xpath_vs_phr.cpp.o.d"
+  "xpath_vs_phr"
+  "xpath_vs_phr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xpath_vs_phr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for xpath_vs_phr.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/automata/analysis.cc" "src/automata/CMakeFiles/hedgeq_automata.dir/analysis.cc.o" "gcc" "src/automata/CMakeFiles/hedgeq_automata.dir/analysis.cc.o.d"
+  "/root/repo/src/automata/content_union.cc" "src/automata/CMakeFiles/hedgeq_automata.dir/content_union.cc.o" "gcc" "src/automata/CMakeFiles/hedgeq_automata.dir/content_union.cc.o.d"
+  "/root/repo/src/automata/determinize.cc" "src/automata/CMakeFiles/hedgeq_automata.dir/determinize.cc.o" "gcc" "src/automata/CMakeFiles/hedgeq_automata.dir/determinize.cc.o.d"
+  "/root/repo/src/automata/dha.cc" "src/automata/CMakeFiles/hedgeq_automata.dir/dha.cc.o" "gcc" "src/automata/CMakeFiles/hedgeq_automata.dir/dha.cc.o.d"
+  "/root/repo/src/automata/lazy_dha.cc" "src/automata/CMakeFiles/hedgeq_automata.dir/lazy_dha.cc.o" "gcc" "src/automata/CMakeFiles/hedgeq_automata.dir/lazy_dha.cc.o.d"
+  "/root/repo/src/automata/nha.cc" "src/automata/CMakeFiles/hedgeq_automata.dir/nha.cc.o" "gcc" "src/automata/CMakeFiles/hedgeq_automata.dir/nha.cc.o.d"
+  "/root/repo/src/automata/serialize.cc" "src/automata/CMakeFiles/hedgeq_automata.dir/serialize.cc.o" "gcc" "src/automata/CMakeFiles/hedgeq_automata.dir/serialize.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/strre/CMakeFiles/hedgeq_strre.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hedge/CMakeFiles/hedgeq_hedge.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/hedgeq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_automata.dir/analysis.cc.o"
+  "CMakeFiles/hedgeq_automata.dir/analysis.cc.o.d"
+  "CMakeFiles/hedgeq_automata.dir/content_union.cc.o"
+  "CMakeFiles/hedgeq_automata.dir/content_union.cc.o.d"
+  "CMakeFiles/hedgeq_automata.dir/determinize.cc.o"
+  "CMakeFiles/hedgeq_automata.dir/determinize.cc.o.d"
+  "CMakeFiles/hedgeq_automata.dir/dha.cc.o"
+  "CMakeFiles/hedgeq_automata.dir/dha.cc.o.d"
+  "CMakeFiles/hedgeq_automata.dir/lazy_dha.cc.o"
+  "CMakeFiles/hedgeq_automata.dir/lazy_dha.cc.o.d"
+  "CMakeFiles/hedgeq_automata.dir/nha.cc.o"
+  "CMakeFiles/hedgeq_automata.dir/nha.cc.o.d"
+  "CMakeFiles/hedgeq_automata.dir/serialize.cc.o"
+  "CMakeFiles/hedgeq_automata.dir/serialize.cc.o.d"
+  "libhedgeq_automata.a"
+  "libhedgeq_automata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_automata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

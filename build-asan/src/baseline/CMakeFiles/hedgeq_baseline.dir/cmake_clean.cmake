@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_baseline.dir/translate.cc.o"
+  "CMakeFiles/hedgeq_baseline.dir/translate.cc.o.d"
+  "CMakeFiles/hedgeq_baseline.dir/xpath.cc.o"
+  "CMakeFiles/hedgeq_baseline.dir/xpath.cc.o.d"
+  "libhedgeq_baseline.a"
+  "libhedgeq_baseline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_baseline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

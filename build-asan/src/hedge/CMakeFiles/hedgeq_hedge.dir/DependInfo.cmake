@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hedge/hedge.cc" "src/hedge/CMakeFiles/hedgeq_hedge.dir/hedge.cc.o" "gcc" "src/hedge/CMakeFiles/hedgeq_hedge.dir/hedge.cc.o.d"
+  "/root/repo/src/hedge/pointed.cc" "src/hedge/CMakeFiles/hedgeq_hedge.dir/pointed.cc.o" "gcc" "src/hedge/CMakeFiles/hedgeq_hedge.dir/pointed.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/hedgeq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

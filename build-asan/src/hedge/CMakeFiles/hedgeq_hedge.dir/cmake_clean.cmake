@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_hedge.dir/hedge.cc.o"
+  "CMakeFiles/hedgeq_hedge.dir/hedge.cc.o.d"
+  "CMakeFiles/hedgeq_hedge.dir/pointed.cc.o"
+  "CMakeFiles/hedgeq_hedge.dir/pointed.cc.o.d"
+  "libhedgeq_hedge.a"
+  "libhedgeq_hedge.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_hedge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

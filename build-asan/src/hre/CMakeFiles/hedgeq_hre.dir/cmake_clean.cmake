@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_hre.dir/ast.cc.o"
+  "CMakeFiles/hedgeq_hre.dir/ast.cc.o.d"
+  "CMakeFiles/hedgeq_hre.dir/compile.cc.o"
+  "CMakeFiles/hedgeq_hre.dir/compile.cc.o.d"
+  "CMakeFiles/hedgeq_hre.dir/from_nha.cc.o"
+  "CMakeFiles/hedgeq_hre.dir/from_nha.cc.o.d"
+  "CMakeFiles/hedgeq_hre.dir/sugar.cc.o"
+  "CMakeFiles/hedgeq_hre.dir/sugar.cc.o.d"
+  "libhedgeq_hre.a"
+  "libhedgeq_hre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_hre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

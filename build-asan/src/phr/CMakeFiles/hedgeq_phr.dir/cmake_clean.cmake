@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_phr.dir/phr.cc.o"
+  "CMakeFiles/hedgeq_phr.dir/phr.cc.o.d"
+  "libhedgeq_phr.a"
+  "libhedgeq_phr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_phr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/query/boolean.cc" "src/query/CMakeFiles/hedgeq_query.dir/boolean.cc.o" "gcc" "src/query/CMakeFiles/hedgeq_query.dir/boolean.cc.o.d"
+  "/root/repo/src/query/evaluator.cc" "src/query/CMakeFiles/hedgeq_query.dir/evaluator.cc.o" "gcc" "src/query/CMakeFiles/hedgeq_query.dir/evaluator.cc.o.d"
+  "/root/repo/src/query/lazy_phr.cc" "src/query/CMakeFiles/hedgeq_query.dir/lazy_phr.cc.o" "gcc" "src/query/CMakeFiles/hedgeq_query.dir/lazy_phr.cc.o.d"
+  "/root/repo/src/query/phr_compile.cc" "src/query/CMakeFiles/hedgeq_query.dir/phr_compile.cc.o" "gcc" "src/query/CMakeFiles/hedgeq_query.dir/phr_compile.cc.o.d"
+  "/root/repo/src/query/selection.cc" "src/query/CMakeFiles/hedgeq_query.dir/selection.cc.o" "gcc" "src/query/CMakeFiles/hedgeq_query.dir/selection.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/phr/CMakeFiles/hedgeq_phr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hre/CMakeFiles/hedgeq_hre.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/automata/CMakeFiles/hedgeq_automata.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/strre/CMakeFiles/hedgeq_strre.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hedge/CMakeFiles/hedgeq_hedge.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/hedgeq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

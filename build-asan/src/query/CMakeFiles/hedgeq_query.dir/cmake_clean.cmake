@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_query.dir/boolean.cc.o"
+  "CMakeFiles/hedgeq_query.dir/boolean.cc.o.d"
+  "CMakeFiles/hedgeq_query.dir/evaluator.cc.o"
+  "CMakeFiles/hedgeq_query.dir/evaluator.cc.o.d"
+  "CMakeFiles/hedgeq_query.dir/lazy_phr.cc.o"
+  "CMakeFiles/hedgeq_query.dir/lazy_phr.cc.o.d"
+  "CMakeFiles/hedgeq_query.dir/phr_compile.cc.o"
+  "CMakeFiles/hedgeq_query.dir/phr_compile.cc.o.d"
+  "CMakeFiles/hedgeq_query.dir/selection.cc.o"
+  "CMakeFiles/hedgeq_query.dir/selection.cc.o.d"
+  "libhedgeq_query.a"
+  "libhedgeq_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

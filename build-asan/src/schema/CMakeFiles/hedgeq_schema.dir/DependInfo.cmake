@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/schema/algebra.cc" "src/schema/CMakeFiles/hedgeq_schema.dir/algebra.cc.o" "gcc" "src/schema/CMakeFiles/hedgeq_schema.dir/algebra.cc.o.d"
+  "/root/repo/src/schema/match_identify.cc" "src/schema/CMakeFiles/hedgeq_schema.dir/match_identify.cc.o" "gcc" "src/schema/CMakeFiles/hedgeq_schema.dir/match_identify.cc.o.d"
+  "/root/repo/src/schema/schema.cc" "src/schema/CMakeFiles/hedgeq_schema.dir/schema.cc.o" "gcc" "src/schema/CMakeFiles/hedgeq_schema.dir/schema.cc.o.d"
+  "/root/repo/src/schema/streaming.cc" "src/schema/CMakeFiles/hedgeq_schema.dir/streaming.cc.o" "gcc" "src/schema/CMakeFiles/hedgeq_schema.dir/streaming.cc.o.d"
+  "/root/repo/src/schema/transform.cc" "src/schema/CMakeFiles/hedgeq_schema.dir/transform.cc.o" "gcc" "src/schema/CMakeFiles/hedgeq_schema.dir/transform.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/query/CMakeFiles/hedgeq_query.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/xml/CMakeFiles/hedgeq_xml.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/phr/CMakeFiles/hedgeq_phr.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hre/CMakeFiles/hedgeq_hre.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/automata/CMakeFiles/hedgeq_automata.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/strre/CMakeFiles/hedgeq_strre.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/hedge/CMakeFiles/hedgeq_hedge.dir/DependInfo.cmake"
+  "/root/repo/build-asan/src/util/CMakeFiles/hedgeq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_schema.dir/algebra.cc.o"
+  "CMakeFiles/hedgeq_schema.dir/algebra.cc.o.d"
+  "CMakeFiles/hedgeq_schema.dir/match_identify.cc.o"
+  "CMakeFiles/hedgeq_schema.dir/match_identify.cc.o.d"
+  "CMakeFiles/hedgeq_schema.dir/schema.cc.o"
+  "CMakeFiles/hedgeq_schema.dir/schema.cc.o.d"
+  "CMakeFiles/hedgeq_schema.dir/streaming.cc.o"
+  "CMakeFiles/hedgeq_schema.dir/streaming.cc.o.d"
+  "CMakeFiles/hedgeq_schema.dir/transform.cc.o"
+  "CMakeFiles/hedgeq_schema.dir/transform.cc.o.d"
+  "libhedgeq_schema.a"
+  "libhedgeq_schema.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_schema.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/strre/automaton.cc" "src/strre/CMakeFiles/hedgeq_strre.dir/automaton.cc.o" "gcc" "src/strre/CMakeFiles/hedgeq_strre.dir/automaton.cc.o.d"
+  "/root/repo/src/strre/ops.cc" "src/strre/CMakeFiles/hedgeq_strre.dir/ops.cc.o" "gcc" "src/strre/CMakeFiles/hedgeq_strre.dir/ops.cc.o.d"
+  "/root/repo/src/strre/regex.cc" "src/strre/CMakeFiles/hedgeq_strre.dir/regex.cc.o" "gcc" "src/strre/CMakeFiles/hedgeq_strre.dir/regex.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-asan/src/util/CMakeFiles/hedgeq_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

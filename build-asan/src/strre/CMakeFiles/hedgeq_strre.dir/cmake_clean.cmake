@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_strre.dir/automaton.cc.o"
+  "CMakeFiles/hedgeq_strre.dir/automaton.cc.o.d"
+  "CMakeFiles/hedgeq_strre.dir/ops.cc.o"
+  "CMakeFiles/hedgeq_strre.dir/ops.cc.o.d"
+  "CMakeFiles/hedgeq_strre.dir/regex.cc.o"
+  "CMakeFiles/hedgeq_strre.dir/regex.cc.o.d"
+  "libhedgeq_strre.a"
+  "libhedgeq_strre.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_strre.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_util.dir/bitset.cc.o"
+  "CMakeFiles/hedgeq_util.dir/bitset.cc.o.d"
+  "CMakeFiles/hedgeq_util.dir/budget.cc.o"
+  "CMakeFiles/hedgeq_util.dir/budget.cc.o.d"
+  "CMakeFiles/hedgeq_util.dir/failpoint.cc.o"
+  "CMakeFiles/hedgeq_util.dir/failpoint.cc.o.d"
+  "CMakeFiles/hedgeq_util.dir/interner.cc.o"
+  "CMakeFiles/hedgeq_util.dir/interner.cc.o.d"
+  "CMakeFiles/hedgeq_util.dir/status.cc.o"
+  "CMakeFiles/hedgeq_util.dir/status.cc.o.d"
+  "CMakeFiles/hedgeq_util.dir/strings.cc.o"
+  "CMakeFiles/hedgeq_util.dir/strings.cc.o.d"
+  "libhedgeq_util.a"
+  "libhedgeq_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

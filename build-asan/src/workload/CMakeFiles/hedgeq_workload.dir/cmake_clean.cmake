@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_workload.dir/generators.cc.o"
+  "CMakeFiles/hedgeq_workload.dir/generators.cc.o.d"
+  "libhedgeq_workload.a"
+  "libhedgeq_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

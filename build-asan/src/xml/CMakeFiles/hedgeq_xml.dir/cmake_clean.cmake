@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedgeq_xml.dir/xml.cc.o"
+  "CMakeFiles/hedgeq_xml.dir/xml.cc.o.d"
+  "libhedgeq_xml.a"
+  "libhedgeq_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedgeq_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

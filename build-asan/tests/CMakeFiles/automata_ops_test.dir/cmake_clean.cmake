@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/automata_ops_test.dir/automata_ops_test.cc.o"
+  "CMakeFiles/automata_ops_test.dir/automata_ops_test.cc.o.d"
+  "automata_ops_test"
+  "automata_ops_test.pdb"
+  "automata_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/automata_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/determinize_test.dir/determinize_test.cc.o"
+  "CMakeFiles/determinize_test.dir/determinize_test.cc.o.d"
+  "determinize_test"
+  "determinize_test.pdb"
+  "determinize_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/determinize_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/failpoint_test.dir/failpoint_test.cc.o"
+  "CMakeFiles/failpoint_test.dir/failpoint_test.cc.o.d"
+  "failpoint_test"
+  "failpoint_test.pdb"
+  "failpoint_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/failpoint_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

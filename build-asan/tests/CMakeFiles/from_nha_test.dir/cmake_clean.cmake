@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/from_nha_test.dir/from_nha_test.cc.o"
+  "CMakeFiles/from_nha_test.dir/from_nha_test.cc.o.d"
+  "from_nha_test"
+  "from_nha_test.pdb"
+  "from_nha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/from_nha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

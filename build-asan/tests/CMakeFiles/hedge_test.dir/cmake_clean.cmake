@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hedge_test.dir/hedge_test.cc.o"
+  "CMakeFiles/hedge_test.dir/hedge_test.cc.o.d"
+  "hedge_test"
+  "hedge_test.pdb"
+  "hedge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hedge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

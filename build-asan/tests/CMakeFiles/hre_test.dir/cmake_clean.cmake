@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hre_test.dir/hre_test.cc.o"
+  "CMakeFiles/hre_test.dir/hre_test.cc.o.d"
+  "hre_test"
+  "hre_test.pdb"
+  "hre_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hre_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

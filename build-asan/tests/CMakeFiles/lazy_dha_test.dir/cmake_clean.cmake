@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_dha_test.dir/lazy_dha_test.cc.o"
+  "CMakeFiles/lazy_dha_test.dir/lazy_dha_test.cc.o.d"
+  "lazy_dha_test"
+  "lazy_dha_test.pdb"
+  "lazy_dha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_dha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

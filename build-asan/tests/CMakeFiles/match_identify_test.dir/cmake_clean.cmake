@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/match_identify_test.dir/match_identify_test.cc.o"
+  "CMakeFiles/match_identify_test.dir/match_identify_test.cc.o.d"
+  "match_identify_test"
+  "match_identify_test.pdb"
+  "match_identify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/match_identify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nha_test.dir/nha_test.cc.o"
+  "CMakeFiles/nha_test.dir/nha_test.cc.o.d"
+  "nha_test"
+  "nha_test.pdb"
+  "nha_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nha_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

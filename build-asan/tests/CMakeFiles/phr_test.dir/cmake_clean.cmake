@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/phr_test.dir/phr_test.cc.o"
+  "CMakeFiles/phr_test.dir/phr_test.cc.o.d"
+  "phr_test"
+  "phr_test.pdb"
+  "phr_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/phr_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pointed_test.dir/pointed_test.cc.o"
+  "CMakeFiles/pointed_test.dir/pointed_test.cc.o.d"
+  "pointed_test"
+  "pointed_test.pdb"
+  "pointed_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pointed_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

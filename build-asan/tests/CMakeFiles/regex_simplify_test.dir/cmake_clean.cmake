@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/regex_simplify_test.dir/regex_simplify_test.cc.o"
+  "CMakeFiles/regex_simplify_test.dir/regex_simplify_test.cc.o.d"
+  "regex_simplify_test"
+  "regex_simplify_test.pdb"
+  "regex_simplify_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/regex_simplify_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

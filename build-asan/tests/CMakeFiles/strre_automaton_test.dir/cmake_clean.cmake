@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strre_automaton_test.dir/strre_automaton_test.cc.o"
+  "CMakeFiles/strre_automaton_test.dir/strre_automaton_test.cc.o.d"
+  "strre_automaton_test"
+  "strre_automaton_test.pdb"
+  "strre_automaton_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strre_automaton_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

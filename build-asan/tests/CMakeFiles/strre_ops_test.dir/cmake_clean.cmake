@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strre_ops_test.dir/strre_ops_test.cc.o"
+  "CMakeFiles/strre_ops_test.dir/strre_ops_test.cc.o.d"
+  "strre_ops_test"
+  "strre_ops_test.pdb"
+  "strre_ops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strre_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

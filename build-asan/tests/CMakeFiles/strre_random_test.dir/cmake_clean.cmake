@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strre_random_test.dir/strre_random_test.cc.o"
+  "CMakeFiles/strre_random_test.dir/strre_random_test.cc.o.d"
+  "strre_random_test"
+  "strre_random_test.pdb"
+  "strre_random_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strre_random_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/strre_regex_test.dir/strre_regex_test.cc.o"
+  "CMakeFiles/strre_regex_test.dir/strre_regex_test.cc.o.d"
+  "strre_regex_test"
+  "strre_regex_test.pdb"
+  "strre_regex_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/strre_regex_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

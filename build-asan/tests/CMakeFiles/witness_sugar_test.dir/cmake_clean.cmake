@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/witness_sugar_test.dir/witness_sugar_test.cc.o"
+  "CMakeFiles/witness_sugar_test.dir/witness_sugar_test.cc.o.d"
+  "witness_sugar_test"
+  "witness_sugar_test.pdb"
+  "witness_sugar_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/witness_sugar_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hq.dir/hq.cpp.o"
+  "CMakeFiles/hq.dir/hq.cpp.o.d"
+  "hq"
+  "hq.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hq.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

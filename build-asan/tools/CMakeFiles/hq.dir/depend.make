@@ -1,0 +1,2 @@
+# Empty dependencies file for hq.
+# This may be replaced when dependencies are built.

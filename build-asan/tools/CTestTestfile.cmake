@@ -1,0 +1,30 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tools
+# Build directory: /root/repo/build-asan/tools
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+add_test(hq_gen_and_query "sh" "-c" "/root/repo/build-asan/tools/hq gen article 120 7 > doc.xml && /root/repo/build-asan/tools/hq query 'select(*; figure (section|article)*)' doc.xml | grep -q figure")
+set_tests_properties(hq_gen_and_query PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;13;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_xpath "sh" "-c" "/root/repo/build-asan/tools/hq gen article 120 7 > doc2.xml && /root/repo/build-asan/tools/hq xpath '//figure' doc2.xml | grep -q figure")
+set_tests_properties(hq_xpath PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;15;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_validate "sh" "-c" "/root/repo/build-asan/tools/hq gen article 120 7 > doc3.xml && /root/repo/build-asan/tools/hq validate /root/repo/tools/fixtures/article.grammar doc3.xml | grep -q '^valid'")
+set_tests_properties(hq_validate PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;17;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_transform_select "sh" "-c" "/root/repo/build-asan/tools/hq transform select /root/repo/tools/fixtures/article.grammar 'select(*; figure (section|article)*)' | grep -q 'figure<N'")
+set_tests_properties(hq_transform_select PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;19;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_transform_rename "sh" "-c" "/root/repo/build-asan/tools/hq transform rename /root/repo/tools/fixtures/article.grammar 'select(*; figure (section|article)*)' fig | grep -q 'fig<N'")
+set_tests_properties(hq_transform_rename PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;21;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_transform_delete "sh" "-c" "/root/repo/build-asan/tools/hq transform delete /root/repo/tools/fixtures/article.grammar 'select(*; figure (section|article)*)' | grep -vq figure")
+set_tests_properties(hq_transform_delete PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;23;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_ambiguous "sh" "-c" "/root/repo/build-asan/tools/hq ambiguous '(a|b)*' | grep -q '^unambiguous' && (/root/repo/build-asan/tools/hq ambiguous 'a|a' | grep -q '^ambiguous')")
+set_tests_properties(hq_ambiguous PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;25;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_schema_diff "sh" "-c" "/root/repo/build-asan/tools/hq schema-diff /root/repo/tools/fixtures/article.grammar /root/repo/tools/fixtures/article_strict.grammar | grep -q 'strictly included'")
+set_tests_properties(hq_schema_diff PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;27;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_bad_input "sh" "-c" "! /root/repo/build-asan/tools/hq query 'select(' nonexistent.xml 2>/dev/null")
+set_tests_properties(hq_bad_input PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;29;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_example "sh" "-c" "/root/repo/build-asan/tools/hq example /root/repo/tools/fixtures/article.grammar 'select(*; figure (section|article)*)' | grep -q 'located: figure'")
+set_tests_properties(hq_example PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;31;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_contains "sh" "-c" "/root/repo/build-asan/tools/hq contains /root/repo/tools/fixtures/article.grammar 'select(*; figure section article)' 'select(*; figure (section|article)*)' | grep -q '^contained' && ! /root/repo/build-asan/tools/hq contains /root/repo/tools/fixtures/article.grammar 'select(*; figure (section|article)*)' 'select(*; figure section article)' 2>/dev/null | grep -q '^contained'")
+set_tests_properties(hq_contains PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;33;add_test;/root/repo/tools/CMakeLists.txt;0;")
+add_test(hq_canon "sh" "-c" "/root/repo/build-asan/tools/hq canon /root/repo/tools/fixtures/article.grammar | grep -q 'article<'")
+set_tests_properties(hq_canon PROPERTIES  _BACKTRACE_TRIPLES "/root/repo/tools/CMakeLists.txt;35;add_test;/root/repo/tools/CMakeLists.txt;0;")

@@ -2,62 +2,29 @@
 
 #include <map>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "automata/content_union.h"
 #include "util/check.h"
-#include "util/strings.h"
+#include "util/failpoint.h"
 
 namespace hedgeq::automata {
 
 using strre::Nfa;
 
-namespace {
-
-// All rule content NFAs glued into one disjoint automaton so one horizontal
-// state (a set of combined states) simulates every content model at once.
-struct CombinedContent {
-  Nfa nfa;                // letters are NHA state ids; no start/accept used
-  std::vector<strre::StateId> starts;  // one per rule
-  // accept_info[s]: rules (by index) whose content accepts at combined
-  // state s.
-  std::vector<std::vector<uint32_t>> accept_info;
-};
-
-CombinedContent CombineContents(const Nha& nha) {
-  CombinedContent out;
-  for (uint32_t rule_index = 0; rule_index < nha.rules().size();
-       ++rule_index) {
-    const Nha::Rule& rule = nha.rules()[rule_index];
-    strre::StateId offset = static_cast<strre::StateId>(out.nfa.num_states());
-    for (strre::StateId s = 0; s < rule.content.num_states(); ++s) {
-      out.nfa.AddState(false);
-      out.accept_info.emplace_back();
-      if (rule.content.IsAccepting(s)) {
-        out.accept_info.back().push_back(rule_index);
-      }
-    }
-    for (strre::StateId s = 0; s < rule.content.num_states(); ++s) {
-      for (const Nfa::Transition& t : rule.content.TransitionsFrom(s)) {
-        out.nfa.AddTransition(offset + s, t.symbol, offset + t.to);
-      }
-      for (strre::StateId t : rule.content.EpsilonsFrom(s)) {
-        out.nfa.AddEpsilon(offset + s, offset + t);
-      }
-    }
-    out.starts.push_back(rule.content.start() == strre::kNoState
-                             ? strre::kNoState
-                             : offset + rule.content.start());
-  }
-  return out;
+Result<Determinized> Determinize(const Nha& nha, const ExecBudget& budget) {
+  BudgetScope scope(budget);
+  return Determinize(nha, scope);
 }
 
-}  // namespace
-
-Result<Determinized> Determinize(const Nha& nha,
-                                 const DeterminizeOptions& options) {
+Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope) {
+  HEDGEQ_FAILPOINT("determinize/alloc");
   CombinedContent combined = CombineContents(nha);
   const size_t ncomb = combined.nfa.num_states();
   const size_t nq = nha.num_states();
+  HEDGEQ_RETURN_IF_ERROR(
+      scope.ChargeBytes(ncomb * 16 + nq * 8, "determinize"));
 
   // --- DHA states: canonical subsets of NHA states. Sink (empty) is id 0.
   std::unordered_map<Bitset, HState, BitsetHash> subset_ids;
@@ -69,6 +36,17 @@ Result<Determinized> Determinize(const Nha& nha,
     subset_ids.emplace(subset, id);
     subsets.push_back(std::move(subset));
     return id;
+  };
+  // Each interned subset lives twice (map key + vector) plus map overhead.
+  auto charge_subsets = [&](size_t prev) -> Status {
+    if (subsets.size() == prev) return Status::Ok();
+    HEDGEQ_RETURN_IF_ERROR(
+        scope.ChargeStates(subsets.size() - prev, "determinize"));
+    size_t bytes = 0;
+    for (size_t i = prev; i < subsets.size(); ++i) {
+      bytes += 2 * subsets[i].ApproxBytes() + 32;
+    }
+    return scope.ChargeBytes(bytes, "determinize");
   };
   intern_subset(Bitset(nq));  // sink = empty subset
 
@@ -85,6 +63,7 @@ Result<Determinized> Determinize(const Nha& nha,
     for (HState q : states) b.Set(q);
     subst_sid[z] = intern_subset(std::move(b));
   }
+  HEDGEQ_RETURN_IF_ERROR(charge_subsets(0));
 
   // --- Horizontal states: epsilon-closed sets of combined-content states.
   std::unordered_map<Bitset, HhState, BitsetHash> h_ids;
@@ -98,12 +77,23 @@ Result<Determinized> Determinize(const Nha& nha,
     h_sets.push_back(std::move(set));
     return id;
   };
+  auto charge_h = [&](size_t prev) -> Status {
+    if (h_sets.size() == prev) return Status::Ok();
+    HEDGEQ_RETURN_IF_ERROR(
+        scope.ChargeStates(h_sets.size() - prev, "determinize"));
+    size_t bytes = 0;
+    for (size_t i = prev; i < h_sets.size(); ++i) {
+      bytes += 2 * h_sets[i].ApproxBytes() + 32;
+    }
+    return scope.ChargeBytes(bytes, "determinize");
+  };
   Bitset h0(ncomb);
   for (strre::StateId s : combined.starts) {
     if (s != strre::kNoState) h0.Set(s);
   }
   HhState h_start = intern_h(std::move(h0));
   HEDGEQ_CHECK(h_start == 0);
+  HEDGEQ_RETURN_IF_ERROR(charge_h(0));
 
   // assign_table[h] : symbol -> subset id reached after the rules accepting
   // at h fire. h_trans[h] : subset id -> next horizontal state.
@@ -118,7 +108,9 @@ Result<Determinized> Determinize(const Nha& nha,
     // 1. Compute assignments for newly discovered horizontal states; this
     //    may discover new DHA states (subsets).
     while (h_assigned < h_sets.size()) {
+      HEDGEQ_FAILPOINT("determinize/subset");
       const Bitset& hs = h_sets[h_assigned];
+      const size_t prev_subsets = subsets.size();
       std::map<hedge::SymbolId, Bitset> per_symbol;
       for (uint32_t cs : hs.ToVector()) {
         for (uint32_t rule_index : combined.accept_info[cs]) {
@@ -132,14 +124,12 @@ Result<Determinized> Determinize(const Nha& nha,
       for (auto& [symbol, bits] : per_symbol) {
         row[symbol] = intern_subset(std::move(bits));
       }
+      HEDGEQ_RETURN_IF_ERROR(
+          scope.ChargeSteps(hs.Count() + row.size() + 1, "determinize"));
+      HEDGEQ_RETURN_IF_ERROR(charge_subsets(prev_subsets));
       assign_table.push_back(std::move(row));
       ++h_assigned;
       progress = true;
-      if (subsets.size() > options.max_dha_states) {
-        return Status::ResourceExhausted(
-            StrCat("determinization exceeded max_dha_states=",
-                   options.max_dha_states));
-      }
     }
 
     // 2. Extend horizontal transitions to every known subset letter; this
@@ -147,24 +137,28 @@ Result<Determinized> Determinize(const Nha& nha,
     for (HhState hs = 0; hs < h_sets.size(); ++hs) {
       if (h_trans.size() <= hs) h_trans.emplace_back();
       while (h_trans[hs].size() < subsets.size()) {
+        HEDGEQ_FAILPOINT("determinize/htrans");
         HState sid = static_cast<HState>(h_trans[hs].size());
         const Bitset& letter = subsets[sid];
+        const size_t prev_h = h_sets.size();
         Bitset next(ncomb);
+        size_t steps = 1;
         for (uint32_t cs : h_sets[hs].ToVector()) {
           for (const Nfa::Transition& t :
                combined.nfa.TransitionsFrom(cs)) {
+            ++steps;
             if (t.symbol < letter.size() && letter.Test(t.symbol)) {
               next.Set(t.to);
             }
           }
         }
         h_trans[hs].push_back(intern_h(std::move(next)));
+        HEDGEQ_RETURN_IF_ERROR(scope.ChargeSteps(steps, "determinize"));
+        HEDGEQ_RETURN_IF_ERROR(charge_h(prev_h));
+        // The dense transition matrix entry itself.
+        HEDGEQ_RETURN_IF_ERROR(
+            scope.ChargeBytes(sizeof(HhState), "determinize"));
         progress = true;
-        if (h_sets.size() > options.max_h_states) {
-          return Status::ResourceExhausted(
-              StrCat("determinization exceeded max_h_states=",
-                     options.max_h_states));
-        }
       }
     }
 
@@ -185,12 +179,18 @@ Result<Determinized> Determinize(const Nha& nha,
   }
   for (const auto& [x, sid] : var_sid) dha.SetVariableState(x, sid);
   for (const auto& [z, sid] : subst_sid) dha.SetSubstState(z, sid);
-  dha.SetFinalDfa(LiftToSubsets(nha.final_nfa(), subsets));
+  Result<strre::Dfa> final_dfa =
+      LiftToSubsetsBounded(nha.final_nfa(), subsets, scope);
+  if (!final_dfa.ok()) return final_dfa.status();
+  dha.SetFinalDfa(std::move(final_dfa).value());
 
   return Determinized{std::move(dha), std::move(subsets)};
 }
 
-strre::Dfa LiftToSubsets(const Nfa& lang, std::span<const Bitset> subsets) {
+Result<strre::Dfa> LiftToSubsetsBounded(const Nfa& lang,
+                                        std::span<const Bitset> subsets,
+                                        BudgetScope& scope) {
+  HEDGEQ_FAILPOINT("determinize/lift");
   strre::Dfa out;
   if (lang.num_states() == 0 || lang.start() == strre::kNoState) {
     // Empty language: a single non-accepting total state.
@@ -220,28 +220,51 @@ strre::Dfa LiftToSubsets(const Nfa& lang, std::span<const Bitset> subsets) {
     worklist.push_back(std::move(set));
     return id;
   };
+  auto charge = [&](size_t prev) -> Status {
+    if (worklist.size() == prev) return Status::Ok();
+    HEDGEQ_RETURN_IF_ERROR(
+        scope.ChargeStates(worklist.size() - prev, "determinize/lift"));
+    size_t bytes = 0;
+    for (size_t i = prev; i < worklist.size(); ++i) {
+      bytes += 2 * worklist[i].ApproxBytes() + 32;
+    }
+    return scope.ChargeBytes(bytes, "determinize/lift");
+  };
 
   Bitset start(lang.num_states());
   start.Set(lang.start());
   intern(std::move(start));
+  HEDGEQ_RETURN_IF_ERROR(charge(0));
 
   for (size_t wi = 0; wi < worklist.size(); ++wi) {
     Bitset current = worklist[wi];  // copy: worklist grows during the loop
     strre::StateId from = ids.at(current);
     for (strre::Symbol sid = 0; sid < subsets.size(); ++sid) {
       const Bitset& letter = subsets[sid];
+      const size_t prev = worklist.size();
       Bitset next(lang.num_states());
+      size_t steps = 1;
       for (uint32_t s : current.ToVector()) {
         for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+          ++steps;
           if (t.symbol < letter.size() && letter.Test(t.symbol)) {
             next.Set(t.to);
           }
         }
       }
       out.SetTransition(from, sid, intern(std::move(next)));
+      HEDGEQ_RETURN_IF_ERROR(scope.ChargeSteps(steps, "determinize/lift"));
+      HEDGEQ_RETURN_IF_ERROR(charge(prev));
     }
   }
   return out;
+}
+
+strre::Dfa LiftToSubsets(const Nfa& lang, std::span<const Bitset> subsets) {
+  BudgetScope scope(ExecBudget::Unlimited());
+  Result<strre::Dfa> out = LiftToSubsetsBounded(lang, subsets, scope);
+  HEDGEQ_CHECK_MSG(out.ok(), "unbounded LiftToSubsets cannot fail");
+  return std::move(out).value();
 }
 
 }  // namespace hedgeq::automata

@@ -6,17 +6,10 @@
 
 #include "automata/dha.h"
 #include "automata/nha.h"
+#include "util/budget.h"
 #include "util/status.h"
 
 namespace hedgeq::automata {
-
-/// Limits for the subset construction. Determinization is worst-case
-/// exponential (the paper conjectures it is "usually efficient"; experiment
-/// E3 measures both sides), so callers can cap the explosion.
-struct DeterminizeOptions {
-  size_t max_dha_states = 1u << 20;
-  size_t max_h_states = 1u << 20;
-};
 
 /// Result of determinizing an NHA: the DHA plus, for every DHA state, the
 /// subset of NHA states it denotes. The sink is always state 0 (the empty
@@ -27,17 +20,31 @@ struct Determinized {
 };
 
 /// Theorem 1: subset construction from a non-deterministic to a
-/// deterministic hedge automaton with L(dha) = L(nha). Fails with
-/// kResourceExhausted when the options' caps are exceeded.
-Result<Determinized> Determinize(const Nha& nha,
-                                 const DeterminizeOptions& options = {});
+/// deterministic hedge automaton with L(dha) = L(nha). Determinization is
+/// worst-case exponential (the paper conjectures it is "usually efficient";
+/// experiment E3 measures both sides), so the construction charges every
+/// interned subset, horizontal state and transition against the budget and
+/// fails with kResourceExhausted — reporting the count reached — when a cap
+/// is hit. Callers that must not fail fall back to automata/lazy_dha.h.
+Result<Determinized> Determinize(const Nha& nha, const ExecBudget& budget = {});
+
+/// As above, but charging an existing scope so several pipeline stages share
+/// one cumulative budget (e.g. the Theorem 4 compile in query/phr_compile).
+Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope);
 
 /// Lifts a regular language over NHA states (an NFA with letters in Q_nha)
 /// to a complete DFA over DHA states (letters are subset ids): the lifted
 /// DFA accepts a word S1...Sk of subsets iff some q1 in S1, ..., qk in Sk
 /// with q1...qk in L(lang). This is how final languages and the Theorem 4
 /// per-triplet languages F_i1/F_i2 ride on one shared determinization.
-strre::Dfa LiftToSubsets(const strre::Nfa& lang, std::span<const Bitset> subsets);
+/// The bounded form charges the DFA subset construction against `scope`.
+Result<strre::Dfa> LiftToSubsetsBounded(const strre::Nfa& lang,
+                                        std::span<const Bitset> subsets,
+                                        BudgetScope& scope);
+
+/// Unbounded convenience wrapper (cannot fail).
+strre::Dfa LiftToSubsets(const strre::Nfa& lang,
+                         std::span<const Bitset> subsets);
 
 }  // namespace hedgeq::automata
 

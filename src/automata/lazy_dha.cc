@@ -1,0 +1,216 @@
+#include "automata/lazy_dha.h"
+
+#include <utility>
+
+namespace hedgeq::automata {
+
+using hedge::Hedge;
+using hedge::kNullNode;
+using hedge::LabelKind;
+using hedge::NodeId;
+using strre::Nfa;
+
+LazyDha::LazyDha(Nha nha, LazyDhaOptions options)
+    : nha_(std::move(nha)),
+      options_(options),
+      combined_(CombineContents(nha_)) {
+  h_start_ = Bitset(combined_.nfa.num_states());
+  for (strre::StateId s : combined_.starts) {
+    if (s != strre::kNoState) h_start_.Set(s);
+  }
+  combined_.nfa.EpsilonClosure(h_start_);
+  const size_t nq = nha_.num_states();
+  for (const auto& [x, states] : nha_.var_map()) {
+    Bitset b(nq);
+    for (HState q : states) b.Set(q);
+    var_subsets_.emplace(x, std::move(b));
+  }
+  for (const auto& [z, states] : nha_.subst_map()) {
+    Bitset b(nq);
+    for (HState q : states) b.Set(q);
+    subst_subsets_.emplace(z, std::move(b));
+  }
+}
+
+void LazyDha::NoteInsert(size_t bytes_added) const {
+  ++stats_.states_materialized;
+  ++stats_.cache_misses;
+  (void)bytes_added;
+  stats_.peak_cache_bytes = std::max(
+      stats_.peak_cache_bytes, hnext_cache_.bytes + assign_cache_.bytes);
+  // Evict LRU entries, from whichever cache is larger, until the joint
+  // budget holds again.
+  auto evict_one = [&](auto& cache) -> bool {
+    if (cache.entries.empty()) return false;
+    cache.bytes -= cache.entries.back().bytes;
+    cache.index.erase(cache.entries.back().key);
+    cache.entries.pop_back();
+    ++stats_.cache_evictions;
+    return true;
+  };
+  while (hnext_cache_.bytes + assign_cache_.bytes >
+         options_.max_cache_bytes) {
+    bool evicted = hnext_cache_.bytes >= assign_cache_.bytes
+                       ? evict_one(hnext_cache_)
+                       : evict_one(assign_cache_);
+    if (!evicted) {
+      evicted = evict_one(hnext_cache_) || evict_one(assign_cache_);
+    }
+    if (!evicted) break;
+  }
+}
+
+Bitset LazyDha::HNext(const Bitset& h, const Bitset& subset) const {
+  HNextKey key{h, subset};
+  if (const Bitset* cached = hnext_cache_.Find(key)) {
+    ++stats_.cache_hits;
+    return *cached;
+  }
+  Bitset next(combined_.nfa.num_states());
+  for (uint32_t cs : h.ToVector()) {
+    for (const Nfa::Transition& t : combined_.nfa.TransitionsFrom(cs)) {
+      if (t.symbol < subset.size() && subset.Test(t.symbol)) {
+        next.Set(t.to);
+      }
+    }
+  }
+  combined_.nfa.EpsilonClosure(next);
+  size_t bytes = key.h.ApproxBytes() + key.subset.ApproxBytes() +
+                 2 * next.ApproxBytes() + 64;
+  Bitset out = next;
+  hnext_cache_.Insert(std::move(key), std::move(next), bytes);
+  NoteInsert(bytes);
+  return out;
+}
+
+Bitset LazyDha::Assign(hedge::SymbolId symbol, const Bitset& h) const {
+  AssignKey key{symbol, h};
+  if (const Bitset* cached = assign_cache_.Find(key)) {
+    ++stats_.cache_hits;
+    return *cached;
+  }
+  Bitset targets(nha_.num_states());
+  for (uint32_t cs : h.ToVector()) {
+    for (uint32_t rule_index : combined_.accept_info[cs]) {
+      const Nha::Rule& rule = nha_.rules()[rule_index];
+      if (rule.symbol == symbol) targets.Set(rule.target);
+    }
+  }
+  size_t bytes = key.h.ApproxBytes() + 2 * targets.ApproxBytes() + 64;
+  Bitset out = targets;
+  assign_cache_.Insert(std::move(key), std::move(targets), bytes);
+  NoteInsert(bytes);
+  return out;
+}
+
+Bitset LazyDha::VariableSubset(hedge::VarId x) const {
+  auto it = var_subsets_.find(x);
+  return it == var_subsets_.end() ? Bitset(nha_.num_states()) : it->second;
+}
+
+Bitset LazyDha::SubstSubset(hedge::SubstId z) const {
+  auto it = subst_subsets_.find(z);
+  return it == subst_subsets_.end() ? Bitset(nha_.num_states()) : it->second;
+}
+
+LazyDha::FinalRun::FinalRun(const LazyDha& dha)
+    : dha_(dha), current_(dha.nha_.final_nfa().num_states()) {
+  const Nfa& final = dha_.nha_.final_nfa();
+  if (final.num_states() > 0 && final.start() != strre::kNoState) {
+    current_.Set(final.start());
+    final.EpsilonClosure(current_);
+  }
+}
+
+void LazyDha::FinalRun::Consume(const Bitset& subset) {
+  const Nfa& final = dha_.nha_.final_nfa();
+  Bitset next(final.num_states());
+  for (uint32_t p : current_.ToVector()) {
+    for (const Nfa::Transition& t : final.TransitionsFrom(p)) {
+      if (t.symbol < subset.size() && subset.Test(t.symbol)) {
+        next.Set(t.to);
+      }
+    }
+  }
+  final.EpsilonClosure(next);
+  current_ = std::move(next);
+}
+
+bool LazyDha::FinalRun::Accepting() const {
+  const Nfa& final = dha_.nha_.final_nfa();
+  for (uint32_t p : current_.ToVector()) {
+    if (final.IsAccepting(p)) return true;
+  }
+  return false;
+}
+
+std::vector<Bitset> LazyDha::Run(const Hedge& h) const {
+  const size_t nq = nha_.num_states();
+  std::vector<Bitset> sets(h.num_nodes(), Bitset(nq));
+  // Children have larger arena ids than parents; reverse sweep is bottom-up.
+  for (NodeId n = static_cast<NodeId>(h.num_nodes()); n-- > 0;) {
+    const hedge::Label label = h.label(n);
+    switch (label.kind) {
+      case LabelKind::kVariable:
+        sets[n] = VariableSubset(label.id);
+        break;
+      case LabelKind::kSubst:
+        sets[n] = SubstSubset(label.id);
+        break;
+      case LabelKind::kEta:
+        break;  // eta never carries automaton states (empty = sink)
+      case LabelKind::kSymbol: {
+        Bitset hs = h_start_;
+        for (NodeId c = h.first_child(n); c != kNullNode;
+             c = h.next_sibling(c)) {
+          hs = HNext(hs, sets[c]);
+        }
+        sets[n] = Assign(label.id, hs);
+        break;
+      }
+    }
+  }
+  return sets;
+}
+
+LazyDha::MarkedRun LazyDha::RunWithMarks(const Hedge& h) const {
+  const size_t nq = nha_.num_states();
+  MarkedRun out;
+  out.states.assign(h.num_nodes(), Bitset(nq));
+  out.marks.assign(h.num_nodes(), false);
+  for (NodeId n = static_cast<NodeId>(h.num_nodes()); n-- > 0;) {
+    const hedge::Label label = h.label(n);
+    switch (label.kind) {
+      case LabelKind::kVariable:
+        out.states[n] = VariableSubset(label.id);
+        break;
+      case LabelKind::kSubst:
+        out.states[n] = SubstSubset(label.id);
+        break;
+      case LabelKind::kEta:
+        break;
+      case LabelKind::kSymbol: {
+        Bitset hs = h_start_;
+        FinalRun f(*this);
+        for (NodeId c = h.first_child(n); c != kNullNode;
+             c = h.next_sibling(c)) {
+          f.Consume(out.states[c]);
+          hs = HNext(hs, out.states[c]);
+        }
+        out.states[n] = Assign(label.id, hs);
+        out.marks[n] = f.Accepting();
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+bool LazyDha::Accepts(const Hedge& h) const {
+  std::vector<Bitset> sets = Run(h);
+  FinalRun f(*this);
+  for (NodeId r : h.roots()) f.Consume(sets[r]);
+  return f.Accepting();
+}
+
+}  // namespace hedgeq::automata

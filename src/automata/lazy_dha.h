@@ -1,0 +1,211 @@
+#ifndef HEDGEQ_AUTOMATA_LAZY_DHA_H_
+#define HEDGEQ_AUTOMATA_LAZY_DHA_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/content_union.h"
+#include "automata/nha.h"
+#include "hedge/hedge.h"
+#include "util/bitset.h"
+
+namespace hedgeq::automata {
+
+/// Which engine answered, and what the lazy engine spent. Returned by every
+/// evaluator that can degrade from eager determinization to on-the-fly
+/// subset simulation.
+struct EvalStats {
+  bool fallback_used = false;      // lazy engine (not the eager DHA) ran
+  size_t states_materialized = 0;  // distinct subset computations performed
+  size_t cache_evictions = 0;      // LRU entries dropped under memory budget
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t peak_cache_bytes = 0;     // high-water mark of cache memory
+};
+
+struct LazyDhaOptions {
+  /// Cap on memoization memory; least-recently-used transitions are evicted
+  /// beyond it, so evaluation memory stays bounded no matter how many
+  /// distinct subsets a document touches.
+  size_t max_cache_bytes = size_t{8} << 20;  // 8 MiB
+};
+
+/// On-the-fly subset simulation: the lazy counterpart of the Theorem 1
+/// subset construction. Where `Determinize` materializes every reachable
+/// subset and horizontal set up front (worst-case exponential), LazyDha
+/// computes exactly the subsets a given document touches, memoizing
+/// horizontal steps and assignments in LRU caches bounded by
+/// `max_cache_bytes`. Evaluation therefore runs in time linear in the
+/// document (times the cost of a set step) with bounded memory — it can
+/// never fail, only slow down — which makes it the graceful-degradation
+/// fallback when eager determinization exceeds its ExecBudget.
+///
+/// States are represented by value as Bitsets (subsets of NHA states for
+/// vertical states, epsilon-closed sets of combined content-NFA states for
+/// horizontal states), so cache eviction can never invalidate a client's
+/// handle. The empty subset is the sink. Methods are const but not
+/// thread-safe (the caches mutate); clone one LazyDha per thread.
+class LazyDha {
+ public:
+  explicit LazyDha(Nha nha, LazyDhaOptions options = {});
+
+  const Nha& nha() const { return nha_; }
+  const LazyDhaOptions& options() const { return options_; }
+
+  /// The horizontal start set (epsilon closure of every rule content start).
+  const Bitset& HStart() const { return h_start_; }
+
+  /// One horizontal step: the set reached from `h` by reading any NHA state
+  /// in `subset`. Memoized.
+  Bitset HNext(const Bitset& h, const Bitset& subset) const;
+
+  /// alpha(symbol, w) for a child sequence whose horizontal run ended in
+  /// `h`: the set of targets of `symbol`-rules accepting at `h`. Memoized.
+  Bitset Assign(hedge::SymbolId symbol, const Bitset& h) const;
+
+  /// iota(x) / iota(z) as subsets; unknown ids give the empty (sink) subset.
+  Bitset VariableSubset(hedge::VarId x) const;
+  Bitset SubstSubset(hedge::SubstId z) const;
+
+  /// Streaming set-simulation of the final language F over subset letters
+  /// (the lazy counterpart of the lifted final DFA).
+  class FinalRun {
+   public:
+    explicit FinalRun(const LazyDha& dha);
+    void Consume(const Bitset& subset);
+    bool Accepting() const;
+
+   private:
+    const LazyDha& dha_;
+    Bitset current_;  // epsilon-closed set of final-NFA states
+  };
+
+  /// Definition 7 / Definition 4: the subset assigned to every node,
+  /// indexed by NodeId. Equals Determinize(nha).subsets[Dha::Run(h)[n]].
+  std::vector<Bitset> Run(const hedge::Hedge& h) const;
+
+  /// Theorem 3 shortcut: along with the run, whether each symbol node's
+  /// child sequence lies in F (the lazy RunWithMarks).
+  struct MarkedRun {
+    std::vector<Bitset> states;
+    std::vector<bool> marks;
+  };
+  MarkedRun RunWithMarks(const hedge::Hedge& h) const;
+
+  /// Definition 8 acceptance.
+  bool Accepts(const hedge::Hedge& h) const;
+
+  const EvalStats& stats() const { return stats_; }
+  void ResetStats() const { stats_ = EvalStats{}; }
+
+ private:
+  struct HNextKey {
+    Bitset h;
+    Bitset subset;
+    bool operator==(const HNextKey& o) const {
+      return h == o.h && subset == o.subset;
+    }
+  };
+  struct HNextKeyHash {
+    size_t operator()(const HNextKey& k) const {
+      return k.h.Hash() * 1000003u ^ k.subset.Hash();
+    }
+  };
+  struct AssignKey {
+    hedge::SymbolId symbol;
+    Bitset h;
+    bool operator==(const AssignKey& o) const {
+      return symbol == o.symbol && h == o.h;
+    }
+  };
+  struct AssignKeyHash {
+    size_t operator()(const AssignKey& k) const {
+      return k.h.Hash() * 1000003u ^ k.symbol;
+    }
+  };
+
+  template <typename Key, typename Hash>
+  struct LruCache {
+    struct Entry {
+      Key key;
+      Bitset value;
+      size_t bytes;
+    };
+    std::list<Entry> entries;  // front = most recent
+    std::unordered_map<Key, typename std::list<Entry>::iterator, Hash> index;
+    size_t bytes = 0;
+
+    const Bitset* Find(const Key& key) {
+      auto it = index.find(key);
+      if (it == index.end()) return nullptr;
+      entries.splice(entries.begin(), entries, it->second);
+      return &it->second->value;
+    }
+    void Insert(Key key, Bitset value, size_t entry_bytes) {
+      entries.push_front(Entry{std::move(key), std::move(value), entry_bytes});
+      index.emplace(entries.front().key, entries.begin());
+      bytes += entry_bytes;
+    }
+  };
+
+  void NoteInsert(size_t bytes_added) const;
+
+  Nha nha_;
+  LazyDhaOptions options_;
+  CombinedContent combined_;
+  Bitset h_start_;
+  std::unordered_map<hedge::VarId, Bitset> var_subsets_;
+  std::unordered_map<hedge::SubstId, Bitset> subst_subsets_;
+
+  mutable LruCache<HNextKey, HNextKeyHash> hnext_cache_;
+  mutable LruCache<AssignKey, AssignKeyHash> assign_cache_;
+  mutable EvalStats stats_;
+};
+
+/// Runs a LazyDha over a SAX-style event stream in O(element depth) set
+/// memory, mirroring StreamingDhaRun (automata/streaming.h): one horizontal
+/// set per open element, the final-language simulation at the top level.
+class LazyStreamingRun {
+ public:
+  explicit LazyStreamingRun(const LazyDha& dha)
+      : dha_(dha), final_(dha) {}
+
+  void StartElement(hedge::SymbolId name) {
+    (void)name;  // the symbol matters on exit, when alpha is applied
+    stack_.push_back(dha_.HStart());
+    max_depth_ = std::max(max_depth_, stack_.size());
+  }
+
+  void EndElement(hedge::SymbolId name) {
+    Bitset h = std::move(stack_.back());
+    stack_.pop_back();
+    Fold(dha_.Assign(name, h));
+  }
+
+  void Text(hedge::VarId variable) { Fold(dha_.VariableSubset(variable)); }
+
+  bool Accepted() const { return stack_.empty() && final_.Accepting(); }
+  bool InProgress() const { return !stack_.empty(); }
+  size_t max_depth() const { return max_depth_; }
+
+ private:
+  void Fold(const Bitset& subset) {
+    if (stack_.empty()) {
+      final_.Consume(subset);
+    } else {
+      stack_.back() = dha_.HNext(stack_.back(), subset);
+    }
+  }
+
+  const LazyDha& dha_;
+  std::vector<Bitset> stack_;
+  LazyDha::FinalRun final_;
+  size_t max_depth_ = 0;
+};
+
+}  // namespace hedgeq::automata
+
+#endif  // HEDGEQ_AUTOMATA_LAZY_DHA_H_

@@ -178,7 +178,23 @@ class HreParser {
     return IsIdentChar(c) || c == '(' || c == '{' || c == '$';
   }
 
+  // Parenthesized atoms re-enter ParseEmbed, so expression nesting maps to
+  // native stack depth; bound it so "((((...))))" bombs fail cleanly.
+  static constexpr size_t kMaxNesting = 2048;
+
   Result<Hre> ParseEmbed() {
+    if (depth_ >= kMaxNesting) {
+      return Status::ResourceExhausted(
+          StrCat("expression nesting deeper than ", kMaxNesting,
+                 " at offset ", pos_));
+    }
+    ++depth_;
+    Result<Hre> out = ParseEmbedImpl();
+    --depth_;
+    return out;
+  }
+
+  Result<Hre> ParseEmbedImpl() {
     Result<Hre> left = ParseUnion();
     if (!left.ok()) return left;
     Hre out = std::move(left).value();
@@ -358,6 +374,7 @@ class HreParser {
   std::string_view text_;
   hedge::Vocabulary& vocab_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

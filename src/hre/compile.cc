@@ -5,6 +5,7 @@
 
 #include "strre/ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace hedgeq::hre {
 
@@ -26,9 +27,12 @@ namespace {
 // consuming site.
 class Compiler {
  public:
-  Nha Compile(const Hre& root) {
-    Frag final_frag = CompileExpr(root);
-    nha_.SetFinal(Extract(final_frag));
+  explicit Compiler(BudgetScope& scope) : scope_(scope) {}
+
+  Result<Nha> Compile(const Hre& root) {
+    Result<Frag> final_frag = CompileExpr(root);
+    if (!final_frag.ok()) return final_frag.status();
+    nha_.SetFinal(Extract(*final_frag));
     return std::move(nha_);
   }
 
@@ -42,7 +46,10 @@ class Compiler {
 
   Frag NewFrag() { return {arena_.AddState(), arena_.AddState()}; }
 
-  Frag CompileExpr(const Hre& e) {
+  Result<Frag> CompileExpr(const Hre& e) {
+    DepthGuard depth(scope_, "hre/compile");
+    HEDGEQ_RETURN_IF_ERROR(depth.status());
+    HEDGEQ_RETURN_IF_ERROR(scope_.ChargeSteps(1, "hre/compile"));
     switch (e->kind()) {
       case HreKind::kEmptySet: {  // Case 1: no path from in to out.
         return NewFrag();
@@ -58,34 +65,40 @@ class Compiler {
         return SingleLetter(q);
       }
       case HreKind::kTree: {  // Case 4: a<e1>
-        Frag inner = CompileExpr(e->left());
+        Result<Frag> inner = CompileExpr(e->left());
+        if (!inner.ok()) return inner.status();
         HState q2 = nha_.AddState();
-        nha_.AddRule(e->id(), Extract(inner), q2);
+        nha_.AddRule(e->id(), Extract(*inner), q2);
         return SingleLetter(q2);
       }
       case HreKind::kConcat: {  // Case 5
-        Frag f1 = CompileExpr(e->left());
-        Frag f2 = CompileExpr(e->right());
-        arena_.AddEpsilon(f1.out, f2.in);
-        return {f1.in, f2.out};
+        Result<Frag> f1 = CompileExpr(e->left());
+        if (!f1.ok()) return f1.status();
+        Result<Frag> f2 = CompileExpr(e->right());
+        if (!f2.ok()) return f2.status();
+        arena_.AddEpsilon(f1->out, f2->in);
+        return Frag{f1->in, f2->out};
       }
       case HreKind::kUnion: {  // Case 6
-        Frag f1 = CompileExpr(e->left());
-        Frag f2 = CompileExpr(e->right());
+        Result<Frag> f1 = CompileExpr(e->left());
+        if (!f1.ok()) return f1.status();
+        Result<Frag> f2 = CompileExpr(e->right());
+        if (!f2.ok()) return f2.status();
         Frag f = NewFrag();
-        arena_.AddEpsilon(f.in, f1.in);
-        arena_.AddEpsilon(f.in, f2.in);
-        arena_.AddEpsilon(f1.out, f.out);
-        arena_.AddEpsilon(f2.out, f.out);
+        arena_.AddEpsilon(f.in, f1->in);
+        arena_.AddEpsilon(f.in, f2->in);
+        arena_.AddEpsilon(f1->out, f.out);
+        arena_.AddEpsilon(f2->out, f.out);
         return f;
       }
       case HreKind::kStar: {  // Case 7
-        Frag f1 = CompileExpr(e->left());
+        Result<Frag> f1 = CompileExpr(e->left());
+        if (!f1.ok()) return f1.status();
         Frag f = NewFrag();
-        arena_.AddEpsilon(f.in, f1.in);
+        arena_.AddEpsilon(f.in, f1->in);
         arena_.AddEpsilon(f.in, f.out);
-        arena_.AddEpsilon(f1.out, f1.in);
-        arena_.AddEpsilon(f1.out, f.out);
+        arena_.AddEpsilon(f1->out, f1->in);
+        arena_.AddEpsilon(f1->out, f.out);
         return f;
       }
       case HreKind::kSubstLeaf: {  // Case 8: a<z>
@@ -101,14 +114,16 @@ class Compiler {
         // contributed (they are exactly the splice sites).
         size_t z_before = nha_.SubstStates(z).size();
         size_t rules_before = nha_.rules().size();
-        Frag f2 = CompileExpr(e->right());
+        Result<Frag> f2 = CompileExpr(e->right());
+        if (!f2.ok()) return f2.status();
         size_t z_after = nha_.SubstStates(z).size();
         size_t rules_after = nha_.rules().size();
-        Frag f1 = CompileExpr(e->left());
+        Result<Frag> f1 = CompileExpr(e->left());
+        if (!f1.ok()) return f1.status();
 
         // F1 as a standalone NFA for splicing (each splice site gets its
         // own copy inside SpliceLetter).
-        Nfa lang = Extract(f1);
+        Nfa lang = Extract(*f1);
 
         std::vector<HState> zbars(
             nha_.SubstStates(z).begin() + static_cast<long>(z_before),
@@ -118,27 +133,30 @@ class Compiler {
         // (alpha2^{-1}(i,q) \ {z-bar}) union F1, rule-wise.
         for (size_t i = rules_before; i < rules_after; ++i) {
           Nfa content = nha_.rules()[i].content;
+          size_t before = content.num_states();
           bool touched = false;
           for (HState zbar : zbars) {
             content = SpliceLetter(content, zbar, lang,
                                    /*keep_original=*/false);
             touched = true;
           }
+          HEDGEQ_RETURN_IF_ERROR(ChargeSplice(content.num_states(), before));
           if (touched) nha_.SetRuleContent(i, std::move(content));
         }
         // F2 never mentions z-bar (z-bar states occur only inside content
         // models), so the final fragment carries over unchanged.
-        return f2;
+        return *f2;
       }
       case HreKind::kVClose: {  // Case 10: e^z
         const hedge::SubstId z = e->subst();
         size_t z_before = nha_.SubstStates(z).size();
         size_t rules_before = nha_.rules().size();
-        Frag f = CompileExpr(e->left());
+        Result<Frag> f = CompileExpr(e->left());
+        if (!f.ok()) return f.status();
         size_t z_after = nha_.SubstStates(z).size();
         size_t rules_after = nha_.rules().size();
 
-        Nfa lang = Extract(f);
+        Nfa lang = Extract(*f);
         std::vector<HState> zbars(
             nha_.SubstStates(z).begin() + static_cast<long>(z_before),
             nha_.SubstStates(z).begin() + static_cast<long>(z_after));
@@ -147,19 +165,30 @@ class Compiler {
         // full F1 word; deeper nesting recurses through these same rules.
         for (size_t i = rules_before; i < rules_after; ++i) {
           Nfa content = nha_.rules()[i].content;
+          size_t before = content.num_states();
           bool touched = false;
           for (HState zbar : zbars) {
             content =
                 SpliceLetter(content, zbar, lang, /*keep_original=*/true);
             touched = true;
           }
+          HEDGEQ_RETURN_IF_ERROR(ChargeSplice(content.num_states(), before));
           if (touched) nha_.SetRuleContent(i, std::move(content));
         }
-        return f;
+        return *f;
       }
     }
     HEDGEQ_CHECK_MSG(false, "unreachable HreKind");
     return NewFrag();
+  }
+
+  // The splice copies of cases 9/10 are the only super-linear growth of the
+  // Lemma 1 construction; charge the new NFA states against the budget.
+  Status ChargeSplice(size_t after, size_t before) {
+    if (after <= before) return Status::Ok();
+    size_t added = after - before;
+    HEDGEQ_RETURN_IF_ERROR(scope_.ChargeSteps(added, "hre/splice"));
+    return scope_.ChargeBytes(added * 32, "hre/splice");
   }
 
   Frag SingleLetter(HState q) {
@@ -256,6 +285,7 @@ class Compiler {
     return out;
   }
 
+  BudgetScope& scope_;
   Nha nha_;
   Nfa arena_;
 };
@@ -263,7 +293,16 @@ class Compiler {
 }  // namespace
 
 Nha CompileHre(const Hre& e) {
-  Compiler compiler;
+  BudgetScope scope(ExecBudget::Unlimited());
+  Compiler compiler(scope);
+  Result<Nha> out = compiler.Compile(e);
+  HEDGEQ_CHECK_MSG(out.ok(), "unbudgeted CompileHre cannot fail");
+  return std::move(out).value();
+}
+
+Result<Nha> CompileHre(const Hre& e, BudgetScope& scope) {
+  HEDGEQ_FAILPOINT("hre/compile");
+  Compiler compiler(scope);
   return compiler.Compile(e);
 }
 

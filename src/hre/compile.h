@@ -3,6 +3,8 @@
 
 #include "automata/nha.h"
 #include "hre/ast.h"
+#include "util/budget.h"
+#include "util/status.h"
 
 namespace hedgeq::hre {
 
@@ -10,8 +12,15 @@ namespace hedgeq::hre {
 /// L(M(e)) = L(e). The construction follows the paper's ten cases; the
 /// states z-bar introduced for substitution symbols appear in iota (as
 /// substitution-state entries) and inside content models, never in final
-/// state sequences. Linear in the size of the expression.
+/// state sequences. Linear in the size of the expression — except for the
+/// splice copies of cases 9/10, which the budgeted overload charges against
+/// the scope (along with AST recursion depth), returning kResourceExhausted
+/// instead of overrunning on adversarial expressions.
 automata::Nha CompileHre(const Hre& e);
+
+/// Budget-aware form for pipelines that share one cumulative BudgetScope
+/// (query::CompilePhr, query::SelectionEvaluator::Create).
+Result<automata::Nha> CompileHre(const Hre& e, BudgetScope& scope);
 
 /// Membership test by compiling once and simulating (Definition 12
 /// semantics). Convenience for tests and small inputs; reuse the Nha from

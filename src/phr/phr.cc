@@ -69,7 +69,23 @@ class PhrParser {
     return IsIdentChar(c) || c == '(' || c == '[';
   }
 
+  // Parenthesized atoms re-enter ParseUnion, so nesting maps to native
+  // stack depth; bound it so "((((...))))" bombs fail cleanly.
+  static constexpr size_t kMaxNesting = 2048;
+
   Result<strre::Regex> ParseUnion() {
+    if (depth_ >= kMaxNesting) {
+      return Status::ResourceExhausted(
+          StrCat("nesting deeper than ", kMaxNesting, " at offset ", pos_,
+                 " in pointed hedge representation"));
+    }
+    ++depth_;
+    Result<strre::Regex> out = ParseUnionImpl();
+    --depth_;
+    return out;
+  }
+
+  Result<strre::Regex> ParseUnionImpl() {
     Result<strre::Regex> left = ParseConcat();
     if (!left.ok()) return left;
     strre::Regex out = std::move(left).value();
@@ -209,6 +225,7 @@ class PhrParser {
   Vocabulary& vocab_;
   std::vector<PointedBaseRep> triplets_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

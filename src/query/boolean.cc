@@ -92,11 +92,11 @@ bool BooleanQuery::Evaluate(const std::vector<bool>& leaf_verdicts) const {
   return result;
 }
 
-Result<BooleanEvaluator> BooleanEvaluator::Create(
-    BooleanQuery query, const automata::DeterminizeOptions& options) {
+Result<BooleanEvaluator> BooleanEvaluator::Create(BooleanQuery query,
+                                                  const ExecBudget& budget) {
   std::vector<SelectionEvaluator> evaluators;
   for (const SelectionQuery* leaf : query.Leaves()) {
-    Result<SelectionEvaluator> e = SelectionEvaluator::Create(*leaf, options);
+    Result<SelectionEvaluator> e = SelectionEvaluator::Create(*leaf, budget);
     if (!e.ok()) return e.status();
     evaluators.push_back(std::move(e).value());
   }

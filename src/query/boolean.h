@@ -50,8 +50,8 @@ class BooleanQuery {
 /// combines per node. O(leaves * nodes) per document.
 class BooleanEvaluator {
  public:
-  static Result<BooleanEvaluator> Create(
-      BooleanQuery query, const automata::DeterminizeOptions& options = {});
+  static Result<BooleanEvaluator> Create(BooleanQuery query,
+                                         const ExecBudget& budget = {});
 
   /// located[n] == true iff n is a symbol node and the formula holds for
   /// the leaf verdicts at n.

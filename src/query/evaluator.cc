@@ -56,24 +56,41 @@ SiblingClasses ComputeSiblingClasses(const Hedge& doc,
   return out;
 }
 
-Result<PhrEvaluator> PhrEvaluator::Create(
-    const phr::Phr& phr, const automata::DeterminizeOptions& options) {
-  Result<CompiledPhr> compiled = CompilePhr(phr, options);
-  if (!compiled.ok()) return compiled.status();
-  return PhrEvaluator(std::move(compiled).value());
+Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
+                                          const ExecBudget& budget) {
+  Result<CompiledPhr> compiled = CompilePhr(phr, budget);
+  if (compiled.ok()) return PhrEvaluator(std::move(compiled).value());
+  if (compiled.status().code() != StatusCode::kResourceExhausted) {
+    return compiled.status();
+  }
+  // The exponential preprocessing blew its budget; degrade to the lazy
+  // engine, which answers the same queries with bounded memory.
+  Result<LazyPhrEvaluator> lazy = LazyPhrEvaluator::Create(phr, budget);
+  if (!lazy.ok()) return lazy.status();
+  PhrEvaluator out;
+  out.lazy_ = std::move(lazy).value();
+  return out;
+}
+
+automata::EvalStats PhrEvaluator::stats() const {
+  if (!lazy_.has_value()) return automata::EvalStats{};
+  automata::EvalStats s = lazy_->stats();
+  s.fallback_used = true;
+  return s;
 }
 
 std::vector<bool> PhrEvaluator::Locate(const Hedge& doc) const {
+  if (lazy_.has_value()) return lazy_->Locate(doc);
   // First traversal: bottom-up state assignment by M, then sibling classes.
-  std::vector<HState> states = compiled_.dha().Run(doc);
+  std::vector<HState> states = compiled_->dha().Run(doc);
   SiblingClasses classes = ComputeSiblingClasses(doc, states,
-                                                 compiled_.equiv());
+                                                 compiled_->equiv());
 
   // Second traversal: top-down run of N (which accepts the mirror of L, so
   // feeding triplets from the top level toward the node evaluates the
   // bottom-to-top decomposition sequence). Arena ids ascend from parents to
   // children, so a forward sweep visits parents first.
-  const strre::Dfa& mirror = compiled_.mirror();
+  const strre::Dfa& mirror = compiled_->mirror();
   std::vector<strre::StateId> nstate(doc.num_nodes(), strre::kNoState);
   std::vector<bool> located(doc.num_nodes(), false);
   for (NodeId n = 0; n < doc.num_nodes(); ++n) {
@@ -82,10 +99,10 @@ std::vector<bool> PhrEvaluator::Locate(const Hedge& doc) const {
     strre::StateId from =
         parent == kNullNode ? mirror.start() : nstate[parent];
     if (from == strre::kNoState) continue;  // dead branch
-    uint32_t si = compiled_.SymbolIndex(doc.label(n).id);
+    uint32_t si = compiled_->SymbolIndex(doc.label(n).id);
     if (si == CompiledPhr::kNoSymbol) continue;  // label in no triplet
     strre::Symbol letter =
-        compiled_.EncodeLetter(classes.elder[n], si, classes.younger[n]);
+        compiled_->EncodeLetter(classes.elder[n], si, classes.younger[n]);
     strre::StateId to = mirror.Next(from, letter);
     nstate[n] = to;
     located[n] = to != strre::kNoState && mirror.IsAccepting(to);

@@ -1,9 +1,11 @@
 #ifndef HEDGEQ_QUERY_EVALUATOR_H_
 #define HEDGEQ_QUERY_EVALUATOR_H_
 
+#include <optional>
 #include <vector>
 
 #include "hedge/hedge.h"
+#include "query/lazy_phr.h"
 #include "query/phr_compile.h"
 
 namespace hedgeq::query {
@@ -26,23 +28,43 @@ SiblingClasses ComputeSiblingClasses(const hedge::Hedge& doc,
 
 /// Algorithm 1: evaluates a compiled pointed hedge representation against
 /// documents with two depth-first traversals, linear in the node count.
+///
+/// Robustness: Create first attempts the eager Theorem 4 compilation under
+/// `budget`; if (and only if) that fails with kResourceExhausted it falls
+/// back transparently to the LazyPhrEvaluator, which answers the same
+/// queries with bounded memory. Inspect fallback_used()/stats() to learn
+/// which engine is active and what it spent.
 class PhrEvaluator {
  public:
   explicit PhrEvaluator(CompiledPhr compiled) : compiled_(std::move(compiled)) {}
 
-  /// Compiles (Theorem 4) and wraps. Exponential-time preprocessing,
-  /// linear-time evaluation.
-  static Result<PhrEvaluator> Create(
-      const phr::Phr& phr, const automata::DeterminizeOptions& options = {});
+  /// Compiles (Theorem 4) and wraps; on budget exhaustion degrades to the
+  /// lazy engine. Any other error (bad input, injected fault) propagates.
+  static Result<PhrEvaluator> Create(const phr::Phr& phr,
+                                     const ExecBudget& budget = {});
 
   /// located[n] == true iff the envelope of node n matches the
-  /// representation. Only symbol-labeled nodes can be located.
+  /// representation. Only symbol-labeled nodes can be located. Both engines
+  /// return identical vectors.
   std::vector<bool> Locate(const hedge::Hedge& doc) const;
 
-  const CompiledPhr& compiled() const { return compiled_; }
+  /// True when eager compilation exceeded its budget and the lazy engine
+  /// answers Locate.
+  bool fallback_used() const { return lazy_.has_value(); }
+
+  /// Engine expenditure; fallback_used mirrors fallback_used().
+  automata::EvalStats stats() const;
+
+  /// The eager artifacts, or nullptr when running on the lazy engine.
+  const CompiledPhr* compiled() const {
+    return compiled_.has_value() ? &*compiled_ : nullptr;
+  }
 
  private:
-  CompiledPhr compiled_;
+  PhrEvaluator() = default;
+
+  std::optional<CompiledPhr> compiled_;
+  std::optional<LazyPhrEvaluator> lazy_;
 };
 
 }  // namespace hedgeq::query

@@ -1,0 +1,70 @@
+#ifndef HEDGEQ_QUERY_LAZY_PHR_H_
+#define HEDGEQ_QUERY_LAZY_PHR_H_
+
+#include <optional>
+#include <vector>
+
+#include "automata/lazy_dha.h"
+#include "hedge/hedge.h"
+#include "phr/phr.h"
+#include "strre/automaton.h"
+#include "util/budget.h"
+#include "util/status.h"
+
+namespace hedgeq::query {
+
+/// Graceful-degradation evaluator for pointed hedge representations: the
+/// class-free counterpart of Algorithm 1 that skips every exponential
+/// Theorem 4 artifact (no determinization of M, no class product, no mirror
+/// DFA). Construction is linear in the representation; evaluation memoizes
+/// subset steps in a LazyDha whose cache is LRU-bounded, so memory stays
+/// bounded no matter how adversarial the query is — at the price of a
+/// per-step set simulation instead of a table lookup.
+///
+/// Where the eager pipeline summarizes sibling words by equivalence classes
+/// and decomposition paths by the mirror DFA N, this evaluator simulates
+/// the underlying NFAs directly:
+///  1. bottom-up: LazyDha::Run assigns every node its subset of M's NFA
+///     states (the Definition 7 state set);
+///  2. per sibling group: a forward set simulation of each elder final
+///     language and a backward simulation of each reversed younger final
+///     language decide, per node and triplet, whether the elder/younger
+///     sibling words lie in F_i1/F_i2 (exactly what the saturated classes
+///     encode);
+///  3. top-down: a set simulation of the reversed triplet regex over the
+///     per-node sets of admissible triplets (exactly the letters whose xi
+///     image the eager mirror DFA could consume).
+/// Locate returns the same vector as PhrEvaluator's eager path; the
+/// equivalence is exercised by the lazy-vs-eager randomized tests.
+class LazyPhrEvaluator {
+ public:
+  /// Never exponential: fails only when the triplet expressions themselves
+  /// exceed the budget (HRE compilation depth/steps), which no evaluation
+  /// strategy could survive.
+  static Result<LazyPhrEvaluator> Create(const phr::Phr& phr,
+                                         const ExecBudget& budget = {});
+
+  /// located[n] == true iff the envelope of node n matches the
+  /// representation; identical to the eager PhrEvaluator::Locate.
+  std::vector<bool> Locate(const hedge::Hedge& doc) const;
+
+  /// Lazy-engine expenditure (cache hits/misses/evictions, peak bytes);
+  /// fallback_used is set by the caller that chose this engine.
+  const automata::EvalStats& stats() const { return lazy_->stats(); }
+  const automata::LazyDha& lazy_dha() const { return *lazy_; }
+
+ private:
+  LazyPhrEvaluator() = default;
+
+  std::optional<automata::LazyDha> lazy_;  // shared M as an on-the-fly engine
+  std::vector<strre::Nfa> elder_final_;    // F_i1 over M's (union NHA) states
+  std::vector<strre::Nfa> younger_rev_;    // mirror of F_i2, run right-to-left
+  std::vector<bool> elder_any_;            // triplet i has no elder condition
+  std::vector<bool> younger_any_;
+  std::vector<hedge::SymbolId> labels_;    // triplet labels, by index
+  strre::Nfa rev_regex_;  // mirror of the triplet regex, run top-down
+};
+
+}  // namespace hedgeq::query
+
+#endif  // HEDGEQ_QUERY_LAZY_PHR_H_

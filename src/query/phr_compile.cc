@@ -3,13 +3,13 @@
 #include "hre/compile.h"
 #include "strre/ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace hedgeq::query {
 
 using automata::Determinize;
-using automata::DeterminizeOptions;
 using automata::HState;
-using automata::LiftToSubsets;
+using automata::LiftToSubsetsBounded;
 using automata::Nha;
 using strre::Dfa;
 using strre::Nfa;
@@ -35,7 +35,13 @@ Nfa ShiftLetters(const Nfa& nfa, HState offset) {
 }  // namespace
 
 Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
-                               const DeterminizeOptions& options) {
+                               const ExecBudget& budget) {
+  BudgetScope scope(budget);
+  return CompilePhr(phr, scope);
+}
+
+Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope) {
+  HEDGEQ_FAILPOINT("phr/compile");
   CompiledPhr out;
   const size_t n = phr.triplets().size();
 
@@ -52,20 +58,22 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
     if (t.elder == nullptr) {
       elder_any[i] = true;
     } else {
-      Nha m = hre::CompileHre(t.elder);
-      HState off = automata::CopyNhaInto(m, union_nha);
-      elder_final[i] = ShiftLetters(m.final_nfa(), off);
+      Result<Nha> m = hre::CompileHre(t.elder, scope);
+      if (!m.ok()) return m.status();
+      HState off = automata::CopyNhaInto(*m, union_nha);
+      elder_final[i] = ShiftLetters(m->final_nfa(), off);
     }
     if (t.younger == nullptr) {
       younger_any[i] = true;
     } else {
-      Nha m = hre::CompileHre(t.younger);
-      HState off = automata::CopyNhaInto(m, union_nha);
-      younger_final[i] = ShiftLetters(m.final_nfa(), off);
+      Result<Nha> m = hre::CompileHre(t.younger, scope);
+      if (!m.ok()) return m.status();
+      HState off = automata::CopyNhaInto(*m, union_nha);
+      younger_final[i] = ShiftLetters(m->final_nfa(), off);
     }
   }
 
-  auto det = Determinize(union_nha, options);
+  auto det = Determinize(union_nha, scope);
   if (!det.ok()) return det.status();
   out.dha_ = std::move(det->dha);
   out.subsets_ = std::move(det->subsets);
@@ -76,25 +84,38 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
   std::vector<Dfa> components;
   components.reserve(2 * n);
   for (size_t i = 0; i < n; ++i) {
-    components.push_back(elder_any[i]
-                             ? AcceptAllDfa(num_dha_states)
-                             : LiftToSubsets(elder_final[i], out.subsets_));
-    components.push_back(younger_any[i]
-                             ? AcceptAllDfa(num_dha_states)
-                             : LiftToSubsets(younger_final[i], out.subsets_));
+    if (elder_any[i]) {
+      components.push_back(AcceptAllDfa(num_dha_states));
+    } else {
+      Result<Dfa> lifted =
+          LiftToSubsetsBounded(elder_final[i], out.subsets_, scope);
+      if (!lifted.ok()) return lifted.status();
+      components.push_back(std::move(lifted).value());
+    }
+    if (younger_any[i]) {
+      components.push_back(AcceptAllDfa(num_dha_states));
+    } else {
+      Result<Dfa> lifted =
+          LiftToSubsetsBounded(younger_final[i], out.subsets_, scope);
+      if (!lifted.ok()) return lifted.status();
+      components.push_back(std::move(lifted).value());
+    }
   }
   std::vector<strre::Symbol> state_alphabet;
   state_alphabet.reserve(num_dha_states);
   for (HState q = 0; q < num_dha_states; ++q) state_alphabet.push_back(q);
-  strre::MultiDfa multi = strre::ProductAll(components, state_alphabet);
-  out.equiv_ = std::move(multi.dfa);
+  HEDGEQ_FAILPOINT("phr/product");
+  Result<strre::MultiDfa> multi =
+      strre::ProductAllBounded(components, state_alphabet, scope);
+  if (!multi.ok()) return multi.status();
+  out.equiv_ = std::move(multi->dfa);
   out.num_classes_ = static_cast<uint32_t>(out.equiv_.num_states());
 
   out.elder_ok_.resize(n);
   out.younger_ok_.resize(n);
   for (size_t i = 0; i < n; ++i) {
-    out.elder_ok_[i] = std::move(multi.component_accepts[2 * i]);
-    out.younger_ok_[i] = std::move(multi.component_accepts[2 * i + 1]);
+    out.elder_ok_[i] = std::move(multi->component_accepts[2 * i]);
+    out.younger_ok_[i] = std::move(multi->component_accepts[2 * i + 1]);
   }
 
   // --- Dense symbol index over the triplet alphabet.
@@ -113,6 +134,10 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
   for (size_t i = 0; i < n; ++i) {
     uint32_t si = out.SymbolIndex(phr.triplets()[i].label);
     HEDGEQ_CHECK(si != CompiledPhr::kNoSymbol);
+    // The image of one triplet letter is worst-case classes^2 letters.
+    HEDGEQ_RETURN_IF_ERROR(scope.ChargeSteps(
+        static_cast<size_t>(out.num_classes_) * out.num_classes_ + 1,
+        "phr/xi"));
     for (uint32_t c1 = 0; c1 < out.num_classes_; ++c1) {
       if (!out.elder_ok_[i][c1]) continue;
       for (uint32_t c2 = 0; c2 < out.num_classes_; ++c2) {
@@ -120,6 +145,8 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
         images[i].push_back(out.EncodeLetter(c1, si, c2));
       }
     }
+    HEDGEQ_RETURN_IF_ERROR(scope.ChargeBytes(
+        images[i].size() * sizeof(strre::Symbol), "phr/xi"));
   }
   Nfa regex_nfa = strre::CompileRegex(phr.regex());
   out.language_ = strre::SubstituteSets(
@@ -127,7 +154,11 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
       [&images](strre::Symbol t) { return images[t]; });
 
   // --- N: deterministic automaton for the mirror image of L.
-  out.mirror_ = strre::Determinize(strre::ReverseNfa(out.language_));
+  HEDGEQ_FAILPOINT("phr/mirror");
+  Result<Dfa> mirror =
+      strre::DeterminizeBounded(strre::ReverseNfa(out.language_), scope);
+  if (!mirror.ok()) return mirror.status();
+  out.mirror_ = std::move(mirror).value();
 
   return out;
 }

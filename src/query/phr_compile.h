@@ -65,8 +65,7 @@ class CompiledPhr {
   size_t num_triplets() const { return elder_ok_.size(); }
 
  private:
-  friend Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
-                                        const automata::DeterminizeOptions&);
+  friend Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope&);
 
   automata::Dha dha_{1, 1, 0, 0};
   std::vector<Bitset> subsets_;
@@ -81,11 +80,17 @@ class CompiledPhr {
 };
 
 /// Theorem 4: compiles a pointed hedge representation. Exponential in the
-/// representation size in the worst case (determinization of M and of N);
-/// the produced artifacts evaluate documents in linear time.
-Result<CompiledPhr> CompilePhr(
-    const phr::Phr& phr,
-    const automata::DeterminizeOptions& options = {});
+/// representation size in the worst case (determinization of M and of N,
+/// and the class product); the produced artifacts evaluate documents in
+/// linear time. Every exponential stage charges the budget, so compilation
+/// fails with kResourceExhausted — naming the stage and the count reached —
+/// instead of overrunning; PhrEvaluator falls back to the lazy engine then.
+Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
+                               const ExecBudget& budget = {});
+
+/// As above, charging an existing scope (cumulative caps across a larger
+/// pipeline, e.g. SelectionEvaluator::Create).
+Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope);
 
 }  // namespace hedgeq::query
 

@@ -1,5 +1,8 @@
 #include "query/selection.h"
 
+#include <algorithm>
+
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace hedgeq::query {
@@ -38,14 +41,27 @@ Result<SelectionQuery> ParseSelectionQuery(std::string_view text,
 }
 
 Result<SelectionEvaluator> SelectionEvaluator::Create(
-    const SelectionQuery& query, const automata::DeterminizeOptions& options) {
+    const SelectionQuery& query, const ExecBudget& budget) {
   SelectionEvaluator out;
   if (query.subhedge != nullptr) {
-    auto det = automata::Determinize(hre::CompileHre(query.subhedge), options);
-    if (!det.ok()) return det.status();
-    out.subhedge_dha_ = std::move(det->dha);
+    HEDGEQ_FAILPOINT("selection/subhedge");
+    BudgetScope scope(budget);
+    Result<automata::Nha> nha = hre::CompileHre(query.subhedge, scope);
+    if (!nha.ok()) return nha.status();
+    auto det = automata::Determinize(*nha, scope);
+    if (det.ok()) {
+      out.subhedge_dha_ = std::move(det->dha);
+    } else if (det.status().code() == StatusCode::kResourceExhausted) {
+      // Theorem 3 marks can also come from on-the-fly subset simulation.
+      automata::LazyDhaOptions opts;
+      opts.max_cache_bytes =
+          std::min(budget.max_memory_bytes, opts.max_cache_bytes);
+      out.subhedge_lazy_.emplace(std::move(*nha), opts);
+    } else {
+      return det.status();
+    }
   }
-  Result<PhrEvaluator> phr_eval = PhrEvaluator::Create(query.envelope, options);
+  Result<PhrEvaluator> phr_eval = PhrEvaluator::Create(query.envelope, budget);
   if (!phr_eval.ok()) return phr_eval.status();
   out.phr_ = std::move(phr_eval).value();
   return out;
@@ -53,15 +69,34 @@ Result<SelectionEvaluator> SelectionEvaluator::Create(
 
 std::vector<bool> SelectionEvaluator::Locate(const Hedge& doc) const {
   std::vector<bool> located = phr_->Locate(doc);
+  // Theorem 3: a node's subhedge lies in L(e1) iff M-down-e1 assigns a
+  // marked state, i.e. its child sequence lands in the final language.
   if (subhedge_dha_.has_value()) {
-    // Theorem 3: a node's subhedge lies in L(e1) iff M-down-e1 assigns a
-    // marked state, i.e. its child sequence lands in the final language.
     automata::Dha::MarkedRun marked = subhedge_dha_->RunWithMarks(doc);
+    for (size_t n = 0; n < located.size(); ++n) {
+      located[n] = located[n] && marked.marks[n];
+    }
+  } else if (subhedge_lazy_.has_value()) {
+    automata::LazyDha::MarkedRun marked = subhedge_lazy_->RunWithMarks(doc);
     for (size_t n = 0; n < located.size(); ++n) {
       located[n] = located[n] && marked.marks[n];
     }
   }
   return located;
+}
+
+automata::EvalStats SelectionEvaluator::stats() const {
+  automata::EvalStats s = phr_->stats();
+  if (subhedge_lazy_.has_value()) {
+    const automata::EvalStats& t = subhedge_lazy_->stats();
+    s.fallback_used = true;
+    s.states_materialized += t.states_materialized;
+    s.cache_evictions += t.cache_evictions;
+    s.cache_hits += t.cache_hits;
+    s.cache_misses += t.cache_misses;
+    s.peak_cache_bytes += t.peak_cache_bytes;
+  }
+  return s;
 }
 
 std::vector<NodeId> SelectionEvaluator::LocatedNodes(const Hedge& doc) const {

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "automata/determinize.h"
+#include "automata/lazy_dha.h"
 #include "hre/ast.h"
 #include "hre/compile.h"
 #include "phr/phr.h"
@@ -31,11 +32,16 @@ Result<SelectionQuery> ParseSelectionQuery(std::string_view text,
 /// subhedge condition in the first traversal; Algorithm 1 handles the
 /// envelope condition. Preprocessing is exponential in the query, each
 /// document evaluates in O(nodes).
+///
+/// Robustness: both exponential stages (determinizing the subhedge
+/// automaton, compiling the envelope) run under `budget`; on
+/// kResourceExhausted each independently degrades to its lazy engine
+/// (LazyDha marks / LazyPhrEvaluator), so Create fails only on genuinely
+/// bad input. fallback_used()/stats() report which engines are active.
 class SelectionEvaluator {
  public:
-  static Result<SelectionEvaluator> Create(
-      const SelectionQuery& query,
-      const automata::DeterminizeOptions& options = {});
+  static Result<SelectionEvaluator> Create(const SelectionQuery& query,
+                                           const ExecBudget& budget = {});
 
   /// located[n] == true iff node n is located by the query (Definition 22).
   std::vector<bool> Locate(const hedge::Hedge& doc) const;
@@ -44,15 +50,24 @@ class SelectionEvaluator {
   std::vector<hedge::NodeId> LocatedNodes(const hedge::Hedge& doc) const;
 
   const PhrEvaluator& phr_evaluator() const { return *phr_; }
-  /// The determinized subhedge automaton, when e1 was given.
+  /// The determinized subhedge automaton, when e1 was given and its
+  /// determinization fit the budget.
   const std::optional<automata::Dha>& subhedge_dha() const {
     return subhedge_dha_;
   }
+
+  /// True when any stage degraded to its lazy engine.
+  bool fallback_used() const {
+    return subhedge_lazy_.has_value() || phr_->fallback_used();
+  }
+  /// Merged expenditure of every lazy engine in use.
+  automata::EvalStats stats() const;
 
  private:
   SelectionEvaluator() = default;
 
   std::optional<automata::Dha> subhedge_dha_;
+  std::optional<automata::LazyDha> subhedge_lazy_;
   std::optional<PhrEvaluator> phr_;
 };
 

@@ -5,6 +5,7 @@
 
 #include "automata/analysis.h"
 #include "automata/dha.h"
+#include "util/failpoint.h"
 
 namespace hedgeq::schema {
 
@@ -41,37 +42,62 @@ Schema UnionSchemas(const Schema& a, const Schema& b) {
 }
 
 Result<Schema> ComplementSchema(const Schema& a, const Schema& universe_hint,
-                                const automata::DeterminizeOptions& options) {
+                                const ExecBudget& budget) {
+  BudgetScope scope(budget);
+  return ComplementSchema(a, universe_hint, scope);
+}
+
+Result<Schema> ComplementSchema(const Schema& a, const Schema& universe_hint,
+                                BudgetScope& scope) {
+  HEDGEQ_FAILPOINT("schema/complement");
   std::vector<hedge::SymbolId> symbols;
   std::vector<hedge::VarId> variables;
   JointVocabulary(a, universe_hint, &symbols, &variables);
 
-  auto det = automata::Determinize(a.nha(), options);
+  auto det = automata::Determinize(a.nha(), scope);
   if (!det.ok()) return det.status();
   automata::Dha complement = automata::ComplementDha(det->dha);
   return Schema(automata::DhaToNha(complement, variables, symbols));
 }
 
 Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
-                                 const automata::DeterminizeOptions& options) {
-  Result<Schema> not_b = ComplementSchema(b, a, options);
+                                 const ExecBudget& budget) {
+  BudgetScope scope(budget);
+  return DifferenceSchemas(a, b, scope);
+}
+
+Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
+                                 BudgetScope& scope) {
+  Result<Schema> not_b = ComplementSchema(b, a, scope);
   if (!not_b.ok()) return not_b.status();
   return IntersectSchemas(a, *not_b);
 }
 
 Result<bool> SchemaIncludes(const Schema& a, const Schema& b,
-                            const automata::DeterminizeOptions& options) {
-  Result<Schema> diff = DifferenceSchemas(a, b, options);
+                            const ExecBudget& budget) {
+  BudgetScope scope(budget);
+  return SchemaIncludes(a, b, scope);
+}
+
+Result<bool> SchemaIncludes(const Schema& a, const Schema& b,
+                            BudgetScope& scope) {
+  Result<Schema> diff = DifferenceSchemas(a, b, scope);
   if (!diff.ok()) return diff.status();
   return diff->IsEmpty();
 }
 
 Result<bool> SchemasEquivalent(const Schema& a, const Schema& b,
-                               const automata::DeterminizeOptions& options) {
-  Result<bool> ab = SchemaIncludes(a, b, options);
+                               const ExecBudget& budget) {
+  BudgetScope scope(budget);
+  return SchemasEquivalent(a, b, scope);
+}
+
+Result<bool> SchemasEquivalent(const Schema& a, const Schema& b,
+                               BudgetScope& scope) {
+  Result<bool> ab = SchemaIncludes(a, b, scope);
   if (!ab.ok()) return ab.status();
   if (!*ab) return false;
-  Result<bool> ba = SchemaIncludes(b, a, options);
+  Result<bool> ba = SchemaIncludes(b, a, scope);
   if (!ba.ok()) return ba.status();
   return *ba;
 }

@@ -3,12 +3,20 @@
 
 #include "automata/determinize.h"
 #include "schema/schema.h"
+#include "util/budget.h"
 
 namespace hedgeq::schema {
 
 /// Boolean algebra and decision procedures over schemas (hedge regular
 /// languages are closed under all of these — the property that makes the
 /// RELAX/TREX family composable; Section 2).
+///
+/// Complementation determinizes (worst-case exponential), so every
+/// operation built on it takes an ExecBudget and fails with
+/// kResourceExhausted — naming the stage and count reached — instead of
+/// exhausting the machine. The BudgetScope overloads charge an existing
+/// scope, so a chain like SchemasEquivalent (two inclusions, each a
+/// complement) shares one cumulative pool.
 
 /// L(a) ∩ L(b).
 Schema IntersectSchemas(const Schema& a, const Schema& b);
@@ -20,23 +28,28 @@ Schema UnionSchemas(const Schema& a, const Schema& b);
 /// NOT valid under `a`. The complement is relative to hedges whose element
 /// names and variables appear in either schema (hedge languages over an
 /// open alphabet have no absolute complement).
-Result<Schema> ComplementSchema(
-    const Schema& a, const Schema& universe_hint,
-    const automata::DeterminizeOptions& options = {});
+Result<Schema> ComplementSchema(const Schema& a, const Schema& universe_hint,
+                                const ExecBudget& budget = {});
+Result<Schema> ComplementSchema(const Schema& a, const Schema& universe_hint,
+                                BudgetScope& scope);
 
 /// L(a) \ L(b) over their joint vocabulary.
-Result<Schema> DifferenceSchemas(
-    const Schema& a, const Schema& b,
-    const automata::DeterminizeOptions& options = {});
+Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
+                                 const ExecBudget& budget = {});
+Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
+                                 BudgetScope& scope);
 
 /// L(a) ⊆ L(b)?
 Result<bool> SchemaIncludes(const Schema& a, const Schema& b,
-                            const automata::DeterminizeOptions& options = {});
+                            const ExecBudget& budget = {});
+Result<bool> SchemaIncludes(const Schema& a, const Schema& b,
+                            BudgetScope& scope);
 
 /// L(a) == L(b)?
-Result<bool> SchemasEquivalent(
-    const Schema& a, const Schema& b,
-    const automata::DeterminizeOptions& options = {});
+Result<bool> SchemasEquivalent(const Schema& a, const Schema& b,
+                               const ExecBudget& budget = {});
+Result<bool> SchemasEquivalent(const Schema& a, const Schema& b,
+                               BudgetScope& scope);
 
 }  // namespace hedgeq::schema
 

@@ -1,5 +1,9 @@
 #include "schema/streaming.h"
 
+#include <algorithm>
+
+#include "util/failpoint.h"
+
 namespace hedgeq::schema {
 
 namespace {
@@ -28,22 +32,79 @@ class ValidatorHandler : public xml::XmlHandler {
   automata::StreamingDhaRun run_;
 };
 
+// Same adapter over the lazy engine: one Bitset per open element instead of
+// one table-indexed state.
+class LazyValidatorHandler : public xml::XmlHandler {
+ public:
+  explicit LazyValidatorHandler(const automata::LazyDha& dha) : run_(dha) {}
+
+  Status StartElement(hedge::SymbolId name) override {
+    run_.StartElement(name);
+    return Status::Ok();
+  }
+  Status EndElement(hedge::SymbolId name) override {
+    run_.EndElement(name);
+    return Status::Ok();
+  }
+  Status Text(hedge::VarId variable, std::string_view) override {
+    run_.Text(variable);
+    return Status::Ok();
+  }
+
+  bool Accepted() const { return run_.Accepted(); }
+
+ private:
+  automata::LazyStreamingRun run_;
+};
+
 }  // namespace
 
 Result<StreamingValidator> StreamingValidator::Create(
-    const Schema& schema, const automata::DeterminizeOptions& options) {
-  auto det = automata::Determinize(schema.nha(), options);
-  if (!det.ok()) return det.status();
-  return StreamingValidator(std::move(det->dha));
+    const Schema& schema, const ExecBudget& budget) {
+  HEDGEQ_FAILPOINT("streaming/create");
+  StreamingValidator out;
+  auto det = automata::Determinize(schema.nha(), budget);
+  if (det.ok()) {
+    out.dha_ = std::make_shared<automata::Dha>(std::move(det->dha));
+    return out;
+  }
+  if (det.status().code() != StatusCode::kResourceExhausted) {
+    return det.status();
+  }
+  automata::LazyDhaOptions opts;
+  opts.max_cache_bytes = std::min(budget.max_memory_bytes,
+                                  opts.max_cache_bytes);
+  out.lazy_ = std::make_shared<automata::LazyDha>(schema.nha(), opts);
+  return out;
 }
 
 Result<bool> StreamingValidator::Validate(
     std::string_view xml_text, hedge::Vocabulary& vocab,
     const xml::XmlParseOptions& options) const {
+  Result<Validation> v = ValidateWithStats(xml_text, vocab, options);
+  if (!v.ok()) return v.status();
+  return v->valid;
+}
+
+Result<StreamingValidator::Validation> StreamingValidator::ValidateWithStats(
+    std::string_view xml_text, hedge::Vocabulary& vocab,
+    const xml::XmlParseOptions& options) const {
+  Validation out;
+  if (lazy_ != nullptr) {
+    lazy_->ResetStats();
+    LazyValidatorHandler handler(*lazy_);
+    Status parse = xml::ParseXmlStream(xml_text, vocab, handler, options);
+    if (!parse.ok()) return parse;
+    out.valid = handler.Accepted();
+    out.stats = lazy_->stats();
+    out.stats.fallback_used = true;
+    return out;
+  }
   ValidatorHandler handler(*dha_);
   Status parse = xml::ParseXmlStream(xml_text, vocab, handler, options);
   if (!parse.ok()) return parse;
-  return handler.Accepted();
+  out.valid = handler.Accepted();
+  return out;
 }
 
 }  // namespace hedgeq::schema

@@ -5,8 +5,10 @@
 #include <string_view>
 
 #include "automata/determinize.h"
+#include "automata/lazy_dha.h"
 #include "automata/streaming.h"
 #include "schema/schema.h"
+#include "util/budget.h"
 #include "xml/xml.h"
 
 namespace hedgeq::schema {
@@ -14,25 +16,48 @@ namespace hedgeq::schema {
 /// Streaming schema validation: determinize once, then validate XML text of
 /// any size in O(element depth) memory — no tree is built. The RELAX-style
 /// use case of hedge automata.
+///
+/// Robustness: when eager determinization exceeds `budget`, Create degrades
+/// to an on-the-fly subset-simulation engine (automata::LazyDha) whose
+/// memoization cache is LRU-bounded, so the validator always comes up —
+/// validation is then set-simulation per event instead of a table lookup.
+/// fallback_used() tells which engine answered; ValidateWithStats also
+/// reports the lazy engine's expenditure.
 class StreamingValidator {
  public:
   /// Determinizes the schema (worst-case exponential preprocessing; real
-  /// schemas are small — experiment E3).
-  static Result<StreamingValidator> Create(
-      const Schema& schema, const automata::DeterminizeOptions& options = {});
+  /// schemas are small — experiment E3). On kResourceExhausted falls back
+  /// to the lazy engine; other errors propagate.
+  static Result<StreamingValidator> Create(const Schema& schema,
+                                           const ExecBudget& budget = {});
 
   /// Parses and validates in one pass. kInvalidArgument for malformed XML;
   /// otherwise the validity verdict.
   Result<bool> Validate(std::string_view xml_text, hedge::Vocabulary& vocab,
                         const xml::XmlParseOptions& options = {}) const;
 
+  /// As Validate, also reporting which engine ran and what it spent.
+  struct Validation {
+    bool valid = false;
+    automata::EvalStats stats;
+  };
+  Result<Validation> ValidateWithStats(
+      std::string_view xml_text, hedge::Vocabulary& vocab,
+      const xml::XmlParseOptions& options = {}) const;
+
+  /// True when the eager determinization blew the budget and the lazy
+  /// engine validates instead.
+  bool fallback_used() const { return lazy_ != nullptr; }
+
+  /// The eager automaton; only callable when !fallback_used().
   const automata::Dha& dha() const { return *dha_; }
 
  private:
-  explicit StreamingValidator(automata::Dha dha)
-      : dha_(std::make_shared<automata::Dha>(std::move(dha))) {}
+  StreamingValidator() = default;
 
+  // Exactly one of the two engines is set.
   std::shared_ptr<const automata::Dha> dha_;
+  std::shared_ptr<const automata::LazyDha> lazy_;
 };
 
 }  // namespace hedgeq::schema

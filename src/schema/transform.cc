@@ -124,7 +124,7 @@ struct Layer {
 // The Theorem 3/5 layers of one selection query over the schema vocabulary.
 Result<std::vector<Layer>> QueryLayers(
     const Schema& input, const query::SelectionQuery& query,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   std::vector<hedge::SymbolId> symbols = input.Symbols();
   std::vector<hedge::VarId> variables = input.Variables();
 
@@ -323,7 +323,7 @@ std::optional<SampleMatch> SampleFromProduct(
 
 Result<MatchIdentifyingProduct> BuildMatchIdentifyingProduct(
     const Schema& input, const query::SelectionQuery& query,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   Result<std::vector<Layer>> layers = QueryLayers(input, query, options);
   if (!layers.ok()) return layers.status();
   LayeredProduct prod =
@@ -371,7 +371,7 @@ Schema SelectFromMarkedProduct(Nha nha, const std::vector<bool>& marked) {
 // verdicts.
 Result<MatchIdentifyingProduct> BuildBooleanProduct(
     const Schema& input, const query::BooleanQuery& query,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   std::vector<Layer> all;
   std::vector<std::pair<size_t, size_t>> groups;  // per-leaf layer ranges
   for (const query::SelectionQuery* leaf : query.Leaves()) {
@@ -403,7 +403,7 @@ Result<MatchIdentifyingProduct> BuildBooleanProduct(
 
 Result<Schema> SelectOutputSchema(const Schema& input,
                                   const query::SelectionQuery& query,
-                                  const automata::DeterminizeOptions& options) {
+                                  const ExecBudget& options) {
   Result<MatchIdentifyingProduct> prod =
       BuildMatchIdentifyingProduct(input, query, options);
   if (!prod.ok()) return prod.status();
@@ -412,7 +412,7 @@ Result<Schema> SelectOutputSchema(const Schema& input,
 
 Result<Schema> SelectOutputSchemaBoolean(
     const Schema& input, const query::BooleanQuery& query,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   Result<MatchIdentifyingProduct> prod =
       BuildBooleanProduct(input, query, options);
   if (!prod.ok()) return prod.status();
@@ -421,7 +421,7 @@ Result<Schema> SelectOutputSchemaBoolean(
 
 Result<std::optional<SampleMatch>> SampleMatchingDocumentBoolean(
     const Schema& input, const query::BooleanQuery& query,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   Result<MatchIdentifyingProduct> prod =
       BuildBooleanProduct(input, query, options);
   if (!prod.ok()) return prod.status();
@@ -430,7 +430,7 @@ Result<std::optional<SampleMatch>> SampleMatchingDocumentBoolean(
 
 Result<Schema> DeleteOutputSchema(const Schema& input,
                                   const query::SelectionQuery& query,
-                                  const automata::DeterminizeOptions& options) {
+                                  const ExecBudget& options) {
   Result<MatchIdentifyingProduct> prod =
       BuildMatchIdentifyingProduct(input, query, options);
   if (!prod.ok()) return prod.status();
@@ -463,7 +463,7 @@ Result<Schema> DeleteOutputSchema(const Schema& input,
 
 Result<std::optional<SampleMatch>> SampleMatchingDocument(
     const Schema& input, const query::SelectionQuery& query,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   Result<MatchIdentifyingProduct> prod =
       BuildMatchIdentifyingProduct(input, query, options);
   if (!prod.ok()) return prod.status();
@@ -473,7 +473,7 @@ Result<std::optional<SampleMatch>> SampleMatchingDocument(
 Result<ContainmentResult> QueryContainment(
     const Schema& input, const query::SelectionQuery& q1,
     const query::SelectionQuery& q2,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   Result<std::vector<Layer>> layers1 = QueryLayers(input, q1, options);
   if (!layers1.ok()) return layers1.status();
   Result<std::vector<Layer>> layers2 = QueryLayers(input, q2, options);
@@ -510,7 +510,7 @@ Result<ContainmentResult> QueryContainment(
 Result<bool> QueriesEquivalentUnderSchema(
     const Schema& input, const query::SelectionQuery& q1,
     const query::SelectionQuery& q2,
-    const automata::DeterminizeOptions& options) {
+    const ExecBudget& options) {
   Result<ContainmentResult> forward = QueryContainment(input, q1, q2, options);
   if (!forward.ok()) return forward.status();
   if (!forward->contained) return false;
@@ -523,7 +523,7 @@ Result<bool> QueriesEquivalentUnderSchema(
 Result<Schema> RenameOutputSchema(const Schema& input,
                                   const query::SelectionQuery& query,
                                   hedge::SymbolId new_name,
-                                  const automata::DeterminizeOptions& options) {
+                                  const ExecBudget& options) {
   Result<MatchIdentifyingProduct> prod =
       BuildMatchIdentifyingProduct(input, query, options);
   if (!prod.ok()) return prod.status();

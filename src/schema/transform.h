@@ -21,7 +21,7 @@ struct MatchIdentifyingProduct {
 
 Result<MatchIdentifyingProduct> BuildMatchIdentifyingProduct(
     const Schema& input, const query::SelectionQuery& query,
-    const automata::DeterminizeOptions& options = {});
+    const ExecBudget& options = {});
 
 /// Output schema of select(e1, e2) on `input`: accepts exactly the subtrees
 /// rooted at nodes located in some input-valid document ("we only have to
@@ -29,13 +29,13 @@ Result<MatchIdentifyingProduct> BuildMatchIdentifyingProduct(
 /// from which final state sequences can be reached").
 Result<Schema> SelectOutputSchema(const Schema& input,
                                   const query::SelectionQuery& query,
-                                  const automata::DeterminizeOptions& options = {});
+                                  const ExecBudget& options = {});
 
 /// Output schema of delete: accepts exactly the documents obtained from
 /// input-valid documents by removing every located subtree.
 Result<Schema> DeleteOutputSchema(const Schema& input,
                                   const query::SelectionQuery& query,
-                                  const automata::DeterminizeOptions& options = {});
+                                  const ExecBudget& options = {});
 
 /// Output schema of rename: accepts exactly the documents obtained from
 /// input-valid documents by relabeling every located node `new_name`
@@ -43,7 +43,7 @@ Result<Schema> DeleteOutputSchema(const Schema& input,
 Result<Schema> RenameOutputSchema(const Schema& input,
                                   const query::SelectionQuery& query,
                                   hedge::SymbolId new_name,
-                                  const automata::DeterminizeOptions& options = {});
+                                  const ExecBudget& options = {});
 
 /// A concrete schema-valid document in which the query locates a node,
 /// plus that node's id — synthesized from witnesses of the
@@ -57,7 +57,7 @@ struct SampleMatch {
 /// nullopt when the query can never match any valid document.
 Result<std::optional<SampleMatch>> SampleMatchingDocument(
     const Schema& input, const query::SelectionQuery& query,
-    const automata::DeterminizeOptions& options = {});
+    const ExecBudget& options = {});
 
 /// Query containment under a schema (the classic optimization question,
 /// Section 9's first open issue): does q1 locate a subset of q2's nodes on
@@ -72,14 +72,14 @@ struct ContainmentResult {
 Result<ContainmentResult> QueryContainment(
     const Schema& input, const query::SelectionQuery& q1,
     const query::SelectionQuery& q2,
-    const automata::DeterminizeOptions& options = {});
+    const ExecBudget& options = {});
 
 /// Both containments hold: the queries locate exactly the same nodes on
 /// every schema-valid document.
 Result<bool> QueriesEquivalentUnderSchema(
     const Schema& input, const query::SelectionQuery& q1,
     const query::SelectionQuery& q2,
-    const automata::DeterminizeOptions& options = {});
+    const ExecBudget& options = {});
 
 /// Boolean-query variants: selection queries are exactly the MSO-definable
 /// queries (Section 6) and MSO is boolean-closed; the layered product makes
@@ -87,11 +87,11 @@ Result<bool> QueriesEquivalentUnderSchema(
 /// marked when the formula holds over the leaves' marks.
 Result<Schema> SelectOutputSchemaBoolean(
     const Schema& input, const query::BooleanQuery& query,
-    const automata::DeterminizeOptions& options = {});
+    const ExecBudget& options = {});
 
 Result<std::optional<SampleMatch>> SampleMatchingDocumentBoolean(
     const Schema& input, const query::BooleanQuery& query,
-    const automata::DeterminizeOptions& options = {});
+    const ExecBudget& options = {});
 
 }  // namespace hedgeq::schema
 

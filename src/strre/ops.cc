@@ -100,6 +100,13 @@ Nfa CompileRegex(const Regex& e) {
 }
 
 Dfa Determinize(const Nfa& nfa) {
+  BudgetScope scope(ExecBudget::Unlimited());
+  Result<Dfa> out = DeterminizeBounded(nfa, scope);
+  HEDGEQ_CHECK_MSG(out.ok(), "unbounded Determinize cannot fail");
+  return std::move(out).value();
+}
+
+Result<Dfa> DeterminizeBounded(const Nfa& nfa, BudgetScope& scope) {
   Dfa dfa;
   if (nfa.num_states() == 0 || nfa.start() == kNoState) {
     dfa.AddState(false);
@@ -108,6 +115,7 @@ Dfa Determinize(const Nfa& nfa) {
   std::unordered_map<Bitset, StateId, BitsetHash> ids;
   std::deque<Bitset> worklist;
 
+  Status charge_status;
   auto intern = [&](Bitset subset) -> StateId {
     auto it = ids.find(subset);
     if (it != ids.end()) return it->second;
@@ -117,6 +125,14 @@ Dfa Determinize(const Nfa& nfa) {
         accepting = true;
         break;
       }
+    }
+    if (charge_status.ok()) {
+      Status st = scope.ChargeStates(1, "strre/determinize");
+      if (st.ok()) {
+        st = scope.ChargeBytes(2 * subset.ApproxBytes() + 32,
+                               "strre/determinize");
+      }
+      if (!st.ok()) charge_status = std::move(st);
     }
     StateId id = dfa.AddState(accepting);
     ids.emplace(subset, id);
@@ -130,23 +146,28 @@ Dfa Determinize(const Nfa& nfa) {
   intern(std::move(start));
 
   while (!worklist.empty()) {
+    if (!charge_status.ok()) return charge_status;
     Bitset subset = std::move(worklist.front());
     worklist.pop_front();
     StateId from = ids.at(subset);
     // Group successors by symbol.
     std::map<Symbol, Bitset> moves;
+    size_t steps = 1;
     for (uint32_t s : subset.ToVector()) {
       for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+        ++steps;
         auto [it, inserted] = moves.try_emplace(t.symbol, nfa.num_states());
         it->second.Set(t.to);
       }
     }
+    HEDGEQ_RETURN_IF_ERROR(scope.ChargeSteps(steps, "strre/determinize"));
     for (auto& [symbol, target] : moves) {
       nfa.EpsilonClosure(target);
       StateId to = intern(std::move(target));
       dfa.SetTransition(from, symbol, to);
     }
   }
+  if (!charge_status.ok()) return charge_status;
   return dfa;
 }
 
@@ -649,12 +670,22 @@ Regex NfaToRegex(const Nfa& nfa) {
 
 MultiDfa ProductAll(std::span<const Dfa> components,
                     std::span<const Symbol> alphabet) {
+  BudgetScope scope(ExecBudget::Unlimited());
+  Result<MultiDfa> out = ProductAllBounded(components, alphabet, scope);
+  HEDGEQ_CHECK_MSG(out.ok(), "unbounded ProductAll cannot fail");
+  return std::move(out).value();
+}
+
+Result<MultiDfa> ProductAllBounded(std::span<const Dfa> components,
+                                   std::span<const Symbol> alphabet,
+                                   BudgetScope& scope) {
   MultiDfa out;
   out.component_accepts.resize(components.size());
 
   std::map<std::vector<StateId>, StateId> ids;
   std::deque<std::vector<StateId>> worklist;
 
+  Status charge_status;
   auto intern = [&](std::vector<StateId> tuple) -> StateId {
     auto it = ids.find(tuple);
     if (it != ids.end()) return it->second;
@@ -662,6 +693,15 @@ MultiDfa ProductAll(std::span<const Dfa> components,
     for (size_t i = 0; i < components.size(); ++i) {
       bool acc = tuple[i] != kNoState && components[i].IsAccepting(tuple[i]);
       out.component_accepts[i].push_back(acc);
+    }
+    if (charge_status.ok()) {
+      Status st = scope.ChargeStates(1, "strre/product");
+      if (st.ok()) {
+        st = scope.ChargeBytes(
+            2 * tuple.size() * sizeof(StateId) + components.size() + 64,
+            "strre/product");
+      }
+      if (!st.ok()) charge_status = std::move(st);
     }
     ids.emplace(tuple, id);
     worklist.push_back(std::move(tuple));
@@ -676,9 +716,12 @@ MultiDfa ProductAll(std::span<const Dfa> components,
   intern(std::move(start));
 
   while (!worklist.empty()) {
+    if (!charge_status.ok()) return charge_status;
     std::vector<StateId> tuple = std::move(worklist.front());
     worklist.pop_front();
     StateId from = ids.at(tuple);
+    HEDGEQ_RETURN_IF_ERROR(scope.ChargeSteps(
+        alphabet.size() * components.size() + 1, "strre/product"));
     for (Symbol a : alphabet) {
       std::vector<StateId> next(components.size());
       for (size_t i = 0; i < components.size(); ++i) {
@@ -688,6 +731,7 @@ MultiDfa ProductAll(std::span<const Dfa> components,
       out.dfa.SetTransition(from, a, to);
     }
   }
+  if (!charge_status.ok()) return charge_status;
   return out;
 }
 

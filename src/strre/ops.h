@@ -8,6 +8,8 @@
 
 #include "strre/automaton.h"
 #include "strre/regex.h"
+#include "util/budget.h"
+#include "util/status.h"
 
 namespace hedgeq::strre {
 
@@ -17,6 +19,11 @@ Nfa CompileRegex(const Regex& e);
 /// Subset construction. The result keeps the dead sink implicit (absent
 /// transitions reject); only reachable, useful subsets become states.
 Dfa Determinize(const Nfa& nfa);
+
+/// Budget-charged subset construction: every interned subset counts against
+/// the scope's states and bytes; kResourceExhausted (with the count
+/// reached) when a cap trips.
+Result<Dfa> DeterminizeBounded(const Nfa& nfa, BudgetScope& scope);
 
 /// Makes the transition function total over `alphabet` by materializing an
 /// explicit rejecting sink (if any transition was missing).
@@ -89,6 +96,12 @@ struct MultiDfa {
 };
 MultiDfa ProductAll(std::span<const Dfa> components,
                     std::span<const Symbol> alphabet);
+
+/// Budget-charged product: the state count is worst-case the product of the
+/// component sizes, so every interned tuple counts against the scope.
+Result<MultiDfa> ProductAllBounded(std::span<const Dfa> components,
+                                   std::span<const Symbol> alphabet,
+                                   BudgetScope& scope);
 
 }  // namespace hedgeq::strre
 

@@ -355,7 +355,23 @@ class Parser {
            c == '.' || c == '-';
   }
 
+  // Parenthesized atoms re-enter ParseUnion, so regex nesting maps to
+  // native stack depth; bound it so "((((...))))" bombs fail cleanly.
+  static constexpr size_t kMaxNesting = 2048;
+
   Result<Regex> ParseUnion() {
+    if (depth_ >= kMaxNesting) {
+      return Status::ResourceExhausted(
+          StrCat("regex nesting deeper than ", kMaxNesting, " at offset ",
+                 pos_));
+    }
+    ++depth_;
+    Result<Regex> out = ParseUnionImpl();
+    --depth_;
+    return out;
+  }
+
+  Result<Regex> ParseUnionImpl() {
     Result<Regex> left = ParseConcat();
     if (!left.ok()) return left;
     Regex out = std::move(left).value();
@@ -460,6 +476,7 @@ class Parser {
   std::string_view text_;
   const std::function<Symbol(std::string_view)>& resolve_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 }  // namespace

@@ -43,6 +43,11 @@ class Bitset {
   /// FNV-style hash over the words.
   size_t Hash() const;
 
+  /// Approximate object-plus-heap footprint in bytes, for budget accounting.
+  size_t ApproxBytes() const {
+    return sizeof(Bitset) + words_.capacity() * sizeof(uint64_t);
+  }
+
  private:
   size_t num_bits_ = 0;
   std::vector<uint64_t> words_;

@@ -1,0 +1,61 @@
+#include "util/budget.h"
+
+#include "util/strings.h"
+
+namespace hedgeq {
+
+namespace {
+
+Status Exceeded(const char* stage, const char* what, size_t reached,
+                size_t cap, const char* knob) {
+  return Status::ResourceExhausted(
+      StrCat(stage, ": ", what, " budget exceeded (reached ", reached,
+             ", cap ", knob, "=", cap,
+             "); retry with a larger ExecBudget"));
+}
+
+}  // namespace
+
+Status BudgetScope::ChargeStates(size_t n, const char* stage) {
+  states_ += n;
+  if (states_ > budget_.max_states) {
+    return Exceeded(stage, "state", states_, budget_.max_states,
+                    "max_states");
+  }
+  return Status::Ok();
+}
+
+Status BudgetScope::ChargeBytes(size_t n, const char* stage) {
+  bytes_ += n;
+  if (bytes_ > budget_.max_memory_bytes) {
+    return Exceeded(stage, "memory", bytes_, budget_.max_memory_bytes,
+                    "max_memory_bytes");
+  }
+  return Status::Ok();
+}
+
+void BudgetScope::ReleaseBytes(size_t n) {
+  bytes_ = n > bytes_ ? 0 : bytes_ - n;
+}
+
+Status BudgetScope::ChargeSteps(size_t n, const char* stage) {
+  steps_ += n;
+  if (steps_ > budget_.max_steps) {
+    return Exceeded(stage, "step", steps_, budget_.max_steps, "max_steps");
+  }
+  return Status::Ok();
+}
+
+Status BudgetScope::EnterDepth(const char* stage) {
+  ++depth_;
+  if (depth_ > budget_.max_depth) {
+    return Exceeded(stage, "depth", depth_, budget_.max_depth, "max_depth");
+  }
+  return Status::Ok();
+}
+
+void BudgetScope::LeaveDepth() {
+  if (depth_ > 0) --depth_;
+}
+
+}  // namespace hedgeq

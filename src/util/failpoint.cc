@@ -1,0 +1,84 @@
+#include "util/failpoint.h"
+
+#include <atomic>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/strings.h"
+
+namespace hedgeq::failpoint {
+
+namespace {
+
+struct ArmState {
+  uint64_t skip = 0;
+  uint64_t hits = 0;
+};
+
+// Fast path: when zero points are armed, Check is one atomic load.
+std::atomic<int> g_armed_count{0};
+
+std::mutex& Mutex() {
+  static std::mutex* m = new std::mutex;
+  return *m;
+}
+
+std::unordered_map<std::string, ArmState>& Registry() {
+  static auto* r = new std::unordered_map<std::string, ArmState>;
+  return *r;
+}
+
+}  // namespace
+
+void Arm(std::string_view name, uint64_t skip) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto [it, inserted] = Registry().try_emplace(std::string(name));
+  it->second.skip = skip;
+  it->second.hits = 0;
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Disarm(std::string_view name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  if (Registry().erase(std::string(name)) > 0) {
+    g_armed_count.fetch_sub(1, std::memory_order_relaxed);
+  }
+}
+
+void DisarmAll() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  g_armed_count.fetch_sub(static_cast<int>(Registry().size()),
+                          std::memory_order_relaxed);
+  Registry().clear();
+}
+
+uint64_t HitCount(std::string_view name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(std::string(name));
+  return it == Registry().end() ? 0 : it->second.hits;
+}
+
+std::vector<std::string> ArmedPoints() {
+  std::lock_guard<std::mutex> lock(Mutex());
+  std::vector<std::string> out;
+  out.reserve(Registry().size());
+  for (const auto& [name, state] : Registry()) out.push_back(name);
+  return out;
+}
+
+Status Check(const char* name) {
+  if (g_armed_count.load(std::memory_order_relaxed) == 0) {
+    return Status::Ok();
+  }
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(name);
+  if (it == Registry().end()) return Status::Ok();
+  ArmState& state = it->second;
+  ++state.hits;
+  if (state.hits <= state.skip) return Status::Ok();
+  return Status::ResourceExhausted(
+      StrCat("injected failure at failpoint '", name, "' (hit ", state.hits,
+             ")"));
+}
+
+}  // namespace hedgeq::failpoint

@@ -1,0 +1,48 @@
+#ifndef HEDGEQ_UTIL_FAILPOINT_H_
+#define HEDGEQ_UTIL_FAILPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hedgeq::failpoint {
+
+/// Test-only fault injection. Production stages mark their fallible resource
+/// acquisitions with HEDGEQ_FAILPOINT("stage/site"); tests arm a point by
+/// name to deterministically trigger kResourceExhausted there, proving every
+/// public entry point surfaces a clean Status — no abort, no leak, no
+/// silently partial answer.
+///
+/// When nothing is armed, Check costs one relaxed atomic load — safe to
+/// leave in release builds.
+
+/// Arms `name`: the (skip+1)-th Check of that name, and every one after,
+/// fails. skip=0 fails on the first hit.
+void Arm(std::string_view name, uint64_t skip = 0);
+
+/// Disarms `name`; Check returns Ok again.
+void Disarm(std::string_view name);
+
+/// Disarms everything (test teardown).
+void DisarmAll();
+
+/// How many times `name` was Checked since it was armed (0 when not armed).
+uint64_t HitCount(std::string_view name);
+
+/// Names of all currently armed points.
+std::vector<std::string> ArmedPoints();
+
+/// The probe: Ok unless `name` is armed and past its skip count.
+Status Check(const char* name);
+
+}  // namespace hedgeq::failpoint
+
+/// Propagates an injected failure from an armed failpoint. Place at each
+/// resource-acquisition site of a fallible pipeline stage.
+#define HEDGEQ_FAILPOINT(name) \
+  HEDGEQ_RETURN_IF_ERROR(::hedgeq::failpoint::Check(name))
+
+#endif  // HEDGEQ_UTIL_FAILPOINT_H_

@@ -53,6 +53,12 @@ class XmlStreamParser {
         text_variable_(vocab.variables.Intern(options.text_variable)) {}
 
   Status Parse() {
+    if (input_.size() > options_.max_input_bytes) {
+      return Status::ResourceExhausted(
+          StrCat("XML input is ", input_.size(),
+                 " bytes, over XmlParseOptions::max_input_bytes=",
+                 options_.max_input_bytes));
+    }
     HEDGEQ_RETURN_IF_ERROR(SkipMisc(/*allow_doctype=*/true));
     while (pos_ < input_.size()) {
       if (input_[pos_] == '<') {
@@ -146,6 +152,10 @@ class XmlStreamParser {
         base = 16;
         digits = digits.substr(1);
       }
+      if (digits.empty()) {
+        return Status::InvalidArgument(
+            StrCat("bad character reference &", std::string(name), ";"));
+      }
       unsigned long code = 0;
       for (char c : digits) {
         int d;
@@ -161,6 +171,16 @@ class XmlStreamParser {
         }
         code = code * static_cast<unsigned long>(base) +
                static_cast<unsigned long>(d);
+        if (code > 0x10FFFF) {
+          return Status::InvalidArgument(
+              StrCat("character reference &", std::string(name),
+                     "; is beyond U+10FFFF"));
+        }
+      }
+      if (code == 0 || (code >= 0xD800 && code <= 0xDFFF)) {
+        return Status::InvalidArgument(
+            StrCat("character reference &", std::string(name),
+                   "; is not a valid XML character"));
       }
       if (code < 0x80) {
         out += static_cast<char>(code);
@@ -217,7 +237,21 @@ class XmlStreamParser {
     return handler_.Text(text_variable_, text);
   }
 
+  // Depth-checked wrapper: the recursion below is bounded by max_depth, so
+  // a nesting bomb fails cleanly instead of exhausting the native stack.
   Status ParseElement() {
+    if (depth_ >= options_.max_depth) {
+      return Status::ResourceExhausted(
+          StrCat("element nesting deeper than XmlParseOptions::max_depth=",
+                 options_.max_depth, " at offset ", pos_));
+    }
+    ++depth_;
+    Status status = ParseElementBody();
+    --depth_;
+    return status;
+  }
+
+  Status ParseElementBody() {
     HEDGEQ_CHECK(input_[pos_] == '<');
     ++pos_;
     std::string name;
@@ -337,6 +371,7 @@ class XmlStreamParser {
   const XmlParseOptions& options_;
   hedge::VarId text_variable_;
   size_t pos_ = 0;
+  size_t depth_ = 0;
 };
 
 // Builds an XmlDocument from the event stream (what ParseXml returns).

@@ -36,6 +36,13 @@ struct XmlParseOptions {
   bool attributes_as_elements = false;
   /// When true, whitespace-only text between elements is dropped.
   bool ignore_whitespace_text = true;
+  /// Maximum element nesting depth; deeper documents fail with
+  /// kResourceExhausted. The parser recurses once per open element, so this
+  /// also bounds native stack use against nesting bombs.
+  size_t max_depth = 4096;
+  /// Maximum input size in bytes; larger inputs fail with
+  /// kResourceExhausted before any parsing work.
+  size_t max_input_bytes = size_t{1} << 30;  // 1 GiB
 };
 
 /// Parses a (non-validating) XML 1.0 subset: elements, attributes,

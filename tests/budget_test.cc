@@ -1,0 +1,102 @@
+// Unit tests for the resource-governance primitives (util/budget.h): every
+// cap trips with an informative kResourceExhausted naming the stage, the
+// count reached, and the knob to raise.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "util/budget.h"
+
+namespace hedgeq {
+namespace {
+
+bool Contains(const Status& s, const char* needle) {
+  return s.message().find(needle) != std::string::npos;
+}
+
+TEST(BudgetScopeTest, StateCapTripsWithInformativeMessage) {
+  ExecBudget budget;
+  budget.max_states = 10;
+  BudgetScope scope(budget);
+  EXPECT_TRUE(scope.ChargeStates(10, "determinize").ok());
+  EXPECT_EQ(scope.states_used(), 10u);
+  Status s = scope.ChargeStates(1, "determinize");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(Contains(s, "determinize")) << s.ToString();
+  EXPECT_TRUE(Contains(s, "max_states=10")) << s.ToString();
+  EXPECT_TRUE(Contains(s, "reached 11")) << s.ToString();
+  EXPECT_TRUE(Contains(s, "larger ExecBudget")) << s.ToString();
+}
+
+TEST(BudgetScopeTest, ByteCapReleasesAllowReuse) {
+  ExecBudget budget;
+  budget.max_memory_bytes = 100;
+  BudgetScope scope(budget);
+  EXPECT_TRUE(scope.ChargeBytes(80, "cache").ok());
+  Status s = scope.ChargeBytes(40, "cache");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(Contains(s, "max_memory_bytes")) << s.ToString();
+  // Eviction gives the bytes back; the pool is reusable.
+  scope.ReleaseBytes(60);
+  EXPECT_EQ(scope.bytes_used(), 60u);
+  EXPECT_TRUE(scope.ChargeBytes(40, "cache").ok());
+  // Over-release clamps to zero rather than underflowing.
+  scope.ReleaseBytes(std::numeric_limits<size_t>::max());
+  EXPECT_EQ(scope.bytes_used(), 0u);
+}
+
+TEST(BudgetScopeTest, StepCapIsCumulativeAcrossStages) {
+  ExecBudget budget;
+  budget.max_steps = 5;
+  BudgetScope scope(budget);
+  EXPECT_TRUE(scope.ChargeSteps(3, "stage-one").ok());
+  EXPECT_TRUE(scope.ChargeSteps(2, "stage-two").ok());
+  // One shared pool: the third stage pays for the first two.
+  Status s = scope.ChargeSteps(1, "stage-three");
+  EXPECT_EQ(s.code(), StatusCode::kResourceExhausted);
+  EXPECT_TRUE(Contains(s, "stage-three")) << s.ToString();
+  EXPECT_TRUE(Contains(s, "max_steps")) << s.ToString();
+}
+
+TEST(BudgetScopeTest, DepthGuardIsRaii) {
+  ExecBudget budget;
+  budget.max_depth = 2;
+  BudgetScope scope(budget);
+  {
+    DepthGuard d1(scope, "recurse");
+    EXPECT_TRUE(d1.status().ok());
+    {
+      DepthGuard d2(scope, "recurse");
+      EXPECT_TRUE(d2.status().ok());
+      DepthGuard d3(scope, "recurse");
+      EXPECT_EQ(d3.status().code(), StatusCode::kResourceExhausted);
+      EXPECT_TRUE(Contains(d3.status(), "max_depth")) << d3.status().ToString();
+    }
+    // Unwinding restores headroom.
+    EXPECT_EQ(scope.depth(), 1u);
+    DepthGuard d4(scope, "recurse");
+    EXPECT_TRUE(d4.status().ok());
+  }
+  EXPECT_EQ(scope.depth(), 0u);
+}
+
+TEST(BudgetScopeTest, UnlimitedNeverTrips) {
+  BudgetScope scope(ExecBudget::Unlimited());
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(scope.ChargeStates(1 << 20, "x").ok());
+    EXPECT_TRUE(scope.ChargeBytes(size_t{1} << 30, "x").ok());
+    EXPECT_TRUE(scope.ChargeSteps(1 << 30, "x").ok());
+  }
+}
+
+TEST(ExecBudgetTest, DefaultsAreFiniteAndNonTrivial) {
+  ExecBudget budget;
+  EXPECT_GE(budget.max_states, size_t{1} << 16);
+  EXPECT_LT(budget.max_states, std::numeric_limits<size_t>::max());
+  EXPECT_GE(budget.max_memory_bytes, size_t{64} << 20);
+  EXPECT_LT(budget.max_memory_bytes, std::numeric_limits<size_t>::max());
+  EXPECT_GE(budget.max_depth, size_t{256});
+}
+
+}  // namespace
+}  // namespace hedgeq

@@ -171,11 +171,26 @@ TEST_F(DeterminizeTest, RandomizedAgreementWithSimulation) {
 }
 
 TEST_F(DeterminizeTest, CapsAreEnforced) {
-  DeterminizeOptions options;
-  options.max_dha_states = 1;  // sink alone already hits the cap
-  auto det = Determinize(BuildM1(), options);
+  ExecBudget budget;
+  budget.max_states = 1;  // sink alone already hits the cap
+  auto det = Determinize(BuildM1(), budget);
   ASSERT_FALSE(det.ok());
   EXPECT_EQ(det.status().code(), StatusCode::kResourceExhausted);
+  // The message names the count reached and the knob to raise.
+  EXPECT_NE(det.status().message().find("max_states"), std::string::npos)
+      << det.status().message();
+  EXPECT_NE(det.status().message().find("reached"), std::string::npos);
+}
+
+TEST_F(DeterminizeTest, ByteCapIsEnforced) {
+  ExecBudget budget;
+  budget.max_memory_bytes = 1;  // the first interned subset busts it
+  auto det = Determinize(BuildM1(), budget);
+  ASSERT_FALSE(det.ok());
+  EXPECT_EQ(det.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_NE(det.status().message().find("max_memory_bytes"),
+            std::string::npos)
+      << det.status().message();
 }
 
 TEST_F(DeterminizeTest, UnknownSymbolsFallToSink) {

@@ -21,12 +21,12 @@ TEST(DeterminizeCapsTest, HorizontalStateCap) {
   auto e = hre::ParseHre("c<(a|b)* a (a|b) (a|b) (a|b) (a|b) (a|b)>", vocab);
   ASSERT_TRUE(e.ok());
   automata::Nha nha = hre::CompileHre(*e);
-  automata::DeterminizeOptions options;
-  options.max_h_states = 8;  // needs ~2^6
-  auto det = automata::Determinize(nha, options);
+  ExecBudget budget;
+  budget.max_states = 8;  // the horizontal sets alone need ~2^6
+  auto det = automata::Determinize(nha, budget);
   ASSERT_FALSE(det.ok());
   EXPECT_EQ(det.status().code(), StatusCode::kResourceExhausted);
-  EXPECT_NE(det.status().message().find("max_h_states"), std::string::npos);
+  EXPECT_NE(det.status().message().find("max_states"), std::string::npos);
 }
 
 TEST(AcceptsChoicesTest, Basics) {

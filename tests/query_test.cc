@@ -200,14 +200,24 @@ TEST_F(QueryTest, UnknownSymbolsNeverLocated) {
   for (NodeId n = 0; n < doc.num_nodes(); ++n) EXPECT_FALSE(located[n]);
 }
 
-TEST_F(QueryTest, DeterminizationCapsPropagate) {
+TEST_F(QueryTest, DeterminizationCapsFallBackToLazyEngine) {
   auto phr = ParsePhr("[a<%z>*^z; b; a<%z>*^z]*", vocab_);
   ASSERT_TRUE(phr.ok());
-  automata::DeterminizeOptions options;
-  options.max_dha_states = 1;
-  auto evaluator = PhrEvaluator::Create(*phr, options);
-  ASSERT_FALSE(evaluator.ok());
-  EXPECT_EQ(evaluator.status().code(), StatusCode::kResourceExhausted);
+  ExecBudget budget;
+  budget.max_states = 1;
+  // The raw compilation reports exhaustion...
+  auto compiled = CompilePhr(*phr, budget);
+  ASSERT_FALSE(compiled.ok());
+  EXPECT_EQ(compiled.status().code(), StatusCode::kResourceExhausted);
+  // ...but the evaluator degrades to the lazy engine and still answers.
+  auto evaluator = PhrEvaluator::Create(*phr, budget);
+  ASSERT_TRUE(evaluator.ok()) << evaluator.status().ToString();
+  EXPECT_TRUE(evaluator->fallback_used());
+  EXPECT_EQ(evaluator->compiled(), nullptr);
+  Hedge doc = Parse("b<a<a>>");
+  std::vector<bool> located = evaluator->Locate(doc);
+  EXPECT_EQ(located.size(), doc.num_nodes());
+  EXPECT_TRUE(evaluator->stats().fallback_used);
 }
 
 }  // namespace
