@@ -10,6 +10,7 @@
 #include "automata/lazy_dha.h"
 #include "bench/bench_util.h"
 #include "hre/compile.h"
+#include "lint/analyze.h"
 #include "query/phr_compile.h"
 #include "util/rng.h"
 
@@ -48,6 +49,10 @@ void BM_DeterminizeAdversarial(benchmark::State& state) {
   }
   state.counters["h_states"] = static_cast<double>(h_states);
   state.counters["dha_states"] = static_cast<double>(dha_states);
+  // hedgeq::lint's static prediction next to the measured blowup (E12):
+  // the estimate should track log2(h_states) across the family.
+  state.counters["est_log2_h"] =
+      static_cast<double>(lint::ProfileNha(nha).log2_h_estimate);
 }
 BENCHMARK(BM_DeterminizeAdversarial)
     ->DenseRange(2, 14, 2)
@@ -76,6 +81,9 @@ void BM_DeterminizeDocumentLike(benchmark::State& state) {
     benchmark::DoNotOptimize(det);
   }
   state.counters["h_states"] = static_cast<double>(h_states);
+  // Document-like content models should also *predict* as cheap.
+  state.counters["est_log2_h"] =
+      static_cast<double>(lint::ProfileNha(nha).log2_h_estimate);
 }
 BENCHMARK(BM_DeterminizeDocumentLike)
     ->DenseRange(0, 3)

@@ -1,0 +1,46 @@
+// Fuzz harness for the hedge-regular-expression front end and the Lemma 1
+// compiler behind it.
+//
+// Checked invariants, beyond "no crash / no sanitizer report":
+//   - HreToString(e) reparses (printer and parser agree on the grammar);
+//   - the budgeted compiler either succeeds or fails cleanly, never crashes,
+//     on arbitrary accepted expressions;
+//   - emptiness is stable across the print/reparse round trip.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "automata/nha.h"
+#include "hre/ast.h"
+#include "hre/compile.h"
+#include "util/budget.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace hedgeq;
+  if (size > 4096) return 0;  // expressions are small; keep compiles cheap
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  hedge::Vocabulary vocab;
+  Result<hre::Hre> e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return 0;
+
+  std::string printed = hre::HreToString(*e, vocab);
+  Result<hre::Hre> again = hre::ParseHre(printed, vocab);
+  if (!again.ok()) __builtin_trap();
+
+  ExecBudget budget;
+  budget.max_states = size_t{1} << 10;
+  budget.max_memory_bytes = size_t{8} << 20;
+  budget.max_steps = size_t{1} << 20;
+  budget.max_depth = 128;
+
+  BudgetScope scope(budget);
+  Result<automata::Nha> nha = hre::CompileHre(*e, scope);
+  if (!nha.ok()) return 0;  // clean budget/limit failure is fine
+  bool empty = automata::IsEmptyNha(*nha);
+
+  BudgetScope scope2(budget);
+  Result<automata::Nha> nha2 = hre::CompileHre(*again, scope2);
+  if (nha2.ok() && automata::IsEmptyNha(*nha2) != empty) __builtin_trap();
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Fuzz harness for the XML front end: the hostile-input surface of the
+// whole system (documents arrive from outside; everything downstream
+// assumes the hedge the parser built is well formed).
+//
+// Checked invariants, beyond "no crash / no sanitizer report":
+//   - a document that parses also serializes, and the serialization parses
+//     again with the same element structure (text nodes may merge when
+//     comments separating them are dropped, so only element nodes count);
+//   - the streaming parser agrees with the tree parser on acceptance.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hedge/hedge.h"
+#include "xml/xml.h"
+
+namespace {
+
+using namespace hedgeq;
+
+size_t CountElements(const hedge::Hedge& h) {
+  size_t n = 0;
+  for (hedge::NodeId i = 0; i < h.num_nodes(); ++i) {
+    if (h.label(i).kind == hedge::LabelKind::kSymbol) ++n;
+  }
+  return n;
+}
+
+class NullHandler : public xml::XmlHandler {
+ public:
+  Status StartElement(hedge::SymbolId) override {
+    ++elements;
+    return Status();
+  }
+  Status EndElement(hedge::SymbolId) override { return Status(); }
+  Status Text(hedge::VarId, std::string_view) override { return Status(); }
+  size_t elements = 0;
+};
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  std::string_view input(reinterpret_cast<const char*>(data), size);
+  xml::XmlParseOptions options;
+  options.max_depth = 256;            // recursion bound against nesting bombs
+  options.max_input_bytes = size_t{1} << 20;
+
+  hedge::Vocabulary vocab;
+  Result<xml::XmlDocument> doc = xml::ParseXml(input, vocab, options);
+
+  hedge::Vocabulary stream_vocab;
+  NullHandler handler;
+  Status streamed =
+      xml::ParseXmlStream(input, stream_vocab, handler, options);
+  if (doc.ok() != streamed.ok()) __builtin_trap();
+
+  if (doc.ok() && doc->hedge.num_nodes() > 0) {
+    if (handler.elements != CountElements(doc->hedge)) __builtin_trap();
+    std::string text = xml::SerializeXml(*doc, vocab);
+    Result<xml::XmlDocument> again = xml::ParseXml(text, vocab, options);
+    if (!again.ok()) __builtin_trap();
+    if (CountElements(again->hedge) != CountElements(doc->hedge)) {
+      __builtin_trap();
+    }
+  }
+  return 0;
+}

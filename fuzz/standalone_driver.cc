@@ -1,0 +1,148 @@
+// Standalone driver for the fuzz harnesses when libFuzzer is unavailable
+// (gcc-only machines). Two modes:
+//
+//   <harness> file1 [file2 ...]       replay each file through the harness
+//   <harness> --smoke <seconds> <dir> load every file in <dir> as a seed,
+//                                     then run a deterministic mutation
+//                                     loop for the given wall time
+//
+// The mutation loop is xorshift-driven from a fixed seed, so a given corpus
+// replays the same input sequence on every run (modulo how far the clock
+// lets it get) — crashes found in CI reproduce locally.
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+uint64_t g_rng = 0x9e3779b97f4a7c15ULL;
+
+uint64_t NextRand() {
+  g_rng ^= g_rng << 13;
+  g_rng ^= g_rng >> 7;
+  g_rng ^= g_rng << 17;
+  return g_rng;
+}
+
+// Tokens worth splicing into either harness's input: XML scaffolding and
+// HRE operators. Structure-aware enough to get past the first parse stages.
+const char* kDictionary[] = {
+    "<a>",  "</a>", "<a/>",  "<!--", "-->",   "<![CDATA[", "]]>",  "&amp;",
+    "&#65;", "a=\"b\"", "<?pi?>", "(",  ")",  "|",  "*",   "+",    "?",
+    "{}",   "()",   "$x",    "<",    ">",     "^z",  "@z", "a<%z>",
+};
+
+std::string ReadAll(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+void RunOne(const std::string& input) {
+  LLVMFuzzerTestOneInput(reinterpret_cast<const uint8_t*>(input.data()),
+                         input.size());
+}
+
+std::string Mutate(const std::vector<std::string>& corpus) {
+  std::string out = corpus[NextRand() % corpus.size()];
+  size_t rounds = 1 + NextRand() % 4;
+  for (size_t r = 0; r < rounds; ++r) {
+    switch (NextRand() % 6) {
+      case 0:  // flip a byte
+        if (!out.empty()) out[NextRand() % out.size()] ^= 1 << (NextRand() % 8);
+        break;
+      case 1: {  // insert a printable byte
+        size_t at = out.empty() ? 0 : NextRand() % out.size();
+        out.insert(out.begin() + at,
+                   static_cast<char>(' ' + NextRand() % 95));
+        break;
+      }
+      case 2: {  // delete a short range
+        if (out.empty()) break;
+        size_t at = NextRand() % out.size();
+        out.erase(at, 1 + NextRand() % 8);
+        break;
+      }
+      case 3: {  // duplicate a short range
+        if (out.empty()) break;
+        size_t at = NextRand() % out.size();
+        size_t len = 1 + NextRand() % 16;
+        out.insert(at, out.substr(at, len));
+        break;
+      }
+      case 4: {  // splice a dictionary token
+        const char* token =
+            kDictionary[NextRand() % (sizeof(kDictionary) /
+                                      sizeof(kDictionary[0]))];
+        size_t at = out.empty() ? 0 : NextRand() % out.size();
+        out.insert(at, token);
+        break;
+      }
+      case 5: {  // crossover with another seed
+        const std::string& other = corpus[NextRand() % corpus.size()];
+        if (other.empty()) break;
+        size_t cut = NextRand() % (out.size() + 1);
+        out = out.substr(0, cut) + other.substr(NextRand() % other.size());
+        break;
+      }
+    }
+    if (out.size() > (size_t{1} << 16)) out.resize(size_t{1} << 16);
+  }
+  return out;
+}
+
+int Smoke(int seconds, const std::string& dir) {
+  std::vector<std::string> corpus;
+  std::error_code ec;
+  for (const auto& entry : std::filesystem::directory_iterator(dir, ec)) {
+    if (entry.is_regular_file()) corpus.push_back(ReadAll(entry.path()));
+  }
+  if (corpus.empty()) {
+    std::fprintf(stderr, "no corpus files in %s\n", dir.c_str());
+    return 1;
+  }
+  for (const std::string& seed : corpus) RunOne(seed);
+
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::seconds(seconds);
+  size_t executions = corpus.size();
+  while (std::chrono::steady_clock::now() < deadline) {
+    // Check the clock once per batch, not per input.
+    for (int i = 0; i < 256; ++i) {
+      RunOne(Mutate(corpus));
+      ++executions;
+    }
+  }
+  std::printf("smoke ok: %zu inputs, %zu seeds, no crashes\n", executions,
+              corpus.size());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 4 && std::strcmp(argv[1], "--smoke") == 0) {
+    return Smoke(std::atoi(argv[2]), argv[3]);
+  }
+  if (argc < 2) {
+    std::fprintf(stderr,
+                 "usage: %s file...  |  %s --smoke <seconds> <corpus-dir>\n",
+                 argv[0], argv[0]);
+    return 1;
+  }
+  for (int i = 1; i < argc; ++i) {
+    RunOne(ReadAll(argv[i]));
+    std::printf("%s: ok\n", argv[i]);
+  }
+  return 0;
+}

@@ -1,0 +1,294 @@
+#include "lint/diagnostics.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace hedgeq::lint {
+
+namespace {
+
+struct CodeEntry {
+  DiagnosticCode code;
+  const char* name;
+  const char* slug;
+};
+
+constexpr CodeEntry kCodes[] = {
+    {DiagnosticCode::kEmptyExpression, "HQL001", "empty-expression"},
+    {DiagnosticCode::kEmptySubexpression, "HQL002", "empty-subexpression"},
+    {DiagnosticCode::kEmptyAutomaton, "HQL003", "empty-automaton"},
+    {DiagnosticCode::kEmptySchema, "HQL004", "empty-schema"},
+    {DiagnosticCode::kUnreachableStates, "HQL101", "unreachable-states"},
+    {DiagnosticCode::kUselessStates, "HQL102", "useless-states"},
+    {DiagnosticCode::kDeterminizationBlowupRisk, "HQL201",
+     "determinization-blowup-risk"},
+    {DiagnosticCode::kAmbiguousExpression, "HQL202", "ambiguous-expression"},
+    {DiagnosticCode::kQueryUnsatisfiableUnderSchema, "HQL301",
+     "query-unsatisfiable-under-schema"},
+    {DiagnosticCode::kQuerySubsumedByQuery, "HQL302",
+     "query-subsumed-by-query"},
+};
+
+const CodeEntry& EntryOf(DiagnosticCode code) {
+  for (const CodeEntry& e : kCodes) {
+    if (e.code == code) return e;
+  }
+  return kCodes[0];
+}
+
+// Minimal JSON string escaping: the five mandatory escapes plus control
+// characters as \u00XX.
+void AppendJsonString(std::string& out, std::string_view s) {
+  out += '"';
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  out += '"';
+}
+
+// Tiny recursive-descent reader for exactly the JSON DiagnosticsToJson
+// emits (array of flat string-valued objects). Not a general JSON parser.
+class JsonReader {
+ public:
+  explicit JsonReader(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Diagnostic>> ReadDiagnostics() {
+    SkipSpace();
+    if (!Consume('[')) return Error("expected '['");
+    std::vector<Diagnostic> out;
+    SkipSpace();
+    if (Consume(']')) return out;
+    while (true) {
+      Result<Diagnostic> d = ReadObject();
+      if (!d.ok()) return d.status();
+      out.push_back(std::move(d).value());
+      SkipSpace();
+      if (Consume(']')) break;
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+    SkipSpace();
+    if (pos_ != text_.size()) return Error("trailing characters");
+    return out;
+  }
+
+ private:
+  Result<Diagnostic> ReadObject() {
+    SkipSpace();
+    if (!Consume('{')) return Error("expected '{'");
+    Diagnostic d;
+    bool have_severity = false, have_code = false;
+    SkipSpace();
+    if (!Consume('}')) {
+      while (true) {
+        Result<std::string> key = ReadString();
+        if (!key.ok()) return key.status();
+        SkipSpace();
+        if (!Consume(':')) return Error("expected ':'");
+        Result<std::string> value = ReadString();
+        if (!value.ok()) return value.status();
+        if (*key == "severity") {
+          bool found = false;
+          for (Severity s : {Severity::kNote, Severity::kWarning,
+                             Severity::kError}) {
+            if (*value == SeverityName(s)) {
+              d.severity = s;
+              found = true;
+            }
+          }
+          if (!found) return Error("unknown severity '" + *value + "'");
+          have_severity = true;
+        } else if (*key == "code") {
+          bool found = false;
+          for (const CodeEntry& e : kCodes) {
+            if (*value == e.name) {
+              d.code = e.code;
+              found = true;
+            }
+          }
+          if (!found) return Error("unknown code '" + *value + "'");
+          have_code = true;
+        } else if (*key == "span") {
+          d.span = std::move(*value);
+        } else if (*key == "message") {
+          d.message = std::move(*value);
+        } else if (*key == "hint") {
+          d.hint = std::move(*value);
+        } else {
+          return Error("unknown key '" + *key + "'");
+        }
+        SkipSpace();
+        if (Consume('}')) break;
+        if (!Consume(',')) return Error("expected ',' or '}'");
+      }
+    }
+    if (!have_severity || !have_code) {
+      return Error("diagnostic object needs 'severity' and 'code'");
+    }
+    return d;
+  }
+
+  Result<std::string> ReadString() {
+    SkipSpace();
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char esc = text_[pos_++];
+      switch (esc) {
+        case '"': out += '"'; break;
+        case '\\': out += '\\'; break;
+        case '/': out += '/'; break;
+        case 'n': out += '\n'; break;
+        case 'r': out += '\r'; break;
+        case 't': out += '\t'; break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+          unsigned value = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            value <<= 4;
+            if (h >= '0' && h <= '9') value |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') value |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') value |= static_cast<unsigned>(h - 'A' + 10);
+            else return Error("bad \\u escape");
+          }
+          if (value > 0x7f) return Error("non-ASCII \\u escape unsupported");
+          out += static_cast<char>(value);
+          break;
+        }
+        default:
+          return Error("unknown escape");
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  void SkipSpace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Status Error(std::string what) const {
+    return Status::InvalidArgument("lint JSON at offset " +
+                                   std::to_string(pos_) + ": " +
+                                   std::move(what));
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* DiagnosticCodeName(DiagnosticCode code) {
+  return EntryOf(code).name;
+}
+
+const char* DiagnosticCodeSlug(DiagnosticCode code) {
+  return EntryOf(code).slug;
+}
+
+const char* SeverityName(Severity severity) {
+  switch (severity) {
+    case Severity::kNote: return "note";
+    case Severity::kWarning: return "warning";
+    case Severity::kError: return "error";
+  }
+  return "note";
+}
+
+std::string FormatDiagnostic(const Diagnostic& diagnostic) {
+  std::string out = SeverityName(diagnostic.severity);
+  out += '[';
+  out += DiagnosticCodeName(diagnostic.code);
+  out += ']';
+  if (!diagnostic.span.empty()) {
+    out += ' ';
+    out += diagnostic.span;
+  }
+  out += ": ";
+  out += diagnostic.message;
+  if (!diagnostic.hint.empty()) {
+    out += " (hint: ";
+    out += diagnostic.hint;
+    out += ')';
+  }
+  return out;
+}
+
+bool HasErrors(const std::vector<Diagnostic>& diagnostics) {
+  return std::any_of(diagnostics.begin(), diagnostics.end(),
+                     [](const Diagnostic& d) {
+                       return d.severity == Severity::kError;
+                     });
+}
+
+Severity MaxSeverity(const std::vector<Diagnostic>& diagnostics) {
+  Severity max = Severity::kNote;
+  for (const Diagnostic& d : diagnostics) {
+    if (static_cast<int>(d.severity) > static_cast<int>(max)) {
+      max = d.severity;
+    }
+  }
+  return max;
+}
+
+std::string DiagnosticsToJson(const std::vector<Diagnostic>& diagnostics) {
+  std::string out = "[";
+  bool first = true;
+  for (const Diagnostic& d : diagnostics) {
+    if (!first) out += ",";
+    first = false;
+    out += "\n  {\"severity\": ";
+    AppendJsonString(out, SeverityName(d.severity));
+    out += ", \"code\": ";
+    AppendJsonString(out, DiagnosticCodeName(d.code));
+    out += ", \"span\": ";
+    AppendJsonString(out, d.span);
+    out += ", \"message\": ";
+    AppendJsonString(out, d.message);
+    out += ", \"hint\": ";
+    AppendJsonString(out, d.hint);
+    out += "}";
+  }
+  out += diagnostics.empty() ? "]" : "\n]";
+  out += "\n";
+  return out;
+}
+
+Result<std::vector<Diagnostic>> ParseDiagnosticsJson(std::string_view json) {
+  return JsonReader(json).ReadDiagnostics();
+}
+
+}  // namespace hedgeq::lint

@@ -1,0 +1,135 @@
+#include "lint/lint.h"
+
+#include "automata/analysis.h"
+#include "schema/transform.h"
+
+namespace hedgeq::lint {
+
+namespace {
+
+// Prefixes the spans of findings [begin, end) with where in the composite
+// construct the offending expression sits ("triplet 2 elder: ...").
+void LabelSpans(std::vector<Diagnostic>& diagnostics, size_t begin,
+                const std::string& where) {
+  for (size_t i = begin; i < diagnostics.size(); ++i) {
+    diagnostics[i].span = diagnostics[i].span.empty()
+                              ? where
+                              : where + ": " + diagnostics[i].span;
+  }
+}
+
+}  // namespace
+
+LintReport LintExpression(const hre::Hre& e, const hedge::Vocabulary& vocab,
+                          const LintOptions& options) {
+  LintReport report;
+  LintHre(e, vocab, options, report.diagnostics);
+  return report;
+}
+
+LintReport LintSelectionQuery(const query::SelectionQuery& query,
+                              const hedge::Vocabulary& vocab,
+                              const LintOptions& options) {
+  LintReport report;
+  if (query.subhedge != nullptr) {
+    size_t begin = report.diagnostics.size();
+    LintHre(query.subhedge, vocab, options, report.diagnostics);
+    LabelSpans(report.diagnostics, begin, "subhedge condition e1");
+  }
+  const auto& triplets = query.envelope.triplets();
+  for (size_t i = 0; i < triplets.size(); ++i) {
+    const std::string where = "triplet " + std::to_string(i + 1);
+    if (triplets[i].elder != nullptr) {
+      size_t begin = report.diagnostics.size();
+      LintHre(triplets[i].elder, vocab, options, report.diagnostics);
+      LabelSpans(report.diagnostics, begin, where + " elder");
+    }
+    if (triplets[i].younger != nullptr) {
+      size_t begin = report.diagnostics.size();
+      LintHre(triplets[i].younger, vocab, options, report.diagnostics);
+      LabelSpans(report.diagnostics, begin, where + " younger");
+    }
+  }
+  return report;
+}
+
+LintReport LintSchema(const schema::Schema& schema,
+                      const hedge::Vocabulary& vocab,
+                      const LintOptions& options) {
+  (void)vocab;  // symmetry with the expression passes; spans are state-based
+  LintReport report;
+  if (schema.IsEmpty()) {
+    report.diagnostics.push_back(Diagnostic{
+        Severity::kError, DiagnosticCode::kEmptySchema, "schema",
+        "no document satisfies this schema",
+        "some rule chain never bottoms out (or the start language is "
+        "unsatisfiable); every validation will reject"});
+    return report;
+  }
+  LintNha(schema.nha(), options, "schema", report.diagnostics);
+  return report;
+}
+
+Result<LintReport> LintQueryUnderSchema(const schema::Schema& schema,
+                                        const query::SelectionQuery& query,
+                                        const hedge::Vocabulary& vocab,
+                                        const LintOptions& options) {
+  LintReport report = LintSelectionQuery(query, vocab, options);
+  {
+    LintReport schema_report = LintSchema(schema, vocab, options);
+    report.diagnostics.insert(report.diagnostics.end(),
+                              schema_report.diagnostics.begin(),
+                              schema_report.diagnostics.end());
+  }
+  if (report.has_errors()) return report;  // the product would only restate
+
+  LintOptions product_options = options;
+  product_options.fail_on_error = false;
+  Result<schema::MatchIdentifyingProduct> product =
+      schema::BuildMatchIdentifyingProduct(schema, query,
+                                           options.probe_budget,
+                                           product_options,
+                                           &report.diagnostics);
+  if (!product.ok() &&
+      product.status().code() != StatusCode::kResourceExhausted) {
+    return product.status();
+  }
+  return report;
+}
+
+Result<LintReport> LintQueryOverlap(const schema::Schema& schema,
+                                    const query::SelectionQuery& q1,
+                                    const query::SelectionQuery& q2,
+                                    const hedge::Vocabulary& vocab,
+                                    const LintOptions& options) {
+  (void)vocab;
+  LintReport report;
+  auto check = [&](const query::SelectionQuery& a,
+                   const query::SelectionQuery& b, const char* a_name,
+                   const char* b_name) -> Status {
+    Result<schema::ContainmentResult> contained =
+        schema::QueryContainment(schema, a, b, options.probe_budget);
+    if (!contained.ok()) {
+      // An undecidable probe (budget) leaves the question open silently.
+      return contained.status().code() == StatusCode::kResourceExhausted
+                 ? Status::Ok()
+                 : contained.status();
+    }
+    if (contained->contained) {
+      report.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, DiagnosticCode::kQuerySubsumedByQuery,
+          std::string(a_name) + " vs " + b_name,
+          std::string("every node located by ") + a_name +
+              " is located by " + b_name +
+              " on every schema-valid document",
+          std::string("drop ") + a_name +
+              " or tighten it; running both does redundant work"});
+    }
+    return Status::Ok();
+  };
+  HEDGEQ_RETURN_IF_ERROR(check(q1, q2, "q1", "q2"));
+  HEDGEQ_RETURN_IF_ERROR(check(q2, q1, "q2", "q1"));
+  return report;
+}
+
+}  // namespace hedgeq::lint

@@ -1,0 +1,65 @@
+#ifndef HEDGEQ_LINT_LINT_H_
+#define HEDGEQ_LINT_LINT_H_
+
+#include <string>
+#include <vector>
+
+#include "lint/analyze.h"
+#include "lint/diagnostics.h"
+#include "query/selection.h"
+#include "schema/schema.h"
+
+namespace hedgeq::lint {
+
+/// The result of one lint run: structured findings, ready for text output
+/// (FormatDiagnostic), JSON output (DiagnosticsToJson) or CI gating
+/// (HasErrors drives the CLI exit code).
+struct LintReport {
+  std::vector<Diagnostic> diagnostics;
+
+  bool has_errors() const { return HasErrors(diagnostics); }
+  Severity max_severity() const { return MaxSeverity(diagnostics); }
+};
+
+/// Lints a bare hedge regular expression (HQL001/002/201/202).
+LintReport LintExpression(const hre::Hre& e, const hedge::Vocabulary& vocab,
+                          const LintOptions& options = {});
+
+/// Lints every expression of a selection query select(e1; e2): the
+/// subhedge condition e1 and each triplet's elder/younger condition.
+/// An empty-language e1 or a triplet whose conditions cannot both hold
+/// makes the whole query unsatisfiable on every document.
+LintReport LintSelectionQuery(const query::SelectionQuery& query,
+                              const hedge::Vocabulary& vocab,
+                              const LintOptions& options = {});
+
+/// Lints a schema: HQL004 when its language is empty, otherwise automaton
+/// hygiene (HQL101/102/201) for the grammar's automaton.
+LintReport LintSchema(const schema::Schema& schema,
+                      const hedge::Vocabulary& vocab,
+                      const LintOptions& options = {});
+
+/// The schema-aware pass: lints the query and the schema individually,
+/// then decides (by match-identifying-product emptiness, Section 8
+/// machinery) whether the query can select anything at all under the
+/// schema — HQL301 when it cannot. Product construction runs under
+/// options.probe_budget; when the probe trips, the question is left open
+/// (no finding). Errors other than resource exhaustion propagate.
+Result<LintReport> LintQueryUnderSchema(const schema::Schema& schema,
+                                        const query::SelectionQuery& query,
+                                        const hedge::Vocabulary& vocab,
+                                        const LintOptions& options = {});
+
+/// Containment between two queries under a schema: HQL302 when q1's
+/// matches are a subset of q2's on every schema-valid document (and vice
+/// versa; both directions reported, so equivalent queries yield two
+/// findings). The classic redundant-predicate warning of query optimizers.
+Result<LintReport> LintQueryOverlap(const schema::Schema& schema,
+                                    const query::SelectionQuery& q1,
+                                    const query::SelectionQuery& q2,
+                                    const hedge::Vocabulary& vocab,
+                                    const LintOptions& options = {});
+
+}  // namespace hedgeq::lint
+
+#endif  // HEDGEQ_LINT_LINT_H_

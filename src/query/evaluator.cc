@@ -2,6 +2,7 @@
 
 #include <numeric>
 
+#include "lint/analyze.h"
 #include "util/check.h"
 
 namespace hedgeq::query {
@@ -70,6 +71,21 @@ Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
   PhrEvaluator out;
   out.lazy_ = std::move(lazy).value();
   return out;
+}
+
+Result<PhrEvaluator> PhrEvaluator::Create(
+    const phr::Phr& phr, const ExecBudget& budget,
+    const hedge::Vocabulary& vocab, const lint::LintOptions& preflight,
+    std::vector<lint::Diagnostic>* diagnostics) {
+  std::vector<lint::Diagnostic> local;
+  std::vector<lint::Diagnostic>& sink =
+      diagnostics != nullptr ? *diagnostics : local;
+  const size_t begin = sink.size();
+  lint::LintPhrTriplets(phr, vocab, preflight, sink);
+  if (preflight.fail_on_error) {
+    HEDGEQ_RETURN_IF_ERROR(lint::ErrorStatus(sink, begin));
+  }
+  return Create(phr, budget);
 }
 
 automata::EvalStats PhrEvaluator::stats() const {

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hedge/hedge.h"
+#include "lint/diagnostics.h"
 #include "query/lazy_phr.h"
 #include "query/phr_compile.h"
 
@@ -42,6 +43,17 @@ class PhrEvaluator {
   /// lazy engine. Any other error (bad input, injected fault) propagates.
   static Result<PhrEvaluator> Create(const phr::Phr& phr,
                                      const ExecBudget& budget = {});
+
+  /// Opt-in pre-flight lint: statically analyzes every triplet condition
+  /// of `phr` before paying for compilation. Findings are appended to
+  /// `diagnostics` (when non-null); an error-severity finding (a triplet
+  /// condition with an empty language makes the query unsatisfiable)
+  /// rejects the representation with kInvalidArgument when
+  /// preflight.fail_on_error is set. `vocab` renders expression spans.
+  static Result<PhrEvaluator> Create(
+      const phr::Phr& phr, const ExecBudget& budget,
+      const hedge::Vocabulary& vocab, const lint::LintOptions& preflight,
+      std::vector<lint::Diagnostic>* diagnostics = nullptr);
 
   /// located[n] == true iff the envelope of node n matches the
   /// representation. Only symbol-labeled nodes can be located. Both engines

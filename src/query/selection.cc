@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "lint/analyze.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 
@@ -65,6 +66,27 @@ Result<SelectionEvaluator> SelectionEvaluator::Create(
   if (!phr_eval.ok()) return phr_eval.status();
   out.phr_ = std::move(phr_eval).value();
   return out;
+}
+
+Result<SelectionEvaluator> SelectionEvaluator::Create(
+    const SelectionQuery& query, const ExecBudget& budget,
+    const hedge::Vocabulary& vocab, const lint::LintOptions& preflight,
+    std::vector<lint::Diagnostic>* diagnostics) {
+  std::vector<lint::Diagnostic> local;
+  std::vector<lint::Diagnostic>& sink =
+      diagnostics != nullptr ? *diagnostics : local;
+  const size_t begin = sink.size();
+  if (query.subhedge != nullptr) {
+    lint::LintHre(query.subhedge, vocab, preflight, sink);
+    for (size_t d = begin; d < sink.size(); ++d) {
+      sink[d].span = "subhedge condition e1: " + sink[d].span;
+    }
+  }
+  lint::LintPhrTriplets(query.envelope, vocab, preflight, sink);
+  if (preflight.fail_on_error) {
+    HEDGEQ_RETURN_IF_ERROR(lint::ErrorStatus(sink, begin));
+  }
+  return Create(query, budget);
 }
 
 std::vector<bool> SelectionEvaluator::Locate(const Hedge& doc) const {

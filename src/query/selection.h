@@ -43,6 +43,16 @@ class SelectionEvaluator {
   static Result<SelectionEvaluator> Create(const SelectionQuery& query,
                                            const ExecBudget& budget = {});
 
+  /// Opt-in pre-flight lint: statically analyzes e1 and every envelope
+  /// triplet before any exponential preprocessing runs. Findings land in
+  /// `diagnostics` (when non-null); with preflight.fail_on_error an
+  /// empty-language condition rejects the query as kInvalidArgument
+  /// instead of paying to compile an evaluator that cannot match.
+  static Result<SelectionEvaluator> Create(
+      const SelectionQuery& query, const ExecBudget& budget,
+      const hedge::Vocabulary& vocab, const lint::LintOptions& preflight,
+      std::vector<lint::Diagnostic>* diagnostics = nullptr);
+
   /// located[n] == true iff node n is located by the query (Definition 22).
   std::vector<bool> Locate(const hedge::Hedge& doc) const;
 

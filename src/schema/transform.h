@@ -3,6 +3,8 @@
 
 #include <vector>
 
+#include "lint/analyze.h"
+#include "lint/diagnostics.h"
 #include "query/boolean.h"
 #include "query/selection.h"
 #include "schema/match_identify.h"
@@ -22,6 +24,17 @@ struct MatchIdentifyingProduct {
 Result<MatchIdentifyingProduct> BuildMatchIdentifyingProduct(
     const Schema& input, const query::SelectionQuery& query,
     const ExecBudget& options = {});
+
+/// Pre-flight variant: before (and after) building the product, run static
+/// checks and append findings to `diagnostics` (or discard them when null).
+/// Emits HQL004 when the schema's language is empty and HQL301 when no
+/// marked product state survives trimming, i.e. the query can never select
+/// a node of any schema-valid document. With `preflight.fail_on_error` an
+/// error-severity finding becomes a kInvalidArgument status.
+Result<MatchIdentifyingProduct> BuildMatchIdentifyingProduct(
+    const Schema& input, const query::SelectionQuery& query,
+    const ExecBudget& options, const lint::LintOptions& preflight,
+    std::vector<lint::Diagnostic>* diagnostics = nullptr);
 
 /// Output schema of select(e1, e2) on `input`: accepts exactly the subtrees
 /// rooted at nodes located in some input-valid document ("we only have to

@@ -237,21 +237,99 @@ class XmlStreamParser {
     return handler_.Text(text_variable_, text);
   }
 
-  // Depth-checked wrapper: the recursion below is bounded by max_depth, so
-  // a nesting bomb fails cleanly instead of exhausting the native stack.
+  // One element the parser has opened but not yet closed. The element
+  // stack lives on the heap, so max_depth is a pure semantic limit: a
+  // nesting bomb fails cleanly no matter how large native stack frames
+  // are (sanitizer builds inflate them severely enough that bounded
+  // recursion at the old cap still overflowed an 8 MiB stack).
+  struct OpenElement {
+    std::string name;
+    hedge::SymbolId symbol;
+    std::string pending_text;
+  };
+
+  // Parses one element subtree iteratively: ParseStartTag pushes opened
+  // elements onto `open`, close tags pop them, and the loop ends when the
+  // element that started it is closed.
   Status ParseElement() {
-    if (depth_ >= options_.max_depth) {
+    std::vector<OpenElement> open;
+    HEDGEQ_RETURN_IF_ERROR(ParseStartTag(open));
+    while (!open.empty()) {
+      if (pos_ >= input_.size()) {
+        return Status::InvalidArgument(
+            StrCat("unterminated element <", open.back().name, ">"));
+      }
+      std::string& pending_text = open.back().pending_text;
+      if (StartsWith(Rest(), "</")) {
+        HEDGEQ_RETURN_IF_ERROR(EmitText(std::move(pending_text)));
+        pending_text.clear();
+        pos_ += 2;
+        std::string close_name;
+        HEDGEQ_RETURN_IF_ERROR(ParseName(close_name));
+        if (close_name != open.back().name) {
+          return Status::InvalidArgument(StrCat("mismatched close tag </",
+                                                close_name, "> for <",
+                                                open.back().name, ">"));
+        }
+        SkipWhitespace();
+        if (pos_ >= input_.size() || input_[pos_] != '>') {
+          return Status::InvalidArgument("malformed close tag");
+        }
+        ++pos_;
+        HEDGEQ_RETURN_IF_ERROR(handler_.EndElement(open.back().symbol));
+        open.pop_back();
+        continue;
+      }
+      if (StartsWith(Rest(), "<!--")) {
+        size_t end = input_.find("-->", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated comment");
+        }
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWith(Rest(), "<![CDATA[")) {
+        size_t end = input_.find("]]>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument("unterminated CDATA section");
+        }
+        pending_text += std::string(input_.substr(pos_ + 9, end - pos_ - 9));
+        pos_ = end + 3;
+        continue;
+      }
+      if (StartsWith(Rest(), "<?")) {
+        size_t end = input_.find("?>", pos_);
+        if (end == std::string_view::npos) {
+          return Status::InvalidArgument(
+              "unterminated processing instruction");
+        }
+        pos_ = end + 2;
+        continue;
+      }
+      if (input_[pos_] == '<') {
+        HEDGEQ_RETURN_IF_ERROR(EmitText(std::move(pending_text)));
+        pending_text.clear();
+        HEDGEQ_RETURN_IF_ERROR(ParseStartTag(open));
+        continue;
+      }
+      if (input_[pos_] == '&') {
+        HEDGEQ_RETURN_IF_ERROR(DecodeEntity(pending_text));
+        continue;
+      }
+      pending_text += input_[pos_++];
+    }
+    return Status::Ok();
+  }
+
+  // Parses one start tag (attributes included). A self-closing tag emits
+  // its EndElement immediately; otherwise the element is pushed onto
+  // `open` and ParseElement's loop consumes its content.
+  Status ParseStartTag(std::vector<OpenElement>& open) {
+    if (open.size() >= options_.max_depth) {
       return Status::ResourceExhausted(
           StrCat("element nesting deeper than XmlParseOptions::max_depth=",
                  options_.max_depth, " at offset ", pos_));
     }
-    ++depth_;
-    Status status = ParseElementBody();
-    --depth_;
-    return status;
-  }
-
-  Status ParseElementBody() {
     HEDGEQ_CHECK(input_[pos_] == '<');
     ++pos_;
     std::string name;
@@ -299,69 +377,8 @@ class XmlStreamParser {
       return handler_.EndElement(symbol);
     }
     ++pos_;  // '>'
-
-    std::string pending_text;
-    while (true) {
-      if (pos_ >= input_.size()) {
-        return Status::InvalidArgument(
-            StrCat("unterminated element <", name, ">"));
-      }
-      if (StartsWith(Rest(), "</")) {
-        HEDGEQ_RETURN_IF_ERROR(EmitText(std::move(pending_text)));
-        pending_text.clear();
-        pos_ += 2;
-        std::string close_name;
-        HEDGEQ_RETURN_IF_ERROR(ParseName(close_name));
-        if (close_name != name) {
-          return Status::InvalidArgument(StrCat("mismatched close tag </",
-                                                close_name, "> for <", name,
-                                                ">"));
-        }
-        SkipWhitespace();
-        if (pos_ >= input_.size() || input_[pos_] != '>') {
-          return Status::InvalidArgument("malformed close tag");
-        }
-        ++pos_;
-        return handler_.EndElement(symbol);
-      }
-      if (StartsWith(Rest(), "<!--")) {
-        size_t end = input_.find("-->", pos_);
-        if (end == std::string_view::npos) {
-          return Status::InvalidArgument("unterminated comment");
-        }
-        pos_ = end + 3;
-        continue;
-      }
-      if (StartsWith(Rest(), "<![CDATA[")) {
-        size_t end = input_.find("]]>", pos_);
-        if (end == std::string_view::npos) {
-          return Status::InvalidArgument("unterminated CDATA section");
-        }
-        pending_text += std::string(input_.substr(pos_ + 9, end - pos_ - 9));
-        pos_ = end + 3;
-        continue;
-      }
-      if (StartsWith(Rest(), "<?")) {
-        size_t end = input_.find("?>", pos_);
-        if (end == std::string_view::npos) {
-          return Status::InvalidArgument(
-              "unterminated processing instruction");
-        }
-        pos_ = end + 2;
-        continue;
-      }
-      if (input_[pos_] == '<') {
-        HEDGEQ_RETURN_IF_ERROR(EmitText(std::move(pending_text)));
-        pending_text.clear();
-        HEDGEQ_RETURN_IF_ERROR(ParseElement());
-        continue;
-      }
-      if (input_[pos_] == '&') {
-        HEDGEQ_RETURN_IF_ERROR(DecodeEntity(pending_text));
-        continue;
-      }
-      pending_text += input_[pos_++];
-    }
+    open.push_back(OpenElement{std::move(name), symbol, std::string()});
+    return Status::Ok();
   }
 
   std::string_view input_;
@@ -371,7 +388,6 @@ class XmlStreamParser {
   const XmlParseOptions& options_;
   hedge::VarId text_variable_;
   size_t pos_ = 0;
-  size_t depth_ = 0;
 };
 
 // Builds an XmlDocument from the event stream (what ParseXml returns).

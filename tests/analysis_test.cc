@@ -85,6 +85,90 @@ TEST_F(AnalysisTest, PruneEmptyLanguage) {
   EXPECT_TRUE(IsEmptyNha(pruned));
 }
 
+TEST_F(AnalysisTest, PruneZeroStateAutomaton) {
+  // The degenerate automaton: no states, no rules, default final language.
+  Nha nha;
+  EXPECT_TRUE(IsEmptyNha(nha));
+  EXPECT_EQ(ReachableStates(nha).Count(), 0u);
+  std::vector<HState> mapping;
+  Nha pruned = PruneNha(nha, &mapping);
+  EXPECT_EQ(pruned.num_states(), 0u);
+  EXPECT_TRUE(mapping.empty());
+  EXPECT_TRUE(IsEmptyNha(pruned));
+}
+
+TEST_F(AnalysisTest, SingleStateSelfLoopNullableContent) {
+  // q0 <- a<q0*>: the content model accepts epsilon, so a<> derives q0 and
+  // the self-loop is productive — everything survives the prune.
+  Nha nha;
+  HState q0 = nha.AddState();
+  hedge::SymbolId a = vocab_.symbols.Intern("a");
+  nha.AddRule(a, strre::CompileRegex(strre::Star(strre::Sym(q0))), q0);
+  nha.SetFinal(strre::CompileRegex(strre::Sym(q0)));
+  EXPECT_FALSE(IsEmptyNha(nha));
+  EXPECT_EQ(ReachableStates(nha).Count(), 1u);
+  Nha pruned = PruneNha(nha);
+  EXPECT_EQ(pruned.num_states(), 1u);
+  EXPECT_TRUE(pruned.Accepts(Parse("a")));
+  EXPECT_TRUE(pruned.Accepts(Parse("a<a a>")));
+}
+
+TEST_F(AnalysisTest, SingleStateSelfLoopStrictContent) {
+  // q0 <- a<q0>: deriving q0 needs q0 first; nothing bottoms out.
+  Nha nha;
+  HState q0 = nha.AddState();
+  hedge::SymbolId a = vocab_.symbols.Intern("a");
+  nha.AddRule(a, strre::CompileRegex(strre::Sym(q0)), q0);
+  nha.SetFinal(strre::CompileRegex(strre::Sym(q0)));
+  EXPECT_TRUE(IsEmptyNha(nha));
+  EXPECT_EQ(ReachableStates(nha).Count(), 0u);
+  std::vector<HState> mapping;
+  Nha pruned = PruneNha(nha, &mapping);
+  EXPECT_EQ(pruned.num_states(), 0u);
+  ASSERT_EQ(mapping.size(), 1u);
+  EXPECT_EQ(mapping[q0], strre::kNoState);
+}
+
+TEST_F(AnalysisTest, AllUselessNhaPrunesToNothing) {
+  // Every state is derivable, but the final language is empty: no state
+  // appears in any accepting computation, so the prune removes them all.
+  Nha nha;
+  hedge::SymbolId a = vocab_.symbols.Intern("a");
+  for (int i = 0; i < 4; ++i) {
+    HState q = nha.AddState();
+    nha.AddRule(a, strre::CompileRegex(strre::Epsilon()), q);
+  }
+  nha.SetFinal(strre::CompileRegex(strre::EmptySet()));
+  EXPECT_EQ(ReachableStates(nha).Count(), 4u);
+  EXPECT_TRUE(IsEmptyNha(nha));
+  std::vector<HState> mapping;
+  Nha pruned = PruneNha(nha, &mapping);
+  EXPECT_EQ(pruned.num_states(), 0u);
+  ASSERT_EQ(mapping.size(), 4u);
+  for (HState q = 0; q < 4; ++q) EXPECT_EQ(mapping[q], strre::kNoState);
+}
+
+TEST_F(AnalysisTest, PruneMappingTracksSurvivors) {
+  // Mixed automaton: q0 usable, q1 underivable, q2 derivable-but-useless.
+  Nha nha;
+  HState q0 = nha.AddState();
+  HState q1 = nha.AddState();
+  HState q2 = nha.AddState();
+  hedge::SymbolId a = vocab_.symbols.Intern("a");
+  nha.AddRule(a, strre::CompileRegex(strre::Epsilon()), q0);
+  nha.AddRule(a, strre::CompileRegex(strre::Sym(q1)), q1);
+  nha.AddRule(a, strre::CompileRegex(strre::Epsilon()), q2);
+  nha.SetFinal(strre::CompileRegex(strre::Sym(q0)));
+  std::vector<HState> mapping;
+  Nha pruned = PruneNha(nha, &mapping);
+  ASSERT_EQ(mapping.size(), 3u);
+  EXPECT_NE(mapping[q0], strre::kNoState);
+  EXPECT_EQ(mapping[q1], strre::kNoState);
+  EXPECT_EQ(mapping[q2], strre::kNoState);
+  EXPECT_EQ(pruned.num_states(), 1u);
+  EXPECT_TRUE(pruned.Accepts(Parse("a")));
+}
+
 class MinimizeDhaTest : public ::testing::Test {
  protected:
   Hedge Parse(const std::string& text) {

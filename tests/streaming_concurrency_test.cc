@@ -1,0 +1,101 @@
+// Thread-safety contract of the streaming validator, exercised for the
+// tsan preset (CMakePresets.json): the eager engine is an immutable Dha
+// table, so ONE validator may serve many threads concurrently; the lazy
+// fallback memoizes subsets on the fly, so each thread gets its OWN
+// validator instance (the documented clone-per-thread pattern).
+//
+// Run under `cmake --preset tsan` to have ThreadSanitizer check the claim;
+// under the plain presets this still verifies concurrent results agree
+// with the single-threaded verdicts.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "schema/schema.h"
+#include "schema/streaming.h"
+
+namespace hedgeq::schema {
+namespace {
+
+constexpr char kGrammar[] =
+    "start = Doc\n"
+    "Doc = doc<Sec*>\n"
+    "Sec = sec<(Para|Sec)*>\n"
+    "Para = para<>\n";
+
+struct Case {
+  const char* xml;
+  bool valid;
+};
+
+constexpr Case kCases[] = {
+    {"<doc/>", true},
+    {"<doc><sec/></doc>", true},
+    {"<doc><sec><para/><sec><para/></sec></sec></doc>", true},
+    {"<doc><para/></doc>", false},      // para not allowed directly in doc
+    {"<sec/>", false},                  // wrong root
+    {"<doc><sec><doc/></sec></doc>", false},
+};
+
+TEST(StreamingConcurrencyTest, OneEagerValidatorManyThreads) {
+  hedge::Vocabulary vocab;
+  auto schema = ParseSchema(kGrammar, vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  auto validator = StreamingValidator::Create(*schema);
+  ASSERT_TRUE(validator.ok()) << validator.status().ToString();
+  ASSERT_FALSE(validator->fallback_used())
+      << "tiny schema must determinize eagerly";
+
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&validator, &mismatches, vocab]() mutable {
+      // Per-thread vocabulary copy: interning is not synchronized, but the
+      // symbol ids the schema compiled against are already present.
+      for (int round = 0; round < 50; ++round) {
+        for (const Case& c : kCases) {
+          auto verdict = validator->Validate(c.xml, vocab);
+          if (!verdict.ok() || *verdict != c.valid) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+TEST(StreamingConcurrencyTest, LazyFallbackUsesOneValidatorPerThread) {
+  hedge::Vocabulary vocab;
+  auto schema = ParseSchema(kGrammar, vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  ExecBudget tiny;
+  tiny.max_states = 1;  // force the lazy fallback
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&schema, &tiny, &mismatches, vocab]() mutable {
+      // LazyDha is not thread-safe: clone one validator per thread.
+      auto validator = StreamingValidator::Create(*schema, tiny);
+      if (!validator.ok()) {
+        ++mismatches;
+        return;
+      }
+      if (!validator->fallback_used()) return;  // machine determinized anyway
+      for (int round = 0; round < 25; ++round) {
+        for (const Case& c : kCases) {
+          auto verdict = validator->Validate(c.xml, vocab);
+          if (!verdict.ok() || *verdict != c.valid) ++mismatches;
+        }
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(mismatches.load(), 0);
+}
+
+}  // namespace
+}  // namespace hedgeq::schema

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# One-shot correctness gate: build everything under ASan/UBSan (fuzzers
+# included), run the full test suite, run clang-tidy when available, smoke
+# the fuzzers, and statically lint the shipped fixtures — failing the whole
+# script if hedgeq_lint reports any error-severity finding.
+#
+# Usage: tools/check.sh [fuzz-seconds]   (default 30)
+set -euo pipefail
+
+FUZZ_SECONDS="${1:-30}"
+REPO_ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+cd "${REPO_ROOT}"
+BUILD_DIR="${REPO_ROOT}/build-asan"
+
+step() { printf '\n==> %s\n' "$*"; }
+
+step "configure (asan preset: ASan+UBSan, HEDGEQ_FUZZ=ON)"
+cmake --preset asan
+
+step "build"
+cmake --build --preset asan -j "$(nproc)"
+
+step "ctest (full suite under ASan/UBSan)"
+ctest --preset asan -j "$(nproc)"
+
+step "clang-tidy (lint target; echo-skips when clang-tidy is absent)"
+cmake --build --preset asan --target lint
+
+step "fuzzer smoke (${FUZZ_SECONDS}s per harness)"
+# Under clang these are libFuzzer binaries; under gcc the standalone driver
+# provides the same --smoke interface (deterministic mutation loop).
+for harness in fuzz_xml fuzz_hre; do
+  bin="${BUILD_DIR}/fuzz/${harness}"
+  corpus="${REPO_ROOT}/fuzz/corpus/${harness#fuzz_}"
+  if [[ -x "${bin}" ]]; then
+    "${bin}" --smoke "${FUZZ_SECONDS}" "${corpus}" \
+      || { echo "FAIL: ${harness} smoke run crashed"; exit 1; }
+  else
+    echo "FAIL: ${bin} not built (HEDGEQ_FUZZ should be ON in the asan preset)"
+    exit 1
+  fi
+done
+
+step "static analysis of shipped fixtures (hedgeq_lint must find no errors)"
+LINT="${BUILD_DIR}/tools/hedgeq_lint"
+# hedgeq_lint exits 2 on error-severity findings, 1 on bad input, 0 otherwise;
+# set -e turns any nonzero exit into a script failure.
+"${LINT}" schema tools/fixtures/article.grammar
+"${LINT}" schema tools/fixtures/article_strict.grammar
+# The example queries the README/examples run against the article schema.
+"${LINT}" query 'select(*; figure (section|article)*)' tools/fixtures/article.grammar
+"${LINT}" query 'select(*; [title<$#text>; section; *] article)' tools/fixtures/article.grammar
+"${LINT}" query 'select(*; para* (section|article)*)'
+
+step "all checks passed"

@@ -1,0 +1,167 @@
+// hedgeq_lint — static analyzer front end for the hedgeq library.
+//
+//   hedgeq_lint expr '<hedge regular expression>'
+//   hedgeq_lint query '<selection query>' [schema.grammar]
+//   hedgeq_lint schema file.grammar
+//   hedgeq_lint overlap schema.grammar '<q1>' '<q2>'
+//   hedgeq_lint from-json report.json
+//
+// Findings print one per line ("error[HQL001] <span>: <message> ...");
+// pass --json anywhere to emit the structured report instead. `from-json`
+// re-reads a previously emitted report, so CI can gate on archived runs.
+//
+// Exit codes: 0 when no finding is error-severity (notes and warnings are
+// advisory), 2 when at least one error-severity finding exists, 1 on usage
+// or parse errors.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "hre/ast.h"
+#include "lint/lint.h"
+#include "query/selection.h"
+#include "schema/schema.h"
+
+namespace {
+
+using namespace hedgeq;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "hedgeq_lint: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+Result<schema::Schema> LoadSchema(const std::string& path,
+                                  hedge::Vocabulary& vocab) {
+  Result<std::string> grammar = ReadFile(path);
+  if (!grammar.ok()) return grammar.status();
+  return schema::ParseSchema(*grammar, vocab);
+}
+
+// Prints the report and returns the process exit code.
+int Emit(const std::vector<lint::Diagnostic>& diagnostics, bool json) {
+  if (json) {
+    std::printf("%s", lint::DiagnosticsToJson(diagnostics).c_str());
+  } else {
+    for (const lint::Diagnostic& d : diagnostics) {
+      std::printf("%s\n", lint::FormatDiagnostic(d).c_str());
+    }
+    if (diagnostics.empty()) std::printf("clean: no findings\n");
+  }
+  return lint::HasErrors(diagnostics) ? 2 : 0;
+}
+
+int CmdExpr(const std::string& expr, bool json) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(expr, vocab);
+  if (!e.ok()) return Fail(e.status().ToString());
+  lint::LintReport report = lint::LintExpression(*e, vocab);
+  return Emit(report.diagnostics, json);
+}
+
+int CmdQuery(const std::string& query_text, const char* schema_file,
+             bool json) {
+  hedge::Vocabulary vocab;
+  auto query = query::ParseSelectionQuery(query_text, vocab);
+  if (!query.ok()) return Fail(query.status().ToString());
+  if (schema_file == nullptr) {
+    lint::LintReport report = lint::LintSelectionQuery(*query, vocab);
+    return Emit(report.diagnostics, json);
+  }
+  auto schema = LoadSchema(schema_file, vocab);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  auto report = lint::LintQueryUnderSchema(*schema, *query, vocab);
+  if (!report.ok()) return Fail(report.status().ToString());
+  return Emit(report->diagnostics, json);
+}
+
+int CmdSchema(const std::string& schema_file, bool json) {
+  hedge::Vocabulary vocab;
+  auto schema = LoadSchema(schema_file, vocab);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  lint::LintReport report = lint::LintSchema(*schema, vocab);
+  return Emit(report.diagnostics, json);
+}
+
+int CmdOverlap(const std::string& schema_file, const std::string& q1_text,
+               const std::string& q2_text, bool json) {
+  hedge::Vocabulary vocab;
+  auto schema = LoadSchema(schema_file, vocab);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  auto q1 = query::ParseSelectionQuery(q1_text, vocab);
+  if (!q1.ok()) return Fail(q1.status().ToString());
+  auto q2 = query::ParseSelectionQuery(q2_text, vocab);
+  if (!q2.ok()) return Fail(q2.status().ToString());
+  auto report = lint::LintQueryOverlap(*schema, *q1, *q2, vocab);
+  if (!report.ok()) return Fail(report.status().ToString());
+  return Emit(report->diagnostics, json);
+}
+
+int CmdFromJson(const std::string& path, bool json) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status().ToString());
+  auto diagnostics = lint::ParseDiagnosticsJson(*text);
+  if (!diagnostics.ok()) return Fail(diagnostics.status().ToString());
+  return Emit(*diagnostics, json);
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hedgeq_lint [--json] expr '<hedge regular expression>'\n"
+      "  hedgeq_lint [--json] query '<selection query>' [schema.grammar]\n"
+      "  hedgeq_lint [--json] schema file.grammar\n"
+      "  hedgeq_lint [--json] overlap schema.grammar '<q1>' '<q2>'\n"
+      "  hedgeq_lint [--json] from-json report.json\n"
+      "exit: 0 clean or advisory findings, 2 error findings, 1 bad input\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) {
+    Usage();
+    return 1;
+  }
+  const std::string& cmd = args[0];
+  if (cmd == "expr" && args.size() == 2) return CmdExpr(args[1], json);
+  if (cmd == "query" && (args.size() == 2 || args.size() == 3)) {
+    return CmdQuery(args[1], args.size() == 3 ? args[2].c_str() : nullptr,
+                    json);
+  }
+  if (cmd == "schema" && args.size() == 2) return CmdSchema(args[1], json);
+  if (cmd == "overlap" && args.size() == 4) {
+    return CmdOverlap(args[1], args[2], args[3], json);
+  }
+  if (cmd == "from-json" && args.size() == 2) {
+    return CmdFromJson(args[1], json);
+  }
+  Usage();
+  return 1;
+}
