@@ -3,6 +3,7 @@
 // paper's "we conjecture that such conversion is usually efficient".
 #include <benchmark/benchmark.h>
 
+#include <chrono>
 #include <string>
 
 #include "automata/analysis.h"
@@ -13,6 +14,7 @@
 #include "lint/analyze.h"
 #include "query/phr_compile.h"
 #include "util/rng.h"
+#include "verify/checker.h"
 
 namespace hedgeq {
 namespace {
@@ -179,6 +181,50 @@ void BM_MinimizeAfterDeterminize(benchmark::State& state) {
 }
 BENCHMARK(BM_MinimizeAfterDeterminize)
     ->DenseRange(2, 10, 2)
+    ->Unit(benchmark::kMillisecond);
+
+// The certify column (E13): subset construction with its witness recorded,
+// followed by the independent checker. `certify_frac` is the fraction of
+// each iteration spent in verify::CheckDeterminize — the translation-
+// validation overhead, targeted at <15% of construction cost.
+void BM_DeterminizeCertified(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(AdversarialExpr(static_cast<int>(state.range(0))),
+                         vocab);
+  if (!e.ok()) {
+    state.SkipWithError(e.status().ToString().c_str());
+    return;
+  }
+  automata::Nha nha = hre::CompileHre(*e);
+  double total_ns = 0, certify_ns = 0;
+  size_t h_states = 0;
+  for (auto _ : state) {
+    auto t0 = std::chrono::steady_clock::now();
+    BudgetScope scope{ExecBudget{}};
+    automata::DeterminizeWitness witness;
+    auto det = automata::Determinize(nha, scope, &witness);
+    if (!det.ok()) {
+      state.SkipWithError(det.status().ToString().c_str());
+      return;
+    }
+    auto t1 = std::chrono::steady_clock::now();
+    auto findings = verify::CheckDeterminize(nha, *det, witness);
+    auto t2 = std::chrono::steady_clock::now();
+    if (!findings.empty()) {
+      state.SkipWithError("checker rejected the construction");
+      return;
+    }
+    total_ns += std::chrono::duration<double, std::nano>(t2 - t0).count();
+    certify_ns += std::chrono::duration<double, std::nano>(t2 - t1).count();
+    h_states = det->dha.num_h_states();
+    benchmark::DoNotOptimize(det);
+  }
+  state.counters["h_states"] = static_cast<double>(h_states);
+  state.counters["certify_frac"] =
+      total_ns > 0 ? certify_ns / total_ns : 0.0;
+}
+BENCHMARK(BM_DeterminizeCertified)
+    ->DenseRange(2, 12, 2)
     ->Unit(benchmark::kMillisecond);
 
 // The full Theorem 4 pipeline (determinize + class product + mirror) on a

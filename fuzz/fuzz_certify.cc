@@ -1,0 +1,73 @@
+// Fuzz harness for the translation-validation layer: every expression the
+// parser accepts is compiled and pushed through the certified pipeline, and
+// the independent checker must accept what the constructions produced — a
+// checker rejection is a crash, because it means either a construction bug
+// or a checker bug, both of which the fuzzer should surface.
+//
+// Checked invariants, beyond "no crash / no sanitizer report":
+//   - CheckCompile accepts the compiler's own trace;
+//   - CheckTrim accepts PruneNha's own witness;
+//   - CheckDeterminize accepts the subset construction's own witness;
+//   - determinize certificates survive a serialize/deserialize round trip
+//     byte-identically and still check clean afterwards.
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "automata/analysis.h"
+#include "automata/determinize.h"
+#include "hre/ast.h"
+#include "hre/compile.h"
+#include "util/budget.h"
+#include "verify/certificate.h"
+#include "verify/checker.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace hedgeq;
+  if (size > 2048) return 0;  // certification is quadratic-ish; stay small
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  hedge::Vocabulary vocab;
+  Result<hre::Hre> e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return 0;
+
+  ExecBudget budget;
+  budget.max_states = size_t{1} << 9;
+  budget.max_memory_bytes = size_t{8} << 20;
+  budget.max_steps = size_t{1} << 20;
+  budget.max_depth = 128;
+
+  BudgetScope scope(budget);
+  hre::CompileTrace trace;
+  Result<automata::Nha> nha = hre::CompileHre(*e, scope, &trace);
+  if (!nha.ok()) return 0;  // clean budget/limit failure is fine
+  if (!verify::CheckCompile(*e, *nha, trace).empty()) __builtin_trap();
+
+  automata::TrimWitness trim;
+  automata::Nha trimmed = automata::PruneNha(*nha, nullptr, &trim);
+  if (!verify::CheckTrim(*nha, trimmed, trim).empty()) __builtin_trap();
+
+  automata::DeterminizeWitness witness;
+  Result<automata::Determinized> det =
+      automata::Determinize(*nha, scope, &witness);
+  if (!det.ok()) return 0;
+  if (!verify::CheckDeterminize(*nha, *det, witness).empty()) {
+    __builtin_trap();
+  }
+
+  verify::Certificate cert;
+  cert.kind = verify::CertificateKind::kDeterminize;
+  cert.input = *nha;
+  cert.dha = det->dha;
+  cert.subsets = det->subsets;
+  cert.det = witness;
+  std::string serialized = verify::SerializeCertificate(cert, vocab);
+  Result<verify::Certificate> back =
+      verify::DeserializeCertificate(serialized, vocab);
+  if (!back.ok()) __builtin_trap();
+  if (verify::SerializeCertificate(*back, vocab) != serialized) {
+    __builtin_trap();
+  }
+  if (!verify::CheckCertificate(*back).empty()) __builtin_trap();
+  return 0;
+}

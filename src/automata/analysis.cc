@@ -1,6 +1,7 @@
 #include "automata/analysis.h"
 
 #include <algorithm>
+#include <atomic>
 #include <deque>
 #include <map>
 
@@ -8,6 +9,18 @@
 #include "util/check.h"
 
 namespace hedgeq::automata {
+
+namespace {
+std::atomic<TrimValidationHook> g_trim_hook{nullptr};
+}  // namespace
+
+void SetTrimValidationHook(TrimValidationHook hook) {
+  g_trim_hook.store(hook, std::memory_order_relaxed);
+}
+
+TrimValidationHook GetTrimValidationHook() {
+  return g_trim_hook.load(std::memory_order_relaxed);
+}
 
 using strre::Nfa;
 using strre::StateId;
@@ -137,7 +150,8 @@ Nfa PairContentNfa(const Nfa& a, const Nfa& b, size_t n) {
 
 }  // namespace
 
-Nha PruneNha(const Nha& nha, std::vector<HState>* mapping) {
+Nha PruneNha(const Nha& nha, std::vector<HState>* mapping,
+             TrimWitness* witness) {
   const size_t n = nha.num_states();
   Bitset derivable = ReachableStates(nha);
 
@@ -181,6 +195,16 @@ Nha PruneNha(const Nha& nha, std::vector<HState>* mapping) {
   }
   out.SetFinal(FilterAndRename(nha.final_nfa(), rename));
   if (mapping != nullptr) *mapping = rename;
+  const bool want_witness =
+      witness != nullptr || GetTrimValidationHook() != nullptr;
+  if (want_witness) {
+    TrimWitness local{derivable, useful, rename};
+    if (TrimValidationHook hook = GetTrimValidationHook()) {
+      Status verdict = hook(nha, out, local);
+      HEDGEQ_CHECK_MSG(verdict.ok(), verdict.ToString().c_str());
+    }
+    if (witness != nullptr) *witness = std::move(local);
+  }
   return out;
 }
 

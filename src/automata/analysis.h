@@ -6,14 +6,35 @@
 
 namespace hedgeq::automata {
 
+/// Certificate of one trim (translation validation): the reachability and
+/// co-reachability derivations PruneNha computed plus the state renaming,
+/// enough for an independent checker (verify::CheckTrim) to re-derive both
+/// fixpoints and confirm the output automaton is exactly the projection of
+/// the input onto the useful states.
+struct TrimWitness {
+  Bitset derivable;             // bottom-up derivable states of the input
+  Bitset useful;                // derivable AND co-reachable (survivors)
+  std::vector<HState> mapping;  // old -> new; strre::kNoState = dropped
+};
+
+/// Inline certification hook (HEDGEQ_CERTIFY): when installed, every
+/// PruneNha validates its own witness; rejection is a hard check failure
+/// (PruneNha cannot return a Status). Installed by hedgeq_inline_certify.
+using TrimValidationHook = Status (*)(const Nha& input, const Nha& output,
+                                      const TrimWitness&);
+void SetTrimValidationHook(TrimValidationHook hook);
+TrimValidationHook GetTrimValidationHook();
+
 /// Removes states that no hedge derives (not bottom-up reachable) or that
 /// no accepting computation uses (not co-reachable), compacting the state
 /// space and dropping dead rules. Preserves the language. Addresses the
 /// paper's Section 9 question of porting path-expression optimization
 /// techniques: pruning is the basic enabling pass. When `mapping` is
 /// non-null it receives old-state -> new-state (strre::kNoState for
-/// dropped states), so per-state annotations (marks) can follow.
-Nha PruneNha(const Nha& nha, std::vector<HState>* mapping = nullptr);
+/// dropped states), so per-state annotations (marks) can follow. When
+/// `witness` is non-null it receives the trim certificate.
+Nha PruneNha(const Nha& nha, std::vector<HState>* mapping = nullptr,
+             TrimWitness* witness = nullptr);
 
 /// Is some hedge accepted along two distinct computations (two different
 /// state labelings)? Section 9 proposes adding variables to *unambiguous*

@@ -1,5 +1,6 @@
 #include "automata/determinize.h"
 
+#include <atomic>
 #include <map>
 #include <unordered_map>
 #include <utility>
@@ -13,12 +14,31 @@ namespace hedgeq::automata {
 
 using strre::Nfa;
 
+namespace {
+// Set once (before main, by the HEDGEQ_CERTIFY static installer) and read on
+// every construction; relaxed is enough for a set-once pointer.
+std::atomic<DeterminizeValidationHook> g_determinize_hook{nullptr};
+}  // namespace
+
+void SetDeterminizeValidationHook(DeterminizeValidationHook hook) {
+  g_determinize_hook.store(hook, std::memory_order_relaxed);
+}
+
+DeterminizeValidationHook GetDeterminizeValidationHook() {
+  return g_determinize_hook.load(std::memory_order_relaxed);
+}
+
 Result<Determinized> Determinize(const Nha& nha, const ExecBudget& budget) {
   BudgetScope scope(budget);
   return Determinize(nha, scope);
 }
 
 Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope) {
+  return Determinize(nha, scope, nullptr);
+}
+
+Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
+                                 DeterminizeWitness* witness) {
   HEDGEQ_FAILPOINT("determinize/alloc");
   CombinedContent combined = CombineContents(nha);
   const size_t ncomb = combined.nfa.num_states();
@@ -179,17 +199,48 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope) {
   }
   for (const auto& [x, sid] : var_sid) dha.SetVariableState(x, sid);
   for (const auto& [z, sid] : subst_sid) dha.SetSubstState(z, sid);
-  Result<strre::Dfa> final_dfa =
-      LiftToSubsetsBounded(nha.final_nfa(), subsets, scope);
+  const bool want_witness =
+      witness != nullptr || GetDeterminizeValidationHook() != nullptr;
+  std::vector<Bitset> final_sets;
+  Result<strre::Dfa> final_dfa = LiftToSubsetsBounded(
+      nha.final_nfa(), subsets, scope, want_witness ? &final_sets : nullptr);
   if (!final_dfa.ok()) return final_dfa.status();
+  // Seeded-bug failpoint for the translation-validation tests: silently
+  // corrupt the construction (flip acceptance of the final DFA's start
+  // state) so the certificate checker and the differential oracle can prove
+  // they catch it. Check() is used as a probe — the armed "failure" flips
+  // the bit instead of propagating.
+  if (!failpoint::Check("determinize/flip-final").ok()) {
+    strre::StateId s0 = final_dfa->start();
+    if (s0 != strre::kNoState) {
+      final_dfa->SetAccepting(s0, !final_dfa->IsAccepting(s0));
+    }
+  }
   dha.SetFinalDfa(std::move(final_dfa).value());
 
-  return Determinized{std::move(dha), std::move(subsets)};
+  Determinized out{std::move(dha), std::move(subsets)};
+  if (want_witness) {
+    DeterminizeWitness local;
+    local.h_sets = std::move(h_sets);
+    local.final_sets = std::move(final_sets);
+    if (DeterminizeValidationHook hook = GetDeterminizeValidationHook()) {
+      HEDGEQ_RETURN_IF_ERROR(hook(nha, out, local));
+    }
+    if (witness != nullptr) *witness = std::move(local);
+  }
+  return out;
 }
 
 Result<strre::Dfa> LiftToSubsetsBounded(const Nfa& lang,
                                         std::span<const Bitset> subsets,
                                         BudgetScope& scope) {
+  return LiftToSubsetsBounded(lang, subsets, scope, nullptr);
+}
+
+Result<strre::Dfa> LiftToSubsetsBounded(const Nfa& lang,
+                                        std::span<const Bitset> subsets,
+                                        BudgetScope& scope,
+                                        std::vector<Bitset>* state_sets) {
   HEDGEQ_FAILPOINT("determinize/lift");
   strre::Dfa out;
   if (lang.num_states() == 0 || lang.start() == strre::kNoState) {
@@ -197,6 +248,9 @@ Result<strre::Dfa> LiftToSubsetsBounded(const Nfa& lang,
     strre::StateId dead = out.AddState(false);
     for (strre::Symbol sid = 0; sid < subsets.size(); ++sid) {
       out.SetTransition(dead, sid, dead);
+    }
+    if (state_sets != nullptr) {
+      state_sets->assign(1, Bitset(lang.num_states()));
     }
     return out;
   }
@@ -257,6 +311,8 @@ Result<strre::Dfa> LiftToSubsetsBounded(const Nfa& lang,
       HEDGEQ_RETURN_IF_ERROR(charge(prev));
     }
   }
+  // worklist[i] is the epsilon-closed NFA state set of DFA state i.
+  if (state_sets != nullptr) *state_sets = std::move(worklist);
   return out;
 }
 

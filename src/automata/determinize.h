@@ -19,6 +19,28 @@ struct Determinized {
   std::vector<Bitset> subsets;
 };
 
+/// Certificate of one subset construction (translation validation): the
+/// intermediate sets the construction interned, enough for an independent
+/// checker (verify::CheckDeterminize) to re-derive every transition of the
+/// output without trusting this file's code. Horizontal sets are over the
+/// combined content NFA (rule contents concatenated in rule order, so state
+/// offsets are recomputable from the input alone); final sets are over the
+/// final NFA's states, one per state of the lifted final DFA.
+struct DeterminizeWitness {
+  std::vector<Bitset> h_sets;
+  std::vector<Bitset> final_sets;
+};
+
+/// Inline certification hook (HEDGEQ_CERTIFY): when installed, every
+/// successful Determinize validates its own witness before returning and
+/// fails with kInternal when the checker rejects it. Installed by
+/// hedgeq_inline_certify (src/verify/inline_certify.cc); the pointer lives
+/// here so automata does not depend on the checker.
+using DeterminizeValidationHook = Status (*)(const Nha&, const Determinized&,
+                                             const DeterminizeWitness&);
+void SetDeterminizeValidationHook(DeterminizeValidationHook hook);
+DeterminizeValidationHook GetDeterminizeValidationHook();
+
 /// Theorem 1: subset construction from a non-deterministic to a
 /// deterministic hedge automaton with L(dha) = L(nha). Determinization is
 /// worst-case exponential (the paper conjectures it is "usually efficient";
@@ -32,6 +54,12 @@ Result<Determinized> Determinize(const Nha& nha, const ExecBudget& budget = {});
 /// one cumulative budget (e.g. the Theorem 4 compile in query/phr_compile).
 Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope);
 
+/// As above, additionally recording the certificate witness into `witness`
+/// (ignored when null). Recording is cheap — the sets already exist inside
+/// the construction; they are moved out instead of discarded.
+Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
+                                 DeterminizeWitness* witness);
+
 /// Lifts a regular language over NHA states (an NFA with letters in Q_nha)
 /// to a complete DFA over DHA states (letters are subset ids): the lifted
 /// DFA accepts a word S1...Sk of subsets iff some q1 in S1, ..., qk in Sk
@@ -41,6 +69,13 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope);
 Result<strre::Dfa> LiftToSubsetsBounded(const strre::Nfa& lang,
                                         std::span<const Bitset> subsets,
                                         BudgetScope& scope);
+
+/// As above, also reporting the set of `lang` NFA states each lifted DFA
+/// state denotes (the final-set witness; ignored when null).
+Result<strre::Dfa> LiftToSubsetsBounded(const strre::Nfa& lang,
+                                        std::span<const Bitset> subsets,
+                                        BudgetScope& scope,
+                                        std::vector<Bitset>* state_sets);
 
 /// Unbounded convenience wrapper (cannot fail).
 strre::Dfa LiftToSubsets(const strre::Nfa& lang,

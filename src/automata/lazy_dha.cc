@@ -78,6 +78,9 @@ Bitset LazyDha::HNext(const Bitset& h, const Bitset& subset) const {
   size_t bytes = key.h.ApproxBytes() + key.subset.ApproxBytes() +
                  2 * next.ApproxBytes() + 64;
   Bitset out = next;
+  if (audit_ != nullptr) {
+    audit_->push_back(LazyAuditEntry{false, 0, h, subset, out});
+  }
   hnext_cache_.Insert(std::move(key), std::move(next), bytes);
   NoteInsert(bytes);
   return out;
@@ -98,6 +101,10 @@ Bitset LazyDha::Assign(hedge::SymbolId symbol, const Bitset& h) const {
   }
   size_t bytes = key.h.ApproxBytes() + 2 * targets.ApproxBytes() + 64;
   Bitset out = targets;
+  if (audit_ != nullptr) {
+    audit_->push_back(
+        LazyAuditEntry{true, symbol, h, Bitset(0), out});
+  }
   assign_cache_.Insert(std::move(key), std::move(targets), bytes);
   NoteInsert(bytes);
   return out;

@@ -33,6 +33,22 @@ struct LazyDhaOptions {
   size_t max_cache_bytes = size_t{8} << 20;  // 8 MiB
 };
 
+/// One freshly computed (cache-miss) lazy step, recorded when an audit sink
+/// is enabled. The checker (verify::CheckLazyAudit) recomputes each entry
+/// from the NHA alone and compares, so a memoization bug (stale or
+/// mis-keyed cache hit can only replay a recorded value) or a subset-step
+/// bug surfaces as a mismatch. For horizontal steps `h` and `result` are
+/// sets of combined content-NFA states and `subset` is the NHA-state letter
+/// read; for assignments `symbol` is set, `subset` is empty, and `result`
+/// is the set of assigned NHA states.
+struct LazyAuditEntry {
+  bool is_assign = false;
+  hedge::SymbolId symbol = 0;
+  Bitset h;
+  Bitset subset;
+  Bitset result;
+};
+
 /// On-the-fly subset simulation: the lazy counterpart of the Theorem 1
 /// subset construction. Where `Determinize` materializes every reachable
 /// subset and horizontal set up front (worst-case exponential), LazyDha
@@ -101,6 +117,11 @@ class LazyDha {
   const EvalStats& stats() const { return stats_; }
   void ResetStats() const { stats_ = EvalStats{}; }
 
+  /// Points the audit log at `sink` (nullptr disables). While enabled,
+  /// every cache-miss HNext/Assign computation appends one LazyAuditEntry;
+  /// cache hits are not recorded (they replay an already-audited value).
+  void EnableAudit(std::vector<LazyAuditEntry>* sink) const { audit_ = sink; }
+
  private:
   struct HNextKey {
     Bitset h;
@@ -163,6 +184,7 @@ class LazyDha {
   mutable LruCache<HNextKey, HNextKeyHash> hnext_cache_;
   mutable LruCache<AssignKey, AssignKeyHash> assign_cache_;
   mutable EvalStats stats_;
+  mutable std::vector<LazyAuditEntry>* audit_ = nullptr;
 };
 
 /// Runs a LazyDha over a SAX-style event stream in O(element depth) set

@@ -1,5 +1,7 @@
 #include "automata/serialize.h"
 
+#include <algorithm>
+#include <map>
 #include <sstream>
 
 #include "util/strings.h"
@@ -144,14 +146,24 @@ Result<Nfa> ReadNfa(LineReader& reader) {
 std::string SerializeNha(const Nha& nha, const hedge::Vocabulary& vocab) {
   std::string out = "nha 1\n";
   out += StrCat("states ", nha.num_states(), "\n");
+  // var_map/subst_map are unordered; sort by name so the output is
+  // canonical (the certificate layer requires byte-identical round trips).
+  std::map<std::string, const std::vector<HState>*> vars;
   for (const auto& [x, states] : nha.var_map()) {
-    std::string line = StrCat("var ", vocab.variables.NameOf(x));
-    for (HState q : states) line += StrCat(" ", q);
+    vars.emplace(std::string(vocab.variables.NameOf(x)), &states);
+  }
+  for (const auto& [name, states] : vars) {
+    std::string line = StrCat("var ", name);
+    for (HState q : *states) line += StrCat(" ", q);
     out += line + "\n";
   }
+  std::map<std::string, const std::vector<HState>*> substs;
   for (const auto& [z, states] : nha.subst_map()) {
-    std::string line = StrCat("subst ", vocab.substs.NameOf(z));
-    for (HState q : states) line += StrCat(" ", q);
+    substs.emplace(std::string(vocab.substs.NameOf(z)), &states);
+  }
+  for (const auto& [name, states] : substs) {
+    std::string line = StrCat("subst ", name);
+    for (HState q : *states) line += StrCat(" ", q);
     out += line + "\n";
   }
   for (const Nha::Rule& rule : nha.rules()) {
@@ -220,6 +232,204 @@ Result<Nha> DeserializeNha(std::string_view text, hedge::Vocabulary& vocab) {
       if (!final_nfa.ok()) return final_nfa.status();
       nha.SetFinal(std::move(final_nfa).value());
       return nha;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unexpected directive '", tag, "' near line ",
+                 reader.line()));
+    }
+  }
+}
+
+std::string SerializeDha(const Dha& dha, const hedge::Vocabulary& vocab) {
+  std::string out = "dha 1\n";
+  out += StrCat("states ", dha.num_states(), " ", dha.sink(), "\n");
+  out += StrCat("hstates ", dha.num_h_states(), " ", dha.h_start(), "\n");
+  for (HhState h = 0; h < dha.num_h_states(); ++h) {
+    for (HState q = 0; q < dha.num_states(); ++q) {
+      HhState to = dha.HNext(h, q);
+      if (to != dha.h_start()) out += StrCat("h ", h, " ", q, " ", to, "\n");
+    }
+  }
+  std::map<std::string, const std::vector<HState>*> assigns;
+  for (const auto& [symbol, row] : dha.assign_map()) {
+    assigns.emplace(std::string(vocab.symbols.NameOf(symbol)), &row);
+  }
+  for (const auto& [name, row] : assigns) {
+    for (HhState h = 0; h < row->size(); ++h) {
+      out += StrCat("assign ", name, " ", h, " ", (*row)[h], "\n");
+    }
+  }
+  std::map<std::string, HState> vars;
+  for (const auto& [x, q] : dha.var_map()) {
+    vars.emplace(std::string(vocab.variables.NameOf(x)), q);
+  }
+  for (const auto& [name, q] : vars) out += StrCat("var ", name, " ", q, "\n");
+  std::map<std::string, HState> substs;
+  for (const auto& [z, q] : dha.subst_map()) {
+    substs.emplace(std::string(vocab.substs.NameOf(z)), q);
+  }
+  for (const auto& [name, q] : substs) {
+    out += StrCat("subst ", name, " ", q, "\n");
+  }
+  const strre::Dfa& final = dha.final_dfa();
+  out += StrCat("final ", final.num_states(), " ",
+                final.start() == strre::kNoState
+                    ? std::string("-")
+                    : std::to_string(final.start()),
+                "\n");
+  std::string accepts = "accept";
+  for (strre::StateId s = 0; s < final.num_states(); ++s) {
+    if (final.IsAccepting(s)) accepts += StrCat(" ", s);
+  }
+  out += accepts + "\n";
+  for (strre::StateId s = 0; s < final.num_states(); ++s) {
+    std::vector<std::pair<strre::Symbol, strre::StateId>> sorted(
+        final.TransitionsFrom(s).begin(), final.TransitionsFrom(s).end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [letter, to] : sorted) {
+      out += StrCat("d ", s, " ", letter, " ", to, "\n");
+    }
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<Dha> DeserializeDha(std::string_view text, hedge::Vocabulary& vocab) {
+  LineReader reader(text);
+  Result<std::vector<std::string>> magic = reader.Next();
+  if (!magic.ok()) return magic.status();
+  if (magic->size() != 2 || (*magic)[0] != "dha" || (*magic)[1] != "1") {
+    return Status::InvalidArgument("expected 'dha 1' header");
+  }
+  Result<std::vector<std::string>> states_line = reader.Next();
+  if (!states_line.ok()) return states_line.status();
+  if (states_line->size() != 3 || (*states_line)[0] != "states") {
+    return Status::InvalidArgument("expected 'states <n> <sink>'");
+  }
+  Result<uint32_t> num_states = ParseU32((*states_line)[1]);
+  Result<uint32_t> sink = ParseU32((*states_line)[2]);
+  if (!num_states.ok()) return num_states.status();
+  if (!sink.ok()) return sink.status();
+  if (*num_states == 0 || *sink >= *num_states) {
+    return Status::InvalidArgument("dha sink out of range");
+  }
+  Result<std::vector<std::string>> h_line = reader.Next();
+  if (!h_line.ok()) return h_line.status();
+  if (h_line->size() != 3 || (*h_line)[0] != "hstates") {
+    return Status::InvalidArgument("expected 'hstates <n> <start>'");
+  }
+  Result<uint32_t> num_h = ParseU32((*h_line)[1]);
+  Result<uint32_t> h_start = ParseU32((*h_line)[2]);
+  if (!num_h.ok()) return num_h.status();
+  if (!h_start.ok()) return h_start.status();
+  if (*num_h == 0 || *h_start >= *num_h) {
+    return Status::InvalidArgument("dha horizontal start out of range");
+  }
+
+  Dha dha(*num_states, *num_h, *h_start, *sink);
+  while (true) {
+    Result<std::vector<std::string>> fields = reader.Next();
+    if (!fields.ok()) return fields.status();
+    const std::string& tag = (*fields)[0];
+    if (tag == "h") {
+      if (fields->size() != 4) {
+        return Status::InvalidArgument("expected 'h <from> <q> <to>'");
+      }
+      Result<uint32_t> from = ParseU32((*fields)[1]);
+      Result<uint32_t> q = ParseU32((*fields)[2]);
+      Result<uint32_t> to = ParseU32((*fields)[3]);
+      if (!from.ok() || !q.ok() || !to.ok()) {
+        return Status::InvalidArgument("bad horizontal transition line");
+      }
+      if (*from >= *num_h || *to >= *num_h || *q >= *num_states) {
+        return Status::InvalidArgument(
+            "horizontal transition out of range");
+      }
+      dha.SetHTransition(*from, *q, *to);
+    } else if (tag == "assign") {
+      if (fields->size() != 4) {
+        return Status::InvalidArgument("expected 'assign <symbol> <h> <q>'");
+      }
+      Result<uint32_t> h = ParseU32((*fields)[2]);
+      Result<uint32_t> q = ParseU32((*fields)[3]);
+      if (!h.ok() || !q.ok()) {
+        return Status::InvalidArgument("bad assign line");
+      }
+      if (*h >= *num_h || *q >= *num_states) {
+        return Status::InvalidArgument("assignment out of range");
+      }
+      dha.SetAssign(vocab.symbols.Intern((*fields)[1]), *h, *q);
+    } else if (tag == "var" || tag == "subst") {
+      if (fields->size() != 3) {
+        return Status::InvalidArgument(StrCat("bad ", tag, " line"));
+      }
+      Result<uint32_t> q = ParseU32((*fields)[2]);
+      if (!q.ok()) return q.status();
+      if (*q >= *num_states) {
+        return Status::InvalidArgument(StrCat(tag, " state out of range"));
+      }
+      if (tag == "var") {
+        dha.SetVariableState(vocab.variables.Intern((*fields)[1]), *q);
+      } else {
+        dha.SetSubstState(vocab.substs.Intern((*fields)[1]), *q);
+      }
+    } else if (tag == "final") {
+      if (fields->size() != 3) {
+        return Status::InvalidArgument("expected 'final <states> <start>'");
+      }
+      Result<uint32_t> count = ParseU32((*fields)[1]);
+      if (!count.ok()) return count.status();
+      strre::Dfa final;
+      for (uint32_t s = 0; s < *count; ++s) final.AddState(false);
+      if ((*fields)[2] != "-") {
+        Result<uint32_t> start = ParseU32((*fields)[2]);
+        if (!start.ok()) return start.status();
+        if (*start >= *count) {
+          return Status::InvalidArgument("final dfa start out of range");
+        }
+        final.SetStart(*start);
+      } else {
+        // AddState auto-started the DFA on its first state; "-" means the
+        // serialized automaton genuinely had none, so undo that or the
+        // round trip is not canonical.
+        final.SetStart(strre::kNoState);
+      }
+      Result<std::vector<std::string>> accepts = reader.Next();
+      if (!accepts.ok()) return accepts.status();
+      if (accepts->empty() || (*accepts)[0] != "accept") {
+        return Status::InvalidArgument("expected 'accept ...' in final dfa");
+      }
+      for (size_t i = 1; i < accepts->size(); ++i) {
+        Result<uint32_t> s = ParseU32((*accepts)[i]);
+        if (!s.ok()) return s.status();
+        if (*s >= *count) {
+          return Status::InvalidArgument("final accept out of range");
+        }
+        final.SetAccepting(*s, true);
+      }
+      while (true) {
+        Result<std::vector<std::string>> edge = reader.Next();
+        if (!edge.ok()) return edge.status();
+        if ((*edge)[0] == "end") break;
+        if ((*edge)[0] != "d" || edge->size() != 4) {
+          return Status::InvalidArgument(
+              StrCat("unexpected line in final dfa near line ",
+                     reader.line()));
+        }
+        Result<uint32_t> from = ParseU32((*edge)[1]);
+        Result<uint32_t> letter = ParseU32((*edge)[2]);
+        Result<uint32_t> to = ParseU32((*edge)[3]);
+        if (!from.ok() || !letter.ok() || !to.ok()) {
+          return Status::InvalidArgument("bad final dfa transition line");
+        }
+        if (*from >= *count || *to >= *count) {
+          return Status::InvalidArgument(
+              "final dfa transition out of range");
+        }
+        final.SetTransition(*from, *letter, *to);
+      }
+      dha.SetFinalDfa(std::move(final));
+      return dha;
     } else {
       return Status::InvalidArgument(
           StrCat("unexpected directive '", tag, "' near line ",

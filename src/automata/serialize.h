@@ -4,6 +4,7 @@
 #include <string>
 #include <string_view>
 
+#include "automata/dha.h"
 #include "automata/nha.h"
 #include "hedge/hedge.h"
 
@@ -35,6 +36,29 @@ std::string SerializeNha(const Nha& nha, const hedge::Vocabulary& vocab);
 
 /// Inverse of SerializeNha; new names are interned into `vocab`.
 Result<Nha> DeserializeNha(std::string_view text, hedge::Vocabulary& vocab);
+
+/// Text serialization of deterministic hedge automata, used by the
+/// certificate layer (verify::Certificate) to persist subset-construction
+/// output next to its witness. Deterministic byte output: maps are emitted
+/// sorted by name/id. Format:
+///
+///   dha 1
+///   states <n> <sink>
+///   hstates <num_h> <h_start>
+///   h <from> <q> <to>            (omitted when <to> equals h_start)
+///   assign <symbol> <h> <q>      (full row, one line per horizontal state)
+///   var <name> <q>
+///   subst <name> <q>
+///   final <states> <start|->
+///   accept <s>...
+///   d <from> <letter> <to>
+///   end
+std::string SerializeDha(const Dha& dha, const hedge::Vocabulary& vocab);
+
+/// Inverse of SerializeDha; new names are interned into `vocab`. Rejects
+/// structurally malformed input (out-of-range states, duplicate rows,
+/// truncated blocks) with kInvalidArgument.
+Result<Dha> DeserializeDha(std::string_view text, hedge::Vocabulary& vocab);
 
 }  // namespace hedgeq::automata
 

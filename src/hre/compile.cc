@@ -27,12 +27,17 @@ namespace {
 // consuming site.
 class Compiler {
  public:
-  explicit Compiler(BudgetScope& scope) : scope_(scope) {}
+  explicit Compiler(BudgetScope& scope, CompileTrace* trace = nullptr)
+      : scope_(scope), trace_(trace) {}
 
   Result<Nha> Compile(const Hre& root) {
     Result<Frag> final_frag = CompileExpr(root);
     if (!final_frag.ok()) return final_frag.status();
     nha_.SetFinal(Extract(*final_frag));
+    if (trace_ != nullptr) {
+      trace_->total_states = nha_.num_states();
+      trace_->total_rules = nha_.rules().size();
+    }
     return std::move(nha_);
   }
 
@@ -46,7 +51,22 @@ class Compiler {
 
   Frag NewFrag() { return {arena_.AddState(), arena_.AddState()}; }
 
+  // Records one post-order trace entry around the actual case dispatch, so
+  // the certificate sees exactly the accumulator deltas each case caused.
   Result<Frag> CompileExpr(const Hre& e) {
+    if (trace_ == nullptr) return CompileCase(e);
+    const size_t states_before = nha_.num_states();
+    const size_t rules_before = nha_.rules().size();
+    Result<Frag> out = CompileCase(e);
+    if (out.ok()) {
+      trace_->entries.push_back(CompileTraceEntry{
+          e->kind(), states_before, nha_.num_states(), rules_before,
+          nha_.rules().size()});
+    }
+    return out;
+  }
+
+  Result<Frag> CompileCase(const Hre& e) {
     DepthGuard depth(scope_, "hre/compile");
     HEDGEQ_RETURN_IF_ERROR(depth.status());
     HEDGEQ_RETURN_IF_ERROR(scope_.ChargeSteps(1, "hre/compile"));
@@ -286,6 +306,7 @@ class Compiler {
   }
 
   BudgetScope& scope_;
+  CompileTrace* trace_;
   Nha nha_;
   Nfa arena_;
 };
@@ -301,8 +322,13 @@ Nha CompileHre(const Hre& e) {
 }
 
 Result<Nha> CompileHre(const Hre& e, BudgetScope& scope) {
+  return CompileHre(e, scope, nullptr);
+}
+
+Result<Nha> CompileHre(const Hre& e, BudgetScope& scope,
+                       CompileTrace* trace) {
   HEDGEQ_FAILPOINT("hre/compile");
-  Compiler compiler(scope);
+  Compiler compiler(scope, trace);
   return compiler.Compile(e);
 }
 

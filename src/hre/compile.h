@@ -22,6 +22,33 @@ automata::Nha CompileHre(const Hre& e);
 /// (query::CompilePhr, query::SelectionEvaluator::Create).
 Result<automata::Nha> CompileHre(const Hre& e, BudgetScope& scope);
 
+/// One compiled subexpression in post-order: the accumulator-Nha state and
+/// rule counts observed on entry and on exit of its Lemma 1 case. The
+/// independent checker (verify::CheckCompile) replays the per-case
+/// accounting — case 3 adds one state, case 4 one state and one rule,
+/// case 8 two states and one rule, every other case only what its children
+/// added — and rejects any trace whose arithmetic does not close.
+struct CompileTraceEntry {
+  HreKind kind;
+  size_t states_before = 0;
+  size_t states_after = 0;
+  size_t rules_before = 0;
+  size_t rules_after = 0;
+};
+
+/// Certificate of one Lemma 1 compile: the post-order case trace plus the
+/// output totals.
+struct CompileTrace {
+  std::vector<CompileTraceEntry> entries;
+  size_t total_states = 0;
+  size_t total_rules = 0;
+};
+
+/// As the budgeted overload, additionally recording the compile certificate
+/// into `trace` (ignored when null).
+Result<automata::Nha> CompileHre(const Hre& e, BudgetScope& scope,
+                                 CompileTrace* trace);
+
 /// Membership test by compiling once and simulating (Definition 12
 /// semantics). Convenience for tests and small inputs; reuse the Nha from
 /// CompileHre when matching many hedges.

@@ -27,6 +27,22 @@ constexpr CodeEntry kCodes[] = {
      "query-unsatisfiable-under-schema"},
     {DiagnosticCode::kQuerySubsumedByQuery, "HQL302",
      "query-subsumed-by-query"},
+    {DiagnosticCode::kCertificateMalformed, "HQV001",
+     "certificate-malformed"},
+    {DiagnosticCode::kSubsetTransitionIncoherent, "HQV002",
+     "subset-transition-incoherent"},
+    {DiagnosticCode::kFinalSetInconsistent, "HQV003",
+     "final-set-inconsistent"},
+    {DiagnosticCode::kAssignmentIncoherent, "HQV004",
+     "assignment-incoherent"},
+    {DiagnosticCode::kTrimWitnessMismatch, "HQV005", "trim-witness-mismatch"},
+    {DiagnosticCode::kCompileWitnessRejected, "HQV006",
+     "compile-witness-rejected"},
+    {DiagnosticCode::kLazyAuditMismatch, "HQV007", "lazy-audit-mismatch"},
+    {DiagnosticCode::kProjectionHomomorphismViolated, "HQV008",
+     "projection-homomorphism-violated"},
+    {DiagnosticCode::kDifferentialDisagreement, "HQV009",
+     "differential-disagreement"},
 };
 
 const CodeEntry& EntryOf(DiagnosticCode code) {

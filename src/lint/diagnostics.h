@@ -20,8 +20,10 @@ enum class Severity {
 
 /// Stable diagnostic identifiers. HQL0xx: language-level (emptiness),
 /// HQL1xx: automaton hygiene, HQL2xx: cost/ambiguity heuristics,
-/// HQL3xx: schema-aware query analysis. Codes are part of the tool's
-/// output contract (CI diffs lint JSON), so never renumber — only append.
+/// HQL3xx: schema-aware query analysis. HQV0xx: translation-validation
+/// failures reported by the certificate checker and the differential
+/// oracle (src/verify/). Codes are part of the tool's output contract
+/// (CI diffs lint JSON), so never renumber — only append.
 enum class DiagnosticCode {
   kEmptyExpression,              // HQL001: the whole HRE denotes {}
   kEmptySubexpression,           // HQL002: a minimal empty subterm poisons
@@ -38,6 +40,22 @@ enum class DiagnosticCode {
                                  //         schema-valid document
   kQuerySubsumedByQuery,         // HQL302: q1's matches are a subset of q2's
                                  //         on every schema-valid document
+  kCertificateMalformed,         // HQV001: certificate shape/range invalid
+  kSubsetTransitionIncoherent,   // HQV002: a DHA horizontal transition does
+                                 //         not match the recomputed subset step
+  kFinalSetInconsistent,         // HQV003: lifted final DFA disagrees with the
+                                 //         witnessed final-NFA state sets
+  kAssignmentIncoherent,         // HQV004: an assignment/variable subset does
+                                 //         not match the accepting rules
+  kTrimWitnessMismatch,          // HQV005: trim output is not the projection
+                                 //         the reach/co-reach witness implies
+  kCompileWitnessRejected,       // HQV006: Lemma 1 trace violates the
+                                 //         per-case state/rule accounting
+  kLazyAuditMismatch,            // HQV007: a memoized lazy-DHA step disagrees
+                                 //         with independent recomputation
+  kProjectionHomomorphismViolated,// HQV008: match-identifying product state
+                                 //         does not project onto the DHA run
+  kDifferentialDisagreement,     // HQV009: two engines disagree on a hedge
 };
 
 /// "HQL001" ... — the stable wire name used in text and JSON output.

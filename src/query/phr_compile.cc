@@ -41,6 +41,11 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
 }
 
 Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope) {
+  return CompilePhr(phr, scope, nullptr);
+}
+
+Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
+                               PhrWitness* witness) {
   HEDGEQ_FAILPOINT("phr/compile");
   CompiledPhr out;
   const size_t n = phr.triplets().size();
@@ -73,8 +78,10 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope) {
     }
   }
 
-  auto det = Determinize(union_nha, scope);
+  auto det = Determinize(union_nha, scope,
+                         witness == nullptr ? nullptr : &witness->det);
   if (!det.ok()) return det.status();
+  if (witness != nullptr) witness->union_nha = union_nha;
   out.dha_ = std::move(det->dha);
   out.subsets_ = std::move(det->subsets);
 

@@ -12,6 +12,15 @@
 
 namespace hedgeq::query {
 
+/// Certificate of the Theorem 4 shared determinization: the union NHA that
+/// fed the subset construction (before it was consumed by the pipeline)
+/// plus the determinization witness, so verify::CheckDeterminize can
+/// validate the query compile's central transformation independently.
+struct PhrWitness {
+  automata::Nha union_nha;
+  automata::DeterminizeWitness det;
+};
+
 /// The Theorem 4 artifacts for a pointed hedge representation r:
 ///  - one deterministic hedge automaton M shared by every hedge regular
 ///    expression occurring in r's triplets (their union NHA, determinized),
@@ -65,7 +74,8 @@ class CompiledPhr {
   size_t num_triplets() const { return elder_ok_.size(); }
 
  private:
-  friend Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope&);
+  friend Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope&,
+                                        PhrWitness*);
 
   automata::Dha dha_{1, 1, 0, 0};
   std::vector<Bitset> subsets_;
@@ -91,6 +101,11 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
 /// As above, charging an existing scope (cumulative caps across a larger
 /// pipeline, e.g. SelectionEvaluator::Create).
 Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope);
+
+/// As above, additionally recording the Theorem 4 determinization
+/// certificate into `witness` (ignored when null).
+Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
+                               PhrWitness* witness);
 
 }  // namespace hedgeq::query
 

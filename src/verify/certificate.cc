@@ -1,0 +1,289 @@
+#include "verify/certificate.h"
+
+#include <algorithm>
+
+#include "automata/serialize.h"
+#include "util/strings.h"
+
+namespace hedgeq::verify {
+
+using automata::Dha;
+using automata::Nha;
+
+namespace {
+
+size_t CountLines(std::string_view text) {
+  return static_cast<size_t>(std::count(text.begin(), text.end(), '\n'));
+}
+
+void WriteBitset(std::string& out, const char* tag, const Bitset& b) {
+  out += StrCat(tag, " ", b.size());
+  for (uint32_t i : b.ToVector()) out += StrCat(" ", i);
+  out += "\n";
+}
+
+void WriteBitsetList(std::string& out, const char* tag,
+                     const std::vector<Bitset>& sets) {
+  out += StrCat(tag, " ", sets.size(), "\n");
+  for (const Bitset& b : sets) WriteBitset(out, "set", b);
+}
+
+Result<uint32_t> ParseU32(const std::string& field) {
+  if (field.empty()) return Status::InvalidArgument("empty number field");
+  uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrCat("expected a number, got '", field, "'"));
+    }
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+    if (value > UINT32_MAX) {
+      return Status::InvalidArgument(StrCat("number too large: ", field));
+    }
+  }
+  return static_cast<uint32_t>(value);
+}
+
+// Cursor over the raw lines of a certificate, able both to parse directive
+// lines and to slice out a length-prefixed embedded document verbatim.
+class CertReader {
+ public:
+  explicit CertReader(std::string_view text) : lines_(StrSplit(text, '\n')) {}
+
+  Result<std::vector<std::string>> Next() {
+    while (index_ < lines_.size()) {
+      std::string_view stripped = StripAsciiWhitespace(lines_[index_]);
+      ++index_;
+      if (stripped.empty() || stripped[0] == '#') continue;
+      std::vector<std::string> fields;
+      for (std::string& f : StrSplit(stripped, ' ')) {
+        if (!f.empty()) fields.push_back(std::move(f));
+      }
+      return fields;
+    }
+    return Status::InvalidArgument("unexpected end of certificate text");
+  }
+
+  // The next `count` raw lines, rejoined verbatim.
+  Result<std::string> TakeLines(size_t count) {
+    if (index_ + count > lines_.size()) {
+      return Status::InvalidArgument("certificate section truncated");
+    }
+    std::string out;
+    for (size_t i = 0; i < count; ++i) {
+      out += lines_[index_ + i];
+      out += '\n';
+    }
+    index_ += count;
+    return out;
+  }
+
+  size_t line() const { return index_; }
+
+ private:
+  std::vector<std::string> lines_;
+  size_t index_ = 0;
+};
+
+Result<Bitset> ReadBitset(const std::vector<std::string>& fields,
+                          const char* tag) {
+  if (fields.size() < 2 || fields[0] != tag) {
+    return Status::InvalidArgument(
+        StrCat("expected '", tag, " <bits> <idx>...'"));
+  }
+  Result<uint32_t> bits = ParseU32(fields[1]);
+  if (!bits.ok()) return bits.status();
+  Bitset b(*bits);
+  for (size_t i = 2; i < fields.size(); ++i) {
+    Result<uint32_t> idx = ParseU32(fields[i]);
+    if (!idx.ok()) return idx.status();
+    if (*idx >= *bits) {
+      return Status::InvalidArgument(
+          StrCat(tag, " bit index ", *idx, " out of range (", *bits, ")"));
+    }
+    b.Set(*idx);
+  }
+  return b;
+}
+
+Result<std::vector<Bitset>> ReadBitsetList(CertReader& reader,
+                                           const char* tag) {
+  Result<std::vector<std::string>> header = reader.Next();
+  if (!header.ok()) return header.status();
+  if (header->size() != 2 || (*header)[0] != tag) {
+    return Status::InvalidArgument(StrCat("expected '", tag, " <count>'"));
+  }
+  Result<uint32_t> count = ParseU32((*header)[1]);
+  if (!count.ok()) return count.status();
+  std::vector<Bitset> sets;
+  sets.reserve(*count);
+  for (uint32_t i = 0; i < *count; ++i) {
+    Result<std::vector<std::string>> fields = reader.Next();
+    if (!fields.ok()) return fields.status();
+    Result<Bitset> b = ReadBitset(*fields, "set");
+    if (!b.ok()) return b.status();
+    sets.push_back(std::move(b).value());
+  }
+  return sets;
+}
+
+// Reads an embedded, line-count-prefixed document ("<tag> <count>" followed
+// by that many verbatim lines).
+Result<std::string> ReadEmbedded(CertReader& reader, const char* tag) {
+  Result<std::vector<std::string>> header = reader.Next();
+  if (!header.ok()) return header.status();
+  if (header->size() != 2 || (*header)[0] != tag) {
+    return Status::InvalidArgument(
+        StrCat("expected '", tag, " <line-count>' near line ",
+               reader.line()));
+  }
+  Result<uint32_t> count = ParseU32((*header)[1]);
+  if (!count.ok()) return count.status();
+  return reader.TakeLines(*count);
+}
+
+}  // namespace
+
+Result<Certificate> BuildDeterminizeCertificate(const automata::Nha& input,
+                                                BudgetScope& scope) {
+  Certificate cert;
+  cert.kind = CertificateKind::kDeterminize;
+  cert.input = input;
+  automata::DeterminizeWitness witness;
+  Result<automata::Determinized> det =
+      automata::Determinize(input, scope, &witness);
+  if (!det.ok()) return det.status();
+  cert.dha = std::move(det->dha);
+  cert.subsets = std::move(det->subsets);
+  cert.det = std::move(witness);
+  return cert;
+}
+
+Certificate BuildTrimCertificate(const automata::Nha& input) {
+  Certificate cert;
+  cert.kind = CertificateKind::kTrim;
+  cert.input = input;
+  cert.trimmed = automata::PruneNha(input, nullptr, &cert.trim);
+  return cert;
+}
+
+std::string SerializeCertificate(const Certificate& cert,
+                                 const hedge::Vocabulary& vocab) {
+  std::string out = "cert 1 ";
+  out += cert.kind == CertificateKind::kDeterminize ? "determinize" : "trim";
+  out += "\n";
+  std::string input_text = automata::SerializeNha(cert.input, vocab);
+  out += StrCat("input ", CountLines(input_text), "\n");
+  out += input_text;
+  if (cert.kind == CertificateKind::kDeterminize) {
+    std::string dha_text = automata::SerializeDha(cert.dha, vocab);
+    out += StrCat("dha ", CountLines(dha_text), "\n");
+    out += dha_text;
+    WriteBitsetList(out, "subsets", cert.subsets);
+    WriteBitsetList(out, "hsets", cert.det.h_sets);
+    WriteBitsetList(out, "finalsets", cert.det.final_sets);
+  } else {
+    std::string trimmed_text = automata::SerializeNha(cert.trimmed, vocab);
+    out += StrCat("trimmed ", CountLines(trimmed_text), "\n");
+    out += trimmed_text;
+    WriteBitset(out, "derivable", cert.trim.derivable);
+    WriteBitset(out, "useful", cert.trim.useful);
+    std::string mapping = StrCat("mapping ", cert.trim.mapping.size());
+    for (automata::HState q : cert.trim.mapping) {
+      mapping += q == strre::kNoState ? std::string(" -")
+                                      : StrCat(" ", q);
+    }
+    out += mapping + "\n";
+  }
+  out += "end\n";
+  return out;
+}
+
+Result<Certificate> DeserializeCertificate(std::string_view text,
+                                           hedge::Vocabulary& vocab) {
+  CertReader reader(text);
+  Result<std::vector<std::string>> magic = reader.Next();
+  if (!magic.ok()) return magic.status();
+  if (magic->size() != 3 || (*magic)[0] != "cert" || (*magic)[1] != "1") {
+    return Status::InvalidArgument("expected 'cert 1 <kind>' header");
+  }
+  Certificate cert;
+  if ((*magic)[2] == "determinize") {
+    cert.kind = CertificateKind::kDeterminize;
+  } else if ((*magic)[2] == "trim") {
+    cert.kind = CertificateKind::kTrim;
+  } else {
+    return Status::InvalidArgument(
+        StrCat("unknown certificate kind '", (*magic)[2], "'"));
+  }
+
+  Result<std::string> input_text = ReadEmbedded(reader, "input");
+  if (!input_text.ok()) return input_text.status();
+  Result<Nha> input = automata::DeserializeNha(*input_text, vocab);
+  if (!input.ok()) return input.status();
+  cert.input = std::move(input).value();
+
+  if (cert.kind == CertificateKind::kDeterminize) {
+    Result<std::string> dha_text = ReadEmbedded(reader, "dha");
+    if (!dha_text.ok()) return dha_text.status();
+    Result<Dha> dha = automata::DeserializeDha(*dha_text, vocab);
+    if (!dha.ok()) return dha.status();
+    cert.dha = std::move(dha).value();
+    Result<std::vector<Bitset>> subsets = ReadBitsetList(reader, "subsets");
+    if (!subsets.ok()) return subsets.status();
+    cert.subsets = std::move(subsets).value();
+    Result<std::vector<Bitset>> h_sets = ReadBitsetList(reader, "hsets");
+    if (!h_sets.ok()) return h_sets.status();
+    cert.det.h_sets = std::move(h_sets).value();
+    Result<std::vector<Bitset>> final_sets =
+        ReadBitsetList(reader, "finalsets");
+    if (!final_sets.ok()) return final_sets.status();
+    cert.det.final_sets = std::move(final_sets).value();
+  } else {
+    Result<std::string> trimmed_text = ReadEmbedded(reader, "trimmed");
+    if (!trimmed_text.ok()) return trimmed_text.status();
+    Result<Nha> trimmed = automata::DeserializeNha(*trimmed_text, vocab);
+    if (!trimmed.ok()) return trimmed.status();
+    cert.trimmed = std::move(trimmed).value();
+    Result<std::vector<std::string>> derivable = reader.Next();
+    if (!derivable.ok()) return derivable.status();
+    Result<Bitset> derivable_bits = ReadBitset(*derivable, "derivable");
+    if (!derivable_bits.ok()) return derivable_bits.status();
+    cert.trim.derivable = std::move(derivable_bits).value();
+    Result<std::vector<std::string>> useful = reader.Next();
+    if (!useful.ok()) return useful.status();
+    Result<Bitset> useful_bits = ReadBitset(*useful, "useful");
+    if (!useful_bits.ok()) return useful_bits.status();
+    cert.trim.useful = std::move(useful_bits).value();
+    Result<std::vector<std::string>> mapping = reader.Next();
+    if (!mapping.ok()) return mapping.status();
+    if (mapping->size() < 2 || (*mapping)[0] != "mapping") {
+      return Status::InvalidArgument("expected 'mapping <n> ...'");
+    }
+    Result<uint32_t> n = ParseU32((*mapping)[1]);
+    if (!n.ok()) return n.status();
+    if (mapping->size() != 2 + static_cast<size_t>(*n)) {
+      return Status::InvalidArgument("mapping entry count mismatch");
+    }
+    cert.trim.mapping.reserve(*n);
+    for (uint32_t i = 0; i < *n; ++i) {
+      const std::string& field = (*mapping)[2 + i];
+      if (field == "-") {
+        cert.trim.mapping.push_back(strre::kNoState);
+      } else {
+        Result<uint32_t> q = ParseU32(field);
+        if (!q.ok()) return q.status();
+        cert.trim.mapping.push_back(*q);
+      }
+    }
+  }
+
+  Result<std::vector<std::string>> tail = reader.Next();
+  if (!tail.ok()) return tail.status();
+  if (tail->size() != 1 || (*tail)[0] != "end") {
+    return Status::InvalidArgument("expected 'end' trailer");
+  }
+  return cert;
+}
+
+}  // namespace hedgeq::verify

@@ -1,0 +1,73 @@
+#ifndef HEDGEQ_VERIFY_CERTIFICATE_H_
+#define HEDGEQ_VERIFY_CERTIFICATE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "automata/analysis.h"
+#include "automata/determinize.h"
+#include "automata/dha.h"
+#include "automata/nha.h"
+#include "hedge/hedge.h"
+#include "util/budget.h"
+#include "util/status.h"
+
+namespace hedgeq::verify {
+
+/// Which transformation a certificate witnesses.
+enum class CertificateKind {
+  kDeterminize,  // Theorem 1 subset construction (automata/determinize.cc)
+  kTrim,         // reach/co-reach pruning (automata::PruneNha)
+};
+
+/// A self-contained, serializable record of one automaton transformation:
+/// the input, the output, and the witness data the construction recorded.
+/// The independent checker (verify/checker.h) validates a certificate
+/// without re-running — or trusting — the construction that produced it;
+/// this is the translation-validation artifact of the pipeline.
+struct Certificate {
+  CertificateKind kind = CertificateKind::kDeterminize;
+  automata::Nha input;
+
+  // kDeterminize payload: the output DHA, its per-state NHA subsets, and
+  // the horizontal/final witness sets.
+  automata::Dha dha{1, 1, 0, 0};
+  std::vector<Bitset> subsets;
+  automata::DeterminizeWitness det;
+
+  // kTrim payload: the pruned automaton plus the trim witness.
+  automata::Nha trimmed;
+  automata::TrimWitness trim;
+};
+
+/// Runs the budgeted Theorem 1 construction on `input` and packages the
+/// result as a certificate. Fails only when the construction itself fails
+/// (budget, or inline-certification rejection under HEDGEQ_CERTIFY).
+Result<Certificate> BuildDeterminizeCertificate(const automata::Nha& input,
+                                                BudgetScope& scope);
+
+/// Runs PruneNha on `input` and packages the result as a certificate.
+Certificate BuildTrimCertificate(const automata::Nha& input);
+
+/// Line-oriented text form, deterministic byte-for-byte for a given
+/// certificate and vocabulary (sections are length-prefixed in lines):
+///
+///   cert 1 <determinize|trim>
+///   input <line-count>
+///   <SerializeNha output>
+///   ... kind-specific sections ...
+///   end
+std::string SerializeCertificate(const Certificate& cert,
+                                 const hedge::Vocabulary& vocab);
+
+/// Inverse of SerializeCertificate; new names are interned into `vocab`.
+/// Malformed input (bad counts, out-of-range indices, truncated sections)
+/// is rejected with kInvalidArgument — deserialization validates shape, the
+/// checker validates meaning.
+Result<Certificate> DeserializeCertificate(std::string_view text,
+                                           hedge::Vocabulary& vocab);
+
+}  // namespace hedgeq::verify
+
+#endif  // HEDGEQ_VERIFY_CERTIFICATE_H_

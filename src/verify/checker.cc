@@ -1,0 +1,995 @@
+#include "verify/checker.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <set>
+#include <unordered_set>
+
+#include "util/strings.h"
+
+namespace hedgeq::verify {
+
+using automata::Dha;
+using automata::HState;
+using automata::HhState;
+using automata::Nha;
+using lint::Diagnostic;
+using lint::DiagnosticCode;
+using lint::Severity;
+using strre::Nfa;
+
+namespace {
+
+constexpr size_t kMaxFindings = 64;
+
+void Report(std::vector<Diagnostic>& out, DiagnosticCode code,
+            std::string span, std::string message) {
+  if (out.size() >= kMaxFindings) return;
+  Diagnostic d;
+  d.severity = Severity::kError;
+  d.code = code;
+  d.span = std::move(span);
+  d.message = std::move(message);
+  out.push_back(std::move(d));
+}
+
+// ---------------------------------------------------------------------------
+// Independent recomputation primitives. These deliberately re-derive what
+// automata/content_union.cc and the constructions compute, from the input
+// NHA alone: the combined content-NFA layout is pure arithmetic (rule
+// contents concatenated in rule order), and closures/steps are re-coded
+// here rather than calling the construction helpers.
+
+struct ContentIndex {
+  std::vector<size_t> offset;  // offset[r]: first combined state of rule r
+  size_t total = 0;            // total combined states
+};
+
+ContentIndex IndexContents(const Nha& nha) {
+  ContentIndex ci;
+  ci.offset.reserve(nha.rules().size());
+  for (const Nha::Rule& rule : nha.rules()) {
+    ci.offset.push_back(ci.total);
+    ci.total += rule.content.num_states();
+  }
+  return ci;
+}
+
+// Rule index owning combined state `cs` (cs must be < ci.total).
+size_t RuleOf(const ContentIndex& ci, uint32_t cs) {
+  size_t lo = 0, hi = ci.offset.size();
+  while (lo + 1 < hi) {
+    size_t mid = (lo + hi) / 2;
+    if (ci.offset[mid] <= cs) {
+      lo = mid;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+// Epsilon closure over combined content states, using each rule's own
+// content NFA plus the offset arithmetic.
+void CloseCombined(const Nha& nha, const ContentIndex& ci, Bitset& set) {
+  std::deque<uint32_t> queue;
+  for (uint32_t cs : set.ToVector()) queue.push_back(cs);
+  while (!queue.empty()) {
+    uint32_t cs = queue.front();
+    queue.pop_front();
+    size_t r = RuleOf(ci, cs);
+    const Nfa& content = nha.rules()[r].content;
+    uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
+    for (strre::StateId t : content.EpsilonsFrom(local)) {
+      uint32_t to = static_cast<uint32_t>(ci.offset[r]) + t;
+      if (!set.Test(to)) {
+        set.Set(to);
+        queue.push_back(to);
+      }
+    }
+  }
+}
+
+// Epsilon closure within a single NFA.
+void CloseNfa(const Nfa& nfa, Bitset& set) {
+  std::deque<uint32_t> queue;
+  for (uint32_t s : set.ToVector()) queue.push_back(s);
+  while (!queue.empty()) {
+    uint32_t s = queue.front();
+    queue.pop_front();
+    for (strre::StateId t : nfa.EpsilonsFrom(s)) {
+      if (!set.Test(t)) {
+        set.Set(t);
+        queue.push_back(t);
+      }
+    }
+  }
+}
+
+// One horizontal step over the combined content model: the (closed) set
+// reached from `h` by reading any NHA state in `letter`.
+Bitset StepCombined(const Nha& nha, const ContentIndex& ci, const Bitset& h,
+                    const Bitset& letter) {
+  Bitset next(ci.total);
+  for (uint32_t cs : h.ToVector()) {
+    size_t r = RuleOf(ci, cs);
+    const Nfa& content = nha.rules()[r].content;
+    uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
+    for (const Nfa::Transition& t : content.TransitionsFrom(local)) {
+      if (t.symbol < letter.size() && letter.Test(t.symbol)) {
+        next.Set(static_cast<uint32_t>(ci.offset[r]) + t.to);
+      }
+    }
+  }
+  CloseCombined(nha, ci, next);
+  return next;
+}
+
+// Per-symbol target sets of the rules accepting somewhere in `h`.
+std::map<hedge::SymbolId, Bitset> AcceptTargets(const Nha& nha,
+                                                const ContentIndex& ci,
+                                                const Bitset& h) {
+  std::map<hedge::SymbolId, Bitset> out;
+  for (uint32_t cs : h.ToVector()) {
+    size_t r = RuleOf(ci, cs);
+    const Nha::Rule& rule = nha.rules()[r];
+    uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
+    if (rule.content.IsAccepting(local)) {
+      auto [it, inserted] =
+          out.try_emplace(rule.symbol, Bitset(nha.num_states()));
+      it->second.Set(rule.target);
+    }
+  }
+  return out;
+}
+
+// Does `nfa` accept some word using only letters in `allowed`?
+bool AcceptsOverAlphabet(const Nfa& nfa, const Bitset& allowed) {
+  if (nfa.num_states() == 0 || nfa.start() == strre::kNoState) return false;
+  Bitset seen(nfa.num_states());
+  std::deque<strre::StateId> queue;
+  seen.Set(nfa.start());
+  queue.push_back(nfa.start());
+  while (!queue.empty()) {
+    strre::StateId s = queue.front();
+    queue.pop_front();
+    if (nfa.IsAccepting(s)) return true;
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (t.symbol < allowed.size() && allowed.Test(t.symbol) &&
+          !seen.Test(t.to)) {
+        seen.Set(t.to);
+        queue.push_back(t.to);
+      }
+    }
+    for (strre::StateId t : nfa.EpsilonsFrom(s)) {
+      if (!seen.Test(t)) {
+        seen.Set(t);
+        queue.push_back(t);
+      }
+    }
+  }
+  return false;
+}
+
+// Letters (restricted to `allowed`) occurring on some accepting path of
+// `nfa` whose every letter is in `allowed`.
+Bitset LettersOnAcceptingPaths(const Nfa& nfa, const Bitset& allowed,
+                               size_t num_letters) {
+  Bitset usable(num_letters);
+  if (nfa.num_states() == 0 || nfa.start() == strre::kNoState) return usable;
+  auto ok = [&](strre::Symbol p) {
+    return p < allowed.size() && allowed.Test(p);
+  };
+  Bitset fwd(nfa.num_states());
+  std::deque<strre::StateId> queue;
+  fwd.Set(nfa.start());
+  queue.push_back(nfa.start());
+  while (!queue.empty()) {
+    strre::StateId s = queue.front();
+    queue.pop_front();
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (ok(t.symbol) && !fwd.Test(t.to)) {
+        fwd.Set(t.to);
+        queue.push_back(t.to);
+      }
+    }
+    for (strre::StateId t : nfa.EpsilonsFrom(s)) {
+      if (!fwd.Test(t)) {
+        fwd.Set(t);
+        queue.push_back(t);
+      }
+    }
+  }
+  std::vector<std::vector<strre::StateId>> rev(nfa.num_states());
+  for (strre::StateId s = 0; s < nfa.num_states(); ++s) {
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (ok(t.symbol)) rev[t.to].push_back(s);
+    }
+    for (strre::StateId t : nfa.EpsilonsFrom(s)) rev[t].push_back(s);
+  }
+  Bitset bwd(nfa.num_states());
+  for (strre::StateId s = 0; s < nfa.num_states(); ++s) {
+    if (nfa.IsAccepting(s)) {
+      bwd.Set(s);
+      queue.push_back(s);
+    }
+  }
+  while (!queue.empty()) {
+    strre::StateId s = queue.front();
+    queue.pop_front();
+    for (strre::StateId t : rev[s]) {
+      if (!bwd.Test(t)) {
+        bwd.Set(t);
+        queue.push_back(t);
+      }
+    }
+  }
+  for (strre::StateId s = 0; s < nfa.num_states(); ++s) {
+    if (!fwd.Test(s)) continue;
+    for (const Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+      if (ok(t.symbol) && bwd.Test(t.to) && t.symbol < num_letters) {
+        usable.Set(t.symbol);
+      }
+    }
+  }
+  return usable;
+}
+
+// Structural NFA equality: same states, start, acceptance, transition
+// multisets and epsilon sets.
+bool NfaStructEq(const Nfa& a, const Nfa& b) {
+  if (a.num_states() != b.num_states() || a.start() != b.start()) {
+    return false;
+  }
+  for (strre::StateId s = 0; s < a.num_states(); ++s) {
+    if (a.IsAccepting(s) != b.IsAccepting(s)) return false;
+    std::vector<std::pair<strre::Symbol, strre::StateId>> ta, tb;
+    for (const Nfa::Transition& t : a.TransitionsFrom(s)) {
+      ta.emplace_back(t.symbol, t.to);
+    }
+    for (const Nfa::Transition& t : b.TransitionsFrom(s)) {
+      tb.emplace_back(t.symbol, t.to);
+    }
+    std::sort(ta.begin(), ta.end());
+    std::sort(tb.begin(), tb.end());
+    if (ta != tb) return false;
+    std::vector<strre::StateId> ea(a.EpsilonsFrom(s).begin(),
+                                   a.EpsilonsFrom(s).end());
+    std::vector<strre::StateId> eb(b.EpsilonsFrom(s).begin(),
+                                   b.EpsilonsFrom(s).end());
+    std::sort(ea.begin(), ea.end());
+    std::sort(eb.begin(), eb.end());
+    if (ea != eb) return false;
+  }
+  return true;
+}
+
+// Projection of an NFA over NHA-state letters through a state renaming
+// (kNoState letters drop their transitions) — the checker's own version of
+// the trim's content projection.
+Nfa ProjectLetters(const Nfa& in, const std::vector<HState>& rename) {
+  Nfa out;
+  for (strre::StateId s = 0; s < in.num_states(); ++s) {
+    out.AddState(in.IsAccepting(s));
+  }
+  if (in.start() != strre::kNoState) out.SetStart(in.start());
+  for (strre::StateId s = 0; s < in.num_states(); ++s) {
+    for (const Nfa::Transition& t : in.TransitionsFrom(s)) {
+      if (t.symbol < rename.size() && rename[t.symbol] != strre::kNoState) {
+        out.AddTransition(s, rename[t.symbol], t.to);
+      }
+    }
+    for (strre::StateId t : in.EpsilonsFrom(s)) out.AddEpsilon(s, t);
+  }
+  return out;
+}
+
+std::vector<uint32_t> SortedStates(const std::vector<HState>& states) {
+  std::vector<uint32_t> out(states.begin(), states.end());
+  std::sort(out.begin(), out.end());
+  out.erase(std::unique(out.begin(), out.end()), out.end());
+  return out;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckDeterminize(
+    const Nha& input, const automata::Determinized& output,
+    const automata::DeterminizeWitness& witness) {
+  std::vector<Diagnostic> out;
+  const Dha& dha = output.dha;
+  const std::vector<Bitset>& subsets = output.subsets;
+  const size_t nq = input.num_states();
+  const ContentIndex ci = IndexContents(input);
+
+  // --- Shape (HQV001). Shape failures abort: the semantic checks below
+  // index through these arrays.
+  if (subsets.empty() || subsets.size() != dha.num_states()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "subsets",
+           StrCat("subset count ", subsets.size(), " != DHA states ",
+                  dha.num_states()));
+    return out;
+  }
+  if (witness.h_sets.empty() ||
+      witness.h_sets.size() != dha.num_h_states()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "hsets",
+           StrCat("horizontal witness count ", witness.h_sets.size(),
+                  " != DHA horizontal states ", dha.num_h_states()));
+    return out;
+  }
+  if (dha.h_start() >= witness.h_sets.size()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "hstart",
+           "horizontal start out of range");
+    return out;
+  }
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    if (subsets[i].size() != nq) {
+      Report(out, DiagnosticCode::kCertificateMalformed,
+             StrCat("subset/", i),
+             StrCat("subset width ", subsets[i].size(), " != NHA states ",
+                    nq));
+      return out;
+    }
+  }
+  for (size_t i = 0; i < witness.h_sets.size(); ++i) {
+    if (witness.h_sets[i].size() != ci.total) {
+      Report(out, DiagnosticCode::kCertificateMalformed, StrCat("hset/", i),
+             StrCat("horizontal set width ", witness.h_sets[i].size(),
+                    " != combined content states ", ci.total));
+      return out;
+    }
+  }
+  if (!subsets[dha.sink()].None()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "sink",
+           "sink state does not denote the empty subset");
+  }
+  {
+    std::unordered_set<Bitset, BitsetHash> seen;
+    for (size_t i = 0; i < subsets.size(); ++i) {
+      if (!seen.insert(subsets[i]).second) {
+        Report(out, DiagnosticCode::kCertificateMalformed,
+               StrCat("subset/", i), "duplicate DHA state subset");
+      }
+    }
+    seen.clear();
+    for (size_t i = 0; i < witness.h_sets.size(); ++i) {
+      if (!seen.insert(witness.h_sets[i]).second) {
+        Report(out, DiagnosticCode::kCertificateMalformed,
+               StrCat("hset/", i), "duplicate horizontal witness set");
+      }
+    }
+  }
+
+  // --- Horizontal start: closure of every rule content's start state.
+  {
+    Bitset h0(ci.total);
+    for (size_t r = 0; r < input.rules().size(); ++r) {
+      const Nfa& content = input.rules()[r].content;
+      if (content.num_states() > 0 && content.start() != strre::kNoState) {
+        h0.Set(static_cast<uint32_t>(ci.offset[r]) + content.start());
+      }
+    }
+    CloseCombined(input, ci, h0);
+    if (!(witness.h_sets[dha.h_start()] == h0)) {
+      Report(out, DiagnosticCode::kSubsetTransitionIncoherent, "hstart",
+             "horizontal start set is not the closure of the content start "
+             "states");
+    }
+  }
+
+  // --- Horizontal transitions (HQV002): every (h, subset-letter) entry of
+  // the dense matrix must be the recomputed closed step.
+  for (HhState h = 0; h < witness.h_sets.size(); ++h) {
+    Bitset closed = witness.h_sets[h];
+    CloseCombined(input, ci, closed);
+    if (!(closed == witness.h_sets[h])) {
+      Report(out, DiagnosticCode::kSubsetTransitionIncoherent,
+             StrCat("hset/", h), "horizontal set is not epsilon-closed");
+      continue;
+    }
+    for (HState sid = 0; sid < subsets.size(); ++sid) {
+      Bitset expect = StepCombined(input, ci, witness.h_sets[h],
+                                   subsets[sid]);
+      HhState to = dha.HNext(h, sid);
+      if (to >= witness.h_sets.size()) {
+        Report(out, DiagnosticCode::kCertificateMalformed,
+               StrCat("htrans/", h, "/", sid),
+               "horizontal transition target out of range");
+      } else if (!(witness.h_sets[to] == expect)) {
+        Report(out, DiagnosticCode::kSubsetTransitionIncoherent,
+               StrCat("htrans/", h, "/", sid),
+               "horizontal transition does not match the recomputed subset "
+               "step");
+      }
+    }
+  }
+
+  // --- Assignments (HQV004): alpha(symbol, h) must denote exactly the
+  // targets of the rules accepting at h.
+  std::set<hedge::SymbolId> all_symbols;
+  for (const Nha::Rule& rule : input.rules()) all_symbols.insert(rule.symbol);
+  for (const auto& [symbol, row] : dha.assign_map()) {
+    all_symbols.insert(symbol);
+  }
+  for (HhState h = 0; h < witness.h_sets.size(); ++h) {
+    std::map<hedge::SymbolId, Bitset> expect =
+        AcceptTargets(input, ci, witness.h_sets[h]);
+    for (hedge::SymbolId symbol : all_symbols) {
+      HState sid = dha.Assign(symbol, h);
+      if (sid >= subsets.size()) {
+        Report(out, DiagnosticCode::kCertificateMalformed,
+               StrCat("assign/", symbol, "/", h),
+               "assignment target out of range");
+        continue;
+      }
+      auto it = expect.find(symbol);
+      const bool match = it == expect.end() ? subsets[sid].None()
+                                            : subsets[sid] == it->second;
+      if (!match) {
+        Report(out, DiagnosticCode::kAssignmentIncoherent,
+               StrCat("assign/", symbol, "/", h),
+               "assignment does not match the accepting rules' targets");
+      }
+    }
+  }
+
+  // --- iota (HQV004): variable/substitution states denote the input sets.
+  for (const auto& [x, states] : input.var_map()) {
+    Bitset expect(nq);
+    for (HState q : states) expect.Set(q);
+    HState sid = dha.VariableState(x);
+    if (sid >= subsets.size() || !(subsets[sid] == expect)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("var/", x),
+             "variable state does not denote iota(x)");
+    }
+  }
+  for (const auto& [x, sid] : dha.var_map()) {
+    if (!input.var_map().contains(x)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("var/", x),
+             "DHA knows a variable the input does not");
+    }
+  }
+  for (const auto& [z, states] : input.subst_map()) {
+    Bitset expect(nq);
+    for (HState q : states) expect.Set(q);
+    HState sid = dha.SubstState(z);
+    if (sid >= subsets.size() || !(subsets[sid] == expect)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("subst/", z),
+             "substitution state does not denote iota(z)");
+    }
+  }
+  for (const auto& [z, sid] : dha.subst_map()) {
+    if (!input.subst_map().contains(z)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("subst/", z),
+             "DHA knows a substitution symbol the input does not");
+    }
+  }
+
+  // --- Lifted final DFA (HQV003): simulation against the witnessed
+  // final-NFA state sets.
+  const Nfa& fl = input.final_nfa();
+  const strre::Dfa& fdfa = dha.final_dfa();
+  if (witness.final_sets.size() != fdfa.num_states()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "finalsets",
+           StrCat("final witness count ", witness.final_sets.size(),
+                  " != final DFA states ", fdfa.num_states()));
+    return out;
+  }
+  if (fl.num_states() == 0 || fl.start() == strre::kNoState) {
+    // Empty final language: one dead total state.
+    if (fdfa.num_states() != 1 || fdfa.IsAccepting(0)) {
+      Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
+             "empty final language must lift to one non-accepting state");
+    } else {
+      for (HState sid = 0; sid < subsets.size(); ++sid) {
+        if (fdfa.Next(0, sid) != 0) {
+          Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
+                 "dead final state must loop on every letter");
+          break;
+        }
+      }
+    }
+    return out;
+  }
+  for (size_t i = 0; i < witness.final_sets.size(); ++i) {
+    if (witness.final_sets[i].size() != fl.num_states()) {
+      Report(out, DiagnosticCode::kCertificateMalformed,
+             StrCat("finalset/", i), "final witness set width mismatch");
+      return out;
+    }
+  }
+  if (fdfa.start() == strre::kNoState ||
+      fdfa.start() >= witness.final_sets.size()) {
+    Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
+           "lifted final DFA has no start state");
+    return out;
+  }
+  {
+    Bitset start(fl.num_states());
+    start.Set(fl.start());
+    CloseNfa(fl, start);
+    if (!(witness.final_sets[fdfa.start()] == start)) {
+      Report(out, DiagnosticCode::kFinalSetInconsistent, "final/start",
+             "final DFA start does not denote the closed final-NFA start");
+    }
+  }
+  for (strre::StateId f = 0; f < fdfa.num_states(); ++f) {
+    bool want_accepting = false;
+    for (uint32_t s : witness.final_sets[f].ToVector()) {
+      if (fl.IsAccepting(s)) {
+        want_accepting = true;
+        break;
+      }
+    }
+    if (want_accepting != fdfa.IsAccepting(f)) {
+      Report(out, DiagnosticCode::kFinalSetInconsistent,
+             StrCat("final/", f),
+             "lifted final DFA acceptance disagrees with the witnessed "
+             "final-NFA state set");
+    }
+    for (HState sid = 0; sid < subsets.size(); ++sid) {
+      Bitset next(fl.num_states());
+      for (uint32_t s : witness.final_sets[f].ToVector()) {
+        for (const Nfa::Transition& t : fl.TransitionsFrom(s)) {
+          if (t.symbol < subsets[sid].size() &&
+              subsets[sid].Test(t.symbol)) {
+            next.Set(t.to);
+          }
+        }
+      }
+      CloseNfa(fl, next);
+      strre::StateId to = fdfa.Next(f, sid);
+      if (to == strre::kNoState || to >= witness.final_sets.size()) {
+        Report(out, DiagnosticCode::kFinalSetInconsistent,
+               StrCat("final/", f, "/", sid),
+               "lifted final DFA is not total over subset letters");
+      } else if (!(witness.final_sets[to] == next)) {
+        Report(out, DiagnosticCode::kFinalSetInconsistent,
+               StrCat("final/", f, "/", sid),
+               "lifted final DFA transition does not match the recomputed "
+               "step");
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckTrim(const Nha& input, const Nha& output,
+                                  const automata::TrimWitness& witness) {
+  std::vector<Diagnostic> out;
+  const size_t n = input.num_states();
+  if (witness.derivable.size() != n || witness.useful.size() != n ||
+      witness.mapping.size() != n) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "trim",
+           "trim witness widths do not match the input state count");
+    return out;
+  }
+
+  // --- Own bottom-up derivability fixpoint.
+  Bitset derivable(n);
+  for (const auto& [x, states] : input.var_map()) {
+    for (HState q : states) derivable.Set(q);
+  }
+  for (const auto& [z, states] : input.subst_map()) {
+    for (HState q : states) derivable.Set(q);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nha::Rule& rule : input.rules()) {
+      if (derivable.Test(rule.target)) continue;
+      if (AcceptsOverAlphabet(rule.content, derivable)) {
+        derivable.Set(rule.target);
+        changed = true;
+      }
+    }
+  }
+  if (!(witness.derivable == derivable)) {
+    Report(out, DiagnosticCode::kTrimWitnessMismatch, "derivable",
+           "witnessed derivable set does not match the recomputed "
+           "bottom-up fixpoint");
+  }
+
+  // --- Own co-reachability fixpoint, seeded from the final language.
+  Bitset co = LettersOnAcceptingPaths(input.final_nfa(), derivable, n);
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nha::Rule& rule : input.rules()) {
+      if (!co.Test(rule.target)) continue;
+      Bitset usable = LettersOnAcceptingPaths(rule.content, derivable, n);
+      Bitset before = co;
+      co |= usable;
+      if (!(co == before)) changed = true;
+    }
+  }
+  Bitset useful = derivable;
+  useful &= co;
+  if (!(witness.useful == useful)) {
+    Report(out, DiagnosticCode::kTrimWitnessMismatch, "useful",
+           "witnessed useful set does not match derivable ∧ co-reachable");
+  }
+
+  // --- Renaming: dense, increasing, defined exactly on the useful states.
+  HState next_id = 0;
+  bool mapping_ok = true;
+  for (HState q = 0; q < n; ++q) {
+    const bool kept = witness.mapping[q] != strre::kNoState;
+    if (kept != witness.useful.Test(q) ||
+        (kept && witness.mapping[q] != next_id)) {
+      Report(out, DiagnosticCode::kTrimWitnessMismatch, StrCat("map/", q),
+             "renaming is not the dense order-preserving map of the useful "
+             "states");
+      mapping_ok = false;
+      break;
+    }
+    if (kept) ++next_id;
+  }
+  if (!mapping_ok) return out;
+  if (output.num_states() != next_id) {
+    Report(out, DiagnosticCode::kTrimWitnessMismatch, "output",
+           StrCat("output has ", output.num_states(),
+                  " states, renaming produces ", next_id));
+    return out;
+  }
+
+  // --- Structural projection: the output must be exactly the input
+  // filtered to useful targets with letters renamed.
+  size_t out_rule = 0;
+  for (size_t r = 0; r < input.rules().size(); ++r) {
+    const Nha::Rule& rule = input.rules()[r];
+    if (rule.target >= n || !witness.useful.Test(rule.target)) continue;
+    if (out_rule >= output.rules().size()) {
+      Report(out, DiagnosticCode::kTrimWitnessMismatch, StrCat("rule/", r),
+             "output is missing a rule with a useful target");
+      return out;
+    }
+    const Nha::Rule& projected = output.rules()[out_rule];
+    if (projected.symbol != rule.symbol ||
+        projected.target != witness.mapping[rule.target] ||
+        !NfaStructEq(projected.content,
+                     ProjectLetters(rule.content, witness.mapping))) {
+      Report(out, DiagnosticCode::kTrimWitnessMismatch, StrCat("rule/", r),
+             "output rule is not the projection of the input rule");
+    }
+    ++out_rule;
+  }
+  if (out_rule != output.rules().size()) {
+    Report(out, DiagnosticCode::kTrimWitnessMismatch, "rules",
+           "output has rules beyond the projected input rules");
+  }
+  for (const auto& [x, states] : input.var_map()) {
+    std::vector<uint32_t> expect;
+    for (HState q : states) {
+      if (witness.useful.Test(q)) expect.push_back(witness.mapping[q]);
+    }
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    if (SortedStates(output.VariableStates(x)) != expect) {
+      Report(out, DiagnosticCode::kTrimWitnessMismatch, StrCat("var/", x),
+             "projected variable states disagree");
+    }
+  }
+  for (const auto& [x, states] : output.var_map()) {
+    if (!input.var_map().contains(x)) {
+      Report(out, DiagnosticCode::kTrimWitnessMismatch, StrCat("var/", x),
+             "output knows a variable the input does not");
+    }
+  }
+  for (const auto& [z, states] : input.subst_map()) {
+    std::vector<uint32_t> expect;
+    for (HState q : states) {
+      if (witness.useful.Test(q)) expect.push_back(witness.mapping[q]);
+    }
+    std::sort(expect.begin(), expect.end());
+    expect.erase(std::unique(expect.begin(), expect.end()), expect.end());
+    if (SortedStates(output.SubstStates(z)) != expect) {
+      Report(out, DiagnosticCode::kTrimWitnessMismatch, StrCat("subst/", z),
+             "projected substitution states disagree");
+    }
+  }
+  for (const auto& [z, states] : output.subst_map()) {
+    if (!input.subst_map().contains(z)) {
+      Report(out, DiagnosticCode::kTrimWitnessMismatch, StrCat("subst/", z),
+             "output knows a substitution symbol the input does not");
+    }
+  }
+  if (!NfaStructEq(output.final_nfa(),
+                   ProjectLetters(input.final_nfa(), witness.mapping))) {
+    Report(out, DiagnosticCode::kTrimWitnessMismatch, "final",
+           "output final language is not the projection of the input's");
+  }
+  return out;
+}
+
+namespace {
+
+int CompileArity(hre::HreKind kind) {
+  switch (kind) {
+    case hre::HreKind::kEmptySet:
+    case hre::HreKind::kEpsilon:
+    case hre::HreKind::kVariable:
+    case hre::HreKind::kSubstLeaf:
+      return 0;
+    case hre::HreKind::kTree:
+    case hre::HreKind::kStar:
+    case hre::HreKind::kVClose:
+      return 1;
+    case hre::HreKind::kConcat:
+    case hre::HreKind::kUnion:
+    case hre::HreKind::kEmbed:
+      return 2;
+  }
+  return 0;
+}
+
+// The compiler's own recursion order, as a post-order kind sequence
+// (kEmbed compiles its right child e2 before its left child e1). Returns
+// false when the sequence exceeds `limit` (sharing blow-up or mismatch).
+bool ExpectedKindSequence(const hre::Hre& root, size_t limit,
+                          std::vector<hre::HreKind>& out) {
+  struct Item {
+    const hre::HreNode* node;
+    bool expanded;
+  };
+  std::vector<Item> stack{{root.get(), false}};
+  while (!stack.empty()) {
+    Item item = stack.back();
+    stack.pop_back();
+    if (item.expanded) {
+      out.push_back(item.node->kind());
+      if (out.size() > limit) return false;
+      continue;
+    }
+    stack.push_back({item.node, true});
+    switch (item.node->kind()) {
+      case hre::HreKind::kTree:
+      case hre::HreKind::kStar:
+      case hre::HreKind::kVClose:
+        stack.push_back({item.node->left().get(), false});
+        break;
+      case hre::HreKind::kConcat:
+      case hre::HreKind::kUnion:
+        // Left compiled first: push right below left on the stack.
+        stack.push_back({item.node->right().get(), false});
+        stack.push_back({item.node->left().get(), false});
+        break;
+      case hre::HreKind::kEmbed:
+        // e2 (right) compiled first.
+        stack.push_back({item.node->left().get(), false});
+        stack.push_back({item.node->right().get(), false});
+        break;
+      default:
+        break;
+    }
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckCompile(const hre::Hre& expr, const Nha& output,
+                                     const hre::CompileTrace& trace) {
+  std::vector<Diagnostic> out;
+  if (expr == nullptr || trace.entries.empty()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "compile",
+           "empty compile trace");
+    return out;
+  }
+  std::vector<hre::HreKind> expected;
+  if (!ExpectedKindSequence(expr, trace.entries.size(), expected) ||
+      expected.size() != trace.entries.size()) {
+    Report(out, DiagnosticCode::kCompileWitnessRejected, "compile",
+           "trace length does not match the expression's traversal");
+    return out;
+  }
+  for (size_t i = 0; i < expected.size(); ++i) {
+    if (trace.entries[i].kind != expected[i]) {
+      Report(out, DiagnosticCode::kCompileWitnessRejected,
+             StrCat("entry/", i),
+             "trace case order does not match the expression's traversal");
+      return out;
+    }
+  }
+
+  // Replay the per-case accounting on a summary stack.
+  struct Span {
+    size_t sb, sa, rb, ra;
+  };
+  std::vector<Span> stack;
+  for (size_t i = 0; i < trace.entries.size(); ++i) {
+    const hre::CompileTraceEntry& e = trace.entries[i];
+    if (e.states_after < e.states_before || e.rules_after < e.rules_before) {
+      Report(out, DiagnosticCode::kCompileWitnessRejected,
+             StrCat("entry/", i), "state or rule count decreased");
+      return out;
+    }
+    const int arity = CompileArity(e.kind);
+    if (static_cast<int>(stack.size()) < arity) {
+      Report(out, DiagnosticCode::kCompileWitnessRejected,
+             StrCat("entry/", i), "trace underflows its child entries");
+      return out;
+    }
+    size_t child_sa = e.states_before;  // end of the children's range
+    size_t child_ra = e.rules_before;
+    if (arity >= 1) {
+      const Span& last = stack.back();
+      child_sa = last.sa;
+      child_ra = last.ra;
+      const Span& first = stack[stack.size() - arity];
+      bool contiguous = first.sb == e.states_before &&
+                        first.rb == e.rules_before;
+      if (arity == 2) {
+        const Span& second = stack.back();
+        contiguous = contiguous && second.sb == first.sa &&
+                     second.rb == first.ra;
+      }
+      if (!contiguous) {
+        Report(out, DiagnosticCode::kCompileWitnessRejected,
+               StrCat("entry/", i),
+               "child entries are not contiguous inside their parent");
+        return out;
+      }
+    }
+    size_t own_states = 0, own_rules = 0;
+    switch (e.kind) {
+      case hre::HreKind::kVariable:
+        own_states = 1;
+        break;
+      case hre::HreKind::kSubstLeaf:
+        own_states = 2;
+        own_rules = 1;
+        break;
+      case hre::HreKind::kTree:
+        own_states = 1;
+        own_rules = 1;
+        break;
+      default:
+        break;
+    }
+    if (e.states_after != child_sa + own_states ||
+        e.rules_after != child_ra + own_rules) {
+      Report(out, DiagnosticCode::kCompileWitnessRejected,
+             StrCat("entry/", i),
+             StrCat("case accounting does not close: states ",
+                    e.states_before, "->", e.states_after, ", rules ",
+                    e.rules_before, "->", e.rules_after));
+      return out;
+    }
+    stack.resize(stack.size() - static_cast<size_t>(arity));
+    stack.push_back(
+        Span{e.states_before, e.states_after, e.rules_before, e.rules_after});
+  }
+  if (stack.size() != 1 || stack[0].sb != 0 || stack[0].rb != 0) {
+    Report(out, DiagnosticCode::kCompileWitnessRejected, "compile",
+           "trace does not reduce to a single root span");
+    return out;
+  }
+  if (stack[0].sa != output.num_states() ||
+      stack[0].ra != output.rules().size() ||
+      trace.total_states != output.num_states() ||
+      trace.total_rules != output.rules().size()) {
+    Report(out, DiagnosticCode::kCompileWitnessRejected, "compile",
+           StrCat("trace totals (", stack[0].sa, " states, ", stack[0].ra,
+                  " rules) do not match the output (",
+                  output.num_states(), ", ", output.rules().size(), ")"));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckLazyAudit(
+    const Nha& nha, std::span<const automata::LazyAuditEntry> entries) {
+  std::vector<Diagnostic> out;
+  const ContentIndex ci = IndexContents(nha);
+  const size_t nq = nha.num_states();
+  for (size_t i = 0; i < entries.size(); ++i) {
+    const automata::LazyAuditEntry& e = entries[i];
+    if (e.h.size() != ci.total) {
+      Report(out, DiagnosticCode::kCertificateMalformed,
+             StrCat("audit/", i), "audited horizontal set width mismatch");
+      continue;
+    }
+    if (e.is_assign) {
+      if (e.result.size() != nq) {
+        Report(out, DiagnosticCode::kCertificateMalformed,
+               StrCat("audit/", i), "audited assignment width mismatch");
+        continue;
+      }
+      Bitset expect(nq);
+      for (uint32_t cs : e.h.ToVector()) {
+        size_t r = RuleOf(ci, cs);
+        const Nha::Rule& rule = nha.rules()[r];
+        uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
+        if (rule.symbol == e.symbol && rule.content.IsAccepting(local)) {
+          expect.Set(rule.target);
+        }
+      }
+      if (!(expect == e.result)) {
+        Report(out, DiagnosticCode::kLazyAuditMismatch, StrCat("audit/", i),
+               "memoized assignment disagrees with independent "
+               "recomputation");
+      }
+    } else {
+      if (e.subset.size() != nq || e.result.size() != ci.total) {
+        Report(out, DiagnosticCode::kCertificateMalformed,
+               StrCat("audit/", i), "audited step width mismatch");
+        continue;
+      }
+      Bitset expect = StepCombined(nha, ci, e.h, e.subset);
+      if (!(expect == e.result)) {
+        Report(out, DiagnosticCode::kLazyAuditMismatch, StrCat("audit/", i),
+               "memoized horizontal step disagrees with independent "
+               "recomputation");
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckProjection(const schema::MatchIdentifying& mi,
+                                        const query::CompiledPhr& compiled,
+                                        const hedge::Hedge& doc) {
+  std::vector<Diagnostic> out;
+  const std::vector<uint32_t> states = mi.UniqueRunStates(doc);
+  const std::vector<bool> marks = mi.UniqueRunMarks(doc);
+  const std::vector<HState> dha_run = compiled.dha().Run(doc);
+  const std::vector<Bitset> sets = mi.nha().ComputeStateSets(doc);
+  if (states.size() != doc.num_nodes() || marks.size() != doc.num_nodes()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "projection",
+           "unique run does not cover the document");
+    return out;
+  }
+  for (hedge::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    const uint32_t st = states[n];
+    if (st >= mi.nha().num_states()) {
+      Report(out, DiagnosticCode::kCertificateMalformed, StrCat("node/", n),
+             "unique-run state out of range");
+      continue;
+    }
+    const bool is_leaf_node =
+        doc.label(n).kind != hedge::LabelKind::kSymbol;
+    if (mi.IsLeafState(st) != is_leaf_node) {
+      Report(out, DiagnosticCode::kProjectionHomomorphismViolated,
+             StrCat("node/", n),
+             "leaf/product state does not match the node's label kind");
+    }
+    if (mi.QOf(st) != dha_run[n]) {
+      Report(out, DiagnosticCode::kProjectionHomomorphismViolated,
+             StrCat("node/", n),
+             "product state does not project onto the shared DHA's run");
+    }
+    if (!sets[n].Test(st)) {
+      Report(out, DiagnosticCode::kProjectionHomomorphismViolated,
+             StrCat("node/", n),
+             "claimed unique-run state is not assignable by the "
+             "match-identifying NHA");
+    }
+    if (st < mi.marked().size() && marks[n] != mi.marked()[st]) {
+      Report(out, DiagnosticCode::kProjectionHomomorphismViolated,
+             StrCat("node/", n),
+             "unique-run mark disagrees with the marked-state table");
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckCertificate(const Certificate& cert) {
+  if (cert.kind == CertificateKind::kDeterminize) {
+    automata::Determinized output{cert.dha, cert.subsets};
+    return CheckDeterminize(cert.input, output, cert.det);
+  }
+  return CheckTrim(cert.input, cert.trimmed, cert.trim);
+}
+
+Status DiagnosticsToStatus(const std::vector<Diagnostic>& diagnostics) {
+  if (diagnostics.empty()) return Status::Ok();
+  std::string message =
+      StrCat("certificate rejected: ", lint::FormatDiagnostic(diagnostics[0]));
+  if (diagnostics.size() > 1) {
+    message += StrCat(" (+", diagnostics.size() - 1, " more)");
+  }
+  return Status::Internal(std::move(message));
+}
+
+}  // namespace hedgeq::verify

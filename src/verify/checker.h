@@ -1,0 +1,87 @@
+#ifndef HEDGEQ_VERIFY_CHECKER_H_
+#define HEDGEQ_VERIFY_CHECKER_H_
+
+#include <span>
+#include <vector>
+
+#include "automata/analysis.h"
+#include "automata/determinize.h"
+#include "automata/lazy_dha.h"
+#include "hre/compile.h"
+#include "lint/diagnostics.h"
+#include "query/phr_compile.h"
+#include "schema/match_identify.h"
+#include "verify/certificate.h"
+
+namespace hedgeq::verify {
+
+/// Independent certificate checkers (translation validation). Each checker
+/// re-derives the claimed facts from the construction *input* alone — its
+/// own content-NFA offset arithmetic, its own epsilon closures, its own
+/// reachability fixpoints — and compares against the construction output
+/// and witness. No code is shared with the constructions beyond the core
+/// automaton types, so a bug in a construction and the matching bug in its
+/// checker would have to be introduced twice, independently.
+///
+/// Findings use the stable HQV0xx code family (lint/diagnostics.h):
+///   HQV001 certificate-malformed            shape/range errors
+///   HQV002 subset-transition-incoherent     horizontal step mismatch
+///   HQV003 final-set-inconsistent           lifted final DFA mismatch
+///   HQV004 assignment-incoherent            assignment / iota mismatch
+///   HQV005 trim-witness-mismatch            reach/co-reach or projection
+///   HQV006 compile-witness-rejected         Lemma 1 trace accounting
+///   HQV007 lazy-audit-mismatch              memoized lazy step mismatch
+///   HQV008 projection-homomorphism-violated Theorem 5 product projection
+///
+/// All checks run in time near-linear in the size of the certificate
+/// (output automaton + witness sets); an empty result means the
+/// certificate is valid.
+
+/// Validates a Theorem 1 subset construction: every horizontal transition,
+/// assignment, variable/substitution entry and lifted-final-DFA state of
+/// `output` must match an independent recomputation from `input` through
+/// the witnessed subsets.
+std::vector<lint::Diagnostic> CheckDeterminize(
+    const automata::Nha& input, const automata::Determinized& output,
+    const automata::DeterminizeWitness& witness);
+
+/// Validates one PruneNha run: re-derives the derivable/co-reachable
+/// fixpoints and confirms `output` is exactly the projection of `input`
+/// onto the witnessed useful states under the witnessed renaming.
+std::vector<lint::Diagnostic> CheckTrim(const automata::Nha& input,
+                                        const automata::Nha& output,
+                                        const automata::TrimWitness& witness);
+
+/// Validates a Lemma 1 compile trace: the post-order entries must spell a
+/// traversal of `expr` (in the compiler's child order) whose per-case
+/// state/rule accounting closes exactly on `output`'s totals.
+std::vector<lint::Diagnostic> CheckCompile(const hre::Hre& expr,
+                                           const automata::Nha& output,
+                                           const hre::CompileTrace& trace);
+
+/// Validates a lazy-DHA audit log against `nha`: every recorded cache-miss
+/// step (horizontal or assignment) is recomputed independently.
+std::vector<lint::Diagnostic> CheckLazyAudit(
+    const automata::Nha& nha,
+    std::span<const automata::LazyAuditEntry> entries);
+
+/// Validates the Theorem 5 product on one document: the match-identifying
+/// automaton's unique run must project (via QOf) onto the shared DHA's run,
+/// every claimed state must be assignable by the NHA itself, leaf states
+/// must sit exactly on leaves, and marks must agree with the marked-state
+/// table.
+std::vector<lint::Diagnostic> CheckProjection(
+    const schema::MatchIdentifying& mi, const query::CompiledPhr& compiled,
+    const hedge::Hedge& doc);
+
+/// Dispatches a deserialized certificate to the matching checker (after
+/// cross-field shape validation).
+std::vector<lint::Diagnostic> CheckCertificate(const Certificate& cert);
+
+/// Collapses checker findings into a Status for the inline-certification
+/// hooks: Ok when empty, kInternal carrying the first finding otherwise.
+Status DiagnosticsToStatus(const std::vector<lint::Diagnostic>& diagnostics);
+
+}  // namespace hedgeq::verify
+
+#endif  // HEDGEQ_VERIFY_CHECKER_H_

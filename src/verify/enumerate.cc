@@ -1,0 +1,175 @@
+#include "verify/enumerate.h"
+
+namespace hedgeq::verify {
+
+namespace {
+
+using hedge::Hedge;
+using hedge::Label;
+using hedge::NodeId;
+
+struct TreeSpec {
+  Label label;
+  std::vector<TreeSpec> kids;
+};
+
+size_t NumLeafLabels(const EnumVocab& v) {
+  return v.symbols.size() + v.variables.size() + v.substs.size();
+}
+
+// T(t) and H(n) tables up to `size` (node counts are tiny, so plain
+// uint64 arithmetic is fine).
+void CountTables(const EnumVocab& v, size_t size, std::vector<uint64_t>& t,
+                 std::vector<uint64_t>& h) {
+  t.assign(size + 1, 0);
+  h.assign(size + 1, 0);
+  h[0] = 1;
+  for (size_t n = 1; n <= size; ++n) {
+    t[n] = n == 1 ? NumLeafLabels(v) : v.symbols.size() * h[n - 1];
+    for (size_t k = 1; k <= n; ++k) h[n] += t[k] * h[n - k];
+  }
+}
+
+void AppendSpec(Hedge& out, NodeId parent, const TreeSpec& spec) {
+  NodeId id = out.Append(parent, spec.label);
+  for (const TreeSpec& kid : spec.kids) AppendSpec(out, id, kid);
+}
+
+// fn returns false to stop enumeration; Emit* propagate that upward.
+bool EmitTrees(const EnumVocab& v, size_t size,
+               const std::function<bool(const TreeSpec&)>& fn);
+
+bool EmitHedges(const EnumVocab& v, size_t size, std::vector<TreeSpec>& acc,
+                const std::function<bool(const std::vector<TreeSpec>&)>& fn) {
+  if (size == 0) return fn(acc);
+  for (size_t t = 1; t <= size; ++t) {
+    bool keep_going = EmitTrees(v, t, [&](const TreeSpec& tree) {
+      acc.push_back(tree);
+      bool cont = EmitHedges(v, size - t, acc, fn);
+      acc.pop_back();
+      return cont;
+    });
+    if (!keep_going) return false;
+  }
+  return true;
+}
+
+bool EmitTrees(const EnumVocab& v, size_t size,
+               const std::function<bool(const TreeSpec&)>& fn) {
+  if (size == 1) {
+    for (hedge::SymbolId a : v.symbols) {
+      if (!fn(TreeSpec{Label::Symbol(a), {}})) return false;
+    }
+    for (hedge::VarId x : v.variables) {
+      if (!fn(TreeSpec{Label::Variable(x), {}})) return false;
+    }
+    for (hedge::SubstId z : v.substs) {
+      if (!fn(TreeSpec{Label::Subst(z), {}})) return false;
+    }
+    return true;
+  }
+  std::vector<TreeSpec> acc;
+  return EmitHedges(v, size - 1, acc,
+                    [&](const std::vector<TreeSpec>& kids) {
+                      for (hedge::SymbolId a : v.symbols) {
+                        if (!fn(TreeSpec{Label::Symbol(a), kids})) {
+                          return false;
+                        }
+                      }
+                      return true;
+                    });
+}
+
+void SampleHedgeInto(const EnumVocab& v, size_t size, SplitMix64& rng,
+                     const std::vector<uint64_t>& t,
+                     const std::vector<uint64_t>& h, Hedge& out,
+                     NodeId parent);
+
+void SampleTreeInto(const EnumVocab& v, size_t size, SplitMix64& rng,
+                    const std::vector<uint64_t>& t,
+                    const std::vector<uint64_t>& h, Hedge& out,
+                    NodeId parent) {
+  if (size == 1) {
+    uint64_t pick = rng.Below(NumLeafLabels(v));
+    if (pick < v.symbols.size()) {
+      out.Append(parent, Label::Symbol(v.symbols[pick]));
+      return;
+    }
+    pick -= v.symbols.size();
+    if (pick < v.variables.size()) {
+      out.Append(parent, Label::Variable(v.variables[pick]));
+      return;
+    }
+    pick -= v.variables.size();
+    out.Append(parent, Label::Subst(v.substs[pick]));
+    return;
+  }
+  uint64_t pick = rng.Below(v.symbols.size());
+  NodeId id = out.Append(parent, Label::Symbol(v.symbols[pick]));
+  SampleHedgeInto(v, size - 1, rng, t, h, out, id);
+}
+
+void SampleHedgeInto(const EnumVocab& v, size_t size, SplitMix64& rng,
+                     const std::vector<uint64_t>& t,
+                     const std::vector<uint64_t>& h, Hedge& out,
+                     NodeId parent) {
+  size_t remaining = size;
+  while (remaining > 0) {
+    // First-tree size k with probability T(k) * H(remaining - k) / H(remaining).
+    uint64_t pick = rng.Below(h[remaining]);
+    size_t k = remaining;
+    for (size_t cand = 1; cand <= remaining; ++cand) {
+      uint64_t weight = t[cand] * h[remaining - cand];
+      if (pick < weight) {
+        k = cand;
+        break;
+      }
+      pick -= weight;
+    }
+    SampleTreeInto(v, k, rng, t, h, out, parent);
+    remaining -= k;
+  }
+}
+
+}  // namespace
+
+uint64_t CountTrees(const EnumVocab& vocab, size_t size) {
+  if (size == 0) return 0;
+  std::vector<uint64_t> t, h;
+  CountTables(vocab, size, t, h);
+  return t[size];
+}
+
+uint64_t CountHedges(const EnumVocab& vocab, size_t size) {
+  std::vector<uint64_t> t, h;
+  CountTables(vocab, size, t, h);
+  return h[size];
+}
+
+size_t EnumerateHedges(const EnumVocab& vocab, size_t size, size_t max_count,
+                       const std::function<bool(const hedge::Hedge&)>& fn) {
+  size_t emitted = 0;
+  std::vector<TreeSpec> acc;
+  EmitHedges(vocab, size, acc, [&](const std::vector<TreeSpec>& specs) {
+    if (emitted >= max_count) return false;
+    Hedge out;
+    for (const TreeSpec& spec : specs) {
+      AppendSpec(out, hedge::kNullNode, spec);
+    }
+    ++emitted;
+    return fn(out);
+  });
+  return emitted;
+}
+
+hedge::Hedge SampleHedge(const EnumVocab& vocab, size_t size,
+                         SplitMix64& rng) {
+  Hedge out;
+  std::vector<uint64_t> t, h;
+  CountTables(vocab, size, t, h);
+  if (h[size] == 0) return out;
+  SampleHedgeInto(vocab, size, rng, t, h, out, hedge::kNullNode);
+  return out;
+}
+
+}  // namespace hedgeq::verify

@@ -1,0 +1,61 @@
+#ifndef HEDGEQ_VERIFY_ENUMERATE_H_
+#define HEDGEQ_VERIFY_ENUMERATE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hedge/hedge.h"
+
+namespace hedgeq::verify {
+
+/// The label universe hedges are drawn from.
+struct EnumVocab {
+  std::vector<hedge::SymbolId> symbols;
+  std::vector<hedge::VarId> variables;
+  std::vector<hedge::SubstId> substs;
+};
+
+/// Number of trees with exactly `size` nodes over `vocab`:
+///   T(1) = |S| + |V| + |Z|,  T(n) = |S| * H(n-1).
+uint64_t CountTrees(const EnumVocab& vocab, size_t size);
+
+/// Number of hedges with exactly `size` nodes over `vocab`:
+///   H(0) = 1,  H(n) = sum_{t=1..n} T(t) * H(n-t).
+uint64_t CountHedges(const EnumVocab& vocab, size_t size);
+
+/// Emits every hedge with exactly `size` nodes, in a fixed deterministic
+/// order, until `fn` returns false or `max_count` hedges have been emitted.
+/// Returns the number emitted.
+size_t EnumerateHedges(const EnumVocab& vocab, size_t size, size_t max_count,
+                       const std::function<bool(const hedge::Hedge&)>& fn);
+
+/// Deterministic splittable PRNG (splitmix64) — the oracle's only source of
+/// randomness, so runs reproduce from a seed.
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9e3779b97f4a7c15ULL;
+    uint64_t z = state_;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+    return z ^ (z >> 31);
+  }
+
+  uint64_t Below(uint64_t bound) { return bound == 0 ? 0 : Next() % bound; }
+
+ private:
+  uint64_t state_;
+};
+
+/// Uniform sample among the hedges with exactly `size` nodes, using the
+/// counting recurrences to weight the first-tree split. Returns an empty
+/// hedge when no hedge of that size exists (empty vocabulary).
+hedge::Hedge SampleHedge(const EnumVocab& vocab, size_t size,
+                         SplitMix64& rng);
+
+}  // namespace hedgeq::verify
+
+#endif  // HEDGEQ_VERIFY_ENUMERATE_H_

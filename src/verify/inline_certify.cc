@@ -1,0 +1,36 @@
+// Inline certification: when this translation unit is linked into a binary
+// (HEDGEQ_CERTIFY=ON builds), every Determinize and PruneNha call in the
+// process records a witness and has it validated by the independent checker
+// before the result is returned — translation validation as a standing
+// invariant of sanitizer builds, not just a test.
+//
+// Kept as a separate object library: a static-library member with nothing
+// but a global constructor would be dropped by the linker.
+
+#include "automata/analysis.h"
+#include "automata/determinize.h"
+#include "verify/checker.h"
+
+namespace hedgeq::verify {
+namespace {
+
+struct Installer {
+  Installer() {
+    automata::SetDeterminizeValidationHook(
+        [](const automata::Nha& input, const automata::Determinized& output,
+           const automata::DeterminizeWitness& witness) {
+          return DiagnosticsToStatus(
+              CheckDeterminize(input, output, witness));
+        });
+    automata::SetTrimValidationHook(
+        [](const automata::Nha& input, const automata::Nha& output,
+           const automata::TrimWitness& witness) {
+          return DiagnosticsToStatus(CheckTrim(input, output, witness));
+        });
+  }
+};
+
+const Installer installer;
+
+}  // namespace
+}  // namespace hedgeq::verify

@@ -1,0 +1,150 @@
+#include "verify/naive_match.h"
+
+#include <span>
+#include <vector>
+
+namespace hedgeq::verify {
+
+namespace {
+
+using hedge::Hedge;
+using hedge::Label;
+using hedge::LabelKind;
+using hedge::NodeId;
+using hre::HreKind;
+using hre::HreNode;
+
+class Matcher {
+ public:
+  Matcher(const Hedge& doc, size_t max_steps)
+      : doc_(doc), max_steps_(max_steps) {}
+
+  bool overflowed() const { return overflowed_; }
+
+  // Environments are indices into an append-only binding arena (-1 = empty):
+  // a plain stack would not work, because MatchSubst resumes matching under
+  // a *prefix* of the environment while the bindings pushed after that
+  // prefix are still live in the enclosing call.
+  struct Binding {
+    hedge::SubstId z;
+    const HreNode* expr;
+    int32_t parent;
+    bool mandatory;  // @z embedding (must substitute) vs ^z closure (may)
+  };
+
+  int32_t Push(hedge::SubstId z, const HreNode* expr, int32_t parent,
+               bool mandatory) {
+    bindings_.push_back(Binding{z, expr, parent, mandatory});
+    return static_cast<int32_t>(bindings_.size()) - 1;
+  }
+
+  bool Match(std::span<const NodeId> trees, const HreNode* e, int32_t env) {
+    if (++steps_ > max_steps_) {
+      overflowed_ = true;
+      return false;
+    }
+    switch (e->kind()) {
+      case HreKind::kEmptySet:
+        return false;
+      case HreKind::kEpsilon:
+        return trees.empty();
+      case HreKind::kVariable:
+        return trees.size() == 1 &&
+               doc_.label(trees[0]) == Label::Variable(e->id());
+      case HreKind::kTree: {
+        if (trees.size() != 1 ||
+            !(doc_.label(trees[0]) == Label::Symbol(e->id()))) {
+          return false;
+        }
+        std::vector<NodeId> kids = doc_.ChildrenOf(trees[0]);
+        return Match(kids, e->left().get(), env);
+      }
+      case HreKind::kSubstLeaf: {
+        if (trees.size() != 1 ||
+            !(doc_.label(trees[0]) == Label::Symbol(e->id()))) {
+          return false;
+        }
+        std::vector<NodeId> kids = doc_.ChildrenOf(trees[0]);
+        return MatchSubst(kids, e->subst(), env);
+      }
+      case HreKind::kConcat: {
+        for (size_t i = 0; i <= trees.size(); ++i) {
+          if (Match(trees.subspan(0, i), e->left().get(), env) &&
+              Match(trees.subspan(i), e->right().get(), env)) {
+            return true;
+          }
+          if (overflowed_) return false;
+        }
+        return false;
+      }
+      case HreKind::kUnion:
+        return Match(trees, e->left().get(), env) ||
+               Match(trees, e->right().get(), env);
+      case HreKind::kStar: {
+        if (trees.empty()) return true;
+        // Nonempty first iteration, so the suffix strictly shrinks.
+        for (size_t i = 1; i <= trees.size(); ++i) {
+          if (Match(trees.subspan(0, i), e->left().get(), env) &&
+              Match(trees.subspan(i), e, env)) {
+            return true;
+          }
+          if (overflowed_) return false;
+        }
+        return false;
+      }
+      case HreKind::kEmbed:
+        // L(e1) o_z L(e2): match e2, with every z-leaf obliged to expand
+        // to e1 under the environment captured here (binding time).
+        return Match(trees, e->right().get(),
+                     Push(e->subst(), e->left().get(), env, true));
+      case HreKind::kVClose:
+        // e^z: match e once; z-leaves may re-expand the closure or defer
+        // to the outer environment.
+        return Match(trees, e->left().get(),
+                     Push(e->subst(), e, env, false));
+    }
+    return false;
+  }
+
+  // The content of an a<%z> leaf: what may stand in for z under `env`.
+  bool MatchSubst(std::span<const NodeId> trees, hedge::SubstId z,
+                  int32_t env) {
+    if (++steps_ > max_steps_) {
+      overflowed_ = true;
+      return false;
+    }
+    int32_t b = env;
+    while (b >= 0 && bindings_[b].z != z) b = bindings_[b].parent;
+    if (b < 0) {
+      // Unbound: the leaf stays literal.
+      return trees.size() == 1 && doc_.label(trees[0]) == Label::Subst(z);
+    }
+    const Binding bound = bindings_[b];
+    if (bound.mandatory) {
+      return Match(trees, bound.expr, bound.parent);
+    }
+    // Vertical closure: expand once more (the stored expression is the
+    // ^z node itself, which re-binds), or keep the leaf / defer outward.
+    return Match(trees, bound.expr, bound.parent) ||
+           MatchSubst(trees, z, bound.parent);
+  }
+
+ private:
+  const Hedge& doc_;
+  const size_t max_steps_;
+  std::vector<Binding> bindings_;
+  size_t steps_ = 0;
+  bool overflowed_ = false;
+};
+
+}  // namespace
+
+std::optional<bool> NaiveHreMatch(const hre::Hre& e, const hedge::Hedge& h,
+                                  const NaiveMatchOptions& options) {
+  Matcher matcher(h, options.max_steps);
+  bool verdict = matcher.Match(h.roots(), e.get(), -1);
+  if (matcher.overflowed()) return std::nullopt;
+  return verdict;
+}
+
+}  // namespace hedgeq::verify

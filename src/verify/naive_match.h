@@ -1,0 +1,30 @@
+#ifndef HEDGEQ_VERIFY_NAIVE_MATCH_H_
+#define HEDGEQ_VERIFY_NAIVE_MATCH_H_
+
+#include <cstddef>
+#include <optional>
+
+#include "hedge/hedge.h"
+#include "hre/ast.h"
+
+namespace hedgeq::verify {
+
+struct NaiveMatchOptions {
+  // Total Match/MatchSubst invocations before giving up. The matcher is
+  // exponential by design; the oracle treats overruns as "unknown".
+  size_t max_steps = size_t{1} << 22;
+};
+
+/// Reference matcher: decides hedge membership directly from Definition 11's
+/// language equations — all concat splits, explicit star unrolling, and a
+/// persistent binding environment for @z / ^z substitution, with embedding
+/// expressions captured at binding time. Shares nothing with the automaton
+/// pipeline, so it is a fully independent oracle for CompileHre + Determinize.
+///
+/// Returns nullopt when the step budget is exhausted before a verdict.
+std::optional<bool> NaiveHreMatch(const hre::Hre& e, const hedge::Hedge& h,
+                                  const NaiveMatchOptions& options = {});
+
+}  // namespace hedgeq::verify
+
+#endif  // HEDGEQ_VERIFY_NAIVE_MATCH_H_

@@ -1,0 +1,230 @@
+#include "verify/oracle.h"
+
+#include <optional>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "automata/determinize.h"
+#include "automata/lazy_dha.h"
+#include "automata/streaming.h"
+#include "hre/compile.h"
+#include "schema/schema.h"
+#include "schema/streaming.h"
+#include "util/strings.h"
+#include "verify/enumerate.h"
+#include "verify/naive_match.h"
+#include "xml/xml.h"
+
+namespace hedgeq::verify {
+
+namespace {
+
+using hedge::Hedge;
+using hedge::Label;
+using hedge::LabelKind;
+using hedge::NodeId;
+
+constexpr size_t kMaxFindings = 16;
+
+void CollectLabels(const hre::HreNode* e, std::set<const hre::HreNode*>& seen,
+                   std::set<InternId>& symbols, std::set<InternId>& variables,
+                   std::set<InternId>& substs) {
+  if (e == nullptr || !seen.insert(e).second) return;
+  switch (e->kind()) {
+    case hre::HreKind::kVariable:
+      variables.insert(e->id());
+      break;
+    case hre::HreKind::kTree:
+      symbols.insert(e->id());
+      break;
+    case hre::HreKind::kSubstLeaf:
+      symbols.insert(e->id());
+      substs.insert(e->subst());
+      break;
+    case hre::HreKind::kEmbed:
+    case hre::HreKind::kVClose:
+      substs.insert(e->subst());
+      break;
+    default:
+      break;
+  }
+  CollectLabels(e->left().get(), seen, symbols, variables, substs);
+  CollectLabels(e->right().get(), seen, symbols, variables, substs);
+}
+
+struct Verdict {
+  const char* engine;
+  bool accepts;
+};
+
+}  // namespace
+
+Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
+                                           hedge::Vocabulary& vocab,
+                                           const OracleOptions& options) {
+  OracleReport report;
+
+  BudgetScope scope(options.budget);
+  Result<automata::Nha> nha = hre::CompileHre(e, scope);
+  if (!nha.ok()) return nha.status();
+
+  // Label universe: the expression's own labels plus one fresh symbol the
+  // language cannot mention, so every tier also exercises rejection.
+  EnumVocab ev;
+  {
+    std::set<const hre::HreNode*> seen;
+    std::set<InternId> symbols, variables, substs;
+    CollectLabels(e.get(), seen, symbols, variables, substs);
+    symbols.insert(vocab.symbols.Intern("_oracle_fresh"));
+    ev.symbols.assign(symbols.begin(), symbols.end());
+    ev.variables.assign(variables.begin(), variables.end());
+    ev.substs.assign(substs.begin(), substs.end());
+  }
+
+  // Eager engines, when the budget allows.
+  std::optional<automata::Dha> dha;
+  {
+    Result<automata::Determinized> det = automata::Determinize(*nha, scope);
+    if (det.ok()) {
+      dha = std::move(det->dha);
+      report.eager_available = true;
+    } else if (det.status().code() != StatusCode::kResourceExhausted) {
+      return det.status();
+    }
+  }
+  automata::LazyDha lazy(*nha);
+  Result<schema::StreamingValidator> validator =
+      schema::StreamingValidator::Create(schema::Schema(*nha),
+                                         options.budget);
+  if (!validator.ok()) return validator.status();
+
+  auto check = [&](const Hedge& h) -> bool {  // false stops the corpus walk
+    ++report.hedges_checked;
+    std::vector<Verdict> verdicts;
+    verdicts.push_back({"nha", nha->Accepts(h)});
+    verdicts.push_back({"lazy", lazy.Accepts(h)});
+    if (dha.has_value()) verdicts.push_back({"eager", dha->Accepts(h)});
+
+    std::optional<bool> naive =
+        NaiveHreMatch(e, h, NaiveMatchOptions{options.naive_max_steps});
+    if (naive.has_value()) {
+      verdicts.push_back({"naive", *naive});
+    } else {
+      ++report.naive_unknown;
+    }
+
+    // Streaming runs consume SAX events, which cannot express substitution
+    // leaves; skip those hedges for the streaming tier only.
+    bool has_subst = false;
+    std::set<hedge::VarId> vars_used;
+    for (NodeId n = 0; n < h.num_nodes(); ++n) {
+      if (h.label(n).kind == LabelKind::kSubst) has_subst = true;
+      if (h.label(n).kind == LabelKind::kVariable) {
+        vars_used.insert(h.label(n).id);
+      }
+    }
+    if (!has_subst) {
+      ++report.streaming_checked;
+      automata::LazyStreamingRun lazy_stream(lazy);
+      std::optional<automata::StreamingDhaRun> eager_stream;
+      if (dha.has_value()) eager_stream.emplace(*dha);
+      struct Emit {
+        const Hedge& h;
+        automata::LazyStreamingRun& ls;
+        std::optional<automata::StreamingDhaRun>& es;
+        void Node(NodeId n) {
+          Label label = h.label(n);
+          if (label.kind == LabelKind::kSymbol) {
+            ls.StartElement(label.id);
+            if (es.has_value()) es->StartElement(label.id);
+            for (NodeId kid : h.ChildrenOf(n)) Node(kid);
+            ls.EndElement(label.id);
+            if (es.has_value()) es->EndElement(label.id);
+          } else {  // variable leaf (substs were excluded, eta never occurs)
+            ls.Text(label.id);
+            if (es.has_value()) es->Text(label.id);
+          }
+        }
+      } emit{h, lazy_stream, eager_stream};
+      for (NodeId root : h.roots()) emit.Node(root);
+      verdicts.push_back({"lazy-stream", lazy_stream.Accepted()});
+      if (eager_stream.has_value()) {
+        verdicts.push_back({"eager-stream", eager_stream->Accepted()});
+      }
+
+      // The XML round-trip maps every text node to one text variable, so it
+      // is faithful only for hedges using at most one distinct variable —
+      // and XML coalesces adjacent text, so two variable leaves that are
+      // consecutive siblings parse back as a single leaf. Skip both.
+      bool adjacent_text = false;
+      auto scan_siblings = [&](auto&& siblings) {
+        bool prev_var = false;
+        for (NodeId n : siblings) {
+          bool is_var = h.label(n).kind == LabelKind::kVariable;
+          if (is_var && prev_var) adjacent_text = true;
+          prev_var = is_var;
+        }
+      };
+      scan_siblings(h.roots());
+      for (NodeId n = 0; n < h.num_nodes(); ++n) {
+        scan_siblings(h.ChildrenOf(n));
+      }
+      if (h.roots().size() == 1 && vars_used.size() <= 1 && !adjacent_text) {
+        xml::XmlDocument doc = xml::WrapHedge(h, vocab);
+        xml::XmlParseOptions parse_options;
+        if (!vars_used.empty()) {
+          parse_options.text_variable =
+              vocab.variables.NameOf(*vars_used.begin());
+        }
+        Result<bool> valid = validator->Validate(
+            xml::SerializeXml(doc, vocab), vocab, parse_options);
+        if (valid.ok()) {
+          ++report.validator_checked;
+          verdicts.push_back({"validator", *valid});
+        }
+      }
+    }
+
+    bool agree = true;
+    for (const Verdict& v : verdicts) {
+      if (v.accepts != verdicts[0].accepts) agree = false;
+    }
+    if (!agree) {
+      lint::Diagnostic d;
+      d.severity = lint::Severity::kError;
+      d.code = lint::DiagnosticCode::kDifferentialDisagreement;
+      d.span = StrCat("hedge/", h.ToString(vocab));
+      std::string message = "engines disagree:";
+      for (const Verdict& v : verdicts) {
+        message += StrCat(" ", v.engine, "=", v.accepts ? 1 : 0);
+      }
+      d.message = std::move(message);
+      report.diagnostics.push_back(std::move(d));
+    }
+    return report.diagnostics.size() < kMaxFindings;
+  };
+
+  // Tier 1: bounded-exhaustive over all sizes up to max_size.
+  bool keep_going = true;
+  for (size_t size = 0; size <= options.max_size && keep_going; ++size) {
+    size_t cap = options.max_exhaustive - report.enumerated;
+    report.enumerated += EnumerateHedges(ev, size, cap, [&](const Hedge& h) {
+      keep_going = check(h);
+      return keep_going;
+    });
+  }
+
+  // Tier 2: uniform samples at a size the exhaustive tier cannot reach.
+  SplitMix64 rng(options.seed);
+  for (size_t i = 0; i < options.samples && keep_going; ++i) {
+    Hedge h = SampleHedge(ev, options.sample_size, rng);
+    if (h.empty() && options.sample_size > 0) break;  // empty vocabulary
+    ++report.sampled;
+    keep_going = check(h);
+  }
+
+  return report;
+}
+
+}  // namespace hedgeq::verify

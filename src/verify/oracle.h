@@ -1,0 +1,63 @@
+#ifndef HEDGEQ_VERIFY_ORACLE_H_
+#define HEDGEQ_VERIFY_ORACLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hedge/hedge.h"
+#include "hre/ast.h"
+#include "lint/diagnostics.h"
+#include "util/budget.h"
+#include "util/status.h"
+
+namespace hedgeq::verify {
+
+struct OracleOptions {
+  /// Bounded-exhaustive enumeration covers every hedge of up to this many
+  /// nodes (over the expression's labels plus one fresh symbol), capped at
+  /// `max_exhaustive` hedges overall.
+  size_t max_size = 3;
+  size_t max_exhaustive = 4000;
+  /// On top of the exhaustive tier: uniformly sampled hedges of exactly
+  /// `sample_size` nodes, via the tree-counting recurrences.
+  size_t samples = 32;
+  size_t sample_size = 6;
+  uint64_t seed = 1;
+  /// Step cap for the exponential reference matcher; overruns are counted
+  /// as unknown and skipped, never flagged.
+  size_t naive_max_steps = size_t{1} << 22;
+  /// Budget for compilation/determinization; eager-engine exhaustion
+  /// degrades to lazy-only comparison instead of failing.
+  ExecBudget budget;
+};
+
+struct OracleReport {
+  /// HQV009 findings, one per disagreeing hedge (capped).
+  std::vector<lint::Diagnostic> diagnostics;
+  size_t hedges_checked = 0;
+  size_t enumerated = 0;
+  size_t sampled = 0;
+  size_t naive_unknown = 0;    // reference matcher hit its step cap
+  size_t streaming_checked = 0;
+  size_t validator_checked = 0;
+  /// False when eager determinization blew the budget (lazy engines still
+  /// cross-check the NHA and the reference matcher).
+  bool eager_available = false;
+
+  bool ok() const { return diagnostics.empty(); }
+};
+
+/// Differential testing of the whole pipeline on one expression: every
+/// engine that can decide membership — the naive reference matcher, direct
+/// NHA simulation, the eager DHA, StreamingDhaRun, LazyDha, LazyStreamingRun
+/// and (where the hedge is XML-representable) StreamingValidator — runs over
+/// a bounded-exhaustive plus random-sampled hedge corpus; any disagreement
+/// is an HQV009 finding naming the hedge and each engine's verdict.
+/// Fails only on setup errors (e.g. the expression does not compile).
+Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
+                                           hedge::Vocabulary& vocab,
+                                           const OracleOptions& options = {});
+
+}  // namespace hedgeq::verify
+
+#endif  // HEDGEQ_VERIFY_ORACLE_H_

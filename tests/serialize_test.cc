@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "automata/determinize.h"
 #include "automata/serialize.h"
 #include "hre/compile.h"
 #include "schema/schema.h"
@@ -77,6 +78,83 @@ TEST(SerializeTest, RejectsMalformedInput) {
       DeserializeNha("nha 1\nstates 1\nfinal\nnfa 2 0\naccept 1\nt 0 0 1\n",
                      vocab)
           .ok());
+}
+
+TEST(SerializeTest, DhaRoundTripIsByteIdentical) {
+  Vocabulary vocab;
+  for (const char* expr :
+       {"a", "(a|b)* c<$x>", "a<b<$x> c>*", "a<%z>*^z", "(b|c) @z a<%z>"}) {
+    auto e = hre::ParseHre(expr, vocab);
+    ASSERT_TRUE(e.ok());
+    Nha nha = hre::CompileHre(*e);
+    BudgetScope scope{ExecBudget{}};
+    auto det = Determinize(nha, scope);
+    ASSERT_TRUE(det.ok()) << expr;
+    std::string text = SerializeDha(det->dha, vocab);
+
+    Vocabulary vocab2;
+    auto loaded = DeserializeDha(text, vocab2);
+    ASSERT_TRUE(loaded.ok()) << expr << ": " << loaded.status().ToString();
+    // Re-serializing the loaded automaton against the fresh vocabulary must
+    // reproduce the exact bytes (the format is canonical).
+    EXPECT_EQ(SerializeDha(*loaded, vocab2), text) << expr;
+
+    Rng rng(19);
+    for (int trial = 0; trial < 20; ++trial) {
+      workload::RandomHedgeOptions options;
+      options.target_nodes = 1 + rng.Below(8);
+      Rng fork1 = rng;
+      Rng fork2 = rng;
+      Hedge doc1 = workload::RandomHedge(fork1, vocab, options);
+      Hedge doc2 = workload::RandomHedge(fork2, vocab2, options);
+      rng = fork1;
+      ASSERT_EQ(det->dha.Accepts(doc1), loaded->Accepts(doc2)) << expr;
+    }
+  }
+}
+
+TEST(SerializeTest, DhaRejectsMalformedInput) {
+  Vocabulary vocab;
+  EXPECT_FALSE(DeserializeDha("", vocab).ok());
+  EXPECT_FALSE(DeserializeDha("nha 1\n", vocab).ok());
+  EXPECT_FALSE(DeserializeDha("dha 2\nstates 1 0\n", vocab).ok());
+  EXPECT_FALSE(DeserializeDha("dha 1\nstates x 0\n", vocab).ok());
+  // Sink out of range.
+  EXPECT_FALSE(
+      DeserializeDha("dha 1\nstates 1 4\nhstates 1 0\nfinal 1 0\nend\n",
+                     vocab)
+          .ok());
+  // Assignment references a horizontal state that does not exist.
+  EXPECT_FALSE(
+      DeserializeDha("dha 1\nstates 1 0\nhstates 1 0\nassign a 7 0\n"
+                     "final 1 0\nend\n",
+                     vocab)
+          .ok());
+  // Transition target out of range in the lifted final DFA.
+  EXPECT_FALSE(
+      DeserializeDha("dha 1\nstates 1 0\nhstates 1 0\nfinal 1 0\n"
+                     "d 0 0 9\nend\n",
+                     vocab)
+          .ok());
+  // Accepting state out of range.
+  EXPECT_FALSE(
+      DeserializeDha("dha 1\nstates 1 0\nhstates 1 0\nfinal 1 0\n"
+                     "accept 3\nend\n",
+                     vocab)
+          .ok());
+  // Missing end trailer.
+  EXPECT_FALSE(
+      DeserializeDha("dha 1\nstates 1 0\nhstates 1 0\nfinal 1 0\n", vocab)
+          .ok());
+
+  // Sanity: a real serialization still loads after this gauntlet.
+  auto e = hre::ParseHre("a<b*>", vocab);
+  ASSERT_TRUE(e.ok());
+  Nha nha = hre::CompileHre(*e);
+  BudgetScope scope{ExecBudget{}};
+  auto det = Determinize(nha, scope);
+  ASSERT_TRUE(det.ok());
+  EXPECT_TRUE(DeserializeDha(SerializeDha(det->dha, vocab), vocab).ok());
 }
 
 TEST(SerializeTest, CommentsAndBlankLinesIgnored) {

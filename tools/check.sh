@@ -29,7 +29,7 @@ cmake --build --preset asan --target lint
 step "fuzzer smoke (${FUZZ_SECONDS}s per harness)"
 # Under clang these are libFuzzer binaries; under gcc the standalone driver
 # provides the same --smoke interface (deterministic mutation loop).
-for harness in fuzz_xml fuzz_hre; do
+for harness in fuzz_xml fuzz_hre fuzz_certify; do
   bin="${BUILD_DIR}/fuzz/${harness}"
   corpus="${REPO_ROOT}/fuzz/corpus/${harness#fuzz_}"
   if [[ -x "${bin}" ]]; then
@@ -51,5 +51,17 @@ LINT="${BUILD_DIR}/tools/hedgeq_lint"
 "${LINT}" query 'select(*; figure (section|article)*)' tools/fixtures/article.grammar
 "${LINT}" query 'select(*; [title<$#text>; section; *] article)' tools/fixtures/article.grammar
 "${LINT}" query 'select(*; para* (section|article)*)'
+
+step "translation validation (hedgeq_verify certifies the pipeline)"
+VERIFY="${BUILD_DIR}/tools/hedgeq_verify"
+# Certify compile/trim/determinize/lazy on representative expressions and
+# cross-run every engine via the differential oracle; exits 2 on findings.
+"${VERIFY}" expr '(a|b)* c<$x>' 2>/dev/null
+"${VERIFY}" expr 'b @z (a<%z> a<%z>)^z' 2>/dev/null
+"${VERIFY}" expr 'article<section* figure>*' 2>/dev/null
+"${VERIFY}" query 'select(*; figure (section|article)*)'
+# Certificates must survive a serialize/deserialize round trip and recheck.
+"${VERIFY}" emit-cert det 'a<b*> | c' | "${VERIFY}" cert -
+"${VERIFY}" emit-cert trim 'a<b*> | c' | "${VERIFY}" cert -
 
 step "all checks passed"

@@ -1,0 +1,255 @@
+// hedgeq_verify — translation validation front end for the hedgeq library.
+//
+//   hedgeq_verify expr '<hedge regular expression>'
+//   hedgeq_verify oracle '<hedge regular expression>' [max_size] [samples]
+//   hedgeq_verify query '<selection query>'
+//   hedgeq_verify emit-cert <det|trim> '<hedge regular expression>'
+//   hedgeq_verify cert <file|->
+//   hedgeq_verify from-json <file|->
+//
+// `expr` runs the whole pipeline on one expression — compile trace, trim,
+// subset construction, lazy-evaluation audit — validating every step with
+// the independent checker, then cross-runs all engines on an enumerated +
+// sampled hedge corpus (the differential oracle). `query` validates the
+// shared-automaton determinization inside PHR compilation. `emit-cert`
+// prints a serialized certificate; `cert` re-checks one (possibly from
+// another process or machine). Findings use the HQV0xx code family; pass
+// --json anywhere for the structured report (round-trips via from-json).
+//
+// Exit codes: 0 clean, 2 at least one error finding, 1 bad input.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "automata/analysis.h"
+#include "automata/determinize.h"
+#include "automata/lazy_dha.h"
+#include "hre/ast.h"
+#include "hre/compile.h"
+#include "lint/diagnostics.h"
+#include "query/selection.h"
+#include "verify/certificate.h"
+#include "verify/checker.h"
+#include "verify/enumerate.h"
+#include "verify/oracle.h"
+
+namespace {
+
+using namespace hedgeq;
+
+int Fail(const std::string& message) {
+  std::fprintf(stderr, "hedgeq_verify: %s\n", message.c_str());
+  return 1;
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  if (path == "-") {
+    std::ostringstream ss;
+    ss << std::cin.rdbuf();
+    return ss.str();
+  }
+  std::ifstream in(path);
+  if (!in) return Status::NotFound("cannot open " + path);
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int Emit(const std::vector<lint::Diagnostic>& diagnostics, bool json) {
+  if (json) {
+    std::printf("%s", lint::DiagnosticsToJson(diagnostics).c_str());
+  } else {
+    for (const lint::Diagnostic& d : diagnostics) {
+      std::printf("%s\n", lint::FormatDiagnostic(d).c_str());
+    }
+    if (diagnostics.empty()) std::printf("clean: no findings\n");
+  }
+  return lint::HasErrors(diagnostics) ? 2 : 0;
+}
+
+void Append(std::vector<lint::Diagnostic>& all,
+            std::vector<lint::Diagnostic> more) {
+  for (lint::Diagnostic& d : more) all.push_back(std::move(d));
+}
+
+// Every label the vocabulary knows (interner ids are dense).
+verify::EnumVocab VocabUniverse(const hedge::Vocabulary& vocab) {
+  verify::EnumVocab ev;
+  for (InternId i = 0; i < vocab.symbols.size(); ++i) ev.symbols.push_back(i);
+  for (InternId i = 0; i < vocab.variables.size(); ++i) {
+    ev.variables.push_back(i);
+  }
+  for (InternId i = 0; i < vocab.substs.size(); ++i) ev.substs.push_back(i);
+  return ev;
+}
+
+int CmdExpr(const std::string& text, bool json) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return Fail(e.status().ToString());
+  std::vector<lint::Diagnostic> all;
+
+  BudgetScope scope{ExecBudget{}};
+  hre::CompileTrace trace;
+  auto nha = hre::CompileHre(*e, scope, &trace);
+  if (!nha.ok()) return Fail(nha.status().ToString());
+  Append(all, verify::CheckCompile(*e, *nha, trace));
+
+  automata::TrimWitness trim_witness;
+  automata::Nha trimmed = automata::PruneNha(*nha, nullptr, &trim_witness);
+  Append(all, verify::CheckTrim(*nha, trimmed, trim_witness));
+
+  automata::DeterminizeWitness det_witness;
+  auto det = automata::Determinize(*nha, scope, &det_witness);
+  if (det.ok()) {
+    Append(all, verify::CheckDeterminize(*nha, *det, det_witness));
+  } else if (det.status().code() != StatusCode::kResourceExhausted) {
+    return Fail(det.status().ToString());
+  }
+
+  // Drive the lazy engine over every hedge of up to 2 nodes and audit each
+  // fresh (cache-miss) step it takes.
+  automata::LazyDha lazy(*nha);
+  std::vector<automata::LazyAuditEntry> audit;
+  lazy.EnableAudit(&audit);
+  verify::EnumVocab ev = VocabUniverse(vocab);
+  for (size_t size = 0; size <= 2; ++size) {
+    verify::EnumerateHedges(ev, size, 500, [&](const hedge::Hedge& h) {
+      lazy.Accepts(h);
+      return true;
+    });
+  }
+  Append(all, verify::CheckLazyAudit(*nha, audit));
+
+  auto oracle = verify::RunDifferentialOracle(*e, vocab);
+  if (!oracle.ok()) return Fail(oracle.status().ToString());
+  std::fprintf(stderr,
+               "oracle: %zu hedges (%zu enumerated, %zu sampled), "
+               "streaming %zu, validator %zu, naive-unknown %zu, eager=%d\n",
+               oracle->hedges_checked, oracle->enumerated, oracle->sampled,
+               oracle->streaming_checked, oracle->validator_checked,
+               oracle->naive_unknown, oracle->eager_available ? 1 : 0);
+  Append(all, oracle->diagnostics);
+  return Emit(all, json);
+}
+
+int CmdOracle(const std::string& text, const std::vector<std::string>& rest,
+              bool json) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return Fail(e.status().ToString());
+  verify::OracleOptions options;
+  if (rest.size() >= 1) options.max_size = std::stoul(rest[0]);
+  if (rest.size() >= 2) options.samples = std::stoul(rest[1]);
+  auto report = verify::RunDifferentialOracle(*e, vocab, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::fprintf(stderr,
+               "oracle: %zu hedges (%zu enumerated, %zu sampled), "
+               "streaming %zu, validator %zu, naive-unknown %zu, eager=%d\n",
+               report->hedges_checked, report->enumerated, report->sampled,
+               report->streaming_checked, report->validator_checked,
+               report->naive_unknown, report->eager_available ? 1 : 0);
+  return Emit(report->diagnostics, json);
+}
+
+int CmdQuery(const std::string& text, bool json) {
+  hedge::Vocabulary vocab;
+  auto query = query::ParseSelectionQuery(text, vocab);
+  if (!query.ok()) return Fail(query.status().ToString());
+  BudgetScope scope{ExecBudget{}};
+  query::PhrWitness witness;
+  auto compiled = query::CompilePhr(query->envelope, scope, &witness);
+  if (!compiled.ok()) return Fail(compiled.status().ToString());
+  automata::Determinized det{compiled->dha(), compiled->subsets()};
+  return Emit(verify::CheckDeterminize(witness.union_nha, det, witness.det),
+              json);
+}
+
+int CmdEmitCert(const std::string& kind, const std::string& text) {
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return Fail(e.status().ToString());
+  BudgetScope scope{ExecBudget{}};
+  auto nha = hre::CompileHre(*e, scope);
+  if (!nha.ok()) return Fail(nha.status().ToString());
+  if (kind == "det") {
+    auto cert = verify::BuildDeterminizeCertificate(*nha, scope);
+    if (!cert.ok()) return Fail(cert.status().ToString());
+    std::printf("%s", verify::SerializeCertificate(*cert, vocab).c_str());
+    return 0;
+  }
+  if (kind == "trim") {
+    verify::Certificate cert = verify::BuildTrimCertificate(*nha);
+    std::printf("%s", verify::SerializeCertificate(cert, vocab).c_str());
+    return 0;
+  }
+  return Fail("emit-cert kind must be 'det' or 'trim'");
+}
+
+int CmdCert(const std::string& path, bool json) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status().ToString());
+  hedge::Vocabulary vocab;
+  auto cert = verify::DeserializeCertificate(*text, vocab);
+  if (!cert.ok()) return Fail(cert.status().ToString());
+  return Emit(verify::CheckCertificate(*cert), json);
+}
+
+int CmdFromJson(const std::string& path, bool json) {
+  auto text = ReadFile(path);
+  if (!text.ok()) return Fail(text.status().ToString());
+  auto diagnostics = lint::ParseDiagnosticsJson(*text);
+  if (!diagnostics.ok()) return Fail(diagnostics.status().ToString());
+  return Emit(*diagnostics, json);
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  hedgeq_verify [--json] expr '<hedge regular expression>'\n"
+      "  hedgeq_verify [--json] oracle '<expression>' [max_size] [samples]\n"
+      "  hedgeq_verify [--json] query '<selection query>'\n"
+      "  hedgeq_verify emit-cert <det|trim> '<expression>'\n"
+      "  hedgeq_verify [--json] cert <file|->\n"
+      "  hedgeq_verify [--json] from-json <file|->\n"
+      "exit: 0 certificates valid, 2 findings, 1 bad input\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool json = false;
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]) == "--json") {
+      json = true;
+    } else {
+      args.emplace_back(argv[i]);
+    }
+  }
+  if (args.empty()) {
+    Usage();
+    return 1;
+  }
+  const std::string& cmd = args[0];
+  if (cmd == "expr" && args.size() == 2) return CmdExpr(args[1], json);
+  if (cmd == "oracle" && args.size() >= 2 && args.size() <= 4) {
+    return CmdOracle(args[1],
+                     std::vector<std::string>(args.begin() + 2, args.end()),
+                     json);
+  }
+  if (cmd == "query" && args.size() == 2) return CmdQuery(args[1], json);
+  if (cmd == "emit-cert" && args.size() == 3) {
+    return CmdEmitCert(args[1], args[2]);
+  }
+  if (cmd == "cert" && args.size() == 2) return CmdCert(args[1], json);
+  if (cmd == "from-json" && args.size() == 2) {
+    return CmdFromJson(args[1], json);
+  }
+  Usage();
+  return 1;
+}
