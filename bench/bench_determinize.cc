@@ -245,4 +245,4 @@ BENCHMARK(BM_Theorem4Pipeline)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_determinize)

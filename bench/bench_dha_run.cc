@@ -83,4 +83,4 @@ BENCHMARK(BM_DhaAccepts)->Arg(10000)->Arg(100000)->Unit(
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_dha_run)

@@ -7,6 +7,8 @@
 
 #include "hre/compile.h"
 
+#include "bench/bench_util.h"
+
 namespace hedgeq {
 namespace {
 
@@ -81,4 +83,4 @@ BENCHMARK(BM_CompileMixed)->Arg(10)->Arg(100)->Arg(1000)->Unit(
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_hre_compile)

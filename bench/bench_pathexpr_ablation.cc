@@ -103,4 +103,4 @@ BENCHMARK(BM_SimplifiedVsPathLength)->DenseRange(1, 7, 2)->Unit(
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_pathexpr_ablation)

@@ -106,4 +106,4 @@ BENCHMARK(BM_CompilePhrOnce)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_phr_eval)

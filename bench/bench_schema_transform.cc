@@ -90,4 +90,4 @@ BENCHMARK(BM_SelectOutputSiblingQuery)->Unit(benchmark::kMillisecond);
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_schema_transform)

@@ -78,4 +78,4 @@ BENCHMARK(BM_DomValidate)
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_streaming)

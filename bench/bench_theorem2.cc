@@ -11,6 +11,8 @@
 #include "hre/compile.h"
 #include "hre/from_nha.h"
 
+#include "bench/bench_util.h"
+
 namespace hedgeq {
 namespace {
 
@@ -89,4 +91,4 @@ BENCHMARK(BM_AmbiguityCheck)->DenseRange(1, 3)->Unit(
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_theorem2)

@@ -2,12 +2,22 @@
 #define HEDGEQ_BENCH_BENCH_UTIL_H_
 
 // Shared workload builders for the experiment harness (see DESIGN.md
-// section 4 for the experiment index E1..E8).
+// section 4 for the experiment index E1..E8), plus the HEDGEQ_BENCH_MAIN
+// entry point that gives every bench binary a machine-readable
+// BENCH_<name>.json artifact (see docs/OBSERVABILITY.md).
 
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
 #include <string>
 #include <vector>
 
+#include <benchmark/benchmark.h>
+
 #include "hre/sugar.h"
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "query/selection.h"
 #include "util/rng.h"
 #include "workload/generators.h"
@@ -77,6 +87,71 @@ inline std::string ArticleGrammar(size_t extra_paras = 0) {
          extra_rules;
 }
 
+/// Replacement for BENCHMARK_MAIN(): runs the registered benchmarks with the
+/// usual console output, captures google-benchmark's JSON report on the
+/// side, and writes `BENCH_<name>.json` containing
+///
+///   {"bench": "<name>", "report": <google-benchmark JSON>,
+///    "obs": <metrics snapshot>}
+///
+/// to HEDGEQ_BENCH_OUT_DIR (default: the working directory). Observability
+/// counters are on during the run so the "obs" section attributes work to
+/// pipeline stages; set HEDGEQ_BENCH_OBS=0 to measure with the
+/// instrumentation on its disabled fast path instead (the snapshot is then
+/// all zeros).
+inline int BenchMain(const char* name, int argc, char** argv) {
+  const char* obs_env = std::getenv("HEDGEQ_BENCH_OBS");
+  const bool obs_on = obs_env == nullptr || std::string(obs_env) != "0";
+  obs::RegisterCatalogue();
+  obs::SetEnabled(obs_on);
+
+  const char* dir = std::getenv("HEDGEQ_BENCH_OUT_DIR");
+  std::string prefix = (dir != nullptr && *dir != '\0')
+                           ? std::string(dir) + "/"
+                           : std::string();
+  // The library only routes its JSON reporter through flags, so append
+  // --benchmark_out pointing at a scratch file (flags parse in order, so
+  // these win over anything the caller passed).
+  std::string raw_path = prefix + "BENCH_" + name + ".raw.json";
+  std::string out_flag = "--benchmark_out=" + raw_path;
+  std::string fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args(argv, argv + argc);
+  args.push_back(out_flag.data());
+  args.push_back(fmt_flag.data());
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  std::ostringstream captured;
+  {
+    std::ifstream raw(raw_path);
+    captured << raw.rdbuf();
+  }
+  std::remove(raw_path.c_str());
+  std::string report = captured.str();
+  if (report.empty()) report = "null";
+
+  std::string path = prefix + "BENCH_" + name + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return 0;  // the benchmark itself succeeded
+  }
+  out << "{\"bench\": \"" << name << "\",\n\"report\": " << report
+      << ",\n\"obs\": " << obs::Registry().MetricsJson() << "}\n";
+  return 0;
+}
+
 }  // namespace hedgeq::bench
+
+/// Drop-in replacement for BENCHMARK_MAIN() used by every bench_* binary.
+#define HEDGEQ_BENCH_MAIN(name)                             \
+  int main(int argc, char** argv) {                         \
+    return ::hedgeq::bench::BenchMain(#name, argc, argv);   \
+  }
 
 #endif  // HEDGEQ_BENCH_BENCH_UTIL_H_

@@ -61,4 +61,4 @@ BENCHMARK(BM_NaivePerNode)
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_vs_naive)

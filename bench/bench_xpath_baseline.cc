@@ -105,4 +105,4 @@ BENCHMARK(BM_PhrFigureCaption)
 }  // namespace
 }  // namespace hedgeq
 
-BENCHMARK_MAIN();
+HEDGEQ_BENCH_MAIN(bench_xpath_baseline)

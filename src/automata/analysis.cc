@@ -5,6 +5,8 @@
 #include <deque>
 #include <map>
 
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "strre/ops.h"
 #include "util/check.h"
 
@@ -152,6 +154,7 @@ Nfa PairContentNfa(const Nfa& a, const Nfa& b, size_t n) {
 
 Nha PruneNha(const Nha& nha, std::vector<HState>* mapping,
              TrimWitness* witness) {
+  HEDGEQ_OBS_SPAN(span, obs::spans::kTrim);
   const size_t n = nha.num_states();
   Bitset derivable = ReachableStates(nha);
 
@@ -204,6 +207,13 @@ Nha PruneNha(const Nha& nha, std::vector<HState>* mapping,
       HEDGEQ_CHECK_MSG(verdict.ok(), verdict.ToString().c_str());
     }
     if (witness != nullptr) *witness = std::move(local);
+  }
+  if (obs::Enabled()) {
+    const size_t removed = n - out.num_states();
+    HEDGEQ_OBS_COUNT(obs::metrics::kTrimCalls, 1);
+    HEDGEQ_OBS_COUNT(obs::metrics::kTrimStatesRemoved, removed);
+    span.AddArg("states_in", n);
+    span.AddArg("states_removed", removed);
   }
   return out;
 }

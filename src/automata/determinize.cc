@@ -1,12 +1,15 @@
 #include "automata/determinize.h"
 
 #include <atomic>
+#include <chrono>
 #include <map>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "automata/content_union.h"
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -40,6 +43,14 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope) {
 Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
                                  DeterminizeWitness* witness) {
   HEDGEQ_FAILPOINT("determinize/alloc");
+  HEDGEQ_OBS_SPAN(span, obs::spans::kDeterminize);
+  const auto obs_start = std::chrono::steady_clock::now();
+  const size_t obs_steps_before = scope.steps_used();
+  // Local attribution accumulators: plain integers in the construction
+  // loops, folded into the registry once at the end (bulk attribution keeps
+  // the disabled-mode cost at zero inside the loops).
+  size_t obs_interned_hits = 0;
+  size_t obs_closure_recomputations = 0;
   CombinedContent combined = CombineContents(nha);
   const size_t ncomb = combined.nfa.num_states();
   const size_t nq = nha.num_states();
@@ -51,7 +62,10 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
   std::vector<Bitset> subsets;
   auto intern_subset = [&](Bitset subset) -> HState {
     auto it = subset_ids.find(subset);
-    if (it != subset_ids.end()) return it->second;
+    if (it != subset_ids.end()) {
+      ++obs_interned_hits;
+      return it->second;
+    }
     HState id = static_cast<HState>(subsets.size());
     subset_ids.emplace(subset, id);
     subsets.push_back(std::move(subset));
@@ -89,9 +103,13 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
   std::unordered_map<Bitset, HhState, BitsetHash> h_ids;
   std::vector<Bitset> h_sets;
   auto intern_h = [&](Bitset set) -> HhState {
+    ++obs_closure_recomputations;
     combined.nfa.EpsilonClosure(set);
     auto it = h_ids.find(set);
-    if (it != h_ids.end()) return it->second;
+    if (it != h_ids.end()) {
+      ++obs_interned_hits;
+      return it->second;
+    }
     HhState id = static_cast<HhState>(h_sets.size());
     h_ids.emplace(set, id);
     h_sets.push_back(std::move(set));
@@ -219,14 +237,50 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
   dha.SetFinalDfa(std::move(final_dfa).value());
 
   Determinized out{std::move(dha), std::move(subsets)};
+  uint64_t certify_ns = 0;
   if (want_witness) {
     DeterminizeWitness local;
     local.h_sets = std::move(h_sets);
     local.final_sets = std::move(final_sets);
     if (DeterminizeValidationHook hook = GetDeterminizeValidationHook()) {
+      HEDGEQ_OBS_SPAN(certify_span, obs::spans::kDeterminizeCertify);
+      const auto certify_start = std::chrono::steady_clock::now();
       HEDGEQ_RETURN_IF_ERROR(hook(nha, out, local));
+      certify_ns = static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - certify_start)
+              .count());
     }
     if (witness != nullptr) *witness = std::move(local);
+  }
+  if (obs::Enabled()) {
+    const uint64_t total_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - obs_start)
+            .count());
+    const size_t num_subsets = out.subsets.size();
+    const size_t num_h = out.dha.num_h_states();
+    HEDGEQ_OBS_COUNT(obs::metrics::kDetSubsetsExplored, num_subsets);
+    HEDGEQ_OBS_COUNT(obs::metrics::kDetHSetsExplored, num_h);
+    HEDGEQ_OBS_COUNT(obs::metrics::kDetClosureRecomputations,
+                     obs_closure_recomputations);
+    HEDGEQ_OBS_COUNT(obs::metrics::kDetInternedBitsetHits, obs_interned_hits);
+    HEDGEQ_OBS_COUNT(obs::metrics::kDetSteps,
+                     scope.steps_used() - obs_steps_before);
+    HEDGEQ_OBS_OBSERVE(obs::metrics::kHistDetSubsets, num_subsets);
+    HEDGEQ_OBS_COUNT(obs::metrics::kDetTotalNs, total_ns);
+    if (certify_ns != 0) {
+      HEDGEQ_OBS_COUNT(obs::metrics::kDetCertifyNs, certify_ns);
+      if (total_ns != 0) {
+        HEDGEQ_OBS_GAUGE_SET(obs::metrics::kDetCertifyFracPct,
+                             100 * certify_ns / total_ns);
+      }
+    }
+    span.AddArg("subsets_explored", num_subsets);
+    span.AddArg("h_sets_explored", num_h);
+    span.AddArg("closure_recomputations", obs_closure_recomputations);
+    span.AddArg("interned_bitset_hits", obs_interned_hits);
+    span.AddArg("certify_ns", certify_ns);
   }
   return out;
 }

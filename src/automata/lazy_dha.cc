@@ -2,6 +2,9 @@
 
 #include <utility>
 
+#include "obs/catalogue.h"
+#include "obs/obs.h"
+
 namespace hedgeq::automata {
 
 using hedge::Hedge;
@@ -38,6 +41,10 @@ void LazyDha::NoteInsert(size_t bytes_added) const {
   (void)bytes_added;
   stats_.peak_cache_bytes = std::max(
       stats_.peak_cache_bytes, hnext_cache_.bytes + assign_cache_.bytes);
+  HEDGEQ_OBS_COUNT(obs::metrics::kLazyStatesMaterialized, 1);
+  HEDGEQ_OBS_COUNT(obs::metrics::kLazyCacheMisses, 1);
+  HEDGEQ_OBS_GAUGE_MAX(obs::metrics::kLazyPeakCacheBytes,
+                       stats_.peak_cache_bytes);
   // Evict LRU entries, from whichever cache is larger, until the joint
   // budget holds again.
   auto evict_one = [&](auto& cache) -> bool {
@@ -46,6 +53,7 @@ void LazyDha::NoteInsert(size_t bytes_added) const {
     cache.index.erase(cache.entries.back().key);
     cache.entries.pop_back();
     ++stats_.cache_evictions;
+    HEDGEQ_OBS_COUNT(obs::metrics::kLazyCacheEvictions, 1);
     return true;
   };
   while (hnext_cache_.bytes + assign_cache_.bytes >
@@ -64,6 +72,7 @@ Bitset LazyDha::HNext(const Bitset& h, const Bitset& subset) const {
   HNextKey key{h, subset};
   if (const Bitset* cached = hnext_cache_.Find(key)) {
     ++stats_.cache_hits;
+    HEDGEQ_OBS_COUNT(obs::metrics::kLazyCacheHits, 1);
     return *cached;
   }
   Bitset next(combined_.nfa.num_states());
@@ -90,6 +99,7 @@ Bitset LazyDha::Assign(hedge::SymbolId symbol, const Bitset& h) const {
   AssignKey key{symbol, h};
   if (const Bitset* cached = assign_cache_.Find(key)) {
     ++stats_.cache_hits;
+    HEDGEQ_OBS_COUNT(obs::metrics::kLazyCacheHits, 1);
     return *cached;
   }
   Bitset targets(nha_.num_states());

@@ -24,6 +24,22 @@ struct EvalStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t peak_cache_bytes = 0;     // high-water mark of cache memory
+
+  /// What one operation spent: the counter-wise difference `after - before`
+  /// of two stats() snapshots around it (peak_cache_bytes, a high-water
+  /// mark, is carried over from `after`). Lets callers report
+  /// per-operation expenditure without mutating a shared engine through
+  /// ResetStats.
+  static EvalStats Delta(const EvalStats& before, const EvalStats& after) {
+    EvalStats d;
+    d.fallback_used = after.fallback_used;
+    d.states_materialized = after.states_materialized - before.states_materialized;
+    d.cache_evictions = after.cache_evictions - before.cache_evictions;
+    d.cache_hits = after.cache_hits - before.cache_hits;
+    d.cache_misses = after.cache_misses - before.cache_misses;
+    d.peak_cache_bytes = after.peak_cache_bytes;
+    return d;
+  }
 };
 
 struct LazyDhaOptions {
@@ -114,8 +130,16 @@ class LazyDha {
   /// Definition 8 acceptance.
   bool Accepts(const hedge::Hedge& h) const;
 
+  /// Thin compatibility accessor: the same numbers are also mirrored into
+  /// the process-wide obs::MetricsRegistry (automata.lazy.* metrics) while
+  /// observability is enabled.
   const EvalStats& stats() const { return stats_; }
-  void ResetStats() const { stats_ = EvalStats{}; }
+  /// Zeroes the per-instance stats. Non-const by design: resetting is an
+  /// observable mutation, unlike the const evaluation methods whose cache
+  /// writes are semantically transparent. Callers that only need a
+  /// per-operation delta should snapshot stats() before/after instead
+  /// (see EvalStats::Delta).
+  void ResetStats() { stats_ = EvalStats{}; }
 
   /// Points the audit log at `sink` (nullptr disables). While enabled,
   /// every cache-miss HNext/Assign computation appends one LazyAuditEntry;

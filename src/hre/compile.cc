@@ -3,6 +3,8 @@
 #include <deque>
 #include <unordered_map>
 
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "strre/ops.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -328,8 +330,19 @@ Result<Nha> CompileHre(const Hre& e, BudgetScope& scope) {
 Result<Nha> CompileHre(const Hre& e, BudgetScope& scope,
                        CompileTrace* trace) {
   HEDGEQ_FAILPOINT("hre/compile");
+  HEDGEQ_OBS_SPAN(span, obs::spans::kHreCompile);
   Compiler compiler(scope, trace);
-  return compiler.Compile(e);
+  Result<Nha> out = compiler.Compile(e);
+  if (out.ok() && obs::Enabled()) {
+    const size_t ast_nodes = HreSize(e);
+    HEDGEQ_OBS_COUNT(obs::metrics::kHreCompileAstNodes, ast_nodes);
+    HEDGEQ_OBS_COUNT(obs::metrics::kHreCompileNhaStates, out->num_states());
+    HEDGEQ_OBS_COUNT(obs::metrics::kHreCompileNhaRules, out->rules().size());
+    span.AddArg("ast_nodes", ast_nodes);
+    span.AddArg("nha_states", out->num_states());
+    span.AddArg("nha_rules", out->rules().size());
+  }
+  return out;
 }
 
 bool HreMatches(const Hre& e, const hedge::Hedge& h) {

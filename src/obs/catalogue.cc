@@ -1,0 +1,69 @@
+#include "obs/catalogue.h"
+
+#include "obs/obs.h"
+
+namespace hedgeq::obs {
+
+namespace {
+
+constexpr const char* kCounters[] = {
+    metrics::kXmlParseBytes,
+    metrics::kXmlParseNodes,
+    metrics::kHreCompileAstNodes,
+    metrics::kHreCompileNhaStates,
+    metrics::kHreCompileNhaRules,
+    metrics::kTrimCalls,
+    metrics::kTrimStatesRemoved,
+    metrics::kDetSubsetsExplored,
+    metrics::kDetHSetsExplored,
+    metrics::kDetClosureRecomputations,
+    metrics::kDetInternedBitsetHits,
+    metrics::kDetSteps,
+    metrics::kDetCertifyNs,
+    metrics::kDetTotalNs,
+    metrics::kLazyStatesMaterialized,
+    metrics::kLazyCacheHits,
+    metrics::kLazyCacheMisses,
+    metrics::kLazyCacheEvictions,
+    metrics::kPhrCompileTriplets,
+    metrics::kPhrCompileClasses,
+    metrics::kPhrCompileMirrorStates,
+    metrics::kPhrEvalPass1Nodes,
+    metrics::kPhrEvalPass2Nodes,
+    metrics::kPhrEvalLocated,
+    metrics::kPhrEvalFallbackRuns,
+    metrics::kQueryEagerCompiles,
+    metrics::kQueryLazyFallbacks,
+    metrics::kSchemaValidateEvents,
+    metrics::kSchemaValidateFallbackRuns,
+    metrics::kSchemaTransformRuns,
+    metrics::kVerifyChecksRun,
+    metrics::kVerifyFindings,
+};
+
+constexpr const char* kGauges[] = {
+    metrics::kXmlParseMaxDepth,
+    metrics::kDetCertifyFracPct,
+    metrics::kLazyPeakCacheBytes,
+    metrics::kSchemaValidateMaxDepth,
+};
+
+constexpr const char* kHistograms[] = {
+    metrics::kHistDocNodes,
+    metrics::kHistDetSubsets,
+};
+
+}  // namespace
+
+std::span<const char* const> CatalogueCounters() { return kCounters; }
+std::span<const char* const> CatalogueGauges() { return kGauges; }
+std::span<const char* const> CatalogueHistograms() { return kHistograms; }
+
+void RegisterCatalogue() {
+  MetricsRegistry& registry = Registry();
+  for (const char* name : kCounters) registry.GetCounter(name);
+  for (const char* name : kGauges) registry.GetGauge(name);
+  for (const char* name : kHistograms) registry.GetHistogram(name);
+}
+
+}  // namespace hedgeq::obs

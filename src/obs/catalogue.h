@@ -1,0 +1,123 @@
+#ifndef HEDGEQ_OBS_CATALOGUE_H_
+#define HEDGEQ_OBS_CATALOGUE_H_
+
+// The stable metric-name catalogue. Names are part of the tool-output
+// contract (like the HQL/HQV diagnostic code families): CI diffs metric
+// snapshots structurally and check.sh golden-gates the name set, so never
+// rename or drop a name — only append. docs/OBSERVABILITY.md documents
+// each entry; keep the two in sync.
+
+#include <span>
+#include <string_view>
+
+namespace hedgeq::obs {
+
+namespace metrics {
+
+// --- xml: parsing (tree-building and streaming).
+inline constexpr const char* kXmlParseBytes = "xml.parse.bytes";
+inline constexpr const char* kXmlParseNodes = "xml.parse.nodes";
+inline constexpr const char* kXmlParseMaxDepth = "xml.parse.max_depth";  // gauge
+
+// --- hre: HRE -> NHA compilation (Lemma 1; claim C2).
+inline constexpr const char* kHreCompileAstNodes = "hre.compile.ast_nodes";
+inline constexpr const char* kHreCompileNhaStates = "hre.compile.nha_states";
+inline constexpr const char* kHreCompileNhaRules = "hre.compile.nha_rules";
+
+// --- automata: trim + subset construction (Theorem 1; claim C3).
+inline constexpr const char* kTrimCalls = "automata.trim.calls";
+inline constexpr const char* kTrimStatesRemoved = "automata.trim.states_removed";
+inline constexpr const char* kDetSubsetsExplored =
+    "automata.determinize.subsets_explored";
+inline constexpr const char* kDetHSetsExplored =
+    "automata.determinize.h_sets_explored";
+inline constexpr const char* kDetClosureRecomputations =
+    "automata.determinize.closure_recomputations";
+inline constexpr const char* kDetInternedBitsetHits =
+    "automata.determinize.interned_bitset_hits";
+inline constexpr const char* kDetSteps = "automata.determinize.steps";
+inline constexpr const char* kDetCertifyNs = "automata.determinize.certify_ns";
+inline constexpr const char* kDetTotalNs = "automata.determinize.total_ns";
+// Checker share of the last certified determinization, in percent (gauge;
+// the ROADMAP `certify_frac` target is < 15).
+inline constexpr const char* kDetCertifyFracPct =
+    "automata.determinize.certify_frac_pct";
+
+// --- automata.lazy: the on-the-fly engine (absorbed LazyDha::EvalStats).
+inline constexpr const char* kLazyStatesMaterialized =
+    "automata.lazy.states_materialized";
+inline constexpr const char* kLazyCacheHits = "automata.lazy.cache_hits";
+inline constexpr const char* kLazyCacheMisses = "automata.lazy.cache_misses";
+inline constexpr const char* kLazyCacheEvictions =
+    "automata.lazy.cache_evictions";
+inline constexpr const char* kLazyPeakCacheBytes =
+    "automata.lazy.peak_cache_bytes";  // gauge (high-water mark)
+
+// --- phr: Theorem 4 compilation + Algorithm 1 evaluation (claims C4, C5).
+inline constexpr const char* kPhrCompileTriplets = "phr.compile.triplets";
+inline constexpr const char* kPhrCompileClasses = "phr.compile.classes";
+inline constexpr const char* kPhrCompileMirrorStates =
+    "phr.compile.mirror_states";
+inline constexpr const char* kPhrEvalPass1Nodes = "phr.eval.pass1.nodes";
+inline constexpr const char* kPhrEvalPass2Nodes = "phr.eval.pass2.nodes";
+inline constexpr const char* kPhrEvalLocated = "phr.eval.located";
+inline constexpr const char* kPhrEvalFallbackRuns = "phr.eval.fallback_runs";
+
+// --- query: engine selection at evaluator construction.
+inline constexpr const char* kQueryEagerCompiles = "query.eager_compiles";
+inline constexpr const char* kQueryLazyFallbacks = "query.lazy_fallbacks";
+
+// --- schema: streaming validation + schema transforms.
+inline constexpr const char* kSchemaValidateEvents = "schema.validate.events";
+inline constexpr const char* kSchemaValidateMaxDepth =
+    "schema.validate.max_depth";  // gauge
+inline constexpr const char* kSchemaValidateFallbackRuns =
+    "schema.validate.fallback_runs";
+inline constexpr const char* kSchemaTransformRuns = "schema.transform.runs";
+
+// --- verify: the independent checker.
+inline constexpr const char* kVerifyChecksRun = "verify.checks_run";
+inline constexpr const char* kVerifyFindings = "verify.findings";
+
+// --- histograms (value distributions across one process).
+inline constexpr const char* kHistDocNodes = "hist.doc_nodes";
+inline constexpr const char* kHistDetSubsets = "hist.determinize_subsets";
+
+}  // namespace metrics
+
+/// Span names used by the pipeline instrumentation. A span name appears in
+/// the snapshot's "spans" section only after the stage has run at least
+/// once, so the golden-name gate covers counters/gauges/histograms (which
+/// RegisterCatalogue pre-registers) and treats spans as advisory.
+namespace spans {
+inline constexpr const char* kXmlParse = "xml.parse";
+inline constexpr const char* kHreCompile = "hre.compile";
+inline constexpr const char* kTrim = "automata.trim";
+inline constexpr const char* kDeterminize = "automata.determinize";
+inline constexpr const char* kDeterminizeCertify =
+    "automata.determinize.certify";
+inline constexpr const char* kPhrCompile = "phr.compile";
+inline constexpr const char* kPhrEvalPass1 = "phr.eval.pass1";
+inline constexpr const char* kPhrEvalPass2 = "phr.eval.pass2";
+inline constexpr const char* kSchemaValidate = "schema.validate";
+inline constexpr const char* kSchemaTransform = "schema.transform";
+inline constexpr const char* kVerifyCheck = "verify.check";
+}  // namespace spans
+
+/// Counter names in the catalogue (everything in metrics:: that is a
+/// counter), for RegisterCatalogue and the name-stability test.
+std::span<const char* const> CatalogueCounters();
+/// Gauge names in the catalogue.
+std::span<const char* const> CatalogueGauges();
+/// Histogram names in the catalogue.
+std::span<const char* const> CatalogueHistograms();
+
+/// Pre-registers every catalogued metric in the process registry, so a
+/// snapshot enumerates the full stable name set even on code paths the
+/// invocation did not exercise. The CLIs call this when --metrics is given;
+/// the check.sh golden-name gate relies on it.
+void RegisterCatalogue();
+
+}  // namespace hedgeq::obs
+
+#endif  // HEDGEQ_OBS_CATALOGUE_H_

@@ -1,0 +1,301 @@
+#include "obs/json.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <utility>
+
+namespace hedgeq::obs::json {
+
+ValuePtr Value::MakeNull() { return std::make_shared<Value>(); }
+
+ValuePtr Value::MakeBool(bool b) {
+  auto v = std::make_shared<Value>();
+  v->kind_ = Kind::kBool;
+  v->boolean_ = b;
+  return v;
+}
+
+ValuePtr Value::MakeInt(int64_t i) {
+  auto v = std::make_shared<Value>();
+  v->kind_ = Kind::kInt;
+  v->integer_ = i;
+  return v;
+}
+
+ValuePtr Value::MakeDouble(double d) {
+  auto v = std::make_shared<Value>();
+  v->kind_ = Kind::kDouble;
+  v->double_ = d;
+  return v;
+}
+
+ValuePtr Value::MakeString(std::string s) {
+  auto v = std::make_shared<Value>();
+  v->kind_ = Kind::kString;
+  v->string_ = std::move(s);
+  return v;
+}
+
+ValuePtr Value::MakeArray(std::vector<ValuePtr> items) {
+  auto v = std::make_shared<Value>();
+  v->kind_ = Kind::kArray;
+  v->array_ = std::move(items);
+  return v;
+}
+
+ValuePtr Value::MakeObject(std::map<std::string, ValuePtr> members) {
+  auto v = std::make_shared<Value>();
+  v->kind_ = Kind::kObject;
+  v->object_ = std::move(members);
+  return v;
+}
+
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(std::string_view text) : text_(text) {}
+
+  Result<ValuePtr> ParseDocument() {
+    SkipWs();
+    Result<ValuePtr> v = ParseValue(0);
+    if (!v.ok()) return v;
+    SkipWs();
+    if (pos_ != text_.size()) {
+      return Err("trailing characters after JSON value");
+    }
+    return v;
+  }
+
+ private:
+  static constexpr size_t kMaxDepth = 128;
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument("json: " + what + " at offset " +
+                                   std::to_string(pos_));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<ValuePtr> ParseValue(size_t depth) {
+    if (depth > kMaxDepth) return Err("nesting too deep");
+    if (pos_ >= text_.size()) return Err("unexpected end of input");
+    char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject(depth);
+      case '[':
+        return ParseArray(depth);
+      case '"': {
+        Result<std::string> s = ParseString();
+        if (!s.ok()) return s.status();
+        return Value::MakeString(std::move(s).value());
+      }
+      case 't':
+        if (text_.substr(pos_, 4) == "true") {
+          pos_ += 4;
+          return Value::MakeBool(true);
+        }
+        return Err("bad literal");
+      case 'f':
+        if (text_.substr(pos_, 5) == "false") {
+          pos_ += 5;
+          return Value::MakeBool(false);
+        }
+        return Err("bad literal");
+      case 'n':
+        if (text_.substr(pos_, 4) == "null") {
+          pos_ += 4;
+          return Value::MakeNull();
+        }
+        return Err("bad literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  Result<ValuePtr> ParseObject(size_t depth) {
+    ++pos_;  // '{'
+    std::map<std::string, ValuePtr> members;
+    SkipWs();
+    if (Consume('}')) return Value::MakeObject(std::move(members));
+    while (true) {
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return Err("expected object key");
+      }
+      Result<std::string> key = ParseString();
+      if (!key.ok()) return key.status();
+      SkipWs();
+      if (!Consume(':')) return Err("expected ':'");
+      SkipWs();
+      Result<ValuePtr> v = ParseValue(depth + 1);
+      if (!v.ok()) return v;
+      members[std::move(key).value()] = std::move(v).value();
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return Value::MakeObject(std::move(members));
+      return Err("expected ',' or '}'");
+    }
+  }
+
+  Result<ValuePtr> ParseArray(size_t depth) {
+    ++pos_;  // '['
+    std::vector<ValuePtr> items;
+    SkipWs();
+    if (Consume(']')) return Value::MakeArray(std::move(items));
+    while (true) {
+      SkipWs();
+      Result<ValuePtr> v = ParseValue(depth + 1);
+      if (!v.ok()) return v;
+      items.push_back(std::move(v).value());
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume(']')) return Value::MakeArray(std::move(items));
+      return Err("expected ',' or ']'");
+    }
+  }
+
+  Result<std::string> ParseString() {
+    ++pos_;  // '"'
+    std::string out;
+    while (pos_ < text_.size()) {
+      char c = text_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        out += c;
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      char e = text_[pos_++];
+      switch (e) {
+        case '"':
+          out += '"';
+          break;
+        case '\\':
+          out += '\\';
+          break;
+        case '/':
+          out += '/';
+          break;
+        case 'b':
+          out += '\b';
+          break;
+        case 'f':
+          out += '\f';
+          break;
+        case 'n':
+          out += '\n';
+          break;
+        case 'r':
+          out += '\r';
+          break;
+        case 't':
+          out += '\t';
+          break;
+        case 'u': {
+          if (pos_ + 4 > text_.size()) return Err("truncated \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code += static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code += static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code += static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return Err("bad hex digit in \\u escape");
+            }
+          }
+          // UTF-8 encode (no surrogate-pair handling: the exporters only
+          // escape control characters, all below U+0080).
+          if (code < 0x80) {
+            out += static_cast<char>(code);
+          } else if (code < 0x800) {
+            out += static_cast<char>(0xC0 | (code >> 6));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          } else {
+            out += static_cast<char>(0xE0 | (code >> 12));
+            out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+            out += static_cast<char>(0x80 | (code & 0x3F));
+          }
+          break;
+        }
+        default:
+          return Err("bad escape");
+      }
+    }
+    return Err("unterminated string");
+  }
+
+  Result<ValuePtr> ParseNumber() {
+    size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    bool integral = true;
+    if (Consume('.')) {
+      integral = false;
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      integral = false;
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    std::string token(text_.substr(start, pos_ - start));
+    if (token.empty() || token == "-") return Err("bad number");
+    if (integral) {
+      errno = 0;
+      char* end = nullptr;
+      long long v = std::strtoll(token.c_str(), &end, 10);
+      if (errno == 0 && end != nullptr && *end == '\0') {
+        return Value::MakeInt(static_cast<int64_t>(v));
+      }
+    }
+    errno = 0;
+    char* end = nullptr;
+    double d = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') return Err("bad number");
+    return Value::MakeDouble(d);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<ValuePtr> Parse(std::string_view text) {
+  return Parser(text).ParseDocument();
+}
+
+}  // namespace hedgeq::obs::json

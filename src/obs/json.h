@@ -1,0 +1,72 @@
+#ifndef HEDGEQ_OBS_JSON_H_
+#define HEDGEQ_OBS_JSON_H_
+
+// Minimal JSON reader for the observability exporters' own output: the
+// round-trip tests and the BENCH_*.json / metrics-snapshot tooling parse
+// what obs emits. Supports the full value grammar (objects, arrays,
+// strings with escapes, integers/doubles, true/false/null); numbers are
+// kept as int64 when exactly representable. Not a general-purpose
+// validating parser — errors come back as kInvalidArgument.
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/status.h"
+
+namespace hedgeq::obs::json {
+
+class Value;
+using ValuePtr = std::shared_ptr<const Value>;
+
+enum class Kind { kNull, kBool, kInt, kDouble, kString, kArray, kObject };
+
+class Value {
+ public:
+  Kind kind() const { return kind_; }
+
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool boolean() const { return boolean_; }
+  int64_t integer() const { return integer_; }
+  double number() const {
+    return kind_ == Kind::kInt ? static_cast<double>(integer_) : double_;
+  }
+  const std::string& string() const { return string_; }
+  const std::vector<ValuePtr>& array() const { return array_; }
+  const std::map<std::string, ValuePtr>& object() const { return object_; }
+
+  /// Object member lookup; nullptr when absent or not an object.
+  const Value* Get(const std::string& key) const {
+    if (kind_ != Kind::kObject) return nullptr;
+    auto it = object_.find(key);
+    return it == object_.end() ? nullptr : it->second.get();
+  }
+
+  static ValuePtr MakeNull();
+  static ValuePtr MakeBool(bool b);
+  static ValuePtr MakeInt(int64_t v);
+  static ValuePtr MakeDouble(double v);
+  static ValuePtr MakeString(std::string s);
+  static ValuePtr MakeArray(std::vector<ValuePtr> items);
+  static ValuePtr MakeObject(std::map<std::string, ValuePtr> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool boolean_ = false;
+  int64_t integer_ = 0;
+  double double_ = 0;
+  std::string string_;
+  std::vector<ValuePtr> array_;
+  std::map<std::string, ValuePtr> object_;
+};
+
+/// Parses one JSON document (leading/trailing whitespace allowed; trailing
+/// garbage rejected).
+Result<ValuePtr> Parse(std::string_view text);
+
+}  // namespace hedgeq::obs::json
+
+#endif  // HEDGEQ_OBS_JSON_H_

@@ -1,0 +1,401 @@
+#include "obs/obs.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <deque>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+namespace hedgeq::obs {
+
+namespace {
+
+std::atomic<bool> g_enabled{false};
+std::atomic<bool> g_trace_enabled{false};
+
+// Dense thread ids keep the Chrome trace readable (and deterministic per
+// thread-creation order, unlike pthread handles).
+std::atomic<uint32_t> g_next_tid{0};
+uint32_t ThisThreadId() {
+  thread_local uint32_t tid = g_next_tid.fetch_add(1);
+  return tid;
+}
+
+// Per-thread RAII nesting level for spans.
+thread_local uint32_t t_span_depth = 0;
+
+uint64_t ToUs(std::chrono::steady_clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(d).count());
+}
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) { g_enabled.store(on, std::memory_order_relaxed); }
+
+bool TraceEnabled() {
+  return g_trace_enabled.load(std::memory_order_relaxed);
+}
+void SetTraceEnabled(bool on) {
+  g_trace_enabled.store(on, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// Registry implementation.
+
+struct SpanStat {
+  std::atomic<uint64_t> count{0};
+  std::atomic<uint64_t> total_ns{0};
+};
+
+struct MetricsRegistry::Impl {
+  std::mutex mu;  // guards the maps; values are atomics updated lock-free
+  // deques: stable addresses under growth.
+  std::deque<Counter> counters;
+  std::deque<Gauge> gauges;
+  std::deque<Histogram> histograms;
+  std::deque<SpanStat> span_stats;
+  std::unordered_map<std::string, Counter*> counter_index;
+  std::unordered_map<std::string, Gauge*> gauge_index;
+  std::unordered_map<std::string, Histogram*> histogram_index;
+  std::unordered_map<std::string, SpanStat*> span_index;
+
+  std::mutex trace_mu;
+  std::vector<TraceEvent> trace;
+};
+
+MetricsRegistry::Impl& MetricsRegistry::impl() const {
+  // Leaked singleton: metric handles must outlive every static destructor
+  // that might still bump a counter.
+  static Impl* instance = new Impl();
+  return *instance;
+}
+
+MetricsRegistry& Registry() {
+  static MetricsRegistry registry;
+  return registry;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.counter_index.find(std::string(name));
+  if (it != im.counter_index.end()) return it->second;
+  im.counters.emplace_back(std::string(name));
+  Counter* c = &im.counters.back();
+  im.counter_index.emplace(c->name(), c);
+  return c;
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.gauge_index.find(std::string(name));
+  if (it != im.gauge_index.end()) return it->second;
+  im.gauges.emplace_back(std::string(name));
+  Gauge* g = &im.gauges.back();
+  im.gauge_index.emplace(g->name(), g);
+  return g;
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.mu);
+  auto it = im.histogram_index.find(std::string(name));
+  if (it != im.histogram_index.end()) return it->second;
+  im.histograms.emplace_back(std::string(name));
+  Histogram* h = &im.histograms.back();
+  im.histogram_index.emplace(h->name(), h);
+  return h;
+}
+
+void MetricsRegistry::RecordSpan(std::string_view name, uint64_t dur_ns) {
+  Impl& im = impl();
+  SpanStat* stat;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    auto it = im.span_index.find(std::string(name));
+    if (it != im.span_index.end()) {
+      stat = it->second;
+    } else {
+      im.span_stats.emplace_back();
+      stat = &im.span_stats.back();
+      im.span_index.emplace(std::string(name), stat);
+    }
+  }
+  stat->count.fetch_add(1, std::memory_order_relaxed);
+  stat->total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Reset() {
+  Impl& im = impl();
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (Counter& c : im.counters) c.Reset();
+    for (Gauge& g : im.gauges) g.Reset();
+    for (Histogram& h : im.histograms) h.Reset();
+    for (SpanStat& s : im.span_stats) {
+      s.count.store(0, std::memory_order_relaxed);
+      s.total_ns.store(0, std::memory_order_relaxed);
+    }
+  }
+  ClearTrace();
+}
+
+std::string MetricsRegistry::MetricsJson() const {
+  Impl& im = impl();
+  // Copy values out under the structural lock, then format. std::map gives
+  // the stable (sorted) key order the snapshot contract promises.
+  std::map<std::string, uint64_t> counters;
+  std::map<std::string, uint64_t> gauges;
+  struct HistogramCopy {
+    uint64_t count, sum;
+    std::vector<std::pair<size_t, uint64_t>> nonzero;  // (log2 bucket, n)
+  };
+  std::map<std::string, HistogramCopy> histograms;
+  struct SpanCopy {
+    uint64_t count, total_ns;
+  };
+  std::map<std::string, SpanCopy> spans;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (const Counter& c : im.counters) counters[c.name()] = c.value();
+    for (const Gauge& g : im.gauges) gauges[g.name()] = g.value();
+    for (const Histogram& h : im.histograms) {
+      HistogramCopy copy{h.count(), h.sum(), {}};
+      for (size_t b = 0; b < Histogram::kBuckets; ++b) {
+        if (uint64_t n = h.bucket(b); n != 0) copy.nonzero.emplace_back(b, n);
+      }
+      histograms[h.name()] = std::move(copy);
+    }
+    for (const auto& [name, stat] : im.span_index) {
+      spans[name] = SpanCopy{stat->count.load(std::memory_order_relaxed),
+                             stat->total_ns.load(std::memory_order_relaxed)};
+    }
+  }
+
+  std::string out = "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : counters) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(out, name);
+    out += "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : gauges) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(out, name);
+    out += "\": " + std::to_string(v);
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(out, name);
+    out += "\": {\"count\": " + std::to_string(h.count) +
+           ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
+    bool bfirst = true;
+    for (const auto& [b, n] : h.nonzero) {
+      if (!bfirst) out += ", ";
+      bfirst = false;
+      out += "{\"log2\": " + std::to_string(b) +
+             ", \"count\": " + std::to_string(n) + "}";
+    }
+    out += "]}";
+  }
+  out += first ? "},\n" : "\n  },\n";
+  out += "  \"spans\": {";
+  first = true;
+  for (const auto& [name, s] : spans) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "    \"";
+    AppendEscaped(out, name);
+    out += "\": {\"count\": " + std::to_string(s.count) +
+           ", \"total_ns\": " + std::to_string(s.total_ns) + "}";
+  }
+  out += first ? "}\n" : "\n  }\n";
+  out += "}\n";
+  return out;
+}
+
+std::vector<std::string> MetricsRegistry::MetricNames() const {
+  Impl& im = impl();
+  std::vector<std::string> names;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    for (const Counter& c : im.counters) names.push_back("counter/" + c.name());
+    for (const Gauge& g : im.gauges) names.push_back("gauge/" + g.name());
+    for (const Histogram& h : im.histograms) {
+      names.push_back("histogram/" + h.name());
+    }
+    for (const auto& [name, stat] : im.span_index) {
+      (void)stat;
+      names.push_back("span/" + name);
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+void MetricsRegistry::AppendTraceEvent(TraceEvent event) {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.trace_mu);
+  im.trace.push_back(std::move(event));
+}
+
+std::vector<TraceEvent> MetricsRegistry::SnapshotTrace() const {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.trace_mu);
+  return im.trace;
+}
+
+void MetricsRegistry::ClearTrace() {
+  Impl& im = impl();
+  std::lock_guard<std::mutex> lock(im.trace_mu);
+  im.trace.clear();
+}
+
+std::string MetricsRegistry::ChromeTraceJson() const {
+  std::vector<TraceEvent> events = SnapshotTrace();
+  // Chrome's viewer sorts internally, but a deterministic order makes the
+  // file diffable.
+  std::stable_sort(events.begin(), events.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     return a.ts_us < b.ts_us;
+                   });
+  std::string out = "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"name\": \"";
+    AppendEscaped(out, e.name);
+    out += "\", \"cat\": \"hedgeq\", \"ph\": \"X\", \"pid\": 1, \"tid\": " +
+           std::to_string(e.tid) + ", \"ts\": " + std::to_string(e.ts_us) +
+           ", \"dur\": " + std::to_string(e.dur_us) + ", \"args\": {";
+    bool afirst = true;
+    out += "\"depth\": " + std::to_string(e.depth);
+    afirst = false;
+    for (const auto& [k, v] : e.args) {
+      if (!afirst) out += ", ";
+      afirst = false;
+      out += "\"";
+      AppendEscaped(out, k);
+      out += "\": " + std::to_string(v);
+    }
+    out += "}}";
+  }
+  out += first ? "]" : "\n]";
+  out += ", \"displayTimeUnit\": \"ms\"}\n";
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Span.
+
+Span::Span(const char* name) : name_(name) {
+  if (!Enabled()) return;
+  active_ = true;
+  depth_ = t_span_depth++;
+  start_ = std::chrono::steady_clock::now();
+}
+
+Span::~Span() {
+  if (!active_) return;
+  auto end = std::chrono::steady_clock::now();
+  --t_span_depth;
+  uint64_t dur_ns = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(end - start_)
+          .count());
+  Registry().RecordSpan(name_, dur_ns);
+  if (TraceEnabled()) {
+    TraceEvent event;
+    event.name = name_;
+    // ts relative to the process steady-clock epoch of the trace buffer:
+    // use the span's own start against time zero of the buffer. We store
+    // absolute steady-clock microseconds; the exporter's consumers only
+    // need consistent relative values.
+    event.ts_us = ToUs(start_.time_since_epoch());
+    event.dur_us = ToUs(end - start_);
+    event.tid = ThisThreadId();
+    event.depth = depth_;
+    event.args = std::move(args_);
+    Registry().AppendTraceEvent(std::move(event));
+  }
+}
+
+void Span::AddArg(const char* key, uint64_t value) {
+  if (!active_) return;
+  args_.emplace_back(key, value);
+}
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+namespace {
+bool WriteStringToFile(const std::string& path, const std::string& body) {
+  if (path == "-") {
+    std::fwrite(body.data(), 1, body.size(), stdout);
+    return true;
+  }
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << body;
+  return static_cast<bool>(out);
+}
+}  // namespace
+
+bool WriteMetricsFile(const std::string& path) {
+  return WriteStringToFile(path, Registry().MetricsJson());
+}
+
+bool WriteChromeTraceFile(const std::string& path) {
+  return WriteStringToFile(path, Registry().ChromeTraceJson());
+}
+
+}  // namespace hedgeq::obs

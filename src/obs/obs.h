@@ -1,0 +1,273 @@
+#ifndef HEDGEQ_OBS_OBS_H_
+#define HEDGEQ_OBS_OBS_H_
+
+// hedgeq::obs — always-compiled, near-zero-cost-when-off observability.
+//
+// The paper's checkable claims (C1–C5) are per-phase cost claims: linear
+// automaton runs, linear HRE→NHA compilation, exponential-worst-case
+// determinization, two-traversal PHR evaluation. This subsystem turns them
+// from wall-clock assertions into decomposed measurements: every pipeline
+// stage opens a named Span and bumps named counters; exporters emit a
+// stable JSON metrics snapshot and a Chrome trace_event file loadable in
+// about:tracing / Perfetto.
+//
+// Cost model. Everything is gated on one process-wide relaxed-atomic bool:
+// with observability disabled an instrumentation site costs a single
+// relaxed load plus a predictable branch, so hot loops may stay
+// instrumented (the bench zero-overhead guard in tests/obs_test.cc holds
+// the line). Hot loops should nevertheless prefer *bulk* attribution —
+// accumulate into a local and add once per call — over per-iteration
+// macro hits.
+//
+// Thread safety. The registry is safe for concurrent use: metric handles
+// are created under a mutex, live for the process lifetime (pointers are
+// never invalidated), and are updated with relaxed atomics. Spans nest
+// per-thread (thread-local depth); trace events are appended under a
+// mutex, which only matters while tracing is explicitly enabled.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace hedgeq::obs {
+
+// ---------------------------------------------------------------------------
+// Global gates.
+
+/// True when metric collection is on. Single relaxed atomic load.
+bool Enabled();
+/// Master switch; off by default so library users pay nothing.
+void SetEnabled(bool on);
+
+/// True when span trace *collection* (not just aggregation) is on.
+/// Implies nothing about Enabled(); callers turn both on for --trace.
+bool TraceEnabled();
+void SetTraceEnabled(bool on);
+
+// ---------------------------------------------------------------------------
+// Metric kinds. Handles are owned by the registry and valid forever.
+
+/// Monotonic counter. Relaxed increments; torn reads impossible (64-bit
+/// atomic).
+class Counter {
+ public:
+  explicit Counter(std::string name) : name_(std::move(name)) {}
+  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Last-value gauge with a monotonic-max helper (high-water marks).
+class Gauge {
+ public:
+  explicit Gauge(std::string name) : name_(std::move(name)) {}
+  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  /// Raises the gauge to `v` if it is below (lock-free CAS loop).
+  void SetMax(uint64_t v) {
+    uint64_t cur = value_.load(std::memory_order_relaxed);
+    while (cur < v &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  const std::string& name() const { return name_; }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Fixed-bucket log2 histogram: bucket i counts observations v with
+/// floor(log2(v)) == i (v == 0 lands in bucket 0), 64 buckets total, so
+/// any uint64 value is representable without configuration.
+class Histogram {
+ public:
+  static constexpr size_t kBuckets = 64;
+
+  explicit Histogram(std::string name) : name_(std::move(name)) {}
+  void Observe(uint64_t v) {
+    size_t b = v == 0 ? 0 : static_cast<size_t>(63 - __builtin_clzll(v));
+    buckets_[b].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+  }
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  const std::string& name() const { return name_; }
+  void Reset() {
+    for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+    count_.store(0, std::memory_order_relaxed);
+    sum_.store(0, std::memory_order_relaxed);
+  }
+
+ private:
+  std::string name_;
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// ---------------------------------------------------------------------------
+// Trace events (Chrome trace_event "X" complete events).
+
+/// One completed span. Nesting is implied by time containment per thread
+/// (the Chrome convention); `depth` additionally records the RAII nesting
+/// level at open time so tests can assert structure without timestamps.
+struct TraceEvent {
+  std::string name;
+  uint64_t ts_us = 0;   // microseconds since trace start
+  uint64_t dur_us = 0;  // span duration in microseconds
+  uint32_t tid = 0;     // dense per-process thread index
+  uint32_t depth = 0;   // span nesting depth at open (0 = top level)
+  std::vector<std::pair<std::string, uint64_t>> args;  // attached counters
+};
+
+// ---------------------------------------------------------------------------
+// Registry.
+
+/// Process-wide metric registry. GetCounter/GetGauge/GetHistogram intern by
+/// name (mutex-protected, slow path only — instrumentation macros cache the
+/// returned pointer in a function-local static); the returned handles are
+/// never invalidated. Aggregated span timings (count + total ns per span
+/// name) are part of the snapshot, so per-phase attribution survives even
+/// when full tracing is off.
+class MetricsRegistry {
+ public:
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  Histogram* GetHistogram(std::string_view name);
+
+  /// Aggregates one finished span. Called by Span's destructor.
+  void RecordSpan(std::string_view name, uint64_t dur_ns);
+
+  /// Zeroes every value and drops collected trace events. Handles stay
+  /// valid; registered names stay registered (snapshots keep their shape).
+  void Reset();
+
+  /// Stable JSON snapshot: {"counters":{...},"gauges":{...},
+  /// "histograms":{...},"spans":{...}} with keys sorted lexicographically.
+  /// Round-trips through obs::json::Parse.
+  std::string MetricsJson() const;
+
+  /// Every registered metric name (sorted, deduplicated across kinds),
+  /// prefixed "counter/", "gauge/", "histogram/", "span/". This is the
+  /// surface the check.sh golden-name gate diffs.
+  std::vector<std::string> MetricNames() const;
+
+  // Trace buffer management (used by Span and the exporters).
+  void AppendTraceEvent(TraceEvent event);
+  std::vector<TraceEvent> SnapshotTrace() const;
+  void ClearTrace();
+
+  /// Serializes collected events in Chrome trace_event JSON object format:
+  /// {"traceEvents":[{"name":...,"ph":"X","ts":...,"dur":...,...}]}.
+  /// Loadable in about:tracing / Perfetto.
+  std::string ChromeTraceJson() const;
+
+ private:
+  struct Impl;
+  Impl& impl() const;
+};
+
+/// The process-wide registry.
+MetricsRegistry& Registry();
+
+// ---------------------------------------------------------------------------
+// Spans.
+
+/// RAII timed span. Construction is a no-op unless Enabled(); destruction
+/// aggregates (name, duration) into the registry and, when TraceEnabled(),
+/// appends a TraceEvent. Exception-safe by construction: early returns and
+/// unwinds close the span at the right nesting level.
+class Span {
+ public:
+  explicit Span(const char* name);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Attaches a counter-style argument rendered into the trace event
+  /// ("args" in Chrome trace format). No-op when the span is inactive.
+  void AddArg(const char* key, uint64_t value);
+
+  bool active() const { return active_; }
+
+ private:
+  const char* name_;
+  bool active_ = false;
+  uint32_t depth_ = 0;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, uint64_t>> args_;
+};
+
+// ---------------------------------------------------------------------------
+// Exporters.
+
+/// Writes MetricsJson() to `path` ("-" = stdout). Returns false on I/O
+/// failure.
+bool WriteMetricsFile(const std::string& path);
+
+/// Writes ChromeTraceJson() to `path`. Returns false on I/O failure.
+bool WriteChromeTraceFile(const std::string& path);
+
+// ---------------------------------------------------------------------------
+// Instrumentation macros. Each site costs one relaxed load when disabled;
+// the metric handle is interned once per site (function-local static).
+
+#define HEDGEQ_OBS_COUNT(name, delta)                              \
+  do {                                                             \
+    if (::hedgeq::obs::Enabled()) {                                \
+      static ::hedgeq::obs::Counter* const hq_obs_counter_ =       \
+          ::hedgeq::obs::Registry().GetCounter(name);              \
+      hq_obs_counter_->Add(static_cast<uint64_t>(delta));          \
+    }                                                              \
+  } while (0)
+
+#define HEDGEQ_OBS_GAUGE_SET(name, v)                              \
+  do {                                                             \
+    if (::hedgeq::obs::Enabled()) {                                \
+      static ::hedgeq::obs::Gauge* const hq_obs_gauge_ =           \
+          ::hedgeq::obs::Registry().GetGauge(name);                \
+      hq_obs_gauge_->Set(static_cast<uint64_t>(v));                \
+    }                                                              \
+  } while (0)
+
+#define HEDGEQ_OBS_GAUGE_MAX(name, v)                              \
+  do {                                                             \
+    if (::hedgeq::obs::Enabled()) {                                \
+      static ::hedgeq::obs::Gauge* const hq_obs_gauge_ =           \
+          ::hedgeq::obs::Registry().GetGauge(name);                \
+      hq_obs_gauge_->SetMax(static_cast<uint64_t>(v));             \
+    }                                                              \
+  } while (0)
+
+#define HEDGEQ_OBS_OBSERVE(name, v)                                \
+  do {                                                             \
+    if (::hedgeq::obs::Enabled()) {                                \
+      static ::hedgeq::obs::Histogram* const hq_obs_histogram_ =   \
+          ::hedgeq::obs::Registry().GetHistogram(name);            \
+      hq_obs_histogram_->Observe(static_cast<uint64_t>(v));        \
+    }                                                              \
+  } while (0)
+
+/// Opens a named span for the rest of the enclosing scope.
+#define HEDGEQ_OBS_SPAN(var, name) ::hedgeq::obs::Span var(name)
+
+}  // namespace hedgeq::obs
+
+#endif  // HEDGEQ_OBS_OBS_H_

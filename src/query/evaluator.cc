@@ -3,6 +3,8 @@
 #include <numeric>
 
 #include "lint/analyze.h"
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "util/check.h"
 
 namespace hedgeq::query {
@@ -60,7 +62,10 @@ SiblingClasses ComputeSiblingClasses(const Hedge& doc,
 Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
                                           const ExecBudget& budget) {
   Result<CompiledPhr> compiled = CompilePhr(phr, budget);
-  if (compiled.ok()) return PhrEvaluator(std::move(compiled).value());
+  if (compiled.ok()) {
+    HEDGEQ_OBS_COUNT(obs::metrics::kQueryEagerCompiles, 1);
+    return PhrEvaluator(std::move(compiled).value());
+  }
   if (compiled.status().code() != StatusCode::kResourceExhausted) {
     return compiled.status();
   }
@@ -68,6 +73,7 @@ Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
   // engine, which answers the same queries with bounded memory.
   Result<LazyPhrEvaluator> lazy = LazyPhrEvaluator::Create(phr, budget);
   if (!lazy.ok()) return lazy.status();
+  HEDGEQ_OBS_COUNT(obs::metrics::kQueryLazyFallbacks, 1);
   PhrEvaluator out;
   out.lazy_ = std::move(lazy).value();
   return out;
@@ -96,11 +102,23 @@ automata::EvalStats PhrEvaluator::stats() const {
 }
 
 std::vector<bool> PhrEvaluator::Locate(const Hedge& doc) const {
-  if (lazy_.has_value()) return lazy_->Locate(doc);
+  if (lazy_.has_value()) {
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrEvalFallbackRuns, 1);
+    return lazy_->Locate(doc);
+  }
   // First traversal: bottom-up state assignment by M, then sibling classes.
-  std::vector<HState> states = compiled_->dha().Run(doc);
-  SiblingClasses classes = ComputeSiblingClasses(doc, states,
-                                                 compiled_->equiv());
+  std::vector<HState> states;
+  SiblingClasses classes;
+  {
+    HEDGEQ_OBS_SPAN(pass1, obs::spans::kPhrEvalPass1);
+    states = compiled_->dha().Run(doc);
+    classes = ComputeSiblingClasses(doc, states, compiled_->equiv());
+    if (obs::Enabled()) {
+      HEDGEQ_OBS_COUNT(obs::metrics::kPhrEvalPass1Nodes, doc.num_nodes());
+      pass1.AddArg("nodes", doc.num_nodes());
+    }
+  }
+  HEDGEQ_OBS_SPAN(pass2, obs::spans::kPhrEvalPass2);
 
   // Second traversal: top-down run of N (which accepts the mirror of L, so
   // feeding triplets from the top level toward the node evaluates the
@@ -122,6 +140,14 @@ std::vector<bool> PhrEvaluator::Locate(const Hedge& doc) const {
     strre::StateId to = mirror.Next(from, letter);
     nstate[n] = to;
     located[n] = to != strre::kNoState && mirror.IsAccepting(to);
+  }
+  if (obs::Enabled()) {
+    size_t hits = 0;
+    for (NodeId n = 0; n < doc.num_nodes(); ++n) hits += located[n] ? 1 : 0;
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrEvalPass2Nodes, doc.num_nodes());
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrEvalLocated, hits);
+    pass2.AddArg("nodes", doc.num_nodes());
+    pass2.AddArg("located", hits);
   }
   return located;
 }

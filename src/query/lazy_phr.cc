@@ -4,6 +4,8 @@
 
 #include "automata/nha.h"
 #include "hre/compile.h"
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "strre/ops.h"
 
 namespace hedgeq::query {
@@ -103,7 +105,17 @@ Result<LazyPhrEvaluator> LazyPhrEvaluator::Create(const phr::Phr& phr,
 std::vector<bool> LazyPhrEvaluator::Locate(const Hedge& doc) const {
   const size_t n = labels_.size();
   // Pass 1 (bottom-up): the subset of M's states at every node.
-  std::vector<Bitset> subsets = lazy_->Run(doc);
+  std::vector<Bitset> subsets;
+  {
+    HEDGEQ_OBS_SPAN(pass1, obs::spans::kPhrEvalPass1);
+    subsets = lazy_->Run(doc);
+    if (obs::Enabled()) {
+      HEDGEQ_OBS_COUNT(obs::metrics::kPhrEvalPass1Nodes, doc.num_nodes());
+      pass1.AddArg("nodes", doc.num_nodes());
+      pass1.AddArg("lazy", 1);
+    }
+  }
+  HEDGEQ_OBS_SPAN(pass2, obs::spans::kPhrEvalPass2);
 
   // Pass 2 (per sibling group): which triplets' elder/younger conditions
   // hold at each node. elder_ok[node].Test(i) iff the elder sibling word
@@ -174,6 +186,17 @@ std::vector<bool> LazyPhrEvaluator::Locate(const Hedge& doc) const {
     if (!any) continue;  // label admits no triplet here: branch dies
     nstate[node] = StepSet(rev_regex_, from, allowed);
     located[node] = AnyAccepting(rev_regex_, nstate[node]);
+  }
+  if (obs::Enabled()) {
+    size_t hits = 0;
+    for (NodeId node = 0; node < doc.num_nodes(); ++node) {
+      hits += located[node] ? 1 : 0;
+    }
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrEvalPass2Nodes, doc.num_nodes());
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrEvalLocated, hits);
+    pass2.AddArg("nodes", doc.num_nodes());
+    pass2.AddArg("located", hits);
+    pass2.AddArg("lazy", 1);
   }
   return located;
 }

@@ -1,6 +1,8 @@
 #include "query/phr_compile.h"
 
 #include "hre/compile.h"
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "strre/ops.h"
 #include "util/check.h"
 #include "util/failpoint.h"
@@ -47,6 +49,7 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope) {
 Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
                                PhrWitness* witness) {
   HEDGEQ_FAILPOINT("phr/compile");
+  HEDGEQ_OBS_SPAN(span, obs::spans::kPhrCompile);
   CompiledPhr out;
   const size_t n = phr.triplets().size();
 
@@ -167,6 +170,15 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
   if (!mirror.ok()) return mirror.status();
   out.mirror_ = std::move(mirror).value();
 
+  if (obs::Enabled()) {
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrCompileTriplets, n);
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrCompileClasses, out.num_classes_);
+    HEDGEQ_OBS_COUNT(obs::metrics::kPhrCompileMirrorStates,
+                     out.mirror_.num_states());
+    span.AddArg("triplets", n);
+    span.AddArg("classes", out.num_classes_);
+    span.AddArg("mirror_states", out.mirror_.num_states());
+  }
   return out;
 }
 

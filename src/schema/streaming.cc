@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "util/failpoint.h"
 
 namespace hedgeq::schema {
@@ -14,22 +16,33 @@ class ValidatorHandler : public xml::XmlHandler {
   explicit ValidatorHandler(const automata::Dha& dha) : run_(dha) {}
 
   Status StartElement(hedge::SymbolId name) override {
+    ++events_;
+    ++depth_;
+    max_depth_ = std::max(max_depth_, depth_);
     run_.StartElement(name);
     return Status::Ok();
   }
   Status EndElement(hedge::SymbolId name) override {
+    ++events_;
+    --depth_;
     run_.EndElement(name);
     return Status::Ok();
   }
   Status Text(hedge::VarId variable, std::string_view) override {
+    ++events_;
     run_.Text(variable);
     return Status::Ok();
   }
 
   bool Accepted() const { return run_.Accepted(); }
+  size_t events() const { return events_; }
+  size_t max_depth() const { return max_depth_; }
 
  private:
   automata::StreamingDhaRun run_;
+  size_t events_ = 0;
+  size_t depth_ = 0;
+  size_t max_depth_ = 0;
 };
 
 // Same adapter over the lazy engine: one Bitset per open element instead of
@@ -39,22 +52,28 @@ class LazyValidatorHandler : public xml::XmlHandler {
   explicit LazyValidatorHandler(const automata::LazyDha& dha) : run_(dha) {}
 
   Status StartElement(hedge::SymbolId name) override {
+    ++events_;
     run_.StartElement(name);
     return Status::Ok();
   }
   Status EndElement(hedge::SymbolId name) override {
+    ++events_;
     run_.EndElement(name);
     return Status::Ok();
   }
   Status Text(hedge::VarId variable, std::string_view) override {
+    ++events_;
     run_.Text(variable);
     return Status::Ok();
   }
 
   bool Accepted() const { return run_.Accepted(); }
+  size_t events() const { return events_; }
+  size_t max_depth() const { return run_.max_depth(); }
 
  private:
   automata::LazyStreamingRun run_;
+  size_t events_ = 0;
 };
 
 }  // namespace
@@ -89,21 +108,42 @@ Result<bool> StreamingValidator::Validate(
 Result<StreamingValidator::Validation> StreamingValidator::ValidateWithStats(
     std::string_view xml_text, hedge::Vocabulary& vocab,
     const xml::XmlParseOptions& options) const {
+  HEDGEQ_OBS_SPAN(span, obs::spans::kSchemaValidate);
   Validation out;
   if (lazy_ != nullptr) {
-    lazy_->ResetStats();
+    // The lazy engine is shared and const here, so per-run expenditure is
+    // computed as a stats delta rather than resetting the shared counters
+    // (which would race with concurrent validations).
+    const automata::EvalStats before = lazy_->stats();
     LazyValidatorHandler handler(*lazy_);
     Status parse = xml::ParseXmlStream(xml_text, vocab, handler, options);
     if (!parse.ok()) return parse;
     out.valid = handler.Accepted();
-    out.stats = lazy_->stats();
+    out.stats = automata::EvalStats::Delta(before, lazy_->stats());
     out.stats.fallback_used = true;
+    if (obs::Enabled()) {
+      HEDGEQ_OBS_COUNT(obs::metrics::kSchemaValidateEvents, handler.events());
+      HEDGEQ_OBS_COUNT(obs::metrics::kSchemaValidateFallbackRuns, 1);
+      HEDGEQ_OBS_GAUGE_MAX(obs::metrics::kSchemaValidateMaxDepth,
+                           handler.max_depth());
+      span.AddArg("events", handler.events());
+      span.AddArg("valid", out.valid ? 1 : 0);
+      span.AddArg("lazy", 1);
+    }
     return out;
   }
   ValidatorHandler handler(*dha_);
   Status parse = xml::ParseXmlStream(xml_text, vocab, handler, options);
   if (!parse.ok()) return parse;
   out.valid = handler.Accepted();
+  if (obs::Enabled()) {
+    HEDGEQ_OBS_COUNT(obs::metrics::kSchemaValidateEvents, handler.events());
+    HEDGEQ_OBS_GAUGE_MAX(obs::metrics::kSchemaValidateMaxDepth,
+                         handler.max_depth());
+    span.AddArg("events", handler.events());
+    span.AddArg("valid", out.valid ? 1 : 0);
+    span.AddArg("lazy", 0);
+  }
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <functional>
 
 #include "automata/analysis.h"
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "strre/ops.h"
 #include "util/check.h"
 
@@ -324,6 +326,8 @@ std::optional<SampleMatch> SampleFromProduct(
 Result<MatchIdentifyingProduct> BuildMatchIdentifyingProduct(
     const Schema& input, const query::SelectionQuery& query,
     const ExecBudget& options) {
+  HEDGEQ_OBS_SPAN(span, obs::spans::kSchemaTransform);
+  HEDGEQ_OBS_COUNT(obs::metrics::kSchemaTransformRuns, 1);
   Result<std::vector<Layer>> layers = QueryLayers(input, query, options);
   if (!layers.ok()) return layers.status();
   LayeredProduct prod =
@@ -331,6 +335,9 @@ Result<MatchIdentifyingProduct> BuildMatchIdentifyingProduct(
   MatchIdentifyingProduct out;
   out.marked = AndMarks(prod, 0, prod.layer_marks.size());
   out.nha = std::move(prod.nha);
+  if (obs::Enabled()) {
+    span.AddArg("product_states", out.nha.num_states());
+  }
   return out;
 }
 
@@ -425,6 +432,8 @@ Schema SelectFromMarkedProduct(Nha nha, const std::vector<bool>& marked) {
 Result<MatchIdentifyingProduct> BuildBooleanProduct(
     const Schema& input, const query::BooleanQuery& query,
     const ExecBudget& options) {
+  HEDGEQ_OBS_SPAN(span, obs::spans::kSchemaTransform);
+  HEDGEQ_OBS_COUNT(obs::metrics::kSchemaTransformRuns, 1);
   std::vector<Layer> all;
   std::vector<std::pair<size_t, size_t>> groups;  // per-leaf layer ranges
   for (const query::SelectionQuery* leaf : query.Leaves()) {

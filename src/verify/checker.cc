@@ -6,6 +6,8 @@
 #include <set>
 #include <unordered_set>
 
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "util/strings.h"
 
 namespace hedgeq::verify {
@@ -285,6 +287,29 @@ Nfa ProjectLetters(const Nfa& in, const std::vector<HState>& rename) {
   return out;
 }
 
+// RAII observation of one checker invocation: a verify.check span plus the
+// verify.* counters, reading the diagnostics vector at scope exit so every
+// early `return out;` path is covered (the named return value outlives the
+// guard under NRVO).
+class CheckObserver {
+ public:
+  explicit CheckObserver(const std::vector<Diagnostic>& out)
+      : span_(obs::spans::kVerifyCheck), out_(out) {}
+  ~CheckObserver() {
+    if (obs::Enabled()) {
+      HEDGEQ_OBS_COUNT(obs::metrics::kVerifyChecksRun, 1);
+      HEDGEQ_OBS_COUNT(obs::metrics::kVerifyFindings, out_.size());
+      span_.AddArg("findings", out_.size());
+    }
+  }
+  CheckObserver(const CheckObserver&) = delete;
+  CheckObserver& operator=(const CheckObserver&) = delete;
+
+ private:
+  obs::Span span_;
+  const std::vector<Diagnostic>& out_;
+};
+
 std::vector<uint32_t> SortedStates(const std::vector<HState>& states) {
   std::vector<uint32_t> out(states.begin(), states.end());
   std::sort(out.begin(), out.end());
@@ -298,6 +323,7 @@ std::vector<Diagnostic> CheckDeterminize(
     const Nha& input, const automata::Determinized& output,
     const automata::DeterminizeWitness& witness) {
   std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
   const Dha& dha = output.dha;
   const std::vector<Bitset>& subsets = output.subsets;
   const size_t nq = input.num_states();
@@ -558,6 +584,7 @@ std::vector<Diagnostic> CheckDeterminize(
 std::vector<Diagnostic> CheckTrim(const Nha& input, const Nha& output,
                                   const automata::TrimWitness& witness) {
   std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
   const size_t n = input.num_states();
   if (witness.derivable.size() != n || witness.useful.size() != n ||
       witness.mapping.size() != n) {
@@ -772,6 +799,7 @@ bool ExpectedKindSequence(const hre::Hre& root, size_t limit,
 std::vector<Diagnostic> CheckCompile(const hre::Hre& expr, const Nha& output,
                                      const hre::CompileTrace& trace) {
   std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
   if (expr == nullptr || trace.entries.empty()) {
     Report(out, DiagnosticCode::kCertificateMalformed, "compile",
            "empty compile trace");
@@ -881,6 +909,7 @@ std::vector<Diagnostic> CheckCompile(const hre::Hre& expr, const Nha& output,
 std::vector<Diagnostic> CheckLazyAudit(
     const Nha& nha, std::span<const automata::LazyAuditEntry> entries) {
   std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
   const ContentIndex ci = IndexContents(nha);
   const size_t nq = nha.num_states();
   for (size_t i = 0; i < entries.size(); ++i) {
@@ -931,6 +960,7 @@ std::vector<Diagnostic> CheckProjection(const schema::MatchIdentifying& mi,
                                         const query::CompiledPhr& compiled,
                                         const hedge::Hedge& doc) {
   std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
   const std::vector<uint32_t> states = mi.UniqueRunStates(doc);
   const std::vector<bool> marks = mi.UniqueRunMarks(doc);
   const std::vector<HState> dha_run = compiled.dha().Run(doc);

@@ -1,7 +1,11 @@
 #include "xml/xml.h"
 
+#include <algorithm>
 #include <cctype>
+#include <vector>
 
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "util/check.h"
 #include "util/strings.h"
 
@@ -456,6 +460,7 @@ void SerializeNode(const XmlDocument& doc, const hedge::Vocabulary& vocab,
 
 Result<XmlDocument> ParseXml(std::string_view input, hedge::Vocabulary& vocab,
                              const XmlParseOptions& options) {
+  HEDGEQ_OBS_SPAN(span, obs::spans::kXmlParse);
   TreeBuilder builder;
   XmlStreamParser parser(input, vocab, builder, &builder, options);
   Status status = parser.Parse();
@@ -463,11 +468,32 @@ Result<XmlDocument> ParseXml(std::string_view input, hedge::Vocabulary& vocab,
   XmlDocument doc = builder.Take();
   doc.texts.resize(doc.hedge.num_nodes());
   doc.attributes.resize(doc.hedge.num_nodes());
+  if (obs::Enabled()) {
+    const size_t n = doc.hedge.num_nodes();
+    // Element depth via one forward sweep (arena ids ascend parent->child).
+    std::vector<uint32_t> depth(n, 1);
+    uint32_t max_depth = n == 0 ? 0 : 1;
+    for (NodeId node = 0; node < n; ++node) {
+      NodeId parent = doc.hedge.parent(node);
+      if (parent != kNullNode) depth[node] = depth[parent] + 1;
+      max_depth = std::max(max_depth, depth[node]);
+    }
+    HEDGEQ_OBS_COUNT(obs::metrics::kXmlParseBytes, input.size());
+    HEDGEQ_OBS_COUNT(obs::metrics::kXmlParseNodes, n);
+    HEDGEQ_OBS_GAUGE_MAX(obs::metrics::kXmlParseMaxDepth, max_depth);
+    HEDGEQ_OBS_OBSERVE(obs::metrics::kHistDocNodes, n);
+    span.AddArg("bytes", input.size());
+    span.AddArg("nodes", n);
+    span.AddArg("max_depth", max_depth);
+  }
   return doc;
 }
 
 Status ParseXmlStream(std::string_view input, hedge::Vocabulary& vocab,
                       XmlHandler& handler, const XmlParseOptions& options) {
+  HEDGEQ_OBS_SPAN(span, obs::spans::kXmlParse);
+  HEDGEQ_OBS_COUNT(obs::metrics::kXmlParseBytes, input.size());
+  span.AddArg("bytes", input.size());
   XmlStreamParser parser(input, vocab, handler, nullptr, options);
   return parser.Parse();
 }

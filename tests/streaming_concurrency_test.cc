@@ -14,6 +14,8 @@
 #include <thread>
 #include <vector>
 
+#include "obs/catalogue.h"
+#include "obs/obs.h"
 #include "schema/schema.h"
 #include "schema/streaming.h"
 
@@ -95,6 +97,71 @@ TEST(StreamingConcurrencyTest, LazyFallbackUsesOneValidatorPerThread) {
   }
   for (std::thread& thread : threads) thread.join();
   EXPECT_EQ(mismatches.load(), 0);
+}
+
+// The obs registry is the one piece of process-global mutable state the
+// pipeline touches from every thread, so hammer it from many threads with
+// metrics AND trace collection on while validations run. tsan checks the
+// lock-free counter/gauge paths, the mutex-protected interning slow path,
+// and the trace buffer appends; the assertions check nothing was lost.
+TEST(StreamingConcurrencyTest, ObsRegistryIsThreadSafe) {
+  obs::Registry().Reset();
+  obs::SetEnabled(true);
+  obs::SetTraceEnabled(true);
+  obs::RegisterCatalogue();
+
+  hedge::Vocabulary vocab;
+  auto schema = ParseSchema(kGrammar, vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  auto validator = StreamingValidator::Create(*schema);
+  ASSERT_TRUE(validator.ok()) << validator.status().ToString();
+
+  constexpr int kThreads = 4;
+  constexpr int kRounds = 50;
+  std::atomic<int> mismatches{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&validator, &mismatches, vocab, t]() mutable {
+      obs::Counter* shared =
+          obs::Registry().GetCounter("test.concurrency.shared");
+      // Per-thread interning of a distinct name races the registry's
+      // slow-path mutex against the other threads' fast paths.
+      obs::Counter* own = obs::Registry().GetCounter(
+          "test.concurrency.thread" + std::to_string(t));
+      for (int round = 0; round < kRounds; ++round) {
+        obs::Span span("test.concurrency.round");
+        for (const Case& c : kCases) {
+          auto verdict = validator->Validate(c.xml, vocab);
+          if (!verdict.ok() || *verdict != c.valid) ++mismatches;
+        }
+        shared->Increment();
+        own->Increment();
+        span.AddArg("round", static_cast<uint64_t>(round));
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_EQ(obs::Registry().GetCounter("test.concurrency.shared")->value(),
+            static_cast<uint64_t>(kThreads) * kRounds);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(obs::Registry()
+                  .GetCounter("test.concurrency.thread" + std::to_string(t))
+                  ->value(),
+              static_cast<uint64_t>(kRounds));
+  }
+  // The validations inside each round emit their own pipeline spans
+  // (schema.validate, xml.parse, ...), so count only the per-round span.
+  size_t round_events = 0;
+  for (const obs::TraceEvent& e : obs::Registry().SnapshotTrace()) {
+    if (e.name == "test.concurrency.round") ++round_events;
+  }
+  EXPECT_EQ(round_events, static_cast<size_t>(kThreads) * kRounds);
+
+  obs::SetEnabled(false);
+  obs::SetTraceEnabled(false);
+  obs::Registry().Reset();
 }
 
 }  // namespace

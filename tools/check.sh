@@ -64,4 +64,25 @@ VERIFY="${BUILD_DIR}/tools/hedgeq_verify"
 "${VERIFY}" emit-cert det 'a<b*> | c' | "${VERIFY}" cert -
 "${VERIFY}" emit-cert trim 'a<b*> | c' | "${VERIFY}" cert -
 
+step "metrics snapshot smoke (stable metric names + trace export)"
+HQ="${BUILD_DIR}/tools/hq"
+OBS_TMP="$(mktemp -d)"
+"${HQ}" gen article 200 > "${OBS_TMP}/doc.xml"
+"${HQ}" query 'select(*; figure (section|article)*)' "${OBS_TMP}/doc.xml" \
+  --metrics="${OBS_TMP}/metrics.json" --trace="${OBS_TMP}/trace.json" \
+  > /dev/null
+# Golden-gate the metric *names* (values vary by machine): every catalogued
+# name must appear in the snapshot. Appending new names is fine; renaming
+# or dropping one is a contract break and fails here.
+while IFS= read -r name; do
+  [[ -z "${name}" || "${name}" == \#* ]] && continue
+  grep -q "\"${name}\"" "${OBS_TMP}/metrics.json" \
+    || { echo "FAIL: metric '${name}' missing from snapshot (catalogued names are append-only)"; exit 1; }
+done < tools/fixtures/metric_names.golden
+grep -q '"traceEvents"' "${OBS_TMP}/trace.json" \
+  || { echo "FAIL: --trace produced no Chrome trace_event output"; exit 1; }
+grep -q '"phr.eval.pass2"' "${OBS_TMP}/trace.json" \
+  || { echo "FAIL: trace does not cover the Algorithm 1 traversals"; exit 1; }
+rm -rf "${OBS_TMP}"
+
 step "all checks passed"

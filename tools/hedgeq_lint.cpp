@@ -25,9 +25,14 @@
 #include "query/selection.h"
 #include "schema/schema.h"
 
+#include "obs_cli.h"
+
 namespace {
 
 using namespace hedgeq;
+
+// Process-wide --metrics/--trace state; flushed by its destructor on exit.
+tools::ObsCli g_obs;
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "hedgeq_lint: %s\n", message.c_str());
@@ -57,7 +62,17 @@ Result<schema::Schema> LoadSchema(const std::string& path,
 // Prints the report and returns the process exit code.
 int Emit(const std::vector<lint::Diagnostic>& diagnostics, bool json) {
   if (json) {
-    std::printf("%s", lint::DiagnosticsToJson(diagnostics).c_str());
+    if (g_obs.metrics_requested()) {
+      // --json --metrics: one merged object so consumers get findings and
+      // the metrics snapshot in a single document. Without --metrics the
+      // output stays the bare diagnostics array (round-trips via
+      // from-json).
+      std::printf("{\"diagnostics\": %s,\n\"obs\": %s}\n",
+                  lint::DiagnosticsToJson(diagnostics).c_str(),
+                  g_obs.TakeMetricsJson().c_str());
+    } else {
+      std::printf("%s", lint::DiagnosticsToJson(diagnostics).c_str());
+    }
   } else {
     for (const lint::Diagnostic& d : diagnostics) {
       std::printf("%s\n", lint::FormatDiagnostic(d).c_str());
@@ -145,6 +160,7 @@ int main(int argc, char** argv) {
       args.emplace_back(argv[i]);
     }
   }
+  g_obs.Configure(args);
   if (args.empty()) {
     Usage();
     return 1;

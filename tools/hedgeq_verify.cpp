@@ -36,9 +36,14 @@
 #include "verify/enumerate.h"
 #include "verify/oracle.h"
 
+#include "obs_cli.h"
+
 namespace {
 
 using namespace hedgeq;
+
+// Process-wide --metrics/--trace state; flushed by its destructor on exit.
+tools::ObsCli g_obs;
 
 int Fail(const std::string& message) {
   std::fprintf(stderr, "hedgeq_verify: %s\n", message.c_str());
@@ -60,7 +65,17 @@ Result<std::string> ReadFile(const std::string& path) {
 
 int Emit(const std::vector<lint::Diagnostic>& diagnostics, bool json) {
   if (json) {
-    std::printf("%s", lint::DiagnosticsToJson(diagnostics).c_str());
+    if (g_obs.metrics_requested()) {
+      // --json --metrics: one merged object so consumers get findings and
+      // the metrics snapshot in a single document. Without --metrics the
+      // output stays the bare diagnostics array (round-trips via
+      // from-json).
+      std::printf("{\"diagnostics\": %s,\n\"obs\": %s}\n",
+                  lint::DiagnosticsToJson(diagnostics).c_str(),
+                  g_obs.TakeMetricsJson().c_str());
+    } else {
+      std::printf("%s", lint::DiagnosticsToJson(diagnostics).c_str());
+    }
   } else {
     for (const lint::Diagnostic& d : diagnostics) {
       std::printf("%s\n", lint::FormatDiagnostic(d).c_str());
@@ -231,6 +246,7 @@ int main(int argc, char** argv) {
       args.emplace_back(argv[i]);
     }
   }
+  g_obs.Configure(args);
   if (args.empty()) {
     Usage();
     return 1;

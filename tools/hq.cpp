@@ -12,12 +12,16 @@
 //
 // Queries use the textual syntax documented in the README; documents may be
 // XML files or '-' for stdin.
+//
+// Every command also accepts --metrics[=FILE] and --trace=FILE (see
+// tools/obs_cli.h and docs/OBSERVABILITY.md).
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
 #include <sstream>
 #include <string>
+#include <vector>
 
 #include "automata/analysis.h"
 #include "baseline/xpath.h"
@@ -28,6 +32,8 @@
 #include "util/rng.h"
 #include "workload/generators.h"
 #include "xml/xml.h"
+
+#include "obs_cli.h"
 
 namespace {
 
@@ -309,38 +315,45 @@ void Usage() {
       "  hq contains schema.grammar '<q1>' '<q2>'  (query containment)\n"
       "  hq schema-diff a.grammar b.grammar\n"
       "  hq canon schema.grammar               (canonical minimized form)\n"
-      "  hq ambiguous '<hedge regular expression>'\n");
+      "  hq ambiguous '<hedge regular expression>'\n"
+      "options (any command):\n"
+      "  --metrics[=FILE]   emit a metrics snapshot (stderr, or FILE)\n"
+      "  --trace=FILE       write a Chrome trace_event file\n");
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 2) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  tools::ObsCli obs_cli;  // flushes --metrics/--trace output on any return
+  obs_cli.Configure(args);
+  const size_t n = args.size();
+  if (n < 1) {
     Usage();
     return 1;
   }
-  std::string cmd = argv[1];
-  if (cmd == "query" && argc == 4) return CmdQuery(argv[2], argv[3]);
-  if (cmd == "xpath" && argc == 4) return CmdXPath(argv[2], argv[3]);
-  if (cmd == "validate" && argc == 4) return CmdValidate(argv[2], argv[3]);
-  if (cmd == "transform" && (argc == 5 || argc == 6)) {
-    return CmdTransform(argv[2], argv[3], argv[4],
-                        argc == 6 ? argv[5] : nullptr);
+  const std::string& cmd = args[0];
+  if (cmd == "query" && n == 3) return CmdQuery(args[1], args[2]);
+  if (cmd == "xpath" && n == 3) return CmdXPath(args[1], args[2]);
+  if (cmd == "validate" && n == 3) return CmdValidate(args[1], args[2]);
+  if (cmd == "transform" && (n == 4 || n == 5)) {
+    return CmdTransform(args[1], args[2], args[3],
+                        n == 5 ? args[4].c_str() : nullptr);
   }
-  if (cmd == "gen" && (argc == 4 || argc == 5)) {
-    return CmdGen(argv[2], static_cast<size_t>(std::atol(argv[3])),
-                  argc == 5 ? static_cast<uint64_t>(std::atoll(argv[4]))
-                            : 42);
+  if (cmd == "gen" && (n == 3 || n == 4)) {
+    return CmdGen(args[1], static_cast<size_t>(std::atol(args[2].c_str())),
+                  n == 4 ? static_cast<uint64_t>(std::atoll(args[3].c_str()))
+                         : 42);
   }
-  if (cmd == "schema-diff" && argc == 4) {
-    return CmdSchemaDiff(argv[2], argv[3]);
+  if (cmd == "schema-diff" && n == 3) {
+    return CmdSchemaDiff(args[1], args[2]);
   }
-  if (cmd == "example" && argc == 4) return CmdExample(argv[2], argv[3]);
-  if (cmd == "contains" && argc == 5) {
-    return CmdContains(argv[2], argv[3], argv[4]);
+  if (cmd == "example" && n == 3) return CmdExample(args[1], args[2]);
+  if (cmd == "contains" && n == 4) {
+    return CmdContains(args[1], args[2], args[3]);
   }
-  if (cmd == "canon" && argc == 3) return CmdCanon(argv[2]);
-  if (cmd == "ambiguous" && argc == 3) return CmdAmbiguous(argv[2]);
+  if (cmd == "canon" && n == 2) return CmdCanon(args[1]);
+  if (cmd == "ambiguous" && n == 2) return CmdAmbiguous(args[1]);
   Usage();
   return 1;
 }

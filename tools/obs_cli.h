@@ -1,0 +1,95 @@
+#ifndef HEDGEQ_TOOLS_OBS_CLI_H_
+#define HEDGEQ_TOOLS_OBS_CLI_H_
+
+// Shared --metrics / --trace flag handling for the CLI tools:
+//
+//   --metrics        print the metrics snapshot (JSON) to stderr at exit
+//   --metrics=FILE   write the snapshot to FILE instead ("-" = stdout)
+//   --trace=FILE     record spans and write a Chrome trace_event file
+//                    (loadable in about:tracing / Perfetto)
+//
+// Either flag turns observability on for the process; without them the
+// instrumentation stays behind its disabled fast path.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "obs/catalogue.h"
+#include "obs/obs.h"
+
+namespace hedgeq::tools {
+
+class ObsCli {
+ public:
+  ObsCli() = default;
+  ObsCli(const ObsCli&) = delete;
+  ObsCli& operator=(const ObsCli&) = delete;
+  ~ObsCli() { Flush(); }
+
+  /// Strips --metrics[=FILE] and --trace=FILE out of `args` (so command
+  /// dispatch never sees them) and enables observability if either was
+  /// present.
+  void Configure(std::vector<std::string>& args) {
+    std::vector<std::string> kept;
+    kept.reserve(args.size());
+    for (std::string& a : args) {
+      if (a == "--metrics") {
+        metrics_ = true;
+      } else if (a.rfind("--metrics=", 0) == 0) {
+        metrics_ = true;
+        metrics_file_ = a.substr(sizeof("--metrics=") - 1);
+      } else if (a.rfind("--trace=", 0) == 0) {
+        trace_file_ = a.substr(sizeof("--trace=") - 1);
+      } else {
+        kept.push_back(std::move(a));
+      }
+    }
+    args = std::move(kept);
+    if (metrics_ || !trace_file_.empty()) {
+      obs::RegisterCatalogue();
+      obs::SetEnabled(true);
+      if (!trace_file_.empty()) obs::SetTraceEnabled(true);
+    }
+  }
+
+  bool metrics_requested() const { return metrics_; }
+
+  /// For tools whose --json output embeds the snapshot under an "obs" key:
+  /// returns the snapshot and suppresses the default emission in Flush.
+  std::string TakeMetricsJson() {
+    metrics_taken_ = true;
+    return obs::Registry().MetricsJson();
+  }
+
+  /// Writes whatever was requested. Idempotent; also run by the destructor
+  /// so every `return` path in main() flushes.
+  void Flush() {
+    if (flushed_) return;
+    flushed_ = true;
+    if (metrics_ && !metrics_taken_) {
+      if (metrics_file_.empty()) {
+        std::string json = obs::Registry().MetricsJson();
+        std::fprintf(stderr, "%s\n", json.c_str());
+      } else if (!obs::WriteMetricsFile(metrics_file_)) {
+        std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                     metrics_file_.c_str());
+      }
+    }
+    if (!trace_file_.empty() && !obs::WriteChromeTraceFile(trace_file_)) {
+      std::fprintf(stderr, "warning: cannot write trace to %s\n",
+                   trace_file_.c_str());
+    }
+  }
+
+ private:
+  bool metrics_ = false;
+  bool metrics_taken_ = false;
+  bool flushed_ = false;
+  std::string metrics_file_;
+  std::string trace_file_;
+};
+
+}  // namespace hedgeq::tools
+
+#endif  // HEDGEQ_TOOLS_OBS_CLI_H_
