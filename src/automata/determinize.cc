@@ -21,6 +21,10 @@ namespace {
 // Set once (before main, by the HEDGEQ_CERTIFY static installer) and read on
 // every construction; relaxed is enough for a set-once pointer.
 std::atomic<DeterminizeValidationHook> g_determinize_hook{nullptr};
+// Installed by the CLI (--cache-dir) or a test; set-once per process in
+// practice, but acquire/release so an installing thread's cache object is
+// visible to construction threads.
+std::atomic<DeterminizeCache*> g_determinize_cache{nullptr};
 }  // namespace
 
 void SetDeterminizeValidationHook(DeterminizeValidationHook hook) {
@@ -29,6 +33,14 @@ void SetDeterminizeValidationHook(DeterminizeValidationHook hook) {
 
 DeterminizeValidationHook GetDeterminizeValidationHook() {
   return g_determinize_hook.load(std::memory_order_relaxed);
+}
+
+void SetDeterminizeCache(DeterminizeCache* cache) {
+  g_determinize_cache.store(cache, std::memory_order_release);
+}
+
+DeterminizeCache* GetDeterminizeCache() {
+  return g_determinize_cache.load(std::memory_order_acquire);
 }
 
 Result<Determinized> Determinize(const Nha& nha, const ExecBudget& budget) {
@@ -43,6 +55,13 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope) {
 Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
                                  DeterminizeWitness* witness) {
   HEDGEQ_FAILPOINT("determinize/alloc");
+  DeterminizeCache* cache = GetDeterminizeCache();
+  if (cache != nullptr) {
+    // Before the stage span opens: a validated hit means the determinize
+    // stage did not run, and the trace/timings must say so.
+    Determinized cached{Dha{1, 1, 0, 0}, {}};
+    if (cache->Lookup(nha, &cached, witness)) return cached;
+  }
   HEDGEQ_OBS_SPAN(span, obs::spans::kDeterminize);
   const auto obs_start = std::chrono::steady_clock::now();
   const size_t obs_steps_before = scope.steps_used();
@@ -217,8 +236,8 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
   }
   for (const auto& [x, sid] : var_sid) dha.SetVariableState(x, sid);
   for (const auto& [z, sid] : subst_sid) dha.SetSubstState(z, sid);
-  const bool want_witness =
-      witness != nullptr || GetDeterminizeValidationHook() != nullptr;
+  const bool want_witness = witness != nullptr || cache != nullptr ||
+                            GetDeterminizeValidationHook() != nullptr;
   std::vector<Bitset> final_sets;
   Result<strre::Dfa> final_dfa = LiftToSubsetsBounded(
       nha.final_nfa(), subsets, scope, want_witness ? &final_sets : nullptr);
@@ -251,6 +270,7 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
               std::chrono::steady_clock::now() - certify_start)
               .count());
     }
+    if (cache != nullptr) cache->Store(nha, out, local);
     if (witness != nullptr) *witness = std::move(local);
   }
   if (obs::Enabled()) {

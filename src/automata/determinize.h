@@ -41,6 +41,39 @@ using DeterminizeValidationHook = Status (*)(const Nha&, const Determinized&,
 void SetDeterminizeValidationHook(DeterminizeValidationHook hook);
 DeterminizeValidationHook GetDeterminizeValidationHook();
 
+/// Pluggable cross-process cache for subset constructions, consulted by
+/// every Determinize call while installed (src/cache/ provides the
+/// persistent, certificate-checked implementation; the pointer lives here,
+/// like the validation hook above, so automata does not depend on it).
+///
+/// Contract — the cache may only ever make Determinize faster, never wrong:
+///  - Lookup must return true only for an entry it has *re-validated* for
+///    exactly `input` (hedgeq's implementation runs the PR 3 certificate
+///    checker and compares the stored input automaton byte-for-byte);
+///    anything questionable is a miss.
+///  - Store must be fire-and-forget: failures are swallowed (counted, never
+///    propagated), so callers cannot be broken by a full or read-only disk.
+/// Both are called with the same thread that called Determinize.
+class DeterminizeCache {
+ public:
+  virtual ~DeterminizeCache() = default;
+
+  /// On hit fills `out` (and `witness`, when non-null) and returns true.
+  virtual bool Lookup(const Nha& input, Determinized* out,
+                      DeterminizeWitness* witness) = 0;
+
+  /// Offers a freshly constructed result for persistence.
+  virtual void Store(const Nha& input, const Determinized& out,
+                     const DeterminizeWitness& witness) = 0;
+};
+
+/// Installs `cache` (not owned, null to uninstall) for every subsequent
+/// Determinize in the process. On a hit the construction — and its
+/// automata.determinize span — is skipped entirely; on a miss the result is
+/// offered back through Store (forcing witness recording for that call).
+void SetDeterminizeCache(DeterminizeCache* cache);
+DeterminizeCache* GetDeterminizeCache();
+
 /// Theorem 1: subset construction from a non-deterministic to a
 /// deterministic hedge automaton with L(dha) = L(nha). Determinization is
 /// worst-case exponential (the paper conjectures it is "usually efficient";

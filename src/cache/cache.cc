@@ -1,0 +1,274 @@
+#include "cache/cache.h"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+#include <vector>
+
+#include "automata/serialize.h"
+#include "lint/diagnostics.h"
+#include "obs/catalogue.h"
+#include "obs/obs.h"
+#include "util/failpoint.h"
+#include "util/strings.h"
+#include "verify/certificate.h"
+#include "verify/checker.h"
+
+namespace hedgeq::cache {
+
+namespace fs = std::filesystem;
+
+namespace {
+
+// Bump on any change to the entry layout or the serialization formats it
+// embeds: the version participates in the content hash, so old entries
+// become unreachable (and eventually quarantine-free garbage) instead of
+// parse errors.
+constexpr int kFormatVersion = 1;
+constexpr const char* kMagic = "hqcache";
+constexpr const char* kKind = "determinize";
+
+// 128-bit content digest as two independent 64-bit FNV-1a streams (second
+// lane uses a different offset basis). Collisions are harmless for
+// correctness — the stored input is byte-compared on load — they only
+// cost a spurious miss.
+std::string Digest128(std::string_view bytes) {
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t a = 14695981039346656037ull;
+  uint64_t b = 0x9ae16a3b2f90404full;
+  for (unsigned char c : bytes) {
+    a = (a ^ c) * kPrime;
+    b = (b ^ (c + 0x9eu)) * kPrime;
+  }
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return std::string(buf);
+}
+
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  if (!in.good() && !in.eof()) return false;
+  *out = buf.str();
+  return true;
+}
+
+}  // namespace
+
+std::atomic<uint64_t> AutomatonCache::temp_counter_{0};
+
+Result<std::unique_ptr<AutomatonCache>> AutomatonCache::Open(std::string dir) {
+  std::error_code ec;
+  fs::create_directories(fs::path(dir) / "corrupt", ec);
+  if (ec) {
+    return Status::FailedPrecondition(
+        StrCat("cache: cannot create cache directory '", dir,
+               "': ", ec.message()));
+  }
+  return std::unique_ptr<AutomatonCache>(new AutomatonCache(std::move(dir)));
+}
+
+std::string AutomatonCache::KeyFor(const automata::Nha& input) const {
+  std::string canonical =
+      StrCat(kMagic, " ", kFormatVersion, " ", kKind, "\n",
+             automata::SerializeNha(input, *vocab_));
+  return Digest128(canonical);
+}
+
+std::string AutomatonCache::EntryPathFor(const automata::Nha& input) const {
+  return (fs::path(dir_) / (KeyFor(input) + ".cert")).string();
+}
+
+void AutomatonCache::Quarantine(const std::string& entry_path,
+                                const std::string& reason) {
+  ++stats_.quarantines;
+  HEDGEQ_OBS_COUNT(obs::metrics::kCacheQuarantine, 1);
+  last_reject_ = reason;
+  fs::path src(entry_path);
+  fs::path dst = fs::path(dir_) / "corrupt" /
+                 StrCat(src.filename().string(), ".",
+                        temp_counter_.fetch_add(1, std::memory_order_relaxed));
+  std::error_code ec;
+  fs::rename(src, dst, ec);
+  if (ec) {
+    // Another process may have quarantined (or replaced) it first; make
+    // sure the bad entry at least stops being served.
+    fs::remove(src, ec);
+    return;
+  }
+  std::ofstream sidecar(dst.string() + ".reason",
+                        std::ios::binary | std::ios::trunc);
+  if (sidecar) sidecar << reason << "\n";
+}
+
+bool AutomatonCache::Lookup(const automata::Nha& input,
+                            automata::Determinized* out,
+                            automata::DeterminizeWitness* witness) {
+  if (vocab_ == nullptr) return false;
+  HEDGEQ_OBS_SPAN(span, obs::spans::kCacheLoad);
+  last_reject_.clear();
+  const std::string expected_input = automata::SerializeNha(input, *vocab_);
+  const std::string key = KeyFor(input);
+  const std::string path = (fs::path(dir_) / (key + ".cert")).string();
+
+  auto miss = [&]() {
+    ++stats_.misses;
+    HEDGEQ_OBS_COUNT(obs::metrics::kCacheMiss, 1);
+    return false;
+  };
+
+  std::string raw;
+  if (!ReadFileToString(path, &raw)) return miss();
+  if (!failpoint::Check("cache/short-read").ok()) {
+    // A torn read of a good entry: the validation ladder below must treat
+    // the prefix exactly like any other corrupt entry.
+    raw.resize(raw.size() / 2);
+  }
+
+  // Header: "hqcache <version> determinize <key> <payload-bytes>\n".
+  size_t nl = raw.find('\n');
+  bool header_ok = false;
+  size_t payload_bytes = 0;
+  if (nl != std::string::npos) {
+    std::istringstream header(raw.substr(0, nl));
+    std::string magic, kind, stored_key;
+    int version = 0;
+    if (header >> magic >> version >> kind >> stored_key >> payload_bytes &&
+        magic == kMagic && version == kFormatVersion && kind == kKind &&
+        stored_key == key) {
+      header_ok = true;
+    }
+  }
+  if (!header_ok) {
+    Quarantine(path, StrCat(lint::DiagnosticCodeName(
+                        lint::DiagnosticCode::kCertificateMalformed),
+                    ": malformed header, not a readable cache entry"));
+    return miss();
+  }
+  std::string_view payload = std::string_view(raw).substr(nl + 1);
+  if (payload.size() != payload_bytes) {
+    Quarantine(path, StrCat(lint::DiagnosticCodeName(
+                            lint::DiagnosticCode::kCertificateMalformed),
+                        ": truncated payload, header promises ",
+                        payload_bytes, " bytes, found ", payload.size()));
+    return miss();
+  }
+
+  Result<verify::Certificate> cert =
+      verify::DeserializeCertificate(payload, *vocab_);
+  if (!cert.ok()) {
+    Quarantine(path, StrCat(lint::DiagnosticCodeName(
+                            lint::DiagnosticCode::kCertificateMalformed),
+                        ": undeserializable, ", cert.status().message()));
+    return miss();
+  }
+  if (cert->kind != verify::CertificateKind::kDeterminize) {
+    Quarantine(path, StrCat(lint::DiagnosticCodeName(
+                        lint::DiagnosticCode::kCertificateMalformed),
+                    ": entry is not a determinize certificate"));
+    return miss();
+  }
+  // Guards against both hash collisions and entries tampered into a
+  // *valid* certificate of some other automaton: valid is not enough, it
+  // must certify exactly this input.
+  if (automata::SerializeNha(cert->input, *vocab_) != expected_input) {
+    Quarantine(path, StrCat(lint::DiagnosticCodeName(
+                        lint::DiagnosticCode::kCertificateMalformed),
+                    ": input mismatch, entry certifies a different "
+                    "automaton"));
+    return miss();
+  }
+  std::vector<lint::Diagnostic> findings = verify::CheckCertificate(*cert);
+  if (!findings.empty()) {
+    ++stats_.validate_rejects;
+    HEDGEQ_OBS_COUNT(obs::metrics::kCacheValidateReject, 1);
+    Quarantine(path, StrCat(lint::DiagnosticCodeName(findings.front().code),
+                            ": ", findings.front().message));
+    return miss();
+  }
+
+  out->dha = std::move(cert->dha);
+  out->subsets = std::move(cert->subsets);
+  if (witness != nullptr) *witness = std::move(cert->det);
+  ++stats_.hits;
+  HEDGEQ_OBS_COUNT(obs::metrics::kCacheHit, 1);
+  return true;
+}
+
+void AutomatonCache::Store(const automata::Nha& input,
+                           const automata::Determinized& out,
+                           const automata::DeterminizeWitness& witness) {
+  if (vocab_ == nullptr) return;
+  HEDGEQ_OBS_SPAN(span, obs::spans::kCacheStoreSpan);
+  auto store_error = [&]() {
+    ++stats_.store_errors;
+    HEDGEQ_OBS_COUNT(obs::metrics::kCacheStoreError, 1);
+  };
+
+  verify::Certificate cert;
+  cert.kind = verify::CertificateKind::kDeterminize;
+  cert.input = input;
+  cert.dha = out.dha;
+  cert.subsets = out.subsets;
+  cert.det = witness;
+  const std::string payload = verify::SerializeCertificate(cert, *vocab_);
+  const std::string key = KeyFor(input);
+  std::string body = StrCat(kMagic, " ", kFormatVersion, " ", kKind, " ", key,
+                            " ", payload.size(), "\n", payload);
+  if (!failpoint::Check("cache/torn-write").ok()) {
+    // Simulates a write torn by power loss on a filesystem without atomic
+    // publish: half the entry lands on disk and *is* renamed into place.
+    // The Lookup validation ladder must quarantine it.
+    body.resize(body.size() / 2);
+  }
+
+  const std::string final_path = (fs::path(dir_) / (key + ".cert")).string();
+  const std::string temp_path =
+      (fs::path(dir_) /
+       StrCat(".tmp.", key, ".", static_cast<uint64_t>(::getpid()), ".",
+              temp_counter_.fetch_add(1, std::memory_order_relaxed)))
+          .string();
+  bool write_ok = failpoint::Check("cache/enospc").ok();
+  if (write_ok) {
+    std::ofstream temp(temp_path, std::ios::binary | std::ios::trunc);
+    write_ok = static_cast<bool>(temp.write(body.data(),
+                                            static_cast<std::streamsize>(
+                                                body.size())));
+    temp.close();
+    write_ok = write_ok && !temp.fail();
+  }
+  if (!write_ok) {
+    std::error_code ec;
+    fs::remove(temp_path, ec);
+    store_error();
+    return;
+  }
+  std::error_code ec;
+  if (!failpoint::Check("cache/rename").ok()) {
+    ec = std::make_error_code(std::errc::io_error);
+  } else {
+    // Atomic publish: readers see the old entry, the new entry, or none —
+    // never a prefix. Concurrent writers of one key race benignly; the
+    // last rename wins and both entries were valid.
+    fs::rename(temp_path, final_path, ec);
+  }
+  if (ec) {
+    std::error_code rm;
+    fs::remove(temp_path, rm);
+    store_error();
+    return;
+  }
+  ++stats_.stores;
+  HEDGEQ_OBS_COUNT(obs::metrics::kCacheStore, 1);
+}
+
+}  // namespace hedgeq::cache

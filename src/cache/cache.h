@@ -1,0 +1,123 @@
+#ifndef HEDGEQ_CACHE_CACHE_H_
+#define HEDGEQ_CACHE_CACHE_H_
+
+// hedgeq::cache — a content-addressed, cross-process persistent cache for
+// compiled automata, installed into the determinize pipeline through the
+// automata::DeterminizeCache hook.
+//
+// The one invariant everything here serves: **never trust cached bytes**.
+// A lookup only returns a hit after the stored certificate has been
+// re-validated from scratch by the independent checker (verify/checker.h)
+// *and* the stored input automaton byte-compares equal to the input being
+// determinized. Anything else — truncated file, flipped bit, wrong version,
+// hash collision, a write torn by a crash — is rejected with its HQV
+// diagnostic code, moved into the `corrupt/` subdirectory for post-mortem,
+// and transparently recomputed. The cache can therefore make queries
+// faster but never wrong: the worst possible corruption degrades to the
+// cost of a cold run plus one rename.
+//
+// Crash and contention safety. Entries are written to a unique temp file
+// in the cache directory and published with an atomic rename, so readers
+// never observe a partially written entry under POSIX rename semantics.
+// Concurrent writers of the same key are benign: both produce a valid
+// entry for the same content hash and the last rename wins. Concurrent
+// processes sharing a directory need no locks.
+//
+// Fault injection. Four util/failpoint points cover the I/O failure modes
+// the propagation-matrix test (tests/cache_test.cc) proves all degrade to
+// a recompute, never a wrong answer:
+//   cache/torn-write   Store publishes a half-written payload (simulating
+//                      a filesystem without atomic-rename durability)
+//   cache/short-read   Lookup sees a truncated read of a good entry
+//   cache/enospc       the temp-file write fails (disk full)
+//   cache/rename       the publishing rename fails
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "automata/determinize.h"
+#include "automata/nha.h"
+#include "hedge/hedge.h"
+#include "util/status.h"
+
+namespace hedgeq::cache {
+
+/// Monotonic per-instance totals, mirrored into the obs `cache.*` counters.
+/// `hits` counts only fully re-validated entries; every `validate_rejects`
+/// is also a `quarantines` (quarantine additionally counts entries that
+/// failed before the checker ran: bad header, undeserializable payload,
+/// input mismatch).
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t validate_rejects = 0;
+  uint64_t quarantines = 0;
+  uint64_t stores = 0;
+  uint64_t store_errors = 0;
+};
+
+/// The persistent automaton cache. Thread-compatible: one instance must
+/// not be shared across threads without external synchronization, but any
+/// number of instances (in any number of processes) may share one cache
+/// directory — cross-instance safety is purely filesystem-level.
+class AutomatonCache final : public automata::DeterminizeCache {
+ public:
+  /// Opens (creating if needed) `dir` and its `corrupt/` subdirectory.
+  /// Fails with kFailedPrecondition when the directories cannot be
+  /// created.
+  static Result<std::unique_ptr<AutomatonCache>> Open(std::string dir);
+
+  /// Binds the vocabulary used to render automata to their canonical text
+  /// form. Must be called before Lookup/Store; the returned DHA's symbol
+  /// ids are only meaningful against this vocabulary, so it must be the
+  /// one the querying pipeline interns into.
+  void BindVocabulary(hedge::Vocabulary* vocab) { vocab_ = vocab; }
+
+  /// automata::DeterminizeCache: returns true only for an entry that
+  /// passed the full validation ladder (header, exact length,
+  /// deserialize, input byte-compare, certificate check).
+  bool Lookup(const automata::Nha& input, automata::Determinized* out,
+              automata::DeterminizeWitness* witness) override;
+
+  /// automata::DeterminizeCache: fire-and-forget persistence via
+  /// temp-file + atomic rename. Failures are counted, never propagated.
+  void Store(const automata::Nha& input, const automata::Determinized& out,
+             const automata::DeterminizeWitness& witness) override;
+
+  /// Content key of `input` under the bound vocabulary: a 128-bit hex
+  /// digest of the canonical serialized automaton plus the entry-format
+  /// version, so a format bump invalidates old entries by construction.
+  std::string KeyFor(const automata::Nha& input) const;
+
+  /// Where the entry for `input` lives ("<dir>/<key>.cert"); the file may
+  /// not exist. Exposed for tests and the check.sh tamper gate.
+  std::string EntryPathFor(const automata::Nha& input) const;
+
+  const CacheStats& stats() const { return stats_; }
+  const std::string& dir() const { return dir_; }
+
+  /// Why the most recent Lookup rejected an entry (empty when the last
+  /// lookup hit or found no entry). Carries the HQV code when the
+  /// certificate checker did the rejecting.
+  const std::string& last_reject_reason() const { return last_reject_; }
+
+ private:
+  explicit AutomatonCache(std::string dir) : dir_(std::move(dir)) {}
+
+  /// Moves a bad entry to corrupt/ (unique name), writes a sidecar
+  /// `.reason` file with `reason`, and counts the quarantine.
+  void Quarantine(const std::string& entry_path, const std::string& reason);
+
+  std::string dir_;
+  hedge::Vocabulary* vocab_ = nullptr;
+  CacheStats stats_;
+  std::string last_reject_;
+  // Distinguishes temp files of instances sharing one process.
+  static std::atomic<uint64_t> temp_counter_;
+};
+
+}  // namespace hedgeq::cache
+
+#endif  // HEDGEQ_CACHE_CACHE_H_

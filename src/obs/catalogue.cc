@@ -39,6 +39,12 @@ constexpr const char* kCounters[] = {
     metrics::kSchemaTransformRuns,
     metrics::kVerifyChecksRun,
     metrics::kVerifyFindings,
+    metrics::kCacheHit,
+    metrics::kCacheMiss,
+    metrics::kCacheValidateReject,
+    metrics::kCacheQuarantine,
+    metrics::kCacheStore,
+    metrics::kCacheStoreError,
 };
 
 constexpr const char* kGauges[] = {

@@ -79,6 +79,17 @@ inline constexpr const char* kSchemaTransformRuns = "schema.transform.runs";
 inline constexpr const char* kVerifyChecksRun = "verify.checks_run";
 inline constexpr const char* kVerifyFindings = "verify.findings";
 
+// --- cache: the certificate-checked persistent automaton cache
+// (src/cache/). A hit is only counted after the entry re-validated; every
+// rejected entry is also quarantined, so validate_reject <= quarantine
+// (quarantine additionally counts undeserializable and mismatched entries).
+inline constexpr const char* kCacheHit = "cache.hit";
+inline constexpr const char* kCacheMiss = "cache.miss";
+inline constexpr const char* kCacheValidateReject = "cache.validate_reject";
+inline constexpr const char* kCacheQuarantine = "cache.quarantine";
+inline constexpr const char* kCacheStore = "cache.store";
+inline constexpr const char* kCacheStoreError = "cache.store_error";
+
 // --- histograms (value distributions across one process).
 inline constexpr const char* kHistDocNodes = "hist.doc_nodes";
 inline constexpr const char* kHistDetSubsets = "hist.determinize_subsets";
@@ -102,6 +113,8 @@ inline constexpr const char* kPhrEvalPass2 = "phr.eval.pass2";
 inline constexpr const char* kSchemaValidate = "schema.validate";
 inline constexpr const char* kSchemaTransform = "schema.transform";
 inline constexpr const char* kVerifyCheck = "verify.check";
+inline constexpr const char* kCacheLoad = "cache.load";
+inline constexpr const char* kCacheStoreSpan = "cache.store";
 }  // namespace spans
 
 /// Counter names in the catalogue (everything in metrics:: that is a

@@ -262,6 +262,25 @@ std::string MetricsRegistry::MetricsJson() const {
   return out;
 }
 
+std::vector<SpanAggregate> MetricsRegistry::SpanAggregates() const {
+  Impl& im = impl();
+  std::vector<SpanAggregate> out;
+  {
+    std::lock_guard<std::mutex> lock(im.mu);
+    out.reserve(im.span_index.size());
+    for (const auto& [name, stat] : im.span_index) {
+      out.push_back(
+          SpanAggregate{name, stat->count.load(std::memory_order_relaxed),
+                        stat->total_ns.load(std::memory_order_relaxed)});
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              return a.name < b.name;
+            });
+  return out;
+}
+
 std::vector<std::string> MetricsRegistry::MetricNames() const {
   Impl& im = impl();
   std::vector<std::string> names;

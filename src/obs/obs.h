@@ -137,6 +137,16 @@ struct TraceEvent {
   std::vector<std::pair<std::string, uint64_t>> args;  // attached counters
 };
 
+/// Aggregated timing of one span name across the process (the "spans"
+/// section of the metrics snapshot, as a value type): how many times the
+/// stage ran and its total wall time. Returned by
+/// MetricsRegistry::SpanAggregates for `--timings`-style reporting.
+struct SpanAggregate {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t total_ns = 0;
+};
+
 // ---------------------------------------------------------------------------
 // Registry.
 
@@ -163,6 +173,10 @@ class MetricsRegistry {
   /// "histograms":{...},"spans":{...}} with keys sorted lexicographically.
   /// Round-trips through obs::json::Parse.
   std::string MetricsJson() const;
+
+  /// Aggregated span timings, sorted by name. Only stages that ran at
+  /// least once appear — the source of the `hq --timings` table.
+  std::vector<SpanAggregate> SpanAggregates() const;
 
   /// Every registered metric name (sorted, deduplicated across kinds),
   /// prefixed "counter/", "gauge/", "histogram/", "span/". This is the

@@ -66,11 +66,13 @@ Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
     HEDGEQ_OBS_COUNT(obs::metrics::kQueryEagerCompiles, 1);
     return PhrEvaluator(std::move(compiled).value());
   }
-  if (compiled.status().code() != StatusCode::kResourceExhausted) {
+  if (!IsDegradable(compiled.status().code())) {
     return compiled.status();
   }
-  // The exponential preprocessing blew its budget; degrade to the lazy
-  // engine, which answers the same queries with bounded memory.
+  // The exponential preprocessing blew its budget (or its wall-clock
+  // deadline); degrade to the lazy engine, which answers the same queries
+  // with bounded memory. A deadline that has truly passed fails the lazy
+  // Create too and surfaces as kDeadlineExceeded.
   Result<LazyPhrEvaluator> lazy = LazyPhrEvaluator::Create(phr, budget);
   if (!lazy.ok()) return lazy.status();
   HEDGEQ_OBS_COUNT(obs::metrics::kQueryLazyFallbacks, 1);

@@ -52,8 +52,10 @@ Result<SelectionEvaluator> SelectionEvaluator::Create(
     auto det = automata::Determinize(*nha, scope);
     if (det.ok()) {
       out.subhedge_dha_ = std::move(det->dha);
-    } else if (det.status().code() == StatusCode::kResourceExhausted) {
+    } else if (IsDegradable(det.status().code())) {
       // Theorem 3 marks can also come from on-the-fly subset simulation.
+      // (This also rescues a missed deadline: the lazy engine needs no
+      // further preprocessing, so switching costs nothing.)
       automata::LazyDhaOptions opts;
       opts.max_cache_bytes =
           std::min(budget.max_memory_bytes, opts.max_cache_bytes);

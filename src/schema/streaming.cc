@@ -87,9 +87,11 @@ Result<StreamingValidator> StreamingValidator::Create(
     out.dha_ = std::make_shared<automata::Dha>(std::move(det->dha));
     return out;
   }
-  if (det.status().code() != StatusCode::kResourceExhausted) {
+  if (!IsDegradable(det.status().code())) {
     return det.status();
   }
+  // Budget or deadline cut determinization short; the lazy engine needs no
+  // preprocessing, so validation can still start immediately.
   automata::LazyDhaOptions opts;
   opts.max_cache_bytes = std::min(budget.max_memory_bytes,
                                   opts.max_cache_bytes);

@@ -16,7 +16,28 @@ Status Exceeded(const char* stage, const char* what, size_t reached,
 
 }  // namespace
 
+Status BudgetScope::CheckDeadline(const char* stage) {
+  if (expired_ ||
+      (budget_.cancel != nullptr && budget_.cancel->cancelled())) {
+    expired_ = true;
+    return Status::DeadlineExceeded(
+        StrCat(stage, ": operation cancelled or past its deadline"));
+  }
+  if (!budget_.has_deadline()) return Status::Ok();
+  if (--deadline_countdown_ != 0) return Status::Ok();
+  deadline_countdown_ = kDeadlineStride;
+  if (std::chrono::steady_clock::now() >= budget_.deadline) {
+    expired_ = true;
+    return Status::DeadlineExceeded(
+        StrCat(stage,
+               ": wall-clock deadline exceeded; retry with a larger "
+               "--deadline-ms or rely on the lazy engine"));
+  }
+  return Status::Ok();
+}
+
 Status BudgetScope::ChargeStates(size_t n, const char* stage) {
+  HEDGEQ_RETURN_IF_ERROR(CheckDeadline(stage));
   states_ += n;
   if (states_ > budget_.max_states) {
     return Exceeded(stage, "state", states_, budget_.max_states,
@@ -26,6 +47,7 @@ Status BudgetScope::ChargeStates(size_t n, const char* stage) {
 }
 
 Status BudgetScope::ChargeBytes(size_t n, const char* stage) {
+  HEDGEQ_RETURN_IF_ERROR(CheckDeadline(stage));
   bytes_ += n;
   if (bytes_ > budget_.max_memory_bytes) {
     return Exceeded(stage, "memory", bytes_, budget_.max_memory_bytes,
@@ -39,6 +61,7 @@ void BudgetScope::ReleaseBytes(size_t n) {
 }
 
 Status BudgetScope::ChargeSteps(size_t n, const char* stage) {
+  HEDGEQ_RETURN_IF_ERROR(CheckDeadline(stage));
   steps_ += n;
   if (steps_ > budget_.max_steps) {
     return Exceeded(stage, "step", steps_, budget_.max_steps, "max_steps");
@@ -47,7 +70,10 @@ Status BudgetScope::ChargeSteps(size_t n, const char* stage) {
 }
 
 Status BudgetScope::EnterDepth(const char* stage) {
+  // Increment before any failure exit: DepthGuard's destructor decrements
+  // unconditionally, so the pairing must hold on the error path too.
   ++depth_;
+  HEDGEQ_RETURN_IF_ERROR(CheckDeadline(stage));
   if (depth_ > budget_.max_depth) {
     return Exceeded(stage, "depth", depth_, budget_.max_depth, "max_depth");
   }

@@ -1,12 +1,35 @@
 #ifndef HEDGEQ_UTIL_BUDGET_H_
 #define HEDGEQ_UTIL_BUDGET_H_
 
+#include <atomic>
+#include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <limits>
 
 #include "util/status.h"
 
 namespace hedgeq {
+
+/// Cooperative cancellation token. The owner (a CLI signal handler, a server
+/// request context, a test) flips it once; every BudgetScope holding a
+/// pointer to it fails its next Charge* with kDeadlineExceeded. Reads are a
+/// single relaxed atomic load, so tokens are safe to consult from hot
+/// preprocessing loops; the token must outlive every scope that watches it.
+class CancelToken {
+ public:
+  CancelToken() = default;
+  CancelToken(const CancelToken&) = delete;
+  CancelToken& operator=(const CancelToken&) = delete;
+
+  void Cancel() { cancelled_.store(true, std::memory_order_relaxed); }
+  bool cancelled() const {
+    return cancelled_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<bool> cancelled_{false};
+};
 
 /// Resource limits for the exponential preprocessing stages (HRE
 /// compilation, Theorem 1 determinization, the Theorem 4 pipeline, schema
@@ -30,6 +53,28 @@ struct ExecBudget {
   size_t max_steps = size_t{1} << 30;
   /// Maximum recursion/nesting depth (AST recursion, splice nesting).
   size_t max_depth = 4096;
+
+  /// Wall-clock deadline (steady clock); the default-constructed epoch value
+  /// means "no deadline". Unlike max_steps — a deterministic deadline
+  /// substitute — this is a real-time bound for interactive callers
+  /// (`hq --deadline-ms`): any Charge* past the deadline fails with
+  /// kDeadlineExceeded, and stages with a lazy equivalent degrade to it
+  /// exactly as they do on kResourceExhausted.
+  std::chrono::steady_clock::time_point deadline{};
+  /// Optional cooperative cancellation; not owned, may be null, must outlive
+  /// every scope created from this budget. Cancellation surfaces as
+  /// kDeadlineExceeded too (same callers, same degradation paths).
+  const CancelToken* cancel = nullptr;
+
+  bool has_deadline() const {
+    return deadline != std::chrono::steady_clock::time_point{};
+  }
+
+  /// Sets the deadline `ms` milliseconds from now.
+  void SetDeadlineAfterMs(uint64_t ms) {
+    deadline = std::chrono::steady_clock::now() +
+               std::chrono::milliseconds(static_cast<int64_t>(ms));
+  }
 
   /// A budget that never trips (all limits at numeric max).
   static ExecBudget Unlimited() {
@@ -65,6 +110,14 @@ class BudgetScope {
   /// Charges `n` elementary steps against max_steps.
   Status ChargeSteps(size_t n, const char* stage);
 
+  /// Deadline/cancellation probe: kDeadlineExceeded when the budget's
+  /// cancel token fired or its wall-clock deadline passed, Ok otherwise.
+  /// Every Charge* runs this, so stages that account their work are
+  /// automatically cancellable; long uncharged loops may call it directly.
+  /// The clock is only read every few calls (the token every call), keeping
+  /// the probe cheap enough for inner loops.
+  Status CheckDeadline(const char* stage);
+
   /// Nesting-depth accounting; prefer the RAII DepthGuard below.
   Status EnterDepth(const char* stage);
   void LeaveDepth();
@@ -76,11 +129,16 @@ class BudgetScope {
   const ExecBudget& budget() const { return budget_; }
 
  private:
+  // How many CheckDeadline calls skip the clock read between real reads.
+  static constexpr uint32_t kDeadlineStride = 32;
+
   ExecBudget budget_;
   size_t states_ = 0;
   size_t bytes_ = 0;
   size_t steps_ = 0;
   size_t depth_ = 0;
+  uint32_t deadline_countdown_ = 1;  // first check reads the clock
+  bool expired_ = false;             // deadline verdicts are sticky
 };
 
 /// RAII depth guard: increments the scope's depth on construction,

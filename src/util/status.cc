@@ -16,6 +16,8 @@ const char* StatusCodeName(StatusCode code) {
       return "resource-exhausted";
     case StatusCode::kInternal:
       return "internal";
+    case StatusCode::kDeadlineExceeded:
+      return "deadline-exceeded";
   }
   return "unknown";
 }

@@ -18,10 +18,21 @@ enum class StatusCode {
   kFailedPrecondition,
   kResourceExhausted,  // configured limits exceeded (e.g. determinization cap)
   kInternal,
+  kDeadlineExceeded,  // wall-clock deadline passed or operation cancelled
 };
 
 /// Human-readable name of a StatusCode ("ok", "invalid-argument", ...).
 const char* StatusCodeName(StatusCode code);
+
+/// True for the failure codes a budgeted pipeline stage may *degrade* on
+/// rather than propagate: a blown resource budget or a missed wall-clock
+/// deadline. Both mean "the eager construction was cut short, not wrong",
+/// so callers with a lazy equivalent (query/evaluator, query/selection,
+/// schema/streaming) fall back to it; every other code is a real error.
+inline bool IsDegradable(StatusCode code) {
+  return code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 /// A success-or-error value. Cheap to copy on success (empty message).
 class Status {
@@ -46,6 +57,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -58,7 +58,61 @@ struct Verdict {
   bool accepts;
 };
 
+// Copies the subtree of `n` into `dst` under `dst_parent`, except `victim`:
+// a deleted victim vanishes with its whole subtree, a hoisted victim is
+// replaced by its children sequence (spliced in place, in order).
+void CopyExceptVictim(const Hedge& src, NodeId n, Hedge& dst,
+                      NodeId dst_parent, NodeId victim, bool hoist) {
+  if (n == victim) {
+    if (hoist) {
+      for (NodeId kid : src.ChildrenOf(n)) {
+        CopyExceptVictim(src, kid, dst, dst_parent, victim, hoist);
+      }
+    }
+    return;
+  }
+  NodeId copy = dst.Append(dst_parent, src.label(n));
+  for (NodeId kid : src.ChildrenOf(n)) {
+    CopyExceptVictim(src, kid, dst, copy, victim, hoist);
+  }
+}
+
+Hedge WithoutSubtree(const Hedge& h, NodeId victim, bool hoist) {
+  Hedge out;
+  for (NodeId root : h.roots()) {
+    CopyExceptVictim(h, root, out, hedge::kNullNode, victim, hoist);
+  }
+  return out;
+}
+
 }  // namespace
+
+Hedge ShrinkHedge(const Hedge& start,
+                  const std::function<bool(const Hedge&)>& still_failing,
+                  size_t max_checks, size_t* checks_out) {
+  Hedge current = start;
+  size_t checks = 0;
+  bool reduced = true;
+  while (reduced && checks < max_checks) {
+    reduced = false;
+    for (NodeId n : current.PreOrder()) {
+      for (bool hoist : {false, true}) {
+        if (hoist && current.first_child(n) == hedge::kNullNode) continue;
+        Hedge candidate = WithoutSubtree(current, n, hoist);
+        ++checks;
+        if (still_failing(candidate)) {
+          current = std::move(candidate);
+          reduced = true;  // node ids shifted: restart the scan
+          break;
+        }
+        if (checks >= max_checks) break;
+      }
+      if (reduced || checks >= max_checks) break;
+    }
+  }
+  if (checks_out != nullptr) *checks_out = checks;
+  return current;
+}
 
 Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
                                            hedge::Vocabulary& vocab,
@@ -89,7 +143,7 @@ Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
     if (det.ok()) {
       dha = std::move(det->dha);
       report.eager_available = true;
-    } else if (det.status().code() != StatusCode::kResourceExhausted) {
+    } else if (!IsDegradable(det.status().code())) {
       return det.status();
     }
   }
@@ -99,8 +153,10 @@ Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
                                          options.budget);
   if (!validator.ok()) return validator.status();
 
-  auto check = [&](const Hedge& h) -> bool {  // false stops the corpus walk
-    ++report.hedges_checked;
+  // `count` is false for shrinking re-checks: they must not inflate the
+  // corpus statistics.
+  auto verdicts_of = [&](const Hedge& h, bool count) -> std::vector<Verdict> {
+    if (count) ++report.hedges_checked;
     std::vector<Verdict> verdicts;
     verdicts.push_back({"nha", nha->Accepts(h)});
     verdicts.push_back({"lazy", lazy.Accepts(h)});
@@ -110,7 +166,7 @@ Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
         NaiveHreMatch(e, h, NaiveMatchOptions{options.naive_max_steps});
     if (naive.has_value()) {
       verdicts.push_back({"naive", *naive});
-    } else {
+    } else if (count) {
       ++report.naive_unknown;
     }
 
@@ -125,7 +181,7 @@ Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
       }
     }
     if (!has_subst) {
-      ++report.streaming_checked;
+      if (count) ++report.streaming_checked;
       automata::LazyStreamingRun lazy_stream(lazy);
       std::optional<automata::StreamingDhaRun> eager_stream;
       if (dha.has_value()) eager_stream.emplace(*dha);
@@ -180,24 +236,52 @@ Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
         Result<bool> valid = validator->Validate(
             xml::SerializeXml(doc, vocab), vocab, parse_options);
         if (valid.ok()) {
-          ++report.validator_checked;
+          if (count) ++report.validator_checked;
           verdicts.push_back({"validator", *valid});
         }
       }
     }
+    return verdicts;
+  };
 
-    bool agree = true;
+  auto disagree = [](const std::vector<Verdict>& verdicts) -> bool {
     for (const Verdict& v : verdicts) {
-      if (v.accepts != verdicts[0].accepts) agree = false;
+      if (v.accepts != verdicts[0].accepts) return true;
     }
-    if (!agree) {
+    return false;
+  };
+
+  auto check = [&](const Hedge& h) -> bool {  // false stops the corpus walk
+    std::vector<Verdict> verdicts = verdicts_of(h, /*count=*/true);
+    if (disagree(verdicts)) {
+      Hedge reported = h;
+      if (options.shrink) {
+        size_t spent = 0;
+        Hedge small = ShrinkHedge(
+            h,
+            [&](const Hedge& candidate) {
+              return disagree(verdicts_of(candidate, /*count=*/false));
+            },
+            options.shrink_max_checks, &spent);
+        report.shrink_checks += spent;
+        if (small.num_nodes() < h.num_nodes()) {
+          reported = std::move(small);
+          // Report the verdict panel of the hedge actually named in the
+          // finding (engines may flip roles between original and shrunk).
+          verdicts = verdicts_of(reported, /*count=*/false);
+        }
+      }
       lint::Diagnostic d;
       d.severity = lint::Severity::kError;
       d.code = lint::DiagnosticCode::kDifferentialDisagreement;
-      d.span = StrCat("hedge/", h.ToString(vocab));
+      d.span = StrCat("hedge/", reported.ToString(vocab));
       std::string message = "engines disagree:";
       for (const Verdict& v : verdicts) {
         message += StrCat(" ", v.engine, "=", v.accepts ? 1 : 0);
+      }
+      if (reported.num_nodes() < h.num_nodes()) {
+        message += StrCat(" (shrunk from ", h.num_nodes(), "-node hedge ",
+                          h.ToString(vocab), ")");
       }
       d.message = std::move(message);
       report.diagnostics.push_back(std::move(d));

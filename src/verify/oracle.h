@@ -2,6 +2,7 @@
 #define HEDGEQ_VERIFY_ORACLE_H_
 
 #include <cstdint>
+#include <functional>
 #include <vector>
 
 #include "hedge/hedge.h"
@@ -29,6 +30,14 @@ struct OracleOptions {
   /// Budget for compilation/determinization; eager-engine exhaustion
   /// degrades to lazy-only comparison instead of failing.
   ExecBudget budget;
+  /// On an HQV009 disagreement, greedily delta-debug the hedge — delete a
+  /// subtree (including whole top-level trees) or hoist a node's children
+  /// into its place — re-checking every candidate with the same engine
+  /// panel, and report the smallest hedge that still disagrees alongside
+  /// the original. Re-checks are capped at `shrink_max_checks` per
+  /// finding; the cap only limits how small the counterexample gets.
+  bool shrink = true;
+  size_t shrink_max_checks = 256;
 };
 
 struct OracleReport {
@@ -40,6 +49,7 @@ struct OracleReport {
   size_t naive_unknown = 0;    // reference matcher hit its step cap
   size_t streaming_checked = 0;
   size_t validator_checked = 0;
+  size_t shrink_checks = 0;    // candidate re-evaluations spent shrinking
   /// False when eager determinization blew the budget (lazy engines still
   /// cross-check the NHA and the reference matcher).
   bool eager_available = false;
@@ -57,6 +67,19 @@ struct OracleReport {
 Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
                                            hedge::Vocabulary& vocab,
                                            const OracleOptions& options = {});
+
+/// Greedy delta debugging over hedges: repeatedly applies the smallest
+/// structural reductions — delete a subtree (including a whole top-level
+/// tree) or hoist a node's children into its place — keeping a reduction
+/// whenever `still_failing` holds on the result, until none survives
+/// (the result is 1-minimal w.r.t. these operations) or `max_checks`
+/// predicate evaluations are spent. `checks`, when non-null, receives the
+/// number spent. This is how the oracle shrinks HQV009 counterexamples;
+/// exposed for any property-based harness with a hedge-shaped input.
+hedge::Hedge ShrinkHedge(
+    const hedge::Hedge& start,
+    const std::function<bool(const hedge::Hedge&)>& still_failing,
+    size_t max_checks, size_t* checks = nullptr);
 
 }  // namespace hedgeq::verify
 

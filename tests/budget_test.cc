@@ -98,5 +98,65 @@ TEST(ExecBudgetTest, DefaultsAreFiniteAndNonTrivial) {
   EXPECT_GE(budget.max_depth, size_t{256});
 }
 
+TEST(DeadlineTest, DefaultBudgetHasNoDeadline) {
+  ExecBudget budget;
+  EXPECT_FALSE(budget.has_deadline());
+  BudgetScope scope(budget);
+  // No deadline, no token: the probe is free and never trips.
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_TRUE(scope.ChargeSteps(1, "x").ok());
+  }
+}
+
+TEST(DeadlineTest, ExpiredDeadlineFailsTheFirstChargeAndSticks) {
+  ExecBudget budget;
+  budget.SetDeadlineAfterMs(0);  // deadline == now: already expired
+  EXPECT_TRUE(budget.has_deadline());
+  BudgetScope scope(budget);
+  Status s = scope.ChargeStates(1, "determinize");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(Contains(s, "determinize")) << s.ToString();
+  EXPECT_TRUE(Contains(s, "deadline")) << s.ToString();
+  // Sticky: once expired, every later charge fails without re-reading the
+  // clock, through any of the charge entry points.
+  EXPECT_EQ(scope.ChargeBytes(1, "x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(scope.ChargeSteps(1, "x").code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(scope.CheckDeadline("x").code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, GenerousDeadlinePassesAmortizedChecks) {
+  ExecBudget budget;
+  budget.SetDeadlineAfterMs(60 * 1000);
+  BudgetScope scope(budget);
+  // Far past the check stride, so the clock genuinely gets consulted.
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(scope.ChargeSteps(1, "x").ok());
+  }
+}
+
+TEST(DeadlineTest, CancelTokenFiresAsDeadlineExceeded) {
+  CancelToken token;
+  ExecBudget budget;
+  budget.cancel = &token;
+  BudgetScope scope(budget);
+  EXPECT_TRUE(scope.ChargeSteps(1, "stage").ok());
+  token.Cancel();
+  // The token is read on every probe (no stride), so the very next charge
+  // observes it.
+  Status s = scope.ChargeSteps(1, "stage");
+  EXPECT_EQ(s.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_TRUE(Contains(s, "cancelled")) << s.ToString();
+  EXPECT_EQ(scope.ChargeStates(1, "stage").code(),
+            StatusCode::kDeadlineExceeded);
+}
+
+TEST(DeadlineTest, DeadlineStatusIsDegradable) {
+  EXPECT_TRUE(IsDegradable(StatusCode::kDeadlineExceeded));
+  EXPECT_TRUE(IsDegradable(StatusCode::kResourceExhausted));
+  EXPECT_FALSE(IsDegradable(StatusCode::kInvalidArgument));
+  EXPECT_FALSE(IsDegradable(StatusCode::kInternal));
+  EXPECT_FALSE(IsDegradable(StatusCode::kOk));
+}
+
 }  // namespace
 }  // namespace hedgeq

@@ -1,0 +1,135 @@
+// Many threads, one cache directory. AutomatonCache instances are
+// thread-compatible (one per thread), but any number of them may share a
+// directory: writers publish with temp-file + atomic rename, so a reader
+// sees the old entry, the new entry, or none — never a torn prefix — and
+// every hit is still certificate-checked. Run under the tsan preset this
+// doubles as a data-race check on the digest/serialize/validate paths.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "automata/serialize.h"
+#include "cache/cache.h"
+#include "hre/ast.h"
+#include "hre/compile.h"
+#include "util/budget.h"
+
+namespace hedgeq::cache {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kExprs[] = {
+    "a<b*> | c",
+    "(a|b)* c<$x>",
+    "article<section* figure>",
+    "a b*",
+};
+constexpr size_t kNumExprs = sizeof(kExprs) / sizeof(kExprs[0]);
+
+struct CompiledExpr {
+  automata::Nha nha;
+  automata::Determinized det;
+  automata::DeterminizeWitness witness;
+};
+
+// Compiles and determinizes every expression against `vocab`.
+std::vector<CompiledExpr> CompileAll(hedge::Vocabulary& vocab) {
+  std::vector<CompiledExpr> out;
+  for (const char* text : kExprs) {
+    auto e = hre::ParseHre(text, vocab);
+    EXPECT_TRUE(e.ok());
+    BudgetScope scope{ExecBudget{}};
+    auto nha = hre::CompileHre(*e, scope);
+    EXPECT_TRUE(nha.ok());
+    automata::DeterminizeWitness witness;
+    auto det = automata::Determinize(*nha, scope, &witness);
+    EXPECT_TRUE(det.ok());
+    out.push_back(CompiledExpr{std::move(nha).value(), std::move(det).value(),
+                               std::move(witness)});
+  }
+  return out;
+}
+
+TEST(CacheConcurrencyTest, ManyThreadsShareOneDirectorySafely) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "hedgeq_cache_mt").string();
+  fs::remove_all(dir);
+
+  // Reference serializations from a main-thread pipeline.
+  std::vector<std::string> want;
+  {
+    hedge::Vocabulary vocab;
+    for (const CompiledExpr& c : CompileAll(vocab)) {
+      want.push_back(automata::SerializeDha(c.det.dha, vocab));
+    }
+  }
+  ASSERT_EQ(want.size(), kNumExprs);
+
+  constexpr int kThreads = 8;
+  constexpr int kIters = 32;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<int> wrong{0};
+  std::atomic<int> setup_failures{0};
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Per-thread vocabulary and cache instance; only the directory (and
+      // the process-wide obs/failpoint globals, both idle here) is shared.
+      hedge::Vocabulary vocab;
+      auto cache = AutomatonCache::Open(dir);
+      if (!cache.ok()) {
+        ++setup_failures;
+        return;
+      }
+      cache.value()->BindVocabulary(&vocab);
+      std::vector<CompiledExpr> compiled = CompileAll(vocab);
+      if (compiled.size() != kNumExprs) {
+        ++setup_failures;
+        return;
+      }
+      for (int i = 0; i < kIters; ++i) {
+        const size_t k = static_cast<size_t>(t + i) % kNumExprs;
+        const CompiledExpr& c = compiled[k];
+        // Interleave rewrites of the same keys with lookups so renames
+        // race against reads and each other.
+        if ((t + i) % 3 == 0) {
+          cache.value()->Store(c.nha, c.det, c.witness);
+        }
+        automata::Determinized out{automata::Dha{1, 1, 0, 0}, {}};
+        automata::DeterminizeWitness witness;
+        if (cache.value()->Lookup(c.nha, &out, &witness)) {
+          ++hits;
+          if (automata::SerializeDha(out.dha, vocab) != want[k]) ++wrong;
+        }
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  EXPECT_EQ(setup_failures.load(), 0);
+  EXPECT_EQ(wrong.load(), 0) << "a hit must always be the correct automaton";
+  // Every thread stores each key at least once over kIters, so hits are
+  // plentiful even under maximal interleaving.
+  EXPECT_GT(hits.load(), 0u);
+
+  // The atomic-rename protocol leaves no temp files behind.
+  size_t stray_temps = 0;
+  for (const auto& entry : fs::directory_iterator(dir)) {
+    if (entry.path().filename().string().rfind(".tmp.", 0) == 0) {
+      ++stray_temps;
+    }
+  }
+  EXPECT_EQ(stray_temps, 0u);
+  fs::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace hedgeq::cache

@@ -274,5 +274,42 @@ TEST(AdversarialBudgetTest, StreamingValidatorLazyFallbackMatchesEager) {
   EXPECT_LT(valid_count, 30);
 }
 
+TEST(AdversarialBudgetTest, ExpiredDeadlineDegradesStreamingValidatorToLazy) {
+  // A wall-clock deadline that has already passed defeats eager
+  // determinization on its first charge, exactly like a blown state cap —
+  // and the validator degrades to the lazy engine instead of failing.
+  std::string grammar =
+      "start = R\nR = r<(A|B)*>\nA = a<(A|B)*>\nB = b<(A|B)*>\n";
+  Vocabulary vocab;
+  auto schema = schema::ParseSchema(grammar, vocab);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+
+  auto eager = schema::StreamingValidator::Create(*schema);
+  ASSERT_TRUE(eager.ok()) << eager.status().ToString();
+
+  ExecBudget budget;
+  budget.SetDeadlineAfterMs(0);  // already expired, deterministically
+  auto det = automata::Determinize(schema->nha(), budget);
+  ASSERT_FALSE(det.ok());
+  EXPECT_EQ(det.status().code(), StatusCode::kDeadlineExceeded);
+
+  auto lazy = schema::StreamingValidator::Create(*schema, budget);
+  ASSERT_TRUE(lazy.ok()) << lazy.status().ToString();
+  ASSERT_TRUE(lazy->fallback_used());
+
+  for (const char* doc :
+       {"<r><a></a><b></b></r>", "<r></r>", "<a></a>", "<r><c></c></r>"}) {
+    auto want = eager->Validate(doc, vocab);
+    auto got = lazy->Validate(doc, vocab);
+    if (!want.ok()) {
+      // Unknown symbols reject in both engines the same way.
+      EXPECT_EQ(got.ok(), want.ok()) << doc;
+      continue;
+    }
+    ASSERT_TRUE(got.ok()) << doc << ": " << got.status().ToString();
+    EXPECT_EQ(*got, *want) << doc;
+  }
+}
+
 }  // namespace
 }  // namespace hedgeq

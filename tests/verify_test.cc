@@ -533,5 +533,124 @@ TEST_F(VerifyTest, OracleCoversStreamingAndValidatorTiers) {
   EXPECT_GT(report->sampled, 0u);
 }
 
+// --- Counterexample shrinking (delta debugging over hedges).
+
+TEST_F(VerifyTest, ShrinkHedgeReducesToTheFailureCore) {
+  // Predicate: "some node is labelled `bad`". Deleting subtrees and
+  // hoisting children must strip everything else away, leaving the single
+  // 1-minimal node.
+  hedge::SymbolId bad = vocab_.symbols.Intern("bad");
+  Hedge start = ParseH("a<b c<bad d>> e");
+  ASSERT_GT(start.num_nodes(), 1u);
+  auto has_bad = [&](const Hedge& h) {
+    for (hedge::NodeId n = 0; n < h.num_nodes(); ++n) {
+      if (h.label(n).kind == hedge::LabelKind::kSymbol &&
+          h.label(n).id == bad) {
+        return true;
+      }
+    }
+    return false;
+  };
+  ASSERT_TRUE(has_bad(start));
+
+  size_t checks = 0;
+  Hedge small = ShrinkHedge(start, has_bad, /*max_checks=*/1024, &checks);
+  EXPECT_EQ(small.num_nodes(), 1u) << small.ToString(vocab_);
+  EXPECT_TRUE(has_bad(small)) << "shrinking must preserve the failure";
+  EXPECT_GT(checks, 0u);
+  EXPECT_LE(checks, 1024u);
+}
+
+TEST_F(VerifyTest, ShrinkHedgeRespectsTheCheckCap) {
+  hedge::SymbolId bad = vocab_.symbols.Intern("bad");
+  Hedge start = ParseH("a<b c<bad d>> e");
+  auto has_bad = [&](const Hedge& h) {
+    for (hedge::NodeId n = 0; n < h.num_nodes(); ++n) {
+      if (h.label(n).kind == hedge::LabelKind::kSymbol &&
+          h.label(n).id == bad) {
+        return true;
+      }
+    }
+    return false;
+  };
+  // A cap of 1 allows a single candidate; the result can shrink at most one
+  // step, and the budget is reported as fully spent.
+  size_t checks = 0;
+  Hedge barely = ShrinkHedge(start, has_bad, /*max_checks=*/1, &checks);
+  EXPECT_EQ(checks, 1u);
+  EXPECT_GE(barely.num_nodes(), start.num_nodes() - 1);
+  EXPECT_TRUE(has_bad(barely));
+
+  // A zero cap returns the input untouched.
+  Hedge untouched = ShrinkHedge(start, has_bad, /*max_checks=*/0, &checks);
+  EXPECT_EQ(checks, 0u);
+  EXPECT_EQ(untouched.num_nodes(), start.num_nodes());
+}
+
+TEST_F(VerifyTest, ShrinkHedgeIsOneMinimalForSparsePredicates) {
+  // Predicate: "at least two `keep` nodes" — the minimum is two nodes, and
+  // a 1-minimal shrink must land exactly there, never at one.
+  hedge::SymbolId keep = vocab_.symbols.Intern("keep");
+  Hedge start = ParseH("x<keep<y> z> keep w");
+  auto two_keeps = [&](const Hedge& h) {
+    size_t count = 0;
+    for (hedge::NodeId n = 0; n < h.num_nodes(); ++n) {
+      if (h.label(n).kind == hedge::LabelKind::kSymbol &&
+          h.label(n).id == keep) {
+        ++count;
+      }
+    }
+    return count >= 2;
+  };
+  ASSERT_TRUE(two_keeps(start));
+  Hedge small = ShrinkHedge(start, two_keeps, /*max_checks=*/1024);
+  EXPECT_EQ(small.num_nodes(), 2u) << small.ToString(vocab_);
+  EXPECT_TRUE(two_keeps(small));
+}
+
+TEST_F(VerifyTest, OracleShrinksItsCounterexamples) {
+  // The seeded flip-final bug makes the engines disagree; with shrinking
+  // on (the default), the reported hedge must itself still disagree and be
+  // 1-minimal: removing any further node loses the disagreement. For this
+  // bug the minimal counterexample is the empty hedge, which the
+  // enumeration tier reaches first — so also check the option plumbing by
+  // turning shrinking off.
+  hre::Hre e = Parse("a b*");
+#ifdef HEDGEQ_CERTIFY
+  automata::DeterminizeValidationHook saved =
+      automata::GetDeterminizeValidationHook();
+  automata::SetDeterminizeValidationHook(nullptr);
+#endif
+  failpoint::Arm("determinize/flip-final");
+
+  OracleOptions with_shrink;
+  auto report = RunDifferentialOracle(e, vocab_, with_shrink);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  ASSERT_TRUE(HasCode(report->diagnostics,
+                      DiagnosticCode::kDifferentialDisagreement))
+      << Render(report->diagnostics);
+
+  OracleOptions no_shrink;
+  no_shrink.shrink = false;
+  auto raw_report = RunDifferentialOracle(e, vocab_, no_shrink);
+  ASSERT_TRUE(raw_report.ok());
+  EXPECT_TRUE(HasCode(raw_report->diagnostics,
+                      DiagnosticCode::kDifferentialDisagreement));
+  EXPECT_EQ(raw_report->shrink_checks, 0u)
+      << "shrink=false must not spend re-checks";
+
+  // Every reported hedge is no larger than its no-shrink counterpart, and
+  // the smallest finding is the truly minimal counterexample for this bug:
+  // the empty hedge (rendered with an empty span suffix).
+  ASSERT_FALSE(report->diagnostics.empty());
+  EXPECT_EQ(report->diagnostics.front().span, "hedge/")
+      << Render(report->diagnostics);
+
+  failpoint::DisarmAll();
+#ifdef HEDGEQ_CERTIFY
+  automata::SetDeterminizeValidationHook(saved);
+#endif
+}
+
 }  // namespace
 }  // namespace hedgeq::verify

@@ -85,4 +85,58 @@ grep -q '"phr.eval.pass2"' "${OBS_TMP}/trace.json" \
   || { echo "FAIL: trace does not cover the Algorithm 1 traversals"; exit 1; }
 rm -rf "${OBS_TMP}"
 
+step "certified cache (warm hit, byte-flip tamper, quarantine, recompute)"
+CACHE_TMP="$(mktemp -d)"
+CACHE_DIR="${CACHE_TMP}/cache"
+CACHE_QUERY='select(*; figure (section|article)*)'
+"${HQ}" gen article 200 > "${CACHE_TMP}/doc.xml"
+# Cold run populates the cache; the warm run must answer identically from a
+# validated hit, with the determinize stage span absent from the snapshot
+# (the stage never ran; its counters are pre-registered, the span is not).
+"${HQ}" query "${CACHE_QUERY}" "${CACHE_TMP}/doc.xml" \
+  --cache-dir="${CACHE_DIR}" > "${CACHE_TMP}/cold.out"
+"${HQ}" query "${CACHE_QUERY}" "${CACHE_TMP}/doc.xml" \
+  --cache-dir="${CACHE_DIR}" --metrics="${CACHE_TMP}/warm.json" \
+  > "${CACHE_TMP}/warm.out"
+cmp "${CACHE_TMP}/cold.out" "${CACHE_TMP}/warm.out" \
+  || { echo "FAIL: warm cache run changed the query answer"; exit 1; }
+grep -q '"cache.hit": [1-9]' "${CACHE_TMP}/warm.json" \
+  || { echo "FAIL: warm run shows no cache.hit"; exit 1; }
+if grep -q '"automata.determinize": {' "${CACHE_TMP}/warm.json"; then
+  echo "FAIL: determinize stage span present despite a warm cache hit"
+  exit 1
+fi
+# Flip one byte in the middle of a cached entry: the load path must reject
+# it with its HQV code, quarantine it (entry + .reason sidecar under
+# corrupt/), recompute, and still answer exactly like the cold run.
+entry="$(ls "${CACHE_DIR}"/*.cert | head -1)"
+printf '\377' | dd of="${entry}" bs=1 seek=120 conv=notrunc status=none
+"${HQ}" query "${CACHE_QUERY}" "${CACHE_TMP}/doc.xml" \
+  --cache-dir="${CACHE_DIR}" --metrics="${CACHE_TMP}/tamper.json" \
+  > "${CACHE_TMP}/tamper.out"
+cmp "${CACHE_TMP}/cold.out" "${CACHE_TMP}/tamper.out" \
+  || { echo "FAIL: tampered cache entry changed the query answer"; exit 1; }
+grep -q '"cache.quarantine": [1-9]' "${CACHE_TMP}/tamper.json" \
+  || { echo "FAIL: tampered entry was not quarantined"; exit 1; }
+ls "${CACHE_DIR}"/corrupt/*.reason > /dev/null 2>&1 \
+  || { echo "FAIL: no .reason sidecar under corrupt/"; exit 1; }
+grep -q 'HQV' "${CACHE_DIR}"/corrupt/*.reason \
+  || { echo "FAIL: quarantine reason carries no HQV code"; exit 1; }
+# The rejected entry was transparently recomputed and re-stored: one more
+# run is a validated hit again.
+"${HQ}" query "${CACHE_QUERY}" "${CACHE_TMP}/doc.xml" \
+  --cache-dir="${CACHE_DIR}" --metrics="${CACHE_TMP}/healed.json" \
+  > /dev/null
+grep -q '"cache.hit": [1-9]' "${CACHE_TMP}/healed.json" \
+  || { echo "FAIL: cache did not heal after quarantine"; exit 1; }
+# An already-expired deadline fails closed (exit 4, kDeadlineExceeded),
+# never with a wrong or partial answer.
+if "${HQ}" canon tools/fixtures/article.grammar --deadline-ms=0 \
+     2> "${CACHE_TMP}/deadline.err"; then
+  echo "FAIL: --deadline-ms=0 did not fail"; exit 1
+fi
+grep -q 'deadline-exceeded' "${CACHE_TMP}/deadline.err" \
+  || { echo "FAIL: expired deadline not reported as deadline-exceeded"; exit 1; }
+rm -rf "${CACHE_TMP}"
+
 step "all checks passed"

@@ -13,18 +13,30 @@
 // Queries use the textual syntax documented in the README; documents may be
 // XML files or '-' for stdin.
 //
-// Every command also accepts --metrics[=FILE] and --trace=FILE (see
-// tools/obs_cli.h and docs/OBSERVABILITY.md).
+// Every command also accepts --metrics[=FILE], --trace=FILE and --timings
+// (see tools/obs_cli.h and docs/OBSERVABILITY.md), plus:
+//
+//   --cache-dir=DIR    persistent certificate-checked automaton cache: a
+//                      warm run skips determinization entirely, and every
+//                      cached entry is re-validated by the independent
+//                      checker before use (see docs/ROBUSTNESS.md)
+//   --deadline-ms=N    wall-clock deadline for the exponential
+//                      preprocessing stages; past it, commands with a lazy
+//                      equivalent degrade to it and the rest exit 4 with
+//                      deadline-exceeded
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <sstream>
 #include <string>
 #include <vector>
 
 #include "automata/analysis.h"
+#include "automata/determinize.h"
 #include "baseline/xpath.h"
+#include "cache/cache.h"
 #include "hre/compile.h"
 #include "query/selection.h"
 #include "schema/algebra.h"
@@ -42,6 +54,34 @@ using namespace hedgeq;
 int Fail(const std::string& message) {
   std::fprintf(stderr, "hq: %s\n", message.c_str());
   return 1;
+}
+
+// Deadline misses get their own exit code so scripts can tell "too slow"
+// from "wrong" without parsing stderr.
+int FailStatus(const Status& status) {
+  std::fprintf(stderr, "hq: %s\n", status.ToString().c_str());
+  return status.code() == StatusCode::kDeadlineExceeded ? 4 : 1;
+}
+
+// --cache-dir / --deadline-ms state, set once in main before dispatch.
+std::unique_ptr<cache::AutomatonCache> g_cache;
+bool g_deadline_set = false;
+uint64_t g_deadline_ms = 0;
+
+// Commands call this right after creating their vocabulary: the cache
+// deserializes automata by name, so it must intern into the same
+// vocabulary the command queries with.
+void BindCache(hedge::Vocabulary& vocab) {
+  if (g_cache != nullptr) g_cache->BindVocabulary(&vocab);
+}
+
+// --deadline-ms=0 is a deadline that has already passed (every budgeted
+// stage fails its first charge) — deterministic, so scripts and tests can
+// exercise the deadline path without racing the clock.
+ExecBudget FlagBudget() {
+  ExecBudget budget;
+  if (g_deadline_set) budget.SetDeadlineAfterMs(g_deadline_ms);
+  return budget;
 }
 
 Result<std::string> ReadFile(const std::string& path) {
@@ -72,12 +112,13 @@ std::string DeweyString(const hedge::Hedge& h, hedge::NodeId n) {
 
 int CmdQuery(const std::string& query_text, const std::string& file) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto doc = LoadXml(file, vocab);
   if (!doc.ok()) return Fail(doc.status().ToString());
   auto query = query::ParseSelectionQuery(query_text, vocab);
   if (!query.ok()) return Fail(query.status().ToString());
-  auto eval = query::SelectionEvaluator::Create(*query);
-  if (!eval.ok()) return Fail(eval.status().ToString());
+  auto eval = query::SelectionEvaluator::Create(*query, FlagBudget());
+  if (!eval.ok()) return FailStatus(eval.status());
   for (hedge::NodeId n : eval->LocatedNodes(doc->hedge)) {
     std::printf("%s\t%s\n", DeweyString(doc->hedge, n).c_str(),
                 vocab.symbols.NameOf(doc->hedge.label(n).id).c_str());
@@ -103,6 +144,7 @@ int CmdXPath(const std::string& path_text, const std::string& file) {
 
 int CmdValidate(const std::string& schema_file, const std::string& file) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto grammar = ReadFile(schema_file);
   if (!grammar.ok()) return Fail(grammar.status().ToString());
   auto schema = schema::ParseSchema(*grammar, vocab);
@@ -117,6 +159,7 @@ int CmdValidate(const std::string& schema_file, const std::string& file) {
 int CmdTransform(const std::string& op, const std::string& schema_file,
                  const std::string& query_text, const char* new_name) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto grammar = ReadFile(schema_file);
   if (!grammar.ok()) return Fail(grammar.status().ToString());
   auto input = schema::ParseSchema(*grammar, vocab);
@@ -159,6 +202,7 @@ int CmdTransform(const std::string& op, const std::string& schema_file,
 
 int CmdExample(const std::string& schema_file, const std::string& query_text) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto grammar = ReadFile(schema_file);
   if (!grammar.ok()) return Fail(grammar.status().ToString());
   auto input = schema::ParseSchema(*grammar, vocab);
@@ -184,6 +228,7 @@ int CmdExample(const std::string& schema_file, const std::string& query_text) {
 int CmdContains(const std::string& schema_file, const std::string& q1_text,
                 const std::string& q2_text) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto grammar = ReadFile(schema_file);
   if (!grammar.ok()) return Fail(grammar.status().ToString());
   auto input = schema::ParseSchema(*grammar, vocab);
@@ -240,6 +285,7 @@ int CmdGen(const std::string& kind, size_t nodes, uint64_t seed) {
 
 int CmdSchemaDiff(const std::string& file_a, const std::string& file_b) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto ga = ReadFile(file_a);
   if (!ga.ok()) return Fail(ga.status().ToString());
   auto gb = ReadFile(file_b);
@@ -278,12 +324,15 @@ int CmdSchemaDiff(const std::string& file_a, const std::string& file_b) {
 
 int CmdCanon(const std::string& schema_file) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto grammar = ReadFile(schema_file);
   if (!grammar.ok()) return Fail(grammar.status().ToString());
   auto input = schema::ParseSchema(*grammar, vocab);
   if (!input.ok()) return Fail(input.status().ToString());
-  auto det = automata::Determinize(input->nha());
-  if (!det.ok()) return Fail(det.status().ToString());
+  // Canonicalization has no lazy equivalent, so a missed deadline
+  // surfaces here as exit 4 rather than a degraded answer.
+  auto det = automata::Determinize(input->nha(), FlagBudget());
+  if (!det.ok()) return FailStatus(det.status());
   automata::Dha min = automata::MinimizeDha(det->dha);
   schema::Schema canon(
       automata::PruneNha(automata::DhaToNha(min, input->Variables())));
@@ -294,6 +343,7 @@ int CmdCanon(const std::string& schema_file) {
 
 int CmdAmbiguous(const std::string& expr) {
   hedge::Vocabulary vocab;
+  BindCache(vocab);
   auto e = hre::ParseHre(expr, vocab);
   if (!e.ok()) return Fail(e.status().ToString());
   bool ambiguous = automata::IsAmbiguous(hre::CompileHre(*e));
@@ -318,7 +368,13 @@ void Usage() {
       "  hq ambiguous '<hedge regular expression>'\n"
       "options (any command):\n"
       "  --metrics[=FILE]   emit a metrics snapshot (stderr, or FILE)\n"
-      "  --trace=FILE       write a Chrome trace_event file\n");
+      "  --trace=FILE       write a Chrome trace_event file\n"
+      "  --timings          per-stage wall-time summary on stderr\n"
+      "  --cache-dir=DIR    persistent automaton cache (entries are\n"
+      "                     certificate-checked on every load)\n"
+      "  --deadline-ms=N    wall-clock deadline for exponential\n"
+      "                     preprocessing (degrades to the lazy engine\n"
+      "                     where one exists, else exits 4)\n");
 }
 
 }  // namespace
@@ -327,6 +383,26 @@ int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
   tools::ObsCli obs_cli;  // flushes --metrics/--trace output on any return
   obs_cli.Configure(args);
+  {
+    std::vector<std::string> kept;
+    kept.reserve(args.size());
+    for (std::string& a : args) {
+      if (a.rfind("--cache-dir=", 0) == 0) {
+        auto opened =
+            cache::AutomatonCache::Open(a.substr(sizeof("--cache-dir=") - 1));
+        if (!opened.ok()) return Fail(opened.status().ToString());
+        g_cache = std::move(opened).value();
+        automata::SetDeterminizeCache(g_cache.get());
+      } else if (a.rfind("--deadline-ms=", 0) == 0) {
+        g_deadline_set = true;
+        g_deadline_ms = static_cast<uint64_t>(
+            std::atoll(a.c_str() + sizeof("--deadline-ms=") - 1));
+      } else {
+        kept.push_back(std::move(a));
+      }
+    }
+    args = std::move(kept);
+  }
   const size_t n = args.size();
   if (n < 1) {
     Usage();

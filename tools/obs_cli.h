@@ -7,9 +7,13 @@
 //   --metrics=FILE   write the snapshot to FILE instead ("-" = stdout)
 //   --trace=FILE     record spans and write a Chrome trace_event file
 //                    (loadable in about:tracing / Perfetto)
+//   --timings        print a per-stage wall-time summary to stderr at exit
+//                    (aggregated from the same spans; stages that never
+//                    ran — e.g. determinize on a warm cache hit — are
+//                    simply absent)
 //
-// Either flag turns observability on for the process; without them the
-// instrumentation stays behind its disabled fast path.
+// Any of the flags turns observability on for the process; without them
+// the instrumentation stays behind its disabled fast path.
 
 #include <cstdio>
 #include <string>
@@ -36,6 +40,8 @@ class ObsCli {
     for (std::string& a : args) {
       if (a == "--metrics") {
         metrics_ = true;
+      } else if (a == "--timings") {
+        timings_ = true;
       } else if (a.rfind("--metrics=", 0) == 0) {
         metrics_ = true;
         metrics_file_ = a.substr(sizeof("--metrics=") - 1);
@@ -46,7 +52,7 @@ class ObsCli {
       }
     }
     args = std::move(kept);
-    if (metrics_ || !trace_file_.empty()) {
+    if (metrics_ || timings_ || !trace_file_.empty()) {
       obs::RegisterCatalogue();
       obs::SetEnabled(true);
       if (!trace_file_.empty()) obs::SetTraceEnabled(true);
@@ -80,10 +86,21 @@ class ObsCli {
       std::fprintf(stderr, "warning: cannot write trace to %s\n",
                    trace_file_.c_str());
     }
+    if (timings_) {
+      std::vector<obs::SpanAggregate> spans = obs::Registry().SpanAggregates();
+      std::fprintf(stderr, "-- timings (stage / runs / total ms) --\n");
+      for (const obs::SpanAggregate& s : spans) {
+        std::fprintf(stderr, "%-34s %6llu %12.3f\n", s.name.c_str(),
+                     static_cast<unsigned long long>(s.count),
+                     static_cast<double>(s.total_ns) / 1e6);
+      }
+      if (spans.empty()) std::fprintf(stderr, "(no stages ran)\n");
+    }
   }
 
  private:
   bool metrics_ = false;
+  bool timings_ = false;
   bool metrics_taken_ = false;
   bool flushed_ = false;
   std::string metrics_file_;
