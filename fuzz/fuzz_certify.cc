@@ -8,8 +8,9 @@
 //   - CheckCompile accepts the compiler's own trace;
 //   - CheckTrim accepts PruneNha's own witness;
 //   - CheckDeterminize accepts the subset construction's own witness;
-//   - determinize certificates survive a serialize/deserialize round trip
-//     byte-identically and still check clean afterwards.
+//   - CheckMinimize accepts the block partition MinimizeDha converged on;
+//   - determinize and minimize certificates survive a serialize/deserialize
+//     round trip byte-identically and still check clean afterwards.
 #include <cstddef>
 #include <cstdint>
 #include <string_view>
@@ -69,5 +70,23 @@ extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
     __builtin_trap();
   }
   if (!verify::CheckCertificate(*back).empty()) __builtin_trap();
+
+  automata::MinimizeWitness mw;
+  automata::Dha minimal = automata::MinimizeDha(det->dha, &mw);
+  if (!verify::CheckMinimize(det->dha, minimal, mw).empty()) {
+    __builtin_trap();
+  }
+
+  verify::Certificate mcert;
+  mcert.kind = verify::CertificateKind::kMinimize;
+  mcert.min_input = det->dha;
+  mcert.min_output = minimal;
+  mcert.min = mw;
+  std::string mser = verify::SerializeCertificate(mcert, vocab);
+  Result<verify::Certificate> mback =
+      verify::DeserializeCertificate(mser, vocab);
+  if (!mback.ok()) __builtin_trap();
+  if (verify::SerializeCertificate(*mback, vocab) != mser) __builtin_trap();
+  if (!verify::CheckCertificate(*mback).empty()) __builtin_trap();
   return 0;
 }

@@ -1,0 +1,72 @@
+// Fuzz harness for the containment-certification pipeline: the input is a
+// grammar and two selection queries separated by "\n%%\n" lines. Whenever
+// all three parse, QueryContainment runs witnessed, the independent
+// checker must accept the verdict it produced, and the containment
+// certificate must survive a serialize/deserialize round trip
+// byte-identically — any disagreement is a crash.
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "hedge/hedge.h"
+#include "query/selection.h"
+#include "schema/schema.h"
+#include "util/budget.h"
+#include "verify/certificate.h"
+#include "verify/checker.h"
+
+namespace {
+
+constexpr std::string_view kSeparator = "\n%%\n";
+
+// Splits off the prefix before the next separator, or the whole rest.
+std::string_view TakeSection(std::string_view* rest) {
+  size_t at = rest->find(kSeparator);
+  if (at == std::string_view::npos) {
+    std::string_view all = *rest;
+    *rest = std::string_view();
+    return all;
+  }
+  std::string_view head = rest->substr(0, at);
+  rest->remove_prefix(at + kSeparator.size());
+  return head;
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace hedgeq;
+  if (size > 1024) return 0;  // the layered product is expensive; stay small
+  std::string_view rest(reinterpret_cast<const char*>(data), size);
+  std::string_view grammar = TakeSection(&rest);
+  std::string_view q1 = TakeSection(&rest);
+  std::string_view q2 = TakeSection(&rest);
+  if (q1.empty() || q2.empty()) return 0;
+
+  hedge::Vocabulary vocab;
+  Result<schema::Schema> schema = schema::ParseSchema(grammar, vocab);
+  if (!schema.ok()) return 0;
+
+  ExecBudget budget;
+  budget.max_states = size_t{1} << 9;
+  budget.max_memory_bytes = size_t{8} << 20;
+  budget.max_steps = size_t{1} << 20;
+  budget.max_depth = 64;
+
+  Result<verify::Certificate> cert = verify::BuildContainmentCertificate(
+      *schema, q1, q2, vocab, budget);
+  if (!cert.ok()) return 0;  // parse/budget failures are clean exits
+
+  if (!verify::CheckCertificate(*cert).empty()) __builtin_trap();
+
+  std::string serialized = verify::SerializeCertificate(*cert, vocab);
+  Result<verify::Certificate> back =
+      verify::DeserializeCertificate(serialized, vocab);
+  if (!back.ok()) __builtin_trap();
+  if (verify::SerializeCertificate(*back, vocab) != serialized) {
+    __builtin_trap();
+  }
+  if (!verify::CheckCertificate(*back).empty()) __builtin_trap();
+  return 0;
+}

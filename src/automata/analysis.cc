@@ -9,11 +9,13 @@
 #include "obs/obs.h"
 #include "strre/ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace hedgeq::automata {
 
 namespace {
 std::atomic<TrimValidationHook> g_trim_hook{nullptr};
+std::atomic<MinimizeValidationHook> g_minimize_hook{nullptr};
 }  // namespace
 
 void SetTrimValidationHook(TrimValidationHook hook) {
@@ -22,6 +24,14 @@ void SetTrimValidationHook(TrimValidationHook hook) {
 
 TrimValidationHook GetTrimValidationHook() {
   return g_trim_hook.load(std::memory_order_relaxed);
+}
+
+void SetMinimizeValidationHook(MinimizeValidationHook hook) {
+  g_minimize_hook.store(hook, std::memory_order_relaxed);
+}
+
+MinimizeValidationHook GetMinimizeValidationHook() {
+  return g_minimize_hook.load(std::memory_order_relaxed);
 }
 
 using strre::Nfa;
@@ -292,7 +302,7 @@ bool IsAmbiguous(const Nha& nha) {
   return !IsEmptyNha(product);
 }
 
-Dha MinimizeDha(const Dha& dha) {
+Dha MinimizeDha(const Dha& dha, MinimizeWitness* witness) {
   const HState nq = dha.num_states();
   const HhState nh = dha.num_h_states();
 
@@ -371,8 +381,17 @@ Dha MinimizeDha(const Dha& dha) {
     }
   }
 
-  const uint32_t num_qblocks =
-      *std::max_element(qblock.begin(), qblock.end()) + 1;
+  uint32_t num_qblocks = *std::max_element(qblock.begin(), qblock.end()) + 1;
+  if (!failpoint::Check("minimize/merge-nonbisimilar").ok() &&
+      num_qblocks >= 2) {
+    // Seeded bug: collapse the last block into block 0 even though the
+    // refinement proved them distinguishable. The quotient below then
+    // over-merges; CheckMinimize must reject the witness with HQV010.
+    for (HState q = 0; q < nq; ++q) {
+      if (qblock[q] == num_qblocks - 1) qblock[q] = 0;
+    }
+    --num_qblocks;
+  }
   const uint32_t num_hblocks =
       *std::max_element(hblock.begin(), hblock.end()) + 1;
 
@@ -414,6 +433,16 @@ Dha MinimizeDha(const Dha& dha) {
     }
   }
   out.SetFinalDfa(std::move(final_out));
+  const bool want_witness =
+      witness != nullptr || GetMinimizeValidationHook() != nullptr;
+  if (want_witness) {
+    MinimizeWitness local{qblock, hblock};
+    if (MinimizeValidationHook hook = GetMinimizeValidationHook()) {
+      Status verdict = hook(dha, out, local);
+      HEDGEQ_CHECK_MSG(verdict.ok(), verdict.ToString().c_str());
+    }
+    if (witness != nullptr) *witness = std::move(local);
+  }
   return out;
 }
 

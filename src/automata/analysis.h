@@ -44,13 +44,36 @@ Nha PruneNha(const Nha& nha, std::vector<HState>* mapping = nullptr,
 /// projections accept and some top-level pair is flagged.
 bool IsAmbiguous(const Nha& nha);
 
+/// Certificate of one minimization (translation validation): the converged
+/// block partition over automaton states and horizontal states. An
+/// independent checker (verify::CheckMinimize) validates that the partition
+/// is a congruence (all transition/assignment/variable maps commute through
+/// the block maps) and that the quotient preserves the final language —
+/// without re-running the refinement.
+struct MinimizeWitness {
+  std::vector<uint32_t> qblock;  // input state -> output state (block id)
+  std::vector<uint32_t> hblock;  // input h-state -> output h-state (block id)
+};
+
+/// Inline certification hook (HEDGEQ_CERTIFY): when installed, every
+/// MinimizeDha validates its own witness; rejection is a hard check
+/// failure (MinimizeDha cannot return a Status). Installed by
+/// hedgeq_inline_certify.
+using MinimizeValidationHook = Status (*)(const Dha& input, const Dha& output,
+                                          const MinimizeWitness&);
+void SetMinimizeValidationHook(MinimizeValidationHook hook);
+MinimizeValidationHook GetMinimizeValidationHook();
+
 /// Minimizes a deterministic hedge automaton by mutual partition
 /// refinement: two automaton states are merged when no context (final
 /// language, or any content-model position of any rule) distinguishes
 /// them, and two horizontal states are merged when all their assignments
 /// and successors agree up to the state partition. Language-preserving;
-/// typically shrinks subset-construction output substantially.
-Dha MinimizeDha(const Dha& dha);
+/// typically shrinks subset-construction output substantially. When
+/// `witness` is non-null it receives the minimization certificate.
+/// Failpoint `minimize/merge-nonbisimilar` corrupts the converged partition
+/// by merging two distinct blocks (a seeded bug CheckMinimize must catch).
+Dha MinimizeDha(const Dha& dha, MinimizeWitness* witness = nullptr);
 
 }  // namespace hedgeq::automata
 

@@ -2,7 +2,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -269,6 +271,54 @@ void AutomatonCache::Store(const automata::Nha& input,
   }
   ++stats_.stores;
   HEDGEQ_OBS_COUNT(obs::metrics::kCacheStore, 1);
+  SweepAfterStore(final_path);
+}
+
+void AutomatonCache::SweepAfterStore(const std::string& just_written) {
+  if (max_bytes_ == 0 && max_age_seconds_ == 0) return;
+  struct Entry {
+    fs::path path;
+    fs::file_time_type mtime;
+    uint64_t size;
+  };
+  std::vector<Entry> entries;
+  uint64_t total = 0;
+  std::error_code ec;
+  fs::directory_iterator it(dir_, ec);
+  if (ec) return;
+  for (const fs::directory_entry& de : it) {
+    std::error_code sec;
+    if (!de.is_regular_file(sec) || sec) continue;
+    if (de.path().extension() != ".cert") continue;
+    const uint64_t size = de.file_size(sec);
+    if (sec) continue;
+    const fs::file_time_type mtime = de.last_write_time(sec);
+    if (sec) continue;
+    total += size;
+    entries.push_back(Entry{de.path(), mtime, size});
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) { return a.mtime < b.mtime; });
+  const fs::file_time_type now = fs::file_time_type::clock::now();
+  for (const Entry& e : entries) {
+    const bool expired =
+        max_age_seconds_ != 0 &&
+        now - e.mtime > std::chrono::seconds(max_age_seconds_);
+    const bool over = max_bytes_ != 0 && total > max_bytes_;
+    // Entries are oldest-first, so once the front entry is fresh and the
+    // directory fits, nothing behind it can need evicting either.
+    if (!expired && !over) break;
+    // The entry published by this very Store is sacrosanct: even a bound
+    // smaller than one entry must leave the cache able to serve the key
+    // it just computed.
+    if (e.path.string() == just_written) continue;
+    std::error_code rec;
+    if (fs::remove(e.path, rec) && !rec) {
+      total -= e.size;
+      ++stats_.evictions;
+      HEDGEQ_OBS_COUNT(obs::metrics::kCacheEvictions, 1);
+    }
+  }
 }
 
 }  // namespace hedgeq::cache

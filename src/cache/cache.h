@@ -56,6 +56,7 @@ struct CacheStats {
   uint64_t quarantines = 0;
   uint64_t stores = 0;
   uint64_t store_errors = 0;
+  uint64_t evictions = 0;
 };
 
 /// The persistent automaton cache. Thread-compatible: one instance must
@@ -98,6 +99,19 @@ class AutomatonCache final : public automata::DeterminizeCache {
   const CacheStats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
 
+  /// Bounds the total size of `*.cert` entries in the directory; 0 (the
+  /// default) means unbounded. When a Store pushes the directory over the
+  /// bound, entries are evicted oldest-mtime-first (LRU by publish time)
+  /// until it fits again — the just-published entry is never evicted, so
+  /// a bound smaller than one entry still leaves the cache functional.
+  void set_max_bytes(uint64_t max_bytes) { max_bytes_ = max_bytes; }
+  uint64_t max_bytes() const { return max_bytes_; }
+
+  /// Age bound on entries, in seconds since last publish; 0 (the default)
+  /// means no age bound. Expired entries are swept on the next Store.
+  void set_max_age_seconds(uint64_t seconds) { max_age_seconds_ = seconds; }
+  uint64_t max_age_seconds() const { return max_age_seconds_; }
+
   /// Why the most recent Lookup rejected an entry (empty when the last
   /// lookup hit or found no entry). Carries the HQV code when the
   /// certificate checker did the rejecting.
@@ -110,8 +124,15 @@ class AutomatonCache final : public automata::DeterminizeCache {
   /// `.reason` file with `reason`, and counts the quarantine.
   void Quarantine(const std::string& entry_path, const std::string& reason);
 
+  /// Eviction sweep run after every successful Store: removes entries
+  /// past `max_age_seconds_`, then oldest-first until the directory fits
+  /// in `max_bytes_`. Never touches `just_written`.
+  void SweepAfterStore(const std::string& just_written);
+
   std::string dir_;
   hedge::Vocabulary* vocab_ = nullptr;
+  uint64_t max_bytes_ = 0;
+  uint64_t max_age_seconds_ = 0;
   CacheStats stats_;
   std::string last_reject_;
   // Distinguishes temp files of instances sharing one process.

@@ -43,6 +43,14 @@ constexpr CodeEntry kCodes[] = {
      "projection-homomorphism-violated"},
     {DiagnosticCode::kDifferentialDisagreement, "HQV009",
      "differential-disagreement"},
+    {DiagnosticCode::kMinimizeWitnessRejected, "HQV010",
+     "minimize-witness-rejected"},
+    {DiagnosticCode::kPhrProductIncoherent, "HQV011",
+     "phr-product-incoherent"},
+    {DiagnosticCode::kContainmentCertificateRejected, "HQV012",
+     "containment-certificate-rejected"},
+    {DiagnosticCode::kSelectionDisagreement, "HQV013",
+     "selection-disagreement"},
 };
 
 const CodeEntry& EntryOf(DiagnosticCode code) {

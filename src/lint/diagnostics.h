@@ -56,6 +56,14 @@ enum class DiagnosticCode {
   kProjectionHomomorphismViolated,// HQV008: match-identifying product state
                                  //         does not project onto the DHA run
   kDifferentialDisagreement,     // HQV009: two engines disagree on a hedge
+  kMinimizeWitnessRejected,      // HQV010: minimization partition is not a
+                                 //         language-preserving congruence
+  kPhrProductIncoherent,         // HQV011: Theorem 4 class product/mirror
+                                 //         disagrees with the recomputed maps
+  kContainmentCertificateRejected,// HQV012: containment verdict contradicts
+                                 //         its own product witness
+  kSelectionDisagreement,        // HQV013: engines disagree on the *node set*
+                                 //         a selection query locates
 };
 
 /// "HQL001" ... — the stable wire name used in text and JSON output.

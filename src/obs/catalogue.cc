@@ -45,6 +45,7 @@ constexpr const char* kCounters[] = {
     metrics::kCacheQuarantine,
     metrics::kCacheStore,
     metrics::kCacheStoreError,
+    metrics::kCacheEvictions,
 };
 
 constexpr const char* kGauges[] = {

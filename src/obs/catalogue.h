@@ -89,6 +89,7 @@ inline constexpr const char* kCacheValidateReject = "cache.validate_reject";
 inline constexpr const char* kCacheQuarantine = "cache.quarantine";
 inline constexpr const char* kCacheStore = "cache.store";
 inline constexpr const char* kCacheStoreError = "cache.store_error";
+inline constexpr const char* kCacheEvictions = "cache.evictions";
 
 // --- histograms (value distributions across one process).
 inline constexpr const char* kHistDocNodes = "hist.doc_nodes";

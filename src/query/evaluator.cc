@@ -6,6 +6,7 @@
 #include "obs/catalogue.h"
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace hedgeq::query {
 
@@ -142,6 +143,16 @@ std::vector<bool> PhrEvaluator::Locate(const Hedge& doc) const {
     strre::StateId to = mirror.Next(from, letter);
     nstate[n] = to;
     located[n] = to != strre::kNoState && mirror.IsAccepting(to);
+  }
+  // Seeded-bug probe: report a wrong node set (the first symbol node
+  // flipped) so the selection oracle must catch the eager engine lying.
+  if (!failpoint::Check("phr/select-wrong-node").ok()) {
+    for (NodeId n = 0; n < doc.num_nodes(); ++n) {
+      if (doc.label(n).kind == hedge::LabelKind::kSymbol) {
+        located[n] = !located[n];
+        break;
+      }
+    }
   }
   if (obs::Enabled()) {
     size_t hits = 0;

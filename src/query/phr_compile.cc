@@ -1,5 +1,7 @@
 #include "query/phr_compile.h"
 
+#include <atomic>
+
 #include "hre/compile.h"
 #include "obs/catalogue.h"
 #include "obs/obs.h"
@@ -17,6 +19,8 @@ using strre::Dfa;
 using strre::Nfa;
 
 namespace {
+
+std::atomic<PhrProductValidationHook> g_phr_product_hook{nullptr};
 
 // Complete one-state accept-everything DFA over [0, alphabet_size).
 Dfa AcceptAllDfa(size_t alphabet_size) {
@@ -36,6 +40,14 @@ Nfa ShiftLetters(const Nfa& nfa, HState offset) {
 
 }  // namespace
 
+void SetPhrProductValidationHook(PhrProductValidationHook hook) {
+  g_phr_product_hook.store(hook, std::memory_order_relaxed);
+}
+
+PhrProductValidationHook GetPhrProductValidationHook() {
+  return g_phr_product_hook.load(std::memory_order_relaxed);
+}
+
 Result<CompiledPhr> CompilePhr(const phr::Phr& phr,
                                const ExecBudget& budget) {
   BudgetScope scope(budget);
@@ -52,6 +64,13 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
   HEDGEQ_OBS_SPAN(span, obs::spans::kPhrCompile);
   CompiledPhr out;
   const size_t n = phr.triplets().size();
+
+  // The inline hook needs a full certificate even when the caller did not
+  // ask for one: record into a local in that case.
+  PhrWitness local_witness;
+  if (witness == nullptr && GetPhrProductValidationHook() != nullptr) {
+    witness = &local_witness;
+  }
 
   // --- Shared automaton M: the union NHA of every triplet expression.
   // Using one state set for all M_i1/M_i2 is the paper's "without loss of
@@ -84,7 +103,13 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
   auto det = Determinize(union_nha, scope,
                          witness == nullptr ? nullptr : &witness->det);
   if (!det.ok()) return det.status();
-  if (witness != nullptr) witness->union_nha = union_nha;
+  if (witness != nullptr) {
+    witness->union_nha = union_nha;
+    witness->elder_final = elder_final;
+    witness->younger_final = younger_final;
+    witness->elder_any = elder_any;
+    witness->younger_any = younger_any;
+  }
   out.dha_ = std::move(det->dha);
   out.subsets_ = std::move(det->subsets);
 
@@ -111,6 +136,7 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
       components.push_back(std::move(lifted).value());
     }
   }
+  if (witness != nullptr) witness->components = components;
   std::vector<strre::Symbol> state_alphabet;
   state_alphabet.reserve(num_dha_states);
   for (HState q = 0; q < num_dha_states; ++q) state_alphabet.push_back(q);
@@ -169,6 +195,11 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
       strre::DeterminizeBounded(strre::ReverseNfa(out.language_), scope);
   if (!mirror.ok()) return mirror.status();
   out.mirror_ = std::move(mirror).value();
+
+  if (PhrProductValidationHook hook = GetPhrProductValidationHook();
+      hook != nullptr && witness != nullptr) {
+    HEDGEQ_RETURN_IF_ERROR(hook(phr, out, *witness));
+  }
 
   if (obs::Enabled()) {
     HEDGEQ_OBS_COUNT(obs::metrics::kPhrCompileTriplets, n);

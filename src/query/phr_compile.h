@@ -19,6 +19,17 @@ namespace hedgeq::query {
 struct PhrWitness {
   automata::Nha union_nha;
   automata::DeterminizeWitness det;
+  // Theorem 4 class-product extension (verify::CheckPhrProduct): per
+  // triplet, the final NFA of the elder/younger expression rewritten over
+  // the union NHA's states (empty NFA when the triplet has no condition —
+  // see the matching *_any flag), plus the lifted component DFAs exactly
+  // as they fed the synchronous product (components[2i] = elder of triplet
+  // i, components[2i+1] = younger).
+  std::vector<strre::Nfa> elder_final;
+  std::vector<strre::Nfa> younger_final;
+  std::vector<bool> elder_any;
+  std::vector<bool> younger_any;
+  std::vector<strre::Dfa> components;
 };
 
 /// The Theorem 4 artifacts for a pointed hedge representation r:
@@ -88,6 +99,18 @@ class CompiledPhr {
   strre::Nfa language_;
   strre::Dfa mirror_;
 };
+
+/// Inline certification hook (HEDGEQ_CERTIFY): when installed, every
+/// witnessed CompilePhr validates its class product, saturation tables,
+/// xi-image language and mirror before returning (a rejection surfaces as
+/// the compile's error status). When the caller passed no witness sink,
+/// CompilePhr records into a local one so the hook always sees the full
+/// certificate. Installed by hedgeq_inline_certify.
+using PhrProductValidationHook = Status (*)(const phr::Phr& phr,
+                                            const CompiledPhr& compiled,
+                                            const PhrWitness& witness);
+void SetPhrProductValidationHook(PhrProductValidationHook hook);
+PhrProductValidationHook GetPhrProductValidationHook();
 
 /// Theorem 4: compiles a pointed hedge representation. Exponential in the
 /// representation size in the worst case (determinization of M and of N,

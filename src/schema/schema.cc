@@ -1,6 +1,7 @@
 #include "schema/schema.h"
 
 #include <algorithm>
+#include <cctype>
 #include <unordered_map>
 
 #include "strre/ops.h"
@@ -38,6 +39,22 @@ struct Declaration {
   size_t line;
 };
 
+// Names must stay single tokens through the line-oriented automaton and
+// certificate serializers (which split on whitespace), and must not
+// contain this grammar's own structural characters: a stray
+// "A = = b<...>" must be a parse error here, not a symbol literally
+// named "= b" that no serialized form can round-trip.
+bool IsValidName(std::string_view name) {
+  if (name.empty()) return false;
+  for (char c : name) {
+    if (std::isspace(static_cast<unsigned char>(c)) || c == '=' ||
+        c == '<' || c == '>' || c == ';') {
+      return false;
+    }
+  }
+  return true;
+}
+
 }  // namespace
 
 Result<Schema> ParseSchema(std::string_view text, hedge::Vocabulary& vocab) {
@@ -62,6 +79,11 @@ Result<Schema> ParseSchema(std::string_view text, hedge::Vocabulary& vocab) {
       if (d.lhs.empty() || d.rhs.empty()) {
         return Status::InvalidArgument(
             StrCat("line ", line_number, ": empty side of '='"));
+      }
+      if (!IsValidName(d.lhs)) {
+        return Status::InvalidArgument(
+            StrCat("line ", line_number,
+                   ": invalid nonterminal name: ", d.lhs));
       }
       decls.push_back(std::move(d));
     }
@@ -117,9 +139,10 @@ Result<Schema> ParseSchema(std::string_view text, hedge::Vocabulary& vocab) {
     if (d.rhs[0] == '$') {
       std::string_view var = StripAsciiWhitespace(
           std::string_view(d.rhs).substr(1));
-      if (var.empty()) {
+      if (!IsValidName(var)) {
         return Status::InvalidArgument(
-            StrCat("line ", d.line, ": '$' needs a variable name"));
+            StrCat("line ", d.line,
+                   ": '$' needs a valid variable name"));
       }
       nha.AddVariableState(vocab.variables.Intern(var), target);
       continue;
@@ -133,9 +156,10 @@ Result<Schema> ParseSchema(std::string_view text, hedge::Vocabulary& vocab) {
     }
     std::string_view symbol_name =
         StripAsciiWhitespace(std::string_view(d.rhs).substr(0, open));
-    if (symbol_name.empty()) {
+    if (!IsValidName(symbol_name)) {
       return Status::InvalidArgument(
-          StrCat("line ", d.line, ": missing element name"));
+          StrCat("line ", d.line, ": invalid element name: ",
+                 std::string(symbol_name)));
     }
     std::string_view content_text =
         StripAsciiWhitespace(std::string_view(d.rhs).substr(

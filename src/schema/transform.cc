@@ -1,5 +1,6 @@
 #include "schema/transform.h"
 
+#include <atomic>
 #include <deque>
 #include <functional>
 
@@ -8,6 +9,7 @@
 #include "obs/obs.h"
 #include "strre/ops.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 
 namespace hedgeq::schema {
 
@@ -536,6 +538,25 @@ Result<ContainmentResult> QueryContainment(
     const Schema& input, const query::SelectionQuery& q1,
     const query::SelectionQuery& q2,
     const ExecBudget& options) {
+  return QueryContainment(input, q1, q2, options, nullptr);
+}
+
+namespace {
+std::atomic<ContainmentValidationHook> g_containment_hook{nullptr};
+}  // namespace
+
+void SetContainmentValidationHook(ContainmentValidationHook hook) {
+  g_containment_hook.store(hook, std::memory_order_relaxed);
+}
+
+ContainmentValidationHook GetContainmentValidationHook() {
+  return g_containment_hook.load(std::memory_order_relaxed);
+}
+
+Result<ContainmentResult> QueryContainment(
+    const Schema& input, const query::SelectionQuery& q1,
+    const query::SelectionQuery& q2, const ExecBudget& options,
+    ContainmentWitness* witness) {
   Result<std::vector<Layer>> layers1 = QueryLayers(input, q1, options);
   if (!layers1.ok()) return layers1.status();
   Result<std::vector<Layer>> layers2 = QueryLayers(input, q2, options);
@@ -565,6 +586,27 @@ Result<ContainmentResult> QueryContainment(
       result.contained = false;
       result.counterexample = std::move(sample);
     }
+  }
+  // Seeded-bug failpoint for the translation-validation tests: invert the
+  // verdict so CheckContainment can prove it catches a lying decision
+  // procedure. Check() is used as a probe — the armed "failure" flips the
+  // bit instead of propagating. Flipping to "contained" also drops the
+  // counterexample (a contained verdict carrying one would be caught by
+  // shape alone); flipping to "not contained" leaves the counterexample
+  // absent, the other half of the contract.
+  if (!failpoint::Check("containment/flip-verdict").ok()) {
+    result.contained = !result.contained;
+    if (result.contained) result.counterexample.reset();
+  }
+  const bool want_witness =
+      witness != nullptr || GetContainmentValidationHook() != nullptr;
+  if (want_witness) {
+    ContainmentWitness local{prod.nha, std::move(marked1), std::move(marked2)};
+    if (ContainmentValidationHook hook = GetContainmentValidationHook()) {
+      Status verdict = hook(input, q1, q2, result, local);
+      if (!verdict.ok()) return verdict;
+    }
+    if (witness != nullptr) *witness = std::move(local);
   }
   return result;
 }

@@ -87,6 +87,38 @@ Result<ContainmentResult> QueryContainment(
     const query::SelectionQuery& q2,
     const ExecBudget& options = {});
 
+/// Certificate of one QueryContainment decision: the pruned layered
+/// product the verdict was read off, plus the two per-state mark tables
+/// (does q1 / q2 mark the state in some accepting computation). An
+/// independent checker (verify::CheckContainment) re-derives the usable
+/// states, confirms "contained" means no usable state is q1-marked only,
+/// and re-evaluates any counterexample document through the naive
+/// Definition 22 oracle.
+struct ContainmentWitness {
+  automata::Nha product;
+  std::vector<bool> marked1;  // per product state: marked by q1
+  std::vector<bool> marked2;  // per product state: marked by q2
+};
+
+/// Inline certification hook (HEDGEQ_CERTIFY): when installed, every
+/// witnessed QueryContainment validates its own verdict before returning.
+/// Installed by hedgeq_inline_certify.
+using ContainmentValidationHook = Status (*)(
+    const Schema& input, const query::SelectionQuery& q1,
+    const query::SelectionQuery& q2, const ContainmentResult& result,
+    const ContainmentWitness& witness);
+void SetContainmentValidationHook(ContainmentValidationHook hook);
+ContainmentValidationHook GetContainmentValidationHook();
+
+/// As above, additionally recording the containment certificate into
+/// `witness` (ignored when null). Failpoint `containment/flip-verdict`
+/// inverts the verdict — and discards the counterexample when flipping to
+/// "contained" — a seeded bug verify::CheckContainment must catch.
+Result<ContainmentResult> QueryContainment(
+    const Schema& input, const query::SelectionQuery& q1,
+    const query::SelectionQuery& q2, const ExecBudget& options,
+    ContainmentWitness* witness);
+
 /// Both containments hold: the queries locate exactly the same nodes on
 /// every schema-valid document.
 Result<bool> QueriesEquivalentUnderSchema(

@@ -23,6 +23,9 @@ class Bitset {
   }
   void Set(size_t i) { words_[i >> 6] |= (uint64_t{1} << (i & 63)); }
   void Reset(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  /// Clears every bit, keeping the width — lets hot loops reuse one
+  /// scratch set instead of reallocating per iteration.
+  void ClearAll() { words_.assign(words_.size(), 0); }
 
   /// True when no bit is set.
   bool None() const;

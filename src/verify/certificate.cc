@@ -28,6 +28,50 @@ void WriteBitsetList(std::string& out, const char* tag,
   for (const Bitset& b : sets) WriteBitset(out, "set", b);
 }
 
+void WriteU32List(std::string& out, const char* tag,
+                  const std::vector<uint32_t>& values) {
+  out += StrCat(tag, " ", values.size());
+  for (uint32_t v : values) out += StrCat(" ", v);
+  out += "\n";
+}
+
+// Embeds free-form text under a line-count prefix, normalizing to a
+// trailing newline so the count is exact.
+void WriteEmbedded(std::string& out, const char* tag, std::string_view text) {
+  std::string body(text);
+  if (body.empty() || body.back() != '\n') body += '\n';
+  out += StrCat(tag, " ", CountLines(body), "\n");
+  out += body;
+}
+
+Bitset BoolsToBitset(const std::vector<bool>& v) {
+  Bitset b(v.size());
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v[i]) b.Set(static_cast<uint32_t>(i));
+  }
+  return b;
+}
+
+std::vector<bool> BitsetToBools(const Bitset& b) {
+  std::vector<bool> v(b.size(), false);
+  for (uint32_t i : b.ToVector()) v[i] = true;
+  return v;
+}
+
+const char* KindWord(CertificateKind kind) {
+  switch (kind) {
+    case CertificateKind::kDeterminize:
+      return "determinize";
+    case CertificateKind::kTrim:
+      return "trim";
+    case CertificateKind::kMinimize:
+      return "minimize";
+    case CertificateKind::kContainment:
+      return "containment";
+  }
+  return "?";
+}
+
 Result<uint32_t> ParseU32(const std::string& field) {
   if (field.empty()) return Status::InvalidArgument("empty number field");
   uint64_t value = 0;
@@ -127,6 +171,28 @@ Result<std::vector<Bitset>> ReadBitsetList(CertReader& reader,
   return sets;
 }
 
+Result<std::vector<uint32_t>> ReadU32List(CertReader& reader,
+                                          const char* tag) {
+  Result<std::vector<std::string>> fields = reader.Next();
+  if (!fields.ok()) return fields.status();
+  if (fields->size() < 2 || (*fields)[0] != tag) {
+    return Status::InvalidArgument(StrCat("expected '", tag, " <n> ...'"));
+  }
+  Result<uint32_t> n = ParseU32((*fields)[1]);
+  if (!n.ok()) return n.status();
+  if (fields->size() != 2 + static_cast<size_t>(*n)) {
+    return Status::InvalidArgument(StrCat(tag, " entry count mismatch"));
+  }
+  std::vector<uint32_t> values;
+  values.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    Result<uint32_t> v = ParseU32((*fields)[2 + i]);
+    if (!v.ok()) return v.status();
+    values.push_back(*v);
+  }
+  return values;
+}
+
 // Reads an embedded, line-count-prefixed document ("<tag> <count>" followed
 // by that many verbatim lines).
 Result<std::string> ReadEmbedded(CertReader& reader, const char* tag) {
@@ -167,14 +233,71 @@ Certificate BuildTrimCertificate(const automata::Nha& input) {
   return cert;
 }
 
+Certificate BuildMinimizeCertificate(const automata::Dha& input) {
+  Certificate cert;
+  cert.kind = CertificateKind::kMinimize;
+  cert.min_input = input;
+  cert.min_output = automata::MinimizeDha(input, &cert.min);
+  return cert;
+}
+
+Result<Certificate> BuildContainmentCertificate(const schema::Schema& schema,
+                                                std::string_view q1_text,
+                                                std::string_view q2_text,
+                                                hedge::Vocabulary& vocab,
+                                                const ExecBudget& options) {
+  Certificate cert;
+  cert.kind = CertificateKind::kContainment;
+  cert.input = schema.nha();
+  cert.q1_text = std::string(q1_text);
+  cert.q2_text = std::string(q2_text);
+  Result<query::SelectionQuery> q1 = query::ParseSelectionQuery(q1_text, vocab);
+  if (!q1.ok()) return q1.status();
+  Result<query::SelectionQuery> q2 = query::ParseSelectionQuery(q2_text, vocab);
+  if (!q2.ok()) return q2.status();
+  cert.q1 = std::move(q1).value();
+  cert.q2 = std::move(q2).value();
+  Result<schema::ContainmentResult> verdict =
+      schema::QueryContainment(schema, *cert.q1, *cert.q2, options, &cert.cont);
+  if (!verdict.ok()) return verdict.status();
+  cert.containment = std::move(verdict).value();
+  return cert;
+}
+
 std::string SerializeCertificate(const Certificate& cert,
                                  const hedge::Vocabulary& vocab) {
-  std::string out = "cert 1 ";
-  out += cert.kind == CertificateKind::kDeterminize ? "determinize" : "trim";
-  out += "\n";
+  std::string out = StrCat("cert 1 ", KindWord(cert.kind), "\n");
+  if (cert.kind == CertificateKind::kMinimize) {
+    WriteEmbedded(out, "dhain", automata::SerializeDha(cert.min_input, vocab));
+    WriteEmbedded(out, "dhaout",
+                  automata::SerializeDha(cert.min_output, vocab));
+    WriteU32List(out, "qblock", cert.min.qblock);
+    WriteU32List(out, "hblock", cert.min.hblock);
+    out += "end\n";
+    return out;
+  }
   std::string input_text = automata::SerializeNha(cert.input, vocab);
   out += StrCat("input ", CountLines(input_text), "\n");
   out += input_text;
+  if (cert.kind == CertificateKind::kContainment) {
+    WriteEmbedded(out, "q1", cert.q1_text);
+    WriteEmbedded(out, "q2", cert.q2_text);
+    out += StrCat("verdict ",
+                  cert.containment.contained ? "contained" : "separated",
+                  "\n");
+    WriteEmbedded(out, "product", automata::SerializeNha(cert.cont.product,
+                                                         vocab));
+    WriteBitset(out, "marked1", BoolsToBitset(cert.cont.marked1));
+    WriteBitset(out, "marked2", BoolsToBitset(cert.cont.marked2));
+    if (cert.containment.counterexample.has_value()) {
+      WriteEmbedded(out, "counterexample",
+                    cert.containment.counterexample->document.ToString(vocab));
+      out += StrCat("located ", cert.containment.counterexample->located,
+                    "\n");
+    }
+    out += "end\n";
+    return out;
+  }
   if (cert.kind == CertificateKind::kDeterminize) {
     std::string dha_text = automata::SerializeDha(cert.dha, vocab);
     out += StrCat("dha ", CountLines(dha_text), "\n");
@@ -212,9 +335,38 @@ Result<Certificate> DeserializeCertificate(std::string_view text,
     cert.kind = CertificateKind::kDeterminize;
   } else if ((*magic)[2] == "trim") {
     cert.kind = CertificateKind::kTrim;
+  } else if ((*magic)[2] == "minimize") {
+    cert.kind = CertificateKind::kMinimize;
+  } else if ((*magic)[2] == "containment") {
+    cert.kind = CertificateKind::kContainment;
   } else {
     return Status::InvalidArgument(
         StrCat("unknown certificate kind '", (*magic)[2], "'"));
+  }
+
+  if (cert.kind == CertificateKind::kMinimize) {
+    Result<std::string> in_text = ReadEmbedded(reader, "dhain");
+    if (!in_text.ok()) return in_text.status();
+    Result<Dha> in_dha = automata::DeserializeDha(*in_text, vocab);
+    if (!in_dha.ok()) return in_dha.status();
+    cert.min_input = std::move(in_dha).value();
+    Result<std::string> out_text = ReadEmbedded(reader, "dhaout");
+    if (!out_text.ok()) return out_text.status();
+    Result<Dha> out_dha = automata::DeserializeDha(*out_text, vocab);
+    if (!out_dha.ok()) return out_dha.status();
+    cert.min_output = std::move(out_dha).value();
+    Result<std::vector<uint32_t>> qblock = ReadU32List(reader, "qblock");
+    if (!qblock.ok()) return qblock.status();
+    cert.min.qblock = std::move(qblock).value();
+    Result<std::vector<uint32_t>> hblock = ReadU32List(reader, "hblock");
+    if (!hblock.ok()) return hblock.status();
+    cert.min.hblock = std::move(hblock).value();
+    Result<std::vector<std::string>> tail = reader.Next();
+    if (!tail.ok()) return tail.status();
+    if (tail->size() != 1 || (*tail)[0] != "end") {
+      return Status::InvalidArgument("expected 'end' trailer");
+    }
+    return cert;
   }
 
   Result<std::string> input_text = ReadEmbedded(reader, "input");
@@ -222,6 +374,71 @@ Result<Certificate> DeserializeCertificate(std::string_view text,
   Result<Nha> input = automata::DeserializeNha(*input_text, vocab);
   if (!input.ok()) return input.status();
   cert.input = std::move(input).value();
+
+  if (cert.kind == CertificateKind::kContainment) {
+    Result<std::string> q1_text = ReadEmbedded(reader, "q1");
+    if (!q1_text.ok()) return q1_text.status();
+    cert.q1_text = std::move(q1_text).value();
+    Result<std::string> q2_text = ReadEmbedded(reader, "q2");
+    if (!q2_text.ok()) return q2_text.status();
+    cert.q2_text = std::move(q2_text).value();
+    Result<query::SelectionQuery> q1 =
+        query::ParseSelectionQuery(StripAsciiWhitespace(cert.q1_text), vocab);
+    if (!q1.ok()) return q1.status();
+    cert.q1 = std::move(q1).value();
+    Result<query::SelectionQuery> q2 =
+        query::ParseSelectionQuery(StripAsciiWhitespace(cert.q2_text), vocab);
+    if (!q2.ok()) return q2.status();
+    cert.q2 = std::move(q2).value();
+    Result<std::vector<std::string>> verdict = reader.Next();
+    if (!verdict.ok()) return verdict.status();
+    if (verdict->size() != 2 || (*verdict)[0] != "verdict" ||
+        ((*verdict)[1] != "contained" && (*verdict)[1] != "separated")) {
+      return Status::InvalidArgument(
+          "expected 'verdict contained|separated'");
+    }
+    cert.containment.contained = (*verdict)[1] == "contained";
+    Result<std::string> product_text = ReadEmbedded(reader, "product");
+    if (!product_text.ok()) return product_text.status();
+    Result<Nha> product = automata::DeserializeNha(*product_text, vocab);
+    if (!product.ok()) return product.status();
+    cert.cont.product = std::move(product).value();
+    Result<std::vector<std::string>> m1 = reader.Next();
+    if (!m1.ok()) return m1.status();
+    Result<Bitset> m1_bits = ReadBitset(*m1, "marked1");
+    if (!m1_bits.ok()) return m1_bits.status();
+    cert.cont.marked1 = BitsetToBools(*m1_bits);
+    Result<std::vector<std::string>> m2 = reader.Next();
+    if (!m2.ok()) return m2.status();
+    Result<Bitset> m2_bits = ReadBitset(*m2, "marked2");
+    if (!m2_bits.ok()) return m2_bits.status();
+    cert.cont.marked2 = BitsetToBools(*m2_bits);
+    Result<std::vector<std::string>> next = reader.Next();
+    if (!next.ok()) return next.status();
+    if (next->size() == 2 && (*next)[0] == "counterexample") {
+      Result<uint32_t> count = ParseU32((*next)[1]);
+      if (!count.ok()) return count.status();
+      Result<std::string> doc_text = reader.TakeLines(*count);
+      if (!doc_text.ok()) return doc_text.status();
+      Result<hedge::Hedge> doc = hedge::ParseHedge(*doc_text, vocab);
+      if (!doc.ok()) return doc.status();
+      Result<std::vector<std::string>> located = reader.Next();
+      if (!located.ok()) return located.status();
+      if (located->size() != 2 || (*located)[0] != "located") {
+        return Status::InvalidArgument("expected 'located <node>'");
+      }
+      Result<uint32_t> node = ParseU32((*located)[1]);
+      if (!node.ok()) return node.status();
+      cert.containment.counterexample =
+          schema::SampleMatch{std::move(doc).value(), *node};
+      next = reader.Next();
+      if (!next.ok()) return next.status();
+    }
+    if (next->size() != 1 || (*next)[0] != "end") {
+      return Status::InvalidArgument("expected 'end' trailer");
+    }
+    return cert;
+  }
 
   if (cert.kind == CertificateKind::kDeterminize) {
     Result<std::string> dha_text = ReadEmbedded(reader, "dha");

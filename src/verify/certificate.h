@@ -1,6 +1,7 @@
 #ifndef HEDGEQ_VERIFY_CERTIFICATE_H_
 #define HEDGEQ_VERIFY_CERTIFICATE_H_
 
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -10,6 +11,8 @@
 #include "automata/dha.h"
 #include "automata/nha.h"
 #include "hedge/hedge.h"
+#include "query/selection.h"
+#include "schema/transform.h"
 #include "util/budget.h"
 #include "util/status.h"
 
@@ -19,6 +22,8 @@ namespace hedgeq::verify {
 enum class CertificateKind {
   kDeterminize,  // Theorem 1 subset construction (automata/determinize.cc)
   kTrim,         // reach/co-reach pruning (automata::PruneNha)
+  kMinimize,     // block partition of automata::MinimizeDha
+  kContainment,  // schema containment verdict (schema::QueryContainment)
 };
 
 /// A self-contained, serializable record of one automaton transformation:
@@ -39,6 +44,23 @@ struct Certificate {
   // kTrim payload: the pruned automaton plus the trim witness.
   automata::Nha trimmed;
   automata::TrimWitness trim;
+
+  // kMinimize payload: the input and minimized DHAs plus the block
+  // partition the refinement converged on (`input` is unused).
+  automata::Dha min_input{1, 1, 0, 0};
+  automata::Dha min_output{1, 1, 0, 0};
+  automata::MinimizeWitness min;
+
+  // kContainment payload: the schema's NHA travels in `input`; the queries
+  // as source text (re-parsed against the vocabulary on load), the verdict
+  // with its optional separating document, and the layered product with
+  // both mark tables.
+  std::string q1_text;
+  std::string q2_text;
+  std::optional<query::SelectionQuery> q1;
+  std::optional<query::SelectionQuery> q2;
+  schema::ContainmentResult containment{true, std::nullopt};
+  schema::ContainmentWitness cont;
 };
 
 /// Runs the budgeted Theorem 1 construction on `input` and packages the
@@ -50,14 +72,32 @@ Result<Certificate> BuildDeterminizeCertificate(const automata::Nha& input,
 /// Runs PruneNha on `input` and packages the result as a certificate.
 Certificate BuildTrimCertificate(const automata::Nha& input);
 
+/// Runs MinimizeDha on `input` and packages the quotient plus the block
+/// partition as a certificate (minimization itself cannot fail).
+Certificate BuildMinimizeCertificate(const automata::Dha& input);
+
+/// Parses both query texts, runs the witnessed QueryContainment decision
+/// under `schema`, and packages the verdict, the layered product and the
+/// mark tables (plus the counterexample document on non-containment).
+Result<Certificate> BuildContainmentCertificate(const schema::Schema& schema,
+                                                std::string_view q1_text,
+                                                std::string_view q2_text,
+                                                hedge::Vocabulary& vocab,
+                                                const ExecBudget& options = {});
+
 /// Line-oriented text form, deterministic byte-for-byte for a given
 /// certificate and vocabulary (sections are length-prefixed in lines):
 ///
-///   cert 1 <determinize|trim>
+///   cert 1 <determinize|trim|minimize|containment>
 ///   input <line-count>
 ///   <SerializeNha output>
 ///   ... kind-specific sections ...
 ///   end
+///
+/// (minimize certificates carry two embedded DHAs instead of the input
+/// NHA; containment certificates embed the schema NHA as `input`, the two
+/// query texts, the product NHA, the mark tables, and — when separated —
+/// the counterexample document with its located node.)
 std::string SerializeCertificate(const Certificate& cert,
                                  const hedge::Vocabulary& vocab);
 

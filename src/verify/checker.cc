@@ -8,7 +8,9 @@
 
 #include "obs/catalogue.h"
 #include "obs/obs.h"
+#include "strre/ops.h"
 #include "util/strings.h"
+#include "verify/naive_match.h"
 
 namespace hedgeq::verify {
 
@@ -72,26 +74,95 @@ size_t RuleOf(const ContentIndex& ci, uint32_t cs) {
   return lo;
 }
 
-// Epsilon closure over combined content states, using each rule's own
-// content NFA plus the offset arithmetic.
-void CloseCombined(const Nha& nha, const ContentIndex& ci, Bitset& set) {
-  std::deque<uint32_t> queue;
-  for (uint32_t cs : set.ToVector()) queue.push_back(cs);
-  while (!queue.empty()) {
-    uint32_t cs = queue.front();
-    queue.pop_front();
-    size_t r = RuleOf(ci, cs);
-    const Nfa& content = nha.rules()[r].content;
-    uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
-    for (strre::StateId t : content.EpsilonsFrom(local)) {
-      uint32_t to = static_cast<uint32_t>(ci.offset[r]) + t;
-      if (!set.Test(to)) {
-        set.Set(to);
-        queue.push_back(to);
+// Memoized per-state epsilon closures over the combined content space —
+// the checker-side analogue of the determinizer's interned-Bitset pool.
+// Closing a set ORs per-state closures computed once on demand, so the
+// dense (h, letter) loops of CheckDeterminize and the audit replay stop
+// re-walking the same epsilon edges for every pair. One pool per check:
+// it borrows the input NHA and index, never the construction's own state.
+class CombinedClosurePool {
+ public:
+  CombinedClosurePool(const Nha& nha, const ContentIndex& ci)
+      : nha_(nha), ci_(ci), closure_(ci.total) {}
+
+  /// Replaces `set` with its epsilon closure.
+  void Close(Bitset& set) {
+    Bitset out(ci_.total);
+    for (uint32_t cs : set.ToVector()) out |= ClosureOf(cs);
+    set = std::move(out);
+  }
+
+  /// One horizontal step over the combined content model: the (closed)
+  /// set reached from `h` by reading any NHA state in `letter`.
+  Bitset Step(const Bitset& h, const Bitset& letter) {
+    Bitset next(ci_.total);
+    for (uint32_t cs : h.ToVector()) {
+      size_t r = RuleOf(ci_, cs);
+      const Nfa& content = nha_.rules()[r].content;
+      uint32_t local = cs - static_cast<uint32_t>(ci_.offset[r]);
+      for (const Nfa::Transition& t : content.TransitionsFrom(local)) {
+        if (t.symbol < letter.size() && letter.Test(t.symbol)) {
+          next.Set(static_cast<uint32_t>(ci_.offset[r]) + t.to);
+        }
       }
     }
+    Close(next);
+    return next;
   }
-}
+
+  /// Per-symbol closed target unions out of `h`: for every NHA state q
+  /// labelling a transition from some member of `h`, the epsilon-closed
+  /// union of those transitions' targets. Closure distributes over union,
+  /// so Step(h, letter) equals the union of the rows of the letter's
+  /// members — each row pre-closed once per h — which turns the dense
+  /// (h, letter) matrix walk of CheckDeterminize into word-wide ORs
+  /// instead of a transition re-walk per letter.
+  std::unordered_map<uint32_t, Bitset> TargetsBySymbol(const Bitset& h) {
+    std::unordered_map<uint32_t, Bitset> out;
+    for (uint32_t cs : h.ToVector()) {
+      size_t r = RuleOf(ci_, cs);
+      const Nfa& content = nha_.rules()[r].content;
+      uint32_t local = cs - static_cast<uint32_t>(ci_.offset[r]);
+      for (const Nfa::Transition& t : content.TransitionsFrom(local)) {
+        auto [it, fresh] = out.try_emplace(t.symbol, Bitset(ci_.total));
+        it->second.Set(static_cast<uint32_t>(ci_.offset[r]) + t.to);
+      }
+    }
+    // Close each row once at the end: distinct transitions often share a
+    // target, so closing the deduplicated row beats OR-ing a closure per
+    // transition.
+    for (auto& [symbol, row] : out) Close(row);
+    return out;
+  }
+
+ private:
+  const Bitset& ClosureOf(uint32_t cs) {
+    Bitset& c = closure_[cs];
+    if (c.size() == ci_.total) return c;  // default-constructed = unfilled
+    c = Bitset(ci_.total);
+    c.Set(cs);
+    std::deque<uint32_t> queue{cs};
+    while (!queue.empty()) {
+      uint32_t s = queue.front();
+      queue.pop_front();
+      size_t r = RuleOf(ci_, s);
+      const Nfa& content = nha_.rules()[r].content;
+      uint32_t local = s - static_cast<uint32_t>(ci_.offset[r]);
+      for (strre::StateId t : content.EpsilonsFrom(local)) {
+        uint32_t to = static_cast<uint32_t>(ci_.offset[r]) + t;
+        if (!c.Test(to)) {
+          c.Set(to);
+          queue.push_back(to);
+        }
+      }
+    }
+    return c;
+  }
+
+  const Nha& nha_;
+  const ContentIndex& ci_;
+  std::vector<Bitset> closure_;  // per combined state, filled lazily
+};
 
 // Epsilon closure within a single NFA.
 void CloseNfa(const Nfa& nfa, Bitset& set) {
@@ -107,25 +178,6 @@ void CloseNfa(const Nfa& nfa, Bitset& set) {
       }
     }
   }
-}
-
-// One horizontal step over the combined content model: the (closed) set
-// reached from `h` by reading any NHA state in `letter`.
-Bitset StepCombined(const Nha& nha, const ContentIndex& ci, const Bitset& h,
-                    const Bitset& letter) {
-  Bitset next(ci.total);
-  for (uint32_t cs : h.ToVector()) {
-    size_t r = RuleOf(ci, cs);
-    const Nfa& content = nha.rules()[r].content;
-    uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
-    for (const Nfa::Transition& t : content.TransitionsFrom(local)) {
-      if (t.symbol < letter.size() && letter.Test(t.symbol)) {
-        next.Set(static_cast<uint32_t>(ci.offset[r]) + t.to);
-      }
-    }
-  }
-  CloseCombined(nha, ci, next);
-  return next;
 }
 
 // Per-symbol target sets of the rules accepting somewhere in `h`.
@@ -328,6 +380,7 @@ std::vector<Diagnostic> CheckDeterminize(
   const std::vector<Bitset>& subsets = output.subsets;
   const size_t nq = input.num_states();
   const ContentIndex ci = IndexContents(input);
+  CombinedClosurePool pool(input, ci);
 
   // --- Shape (HQV001). Shape failures abort: the semantic checks below
   // index through these arrays.
@@ -396,7 +449,7 @@ std::vector<Diagnostic> CheckDeterminize(
         h0.Set(static_cast<uint32_t>(ci.offset[r]) + content.start());
       }
     }
-    CloseCombined(input, ci, h0);
+    pool.Close(h0);
     if (!(witness.h_sets[dha.h_start()] == h0)) {
       Report(out, DiagnosticCode::kSubsetTransitionIncoherent, "hstart",
              "horizontal start set is not the closure of the content start "
@@ -405,18 +458,45 @@ std::vector<Diagnostic> CheckDeterminize(
   }
 
   // --- Horizontal transitions (HQV002): every (h, subset-letter) entry of
-  // the dense matrix must be the recomputed closed step.
+  // the dense matrix must be the recomputed closed step. The step is
+  // recomputed as a union of per-symbol pre-closed target rows (see
+  // TargetsBySymbol), so each h walks its transitions once rather than
+  // once per letter.
+  std::vector<std::vector<uint32_t>> subset_bits(subsets.size());
+  for (size_t i = 0; i < subsets.size(); ++i) {
+    subset_bits[i] = subsets[i].ToVector();
+  }
   for (HhState h = 0; h < witness.h_sets.size(); ++h) {
-    Bitset closed = witness.h_sets[h];
-    CloseCombined(input, ci, closed);
-    if (!(closed == witness.h_sets[h])) {
+    // Closedness in place: a set is epsilon-closed iff every member's
+    // epsilon successors are already members — no closure materialized.
+    bool is_closed = true;
+    for (uint32_t cs : witness.h_sets[h].ToVector()) {
+      size_t r = RuleOf(ci, cs);
+      const Nfa& content = input.rules()[r].content;
+      uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
+      for (strre::StateId t : content.EpsilonsFrom(local)) {
+        if (!witness.h_sets[h].Test(static_cast<uint32_t>(ci.offset[r]) +
+                                    t)) {
+          is_closed = false;
+          break;
+        }
+      }
+      if (!is_closed) break;
+    }
+    if (!is_closed) {
       Report(out, DiagnosticCode::kSubsetTransitionIncoherent,
              StrCat("hset/", h), "horizontal set is not epsilon-closed");
       continue;
     }
+    const std::unordered_map<uint32_t, Bitset> targets =
+        pool.TargetsBySymbol(witness.h_sets[h]);
+    Bitset expect(ci.total);
     for (HState sid = 0; sid < subsets.size(); ++sid) {
-      Bitset expect = StepCombined(input, ci, witness.h_sets[h],
-                                   subsets[sid]);
+      expect.ClearAll();
+      for (uint32_t q : subset_bits[sid]) {
+        auto it = targets.find(q);
+        if (it != targets.end()) expect |= it->second;
+      }
       HhState to = dha.HNext(h, sid);
       if (to >= witness.h_sets.size()) {
         Report(out, DiagnosticCode::kCertificateMalformed,
@@ -540,12 +620,28 @@ std::vector<Diagnostic> CheckDeterminize(
              "final DFA start does not denote the closed final-NFA start");
     }
   }
+  // Per-state epsilon closures of the final NFA, filled on demand: the
+  // same distribute-closure-over-union rewrite as the horizontal matrix,
+  // so each final DFA state walks its NFA transitions once, not once per
+  // subset letter.
+  std::vector<Bitset> fl_closure(fl.num_states());
+  auto fl_closure_of = [&](uint32_t s) -> const Bitset& {
+    Bitset& c = fl_closure[s];
+    if (c.size() != fl.num_states()) {
+      c = Bitset(fl.num_states());
+      c.Set(s);
+      CloseNfa(fl, c);
+    }
+    return c;
+  };
   for (strre::StateId f = 0; f < fdfa.num_states(); ++f) {
     bool want_accepting = false;
+    std::unordered_map<uint32_t, Bitset> frows;
     for (uint32_t s : witness.final_sets[f].ToVector()) {
-      if (fl.IsAccepting(s)) {
-        want_accepting = true;
-        break;
+      if (fl.IsAccepting(s)) want_accepting = true;
+      for (const Nfa::Transition& t : fl.TransitionsFrom(s)) {
+        auto [it, fresh] = frows.try_emplace(t.symbol, fl.num_states());
+        it->second |= fl_closure_of(t.to);
       }
     }
     if (want_accepting != fdfa.IsAccepting(f)) {
@@ -554,17 +650,13 @@ std::vector<Diagnostic> CheckDeterminize(
              "lifted final DFA acceptance disagrees with the witnessed "
              "final-NFA state set");
     }
+    Bitset next(fl.num_states());
     for (HState sid = 0; sid < subsets.size(); ++sid) {
-      Bitset next(fl.num_states());
-      for (uint32_t s : witness.final_sets[f].ToVector()) {
-        for (const Nfa::Transition& t : fl.TransitionsFrom(s)) {
-          if (t.symbol < subsets[sid].size() &&
-              subsets[sid].Test(t.symbol)) {
-            next.Set(t.to);
-          }
-        }
+      next.ClearAll();
+      for (uint32_t q : subset_bits[sid]) {
+        auto it = frows.find(q);
+        if (it != frows.end()) next |= it->second;
       }
-      CloseNfa(fl, next);
       strre::StateId to = fdfa.Next(f, sid);
       if (to == strre::kNoState || to >= witness.final_sets.size()) {
         Report(out, DiagnosticCode::kFinalSetInconsistent,
@@ -911,6 +1003,7 @@ std::vector<Diagnostic> CheckLazyAudit(
   std::vector<Diagnostic> out;
   CheckObserver obs_guard(out);
   const ContentIndex ci = IndexContents(nha);
+  CombinedClosurePool pool(nha, ci);
   const size_t nq = nha.num_states();
   for (size_t i = 0; i < entries.size(); ++i) {
     const automata::LazyAuditEntry& e = entries[i];
@@ -945,7 +1038,7 @@ std::vector<Diagnostic> CheckLazyAudit(
                StrCat("audit/", i), "audited step width mismatch");
         continue;
       }
-      Bitset expect = StepCombined(nha, ci, e.h, e.subset);
+      Bitset expect = pool.Step(e.h, e.subset);
       if (!(expect == e.result)) {
         Report(out, DiagnosticCode::kLazyAuditMismatch, StrCat("audit/", i),
                "memoized horizontal step disagrees with independent "
@@ -1004,10 +1097,646 @@ std::vector<Diagnostic> CheckProjection(const schema::MatchIdentifying& mi,
   return out;
 }
 
+std::vector<Diagnostic> CheckMinimize(
+    const Dha& input, const Dha& output,
+    const automata::MinimizeWitness& witness) {
+  std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
+  const size_t nq = input.num_states();
+  const size_t nh = input.num_h_states();
+
+  // --- Shape (HQV001): block maps total over the input, block ids in
+  // range, every output state/horizontal state has a preimage.
+  if (witness.qblock.size() != nq || witness.hblock.size() != nh) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "minimize",
+           StrCat("partition widths (", witness.qblock.size(), ", ",
+                  witness.hblock.size(), ") do not match the input (", nq,
+                  ", ", nh, ")"));
+    return out;
+  }
+  std::vector<bool> qseen(output.num_states(), false);
+  std::vector<bool> hseen(output.num_h_states(), false);
+  for (size_t q = 0; q < nq; ++q) {
+    if (witness.qblock[q] >= output.num_states()) {
+      Report(out, DiagnosticCode::kCertificateMalformed, StrCat("qblock/", q),
+             "block id out of range of the output states");
+      return out;
+    }
+    qseen[witness.qblock[q]] = true;
+  }
+  for (size_t h = 0; h < nh; ++h) {
+    if (witness.hblock[h] >= output.num_h_states()) {
+      Report(out, DiagnosticCode::kCertificateMalformed, StrCat("hblock/", h),
+             "block id out of range of the output horizontal states");
+      return out;
+    }
+    hseen[witness.hblock[h]] = true;
+  }
+  for (size_t b = 0; b < qseen.size(); ++b) {
+    if (!qseen[b]) {
+      Report(out, DiagnosticCode::kMinimizeWitnessRejected,
+             StrCat("block/", b), "output state has no preimage block");
+    }
+  }
+  for (size_t b = 0; b < hseen.size(); ++b) {
+    if (!hseen[b]) {
+      Report(out, DiagnosticCode::kMinimizeWitnessRejected,
+             StrCat("hblock/", b),
+             "output horizontal state has no preimage block");
+    }
+  }
+
+  // --- Congruence: the block maps must commute with every transition
+  // table. Together with the final-language walk below this proves the
+  // quotient is language-preserving, without re-running the refinement.
+  if (output.h_start() != witness.hblock[input.h_start()]) {
+    Report(out, DiagnosticCode::kMinimizeWitnessRejected, "hstart",
+           "output horizontal start is not the start's block");
+  }
+  if (output.sink() != witness.qblock[input.sink()]) {
+    Report(out, DiagnosticCode::kMinimizeWitnessRejected, "sink",
+           "output sink is not the sink's block");
+  }
+  for (HhState h = 0; h < nh; ++h) {
+    for (HState q = 0; q < nq; ++q) {
+      if (witness.hblock[input.HNext(h, q)] !=
+          output.HNext(witness.hblock[h], witness.qblock[q])) {
+        Report(out, DiagnosticCode::kMinimizeWitnessRejected,
+               StrCat("htrans/", h, "/", q),
+               "horizontal transition does not commute with the partition");
+      }
+    }
+  }
+  std::set<hedge::SymbolId> all_symbols;
+  for (const auto& [symbol, row] : input.assign_map()) {
+    all_symbols.insert(symbol);
+  }
+  for (const auto& [symbol, row] : output.assign_map()) {
+    all_symbols.insert(symbol);
+  }
+  for (hedge::SymbolId symbol : all_symbols) {
+    for (HhState h = 0; h < nh; ++h) {
+      if (witness.qblock[input.Assign(symbol, h)] !=
+          output.Assign(symbol, witness.hblock[h])) {
+        Report(out, DiagnosticCode::kMinimizeWitnessRejected,
+               StrCat("assign/", symbol, "/", h),
+               "assignment does not commute with the partition");
+      }
+    }
+  }
+  for (const auto& [x, q] : input.var_map()) {
+    auto it = output.var_map().find(x);
+    if (it == output.var_map().end() || it->second != witness.qblock[q]) {
+      Report(out, DiagnosticCode::kMinimizeWitnessRejected, StrCat("var/", x),
+             "variable state is not the input state's block");
+    }
+  }
+  for (const auto& [x, q] : output.var_map()) {
+    if (!input.var_map().contains(x)) {
+      Report(out, DiagnosticCode::kMinimizeWitnessRejected, StrCat("var/", x),
+             "output knows a variable the input does not");
+    }
+  }
+  for (const auto& [z, q] : input.subst_map()) {
+    auto it = output.subst_map().find(z);
+    if (it == output.subst_map().end() || it->second != witness.qblock[q]) {
+      Report(out, DiagnosticCode::kMinimizeWitnessRejected,
+             StrCat("subst/", z),
+             "substitution state is not the input state's block");
+    }
+  }
+  for (const auto& [z, q] : output.subst_map()) {
+    if (!input.subst_map().contains(z)) {
+      Report(out, DiagnosticCode::kMinimizeWitnessRejected,
+             StrCat("subst/", z),
+             "output knows a substitution symbol the input does not");
+    }
+  }
+
+  // --- Final-language preservation: walk the product of the input's
+  // final DFA (letters: input states) against the output's final DFA read
+  // through the block map. Implicit dead sinks are modeled as a virtual
+  // non-accepting state so partial DFAs compare soundly.
+  const strre::Dfa& fin = input.final_dfa();
+  const strre::Dfa& fout = output.final_dfa();
+  const strre::StateId in_dead = static_cast<strre::StateId>(fin.num_states());
+  const strre::StateId out_dead =
+      static_cast<strre::StateId>(fout.num_states());
+  auto in_id = [&](strre::StateId s) { return s == strre::kNoState ? in_dead : s; };
+  auto out_id = [&](strre::StateId s) {
+    return s == strre::kNoState ? out_dead : s;
+  };
+  std::vector<bool> visited(
+      (static_cast<size_t>(in_dead) + 1) * (out_dead + 1), false);
+  std::deque<std::pair<strre::StateId, strre::StateId>> queue;
+  auto push = [&](strre::StateId a, strre::StateId b) {
+    size_t key = static_cast<size_t>(a) * (out_dead + 1) + b;
+    if (!visited[key]) {
+      visited[key] = true;
+      queue.emplace_back(a, b);
+    }
+  };
+  push(in_id(fin.start()), out_id(fout.start()));
+  while (!queue.empty()) {
+    auto [a, b] = queue.front();
+    queue.pop_front();
+    const bool acc_a = a != in_dead && fin.IsAccepting(a);
+    const bool acc_b = b != out_dead && fout.IsAccepting(b);
+    if (acc_a != acc_b) {
+      Report(out, DiagnosticCode::kMinimizeWitnessRejected,
+             StrCat("final/", a, "/", b),
+             "quotient's final language differs from the input's");
+      break;
+    }
+    if (a == in_dead && b == out_dead) continue;
+    for (HState q = 0; q < nq; ++q) {
+      strre::StateId a2 = a == in_dead ? in_dead : in_id(fin.Next(a, q));
+      strre::StateId b2 =
+          b == out_dead ? out_dead : out_id(fout.Next(b, witness.qblock[q]));
+      push(a2, b2);
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckPhrProduct(const phr::Phr& phr,
+                                        const query::CompiledPhr& compiled,
+                                        const query::PhrWitness& witness) {
+  std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
+  const size_t n = phr.triplets().size();
+  const size_t num_dha = compiled.dha().num_states();
+
+  // --- Shape (HQV001).
+  if (witness.elder_final.size() != n || witness.younger_final.size() != n ||
+      witness.elder_any.size() != n || witness.younger_any.size() != n ||
+      witness.components.size() != 2 * n || compiled.num_triplets() != n) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "phr",
+           "witness vectors do not cover the representation's triplets");
+    return out;
+  }
+  if (compiled.subsets().size() != num_dha) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "phr",
+           "subset count does not match the shared DHA's states");
+    return out;
+  }
+
+  // --- Components: each witnessed DFA must be exactly the subset-lift of
+  // its final NFA over the compiled subsets (or the canonical accept-all /
+  // dead DFA for unconditional / empty languages).
+  for (size_t j = 0; j < 2 * n; ++j) {
+    const size_t i = j / 2;
+    const bool is_elder = (j % 2 == 0);
+    const strre::Dfa& comp = witness.components[j];
+    const std::string span = StrCat(is_elder ? "elder/" : "younger/", i);
+    const bool any = is_elder ? witness.elder_any[i] : witness.younger_any[i];
+    auto is_one_state_loop = [&](bool accepting) {
+      if (comp.num_states() != 1 || comp.start() != 0 ||
+          comp.IsAccepting(0) != accepting) {
+        return false;
+      }
+      for (HState q = 0; q < num_dha; ++q) {
+        if (comp.Next(0, static_cast<strre::Symbol>(q)) != 0) return false;
+      }
+      return true;
+    };
+    if (any) {
+      if (!is_one_state_loop(true)) {
+        Report(out, DiagnosticCode::kPhrProductIncoherent, span,
+               "unconditional triplet must lift to the one-state accept-all "
+               "DFA");
+      }
+      continue;
+    }
+    const Nfa& lang =
+        is_elder ? witness.elder_final[i] : witness.younger_final[i];
+    if (lang.num_states() == 0 || lang.start() == strre::kNoState) {
+      if (!is_one_state_loop(false)) {
+        Report(out, DiagnosticCode::kPhrProductIncoherent, span,
+               "empty final language must lift to the one-state dead DFA");
+      }
+      continue;
+    }
+    if (comp.start() == strre::kNoState ||
+        comp.start() >= comp.num_states()) {
+      Report(out, DiagnosticCode::kPhrProductIncoherent, span,
+             "lifted component has no start state");
+      continue;
+    }
+    std::vector<Bitset> sets(comp.num_states());
+    std::vector<bool> have(comp.num_states(), false);
+    Bitset s0(lang.num_states());
+    s0.Set(lang.start());
+    CloseNfa(lang, s0);
+    sets[comp.start()] = std::move(s0);
+    have[comp.start()] = true;
+    std::deque<strre::StateId> queue{comp.start()};
+    size_t reached = 1;
+    bool bad = false;
+    while (!queue.empty() && !bad) {
+      strre::StateId f = queue.front();
+      queue.pop_front();
+      bool want_accepting = false;
+      for (uint32_t s : sets[f].ToVector()) {
+        if (lang.IsAccepting(s)) {
+          want_accepting = true;
+          break;
+        }
+      }
+      if (want_accepting != comp.IsAccepting(f)) {
+        Report(out, DiagnosticCode::kPhrProductIncoherent, span,
+               "lifted component acceptance disagrees with the recomputed "
+               "subset");
+        bad = true;
+        break;
+      }
+      for (HState sid = 0; sid < num_dha && !bad; ++sid) {
+        const Bitset& letter = compiled.subsets()[sid];
+        Bitset next(lang.num_states());
+        for (uint32_t s : sets[f].ToVector()) {
+          for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+            if (t.symbol < letter.size() && letter.Test(t.symbol)) {
+              next.Set(t.to);
+            }
+          }
+        }
+        CloseNfa(lang, next);
+        strre::StateId to = comp.Next(f, static_cast<strre::Symbol>(sid));
+        if (to == strre::kNoState || to >= comp.num_states()) {
+          Report(out, DiagnosticCode::kPhrProductIncoherent,
+                 StrCat(span, "/", sid),
+                 "lifted component is not total over subset letters");
+          bad = true;
+        } else if (!have[to]) {
+          sets[to] = std::move(next);
+          have[to] = true;
+          ++reached;
+          queue.push_back(to);
+        } else if (!(sets[to] == next)) {
+          Report(out, DiagnosticCode::kPhrProductIncoherent,
+                 StrCat(span, "/", sid),
+                 "lifted component transition does not match the recomputed "
+                 "subset step");
+          bad = true;
+        }
+      }
+    }
+    if (!bad && reached != comp.num_states()) {
+      Report(out, DiagnosticCode::kPhrProductIncoherent, span,
+             "lifted component has unreachable states");
+    }
+  }
+
+  // --- Class product: one independent tuple walk of the components must
+  // reproduce the equivalence DFA and both saturation tables.
+  const strre::Dfa& equiv = compiled.equiv();
+  if (compiled.num_classes() != equiv.num_states()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "equiv",
+           "class count does not match the class product's states");
+    return out;
+  }
+  if (equiv.num_states() == 0 || equiv.start() == strre::kNoState ||
+      equiv.start() >= equiv.num_states()) {
+    Report(out, DiagnosticCode::kPhrProductIncoherent, "equiv",
+           "class product has no start state");
+    return out;
+  }
+  {
+    std::vector<std::vector<strre::StateId>> tuple_of(equiv.num_states());
+    std::vector<bool> have(equiv.num_states(), false);
+    std::vector<strre::StateId> t0(2 * n);
+    for (size_t j = 0; j < 2 * n; ++j) t0[j] = witness.components[j].start();
+    tuple_of[equiv.start()] = std::move(t0);
+    have[equiv.start()] = true;
+    std::deque<strre::StateId> queue{equiv.start()};
+    size_t reached = 1;
+    bool bad = false;
+    while (!queue.empty() && !bad) {
+      strre::StateId e = queue.front();
+      queue.pop_front();
+      const std::vector<strre::StateId> tuple = tuple_of[e];
+      for (size_t i = 0; i < n; ++i) {
+        const bool elder_acc =
+            tuple[2 * i] != strre::kNoState &&
+            witness.components[2 * i].IsAccepting(tuple[2 * i]);
+        const bool younger_acc =
+            tuple[2 * i + 1] != strre::kNoState &&
+            witness.components[2 * i + 1].IsAccepting(tuple[2 * i + 1]);
+        if (elder_acc != compiled.ElderClassOk(i, e) ||
+            younger_acc != compiled.YoungerClassOk(i, e)) {
+          Report(out, DiagnosticCode::kPhrProductIncoherent,
+                 StrCat("saturation/", i, "/", e),
+                 "saturation table disagrees with the component tuple");
+          bad = true;
+          break;
+        }
+      }
+      for (HState q = 0; q < num_dha && !bad; ++q) {
+        strre::StateId e2 = equiv.Next(e, static_cast<strre::Symbol>(q));
+        if (e2 == strre::kNoState || e2 >= equiv.num_states()) {
+          Report(out, DiagnosticCode::kPhrProductIncoherent,
+                 StrCat("equiv/", e, "/", q),
+                 "class product is not total over the state alphabet");
+          bad = true;
+          break;
+        }
+        std::vector<strre::StateId> t2(2 * n);
+        for (size_t j = 0; j < 2 * n; ++j) {
+          t2[j] = witness.components[j].Next(tuple[j],
+                                             static_cast<strre::Symbol>(q));
+        }
+        if (!have[e2]) {
+          tuple_of[e2] = std::move(t2);
+          have[e2] = true;
+          ++reached;
+          queue.push_back(e2);
+        } else if (tuple_of[e2] != t2) {
+          Report(out, DiagnosticCode::kPhrProductIncoherent,
+                 StrCat("equiv/", e, "/", q),
+                 "two distinct component tuples collapse to one class");
+          bad = true;
+        }
+      }
+    }
+    if (!bad && reached != equiv.num_states()) {
+      Report(out, DiagnosticCode::kPhrProductIncoherent, "equiv",
+             "class product has unreachable classes");
+    }
+    if (bad) return out;
+  }
+
+  // --- Symbol index: dense bijection covering every triplet label.
+  const uint32_t num_symbols = compiled.num_symbols();
+  {
+    std::set<hedge::SymbolId> distinct;
+    for (uint32_t k = 0; k < num_symbols; ++k) {
+      hedge::SymbolId s = compiled.SymbolAt(k);
+      if (!distinct.insert(s).second || compiled.SymbolIndex(s) != k) {
+        Report(out, DiagnosticCode::kPhrProductIncoherent, "symbols",
+               "symbol index is not a dense bijection");
+        return out;
+      }
+    }
+    for (const phr::PointedBaseRep& t : phr.triplets()) {
+      if (compiled.SymbolIndex(t.label) == query::CompiledPhr::kNoSymbol) {
+        Report(out, DiagnosticCode::kPhrProductIncoherent, "symbols",
+               "a triplet label is missing from the symbol index");
+        return out;
+      }
+    }
+  }
+
+  // --- L = xi(L(r)): recompute the homomorphism image with our own letter
+  // arithmetic and compare structurally.
+  const uint32_t num_classes = compiled.num_classes();
+  {
+    std::vector<std::vector<strre::Symbol>> images(n);
+    for (size_t i = 0; i < n; ++i) {
+      const uint32_t si = compiled.SymbolIndex(phr.triplets()[i].label);
+      for (uint32_t c1 = 0; c1 < num_classes; ++c1) {
+        if (!compiled.ElderClassOk(i, c1)) continue;
+        for (uint32_t c2 = 0; c2 < num_classes; ++c2) {
+          if (!compiled.YoungerClassOk(i, c2)) continue;
+          images[i].push_back(
+              (static_cast<strre::Symbol>(c1) * num_symbols + si) *
+                  num_classes +
+              c2);
+        }
+      }
+    }
+    Nfa expect = strre::SubstituteSets(
+        strre::CompileRegex(phr.regex()), [&](strre::Symbol t) {
+          return t < images.size() ? images[t]
+                                   : std::vector<strre::Symbol>{};
+        });
+    if (!NfaStructEq(expect, compiled.L())) {
+      Report(out, DiagnosticCode::kPhrProductIncoherent, "L",
+             "xi-image language does not match the recomputed homomorphism");
+      return out;
+    }
+  }
+
+  // --- Mirror: simulate the reversal of L by backward subsets and walk it
+  // against the mirror DFA.
+  {
+    const Nfa& lang = compiled.L();
+    const strre::Dfa& mirror = compiled.mirror();
+    std::vector<std::vector<Nfa::Transition>> revtrans(lang.num_states());
+    std::vector<std::vector<strre::StateId>> reveps(lang.num_states());
+    for (strre::StateId s = 0; s < lang.num_states(); ++s) {
+      for (const Nfa::Transition& t : lang.TransitionsFrom(s)) {
+        revtrans[t.to].push_back(Nfa::Transition{t.symbol, s});
+      }
+      for (strre::StateId t : lang.EpsilonsFrom(s)) reveps[t].push_back(s);
+    }
+    auto close_rev = [&](Bitset& set) {
+      std::deque<uint32_t> bfs;
+      for (uint32_t s : set.ToVector()) bfs.push_back(s);
+      while (!bfs.empty()) {
+        uint32_t s = bfs.front();
+        bfs.pop_front();
+        for (strre::StateId p : reveps[s]) {
+          if (!set.Test(p)) {
+            set.Set(p);
+            bfs.push_back(p);
+          }
+        }
+      }
+    };
+    std::vector<strre::Symbol> letters = mirror.AlphabetInUse();
+    {
+      std::vector<strre::Symbol> more = lang.AlphabetInUse();
+      letters.insert(letters.end(), more.begin(), more.end());
+      std::sort(letters.begin(), letters.end());
+      letters.erase(std::unique(letters.begin(), letters.end()),
+                    letters.end());
+    }
+    Bitset s0(lang.num_states());
+    for (strre::StateId s = 0; s < lang.num_states(); ++s) {
+      if (lang.IsAccepting(s)) s0.Set(s);
+    }
+    close_rev(s0);
+    auto accept_set = [&](const Bitset& set) {
+      return lang.start() != strre::kNoState && set.Test(lang.start());
+    };
+    auto accept_m = [&](strre::StateId m) {
+      return m != strre::kNoState && mirror.IsAccepting(m);
+    };
+    struct PairHash {
+      size_t operator()(
+          const std::pair<Bitset, strre::StateId>& p) const {
+        return BitsetHash{}(p.first) * 1000003u + p.second + 1;
+      }
+    };
+    std::unordered_set<std::pair<Bitset, strre::StateId>, PairHash> visited;
+    std::deque<std::pair<Bitset, strre::StateId>> queue;
+    const size_t cap = 64 * (mirror.num_states() + 2) + 1024;
+    visited.insert({s0, mirror.start()});
+    queue.emplace_back(std::move(s0), mirror.start());
+    while (!queue.empty()) {
+      auto [set, m] = std::move(queue.front());
+      queue.pop_front();
+      if (accept_set(set) != accept_m(m)) {
+        Report(out, DiagnosticCode::kPhrProductIncoherent, "mirror",
+               "mirror automaton disagrees with the reversed-subset "
+               "simulation of L");
+        break;
+      }
+      if (set.None() && m == strre::kNoState) continue;  // dead pair
+      for (strre::Symbol a : letters) {
+        Bitset next(lang.num_states());
+        for (uint32_t s : set.ToVector()) {
+          for (const Nfa::Transition& t : revtrans[s]) {
+            if (t.symbol == a) next.Set(t.to);
+          }
+        }
+        close_rev(next);
+        strre::StateId m2 = mirror.Next(m, a);
+        if (!visited.insert({next, m2}).second) continue;
+        if (visited.size() > cap) {
+          Report(out, DiagnosticCode::kPhrProductIncoherent, "mirror",
+                 "reversed-subset simulation exceeded its state bound");
+          queue.clear();
+          break;
+        }
+        queue.emplace_back(std::move(next), m2);
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckContainment(
+    const schema::Schema& schema, const query::SelectionQuery& q1,
+    const query::SelectionQuery& q2, const schema::ContainmentResult& result,
+    const schema::ContainmentWitness& witness) {
+  std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
+  const Nha& product = witness.product;
+  const size_t np = product.num_states();
+  if (witness.marked1.size() != np || witness.marked2.size() != np) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "containment",
+           "mark table widths do not match the product's states");
+    return out;
+  }
+
+  if (!result.contained) {
+    // Non-containment is certified by a concrete document: it must be
+    // schema-valid, and the two queries must actually disagree on the
+    // claimed node — re-derived through the naive Definition 22 oracle,
+    // never through the product.
+    if (!result.counterexample.has_value()) {
+      Report(out, DiagnosticCode::kContainmentCertificateRejected, "verdict",
+             "not-contained verdict carries no counterexample document");
+      return out;
+    }
+    const hedge::Hedge& doc = result.counterexample->document;
+    const hedge::NodeId located = result.counterexample->located;
+    if (located >= doc.num_nodes()) {
+      Report(out, DiagnosticCode::kCertificateMalformed, "counterexample",
+             "located node id out of range");
+      return out;
+    }
+    if (!schema.nha().Accepts(doc)) {
+      Report(out, DiagnosticCode::kContainmentCertificateRejected,
+             "counterexample",
+             "counterexample document is not schema-valid");
+    }
+    std::optional<std::vector<bool>> l1 = NaiveSelectionLocate(q1, doc);
+    std::optional<std::vector<bool>> l2 = NaiveSelectionLocate(q2, doc);
+    if (!l1.has_value() || !l2.has_value()) {
+      Report(out, DiagnosticCode::kCertificateMalformed, "counterexample",
+             "naive re-evaluation exhausted its step budget");
+      return out;
+    }
+    if (!(*l1)[located]) {
+      Report(out, DiagnosticCode::kContainmentCertificateRejected,
+             "counterexample",
+             "q1 does not locate the claimed node of the counterexample");
+    }
+    if ((*l2)[located]) {
+      Report(out, DiagnosticCode::kContainmentCertificateRejected,
+             "counterexample",
+             "q2 also locates the claimed node — the document separates "
+             "nothing");
+    }
+    return out;
+  }
+
+  if (result.counterexample.has_value()) {
+    Report(out, DiagnosticCode::kContainmentCertificateRejected, "verdict",
+           "contained verdict carries a counterexample document");
+    return out;
+  }
+  // Containment: our own usable-state fixpoint over the witnessed product
+  // (bottom-up derivability, then co-reachability from the final language)
+  // must find no state q1 marks that q2 does not.
+  Bitset derivable(np);
+  for (const auto& [x, states] : product.var_map()) {
+    for (HState q : states) derivable.Set(q);
+  }
+  for (const auto& [z, states] : product.subst_map()) {
+    for (HState q : states) derivable.Set(q);
+  }
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nha::Rule& rule : product.rules()) {
+      if (derivable.Test(rule.target)) continue;
+      if (AcceptsOverAlphabet(rule.content, derivable)) {
+        derivable.Set(rule.target);
+        changed = true;
+      }
+    }
+  }
+  Bitset co = LettersOnAcceptingPaths(product.final_nfa(), derivable, np);
+  changed = true;
+  while (changed) {
+    changed = false;
+    for (const Nha::Rule& rule : product.rules()) {
+      if (!co.Test(rule.target)) continue;
+      Bitset usable = LettersOnAcceptingPaths(rule.content, derivable, np);
+      Bitset before = co;
+      co |= usable;
+      if (!(co == before)) changed = true;
+    }
+  }
+  Bitset useful = derivable;
+  useful &= co;
+  for (size_t p = 0; p < np; ++p) {
+    if (useful.Test(static_cast<uint32_t>(p)) && witness.marked1[p] &&
+        !witness.marked2[p]) {
+      Report(out, DiagnosticCode::kContainmentCertificateRejected,
+             StrCat("state/", p),
+             "a usable product state is marked by q1 but not q2 — the "
+             "verdict cannot be \"contained\"");
+      break;
+    }
+  }
+  return out;
+}
+
 std::vector<Diagnostic> CheckCertificate(const Certificate& cert) {
-  if (cert.kind == CertificateKind::kDeterminize) {
-    automata::Determinized output{cert.dha, cert.subsets};
-    return CheckDeterminize(cert.input, output, cert.det);
+  switch (cert.kind) {
+    case CertificateKind::kDeterminize: {
+      automata::Determinized output{cert.dha, cert.subsets};
+      return CheckDeterminize(cert.input, output, cert.det);
+    }
+    case CertificateKind::kTrim:
+      return CheckTrim(cert.input, cert.trimmed, cert.trim);
+    case CertificateKind::kMinimize:
+      return CheckMinimize(cert.min_input, cert.min_output, cert.min);
+    case CertificateKind::kContainment: {
+      if (!cert.q1.has_value() || !cert.q2.has_value()) {
+        std::vector<Diagnostic> out;
+        Report(out, DiagnosticCode::kCertificateMalformed, "containment",
+               "certificate carries no parsed queries");
+        return out;
+      }
+      schema::Schema schema(cert.input);
+      return CheckContainment(schema, *cert.q1, *cert.q2, cert.containment,
+                              cert.cont);
+    }
   }
   return CheckTrim(cert.input, cert.trimmed, cert.trim);
 }

@@ -11,6 +11,7 @@
 #include "lint/diagnostics.h"
 #include "query/phr_compile.h"
 #include "schema/match_identify.h"
+#include "schema/transform.h"
 #include "verify/certificate.h"
 
 namespace hedgeq::verify {
@@ -32,6 +33,12 @@ namespace hedgeq::verify {
 ///   HQV006 compile-witness-rejected         Lemma 1 trace accounting
 ///   HQV007 lazy-audit-mismatch              memoized lazy step mismatch
 ///   HQV008 projection-homomorphism-violated Theorem 5 product projection
+///   HQV010 minimize-witness-rejected        partition not a congruence /
+///                                           final language not preserved
+///   HQV011 phr-product-incoherent           Theorem 4 class product or
+///                                           mirror disagrees with recompute
+///   HQV012 containment-certificate-rejected verdict contradicts the product
+///                                           witness or its counterexample
 ///
 /// All checks run in time near-linear in the size of the certificate
 /// (output automaton + witness sets); an empty result means the
@@ -73,6 +80,36 @@ std::vector<lint::Diagnostic> CheckLazyAudit(
 std::vector<lint::Diagnostic> CheckProjection(
     const schema::MatchIdentifying& mi, const query::CompiledPhr& compiled,
     const hedge::Hedge& doc);
+
+/// Validates one MinimizeDha run: the witnessed partition must be a
+/// congruence (h-start, sink, every HNext/Assign/variable/substitution
+/// entry commutes through the block maps, no output entry lacks a
+/// preimage) and the quotient's final DFA must accept exactly the
+/// block-renamed final language of the input — established by a product
+/// walk, never by re-running the refinement.
+std::vector<lint::Diagnostic> CheckMinimize(
+    const automata::Dha& input, const automata::Dha& output,
+    const automata::MinimizeWitness& witness);
+
+/// Validates a Theorem 4 compilation end to end: every lifted component
+/// DFA against its witnessed final NFA, the class product against an
+/// independent tuple walk of the components, the elder/younger acceptance
+/// maps against the tuple coordinates, the xi-image substitution against
+/// a recomputed regex automaton, and the mirror against a reversed-subset
+/// simulation of L.
+std::vector<lint::Diagnostic> CheckPhrProduct(
+    const phr::Phr& phr, const query::CompiledPhr& compiled,
+    const query::PhrWitness& witness);
+
+/// Validates one QueryContainment verdict: on "not contained" the
+/// counterexample document must be schema-valid and located by q1 but not
+/// q2 (re-evaluated through the naive Definition 22 oracle); on
+/// "contained" an independent usable-state fixpoint over the witnessed
+/// product must find no state marked by q1 only.
+std::vector<lint::Diagnostic> CheckContainment(
+    const schema::Schema& schema, const query::SelectionQuery& q1,
+    const query::SelectionQuery& q2, const schema::ContainmentResult& result,
+    const schema::ContainmentWitness& witness);
 
 /// Dispatches a deserialized certificate to the matching checker (after
 /// cross-field shape validation).

@@ -1,14 +1,17 @@
 // Inline certification: when this translation unit is linked into a binary
-// (HEDGEQ_CERTIFY=ON builds), every Determinize and PruneNha call in the
-// process records a witness and has it validated by the independent checker
-// before the result is returned — translation validation as a standing
-// invariant of sanitizer builds, not just a test.
+// (HEDGEQ_CERTIFY=ON builds), every Determinize, PruneNha, MinimizeDha,
+// CompilePhr and QueryContainment call in the process records a witness and
+// has it validated by the independent checker before the result is
+// returned — translation validation as a standing invariant of sanitizer
+// builds, not just a test.
 //
 // Kept as a separate object library: a static-library member with nothing
 // but a global constructor would be dropped by the linker.
 
 #include "automata/analysis.h"
 #include "automata/determinize.h"
+#include "query/phr_compile.h"
+#include "schema/transform.h"
 #include "verify/checker.h"
 
 namespace hedgeq::verify {
@@ -26,6 +29,25 @@ struct Installer {
         [](const automata::Nha& input, const automata::Nha& output,
            const automata::TrimWitness& witness) {
           return DiagnosticsToStatus(CheckTrim(input, output, witness));
+        });
+    automata::SetMinimizeValidationHook(
+        [](const automata::Dha& input, const automata::Dha& output,
+           const automata::MinimizeWitness& witness) {
+          return DiagnosticsToStatus(CheckMinimize(input, output, witness));
+        });
+    query::SetPhrProductValidationHook(
+        [](const phr::Phr& phr, const query::CompiledPhr& compiled,
+           const query::PhrWitness& witness) {
+          return DiagnosticsToStatus(
+              CheckPhrProduct(phr, compiled, witness));
+        });
+    schema::SetContainmentValidationHook(
+        [](const schema::Schema& input, const query::SelectionQuery& q1,
+           const query::SelectionQuery& q2,
+           const schema::ContainmentResult& result,
+           const schema::ContainmentWitness& witness) {
+          return DiagnosticsToStatus(
+              CheckContainment(input, q1, q2, result, witness));
         });
   }
 };

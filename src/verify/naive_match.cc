@@ -3,6 +3,11 @@
 #include <span>
 #include <vector>
 
+#include "hedge/pointed.h"
+#include "phr/phr.h"
+#include "strre/ops.h"
+#include "util/bitset.h"
+
 namespace hedgeq::verify {
 
 namespace {
@@ -145,6 +150,105 @@ std::optional<bool> NaiveHreMatch(const hre::Hre& e, const hedge::Hedge& h,
   bool verdict = matcher.Match(h.roots(), e.get(), -1);
   if (matcher.overflowed()) return std::nullopt;
   return verdict;
+}
+
+namespace {
+
+// Marked-set simulation of a Thompson NFA over letter *choices*: position i
+// of the word may read any letter in choices[i]. Local re-implementation so
+// the selection oracle does not lean on strre::AcceptsChoices.
+bool RegexAcceptsChoices(const strre::Nfa& nfa,
+                         const std::vector<std::vector<strre::Symbol>>&
+                             choices) {
+  if (nfa.num_states() == 0 || nfa.start() == strre::kNoState) return false;
+  auto close = [&](Bitset& set) {
+    std::vector<uint32_t> queue = set.ToVector();
+    while (!queue.empty()) {
+      uint32_t s = queue.back();
+      queue.pop_back();
+      for (strre::StateId t : nfa.EpsilonsFrom(s)) {
+        if (!set.Test(t)) {
+          set.Set(t);
+          queue.push_back(t);
+        }
+      }
+    }
+  };
+  Bitset cur(nfa.num_states());
+  cur.Set(nfa.start());
+  close(cur);
+  for (const std::vector<strre::Symbol>& letters : choices) {
+    Bitset next(nfa.num_states());
+    for (uint32_t s : cur.ToVector()) {
+      for (const strre::Nfa::Transition& t : nfa.TransitionsFrom(s)) {
+        for (strre::Symbol a : letters) {
+          if (t.symbol == a) {
+            next.Set(t.to);
+            break;
+          }
+        }
+      }
+    }
+    close(next);
+    cur = std::move(next);
+  }
+  for (uint32_t s : cur.ToVector()) {
+    if (nfa.IsAccepting(s)) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+std::optional<std::vector<bool>> NaiveSelectionLocate(
+    const query::SelectionQuery& query, const hedge::Hedge& doc,
+    const NaiveMatchOptions& options) {
+  const strre::Nfa regex_nfa = strre::CompileRegex(query.envelope.regex());
+  const std::vector<phr::PointedBaseRep>& triplets =
+      query.envelope.triplets();
+  std::vector<bool> located(doc.num_nodes(), false);
+  for (hedge::NodeId n = 0; n < doc.num_nodes(); ++n) {
+    if (doc.label(n).kind != hedge::LabelKind::kSymbol) continue;
+    if (query.subhedge != nullptr) {
+      std::optional<bool> sub =
+          NaiveHreMatch(query.subhedge, doc.SubhedgeOf(n), options);
+      if (!sub.has_value()) return std::nullopt;
+      if (!*sub) continue;
+    }
+    const Hedge env = doc.EnvelopeOf(n);
+    std::optional<hedge::NodeId> eta = hedge::FindEta(env);
+    if (!eta.has_value()) continue;
+    if (env.parent(*eta) == hedge::kNullNode) {
+      // Bare eta: only the empty base word reads it.
+      located[n] = env.num_nodes() == 1 && RegexAcceptsChoices(regex_nfa, {});
+      continue;
+    }
+    const std::vector<hedge::PointedBase> bases = hedge::Decompose(env);
+    std::vector<std::vector<strre::Symbol>> choices(bases.size());
+    bool dead = false;
+    for (size_t i = 0; i < bases.size() && !dead; ++i) {
+      for (size_t t = 0; t < triplets.size(); ++t) {
+        const phr::PointedBaseRep& rep = triplets[t];
+        if (rep.label != bases[i].label) continue;
+        if (rep.elder != nullptr) {
+          std::optional<bool> m =
+              NaiveHreMatch(rep.elder, bases[i].elder, options);
+          if (!m.has_value()) return std::nullopt;
+          if (!*m) continue;
+        }
+        if (rep.younger != nullptr) {
+          std::optional<bool> m =
+              NaiveHreMatch(rep.younger, bases[i].younger, options);
+          if (!m.has_value()) return std::nullopt;
+          if (!*m) continue;
+        }
+        choices[i].push_back(static_cast<strre::Symbol>(t));
+      }
+      dead = choices[i].empty();
+    }
+    located[n] = !dead && RegexAcceptsChoices(regex_nfa, choices);
+  }
+  return located;
 }
 
 }  // namespace hedgeq::verify

@@ -3,9 +3,11 @@
 
 #include <cstddef>
 #include <optional>
+#include <vector>
 
 #include "hedge/hedge.h"
 #include "hre/ast.h"
+#include "query/selection.h"
 
 namespace hedgeq::verify {
 
@@ -24,6 +26,21 @@ struct NaiveMatchOptions {
 /// Returns nullopt when the step budget is exhausted before a verdict.
 std::optional<bool> NaiveHreMatch(const hre::Hre& e, const hedge::Hedge& h,
                                   const NaiveMatchOptions& options = {});
+
+/// Reference selection evaluator: Definition 22 computed literally, per
+/// node — the subhedge condition via NaiveHreMatch on the extracted
+/// subhedge, the envelope condition by decomposing the extracted envelope
+/// into pointed bases and testing every triplet with NaiveHreMatch, then
+/// simulating the PHR regex over the resulting letter choices with a local
+/// marked-set walk. Shares nothing with the Theorem 3/4 evaluator pipeline
+/// (no DHA, no class product, no mirror automaton), so it anchors the
+/// selection-semantics oracle and CheckContainment's counterexample replay.
+///
+/// located[n] == true iff node n is located. Returns nullopt when some
+/// triplet test exhausts the step budget before a verdict.
+std::optional<std::vector<bool>> NaiveSelectionLocate(
+    const query::SelectionQuery& query, const hedge::Hedge& doc,
+    const NaiveMatchOptions& options = {});
 
 }  // namespace hedgeq::verify
 

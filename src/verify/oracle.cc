@@ -311,4 +311,161 @@ Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
   return report;
 }
 
+namespace {
+
+// One engine's located node set for a document.
+struct NodeSetVerdict {
+  const char* engine;
+  std::vector<bool> located;
+};
+
+std::string FormatNodeSet(const std::vector<bool>& located) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t n = 0; n < located.size(); ++n) {
+    if (!located[n]) continue;
+    if (!first) out += ",";
+    out += StrCat(n);
+    first = false;
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+Result<SelectionOracleReport> RunSelectionOracle(
+    const query::SelectionQuery& query, hedge::Vocabulary& vocab,
+    const OracleOptions& options) {
+  SelectionOracleReport report;
+
+  // Label universe: every label of the subhedge expression and of the
+  // triplets (conditions and element labels), plus one fresh symbol.
+  EnumVocab ev;
+  {
+    std::set<const hre::HreNode*> seen;
+    std::set<InternId> symbols, variables, substs;
+    CollectLabels(query.subhedge.get(), seen, symbols, variables, substs);
+    for (const phr::PointedBaseRep& t : query.envelope.triplets()) {
+      symbols.insert(t.label);
+      CollectLabels(t.elder.get(), seen, symbols, variables, substs);
+      CollectLabels(t.younger.get(), seen, symbols, variables, substs);
+    }
+    symbols.insert(vocab.symbols.Intern("_oracle_fresh"));
+    ev.symbols.assign(symbols.begin(), symbols.end());
+    ev.variables.assign(variables.begin(), variables.end());
+    ev.substs.assign(substs.begin(), substs.end());
+  }
+
+  // Panel: production evaluator under the caller's budget, the same
+  // evaluator forced onto its lazy engines by a starvation budget, the
+  // NaivePhrMatcher-based reference, and the independent enumerator.
+  Result<query::SelectionEvaluator> eager =
+      query::SelectionEvaluator::Create(query, options.budget);
+  if (!eager.ok()) return eager.status();
+  report.eager_available = !eager->fallback_used();
+  std::optional<query::SelectionEvaluator> lazy;
+  {
+    ExecBudget starve = options.budget;
+    starve.max_states = 1;
+    Result<query::SelectionEvaluator> forced =
+        query::SelectionEvaluator::Create(query, starve);
+    if (forced.ok()) {
+      lazy = std::move(forced).value();
+    } else if (!IsDegradable(forced.status().code())) {
+      return forced.status();
+    }
+  }
+  query::NaiveSelectionEvaluator matcher(query);
+
+  auto panel_of = [&](const Hedge& h,
+                      bool count) -> std::vector<NodeSetVerdict> {
+    if (count) ++report.hedges_checked;
+    std::vector<NodeSetVerdict> panel;
+    panel.push_back({"evaluator", eager->Locate(h)});
+    if (lazy.has_value()) panel.push_back({"lazy", lazy->Locate(h)});
+    panel.push_back({"matcher", matcher.Locate(h)});
+    std::optional<std::vector<bool>> naive = NaiveSelectionLocate(
+        query, h, NaiveMatchOptions{options.naive_max_steps});
+    if (naive.has_value()) {
+      panel.push_back({"naive", std::move(naive).value()});
+    } else if (count) {
+      ++report.naive_unknown;
+    }
+    return panel;
+  };
+
+  // First node where any engine's set differs from the first engine's;
+  // nullopt when the panel agrees everywhere.
+  auto first_disagreement =
+      [](const std::vector<NodeSetVerdict>& panel) -> std::optional<NodeId> {
+    for (const NodeSetVerdict& v : panel) {
+      for (size_t n = 0; n < v.located.size(); ++n) {
+        if (v.located[n] != panel[0].located[n]) {
+          return static_cast<NodeId>(n);
+        }
+      }
+    }
+    return std::nullopt;
+  };
+
+  auto check = [&](const Hedge& h) -> bool {  // false stops the corpus walk
+    std::vector<NodeSetVerdict> panel = panel_of(h, /*count=*/true);
+    std::optional<NodeId> node = first_disagreement(panel);
+    if (node.has_value()) {
+      Hedge reported = h;
+      if (options.shrink) {
+        size_t spent = 0;
+        Hedge small = ShrinkHedge(
+            h,
+            [&](const Hedge& candidate) {
+              return first_disagreement(panel_of(candidate, /*count=*/false))
+                  .has_value();
+            },
+            options.shrink_max_checks, &spent);
+        report.shrink_checks += spent;
+        if (small.num_nodes() < h.num_nodes()) {
+          reported = std::move(small);
+          panel = panel_of(reported, /*count=*/false);
+          node = first_disagreement(panel);
+        }
+      }
+      lint::Diagnostic d;
+      d.severity = lint::Severity::kError;
+      d.code = lint::DiagnosticCode::kSelectionDisagreement;
+      d.span = StrCat("hedge/", reported.ToString(vocab));
+      std::string message =
+          StrCat("selection engines disagree at node ", node.value_or(0), ":");
+      for (const NodeSetVerdict& v : panel) {
+        message += StrCat(" ", v.engine, "=", FormatNodeSet(v.located));
+      }
+      if (reported.num_nodes() < h.num_nodes()) {
+        message += StrCat(" (shrunk from ", h.num_nodes(), "-node hedge ",
+                          h.ToString(vocab), ")");
+      }
+      d.message = std::move(message);
+      report.diagnostics.push_back(std::move(d));
+    }
+    return report.diagnostics.size() < kMaxFindings;
+  };
+
+  bool keep_going = true;
+  for (size_t size = 0; size <= options.max_size && keep_going; ++size) {
+    size_t cap = options.max_exhaustive - report.enumerated;
+    report.enumerated += EnumerateHedges(ev, size, cap, [&](const Hedge& h) {
+      keep_going = check(h);
+      return keep_going;
+    });
+  }
+  SplitMix64 rng(options.seed);
+  for (size_t i = 0; i < options.samples && keep_going; ++i) {
+    Hedge h = SampleHedge(ev, options.sample_size, rng);
+    if (h.empty() && options.sample_size > 0) break;  // empty vocabulary
+    ++report.sampled;
+    keep_going = check(h);
+  }
+
+  return report;
+}
+
 }  // namespace hedgeq::verify

@@ -8,6 +8,7 @@
 #include "hedge/hedge.h"
 #include "hre/ast.h"
 #include "lint/diagnostics.h"
+#include "query/selection.h"
 #include "util/budget.h"
 #include "util/status.h"
 
@@ -67,6 +68,37 @@ struct OracleReport {
 Result<OracleReport> RunDifferentialOracle(const hre::Hre& e,
                                            hedge::Vocabulary& vocab,
                                            const OracleOptions& options = {});
+
+struct SelectionOracleReport {
+  /// HQV013 findings, one per hedge on which the engines' located node
+  /// sets differ (capped).
+  std::vector<lint::Diagnostic> diagnostics;
+  size_t hedges_checked = 0;
+  size_t enumerated = 0;
+  size_t sampled = 0;
+  size_t naive_unknown = 0;  // reference evaluator hit its step cap
+  size_t shrink_checks = 0;
+  /// False when the production evaluator degraded to a lazy engine; the
+  /// explicitly lazy panel member then still covers that code path twice.
+  bool eager_available = false;
+
+  bool ok() const { return diagnostics.empty(); }
+};
+
+/// Differential testing of *selection semantics* (Definition 22): every
+/// engine that can locate nodes — the Theorem 3/4 production evaluator
+/// (PhrEvaluator + subhedge DHA), the same evaluator forced onto its lazy
+/// engines, the NaivePhrMatcher-based reference evaluator, and the fully
+/// independent naive marked-computation enumerator
+/// (verify::NaiveSelectionLocate) — runs over the same bounded-exhaustive
+/// plus random-sampled corpus as RunDifferentialOracle, and the located
+/// node sets are compared element by element. Any difference is an HQV013
+/// finding naming the hedge, the first disagreeing node and each engine's
+/// node set; with options.shrink the hedge is delta-debugged first under
+/// the predicate "the panel still disagrees on some node".
+Result<SelectionOracleReport> RunSelectionOracle(
+    const query::SelectionQuery& query, hedge::Vocabulary& vocab,
+    const OracleOptions& options = {});
 
 /// Greedy delta debugging over hedges: repeatedly applies the smallest
 /// structural reductions — delete a subtree (including a whole top-level

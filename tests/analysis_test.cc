@@ -232,6 +232,52 @@ TEST_F(MinimizeDhaTest, AgreesOnPaperExamples) {
   }
 }
 
+TEST_F(MinimizeDhaTest, WitnessMapsEveryStateOntoTheQuotient) {
+  for (const char* expr : {"(a|b) c", "a<b c>*", "(a<(b|$x)*>|b)*"}) {
+    Dha dha = Determinized(expr);
+    MinimizeWitness witness;
+    Dha min = MinimizeDha(dha, &witness);
+
+    ASSERT_EQ(witness.qblock.size(), dha.num_states()) << expr;
+    ASSERT_EQ(witness.hblock.size(), dha.num_h_states()) << expr;
+
+    // Every input state lands inside the quotient, and every quotient
+    // state is some block's image — the witness is a total surjection.
+    std::vector<bool> q_hit(min.num_states(), false);
+    for (uint32_t block : witness.qblock) {
+      ASSERT_LT(block, min.num_states()) << expr;
+      q_hit[block] = true;
+    }
+    std::vector<bool> h_hit(min.num_h_states(), false);
+    for (uint32_t block : witness.hblock) {
+      ASSERT_LT(block, min.num_h_states()) << expr;
+      h_hit[block] = true;
+    }
+    for (size_t q = 0; q < q_hit.size(); ++q)
+      EXPECT_TRUE(q_hit[q]) << expr << ": unreached quotient state " << q;
+    for (size_t h = 0; h < h_hit.size(); ++h)
+      EXPECT_TRUE(h_hit[h]) << expr << ": unreached quotient h-state " << h;
+  }
+}
+
+TEST_F(MinimizeDhaTest, WitnessRecordsTheMergeItPerformed) {
+  // (a|b) c strictly shrinks, so some pair of distinct input states must
+  // share a block — the witness names the merge instead of hiding it.
+  Dha dha = Determinized("(a|b) c");
+  MinimizeWitness witness;
+  Dha min = MinimizeDha(dha, &witness);
+  ASSERT_LT(min.num_states(), dha.num_states());
+
+  bool merged = false;
+  for (size_t i = 0; i < witness.qblock.size() && !merged; ++i)
+    for (size_t j = i + 1; j < witness.qblock.size(); ++j)
+      if (witness.qblock[i] == witness.qblock[j]) {
+        merged = true;
+        break;
+      }
+  EXPECT_TRUE(merged) << "strict shrink with no shared block in the witness";
+}
+
 struct AmbiguityCase {
   const char* expr;
   bool ambiguous;

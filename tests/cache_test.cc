@@ -7,6 +7,7 @@
 // failure mode degrades to the cost of a cold run, never a wrong answer.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -24,6 +25,7 @@
 #include "obs/obs.h"
 #include "util/budget.h"
 #include "util/failpoint.h"
+#include "verify/certificate.h"
 
 namespace hedgeq::cache {
 namespace {
@@ -391,6 +393,128 @@ TEST_F(CacheTest, ValidatedHitSkipsTheDeterminizeStageSpan) {
       << "a validated hit must not open the determinize stage span";
   EXPECT_GE(span_count(obs::spans::kCacheLoad), 2u);
   EXPECT_EQ(obs::Registry().GetCounter(obs::metrics::kCacheHit)->value(), 1u);
+}
+
+TEST_F(CacheTest, ByteBoundSweepEvictsOldestButNeverJustWrittenEntry) {
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+  cache->set_max_bytes(1);  // smaller than any single entry
+
+  BudgetScope scope{ExecBudget{}};
+  automata::Nha first = Compile("a<b*> | c");
+  automata::DeterminizeWitness w1;
+  auto det1 = automata::Determinize(first, scope, &w1);
+  ASSERT_TRUE(det1.ok()) << det1.status().ToString();
+  cache->Store(first, *det1, w1);
+  // The sole entry exceeds the budget, yet must survive: a cache that
+  // evicts what it just wrote can never serve its own key.
+  EXPECT_TRUE(fs::exists(cache->EntryPathFor(first)));
+  EXPECT_EQ(cache->stats().evictions, 0u);
+
+  // Backdate it so LRU order is unambiguous even on filesystems with
+  // coarse mtime resolution.
+  fs::last_write_time(
+      cache->EntryPathFor(first),
+      fs::file_time_type::clock::now() - std::chrono::hours(1));
+
+  automata::Nha second = Compile("(a|b)* c<$x>");
+  automata::DeterminizeWitness w2;
+  auto det2 = automata::Determinize(second, scope, &w2);
+  ASSERT_TRUE(det2.ok()) << det2.status().ToString();
+  cache->Store(second, *det2, w2);
+
+  EXPECT_FALSE(fs::exists(cache->EntryPathFor(first)))
+      << "over budget, the stale entry must go";
+  EXPECT_TRUE(fs::exists(cache->EntryPathFor(second)))
+      << "the just-written entry is never swept";
+  EXPECT_GE(cache->stats().evictions, 1u);
+
+  automata::Determinized hit = Placeholder();
+  automata::DeterminizeWitness hw;
+  EXPECT_TRUE(cache->Lookup(second, &hit, &hw))
+      << "the survivor must still validate and serve";
+  EXPECT_FALSE(cache->Lookup(first, &hit, &hw));
+}
+
+TEST_F(CacheTest, AgeBoundSweepExpiresStaleEntriesOnStore) {
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+  cache->set_max_age_seconds(60);
+
+  BudgetScope scope{ExecBudget{}};
+  automata::Nha first = Compile("a b*");
+  automata::DeterminizeWitness w1;
+  auto det1 = automata::Determinize(first, scope, &w1);
+  ASSERT_TRUE(det1.ok()) << det1.status().ToString();
+  cache->Store(first, *det1, w1);
+  fs::last_write_time(
+      cache->EntryPathFor(first),
+      fs::file_time_type::clock::now() - std::chrono::hours(2));
+
+  automata::Nha second = Compile("(a|b)*");
+  automata::DeterminizeWitness w2;
+  auto det2 = automata::Determinize(second, scope, &w2);
+  ASSERT_TRUE(det2.ok()) << det2.status().ToString();
+  cache->Store(second, *det2, w2);
+
+  EXPECT_FALSE(fs::exists(cache->EntryPathFor(first)))
+      << "entries past the age bound expire on the next store";
+  EXPECT_TRUE(fs::exists(cache->EntryPathFor(second)));
+  EXPECT_EQ(cache->stats().evictions, 1u);
+}
+
+TEST_F(CacheTest, UnboundedDefaultNeverEvicts) {
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+
+  BudgetScope scope{ExecBudget{}};
+  automata::Nha first = Compile("a<b*> | c");
+  automata::DeterminizeWitness w1;
+  auto det1 = automata::Determinize(first, scope, &w1);
+  ASSERT_TRUE(det1.ok()) << det1.status().ToString();
+  cache->Store(first, *det1, w1);
+  fs::last_write_time(
+      cache->EntryPathFor(first),
+      fs::file_time_type::clock::now() - std::chrono::hours(48));
+
+  automata::Nha second = Compile("(a|b)*");
+  automata::DeterminizeWitness w2;
+  auto det2 = automata::Determinize(second, scope, &w2);
+  ASSERT_TRUE(det2.ok()) << det2.status().ToString();
+  cache->Store(second, *det2, w2);
+
+  EXPECT_TRUE(fs::exists(cache->EntryPathFor(first)))
+      << "with both knobs at 0 nothing is ever swept, however old";
+  EXPECT_TRUE(fs::exists(cache->EntryPathFor(second)));
+  EXPECT_EQ(cache->stats().evictions, 0u);
+}
+
+TEST_F(CacheTest, EntrySwappedToAnotherCertificateKindIsQuarantined) {
+  // A well-formed minimize certificate smuggled into a determinize entry
+  // (header intact, payload length honest) must still be rejected by the
+  // kind check in the validation ladder, not accepted for its shape.
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+  automata::Nha nha = Compile("a<b*> | c");
+
+  BudgetScope scope{ExecBudget{}};
+  automata::DeterminizeWitness witness;
+  auto det = automata::Determinize(nha, scope, &witness);
+  ASSERT_TRUE(det.ok()) << det.status().ToString();
+  cache->Store(nha, *det, witness);
+
+  verify::Certificate min_cert = verify::BuildMinimizeCertificate(det->dha);
+  std::string payload = verify::SerializeCertificate(min_cert, vocab_);
+  std::ostringstream entry;
+  entry << "hqcache 1 determinize " << cache->KeyFor(nha) << " "
+        << payload.size() << "\n"
+        << payload;
+  WriteFile(cache->EntryPathFor(nha), entry.str());
+
+  automata::Determinized out = Placeholder();
+  automata::DeterminizeWitness hw;
+  EXPECT_FALSE(cache->Lookup(nha, &out, &hw));
+  EXPECT_EQ(cache->stats().quarantines, 1u);
+  EXPECT_NE(cache->last_reject_reason().find("not a determinize certificate"),
+            std::string::npos)
+      << cache->last_reject_reason();
+  EXPECT_EQ(QuarantinedEntries().size(), 1u);
 }
 
 TEST_F(CacheTest, OpenFailsCleanlyWhenDirectoryCannotBeCreated) {

@@ -116,6 +116,12 @@ TEST_F(SchemaTest, Errors) {
   EXPECT_FALSE(ParseSchema("start = A\nA = <>", v).ok());
   EXPECT_FALSE(ParseSchema("start = A\nA = $", v).ok());
   EXPECT_FALSE(ParseSchema("bogus line\nstart = A\nA = a<>", v).ok());
+  // A doubled '=' must not produce a symbol literally named "= a" — such
+  // a name cannot survive the whitespace-tokenized serializers (found by
+  // fuzz_containment as a certificate round-trip failure).
+  EXPECT_FALSE(ParseSchema("start = A\nA = = a<>", v).ok());
+  EXPECT_FALSE(ParseSchema("start = A\nA B = a<>", v).ok());
+  EXPECT_FALSE(ParseSchema("start = A\nA = $x y", v).ok());
 }
 
 TEST_F(SchemaTest, EmptinessDetection) {

@@ -12,7 +12,10 @@
 #include "lint/diagnostics.h"
 #include "phr/phr.h"
 #include "query/phr_compile.h"
+#include "query/selection.h"
 #include "schema/match_identify.h"
+#include "schema/schema.h"
+#include "schema/transform.h"
 #include "util/failpoint.h"
 #include "util/rng.h"
 #include "verify/certificate.h"
@@ -650,6 +653,307 @@ TEST_F(VerifyTest, OracleShrinksItsCounterexamples) {
 #ifdef HEDGEQ_CERTIFY
   automata::SetDeterminizeValidationHook(saved);
 #endif
+}
+
+// --- Minimization certificates (HQV010).
+
+TEST_F(VerifyTest, MinimizeCertifiesCleanAcrossSweep) {
+  for (const char* text : kSweep) {
+    SCOPED_TRACE(text);
+    hre::Hre e = Parse(text);
+    BudgetScope scope{ExecBudget{}};
+    auto nha = hre::CompileHre(e, scope);
+    ASSERT_TRUE(nha.ok());
+    auto det = automata::Determinize(*nha, scope);
+    ASSERT_TRUE(det.ok());
+    automata::MinimizeWitness witness;
+    automata::Dha minimal = automata::MinimizeDha(det->dha, &witness);
+    EXPECT_EQ(Render(CheckMinimize(det->dha, minimal, witness)), "");
+  }
+}
+
+TEST_F(VerifyTest, SeededNonBisimilarMergeCaughtByCheckMinimize) {
+  hre::Hre e = Parse("(a<b*> | b<a*>)*");
+  BudgetScope scope{ExecBudget{}};
+  auto nha = hre::CompileHre(e, scope);
+  ASSERT_TRUE(nha.ok());
+  auto det = automata::Determinize(*nha, scope);
+  ASSERT_TRUE(det.ok());
+#ifdef HEDGEQ_CERTIFY
+  // The inline minimize hook aborts on a rejected witness; stand it down
+  // so the seeded bug reaches the independent checker.
+  automata::MinimizeValidationHook saved =
+      automata::GetMinimizeValidationHook();
+  automata::SetMinimizeValidationHook(nullptr);
+#endif
+  failpoint::Arm("minimize/merge-nonbisimilar");
+  automata::MinimizeWitness witness;
+  automata::Dha merged = automata::MinimizeDha(det->dha, &witness);
+  std::vector<Diagnostic> diagnostics =
+      CheckMinimize(det->dha, merged, witness);
+  EXPECT_TRUE(HasCode(diagnostics, DiagnosticCode::kMinimizeWitnessRejected))
+      << Render(diagnostics);
+  failpoint::DisarmAll();
+#ifdef HEDGEQ_CERTIFY
+  automata::SetMinimizeValidationHook(saved);
+#endif
+  // Disarmed, the same pipeline certifies clean again.
+  automata::MinimizeWitness clean;
+  automata::Dha minimal = automata::MinimizeDha(det->dha, &clean);
+  EXPECT_EQ(Render(CheckMinimize(det->dha, minimal, clean)), "");
+}
+
+TEST_F(VerifyTest, TamperedMinimizeWitnessRejected) {
+  hre::Hre e = Parse("(a<b*> | b<a*>)*");
+  BudgetScope scope{ExecBudget{}};
+  auto nha = hre::CompileHre(e, scope);
+  ASSERT_TRUE(nha.ok());
+  auto det = automata::Determinize(*nha, scope);
+  ASSERT_TRUE(det.ok());
+  automata::MinimizeWitness witness;
+  automata::Dha minimal = automata::MinimizeDha(det->dha, &witness);
+  ASSERT_GE(witness.qblock.size(), 2u);
+  // Rerouting one input state to a different block must break either the
+  // congruence or the final-language check — never pass silently.
+  automata::MinimizeWitness tampered = witness;
+  tampered.qblock[0] =
+      (tampered.qblock[0] + 1) % minimal.num_states();
+  EXPECT_FALSE(CheckMinimize(det->dha, minimal, tampered).empty());
+}
+
+// --- Theorem 4 product witnesses (HQV011).
+
+TEST_F(VerifyTest, PhrProductWitnessCertifiesClean) {
+  for (const char* text :
+       {"[a0*; a1; *] (a0|a1|a2)*", "[(); a0; a1] [a1; a0; ()]",
+        "[(a0|$x)*; a1; *] (a0|a1)*"}) {
+    SCOPED_TRACE(text);
+    auto phr = phr::ParsePhr(text, vocab_);
+    ASSERT_TRUE(phr.ok());
+    BudgetScope scope{ExecBudget{}};
+    query::PhrWitness witness;
+    auto compiled = query::CompilePhr(*phr, scope, &witness);
+    ASSERT_TRUE(compiled.ok());
+    EXPECT_EQ(Render(CheckPhrProduct(*phr, *compiled, witness)), "");
+  }
+}
+
+TEST_F(VerifyTest, TamperedPhrProductWitnessRejected) {
+  auto phr = phr::ParsePhr("[a0*; a1; *] (a0|a1|a2)*", vocab_);
+  ASSERT_TRUE(phr.ok());
+  BudgetScope scope{ExecBudget{}};
+  query::PhrWitness witness;
+  auto compiled = query::CompilePhr(*phr, scope, &witness);
+  ASSERT_TRUE(compiled.ok());
+  // Claiming the elder-class component accepts everything breaks the
+  // saturation tables against the recomputed component acceptance.
+  query::PhrWitness tampered = witness;
+  ASSERT_FALSE(tampered.elder_any.empty());
+  tampered.elder_any[0] = !tampered.elder_any[0];
+  std::vector<Diagnostic> diagnostics =
+      CheckPhrProduct(*phr, *compiled, tampered);
+  EXPECT_FALSE(diagnostics.empty());
+}
+
+// --- Containment certificates (HQV012).
+
+constexpr const char* kContainGrammar =
+    "start = Doc\nDoc = doc<A*>\nA = a<B*>\nB = b<>\n";
+
+TEST_F(VerifyTest, ContainmentCertificateBothVerdictsCheckClean) {
+  auto schema = schema::ParseSchema(kContainGrammar, vocab_);
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  const char* at_least_one = "select(a<b b*>; [(); doc; ()])";
+  const char* exactly_one = "select(a<b>; [(); doc; ()])";
+
+  auto contained = BuildContainmentCertificate(*schema, exactly_one,
+                                               at_least_one, vocab_);
+  ASSERT_TRUE(contained.ok()) << contained.status().ToString();
+  EXPECT_TRUE(contained->containment.contained);
+  EXPECT_EQ(Render(CheckCertificate(*contained)), "");
+
+  auto separated = BuildContainmentCertificate(*schema, at_least_one,
+                                               exactly_one, vocab_);
+  ASSERT_TRUE(separated.ok());
+  EXPECT_FALSE(separated->containment.contained);
+  ASSERT_TRUE(separated->containment.counterexample.has_value());
+  EXPECT_EQ(Render(CheckCertificate(*separated)), "");
+}
+
+TEST_F(VerifyTest, SeededFlippedContainmentVerdictCaught) {
+  auto schema = schema::ParseSchema(kContainGrammar, vocab_);
+  ASSERT_TRUE(schema.ok());
+#ifdef HEDGEQ_CERTIFY
+  schema::ContainmentValidationHook saved =
+      schema::GetContainmentValidationHook();
+  schema::SetContainmentValidationHook(nullptr);
+#endif
+  failpoint::Arm("containment/flip-verdict");
+  auto cert = BuildContainmentCertificate(
+      *schema, "select(a<b b*>; [(); doc; ()])",
+      "select(a<b>; [(); doc; ()])", vocab_);
+  ASSERT_TRUE(cert.ok()) << cert.status().ToString();
+  // The flip turned a separation into a claimed containment; the marked
+  // fixpoint replay must find the separating product state.
+  EXPECT_TRUE(cert->containment.contained);
+  std::vector<Diagnostic> diagnostics = CheckCertificate(*cert);
+  EXPECT_TRUE(
+      HasCode(diagnostics, DiagnosticCode::kContainmentCertificateRejected))
+      << Render(diagnostics);
+  failpoint::DisarmAll();
+#ifdef HEDGEQ_CERTIFY
+  schema::SetContainmentValidationHook(saved);
+#endif
+}
+
+TEST_F(VerifyTest, NewCertificateKindsRoundTripByteIdentically) {
+  // Minimize: build from a determinized sweep expression.
+  for (const char* text : {"a<b*> | c", "(a<b*> | b<a*>)*"}) {
+    SCOPED_TRACE(text);
+    hre::Hre e = Parse(text);
+    BudgetScope scope{ExecBudget{}};
+    auto nha = hre::CompileHre(e, scope);
+    ASSERT_TRUE(nha.ok());
+    auto det = automata::Determinize(*nha, scope);
+    ASSERT_TRUE(det.ok());
+    Certificate cert = BuildMinimizeCertificate(det->dha);
+    EXPECT_EQ(Render(CheckCertificate(cert)), "");
+    std::string serialized = SerializeCertificate(cert, vocab_);
+    auto back = DeserializeCertificate(serialized, vocab_);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(SerializeCertificate(*back, vocab_), serialized);
+    EXPECT_EQ(Render(CheckCertificate(*back)), "");
+  }
+  // Containment: both verdict shapes (with and without a counterexample).
+  auto schema = schema::ParseSchema(kContainGrammar, vocab_);
+  ASSERT_TRUE(schema.ok());
+  const char* q1 = "select(a<b b*>; [(); doc; ()])";
+  const char* q2 = "select(a<b>; [(); doc; ()])";
+  for (bool forward : {true, false}) {
+    SCOPED_TRACE(forward);
+    auto cert = forward
+                    ? BuildContainmentCertificate(*schema, q1, q2, vocab_)
+                    : BuildContainmentCertificate(*schema, q2, q1, vocab_);
+    ASSERT_TRUE(cert.ok());
+    std::string serialized = SerializeCertificate(*cert, vocab_);
+    auto back = DeserializeCertificate(serialized, vocab_);
+    ASSERT_TRUE(back.ok()) << back.status().ToString();
+    EXPECT_EQ(SerializeCertificate(*back, vocab_), serialized);
+    EXPECT_EQ(Render(CheckCertificate(*back)), "");
+  }
+}
+
+// --- The selection-semantics oracle (HQV013).
+
+TEST_F(VerifyTest, SelectionOracleCleanOnRepresentativeQueries) {
+  for (const char* text :
+       {"select(a<b*>; [(); doc; ()])",
+        "select((b|$x)*; [(); a; b] [b; a; ()])", "select(*; a (a|b)*)"}) {
+    SCOPED_TRACE(text);
+    auto query = query::ParseSelectionQuery(text, vocab_);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+    OracleOptions options;
+    options.max_size = 3;
+    options.samples = 8;
+    auto report = RunSelectionOracle(*query, vocab_, options);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(Render(report->diagnostics), "");
+    EXPECT_GT(report->hedges_checked, 0u);
+    EXPECT_GT(report->enumerated, 0u);
+  }
+}
+
+TEST_F(VerifyTest, SeededWrongSelectionCaughtAndShrunk) {
+  auto query =
+      query::ParseSelectionQuery("select(a<b*>; [(); doc; ()])", vocab_);
+  ASSERT_TRUE(query.ok());
+  failpoint::Arm("phr/select-wrong-node");
+  OracleOptions options;
+  options.max_size = 3;
+  options.samples = 4;
+  auto report = RunSelectionOracle(*query, vocab_, options);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_TRUE(
+      HasCode(report->diagnostics, DiagnosticCode::kSelectionDisagreement))
+      << Render(report->diagnostics);
+  EXPECT_GT(report->shrink_checks, 0u);
+  // At least one 3-node disagreement must have been delta-debugged down,
+  // and the finding records the pre-shrink hedge for reproduction.
+  EXPECT_NE(Render(report->diagnostics).find("shrunk from"),
+            std::string::npos)
+      << Render(report->diagnostics);
+  failpoint::DisarmAll();
+
+  // Disarmed, the same query cross-checks clean.
+  auto clean = RunSelectionOracle(*query, vocab_, options);
+  ASSERT_TRUE(clean.ok());
+  EXPECT_EQ(Render(clean->diagnostics), "");
+}
+
+TEST_F(VerifyTest, ShrunkSelectionCounterexampleIsMinimalAndReproduces) {
+  // Shrink a seeded selection disagreement by hand with the public
+  // ShrinkHedge + engine panel, mirroring what the oracle does: the result
+  // must still disagree (reproduction) and be 1-minimal for this bug — a
+  // single parent over the flipped symbol node.
+  auto query =
+      query::ParseSelectionQuery("select(a<b*>; [(); doc; ()])", vocab_);
+  ASSERT_TRUE(query.ok());
+  auto evaluator = query::SelectionEvaluator::Create(*query);
+  ASSERT_TRUE(evaluator.ok()) << evaluator.status().ToString();
+  auto disagrees = [&](const Hedge& h) {
+    std::vector<bool> eager = evaluator->Locate(h);
+    std::optional<std::vector<bool>> naive = NaiveSelectionLocate(*query, h);
+    return naive.has_value() && eager != *naive;
+  };
+
+  failpoint::Arm("phr/select-wrong-node");
+  // Node 0's content matches the subhedge, so the flipped envelope mark is
+  // visible through the conjunction with the subhedge marks.
+  Hedge start = ParseH("doc<a<b b>> b");
+  ASSERT_TRUE(disagrees(start));
+  size_t checks = 0;
+  Hedge small = ShrinkHedge(start, disagrees, /*max_checks=*/512, &checks);
+  EXPECT_TRUE(disagrees(small)) << small.ToString(vocab_);
+  EXPECT_LT(small.num_nodes(), start.num_nodes());
+  // 1-minimal for this bug: a subhedge-matching node needs one child, so
+  // two nodes is the floor and the shrinker must land exactly there.
+  EXPECT_EQ(small.num_nodes(), 2u) << small.ToString(vocab_);
+  EXPECT_GT(checks, 0u);
+  failpoint::DisarmAll();
+  EXPECT_FALSE(disagrees(small)) << "disarmed engines must agree again";
+}
+
+// --- The naive selection enumerator: pinned Definition 22 semantics.
+
+TEST_F(VerifyTest, NaiveSelectionLocatePinnedSemantics) {
+  auto query =
+      query::ParseSelectionQuery("select(a<b*>; [(); doc; ()])", vocab_);
+  ASSERT_TRUE(query.ok());
+  struct Case {
+    const char* hedge;
+    std::vector<hedge::NodeId> expect;
+  };
+  const Case cases[] = {
+      // The doc node's content matches a<b*> and its envelope (no elder,
+      // no younger, root) matches [(); doc; ()].
+      {"doc<a>", {0}},
+      {"doc<a<b b>>", {0}},  // the subhedge allows any number of bs
+      {"doc<a<c>>", {}},     // content does not match the subhedge
+      {"a", {}},             // wrong label for the envelope triplet
+      {"doc<a> doc<a>", {}},  // siblings break the () elder/younger regexes
+  };
+  for (const Case& c : cases) {
+    SCOPED_TRACE(c.hedge);
+    Hedge h = ParseH(c.hedge);
+    std::optional<std::vector<bool>> located =
+        NaiveSelectionLocate(*query, h);
+    ASSERT_TRUE(located.has_value());
+    std::vector<hedge::NodeId> got;
+    for (hedge::NodeId n = 0; n < h.num_nodes(); ++n) {
+      if ((*located)[n]) got.push_back(n);
+    }
+    EXPECT_EQ(got, c.expect);
+  }
 }
 
 }  // namespace

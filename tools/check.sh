@@ -29,7 +29,7 @@ cmake --build --preset asan --target lint
 step "fuzzer smoke (${FUZZ_SECONDS}s per harness)"
 # Under clang these are libFuzzer binaries; under gcc the standalone driver
 # provides the same --smoke interface (deterministic mutation loop).
-for harness in fuzz_xml fuzz_hre fuzz_certify; do
+for harness in fuzz_xml fuzz_hre fuzz_certify fuzz_containment; do
   bin="${BUILD_DIR}/fuzz/${harness}"
   corpus="${REPO_ROOT}/fuzz/corpus/${harness#fuzz_}"
   if [[ -x "${bin}" ]]; then
@@ -60,9 +60,56 @@ VERIFY="${BUILD_DIR}/tools/hedgeq_verify"
 "${VERIFY}" expr 'b @z (a<%z> a<%z>)^z' 2>/dev/null
 "${VERIFY}" expr 'article<section* figure>*' 2>/dev/null
 "${VERIFY}" query 'select(*; figure (section|article)*)'
+# Certify minimization, the Theorem 4 class product, query containment in
+# both verdict directions, and cross-run every selection engine.
+"${VERIFY}" minimize '(a<b*> | b<a*>)*' 2>/dev/null
+"${VERIFY}" query 'select((b|$x)*; [(); a; b] [b; a; ()])'
+"${VERIFY}" containment tools/fixtures/containment.grammar \
+  'select(a<b>; [(); doc; ()])' 'select(a<b b*>; [(); doc; ()])' 2>/dev/null
+"${VERIFY}" containment tools/fixtures/containment.grammar \
+  'select(a<b b*>; [(); doc; ()])' 'select(a<b>; [(); doc; ()])' 2>/dev/null
+"${VERIFY}" select-oracle 'select(a<b*>; [(); doc; ()])' 2 8 2>/dev/null
 # Certificates must survive a serialize/deserialize round trip and recheck.
 "${VERIFY}" emit-cert det 'a<b*> | c' | "${VERIFY}" cert -
 "${VERIFY}" emit-cert trim 'a<b*> | c' | "${VERIFY}" cert -
+"${VERIFY}" emit-cert min 'a<b*> | c' | "${VERIFY}" cert -
+"${VERIFY}" emit-cert containment tools/fixtures/containment.grammar \
+  'select(a<b>; [(); doc; ()])' 'select(a<b b*>; [(); doc; ()])' \
+  | "${VERIFY}" cert -
+
+step "seeded bugs (each failpoint must be caught under its own HQV code)"
+SEED_TMP="$(mktemp -d)"
+# A minimizer that merges two non-bisimilar states: CheckMinimize must
+# reject the quotient's final language (HQV010), not trust the partition.
+if "${VERIFY}" --failpoint=minimize/merge-nonbisimilar \
+     minimize '(a<b*> | b<a*>)*' > "${SEED_TMP}/min.out" 2>/dev/null; then
+  echo "FAIL: non-bisimilar merge went uncaught"; exit 1
+fi
+grep -q 'HQV010' "${SEED_TMP}/min.out" \
+  || { echo "FAIL: non-bisimilar merge not reported as HQV010"; exit 1; }
+# A containment decision with its verdict flipped: CheckContainment must
+# find a usable product state separating the marks (HQV012).
+if "${VERIFY}" --failpoint=containment/flip-verdict \
+     containment tools/fixtures/containment.grammar \
+     'select(a<b b*>; [(); doc; ()])' 'select(a<b>; [(); doc; ()])' \
+     > "${SEED_TMP}/cont.out" 2>/dev/null; then
+  echo "FAIL: flipped containment verdict went uncaught"; exit 1
+fi
+grep -q 'HQV012' "${SEED_TMP}/cont.out" \
+  || { echo "FAIL: flipped verdict not reported as HQV012"; exit 1; }
+# An eager evaluator reporting a wrong node set: the selection-semantics
+# oracle must isolate it against the other engines and shrink the
+# counterexample (HQV013).
+if "${VERIFY}" --failpoint=phr/select-wrong-node \
+     select-oracle 'select(a<b*>; [(); doc; ()])' 3 4 \
+     > "${SEED_TMP}/sel.out" 2>/dev/null; then
+  echo "FAIL: wrong selected node set went uncaught"; exit 1
+fi
+grep -q 'HQV013' "${SEED_TMP}/sel.out" \
+  || { echo "FAIL: selection disagreement not reported as HQV013"; exit 1; }
+grep -q 'shrunk from' "${SEED_TMP}/sel.out" \
+  || { echo "FAIL: selection counterexample was not shrunk"; exit 1; }
+rm -rf "${SEED_TMP}"
 
 step "metrics snapshot smoke (stable metric names + trace export)"
 HQ="${BUILD_DIR}/tools/hq"
@@ -129,6 +176,21 @@ grep -q 'HQV' "${CACHE_DIR}"/corrupt/*.reason \
   > /dev/null
 grep -q '"cache.hit": [1-9]' "${CACHE_TMP}/healed.json" \
   || { echo "FAIL: cache did not heal after quarantine"; exit 1; }
+# Eviction: a 1-byte bound forces every store to sweep, yet the entry
+# just written must survive (the cache stays able to serve its own key).
+EVICT_DIR="${CACHE_TMP}/evict"
+"${HQ}" canon tools/fixtures/article.grammar \
+  --cache-dir="${EVICT_DIR}" > /dev/null
+first_entry="$(ls "${EVICT_DIR}"/*.cert | head -1)"
+"${HQ}" query "${CACHE_QUERY}" "${CACHE_TMP}/doc.xml" \
+  --cache-dir="${EVICT_DIR}" --cache-max-bytes=1 \
+  --metrics="${CACHE_TMP}/evict.json" > /dev/null
+grep -q '"cache.evictions": [1-9]' "${CACHE_TMP}/evict.json" \
+  || { echo "FAIL: over-budget store evicted nothing"; exit 1; }
+[[ ! -f "${first_entry}" ]] \
+  || { echo "FAIL: oldest entry survived a 1-byte cache bound"; exit 1; }
+[[ "$(ls "${EVICT_DIR}"/*.cert | wc -l)" -ge 1 ]] \
+  || { echo "FAIL: eviction removed the just-written entry"; exit 1; }
 # An already-expired deadline fails closed (exit 4, kDeadlineExceeded),
 # never with a wrong or partial answer.
 if "${HQ}" canon tools/fixtures/article.grammar --deadline-ms=0 \

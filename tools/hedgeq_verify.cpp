@@ -3,7 +3,11 @@
 //   hedgeq_verify expr '<hedge regular expression>'
 //   hedgeq_verify oracle '<hedge regular expression>' [max_size] [samples]
 //   hedgeq_verify query '<selection query>'
-//   hedgeq_verify emit-cert <det|trim> '<hedge regular expression>'
+//   hedgeq_verify minimize '<hedge regular expression>'
+//   hedgeq_verify containment <schema-file|-> '<q1>' '<q2>'
+//   hedgeq_verify select-oracle '<selection query>' [max_size] [samples]
+//   hedgeq_verify emit-cert <det|trim|min> '<hedge regular expression>'
+//   hedgeq_verify emit-cert containment <schema-file|-> '<q1>' '<q2>'
 //   hedgeq_verify cert <file|->
 //   hedgeq_verify from-json <file|->
 //
@@ -11,10 +15,17 @@
 // subset construction, lazy-evaluation audit — validating every step with
 // the independent checker, then cross-runs all engines on an enumerated +
 // sampled hedge corpus (the differential oracle). `query` validates the
-// shared-automaton determinization inside PHR compilation. `emit-cert`
-// prints a serialized certificate; `cert` re-checks one (possibly from
-// another process or machine). Findings use the HQV0xx code family; pass
-// --json anywhere for the structured report (round-trips via from-json).
+// shared-automaton determinization *and* the Theorem 4 class product /
+// mirror inside PHR compilation. `minimize` determinizes the expression's
+// automaton, minimizes it, and validates the block partition.
+// `containment` decides q1 ⊆ q2 under the schema and validates the verdict
+// (counterexample replay through the naive evaluator on separation).
+// `select-oracle` cross-runs every selection engine — eager, forced-lazy,
+// reference matcher, naive enumerator — and compares located node sets.
+// `emit-cert` prints a serialized certificate; `cert` re-checks one
+// (possibly from another process or machine). Findings use the HQV0xx code
+// family; pass --json anywhere for the structured report (round-trips via
+// from-json).
 //
 // Exit codes: 0 clean, 2 at least one error finding, 1 bad input.
 #include <cstdio>
@@ -31,6 +42,8 @@
 #include "hre/compile.h"
 #include "lint/diagnostics.h"
 #include "query/selection.h"
+#include "schema/schema.h"
+#include "util/failpoint.h"
 #include "verify/certificate.h"
 #include "verify/checker.h"
 #include "verify/enumerate.h"
@@ -179,8 +192,70 @@ int CmdQuery(const std::string& text, bool json) {
   auto compiled = query::CompilePhr(query->envelope, scope, &witness);
   if (!compiled.ok()) return Fail(compiled.status().ToString());
   automata::Determinized det{compiled->dha(), compiled->subsets()};
-  return Emit(verify::CheckDeterminize(witness.union_nha, det, witness.det),
-              json);
+  std::vector<lint::Diagnostic> all;
+  Append(all, verify::CheckDeterminize(witness.union_nha, det, witness.det));
+  Append(all, verify::CheckPhrProduct(query->envelope, *compiled, witness));
+  return Emit(all, json);
+}
+
+int CmdMinimize(const std::string& text, bool json) {
+  // The independent checker runs explicitly below; suppress the inline
+  // hook so a seeded bug (--failpoint) surfaces as a reported finding
+  // instead of aborting inside the construction (HEDGEQ_CERTIFY builds).
+  automata::SetMinimizeValidationHook(nullptr);
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return Fail(e.status().ToString());
+  BudgetScope scope{ExecBudget{}};
+  auto nha = hre::CompileHre(*e, scope);
+  if (!nha.ok()) return Fail(nha.status().ToString());
+  auto det = automata::Determinize(*nha, scope);
+  if (!det.ok()) return Fail(det.status().ToString());
+  verify::Certificate cert = verify::BuildMinimizeCertificate(det->dha);
+  std::fprintf(stderr, "minimize: %u -> %u states, %u -> %u h-states\n",
+               cert.min_input.num_states(), cert.min_output.num_states(),
+               cert.min_input.num_h_states(), cert.min_output.num_h_states());
+  return Emit(verify::CheckCertificate(cert), json);
+}
+
+int CmdContainment(const std::string& schema_path, const std::string& q1,
+                   const std::string& q2, bool json, bool emit_only) {
+  // As in CmdMinimize: the explicit CheckCertificate below is the gate;
+  // the inline hook would turn a seeded verdict flip into a build error.
+  schema::SetContainmentValidationHook(nullptr);
+  auto text = ReadFile(schema_path);
+  if (!text.ok()) return Fail(text.status().ToString());
+  hedge::Vocabulary vocab;
+  auto schema = schema::ParseSchema(*text, vocab);
+  if (!schema.ok()) return Fail(schema.status().ToString());
+  auto cert = verify::BuildContainmentCertificate(*schema, q1, q2, vocab);
+  if (!cert.ok()) return Fail(cert.status().ToString());
+  if (emit_only) {
+    std::printf("%s", verify::SerializeCertificate(*cert, vocab).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "containment: %s\n",
+               cert->containment.contained ? "contained" : "separated");
+  return Emit(verify::CheckCertificate(*cert), json);
+}
+
+int CmdSelectOracle(const std::string& text,
+                    const std::vector<std::string>& rest, bool json) {
+  hedge::Vocabulary vocab;
+  auto query = query::ParseSelectionQuery(text, vocab);
+  if (!query.ok()) return Fail(query.status().ToString());
+  verify::OracleOptions options;
+  if (rest.size() >= 1) options.max_size = std::stoul(rest[0]);
+  if (rest.size() >= 2) options.samples = std::stoul(rest[1]);
+  auto report = verify::RunSelectionOracle(*query, vocab, options);
+  if (!report.ok()) return Fail(report.status().ToString());
+  std::fprintf(stderr,
+               "select-oracle: %zu hedges (%zu enumerated, %zu sampled), "
+               "naive-unknown %zu, shrink-checks %zu, eager=%d\n",
+               report->hedges_checked, report->enumerated, report->sampled,
+               report->naive_unknown, report->shrink_checks,
+               report->eager_available ? 1 : 0);
+  return Emit(report->diagnostics, json);
 }
 
 int CmdEmitCert(const std::string& kind, const std::string& text) {
@@ -201,7 +276,14 @@ int CmdEmitCert(const std::string& kind, const std::string& text) {
     std::printf("%s", verify::SerializeCertificate(cert, vocab).c_str());
     return 0;
   }
-  return Fail("emit-cert kind must be 'det' or 'trim'");
+  if (kind == "min") {
+    auto det = automata::Determinize(*nha, scope);
+    if (!det.ok()) return Fail(det.status().ToString());
+    verify::Certificate cert = verify::BuildMinimizeCertificate(det->dha);
+    std::printf("%s", verify::SerializeCertificate(cert, vocab).c_str());
+    return 0;
+  }
+  return Fail("emit-cert kind must be 'det', 'trim' or 'min'");
 }
 
 int CmdCert(const std::string& path, bool json) {
@@ -228,7 +310,12 @@ void Usage() {
       "  hedgeq_verify [--json] expr '<hedge regular expression>'\n"
       "  hedgeq_verify [--json] oracle '<expression>' [max_size] [samples]\n"
       "  hedgeq_verify [--json] query '<selection query>'\n"
-      "  hedgeq_verify emit-cert <det|trim> '<expression>'\n"
+      "  hedgeq_verify [--json] minimize '<expression>'\n"
+      "  hedgeq_verify [--json] containment <schema-file|-> '<q1>' '<q2>'\n"
+      "  hedgeq_verify [--json] select-oracle '<query>' [max_size] "
+      "[samples]\n"
+      "  hedgeq_verify emit-cert <det|trim|min> '<expression>'\n"
+      "  hedgeq_verify emit-cert containment <schema-file|-> '<q1>' '<q2>'\n"
       "  hedgeq_verify [--json] cert <file|->\n"
       "  hedgeq_verify [--json] from-json <file|->\n"
       "exit: 0 certificates valid, 2 findings, 1 bad input\n");
@@ -240,10 +327,15 @@ int main(int argc, char** argv) {
   bool json = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]) == "--json") {
+    std::string arg(argv[i]);
+    if (arg == "--json") {
       json = true;
+    } else if (arg.rfind("--failpoint=", 0) == 0) {
+      // Arms a seeded bug by name (see util/failpoint.h); check.sh uses
+      // this to prove each checker catches its construction's failure.
+      hedgeq::failpoint::Arm(arg.substr(12));
     } else {
-      args.emplace_back(argv[i]);
+      args.emplace_back(std::move(arg));
     }
   }
   g_obs.Configure(args);
@@ -259,6 +351,20 @@ int main(int argc, char** argv) {
                      json);
   }
   if (cmd == "query" && args.size() == 2) return CmdQuery(args[1], json);
+  if (cmd == "minimize" && args.size() == 2) return CmdMinimize(args[1], json);
+  if (cmd == "containment" && args.size() == 4) {
+    return CmdContainment(args[1], args[2], args[3], json,
+                          /*emit_only=*/false);
+  }
+  if (cmd == "select-oracle" && args.size() >= 2 && args.size() <= 4) {
+    return CmdSelectOracle(
+        args[1], std::vector<std::string>(args.begin() + 2, args.end()),
+        json);
+  }
+  if (cmd == "emit-cert" && args.size() == 5 && args[1] == "containment") {
+    return CmdContainment(args[2], args[3], args[4], json,
+                          /*emit_only=*/true);
+  }
   if (cmd == "emit-cert" && args.size() == 3) {
     return CmdEmitCert(args[1], args[2]);
   }

@@ -372,6 +372,9 @@ void Usage() {
       "  --timings          per-stage wall-time summary on stderr\n"
       "  --cache-dir=DIR    persistent automaton cache (entries are\n"
       "                     certificate-checked on every load)\n"
+      "  --cache-max-bytes=N  evict oldest entries past N total bytes on\n"
+      "                     every store (the just-written entry survives)\n"
+      "  --cache-max-age-s=N  evict entries older than N seconds on store\n"
       "  --deadline-ms=N    wall-clock deadline for exponential\n"
       "                     preprocessing (degrades to the lazy engine\n"
       "                     where one exists, else exits 4)\n");
@@ -386,6 +389,8 @@ int main(int argc, char** argv) {
   {
     std::vector<std::string> kept;
     kept.reserve(args.size());
+    uint64_t cache_max_bytes = 0;
+    uint64_t cache_max_age_s = 0;
     for (std::string& a : args) {
       if (a.rfind("--cache-dir=", 0) == 0) {
         auto opened =
@@ -393,6 +398,12 @@ int main(int argc, char** argv) {
         if (!opened.ok()) return Fail(opened.status().ToString());
         g_cache = std::move(opened).value();
         automata::SetDeterminizeCache(g_cache.get());
+      } else if (a.rfind("--cache-max-bytes=", 0) == 0) {
+        cache_max_bytes = static_cast<uint64_t>(
+            std::atoll(a.c_str() + sizeof("--cache-max-bytes=") - 1));
+      } else if (a.rfind("--cache-max-age-s=", 0) == 0) {
+        cache_max_age_s = static_cast<uint64_t>(
+            std::atoll(a.c_str() + sizeof("--cache-max-age-s=") - 1));
       } else if (a.rfind("--deadline-ms=", 0) == 0) {
         g_deadline_set = true;
         g_deadline_ms = static_cast<uint64_t>(
@@ -400,6 +411,12 @@ int main(int argc, char** argv) {
       } else {
         kept.push_back(std::move(a));
       }
+    }
+    // Bounds may appear before --cache-dir on the command line; apply them
+    // once the cache (if any) exists.
+    if (g_cache != nullptr) {
+      g_cache->set_max_bytes(cache_max_bytes);
+      g_cache->set_max_age_seconds(cache_max_age_s);
     }
     args = std::move(kept);
   }
