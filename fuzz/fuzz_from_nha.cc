@@ -1,0 +1,65 @@
+// Fuzz harness for the Lemma 2 direction: every expression the parser
+// accepts is compiled to an NHA (Lemma 1), pushed back through the
+// witnessed NhaToHre extraction (Lemma 2), and the independent checker
+// must accept what the construction produced — a rejection is a crash,
+// because it means either a construction bug or a checker bug, both of
+// which the fuzzer should surface.
+//
+// Checked invariants, beyond "no crash / no sanitizer report":
+//   - CheckFromNha accepts NhaToHre's own witness;
+//   - the packaged from-nha certificate survives a serialize/deserialize
+//     round trip byte-identically;
+//   - the round-tripped certificate checks clean under BOTH the full and
+//     the light checker (light falls through to full for this kind, so a
+//     divergence between the two is a dispatch bug).
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "hre/ast.h"
+#include "hre/compile.h"
+#include "hre/from_nha.h"
+#include "util/budget.h"
+#include "verify/certificate.h"
+#include "verify/checker.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace hedgeq;
+  if (size > 512) return 0;  // Lemma 2 is doubly exponential; stay tiny
+  std::string_view text(reinterpret_cast<const char*>(data), size);
+
+  hedge::Vocabulary vocab;
+  Result<hre::Hre> e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return 0;
+
+  ExecBudget budget;
+  budget.max_states = size_t{1} << 8;
+  budget.max_memory_bytes = size_t{8} << 20;
+  budget.max_steps = size_t{1} << 20;
+  budget.max_depth = 64;
+
+  BudgetScope scope(budget);
+  Result<automata::Nha> nha = hre::CompileHre(*e, scope);
+  if (!nha.ok()) return 0;  // clean budget/limit failure is fine
+
+  hre::FromNhaWitness witness;
+  Result<hre::Hre> back = hre::NhaToHre(*nha, vocab, &witness);
+  if (!back.ok()) return 0;  // split cap / substitution states are fine
+  if (!verify::CheckFromNha(*nha, *back, witness).empty()) {
+    __builtin_trap();
+  }
+
+  Result<verify::Certificate> cert =
+      verify::BuildFromNhaCertificate(*nha, vocab);
+  if (!cert.ok()) return 0;
+  std::string serialized = verify::SerializeCertificate(*cert, vocab);
+  Result<verify::Certificate> parsed =
+      verify::DeserializeCertificate(serialized, vocab);
+  if (!parsed.ok()) __builtin_trap();
+  if (verify::SerializeCertificate(*parsed, vocab) != serialized) {
+    __builtin_trap();
+  }
+  if (!verify::CheckCertificate(*parsed).empty()) __builtin_trap();
+  if (!verify::CheckCertificateLight(*parsed).empty()) __builtin_trap();
+  return 0;
+}

@@ -11,6 +11,7 @@
 #include "obs/catalogue.h"
 #include "obs/obs.h"
 #include "util/check.h"
+#include "util/digest.h"
 #include "util/failpoint.h"
 
 namespace hedgeq::automata {
@@ -261,6 +262,18 @@ Result<Determinized> Determinize(const Nha& nha, BudgetScope& scope,
     DeterminizeWitness local;
     local.h_sets = std::move(h_sets);
     local.final_sets = std::move(final_sets);
+    // Digest chain over every interned set, in the fixed section order the
+    // light checker recomputes (subsets, h_sets, final_sets).
+    local.chain.reserve(out.subsets.size() + local.h_sets.size() +
+                        local.final_sets.size());
+    std::string prev;
+    for (const std::vector<Bitset>* section :
+         {&out.subsets, &local.h_sets, &local.final_sets}) {
+      for (const Bitset& set : *section) {
+        prev = DigestChainLink(prev, set);
+        local.chain.push_back(prev);
+      }
+    }
     if (DeterminizeValidationHook hook = GetDeterminizeValidationHook()) {
       HEDGEQ_OBS_SPAN(certify_span, obs::spans::kDeterminizeCertify);
       const auto certify_start = std::chrono::steady_clock::now();

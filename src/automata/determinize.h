@@ -2,6 +2,8 @@
 #define HEDGEQ_AUTOMATA_DETERMINIZE_H_
 
 #include <span>
+#include <string>
+#include <string_view>
 #include <vector>
 
 #include "automata/dha.h"
@@ -29,6 +31,14 @@ struct Determinized {
 struct DeterminizeWitness {
   std::vector<Bitset> h_sets;
   std::vector<Bitset> final_sets;
+  /// Optional per-step digest chain over the interned sets, one link per
+  /// set in section order — the Determinized subsets first, then h_sets,
+  /// then final_sets — each link a util/digest DigestChainLink of the
+  /// previous link (empty for the first) and the set. Lets
+  /// verify::CheckCertificateLight (HQV016) detect tampering in O(1) per
+  /// step; empty means "no chain recorded" and light checking falls back
+  /// to the full checker.
+  std::vector<std::string> chain;
 };
 
 /// Inline certification hook (HEDGEQ_CERTIFY): when installed, every
@@ -65,6 +75,26 @@ class DeterminizeCache {
   /// Offers a freshly constructed result for persistence.
   virtual void Store(const Nha& input, const Determinized& out,
                      const DeterminizeWitness& witness) = 0;
+
+  /// Scoped variants used by pipelines that can key an entry by something
+  /// cheaper to render than the embedded automaton (e.g. the source PHR
+  /// text + vocabulary in query/phr_compile). `key_material` is an opaque
+  /// caller-stable byte string; `input` is still passed so implementations
+  /// can keep their validation ladder (hedgeq's cache byte-compares the
+  /// stored input automaton regardless of how the entry was keyed).
+  /// Defaults fall back to the input-keyed entry points, which is always
+  /// correct, merely unscoped.
+  virtual bool LookupScoped(std::string_view key_material, const Nha& input,
+                            Determinized* out, DeterminizeWitness* witness) {
+    (void)key_material;
+    return Lookup(input, out, witness);
+  }
+  virtual void StoreScoped(std::string_view key_material, const Nha& input,
+                           const Determinized& out,
+                           const DeterminizeWitness& witness) {
+    (void)key_material;
+    Store(input, out, witness);
+  }
 };
 
 /// Installs `cache` (not owned, null to uninstall) for every subsequent

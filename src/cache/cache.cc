@@ -16,6 +16,7 @@
 #include "lint/diagnostics.h"
 #include "obs/catalogue.h"
 #include "obs/obs.h"
+#include "util/digest.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 #include "verify/certificate.h"
@@ -30,29 +31,15 @@ namespace {
 // Bump on any change to the entry layout or the serialization formats it
 // embeds: the version participates in the content hash, so old entries
 // become unreachable (and eventually quarantine-free garbage) instead of
-// parse errors.
-constexpr int kFormatVersion = 1;
+// parse errors. v2: certificates carry the digestchain section.
+constexpr int kFormatVersion = 2;
 constexpr const char* kMagic = "hqcache";
 constexpr const char* kKind = "determinize";
-
-// 128-bit content digest as two independent 64-bit FNV-1a streams (second
-// lane uses a different offset basis). Collisions are harmless for
-// correctness — the stored input is byte-compared on load — they only
-// cost a spurious miss.
-std::string Digest128(std::string_view bytes) {
-  constexpr uint64_t kPrime = 1099511628211ull;
-  uint64_t a = 14695981039346656037ull;
-  uint64_t b = 0x9ae16a3b2f90404full;
-  for (unsigned char c : bytes) {
-    a = (a ^ c) * kPrime;
-    b = (b ^ (c + 0x9eu)) * kPrime;
-  }
-  char buf[33];
-  std::snprintf(buf, sizeof buf, "%016llx%016llx",
-                static_cast<unsigned long long>(a),
-                static_cast<unsigned long long>(b));
-  return std::string(buf);
-}
+// Key kind of scoped entries (keyed by caller-supplied PHR source text
+// instead of the serialized input automaton). Distinct from kKind so a
+// scoped key can never collide with an input key for a different
+// automaton; the entry payload and header kind are identical.
+constexpr const char* kScopedKind = "phr";
 
 bool ReadFileToString(const std::string& path, std::string* out) {
   std::ifstream in(path, std::ios::binary);
@@ -86,8 +73,19 @@ std::string AutomatonCache::KeyFor(const automata::Nha& input) const {
   return Digest128(canonical);
 }
 
+std::string AutomatonCache::ScopedKeyFor(std::string_view key_material) const {
+  std::string canonical =
+      StrCat(kMagic, " ", kFormatVersion, " ", kScopedKind, "\n", key_material);
+  return Digest128(canonical);
+}
+
 std::string AutomatonCache::EntryPathFor(const automata::Nha& input) const {
   return (fs::path(dir_) / (KeyFor(input) + ".cert")).string();
+}
+
+std::string AutomatonCache::ScopedEntryPathFor(
+    std::string_view key_material) const {
+  return (fs::path(dir_) / (ScopedKeyFor(key_material) + ".cert")).string();
 }
 
 void AutomatonCache::Quarantine(const std::string& entry_path,
@@ -116,10 +114,24 @@ bool AutomatonCache::Lookup(const automata::Nha& input,
                             automata::Determinized* out,
                             automata::DeterminizeWitness* witness) {
   if (vocab_ == nullptr) return false;
+  return LookupAt(KeyFor(input), input, out, witness);
+}
+
+bool AutomatonCache::LookupScoped(std::string_view key_material,
+                                  const automata::Nha& input,
+                                  automata::Determinized* out,
+                                  automata::DeterminizeWitness* witness) {
+  if (vocab_ == nullptr) return false;
+  return LookupAt(ScopedKeyFor(key_material), input, out, witness);
+}
+
+bool AutomatonCache::LookupAt(const std::string& key,
+                              const automata::Nha& input,
+                              automata::Determinized* out,
+                              automata::DeterminizeWitness* witness) {
   HEDGEQ_OBS_SPAN(span, obs::spans::kCacheLoad);
   last_reject_.clear();
   const std::string expected_input = automata::SerializeNha(input, *vocab_);
-  const std::string key = KeyFor(input);
   const std::string path = (fs::path(dir_) / (key + ".cert")).string();
 
   auto miss = [&]() {
@@ -189,7 +201,14 @@ bool AutomatonCache::Lookup(const automata::Nha& input,
                     "automaton"));
     return miss();
   }
-  std::vector<lint::Diagnostic> findings = verify::CheckCertificate(*cert);
+  std::vector<lint::Diagnostic> findings;
+  if (check_mode_ == CheckMode::kLight) {
+    ++stats_.light_checks;
+    HEDGEQ_OBS_COUNT(obs::metrics::kCacheLightChecks, 1);
+    findings = verify::CheckCertificateLight(*cert);
+  } else {
+    findings = verify::CheckCertificate(*cert);
+  }
   if (!findings.empty()) {
     ++stats_.validate_rejects;
     HEDGEQ_OBS_COUNT(obs::metrics::kCacheValidateReject, 1);
@@ -210,6 +229,21 @@ void AutomatonCache::Store(const automata::Nha& input,
                            const automata::Determinized& out,
                            const automata::DeterminizeWitness& witness) {
   if (vocab_ == nullptr) return;
+  StoreAt(KeyFor(input), input, out, witness);
+}
+
+void AutomatonCache::StoreScoped(std::string_view key_material,
+                                 const automata::Nha& input,
+                                 const automata::Determinized& out,
+                                 const automata::DeterminizeWitness& witness) {
+  if (vocab_ == nullptr) return;
+  StoreAt(ScopedKeyFor(key_material), input, out, witness);
+}
+
+void AutomatonCache::StoreAt(const std::string& key,
+                             const automata::Nha& input,
+                             const automata::Determinized& out,
+                             const automata::DeterminizeWitness& witness) {
   HEDGEQ_OBS_SPAN(span, obs::spans::kCacheStoreSpan);
   auto store_error = [&]() {
     ++stats_.store_errors;
@@ -223,7 +257,6 @@ void AutomatonCache::Store(const automata::Nha& input,
   cert.subsets = out.subsets;
   cert.det = witness;
   const std::string payload = verify::SerializeCertificate(cert, *vocab_);
-  const std::string key = KeyFor(input);
   std::string body = StrCat(kMagic, " ", kFormatVersion, " ", kKind, " ", key,
                             " ", payload.size(), "\n", payload);
   if (!failpoint::Check("cache/torn-write").ok()) {

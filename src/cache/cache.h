@@ -57,6 +57,20 @@ struct CacheStats {
   uint64_t stores = 0;
   uint64_t store_errors = 0;
   uint64_t evictions = 0;
+  uint64_t light_checks = 0;
+};
+
+/// How Lookup revalidates a stored certificate before serving it.
+enum class CheckMode {
+  /// verify::CheckCertificateLight — the per-step digest chain plus a
+  /// seeded sample of full subset re-derivations and a full final-DFA
+  /// walk. The default: it cuts the revalidation share of a cache hit
+  /// (automata.determinize.certify_frac_pct) while corruption anywhere in
+  /// the entry is still caught deterministically (HQV016).
+  kLight,
+  /// Full verify::CheckCertificate re-derivation on every hit
+  /// (`--check=full`).
+  kFull,
 };
 
 /// The persistent automaton cache. Thread-compatible: one instance must
@@ -87,14 +101,39 @@ class AutomatonCache final : public automata::DeterminizeCache {
   void Store(const automata::Nha& input, const automata::Determinized& out,
              const automata::DeterminizeWitness& witness) override;
 
+  /// Scoped entry points (automata::DeterminizeCache): key the entry by an
+  /// opaque caller byte string — query/phr_compile passes the source PHR
+  /// text rendered against the vocabulary — instead of the serialized
+  /// input automaton, so a whole Theorem 4 pipeline can hit without first
+  /// rebuilding its subhedge NHA's canonical form. The validation ladder
+  /// is unchanged: the stored input automaton is still byte-compared and
+  /// the certificate still re-checked before a hit is served.
+  bool LookupScoped(std::string_view key_material,
+                    const automata::Nha& input, automata::Determinized* out,
+                    automata::DeterminizeWitness* witness) override;
+  void StoreScoped(std::string_view key_material, const automata::Nha& input,
+                   const automata::Determinized& out,
+                   const automata::DeterminizeWitness& witness) override;
+
   /// Content key of `input` under the bound vocabulary: a 128-bit hex
   /// digest of the canonical serialized automaton plus the entry-format
   /// version, so a format bump invalidates old entries by construction.
   std::string KeyFor(const automata::Nha& input) const;
 
+  /// Content key of a scoped entry (same versioning, "phr" key kind).
+  std::string ScopedKeyFor(std::string_view key_material) const;
+
   /// Where the entry for `input` lives ("<dir>/<key>.cert"); the file may
   /// not exist. Exposed for tests and the check.sh tamper gate.
   std::string EntryPathFor(const automata::Nha& input) const;
+
+  /// Where the scoped entry for `key_material` lives; may not exist.
+  std::string ScopedEntryPathFor(std::string_view key_material) const;
+
+  /// Selects how Lookup revalidates entries (default CheckMode::kLight);
+  /// `hedgeq_verify --check=full` and the E16 benchmark flip this.
+  void set_check_mode(CheckMode mode) { check_mode_ = mode; }
+  CheckMode check_mode() const { return check_mode_; }
 
   const CacheStats& stats() const { return stats_; }
   const std::string& dir() const { return dir_; }
@@ -120,6 +159,16 @@ class AutomatonCache final : public automata::DeterminizeCache {
  private:
   explicit AutomatonCache(std::string dir) : dir_(std::move(dir)) {}
 
+  /// Shared bodies of the input-keyed and scoped entry points: the key
+  /// decides the file name, everything else — the validation ladder, the
+  /// temp-file + rename publish — is identical.
+  bool LookupAt(const std::string& key, const automata::Nha& input,
+                automata::Determinized* out,
+                automata::DeterminizeWitness* witness);
+  void StoreAt(const std::string& key, const automata::Nha& input,
+               const automata::Determinized& out,
+               const automata::DeterminizeWitness& witness);
+
   /// Moves a bad entry to corrupt/ (unique name), writes a sidecar
   /// `.reason` file with `reason`, and counts the quarantine.
   void Quarantine(const std::string& entry_path, const std::string& reason);
@@ -131,6 +180,7 @@ class AutomatonCache final : public automata::DeterminizeCache {
 
   std::string dir_;
   hedge::Vocabulary* vocab_ = nullptr;
+  CheckMode check_mode_ = CheckMode::kLight;
   uint64_t max_bytes_ = 0;
   uint64_t max_age_seconds_ = 0;
   CacheStats stats_;

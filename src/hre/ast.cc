@@ -110,15 +110,21 @@ std::string ToStringPrec(const Hre& e, const hedge::Vocabulary& vocab,
     case HreKind::kSubstLeaf:
       return vocab.symbols.NameOf(e->id()) + "<%" +
              vocab.substs.NameOf(e->subst()) + ">";
+    // Union and concat parse left-associative, so a right child at the same
+    // precedence needs parentheses to round-trip structurally — "a|(b|c)"
+    // re-parses as the right-nested tree it printed from, while "a|b|c"
+    // would re-associate leftward. Structural round-tripping is what lets
+    // certificate replay (verify::CheckFromNha) compare re-parsed witness
+    // expressions node-for-node.
     case HreKind::kConcat:
       prec = 2;
       body = ToStringPrec(e->left(), vocab, prec) + " " +
-             ToStringPrec(e->right(), vocab, prec);
+             ToStringPrec(e->right(), vocab, prec + 1);
       break;
     case HreKind::kUnion:
       prec = 1;
       body = ToStringPrec(e->left(), vocab, prec) + "|" +
-             ToStringPrec(e->right(), vocab, prec);
+             ToStringPrec(e->right(), vocab, prec + 1);
       break;
     case HreKind::kStar:
       prec = 3;

@@ -1,5 +1,6 @@
 #include "hre/from_nha.h"
 
+#include <atomic>
 #include <map>
 #include <unordered_map>
 #include <vector>
@@ -7,6 +8,7 @@
 #include "strre/ops.h"
 #include "util/bitset.h"
 #include "util/check.h"
+#include "util/failpoint.h"
 #include "util/strings.h"
 
 namespace hedgeq::hre {
@@ -54,8 +56,8 @@ namespace {
 //   [n, n + splits)  split states (zeta(q) = the pair's symbol).
 class Lemma2 {
  public:
-  Lemma2(const Nha& nha, hedge::Vocabulary& vocab)
-      : nha_(nha), vocab_(vocab), n_(nha.num_states()) {}
+  Lemma2(const Nha& nha, hedge::Vocabulary& vocab, FromNhaWitness* witness)
+      : nha_(nha), vocab_(vocab), n_(nha.num_states()), witness_(witness) {}
 
   Result<Hre> Build() {
     if (!nha_.subst_map().empty()) {
@@ -136,11 +138,17 @@ class Lemma2 {
                              : (splits_.size() == 62
                                     ? ~uint64_t{0} >> 2
                                     : (uint64_t{1} << splits_.size()) - 1);
-    return RegexToHre(final_regex, [&](strre::Symbol letter) {
+    Hre result = RegexToHre(final_regex, [&](strre::Symbol letter) {
       if (letter < n_) return leaf_expr_[letter];
       uint32_t c = static_cast<uint32_t>(letter - n_);
       return HTree(splits_[c].first, R(c, all, 0));
     });
+    if (witness_ != nullptr) {
+      witness_->splits = splits_;
+      witness_->substs = subst_;
+      witness_->result = result;
+    }
+    return result;
   }
 
  private:
@@ -169,9 +177,19 @@ class Lemma2 {
       //   (R(p,Q1,Q2) o_p R(p,Q1,Q2 u {p})^p  u  R(p,Q1,Q2))
       //     o_p R(q,Q1,Q2 u {p})  u  R(q,Q1,Q2).
       Hre middle = HUnion(HEmbed(rp, zp, HVClose(rp_up, zp)), rp);
-      result = HUnion(HEmbed(std::move(middle), zp, rq_up), rq);
+      if (!failpoint::Check("from_nha/drop-alternative").ok()) {
+        // Seeded bug: forget the "p never occurs" alternative, shrinking
+        // the language. The recurrence replay in CheckFromNha must flag
+        // the entry (HQV014).
+        result = HEmbed(std::move(middle), zp, rq_up);
+      } else {
+        result = HUnion(HEmbed(std::move(middle), zp, rq_up), rq);
+      }
     }
     memo_.emplace(key, result);
+    if (witness_ != nullptr) {
+      witness_->entries.push_back(FromNhaWitness::Entry{c, q1, q2, result});
+    }
     return result;
   }
 
@@ -191,6 +209,7 @@ class Lemma2 {
   const Nha& nha_;
   hedge::Vocabulary& vocab_;
   const size_t n_;
+  FromNhaWitness* const witness_;
   std::vector<std::pair<hedge::SymbolId, HState>> splits_;
   std::vector<Hre> leaf_expr_;
   std::vector<hedge::SubstId> subst_;
@@ -198,11 +217,34 @@ class Lemma2 {
   std::map<std::tuple<uint32_t, uint64_t, uint64_t>, Hre> memo_;
 };
 
+std::atomic<FromNhaValidationHook> g_from_nha_hook{nullptr};
+
 }  // namespace
 
+void SetFromNhaValidationHook(FromNhaValidationHook hook) {
+  g_from_nha_hook.store(hook, std::memory_order_relaxed);
+}
+
+FromNhaValidationHook GetFromNhaValidationHook() {
+  return g_from_nha_hook.load(std::memory_order_relaxed);
+}
+
 Result<Hre> NhaToHre(const Nha& nha, hedge::Vocabulary& vocab) {
-  Lemma2 builder(nha, vocab);
-  return builder.Build();
+  return NhaToHre(nha, vocab, nullptr);
+}
+
+Result<Hre> NhaToHre(const Nha& nha, hedge::Vocabulary& vocab,
+                     FromNhaWitness* witness) {
+  FromNhaValidationHook hook = GetFromNhaValidationHook();
+  FromNhaWitness local;
+  FromNhaWitness* sink =
+      witness != nullptr ? witness : (hook != nullptr ? &local : nullptr);
+  Lemma2 builder(nha, vocab, sink);
+  Result<Hre> result = builder.Build();
+  if (result.ok() && hook != nullptr) {
+    HEDGEQ_RETURN_IF_ERROR(hook(nha, *result, *sink));
+  }
+  return result;
 }
 
 }  // namespace hedgeq::hre

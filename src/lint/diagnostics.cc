@@ -51,6 +51,12 @@ constexpr CodeEntry kCodes[] = {
      "containment-certificate-rejected"},
     {DiagnosticCode::kSelectionDisagreement, "HQV013",
      "selection-disagreement"},
+    {DiagnosticCode::kFromNhaWitnessRejected, "HQV014",
+     "from-nha-witness-rejected"},
+    {DiagnosticCode::kAlgebraWitnessRejected, "HQV015",
+     "algebra-witness-rejected"},
+    {DiagnosticCode::kDigestChainMismatch, "HQV016",
+     "digest-chain-mismatch"},
 };
 
 const CodeEntry& EntryOf(DiagnosticCode code) {

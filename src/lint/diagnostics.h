@@ -64,6 +64,12 @@ enum class DiagnosticCode {
                                  //         its own product witness
   kSelectionDisagreement,        // HQV013: engines disagree on the *node set*
                                  //         a selection query locates
+  kFromNhaWitnessRejected,       // HQV014: Lemma 2 state-elimination witness
+                                 //         disagrees with its recomputation
+  kAlgebraWitnessRejected,       // HQV015: schema algebra product/pairing
+                                 //         witness fails re-derivation
+  kDigestChainMismatch,          // HQV016: certificate digest chain does not
+                                 //         match the recomputed links
 };
 
 /// "HQL001" ... — the stable wire name used in text and JSON output.

@@ -1,6 +1,7 @@
 #include "lint/lint.h"
 
 #include "automata/analysis.h"
+#include "schema/algebra.h"
 #include "schema/transform.h"
 
 namespace hedgeq::lint {
@@ -129,6 +130,60 @@ Result<LintReport> LintQueryOverlap(const schema::Schema& schema,
   };
   HEDGEQ_RETURN_IF_ERROR(check(q1, q2, "q1", "q2"));
   HEDGEQ_RETURN_IF_ERROR(check(q2, q1, "q2", "q1"));
+  return report;
+}
+
+Result<LintReport> LintSchemaOverlap(const schema::Schema& a,
+                                     const schema::Schema& b,
+                                     const hedge::Vocabulary& vocab,
+                                     const LintOptions& options) {
+  (void)vocab;
+  LintReport report;
+  // Disjointness probe: witness-recording, so the intersection (and its
+  // internal prune) is validated by verify::CheckAlgebra under
+  // HEDGEQ_CERTIFY before the emptiness verdict below is trusted.
+  {
+    schema::AlgebraWitness witness;
+    schema::Schema inter = schema::IntersectSchemas(a, b, &witness);
+    if (inter.IsEmpty()) {
+      report.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, DiagnosticCode::kQueryUnsatisfiableUnderSchema,
+          "schema a vs schema b",
+          "no document satisfies both schemas (their certified intersection "
+          "is empty)",
+          "anything validated against one schema can never validate against "
+          "the other; a query or pipeline bridging them selects nothing"});
+    }
+  }
+  // Inclusion probes, one per direction: L(x) ⊆ L(y) iff the certified
+  // difference x \ y is empty. The complement inside each difference
+  // determinizes, so it runs under the probe budget.
+  auto included = [&](const schema::Schema& x, const schema::Schema& y,
+                      const char* x_name, const char* y_name) -> Status {
+    BudgetScope scope(options.probe_budget);
+    schema::AlgebraWitness witness;
+    Result<schema::Schema> diff =
+        schema::DifferenceSchemas(x, y, scope, &witness);
+    if (!diff.ok()) {
+      // An undecidable probe (budget) leaves the question open silently.
+      return diff.status().code() == StatusCode::kResourceExhausted
+                 ? Status::Ok()
+                 : diff.status();
+    }
+    if (diff->IsEmpty()) {
+      report.diagnostics.push_back(Diagnostic{
+          Severity::kWarning, DiagnosticCode::kQuerySubsumedByQuery,
+          std::string(x_name) + " vs " + y_name,
+          std::string("every document valid under schema ") + x_name +
+              " is valid under schema " + y_name +
+              " (their certified difference is empty)",
+          std::string("schema ") + x_name + " is redundant next to " +
+              y_name + "; validating against both does redundant work"});
+    }
+    return Status::Ok();
+  };
+  HEDGEQ_RETURN_IF_ERROR(included(a, b, "a", "b"));
+  HEDGEQ_RETURN_IF_ERROR(included(b, a, "b", "a"));
   return report;
 }
 

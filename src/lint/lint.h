@@ -60,6 +60,21 @@ Result<LintReport> LintQueryOverlap(const schema::Schema& schema,
                                     const hedge::Vocabulary& vocab,
                                     const LintOptions& options = {});
 
+/// Schema-pair probes through the certified Boolean algebra: HQL301 when
+/// no document satisfies both schemas (their intersection is empty — a
+/// query valid under one can never match under the other), HQL302 when one
+/// schema's language is included in the other's (the difference is empty;
+/// both directions probed, so equivalent schemas yield two findings). The
+/// intersection and differences run witness-recording, so under
+/// HEDGEQ_CERTIFY every verdict here is validated by verify::CheckAlgebra
+/// (HQV015) before this function returns. Each difference complements
+/// under options.probe_budget; a tripped budget leaves that direction open
+/// (no finding). Errors other than resource exhaustion propagate.
+Result<LintReport> LintSchemaOverlap(const schema::Schema& a,
+                                     const schema::Schema& b,
+                                     const hedge::Vocabulary& vocab,
+                                     const LintOptions& options = {});
+
 }  // namespace hedgeq::lint
 
 #endif  // HEDGEQ_LINT_LINT_H_

@@ -40,6 +40,7 @@ constexpr const char* kCounters[] = {
     metrics::kVerifyChecksRun,
     metrics::kVerifyFindings,
     metrics::kCacheHit,
+    metrics::kCacheLightChecks,
     metrics::kCacheMiss,
     metrics::kCacheValidateReject,
     metrics::kCacheQuarantine,

@@ -84,6 +84,7 @@ inline constexpr const char* kVerifyFindings = "verify.findings";
 // rejected entry is also quarantined, so validate_reject <= quarantine
 // (quarantine additionally counts undeserializable and mismatched entries).
 inline constexpr const char* kCacheHit = "cache.hit";
+inline constexpr const char* kCacheLightChecks = "cache.light_checks";
 inline constexpr const char* kCacheMiss = "cache.miss";
 inline constexpr const char* kCacheValidateReject = "cache.validate_reject";
 inline constexpr const char* kCacheQuarantine = "cache.quarantine";

@@ -62,7 +62,15 @@ SiblingClasses ComputeSiblingClasses(const Hedge& doc,
 
 Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
                                           const ExecBudget& budget) {
-  Result<CompiledPhr> compiled = CompilePhr(phr, budget);
+  return Create(phr, budget, std::string_view());
+}
+
+Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
+                                          const ExecBudget& budget,
+                                          std::string_view cache_scope) {
+  BudgetScope scope(budget);
+  Result<CompiledPhr> compiled =
+      CompilePhr(phr, scope, nullptr, cache_scope);
   if (compiled.ok()) {
     HEDGEQ_OBS_COUNT(obs::metrics::kQueryEagerCompiles, 1);
     return PhrEvaluator(std::move(compiled).value());
@@ -94,7 +102,9 @@ Result<PhrEvaluator> PhrEvaluator::Create(
   if (preflight.fail_on_error) {
     HEDGEQ_RETURN_IF_ERROR(lint::ErrorStatus(sink, begin));
   }
-  return Create(phr, budget);
+  // The vocabulary is in hand, so the Theorem 4 compile can be keyed
+  // end-to-end in the certificate cache by the PHR's canonical text.
+  return Create(phr, budget, phr.ToString(vocab));
 }
 
 automata::EvalStats PhrEvaluator::stats() const {

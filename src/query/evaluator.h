@@ -44,6 +44,14 @@ class PhrEvaluator {
   static Result<PhrEvaluator> Create(const phr::Phr& phr,
                                      const ExecBudget& budget = {});
 
+  /// As above, additionally keying the whole compile in the installed
+  /// certificate cache under `cache_scope` (opaque stable key material —
+  /// the vocabulary overload below passes the PHR's canonical text); empty
+  /// disables scoped caching. See CompilePhr's cache_scope overload.
+  static Result<PhrEvaluator> Create(const phr::Phr& phr,
+                                     const ExecBudget& budget,
+                                     std::string_view cache_scope);
+
   /// Opt-in pre-flight lint: statically analyzes every triplet condition
   /// of `phr` before paying for compilation. Findings are appended to
   /// `diagnostics` (when non-null); an error-severity finding (a triplet

@@ -1,6 +1,7 @@
 #ifndef HEDGEQ_QUERY_PHR_COMPILE_H_
 #define HEDGEQ_QUERY_PHR_COMPILE_H_
 
+#include <string_view>
 #include <unordered_map>
 #include <vector>
 
@@ -86,7 +87,7 @@ class CompiledPhr {
 
  private:
   friend Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope&,
-                                        PhrWitness*);
+                                        PhrWitness*, std::string_view);
 
   automata::Dha dha_{1, 1, 0, 0};
   std::vector<Bitset> subsets_;
@@ -129,6 +130,19 @@ Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope);
 /// certificate into `witness` (ignored when null).
 Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
                                PhrWitness* witness);
+
+/// As above, additionally consulting the installed DeterminizeCache under a
+/// pipeline-scoped key: `cache_scope` is opaque stable key material — the
+/// PhrEvaluator/SelectionEvaluator vocabulary overloads pass the PHR's
+/// canonical text rendered against the vocabulary — so the whole Theorem 4
+/// determinization hits without re-serializing the union NHA for the key.
+/// The cache's validation ladder is unchanged (the stored input automaton
+/// is still byte-compared against the union NHA). Empty `cache_scope`
+/// disables scoped caching; the per-Determinize input-keyed cache still
+/// applies either way.
+Result<CompiledPhr> CompilePhr(const phr::Phr& phr, BudgetScope& scope,
+                               PhrWitness* witness,
+                               std::string_view cache_scope);
 
 }  // namespace hedgeq::query
 

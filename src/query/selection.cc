@@ -43,6 +43,12 @@ Result<SelectionQuery> ParseSelectionQuery(std::string_view text,
 
 Result<SelectionEvaluator> SelectionEvaluator::Create(
     const SelectionQuery& query, const ExecBudget& budget) {
+  return CreateImpl(query, budget, std::string_view());
+}
+
+Result<SelectionEvaluator> SelectionEvaluator::CreateImpl(
+    const SelectionQuery& query, const ExecBudget& budget,
+    std::string_view envelope_cache_scope) {
   SelectionEvaluator out;
   if (query.subhedge != nullptr) {
     HEDGEQ_FAILPOINT("selection/subhedge");
@@ -64,7 +70,8 @@ Result<SelectionEvaluator> SelectionEvaluator::Create(
       return det.status();
     }
   }
-  Result<PhrEvaluator> phr_eval = PhrEvaluator::Create(query.envelope, budget);
+  Result<PhrEvaluator> phr_eval =
+      PhrEvaluator::Create(query.envelope, budget, envelope_cache_scope);
   if (!phr_eval.ok()) return phr_eval.status();
   out.phr_ = std::move(phr_eval).value();
   return out;
@@ -88,7 +95,9 @@ Result<SelectionEvaluator> SelectionEvaluator::Create(
   if (preflight.fail_on_error) {
     HEDGEQ_RETURN_IF_ERROR(lint::ErrorStatus(sink, begin));
   }
-  return Create(query, budget);
+  // With the vocabulary in hand the envelope compile can be keyed
+  // end-to-end in the certificate cache by its canonical text.
+  return CreateImpl(query, budget, query.envelope.ToString(vocab));
 }
 
 std::vector<bool> SelectionEvaluator::Locate(const Hedge& doc) const {

@@ -76,6 +76,13 @@ class SelectionEvaluator {
  private:
   SelectionEvaluator() = default;
 
+  /// Shared body of both Create overloads; `envelope_cache_scope` keys the
+  /// Theorem 4 envelope compile in the certificate cache (empty disables —
+  /// the budget-only overload has no vocabulary to render the key with).
+  static Result<SelectionEvaluator> CreateImpl(
+      const SelectionQuery& query, const ExecBudget& budget,
+      std::string_view envelope_cache_scope);
+
   std::optional<automata::Dha> subhedge_dha_;
   std::optional<automata::LazyDha> subhedge_lazy_;
   std::optional<PhrEvaluator> phr_;

@@ -1,15 +1,20 @@
 #include "schema/algebra.h"
 
 #include <algorithm>
+#include <atomic>
+#include <utility>
 #include <vector>
 
 #include "automata/analysis.h"
 #include "automata/dha.h"
+#include "util/check.h"
 #include "util/failpoint.h"
 
 namespace hedgeq::schema {
 
 namespace {
+
+std::atomic<AlgebraValidationHook> g_algebra_hook{nullptr};
 
 // Joint element/variable vocabulary of two schemas.
 void JointVocabulary(const Schema& a, const Schema& b,
@@ -30,15 +35,96 @@ void JointVocabulary(const Schema& a, const Schema& b,
                    variables->end());
 }
 
+// The shared intersect core: pairing product, seeded failpoint, prune.
+// Records the pre-prune product and the trim witness into `sink` (when
+// non-null); the caller stamps the op kind and fires the hook.
+Schema IntersectCore(const automata::Nha& a, const automata::Nha& b,
+                     AlgebraWitness* sink) {
+  automata::Nha product = automata::IntersectNha(a, b);
+  if (!failpoint::Check("algebra/drop-rule").ok() && !product.rules().empty()) {
+    // Seeded bug: rebuild the product without its last rule, shrinking the
+    // intersection. CheckAlgebra's independent product re-derivation must
+    // flag the missing rule (HQV015).
+    automata::Nha corrupt;
+    corrupt.AddStates(product.num_states());
+    for (size_t i = 0; i + 1 < product.rules().size(); ++i) {
+      const automata::Nha::Rule& rule = product.rules()[i];
+      corrupt.AddRule(rule.symbol, rule.content, rule.target);
+    }
+    for (const auto& [x, states] : product.var_map()) {
+      for (automata::HState q : states) corrupt.AddVariableState(x, q);
+    }
+    for (const auto& [z, states] : product.subst_map()) {
+      for (automata::HState q : states) corrupt.AddSubstState(z, q);
+    }
+    corrupt.SetFinal(product.final_nfa());
+    product = std::move(corrupt);
+  }
+  automata::TrimWitness trim;
+  Schema out(automata::PruneNha(product, nullptr,
+                                sink != nullptr ? &trim : nullptr));
+  if (sink != nullptr) {
+    sink->product = std::move(product);
+    sink->trim = std::move(trim);
+  }
+  return out;
+}
+
+void MaybeValidate(const Schema& a, const Schema& b, const Schema& out,
+                   const AlgebraWitness* sink) {
+  AlgebraValidationHook hook = g_algebra_hook.load(std::memory_order_relaxed);
+  if (hook == nullptr || sink == nullptr) return;
+  Status verdict = hook(a, b, out, *sink);
+  HEDGEQ_CHECK_MSG(verdict.ok(), verdict.ToString().c_str());
+}
+
 }  // namespace
 
+void SetAlgebraValidationHook(AlgebraValidationHook hook) {
+  g_algebra_hook.store(hook, std::memory_order_relaxed);
+}
+
+AlgebraValidationHook GetAlgebraValidationHook() {
+  return g_algebra_hook.load(std::memory_order_relaxed);
+}
+
 Schema IntersectSchemas(const Schema& a, const Schema& b) {
-  return Schema(
-      automata::PruneNha(automata::IntersectNha(a.nha(), b.nha())));
+  return IntersectSchemas(a, b, nullptr);
+}
+
+Schema IntersectSchemas(const Schema& a, const Schema& b,
+                        AlgebraWitness* witness) {
+  AlgebraWitness local;
+  AlgebraWitness* sink =
+      witness != nullptr
+          ? witness
+          : (GetAlgebraValidationHook() != nullptr ? &local : nullptr);
+  Schema out = IntersectCore(a.nha(), b.nha(), sink);
+  if (sink != nullptr) sink->op = AlgebraOp::kIntersect;
+  MaybeValidate(a, b, out, sink);
+  return out;
 }
 
 Schema UnionSchemas(const Schema& a, const Schema& b) {
-  return Schema(automata::UnionNha(a.nha(), b.nha()));
+  return UnionSchemas(a, b, nullptr);
+}
+
+Schema UnionSchemas(const Schema& a, const Schema& b,
+                    AlgebraWitness* witness) {
+  AlgebraWitness local;
+  AlgebraWitness* sink =
+      witness != nullptr
+          ? witness
+          : (GetAlgebraValidationHook() != nullptr ? &local : nullptr);
+  Schema out(automata::UnionNha(a.nha(), b.nha()));
+  if (sink != nullptr) {
+    sink->op = AlgebraOp::kUnion;
+    // CopyNhaInto appends, so the copies sit at offset 0 and |Qa|.
+    sink->offset_a = 0;
+    sink->offset_b = static_cast<automata::HState>(a.nha().num_states());
+  }
+  MaybeValidate(a, b, out, sink);
+  return out;
 }
 
 Result<Schema> ComplementSchema(const Schema& a, const Schema& universe_hint,
@@ -68,9 +154,26 @@ Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
 
 Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
                                  BudgetScope& scope) {
+  return DifferenceSchemas(a, b, scope, nullptr);
+}
+
+Result<Schema> DifferenceSchemas(const Schema& a, const Schema& b,
+                                 BudgetScope& scope,
+                                 AlgebraWitness* witness) {
+  AlgebraWitness local;
+  AlgebraWitness* sink =
+      witness != nullptr
+          ? witness
+          : (GetAlgebraValidationHook() != nullptr ? &local : nullptr);
   Result<Schema> not_b = ComplementSchema(b, a, scope);
   if (!not_b.ok()) return not_b.status();
-  return IntersectSchemas(a, *not_b);
+  Schema out = IntersectCore(a.nha(), not_b->nha(), sink);
+  if (sink != nullptr) {
+    sink->op = AlgebraOp::kDifference;
+    sink->complement = not_b->nha();
+  }
+  MaybeValidate(a, b, out, sink);
+  return out;
 }
 
 Result<bool> SchemaIncludes(const Schema& a, const Schema& b,

@@ -43,6 +43,10 @@ class Bitset {
   /// Indices of all set bits in ascending order.
   std::vector<uint32_t> ToVector() const;
 
+  /// The backing words, low bits first (unused high bits are zero) — for
+  /// allocation-free consumers like the digest-chain hasher.
+  const std::vector<uint64_t>& words() const { return words_; }
+
   /// FNV-style hash over the words.
   size_t Hash() const;
 

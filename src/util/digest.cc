@@ -1,0 +1,55 @@
+#include "util/digest.h"
+
+#include <cstdio>
+
+namespace hedgeq {
+
+namespace {
+constexpr uint64_t kPrime = 1099511628211ull;
+
+std::string HexOf(uint64_t a, uint64_t b) {
+  char buf[33];
+  std::snprintf(buf, sizeof buf, "%016llx%016llx",
+                static_cast<unsigned long long>(a),
+                static_cast<unsigned long long>(b));
+  return std::string(buf);
+}
+}  // namespace
+
+std::string Digest128(std::string_view bytes) {
+  Digest128Stream stream;
+  stream.Update(bytes);
+  return stream.Hex();
+}
+
+void Digest128Stream::Update(std::string_view bytes) {
+  uint64_t a = a_;
+  uint64_t b = b_;
+  for (unsigned char c : bytes) {
+    a = (a ^ c) * kPrime;
+    b = (b ^ (c + 0x9eu)) * kPrime;
+  }
+  a_ = a;
+  b_ = b;
+}
+
+std::string Digest128Stream::Hex() const { return HexOf(a_, b_); }
+
+std::string DigestChainLink(std::string_view prev_hex, const Bitset& set) {
+  Digest128Stream stream;
+  stream.Update(prev_hex);
+  // Allocation-free canonical encoding: the width, then the backing words,
+  // each as 8 explicit little-endian bytes (Bitset zeroes unused high
+  // bits, so equal sets encode identically). Chains are recomputed on
+  // every warm cache load, so this loop is hot.
+  char buf[8];
+  auto feed = [&](uint64_t v) {
+    for (int i = 0; i < 8; ++i) buf[i] = static_cast<char>(v >> (8 * i));
+    stream.Update(std::string_view(buf, sizeof buf));
+  };
+  feed(set.size());
+  for (uint64_t word : set.words()) feed(word);
+  return stream.Hex();
+}
+
+}  // namespace hedgeq

@@ -1,0 +1,45 @@
+#ifndef HEDGEQ_UTIL_DIGEST_H_
+#define HEDGEQ_UTIL_DIGEST_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/bitset.h"
+
+namespace hedgeq {
+
+/// 128-bit content digest rendered as 32 lowercase hex characters: two
+/// independent 64-bit FNV-1a streams (the second lane uses a different
+/// offset basis and perturbs each byte). Not cryptographic — collisions
+/// are harmless wherever it is used (the cache byte-compares inputs on
+/// load; the light checker pairs the chain with sampled full
+/// re-derivations) — they only cost a spurious miss or a spot check.
+std::string Digest128(std::string_view bytes);
+
+/// Incremental form of the same function, for digest *chains*: feed bytes
+/// in any number of Update calls; Hex() renders the running state. Feeding
+/// the previous link's Hex() output before the step's own encoding makes
+/// each link commit to the whole prefix.
+class Digest128Stream {
+ public:
+  void Update(std::string_view bytes);
+  std::string Hex() const;
+
+ private:
+  uint64_t a_ = 14695981039346656037ull;
+  uint64_t b_ = 0x9ae16a3b2f90404full;
+};
+
+/// One link of a certificate digest chain: commits to the previous link's
+/// hex rendering and the canonical encoding (width, then backing words as
+/// little-endian bytes) of one state set. Chaining links in a fixed section
+/// order makes
+/// any tampering with the interned sets detectable in O(1) per step,
+/// without re-deriving the set (verify::CheckCertificateLight, HQV016).
+/// The first link is seeded with an empty previous digest.
+std::string DigestChainLink(std::string_view prev_hex, const Bitset& set);
+
+}  // namespace hedgeq
+
+#endif  // HEDGEQ_UTIL_DIGEST_H_

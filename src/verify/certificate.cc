@@ -68,6 +68,22 @@ const char* KindWord(CertificateKind kind) {
       return "minimize";
     case CertificateKind::kContainment:
       return "containment";
+    case CertificateKind::kFromNha:
+      return "fromnha";
+    case CertificateKind::kAlgebra:
+      return "algebra";
+  }
+  return "?";
+}
+
+const char* OpWord(schema::AlgebraOp op) {
+  switch (op) {
+    case schema::AlgebraOp::kIntersect:
+      return "intersect";
+    case schema::AlgebraOp::kUnion:
+      return "union";
+    case schema::AlgebraOp::kDifference:
+      return "difference";
   }
   return "?";
 }
@@ -86,6 +102,24 @@ Result<uint32_t> ParseU32(const std::string& field) {
     }
   }
   return static_cast<uint32_t>(value);
+}
+
+// 64-bit variant for the Lemma 2 recurrence masks (up to 62 split bits).
+Result<uint64_t> ParseU64(const std::string& field) {
+  if (field.empty()) return Status::InvalidArgument("empty number field");
+  uint64_t value = 0;
+  for (char c : field) {
+    if (c < '0' || c > '9') {
+      return Status::InvalidArgument(
+          StrCat("expected a number, got '", field, "'"));
+    }
+    const uint64_t digit = static_cast<uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status::InvalidArgument(StrCat("number too large: ", field));
+    }
+    value = value * 10 + digit;
+  }
+  return value;
 }
 
 // Cursor over the raw lines of a certificate, able both to parse directive
@@ -208,6 +242,53 @@ Result<std::string> ReadEmbedded(CertReader& reader, const char* tag) {
   return reader.TakeLines(*count);
 }
 
+// The trim-witness triple, shared by the trim and algebra kinds.
+void WriteTrimWitness(std::string& out, const automata::TrimWitness& trim) {
+  WriteBitset(out, "derivable", trim.derivable);
+  WriteBitset(out, "useful", trim.useful);
+  std::string mapping = StrCat("mapping ", trim.mapping.size());
+  for (automata::HState q : trim.mapping) {
+    mapping += q == strre::kNoState ? std::string(" -") : StrCat(" ", q);
+  }
+  out += mapping + "\n";
+}
+
+Status ReadTrimWitness(CertReader& reader, automata::TrimWitness* trim) {
+  Result<std::vector<std::string>> derivable = reader.Next();
+  if (!derivable.ok()) return derivable.status();
+  Result<Bitset> derivable_bits = ReadBitset(*derivable, "derivable");
+  if (!derivable_bits.ok()) return derivable_bits.status();
+  trim->derivable = std::move(derivable_bits).value();
+  Result<std::vector<std::string>> useful = reader.Next();
+  if (!useful.ok()) return useful.status();
+  Result<Bitset> useful_bits = ReadBitset(*useful, "useful");
+  if (!useful_bits.ok()) return useful_bits.status();
+  trim->useful = std::move(useful_bits).value();
+  Result<std::vector<std::string>> mapping = reader.Next();
+  if (!mapping.ok()) return mapping.status();
+  if (mapping->size() < 2 || (*mapping)[0] != "mapping") {
+    return Status::InvalidArgument("expected 'mapping <n> ...'");
+  }
+  Result<uint32_t> n = ParseU32((*mapping)[1]);
+  if (!n.ok()) return n.status();
+  if (mapping->size() != 2 + static_cast<size_t>(*n)) {
+    return Status::InvalidArgument("mapping entry count mismatch");
+  }
+  trim->mapping.clear();
+  trim->mapping.reserve(*n);
+  for (uint32_t i = 0; i < *n; ++i) {
+    const std::string& field = (*mapping)[2 + i];
+    if (field == "-") {
+      trim->mapping.push_back(strre::kNoState);
+    } else {
+      Result<uint32_t> q = ParseU32(field);
+      if (!q.ok()) return q.status();
+      trim->mapping.push_back(*q);
+    }
+  }
+  return Status::Ok();
+}
+
 }  // namespace
 
 Result<Certificate> BuildDeterminizeCertificate(const automata::Nha& input,
@@ -264,6 +345,44 @@ Result<Certificate> BuildContainmentCertificate(const schema::Schema& schema,
   return cert;
 }
 
+Result<Certificate> BuildFromNhaCertificate(const automata::Nha& input,
+                                            hedge::Vocabulary& vocab) {
+  Certificate cert;
+  cert.kind = CertificateKind::kFromNha;
+  cert.input = input;
+  Result<hre::Hre> output = hre::NhaToHre(input, vocab, &cert.fn);
+  if (!output.ok()) return output.status();
+  cert.fn_output = std::move(output).value();
+  return cert;
+}
+
+Result<Certificate> BuildAlgebraCertificate(const schema::Schema& a,
+                                            const schema::Schema& b,
+                                            schema::AlgebraOp op,
+                                            const ExecBudget& budget) {
+  Certificate cert;
+  cert.kind = CertificateKind::kAlgebra;
+  cert.input = a.nha();
+  cert.alg_b = b.nha();
+  switch (op) {
+    case schema::AlgebraOp::kIntersect:
+      cert.alg_out = schema::IntersectSchemas(a, b, &cert.alg).nha();
+      break;
+    case schema::AlgebraOp::kUnion:
+      cert.alg_out = schema::UnionSchemas(a, b, &cert.alg).nha();
+      break;
+    case schema::AlgebraOp::kDifference: {
+      BudgetScope scope(budget);
+      Result<schema::Schema> out =
+          schema::DifferenceSchemas(a, b, scope, &cert.alg);
+      if (!out.ok()) return out.status();
+      cert.alg_out = out->nha();
+      break;
+    }
+  }
+  return cert;
+}
+
 std::string SerializeCertificate(const Certificate& cert,
                                  const hedge::Vocabulary& vocab) {
   std::string out = StrCat("cert 1 ", KindWord(cert.kind), "\n");
@@ -298,6 +417,44 @@ std::string SerializeCertificate(const Certificate& cert,
     out += "end\n";
     return out;
   }
+  if (cert.kind == CertificateKind::kFromNha) {
+    WriteEmbedded(out, "hre", hre::HreToString(cert.fn_output, vocab));
+    out += StrCat("splits ", cert.fn.splits.size(), "\n");
+    for (size_t i = 0; i < cert.fn.splits.size(); ++i) {
+      out += StrCat("split ", vocab.symbols.NameOf(cert.fn.splits[i].first),
+                    " ", cert.fn.splits[i].second, " ",
+                    vocab.substs.NameOf(cert.fn.substs[i]), "\n");
+    }
+    out += StrCat("entries ", cert.fn.entries.size(), "\n");
+    for (const hre::FromNhaWitness::Entry& e : cert.fn.entries) {
+      std::string expr = hre::HreToString(e.expr, vocab);
+      if (expr.empty() || expr.back() != '\n') expr += '\n';
+      out += StrCat("entry ", e.c, " ", e.q1, " ", e.q2, " ",
+                    CountLines(expr), "\n");
+      out += expr;
+    }
+    out += "end\n";
+    return out;
+  }
+  if (cert.kind == CertificateKind::kAlgebra) {
+    out += StrCat("op ", OpWord(cert.alg.op), "\n");
+    WriteEmbedded(out, "operand", automata::SerializeNha(cert.alg_b, vocab));
+    WriteEmbedded(out, "output", automata::SerializeNha(cert.alg_out, vocab));
+    if (cert.alg.op == schema::AlgebraOp::kUnion) {
+      out += StrCat("offsets ", cert.alg.offset_a, " ", cert.alg.offset_b,
+                    "\n");
+    } else {
+      if (cert.alg.op == schema::AlgebraOp::kDifference) {
+        WriteEmbedded(out, "complement",
+                      automata::SerializeNha(cert.alg.complement, vocab));
+      }
+      WriteEmbedded(out, "product",
+                    automata::SerializeNha(cert.alg.product, vocab));
+      WriteTrimWitness(out, cert.alg.trim);
+    }
+    out += "end\n";
+    return out;
+  }
   if (cert.kind == CertificateKind::kDeterminize) {
     std::string dha_text = automata::SerializeDha(cert.dha, vocab);
     out += StrCat("dha ", CountLines(dha_text), "\n");
@@ -305,18 +462,20 @@ std::string SerializeCertificate(const Certificate& cert,
     WriteBitsetList(out, "subsets", cert.subsets);
     WriteBitsetList(out, "hsets", cert.det.h_sets);
     WriteBitsetList(out, "finalsets", cert.det.final_sets);
+    // The digest chain rides last (just before the trailer) so anti-tamper
+    // tests and the check.sh cache gate can target it deterministically.
+    if (!cert.det.chain.empty()) {
+      out += StrCat("digestchain ", cert.det.chain.size(), "\n");
+      for (const std::string& link : cert.det.chain) {
+        out += link;
+        out += '\n';
+      }
+    }
   } else {
     std::string trimmed_text = automata::SerializeNha(cert.trimmed, vocab);
     out += StrCat("trimmed ", CountLines(trimmed_text), "\n");
     out += trimmed_text;
-    WriteBitset(out, "derivable", cert.trim.derivable);
-    WriteBitset(out, "useful", cert.trim.useful);
-    std::string mapping = StrCat("mapping ", cert.trim.mapping.size());
-    for (automata::HState q : cert.trim.mapping) {
-      mapping += q == strre::kNoState ? std::string(" -")
-                                      : StrCat(" ", q);
-    }
-    out += mapping + "\n";
+    WriteTrimWitness(out, cert.trim);
   }
   out += "end\n";
   return out;
@@ -339,6 +498,10 @@ Result<Certificate> DeserializeCertificate(std::string_view text,
     cert.kind = CertificateKind::kMinimize;
   } else if ((*magic)[2] == "containment") {
     cert.kind = CertificateKind::kContainment;
+  } else if ((*magic)[2] == "fromnha") {
+    cert.kind = CertificateKind::kFromNha;
+  } else if ((*magic)[2] == "algebra") {
+    cert.kind = CertificateKind::kAlgebra;
   } else {
     return Status::InvalidArgument(
         StrCat("unknown certificate kind '", (*magic)[2], "'"));
@@ -440,6 +603,133 @@ Result<Certificate> DeserializeCertificate(std::string_view text,
     return cert;
   }
 
+  if (cert.kind == CertificateKind::kFromNha) {
+    Result<std::string> hre_text = ReadEmbedded(reader, "hre");
+    if (!hre_text.ok()) return hre_text.status();
+    Result<hre::Hre> output =
+        hre::ParseHre(StripAsciiWhitespace(*hre_text), vocab);
+    if (!output.ok()) return output.status();
+    cert.fn_output = std::move(output).value();
+    cert.fn.result = cert.fn_output;
+    Result<std::vector<std::string>> splits_header = reader.Next();
+    if (!splits_header.ok()) return splits_header.status();
+    if (splits_header->size() != 2 || (*splits_header)[0] != "splits") {
+      return Status::InvalidArgument("expected 'splits <count>'");
+    }
+    Result<uint32_t> num_splits = ParseU32((*splits_header)[1]);
+    if (!num_splits.ok()) return num_splits.status();
+    for (uint32_t i = 0; i < *num_splits; ++i) {
+      Result<std::vector<std::string>> fields = reader.Next();
+      if (!fields.ok()) return fields.status();
+      if (fields->size() != 4 || (*fields)[0] != "split") {
+        return Status::InvalidArgument(
+            "expected 'split <symbol> <state> <subst>'");
+      }
+      Result<uint32_t> state = ParseU32((*fields)[2]);
+      if (!state.ok()) return state.status();
+      cert.fn.splits.emplace_back(vocab.symbols.Intern((*fields)[1]), *state);
+      cert.fn.substs.push_back(vocab.substs.Intern((*fields)[3]));
+    }
+    Result<std::vector<std::string>> entries_header = reader.Next();
+    if (!entries_header.ok()) return entries_header.status();
+    if (entries_header->size() != 2 || (*entries_header)[0] != "entries") {
+      return Status::InvalidArgument("expected 'entries <count>'");
+    }
+    Result<uint32_t> num_entries = ParseU32((*entries_header)[1]);
+    if (!num_entries.ok()) return num_entries.status();
+    for (uint32_t i = 0; i < *num_entries; ++i) {
+      Result<std::vector<std::string>> fields = reader.Next();
+      if (!fields.ok()) return fields.status();
+      if (fields->size() != 5 || (*fields)[0] != "entry") {
+        return Status::InvalidArgument(
+            "expected 'entry <c> <q1> <q2> <line-count>'");
+      }
+      Result<uint32_t> c = ParseU32((*fields)[1]);
+      if (!c.ok()) return c.status();
+      Result<uint64_t> q1 = ParseU64((*fields)[2]);
+      if (!q1.ok()) return q1.status();
+      Result<uint64_t> q2 = ParseU64((*fields)[3]);
+      if (!q2.ok()) return q2.status();
+      Result<uint32_t> count = ParseU32((*fields)[4]);
+      if (!count.ok()) return count.status();
+      Result<std::string> expr_text = reader.TakeLines(*count);
+      if (!expr_text.ok()) return expr_text.status();
+      Result<hre::Hre> expr =
+          hre::ParseHre(StripAsciiWhitespace(*expr_text), vocab);
+      if (!expr.ok()) return expr.status();
+      cert.fn.entries.push_back(hre::FromNhaWitness::Entry{
+          *c, *q1, *q2, std::move(expr).value()});
+    }
+    Result<std::vector<std::string>> tail = reader.Next();
+    if (!tail.ok()) return tail.status();
+    if (tail->size() != 1 || (*tail)[0] != "end") {
+      return Status::InvalidArgument("expected 'end' trailer");
+    }
+    return cert;
+  }
+
+  if (cert.kind == CertificateKind::kAlgebra) {
+    Result<std::vector<std::string>> op = reader.Next();
+    if (!op.ok()) return op.status();
+    if (op->size() != 2 || (*op)[0] != "op") {
+      return Status::InvalidArgument(
+          "expected 'op intersect|union|difference'");
+    }
+    if ((*op)[1] == "intersect") {
+      cert.alg.op = schema::AlgebraOp::kIntersect;
+    } else if ((*op)[1] == "union") {
+      cert.alg.op = schema::AlgebraOp::kUnion;
+    } else if ((*op)[1] == "difference") {
+      cert.alg.op = schema::AlgebraOp::kDifference;
+    } else {
+      return Status::InvalidArgument(
+          StrCat("unknown algebra op '", (*op)[1], "'"));
+    }
+    Result<std::string> operand_text = ReadEmbedded(reader, "operand");
+    if (!operand_text.ok()) return operand_text.status();
+    Result<Nha> operand = automata::DeserializeNha(*operand_text, vocab);
+    if (!operand.ok()) return operand.status();
+    cert.alg_b = std::move(operand).value();
+    Result<std::string> output_text = ReadEmbedded(reader, "output");
+    if (!output_text.ok()) return output_text.status();
+    Result<Nha> output = automata::DeserializeNha(*output_text, vocab);
+    if (!output.ok()) return output.status();
+    cert.alg_out = std::move(output).value();
+    if (cert.alg.op == schema::AlgebraOp::kUnion) {
+      Result<std::vector<std::string>> offsets = reader.Next();
+      if (!offsets.ok()) return offsets.status();
+      if (offsets->size() != 3 || (*offsets)[0] != "offsets") {
+        return Status::InvalidArgument("expected 'offsets <a> <b>'");
+      }
+      Result<uint32_t> oa = ParseU32((*offsets)[1]);
+      if (!oa.ok()) return oa.status();
+      Result<uint32_t> ob = ParseU32((*offsets)[2]);
+      if (!ob.ok()) return ob.status();
+      cert.alg.offset_a = *oa;
+      cert.alg.offset_b = *ob;
+    } else {
+      if (cert.alg.op == schema::AlgebraOp::kDifference) {
+        Result<std::string> comp_text = ReadEmbedded(reader, "complement");
+        if (!comp_text.ok()) return comp_text.status();
+        Result<Nha> comp = automata::DeserializeNha(*comp_text, vocab);
+        if (!comp.ok()) return comp.status();
+        cert.alg.complement = std::move(comp).value();
+      }
+      Result<std::string> product_text = ReadEmbedded(reader, "product");
+      if (!product_text.ok()) return product_text.status();
+      Result<Nha> product = automata::DeserializeNha(*product_text, vocab);
+      if (!product.ok()) return product.status();
+      cert.alg.product = std::move(product).value();
+      HEDGEQ_RETURN_IF_ERROR(ReadTrimWitness(reader, &cert.alg.trim));
+    }
+    Result<std::vector<std::string>> tail = reader.Next();
+    if (!tail.ok()) return tail.status();
+    if (tail->size() != 1 || (*tail)[0] != "end") {
+      return Status::InvalidArgument("expected 'end' trailer");
+    }
+    return cert;
+  }
+
   if (cert.kind == CertificateKind::kDeterminize) {
     Result<std::string> dha_text = ReadEmbedded(reader, "dha");
     if (!dha_text.ok()) return dha_text.status();
@@ -456,44 +746,36 @@ Result<Certificate> DeserializeCertificate(std::string_view text,
         ReadBitsetList(reader, "finalsets");
     if (!final_sets.ok()) return final_sets.status();
     cert.det.final_sets = std::move(final_sets).value();
-  } else {
-    Result<std::string> trimmed_text = ReadEmbedded(reader, "trimmed");
-    if (!trimmed_text.ok()) return trimmed_text.status();
-    Result<Nha> trimmed = automata::DeserializeNha(*trimmed_text, vocab);
-    if (!trimmed.ok()) return trimmed.status();
-    cert.trimmed = std::move(trimmed).value();
-    Result<std::vector<std::string>> derivable = reader.Next();
-    if (!derivable.ok()) return derivable.status();
-    Result<Bitset> derivable_bits = ReadBitset(*derivable, "derivable");
-    if (!derivable_bits.ok()) return derivable_bits.status();
-    cert.trim.derivable = std::move(derivable_bits).value();
-    Result<std::vector<std::string>> useful = reader.Next();
-    if (!useful.ok()) return useful.status();
-    Result<Bitset> useful_bits = ReadBitset(*useful, "useful");
-    if (!useful_bits.ok()) return useful_bits.status();
-    cert.trim.useful = std::move(useful_bits).value();
-    Result<std::vector<std::string>> mapping = reader.Next();
-    if (!mapping.ok()) return mapping.status();
-    if (mapping->size() < 2 || (*mapping)[0] != "mapping") {
-      return Status::InvalidArgument("expected 'mapping <n> ...'");
-    }
-    Result<uint32_t> n = ParseU32((*mapping)[1]);
-    if (!n.ok()) return n.status();
-    if (mapping->size() != 2 + static_cast<size_t>(*n)) {
-      return Status::InvalidArgument("mapping entry count mismatch");
-    }
-    cert.trim.mapping.reserve(*n);
-    for (uint32_t i = 0; i < *n; ++i) {
-      const std::string& field = (*mapping)[2 + i];
-      if (field == "-") {
-        cert.trim.mapping.push_back(strre::kNoState);
-      } else {
-        Result<uint32_t> q = ParseU32(field);
-        if (!q.ok()) return q.status();
-        cert.trim.mapping.push_back(*q);
+    // Optional trailing digest chain (absent in pre-chain certificates).
+    Result<std::vector<std::string>> next = reader.Next();
+    if (!next.ok()) return next.status();
+    if (next->size() == 2 && (*next)[0] == "digestchain") {
+      Result<uint32_t> count = ParseU32((*next)[1]);
+      if (!count.ok()) return count.status();
+      cert.det.chain.reserve(*count);
+      for (uint32_t i = 0; i < *count; ++i) {
+        Result<std::vector<std::string>> link = reader.Next();
+        if (!link.ok()) return link.status();
+        if (link->size() != 1) {
+          return Status::InvalidArgument("expected one digest per line");
+        }
+        cert.det.chain.push_back(std::move((*link)[0]));
       }
+      next = reader.Next();
+      if (!next.ok()) return next.status();
     }
+    if (next->size() != 1 || (*next)[0] != "end") {
+      return Status::InvalidArgument("expected 'end' trailer");
+    }
+    return cert;
   }
+
+  Result<std::string> trimmed_text = ReadEmbedded(reader, "trimmed");
+  if (!trimmed_text.ok()) return trimmed_text.status();
+  Result<Nha> trimmed = automata::DeserializeNha(*trimmed_text, vocab);
+  if (!trimmed.ok()) return trimmed.status();
+  cert.trimmed = std::move(trimmed).value();
+  HEDGEQ_RETURN_IF_ERROR(ReadTrimWitness(reader, &cert.trim));
 
   Result<std::vector<std::string>> tail = reader.Next();
   if (!tail.ok()) return tail.status();

@@ -11,7 +11,9 @@
 #include "automata/dha.h"
 #include "automata/nha.h"
 #include "hedge/hedge.h"
+#include "hre/from_nha.h"
 #include "query/selection.h"
+#include "schema/algebra.h"
 #include "schema/transform.h"
 #include "util/budget.h"
 #include "util/status.h"
@@ -24,6 +26,8 @@ enum class CertificateKind {
   kTrim,         // reach/co-reach pruning (automata::PruneNha)
   kMinimize,     // block partition of automata::MinimizeDha
   kContainment,  // schema containment verdict (schema::QueryContainment)
+  kFromNha,      // Lemma 2 expression extraction (hre::NhaToHre)
+  kAlgebra,      // schema Boolean algebra (schema::IntersectSchemas & co.)
 };
 
 /// A self-contained, serializable record of one automaton transformation:
@@ -61,6 +65,17 @@ struct Certificate {
   std::optional<query::SelectionQuery> q2;
   schema::ContainmentResult containment{true, std::nullopt};
   schema::ContainmentWitness cont;
+
+  // kFromNha payload: the source NHA travels in `input`; the emitted
+  // expression plus the state-elimination recurrence witness.
+  hre::Hre fn_output;
+  hre::FromNhaWitness fn;
+
+  // kAlgebra payload: operand `a` travels in `input`; operand `b`, the
+  // result automaton, and the product/pairing witness.
+  automata::Nha alg_b;
+  automata::Nha alg_out;
+  schema::AlgebraWitness alg;
 };
 
 /// Runs the budgeted Theorem 1 construction on `input` and packages the
@@ -85,10 +100,25 @@ Result<Certificate> BuildContainmentCertificate(const schema::Schema& schema,
                                                 hedge::Vocabulary& vocab,
                                                 const ExecBudget& options = {});
 
+/// Runs the witnessed Lemma 2 extraction on `input` (fresh "_zq<i>"
+/// substitution symbols are interned into `vocab`) and packages the emitted
+/// expression plus the recurrence witness. Fails when the construction
+/// fails (substitution-state input, split cap, inline rejection).
+Result<Certificate> BuildFromNhaCertificate(const automata::Nha& input,
+                                            hedge::Vocabulary& vocab);
+
+/// Runs the witnessed schema-algebra operation `op` on `a` and `b` and
+/// packages operands, output and witness. Only kDifference can fail (its
+/// embedded complement determinizes under `budget`).
+Result<Certificate> BuildAlgebraCertificate(const schema::Schema& a,
+                                            const schema::Schema& b,
+                                            schema::AlgebraOp op,
+                                            const ExecBudget& budget = {});
+
 /// Line-oriented text form, deterministic byte-for-byte for a given
 /// certificate and vocabulary (sections are length-prefixed in lines):
 ///
-///   cert 1 <determinize|trim|minimize|containment>
+///   cert 1 <determinize|trim|minimize|containment|fromnha|algebra>
 ///   input <line-count>
 ///   <SerializeNha output>
 ///   ... kind-specific sections ...
@@ -97,7 +127,12 @@ Result<Certificate> BuildContainmentCertificate(const schema::Schema& schema,
 /// (minimize certificates carry two embedded DHAs instead of the input
 /// NHA; containment certificates embed the schema NHA as `input`, the two
 /// query texts, the product NHA, the mark tables, and — when separated —
-/// the counterexample document with its located node.)
+/// the counterexample document with its located node; fromnha certificates
+/// embed the emitted expression, the split table and the recurrence
+/// entries; algebra certificates embed the second operand, the output and
+/// the product/offset/complement witness; determinize certificates end
+/// with an optional `digestchain` section — deliberately last, so
+/// tamper-detection tests can target it by offset.)
 std::string SerializeCertificate(const Certificate& cert,
                                  const hedge::Vocabulary& vocab);
 

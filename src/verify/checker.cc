@@ -4,12 +4,15 @@
 #include <deque>
 #include <map>
 #include <set>
+#include <tuple>
 #include <unordered_set>
 
 #include "obs/catalogue.h"
 #include "obs/obs.h"
 #include "strre/ops.h"
+#include "util/digest.h"
 #include "util/strings.h"
+#include "verify/enumerate.h"
 #include "verify/naive_match.h"
 
 namespace hedgeq::verify {
@@ -369,38 +372,35 @@ std::vector<uint32_t> SortedStates(const std::vector<HState>& states) {
   return out;
 }
 
-}  // namespace
+// ---------------------------------------------------------------------------
+// Shared sections of the full (CheckDeterminize) and light
+// (CheckCertificateLight) determinize checkers. Each reports into `out`;
+// DetShape returns false when the semantic sections cannot safely index
+// through the certificate's arrays.
 
-std::vector<Diagnostic> CheckDeterminize(
-    const Nha& input, const automata::Determinized& output,
-    const automata::DeterminizeWitness& witness) {
-  std::vector<Diagnostic> out;
-  CheckObserver obs_guard(out);
+bool DetShape(const Nha& input, const automata::Determinized& output,
+              const automata::DeterminizeWitness& witness,
+              const ContentIndex& ci, std::vector<Diagnostic>& out) {
   const Dha& dha = output.dha;
   const std::vector<Bitset>& subsets = output.subsets;
   const size_t nq = input.num_states();
-  const ContentIndex ci = IndexContents(input);
-  CombinedClosurePool pool(input, ci);
-
-  // --- Shape (HQV001). Shape failures abort: the semantic checks below
-  // index through these arrays.
   if (subsets.empty() || subsets.size() != dha.num_states()) {
     Report(out, DiagnosticCode::kCertificateMalformed, "subsets",
            StrCat("subset count ", subsets.size(), " != DHA states ",
                   dha.num_states()));
-    return out;
+    return false;
   }
   if (witness.h_sets.empty() ||
       witness.h_sets.size() != dha.num_h_states()) {
     Report(out, DiagnosticCode::kCertificateMalformed, "hsets",
            StrCat("horizontal witness count ", witness.h_sets.size(),
                   " != DHA horizontal states ", dha.num_h_states()));
-    return out;
+    return false;
   }
   if (dha.h_start() >= witness.h_sets.size()) {
     Report(out, DiagnosticCode::kCertificateMalformed, "hstart",
            "horizontal start out of range");
-    return out;
+    return false;
   }
   for (size_t i = 0; i < subsets.size(); ++i) {
     if (subsets[i].size() != nq) {
@@ -408,7 +408,7 @@ std::vector<Diagnostic> CheckDeterminize(
              StrCat("subset/", i),
              StrCat("subset width ", subsets[i].size(), " != NHA states ",
                     nq));
-      return out;
+      return false;
     }
   }
   for (size_t i = 0; i < witness.h_sets.size(); ++i) {
@@ -416,7 +416,7 @@ std::vector<Diagnostic> CheckDeterminize(
       Report(out, DiagnosticCode::kCertificateMalformed, StrCat("hset/", i),
              StrCat("horizontal set width ", witness.h_sets[i].size(),
                     " != combined content states ", ci.total));
-      return out;
+      return false;
     }
   }
   if (!subsets[dha.sink()].None()) {
@@ -439,23 +439,256 @@ std::vector<Diagnostic> CheckDeterminize(
       }
     }
   }
+  return true;
+}
 
-  // --- Horizontal start: closure of every rule content's start state.
-  {
-    Bitset h0(ci.total);
-    for (size_t r = 0; r < input.rules().size(); ++r) {
-      const Nfa& content = input.rules()[r].content;
-      if (content.num_states() > 0 && content.start() != strre::kNoState) {
-        h0.Set(static_cast<uint32_t>(ci.offset[r]) + content.start());
-      }
-    }
-    pool.Close(h0);
-    if (!(witness.h_sets[dha.h_start()] == h0)) {
-      Report(out, DiagnosticCode::kSubsetTransitionIncoherent, "hstart",
-             "horizontal start set is not the closure of the content start "
-             "states");
+void DetHStart(const Nha& input, const Dha& dha,
+               const automata::DeterminizeWitness& witness,
+               const ContentIndex& ci, CombinedClosurePool& pool,
+               std::vector<Diagnostic>& out) {
+  Bitset h0(ci.total);
+  for (size_t r = 0; r < input.rules().size(); ++r) {
+    const Nfa& content = input.rules()[r].content;
+    if (content.num_states() > 0 && content.start() != strre::kNoState) {
+      h0.Set(static_cast<uint32_t>(ci.offset[r]) + content.start());
     }
   }
+  pool.Close(h0);
+  if (!(witness.h_sets[dha.h_start()] == h0)) {
+    Report(out, DiagnosticCode::kSubsetTransitionIncoherent, "hstart",
+           "horizontal start set is not the closure of the content start "
+           "states");
+  }
+}
+
+void DetIota(const Nha& input, const Dha& dha,
+             const std::vector<Bitset>& subsets,
+             std::vector<Diagnostic>& out) {
+  const size_t nq = input.num_states();
+  for (const auto& [x, states] : input.var_map()) {
+    Bitset expect(nq);
+    for (HState q : states) expect.Set(q);
+    HState sid = dha.VariableState(x);
+    if (sid >= subsets.size() || !(subsets[sid] == expect)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("var/", x),
+             "variable state does not denote iota(x)");
+    }
+  }
+  for (const auto& [x, sid] : dha.var_map()) {
+    if (!input.var_map().contains(x)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("var/", x),
+             "DHA knows a variable the input does not");
+    }
+  }
+  for (const auto& [z, states] : input.subst_map()) {
+    Bitset expect(nq);
+    for (HState q : states) expect.Set(q);
+    HState sid = dha.SubstState(z);
+    if (sid >= subsets.size() || !(subsets[sid] == expect)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("subst/", z),
+             "substitution state does not denote iota(z)");
+    }
+  }
+  for (const auto& [z, sid] : dha.subst_map()) {
+    if (!input.subst_map().contains(z)) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("subst/", z),
+             "DHA knows a substitution symbol the input does not");
+    }
+  }
+}
+
+void DetFinal(const Nha& input, const Dha& dha,
+              const std::vector<Bitset>& subsets,
+              const std::vector<std::vector<uint32_t>>& subset_bits,
+              const automata::DeterminizeWitness& witness,
+              std::vector<Diagnostic>& out) {
+  const Nfa& fl = input.final_nfa();
+  const strre::Dfa& fdfa = dha.final_dfa();
+  if (witness.final_sets.size() != fdfa.num_states()) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "finalsets",
+           StrCat("final witness count ", witness.final_sets.size(),
+                  " != final DFA states ", fdfa.num_states()));
+    return;
+  }
+  if (fl.num_states() == 0 || fl.start() == strre::kNoState) {
+    // Empty final language: one dead total state.
+    if (fdfa.num_states() != 1 || fdfa.IsAccepting(0)) {
+      Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
+             "empty final language must lift to one non-accepting state");
+    } else {
+      for (HState sid = 0; sid < subsets.size(); ++sid) {
+        if (fdfa.Next(0, sid) != 0) {
+          Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
+                 "dead final state must loop on every letter");
+          break;
+        }
+      }
+    }
+    return;
+  }
+  for (size_t i = 0; i < witness.final_sets.size(); ++i) {
+    if (witness.final_sets[i].size() != fl.num_states()) {
+      Report(out, DiagnosticCode::kCertificateMalformed,
+             StrCat("finalset/", i), "final witness set width mismatch");
+      return;
+    }
+  }
+  if (fdfa.start() == strre::kNoState ||
+      fdfa.start() >= witness.final_sets.size()) {
+    Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
+           "lifted final DFA has no start state");
+    return;
+  }
+  {
+    Bitset start(fl.num_states());
+    start.Set(fl.start());
+    CloseNfa(fl, start);
+    if (!(witness.final_sets[fdfa.start()] == start)) {
+      Report(out, DiagnosticCode::kFinalSetInconsistent, "final/start",
+             "final DFA start does not denote the closed final-NFA start");
+    }
+  }
+  // Per-state epsilon closures of the final NFA, filled on demand: the
+  // same distribute-closure-over-union rewrite as the horizontal matrix,
+  // so each final DFA state walks its NFA transitions once, not once per
+  // subset letter.
+  std::vector<Bitset> fl_closure(fl.num_states());
+  auto fl_closure_of = [&](uint32_t s) -> const Bitset& {
+    Bitset& c = fl_closure[s];
+    if (c.size() != fl.num_states()) {
+      c = Bitset(fl.num_states());
+      c.Set(s);
+      CloseNfa(fl, c);
+    }
+    return c;
+  };
+  for (strre::StateId f = 0; f < fdfa.num_states(); ++f) {
+    bool want_accepting = false;
+    std::unordered_map<uint32_t, Bitset> frows;
+    for (uint32_t s : witness.final_sets[f].ToVector()) {
+      if (fl.IsAccepting(s)) want_accepting = true;
+      for (const Nfa::Transition& t : fl.TransitionsFrom(s)) {
+        auto [it, fresh] = frows.try_emplace(t.symbol, fl.num_states());
+        it->second |= fl_closure_of(t.to);
+      }
+    }
+    if (want_accepting != fdfa.IsAccepting(f)) {
+      Report(out, DiagnosticCode::kFinalSetInconsistent,
+             StrCat("final/", f),
+             "lifted final DFA acceptance disagrees with the witnessed "
+             "final-NFA state set");
+    }
+    Bitset next(fl.num_states());
+    for (HState sid = 0; sid < subsets.size(); ++sid) {
+      next.ClearAll();
+      for (uint32_t q : subset_bits[sid]) {
+        auto it = frows.find(q);
+        if (it != frows.end()) next |= it->second;
+      }
+      strre::StateId to = fdfa.Next(f, sid);
+      if (to == strre::kNoState || to >= witness.final_sets.size()) {
+        Report(out, DiagnosticCode::kFinalSetInconsistent,
+               StrCat("final/", f, "/", sid),
+               "lifted final DFA is not total over subset letters");
+      } else if (!(witness.final_sets[to] == next)) {
+        Report(out, DiagnosticCode::kFinalSetInconsistent,
+               StrCat("final/", f, "/", sid),
+               "lifted final DFA transition does not match the recomputed "
+               "step");
+      }
+    }
+  }
+}
+
+// One horizontal row re-derived in full — closedness, every transition out
+// of `h`, and every assignment at `h`. The light checker samples rows
+// through this; CheckDeterminize keeps its own dense loops (same logic) so
+// its finding order stays stable.
+void DetRow(HhState h, const Nha& input, const ContentIndex& ci,
+            CombinedClosurePool& pool, const Dha& dha,
+            const automata::DeterminizeWitness& witness,
+            const std::vector<Bitset>& subsets,
+            const std::vector<std::vector<uint32_t>>& subset_bits,
+            const std::set<hedge::SymbolId>& all_symbols,
+            std::vector<Diagnostic>& out) {
+  bool is_closed = true;
+  for (uint32_t cs : witness.h_sets[h].ToVector()) {
+    size_t r = RuleOf(ci, cs);
+    const Nfa& content = input.rules()[r].content;
+    uint32_t local = cs - static_cast<uint32_t>(ci.offset[r]);
+    for (strre::StateId t : content.EpsilonsFrom(local)) {
+      if (!witness.h_sets[h].Test(static_cast<uint32_t>(ci.offset[r]) + t)) {
+        is_closed = false;
+        break;
+      }
+    }
+    if (!is_closed) break;
+  }
+  if (!is_closed) {
+    Report(out, DiagnosticCode::kSubsetTransitionIncoherent,
+           StrCat("hset/", h), "horizontal set is not epsilon-closed");
+    return;
+  }
+  const std::unordered_map<uint32_t, Bitset> targets =
+      pool.TargetsBySymbol(witness.h_sets[h]);
+  Bitset expect(ci.total);
+  for (HState sid = 0; sid < subsets.size(); ++sid) {
+    expect.ClearAll();
+    for (uint32_t q : subset_bits[sid]) {
+      auto it = targets.find(q);
+      if (it != targets.end()) expect |= it->second;
+    }
+    HhState to = dha.HNext(h, sid);
+    if (to >= witness.h_sets.size()) {
+      Report(out, DiagnosticCode::kCertificateMalformed,
+             StrCat("htrans/", h, "/", sid),
+             "horizontal transition target out of range");
+    } else if (!(witness.h_sets[to] == expect)) {
+      Report(out, DiagnosticCode::kSubsetTransitionIncoherent,
+             StrCat("htrans/", h, "/", sid),
+             "horizontal transition does not match the recomputed subset "
+             "step");
+    }
+  }
+  std::map<hedge::SymbolId, Bitset> accept =
+      AcceptTargets(input, ci, witness.h_sets[h]);
+  for (hedge::SymbolId symbol : all_symbols) {
+    HState sid = dha.Assign(symbol, h);
+    if (sid >= subsets.size()) {
+      Report(out, DiagnosticCode::kCertificateMalformed,
+             StrCat("assign/", symbol, "/", h),
+             "assignment target out of range");
+      continue;
+    }
+    auto it = accept.find(symbol);
+    const bool match = it == accept.end() ? subsets[sid].None()
+                                          : subsets[sid] == it->second;
+    if (!match) {
+      Report(out, DiagnosticCode::kAssignmentIncoherent,
+             StrCat("assign/", symbol, "/", h),
+             "assignment does not match the accepting rules' targets");
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckDeterminize(
+    const Nha& input, const automata::Determinized& output,
+    const automata::DeterminizeWitness& witness) {
+  std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
+  const Dha& dha = output.dha;
+  const std::vector<Bitset>& subsets = output.subsets;
+  const ContentIndex ci = IndexContents(input);
+  CombinedClosurePool pool(input, ci);
+
+  // --- Shape (HQV001). Shape failures abort: the semantic checks below
+  // index through these arrays.
+  if (!DetShape(input, output, witness, ci, out)) return out;
+
+  // --- Horizontal start: closure of every rule content's start state.
+  DetHStart(input, dha, witness, ci, pool, out);
 
   // --- Horizontal transitions (HQV002): every (h, subset-letter) entry of
   // the dense matrix must be the recomputed closed step. The step is
@@ -541,135 +774,11 @@ std::vector<Diagnostic> CheckDeterminize(
   }
 
   // --- iota (HQV004): variable/substitution states denote the input sets.
-  for (const auto& [x, states] : input.var_map()) {
-    Bitset expect(nq);
-    for (HState q : states) expect.Set(q);
-    HState sid = dha.VariableState(x);
-    if (sid >= subsets.size() || !(subsets[sid] == expect)) {
-      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("var/", x),
-             "variable state does not denote iota(x)");
-    }
-  }
-  for (const auto& [x, sid] : dha.var_map()) {
-    if (!input.var_map().contains(x)) {
-      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("var/", x),
-             "DHA knows a variable the input does not");
-    }
-  }
-  for (const auto& [z, states] : input.subst_map()) {
-    Bitset expect(nq);
-    for (HState q : states) expect.Set(q);
-    HState sid = dha.SubstState(z);
-    if (sid >= subsets.size() || !(subsets[sid] == expect)) {
-      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("subst/", z),
-             "substitution state does not denote iota(z)");
-    }
-  }
-  for (const auto& [z, sid] : dha.subst_map()) {
-    if (!input.subst_map().contains(z)) {
-      Report(out, DiagnosticCode::kAssignmentIncoherent, StrCat("subst/", z),
-             "DHA knows a substitution symbol the input does not");
-    }
-  }
+  DetIota(input, dha, subsets, out);
 
   // --- Lifted final DFA (HQV003): simulation against the witnessed
   // final-NFA state sets.
-  const Nfa& fl = input.final_nfa();
-  const strre::Dfa& fdfa = dha.final_dfa();
-  if (witness.final_sets.size() != fdfa.num_states()) {
-    Report(out, DiagnosticCode::kCertificateMalformed, "finalsets",
-           StrCat("final witness count ", witness.final_sets.size(),
-                  " != final DFA states ", fdfa.num_states()));
-    return out;
-  }
-  if (fl.num_states() == 0 || fl.start() == strre::kNoState) {
-    // Empty final language: one dead total state.
-    if (fdfa.num_states() != 1 || fdfa.IsAccepting(0)) {
-      Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
-             "empty final language must lift to one non-accepting state");
-    } else {
-      for (HState sid = 0; sid < subsets.size(); ++sid) {
-        if (fdfa.Next(0, sid) != 0) {
-          Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
-                 "dead final state must loop on every letter");
-          break;
-        }
-      }
-    }
-    return out;
-  }
-  for (size_t i = 0; i < witness.final_sets.size(); ++i) {
-    if (witness.final_sets[i].size() != fl.num_states()) {
-      Report(out, DiagnosticCode::kCertificateMalformed,
-             StrCat("finalset/", i), "final witness set width mismatch");
-      return out;
-    }
-  }
-  if (fdfa.start() == strre::kNoState ||
-      fdfa.start() >= witness.final_sets.size()) {
-    Report(out, DiagnosticCode::kFinalSetInconsistent, "final",
-           "lifted final DFA has no start state");
-    return out;
-  }
-  {
-    Bitset start(fl.num_states());
-    start.Set(fl.start());
-    CloseNfa(fl, start);
-    if (!(witness.final_sets[fdfa.start()] == start)) {
-      Report(out, DiagnosticCode::kFinalSetInconsistent, "final/start",
-             "final DFA start does not denote the closed final-NFA start");
-    }
-  }
-  // Per-state epsilon closures of the final NFA, filled on demand: the
-  // same distribute-closure-over-union rewrite as the horizontal matrix,
-  // so each final DFA state walks its NFA transitions once, not once per
-  // subset letter.
-  std::vector<Bitset> fl_closure(fl.num_states());
-  auto fl_closure_of = [&](uint32_t s) -> const Bitset& {
-    Bitset& c = fl_closure[s];
-    if (c.size() != fl.num_states()) {
-      c = Bitset(fl.num_states());
-      c.Set(s);
-      CloseNfa(fl, c);
-    }
-    return c;
-  };
-  for (strre::StateId f = 0; f < fdfa.num_states(); ++f) {
-    bool want_accepting = false;
-    std::unordered_map<uint32_t, Bitset> frows;
-    for (uint32_t s : witness.final_sets[f].ToVector()) {
-      if (fl.IsAccepting(s)) want_accepting = true;
-      for (const Nfa::Transition& t : fl.TransitionsFrom(s)) {
-        auto [it, fresh] = frows.try_emplace(t.symbol, fl.num_states());
-        it->second |= fl_closure_of(t.to);
-      }
-    }
-    if (want_accepting != fdfa.IsAccepting(f)) {
-      Report(out, DiagnosticCode::kFinalSetInconsistent,
-             StrCat("final/", f),
-             "lifted final DFA acceptance disagrees with the witnessed "
-             "final-NFA state set");
-    }
-    Bitset next(fl.num_states());
-    for (HState sid = 0; sid < subsets.size(); ++sid) {
-      next.ClearAll();
-      for (uint32_t q : subset_bits[sid]) {
-        auto it = frows.find(q);
-        if (it != frows.end()) next |= it->second;
-      }
-      strre::StateId to = fdfa.Next(f, sid);
-      if (to == strre::kNoState || to >= witness.final_sets.size()) {
-        Report(out, DiagnosticCode::kFinalSetInconsistent,
-               StrCat("final/", f, "/", sid),
-               "lifted final DFA is not total over subset letters");
-      } else if (!(witness.final_sets[to] == next)) {
-        Report(out, DiagnosticCode::kFinalSetInconsistent,
-               StrCat("final/", f, "/", sid),
-               "lifted final DFA transition does not match the recomputed "
-               "step");
-      }
-    }
-  }
+  DetFinal(input, dha, subsets, subset_bits, witness, out);
   return out;
 }
 
@@ -1716,6 +1825,591 @@ std::vector<Diagnostic> CheckContainment(
   return out;
 }
 
+namespace {
+
+// Structural HRE equality over shared DAGs, memoized on node-pointer pairs
+// so repeated shared subtrees are compared once.
+bool HreStructEqImpl(
+    const hre::HreNode* a, const hre::HreNode* b,
+    std::map<std::pair<const hre::HreNode*, const hre::HreNode*>, bool>&
+        memo) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  const auto key = std::make_pair(a, b);
+  auto it = memo.find(key);
+  if (it != memo.end()) return it->second;
+  const bool eq = a->kind() == b->kind() && a->id() == b->id() &&
+                  a->subst() == b->subst() &&
+                  HreStructEqImpl(a->left().get(), b->left().get(), memo) &&
+                  HreStructEqImpl(a->right().get(), b->right().get(), memo);
+  memo.emplace(key, eq);
+  return eq;
+}
+
+bool HreStructEq(const hre::Hre& a, const hre::Hre& b) {
+  std::map<std::pair<const hre::HreNode*, const hre::HreNode*>, bool> memo;
+  return HreStructEqImpl(a.get(), b.get(), memo);
+}
+
+// Checker-side pairing product — the spec of schema::IntersectSchemas
+// re-coded independently: output states qa*|Qb|+qb, rule pairs in
+// a-outer/b-inner order on matching symbols, content NFAs paired state-wise
+// (pair states sa*|Sb|+sb, per-side epsilons, pair letters, accepting iff
+// both sides accept), iota paired per variable/substitution symbol, final
+// language the pairing of the final NFAs.
+Nha CheckerPairProduct(const Nha& a, const Nha& b) {
+  Nha out;
+  const size_t nb = b.num_states();
+  out.AddStates(a.num_states() * nb);
+  auto encode = [nb](HState qa, HState qb) {
+    return static_cast<HState>(qa * nb + qb);
+  };
+  auto pair_nfa = [&](const Nfa& ca, const Nfa& cb) {
+    Nfa prod;
+    const size_t pb = cb.num_states();
+    for (size_t i = 0; i < ca.num_states() * pb; ++i) prod.AddState(false);
+    if (ca.num_states() == 0 || cb.num_states() == 0) return prod;
+    auto pid = [pb](uint32_t sa, uint32_t sb) {
+      return static_cast<strre::StateId>(sa * pb + sb);
+    };
+    prod.SetStart(pid(ca.start(), cb.start()));
+    for (uint32_t sa = 0; sa < ca.num_states(); ++sa) {
+      for (uint32_t sb = 0; sb < cb.num_states(); ++sb) {
+        if (ca.IsAccepting(sa) && cb.IsAccepting(sb)) {
+          prod.SetAccepting(pid(sa, sb), true);
+        }
+        for (uint32_t ta : ca.EpsilonsFrom(sa)) {
+          prod.AddEpsilon(pid(sa, sb), pid(ta, sb));
+        }
+        for (uint32_t tb : cb.EpsilonsFrom(sb)) {
+          prod.AddEpsilon(pid(sa, sb), pid(sa, tb));
+        }
+        for (const Nfa::Transition& ta : ca.TransitionsFrom(sa)) {
+          for (const Nfa::Transition& tb : cb.TransitionsFrom(sb)) {
+            prod.AddTransition(pid(sa, sb), encode(ta.symbol, tb.symbol),
+                               pid(ta.to, tb.to));
+          }
+        }
+      }
+    }
+    return prod;
+  };
+  for (const Nha::Rule& ra : a.rules()) {
+    for (const Nha::Rule& rb : b.rules()) {
+      if (ra.symbol != rb.symbol) continue;
+      out.AddRule(ra.symbol, pair_nfa(ra.content, rb.content),
+                  encode(ra.target, rb.target));
+    }
+  }
+  for (const auto& [x, states_a] : a.var_map()) {
+    for (HState qa : states_a) {
+      for (HState qb : b.VariableStates(x)) {
+        out.AddVariableState(x, encode(qa, qb));
+      }
+    }
+  }
+  for (const auto& [z, states_a] : a.subst_map()) {
+    for (HState qa : states_a) {
+      for (HState qb : b.SubstStates(z)) {
+        out.AddSubstState(z, encode(qa, qb));
+      }
+    }
+  }
+  out.SetFinal(pair_nfa(a.final_nfa(), b.final_nfa()));
+  return out;
+}
+
+// Whole-NHA structural equality (rule order included); on mismatch `why`
+// names the first disagreeing section.
+bool NhaStructEqWhy(const Nha& x, const Nha& y, std::string* why) {
+  if (x.num_states() != y.num_states()) {
+    *why = StrCat("states ", x.num_states(), " != ", y.num_states());
+    return false;
+  }
+  if (x.rules().size() != y.rules().size()) {
+    *why = StrCat("rules ", x.rules().size(), " != ", y.rules().size());
+    return false;
+  }
+  for (size_t i = 0; i < x.rules().size(); ++i) {
+    const Nha::Rule& rx = x.rules()[i];
+    const Nha::Rule& ry = y.rules()[i];
+    if (rx.symbol != ry.symbol || rx.target != ry.target ||
+        !NfaStructEq(rx.content, ry.content)) {
+      *why = StrCat("rule/", i);
+      return false;
+    }
+  }
+  for (const auto& [v, states] : x.var_map()) {
+    if (SortedStates(states) != SortedStates(y.VariableStates(v))) {
+      *why = StrCat("var/", v);
+      return false;
+    }
+  }
+  for (const auto& [v, states] : y.var_map()) {
+    if (!x.var_map().contains(v)) {
+      *why = StrCat("var/", v);
+      return false;
+    }
+  }
+  for (const auto& [z, states] : x.subst_map()) {
+    if (SortedStates(states) != SortedStates(y.SubstStates(z))) {
+      *why = StrCat("subst/", z);
+      return false;
+    }
+  }
+  for (const auto& [z, states] : y.subst_map()) {
+    if (!x.subst_map().contains(z)) {
+      *why = StrCat("subst/", z);
+      return false;
+    }
+  }
+  if (!NfaStructEq(x.final_nfa(), y.final_nfa())) {
+    *why = "final";
+    return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+std::vector<Diagnostic> CheckFromNha(const Nha& input, const hre::Hre& output,
+                                     const hre::FromNhaWitness& witness) {
+  std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
+  if (output == nullptr || witness.result == nullptr) {
+    Report(out, DiagnosticCode::kCertificateMalformed, "fromnha",
+           "certificate carries no expression");
+    return out;
+  }
+  if (!input.subst_map().empty()) {
+    Report(out, DiagnosticCode::kFromNhaWitnessRejected, "input",
+           "Lemma 2 does not apply to automata with substitution-symbol "
+           "states — the construction cannot have succeeded");
+    return out;
+  }
+
+  // --- Split table (re-enumerated): the (symbol, target) pairs of the
+  // input's rules in first-occurrence order, at most 62.
+  std::vector<std::pair<hedge::SymbolId, HState>> splits;
+  {
+    std::set<std::pair<hedge::SymbolId, HState>> seen;
+    for (const Nha::Rule& rule : input.rules()) {
+      const auto key = std::make_pair(rule.symbol, rule.target);
+      if (seen.insert(key).second) splits.push_back(key);
+    }
+  }
+  if (witness.splits != splits) {
+    Report(out, DiagnosticCode::kFromNhaWitnessRejected, "splits",
+           "witnessed split table does not match the rule targets in "
+           "first-occurrence order");
+    return out;
+  }
+  if (splits.size() > 62 || witness.substs.size() != splits.size()) {
+    Report(out, DiagnosticCode::kFromNhaWitnessRejected, "substs",
+           StrCat("split table has ", splits.size(), " entries but ",
+                  witness.substs.size(), " substitution symbols"));
+    return out;
+  }
+  const uint64_t all_mask =
+      splits.empty() ? 0
+                     : (splits.size() == 62 ? ~uint64_t{0} >> 2
+                                            : (uint64_t{1} << splits.size()) -
+                                                  1);
+
+  // --- Recurrence replay (the heart of HQV014): every recursive entry of
+  // the witness must equal the recurrence combination of its recorded
+  // sub-entries — which precede it in fill order — rebuilt here and
+  // compared structurally. A construction that drops an alternative (the
+  // from_nha/drop-alternative failpoint) fails this deterministically.
+  std::map<std::tuple<uint32_t, uint64_t, uint64_t>, hre::Hre> table;
+  for (size_t i = 0; i < witness.entries.size(); ++i) {
+    const hre::FromNhaWitness::Entry& e = witness.entries[i];
+    if (e.expr == nullptr || e.c >= splits.size() ||
+        (e.q1 & ~all_mask) != 0 || (e.q2 & ~all_mask) != 0 ||
+        (e.q1 & e.q2) != 0) {
+      Report(out, DiagnosticCode::kFromNhaWitnessRejected,
+             StrCat("entry/", i), "recurrence entry out of range");
+      return out;
+    }
+    if (e.q1 != 0) {
+      const uint32_t p = 63 - static_cast<uint32_t>(__builtin_clzll(e.q1));
+      const uint64_t q1_rest = e.q1 & ~(uint64_t{1} << p);
+      const uint64_t q2_with_p = e.q2 | (uint64_t{1} << p);
+      auto sub = [&](uint32_t c, uint64_t q1, uint64_t q2) -> hre::Hre {
+        auto it = table.find(std::make_tuple(c, q1, q2));
+        return it == table.end() ? nullptr : it->second;
+      };
+      const hre::Hre rp = sub(p, q1_rest, e.q2);
+      const hre::Hre rp_up = sub(p, q1_rest, q2_with_p);
+      const hre::Hre rq_up = sub(e.c, q1_rest, q2_with_p);
+      const hre::Hre rq = sub(e.c, q1_rest, e.q2);
+      if (rp == nullptr || rp_up == nullptr || rq_up == nullptr ||
+          rq == nullptr) {
+        Report(out, DiagnosticCode::kFromNhaWitnessRejected,
+               StrCat("entry/", i),
+               "recurrence entry precedes one of its sub-entries");
+        return out;
+      }
+      const hedge::SubstId zp = witness.substs[p];
+      const hre::Hre expected = hre::HUnion(
+          hre::HEmbed(
+              hre::HUnion(hre::HEmbed(rp, zp, hre::HVClose(rp_up, zp)), rp),
+              zp, rq_up),
+          rq);
+      if (!HreStructEq(expected, e.expr)) {
+        Report(out, DiagnosticCode::kFromNhaWitnessRejected,
+               StrCat("entry/", i),
+               "recurrence entry is not the combination of its sub-entries "
+               "(an elimination alternative was altered or dropped)");
+      }
+    }
+    if (!table.emplace(std::make_tuple(e.c, e.q1, e.q2), e.expr).second) {
+      Report(out, DiagnosticCode::kFromNhaWitnessRejected,
+             StrCat("entry/", i), "duplicate recurrence entry");
+    }
+    if (out.size() >= kMaxFindings) return out;
+  }
+  if (!HreStructEq(witness.result, output)) {
+    Report(out, DiagnosticCode::kFromNhaWitnessRejected, "result",
+           "witnessed result is not the returned expression");
+  }
+  if (!out.empty()) return out;
+
+  // --- Independent semantic tier: recompile the emitted expression through
+  // the Lemma 1 pipeline (verify/checker never shares code with Lemma 2)
+  // and differentially compare membership against the source automaton on
+  // a bounded-exhaustive plus sampled hedge corpus. Budget exhaustion
+  // degrades to the structural tier above instead of flagging.
+  ExecBudget budget;
+  budget.max_states = size_t{1} << 14;
+  budget.max_memory_bytes = size_t{32} << 20;
+  budget.max_steps = size_t{1} << 24;
+  budget.max_depth = 1024;
+  BudgetScope scope(budget);
+  Result<Nha> compiled = hre::CompileHre(output, scope);
+  if (!compiled.ok()) return out;
+
+  EnumVocab ev;
+  {
+    std::set<hedge::SymbolId> syms;
+    for (const Nha::Rule& rule : input.rules()) syms.insert(rule.symbol);
+    ev.symbols.assign(syms.begin(), syms.end());
+    // One fresh symbol the automaton has no rule for: both sides must
+    // reject hedges mentioning it.
+    ev.symbols.push_back(ev.symbols.empty() ? 0 : ev.symbols.back() + 1);
+    for (const auto& [x, states] : input.var_map()) {
+      ev.variables.push_back(x);
+    }
+  }
+  bool disagreed = false;
+  auto compare = [&](const hedge::Hedge& h) {
+    const bool want = input.Accepts(h);
+    const bool got = compiled->Accepts(h);
+    if (want != got) {
+      disagreed = true;
+      Report(out, DiagnosticCode::kFromNhaWitnessRejected,
+             StrCat("hedge/", h.num_nodes()),
+             StrCat("recompiled expression ", got ? "accepts" : "rejects",
+                    " a ", h.num_nodes(),
+                    "-node hedge the source automaton ",
+                    want ? "accepts" : "rejects"));
+      return false;
+    }
+    return true;
+  };
+  size_t remaining = 2000;
+  for (size_t size = 0; size <= 3 && remaining > 0 && !disagreed; ++size) {
+    const size_t emitted = EnumerateHedges(ev, size, remaining, compare);
+    remaining -= std::min(remaining, emitted);
+  }
+  SplitMix64 rng(1);
+  for (size_t i = 0; i < 24 && !disagreed; ++i) {
+    compare(SampleHedge(ev, 5, rng));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckAlgebra(const schema::Schema& a,
+                                     const schema::Schema& b,
+                                     const schema::Schema& result,
+                                     const schema::AlgebraWitness& witness) {
+  std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
+  const Nha& na = a.nha();
+  const Nha& nb = b.nha();
+  const Nha& no = result.nha();
+
+  switch (witness.op) {
+    case schema::AlgebraOp::kIntersect:
+    case schema::AlgebraOp::kDifference: {
+      // --- Product re-derivation: the pairing product of the left operand
+      // with the right operand (b, or the witnessed complement of b for
+      // difference), rebuilt with the checker's own pairing code and
+      // compared structurally — rule order included, so a dropped or
+      // reordered rule (the algebra/drop-rule failpoint) cannot hide.
+      const Nha& right = witness.op == schema::AlgebraOp::kDifference
+                             ? witness.complement
+                             : nb;
+      std::string why;
+      if (!NhaStructEqWhy(CheckerPairProduct(na, right), witness.product,
+                          &why)) {
+        Report(out, DiagnosticCode::kAlgebraWitnessRejected,
+               StrCat("product/", why),
+               "witnessed product does not match the re-derived pairing "
+               "product");
+      }
+      // --- The output is the pruned product; re-validate the prune through
+      // the independent trim checker.
+      for (Diagnostic& d : CheckTrim(witness.product, no, witness.trim)) {
+        if (out.size() >= kMaxFindings) break;
+        out.push_back(std::move(d));
+      }
+      break;
+    }
+    case schema::AlgebraOp::kUnion: {
+      // --- Disjoint-union layout: a's copy at offset 0, b's copy after it,
+      // rules and iota shifted, re-derived structurally.
+      if (witness.offset_a != 0 ||
+          witness.offset_b != static_cast<HState>(na.num_states()) ||
+          no.num_states() != na.num_states() + nb.num_states()) {
+        Report(out, DiagnosticCode::kAlgebraWitnessRejected, "offsets",
+               "union offsets do not match the operand state counts");
+        break;
+      }
+      if (no.rules().size() != na.rules().size() + nb.rules().size()) {
+        Report(out, DiagnosticCode::kAlgebraWitnessRejected, "rules",
+               StrCat("union has ", no.rules().size(), " rules for ",
+                      na.rules().size(), " + ", nb.rules().size(),
+                      " operand rules"));
+        break;
+      }
+      std::vector<HState> shift_a(na.num_states());
+      std::vector<HState> shift_b(nb.num_states());
+      for (HState q = 0; q < na.num_states(); ++q) {
+        shift_a[q] = q + witness.offset_a;
+      }
+      for (HState q = 0; q < nb.num_states(); ++q) {
+        shift_b[q] = q + witness.offset_b;
+      }
+      auto check_side = [&](const Nha& side, const std::vector<HState>& shift,
+                            HState offset, size_t rule_offset,
+                            const char* name) {
+        for (size_t i = 0; i < side.rules().size(); ++i) {
+          const Nha::Rule& rs = side.rules()[i];
+          const Nha::Rule& ro = no.rules()[rule_offset + i];
+          if (ro.symbol != rs.symbol || ro.target != rs.target + offset ||
+              !NfaStructEq(ro.content, ProjectLetters(rs.content, shift))) {
+            Report(out, DiagnosticCode::kAlgebraWitnessRejected,
+                   StrCat("rule/", name, "/", i),
+                   "union rule is not the shifted copy of the operand rule");
+          }
+        }
+      };
+      check_side(na, shift_a, witness.offset_a, 0, "a");
+      check_side(nb, shift_b, witness.offset_b, na.rules().size(), "b");
+      auto check_iota = [&](auto states_of_a, auto states_of_b,
+                            auto states_of_out, const auto& keys,
+                            const char* name) {
+        for (const auto& key : keys) {
+          std::vector<uint32_t> expect;
+          for (HState q : states_of_a(key)) {
+            expect.push_back(q + witness.offset_a);
+          }
+          for (HState q : states_of_b(key)) {
+            expect.push_back(q + witness.offset_b);
+          }
+          std::sort(expect.begin(), expect.end());
+          expect.erase(std::unique(expect.begin(), expect.end()),
+                       expect.end());
+          if (SortedStates(states_of_out(key)) != expect) {
+            Report(out, DiagnosticCode::kAlgebraWitnessRejected,
+                   StrCat(name, "/", key),
+                   "union iota is not the shifted pairing of the operands'");
+          }
+        }
+      };
+      {
+        std::set<hedge::VarId> vars;
+        for (const auto& [x, states] : na.var_map()) vars.insert(x);
+        for (const auto& [x, states] : nb.var_map()) vars.insert(x);
+        for (const auto& [x, states] : no.var_map()) vars.insert(x);
+        check_iota([&](hedge::VarId x) { return na.VariableStates(x); },
+                   [&](hedge::VarId x) { return nb.VariableStates(x); },
+                   [&](hedge::VarId x) { return no.VariableStates(x); },
+                   vars, "var");
+      }
+      {
+        std::set<hedge::SubstId> subs;
+        for (const auto& [z, states] : na.subst_map()) subs.insert(z);
+        for (const auto& [z, states] : nb.subst_map()) subs.insert(z);
+        for (const auto& [z, states] : no.subst_map()) subs.insert(z);
+        check_iota([&](hedge::SubstId z) { return na.SubstStates(z); },
+                   [&](hedge::SubstId z) { return nb.SubstStates(z); },
+                   [&](hedge::SubstId z) { return no.SubstStates(z); },
+                   subs, "subst");
+      }
+      // The union's final NFA is covered semantically by the membership
+      // oracle below (re-deriving strre::UnionNfa's layout here would just
+      // re-run construction code).
+      break;
+    }
+  }
+
+  // --- Enumeration membership oracle: the output must agree with the
+  // operand validators pointwise (out == a OP b) on a bounded-exhaustive
+  // plus sampled corpus over the joint vocabulary; for difference the
+  // witnessed complement must additionally disagree with b everywhere.
+  EnumVocab ev;
+  {
+    std::set<hedge::SymbolId> syms;
+    for (hedge::SymbolId s : a.Symbols()) syms.insert(s);
+    for (hedge::SymbolId s : b.Symbols()) syms.insert(s);
+    ev.symbols.assign(syms.begin(), syms.end());
+    std::set<hedge::VarId> vars;
+    for (hedge::VarId v : a.Variables()) vars.insert(v);
+    for (hedge::VarId v : b.Variables()) vars.insert(v);
+    ev.variables.assign(vars.begin(), vars.end());
+  }
+  bool disagreed = false;
+  auto compare = [&](const hedge::Hedge& h) {
+    const bool ina = na.Accepts(h);
+    const bool inb = nb.Accepts(h);
+    const bool ino = no.Accepts(h);
+    bool want = false;
+    switch (witness.op) {
+      case schema::AlgebraOp::kIntersect:
+        want = ina && inb;
+        break;
+      case schema::AlgebraOp::kUnion:
+        want = ina || inb;
+        break;
+      case schema::AlgebraOp::kDifference:
+        want = ina && !inb;
+        break;
+    }
+    if (ino != want) {
+      disagreed = true;
+      Report(out, DiagnosticCode::kAlgebraWitnessRejected,
+             StrCat("hedge/", h.num_nodes()),
+             StrCat("output ", ino ? "accepts" : "rejects", " a ",
+                    h.num_nodes(),
+                    "-node hedge the operand validators say it must ",
+                    want ? "accept" : "reject"));
+      return false;
+    }
+    if (witness.op == schema::AlgebraOp::kDifference &&
+        witness.complement.Accepts(h) == inb) {
+      disagreed = true;
+      Report(out, DiagnosticCode::kAlgebraWitnessRejected,
+             StrCat("hedge/", h.num_nodes()),
+             "witnessed complement agrees with b on a joint-vocabulary "
+             "hedge");
+      return false;
+    }
+    return true;
+  };
+  size_t remaining = 1500;
+  for (size_t size = 0; size <= 3 && remaining > 0 && !disagreed; ++size) {
+    const size_t emitted = EnumerateHedges(ev, size, remaining, compare);
+    remaining -= std::min(remaining, emitted);
+  }
+  SplitMix64 rng(1);
+  for (size_t i = 0; i < 16 && !disagreed; ++i) {
+    compare(SampleHedge(ev, 5, rng));
+  }
+  return out;
+}
+
+std::vector<Diagnostic> CheckCertificateLight(const Certificate& cert,
+                                              size_t sample_rows) {
+  if (cert.kind != CertificateKind::kDeterminize || cert.det.chain.empty()) {
+    // No chain (or not a determinize certificate): nothing light to do —
+    // fall through to the full checker.
+    return CheckCertificate(cert);
+  }
+  std::vector<Diagnostic> out;
+  CheckObserver obs_guard(out);
+  const automata::Determinized output{cert.dha, cert.subsets};
+  const automata::DeterminizeWitness& witness = cert.det;
+  const Nha& input = cert.input;
+  const Dha& dha = output.dha;
+  const ContentIndex ci = IndexContents(input);
+  CombinedClosurePool pool(input, ci);
+  if (!DetShape(input, output, witness, ci, out)) return out;
+
+  // --- Digest chain (HQV016): one link per stored set in section order;
+  // recomputing every link is O(total set bits) and catches any tampering
+  // of a set or a link deterministically.
+  const size_t total_sets = output.subsets.size() + witness.h_sets.size() +
+                            witness.final_sets.size();
+  if (witness.chain.size() != total_sets) {
+    Report(out, DiagnosticCode::kDigestChainMismatch, "chain",
+           StrCat("chain has ", witness.chain.size(), " links for ",
+                  total_sets, " interned sets"));
+    return out;
+  }
+  {
+    std::string prev;
+    size_t i = 0;
+    for (const std::vector<Bitset>* section :
+         {&output.subsets, &witness.h_sets, &witness.final_sets}) {
+      for (const Bitset& set : *section) {
+        prev = DigestChainLink(prev, set);
+        if (witness.chain[i] != prev) {
+          Report(out, DiagnosticCode::kDigestChainMismatch,
+                 StrCat("chain/", i),
+                 "digest chain link does not recompute from the stored set");
+          return out;
+        }
+        ++i;
+      }
+    }
+  }
+
+  // --- Deterministic cheap sections: start row, iota, and the full lifted
+  // final DFA (so a flipped final bit is still caught in light mode).
+  DetHStart(input, dha, witness, ci, pool, out);
+  DetIota(input, dha, output.subsets, out);
+
+  // --- Spot checks: a seeded random sample of horizontal rows gets the
+  // full transition/assignment re-derivation. The seed folds the chain
+  // tail, so the choice is deterministic per certificate but varies across
+  // entries.
+  std::set<hedge::SymbolId> all_symbols;
+  for (const Nha::Rule& rule : input.rules()) all_symbols.insert(rule.symbol);
+  for (const auto& [symbol, row] : dha.assign_map()) {
+    all_symbols.insert(symbol);
+  }
+  std::vector<std::vector<uint32_t>> subset_bits(output.subsets.size());
+  for (size_t i = 0; i < output.subsets.size(); ++i) {
+    subset_bits[i] = output.subsets[i].ToVector();
+  }
+  const size_t rows = witness.h_sets.size();
+  if (rows <= sample_rows + 1) {
+    for (HhState h = 0; h < rows; ++h) {
+      DetRow(h, input, ci, pool, dha, witness, output.subsets, subset_bits,
+             all_symbols, out);
+    }
+  } else {
+    uint64_t seed = 0x9e3779b97f4a7c15ull;
+    for (char c : witness.chain.back()) {
+      seed = seed * 131 + static_cast<unsigned char>(c);
+    }
+    SplitMix64 rng(seed);
+    std::set<HhState> picked{dha.h_start()};
+    while (picked.size() < sample_rows + 1) {
+      picked.insert(static_cast<HhState>(rng.Below(rows)));
+    }
+    for (HhState h : picked) {
+      DetRow(h, input, ci, pool, dha, witness, output.subsets, subset_bits,
+             all_symbols, out);
+    }
+  }
+
+  DetFinal(input, dha, output.subsets, subset_bits, witness, out);
+  return out;
+}
+
 std::vector<Diagnostic> CheckCertificate(const Certificate& cert) {
   switch (cert.kind) {
     case CertificateKind::kDeterminize: {
@@ -1736,6 +2430,14 @@ std::vector<Diagnostic> CheckCertificate(const Certificate& cert) {
       schema::Schema schema(cert.input);
       return CheckContainment(schema, *cert.q1, *cert.q2, cert.containment,
                               cert.cont);
+    }
+    case CertificateKind::kFromNha:
+      return CheckFromNha(cert.input, cert.fn_output, cert.fn);
+    case CertificateKind::kAlgebra: {
+      schema::Schema a(cert.input);
+      schema::Schema b(cert.alg_b);
+      schema::Schema result(cert.alg_out);
+      return CheckAlgebra(a, b, result, cert.alg);
     }
   }
   return CheckTrim(cert.input, cert.trimmed, cert.trim);

@@ -39,6 +39,14 @@ namespace hedgeq::verify {
 ///                                           mirror disagrees with recompute
 ///   HQV012 containment-certificate-rejected verdict contradicts the product
 ///                                           witness or its counterexample
+///   HQV014 from-nha-witness-rejected        Lemma 2 recurrence replay or
+///                                           recompiled-membership mismatch
+///   HQV015 algebra-witness-rejected         schema-algebra product/offset
+///                                           re-derivation or membership
+///                                           oracle disagrees
+///   HQV016 digest-chain-mismatch            per-step digest chain of a
+///                                           determinize certificate does
+///                                           not recompute
 ///
 /// All checks run in time near-linear in the size of the certificate
 /// (output automaton + witness sets); an empty result means the
@@ -111,9 +119,45 @@ std::vector<lint::Diagnostic> CheckContainment(
     const query::SelectionQuery& q2, const schema::ContainmentResult& result,
     const schema::ContainmentWitness& witness);
 
+/// Validates one Lemma 2 extraction (HQV014): the split table is
+/// re-enumerated from the input's rules, every recursive entry of the
+/// recurrence witness is replayed structurally from its recorded
+/// sub-entries (so a dropped alternative cannot hide), and the emitted
+/// expression is recompiled through the independent Lemma 1 pipeline and
+/// differentially compared against the source NHA over a bounded-exhaustive
+/// plus sampled hedge corpus.
+std::vector<lint::Diagnostic> CheckFromNha(const automata::Nha& input,
+                                           const hre::Hre& output,
+                                           const hre::FromNhaWitness& witness);
+
+/// Validates one schema-algebra operation (HQV015): the pairing product /
+/// disjoint-union layout is re-derived with the checker's own code and
+/// compared structurally against the witness, the internal prune is
+/// re-validated through CheckTrim, and an enumeration oracle cross-checks
+/// sampled hedge membership of the output against the operand validators
+/// (out == a OP b; for difference also the witnessed complement against
+/// NOT b over the joint vocabulary).
+std::vector<lint::Diagnostic> CheckAlgebra(const schema::Schema& a,
+                                           const schema::Schema& b,
+                                           const schema::Schema& out,
+                                           const schema::AlgebraWitness& witness);
+
 /// Dispatches a deserialized certificate to the matching checker (after
 /// cross-field shape validation).
 std::vector<lint::Diagnostic> CheckCertificate(const Certificate& cert);
+
+/// Hash-witness light check (HQV016): for determinize certificates carrying
+/// a digest chain, recomputes every DigestChainLink over the stored sets
+/// (tampering anywhere is caught deterministically in O(sets)), fully
+/// re-derives the lifted final DFA and the iota/start sections (cheap, and
+/// keeps a flipped final bit deterministic), and spot-checks
+/// `sample_rows` randomly chosen horizontal rows with the full
+/// transition/assignment re-derivation. Certificates of any other kind —
+/// or without a chain — fall through to the full CheckCertificate. This is
+/// the default revalidation mode of the certificate cache; full checking
+/// stays available behind --check=full.
+std::vector<lint::Diagnostic> CheckCertificateLight(const Certificate& cert,
+                                                    size_t sample_rows = 8);
 
 /// Collapses checker findings into a Status for the inline-certification
 /// hooks: Ok when empty, kInternal carrying the first finding otherwise.

@@ -1,9 +1,9 @@
 // Inline certification: when this translation unit is linked into a binary
 // (HEDGEQ_CERTIFY=ON builds), every Determinize, PruneNha, MinimizeDha,
-// CompilePhr and QueryContainment call in the process records a witness and
-// has it validated by the independent checker before the result is
-// returned — translation validation as a standing invariant of sanitizer
-// builds, not just a test.
+// CompilePhr, QueryContainment, NhaToHre and schema-algebra call in the
+// process records a witness and has it validated by the independent checker
+// before the result is returned — translation validation as a standing
+// invariant of sanitizer builds, not just a test.
 //
 // Kept as a separate object library: a static-library member with nothing
 // but a global constructor would be dropped by the linker.
@@ -48,6 +48,17 @@ struct Installer {
            const schema::ContainmentWitness& witness) {
           return DiagnosticsToStatus(
               CheckContainment(input, q1, q2, result, witness));
+        });
+    hre::SetFromNhaValidationHook(
+        [](const automata::Nha& input, const hre::Hre& output,
+           const hre::FromNhaWitness& witness) {
+          return DiagnosticsToStatus(CheckFromNha(input, output, witness));
+        });
+    schema::SetAlgebraValidationHook(
+        [](const schema::Schema& a, const schema::Schema& b,
+           const schema::Schema& result,
+           const schema::AlgebraWitness& witness) {
+          return DiagnosticsToStatus(CheckAlgebra(a, b, result, witness));
         });
   }
 };

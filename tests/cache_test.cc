@@ -23,6 +23,8 @@
 #include "hre/compile.h"
 #include "obs/catalogue.h"
 #include "obs/obs.h"
+#include "phr/phr.h"
+#include "query/phr_compile.h"
 #include "util/budget.h"
 #include "util/failpoint.h"
 #include "verify/certificate.h"
@@ -502,7 +504,7 @@ TEST_F(CacheTest, EntrySwappedToAnotherCertificateKindIsQuarantined) {
   verify::Certificate min_cert = verify::BuildMinimizeCertificate(det->dha);
   std::string payload = verify::SerializeCertificate(min_cert, vocab_);
   std::ostringstream entry;
-  entry << "hqcache 1 determinize " << cache->KeyFor(nha) << " "
+  entry << "hqcache 2 determinize " << cache->KeyFor(nha) << " "
         << payload.size() << "\n"
         << payload;
   WriteFile(cache->EntryPathFor(nha), entry.str());
@@ -515,6 +517,96 @@ TEST_F(CacheTest, EntrySwappedToAnotherCertificateKindIsQuarantined) {
             std::string::npos)
       << cache->last_reject_reason();
   EXPECT_EQ(QuarantinedEntries().size(), 1u);
+}
+
+TEST_F(CacheTest, ScopedStoreAndLookupRoundTrip) {
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+  automata::Nha nha = Compile("a<b*> | c");
+
+  BudgetScope scope{ExecBudget{}};
+  automata::DeterminizeWitness witness;
+  auto det = automata::Determinize(nha, scope, &witness);
+  ASSERT_TRUE(det.ok()) << det.status().ToString();
+
+  const std::string pipeline_key = "select(a<b*> | c; [(); doc; ()])";
+  cache->StoreScoped(pipeline_key, nha, *det, witness);
+  EXPECT_TRUE(fs::exists(cache->ScopedEntryPathFor(pipeline_key)));
+  // The scoped key is derived from the pipeline text, not the automaton:
+  // the input-keyed entry path stays unpopulated.
+  EXPECT_FALSE(fs::exists(cache->EntryPathFor(nha)));
+
+  automata::Determinized hit{automata::Dha(1, 1, 0, 0), {}};
+  automata::DeterminizeWitness hw;
+  EXPECT_TRUE(cache->LookupScoped(pipeline_key, nha, &hit, &hw));
+  EXPECT_EQ(Dha(hit.dha), Dha(det->dha));
+  EXPECT_EQ(cache->stats().hits, 1u);
+  // A different pipeline key misses; so does the input-keyed lookup.
+  EXPECT_FALSE(cache->LookupScoped("select(other; ...)", nha, &hit, &hw));
+  EXPECT_FALSE(cache->Lookup(nha, &hit, &hw));
+}
+
+TEST_F(CacheTest, ScopedHitRejectsSwappedInputAutomaton) {
+  // The ladder is unchanged for scoped entries: a scoped hit whose stored
+  // input does not byte-match the pipeline's union NHA is quarantined.
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+  automata::Nha nha = Compile("a<b*> | c");
+  automata::Nha other = Compile("(a|b)*");
+
+  BudgetScope scope{ExecBudget{}};
+  automata::DeterminizeWitness witness;
+  auto det = automata::Determinize(nha, scope, &witness);
+  ASSERT_TRUE(det.ok()) << det.status().ToString();
+  cache->StoreScoped("pipeline", nha, *det, witness);
+
+  automata::Determinized hit{automata::Dha(1, 1, 0, 0), {}};
+  automata::DeterminizeWitness hw;
+  EXPECT_FALSE(cache->LookupScoped("pipeline", other, &hit, &hw));
+  EXPECT_EQ(cache->stats().quarantines, 1u);
+}
+
+TEST_F(CacheTest, LoadRevalidationDefaultsToLightCheck) {
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+  ASSERT_EQ(cache->check_mode(), CheckMode::kLight);
+  automata::Nha nha = Compile("a<b*> | c");
+
+  BudgetScope scope{ExecBudget{}};
+  automata::DeterminizeWitness witness;
+  auto det = automata::Determinize(nha, scope, &witness);
+  ASSERT_TRUE(det.ok()) << det.status().ToString();
+  cache->Store(nha, *det, witness);
+
+  automata::Determinized hit{automata::Dha(1, 1, 0, 0), {}};
+  automata::DeterminizeWitness hw;
+  EXPECT_TRUE(cache->Lookup(nha, &hit, &hw));
+  EXPECT_EQ(cache->stats().light_checks, 1u);
+
+  cache->set_check_mode(CheckMode::kFull);
+  EXPECT_TRUE(cache->Lookup(nha, &hit, &hw));
+  EXPECT_EQ(cache->stats().light_checks, 1u)
+      << "full mode must not tick the light-check counter";
+}
+
+TEST_F(CacheTest, CompilePhrHitsTheScopedEntryEndToEnd) {
+  std::unique_ptr<AutomatonCache> cache = OpenCache();
+  automata::SetDeterminizeCache(cache.get());
+
+  auto phr = phr::ParsePhr("[a<b*>; doc; *]", vocab_);
+  ASSERT_TRUE(phr.ok()) << phr.status().ToString();
+  const std::string key = phr->ToString(vocab_);
+
+  BudgetScope cold{ExecBudget{}};
+  auto first = query::CompilePhr(*phr, cold, nullptr, key);
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_TRUE(fs::exists(cache->ScopedEntryPathFor(key)));
+  uint64_t misses_after_cold = cache->stats().misses;
+  EXPECT_GE(misses_after_cold, 1u);
+
+  BudgetScope warm{ExecBudget{}};
+  auto second = query::CompilePhr(*phr, warm, nullptr, key);
+  ASSERT_TRUE(second.ok()) << second.status().ToString();
+  EXPECT_GE(cache->stats().hits, 1u);
+  EXPECT_EQ(cache->stats().misses, misses_after_cold)
+      << "the warm compile must not miss again";
 }
 
 TEST_F(CacheTest, OpenFailsCleanlyWhenDirectoryCannotBeCreated) {

@@ -29,7 +29,7 @@ cmake --build --preset asan --target lint
 step "fuzzer smoke (${FUZZ_SECONDS}s per harness)"
 # Under clang these are libFuzzer binaries; under gcc the standalone driver
 # provides the same --smoke interface (deterministic mutation loop).
-for harness in fuzz_xml fuzz_hre fuzz_certify fuzz_containment; do
+for harness in fuzz_xml fuzz_hre fuzz_certify fuzz_containment fuzz_from_nha; do
   bin="${BUILD_DIR}/fuzz/${harness}"
   corpus="${REPO_ROOT}/fuzz/corpus/${harness#fuzz_}"
   if [[ -x "${bin}" ]]; then
@@ -76,6 +76,16 @@ VERIFY="${BUILD_DIR}/tools/hedgeq_verify"
 "${VERIFY}" emit-cert containment tools/fixtures/containment.grammar \
   'select(a<b>; [(); doc; ()])' 'select(a<b b*>; [(); doc; ()])' \
   | "${VERIFY}" cert -
+# Lemma 2 and the schema algebra certify end-to-end too, and every kind of
+# certificate must also pass the hash-witness light checker.
+"${VERIFY}" from-nha 'a<b*> | c' 2>/dev/null
+"${VERIFY}" algebra intersect tools/fixtures/article.grammar \
+  tools/fixtures/article_strict.grammar 2>/dev/null
+"${VERIFY}" emit-cert from-nha 'a<b*> | c' | "${VERIFY}" cert -
+"${VERIFY}" emit-cert algebra difference tools/fixtures/article.grammar \
+  tools/fixtures/article_strict.grammar | "${VERIFY}" cert -
+"${VERIFY}" emit-cert det 'a<b*> | c' | "${VERIFY}" --check=light cert -
+"${VERIFY}" emit-cert from-nha 'a<b*> | c' | "${VERIFY}" --check=light cert -
 
 step "seeded bugs (each failpoint must be caught under its own HQV code)"
 SEED_TMP="$(mktemp -d)"
@@ -109,6 +119,25 @@ grep -q 'HQV013' "${SEED_TMP}/sel.out" \
   || { echo "FAIL: selection disagreement not reported as HQV013"; exit 1; }
 grep -q 'shrunk from' "${SEED_TMP}/sel.out" \
   || { echo "FAIL: selection counterexample was not shrunk"; exit 1; }
+# A Lemma 2 extraction that silently drops a union alternative: the
+# recurrence replay in CheckFromNha must notice the missing combination
+# (HQV014), not trust the emitted expression.
+if "${VERIFY}" --failpoint=from_nha/drop-alternative \
+     from-nha 'a<b*> | c' > "${SEED_TMP}/fn.out" 2>/dev/null; then
+  echo "FAIL: dropped Lemma 2 alternative went uncaught"; exit 1
+fi
+grep -q 'HQV014' "${SEED_TMP}/fn.out" \
+  || { echo "FAIL: dropped alternative not reported as HQV014"; exit 1; }
+# A schema intersection that drops a product rule: the re-derived pairing
+# product in CheckAlgebra must disagree (HQV015).
+if "${VERIFY}" --failpoint=algebra/drop-rule \
+     algebra intersect tools/fixtures/article.grammar \
+     tools/fixtures/article_strict.grammar \
+     > "${SEED_TMP}/alg.out" 2>/dev/null; then
+  echo "FAIL: dropped algebra product rule went uncaught"; exit 1
+fi
+grep -q 'HQV015' "${SEED_TMP}/alg.out" \
+  || { echo "FAIL: dropped product rule not reported as HQV015"; exit 1; }
 rm -rf "${SEED_TMP}"
 
 step "metrics snapshot smoke (stable metric names + trace export)"
@@ -153,11 +182,13 @@ if grep -q '"automata.determinize": {' "${CACHE_TMP}/warm.json"; then
   echo "FAIL: determinize stage span present despite a warm cache hit"
   exit 1
 fi
-# Flip one byte in the middle of a cached entry: the load path must reject
-# it with its HQV code, quarantine it (entry + .reason sidecar under
-# corrupt/), recompute, and still answer exactly like the cold run.
-entry="$(ls "${CACHE_DIR}"/*.cert | head -1)"
-printf '\377' | dd of="${entry}" bs=1 seek=120 conv=notrunc status=none
+# Flip one byte in the middle of every cached entry (the run stores both a
+# PHR-scoped and an input-keyed determinize entry; whichever the load path
+# consults must reject): quarantine with an HQV code (entry + .reason
+# sidecar under corrupt/), recompute, and still answer like the cold run.
+for entry in "${CACHE_DIR}"/*.cert; do
+  printf '\377' | dd of="${entry}" bs=1 seek=120 conv=notrunc status=none
+done
 "${HQ}" query "${CACHE_QUERY}" "${CACHE_TMP}/doc.xml" \
   --cache-dir="${CACHE_DIR}" --metrics="${CACHE_TMP}/tamper.json" \
   > "${CACHE_TMP}/tamper.out"
@@ -176,6 +207,26 @@ grep -q 'HQV' "${CACHE_DIR}"/corrupt/*.reason \
   > /dev/null
 grep -q '"cache.hit": [1-9]' "${CACHE_TMP}/healed.json" \
   || { echo "FAIL: cache did not heal after quarantine"; exit 1; }
+# Light-checker tamper: revalidation on load runs the hash-witness light
+# check by default, so a byte flipped near the END of the entry — inside
+# the digest chain, past what the shape checks re-derive — must still be
+# caught, with the quarantine reason carrying the digest-chain code
+# (HQV016) and the light-check counter ticking.
+rm -rf "${CACHE_DIR}/corrupt"
+for entry in "${CACHE_DIR}"/*.cert; do
+  entry_size="$(wc -c < "${entry}")"
+  printf '\377' | dd of="${entry}" bs=1 seek=$((entry_size - 16)) \
+    conv=notrunc status=none
+done
+"${HQ}" query "${CACHE_QUERY}" "${CACHE_TMP}/doc.xml" \
+  --cache-dir="${CACHE_DIR}" --metrics="${CACHE_TMP}/light.json" \
+  > "${CACHE_TMP}/light.out"
+cmp "${CACHE_TMP}/cold.out" "${CACHE_TMP}/light.out" \
+  || { echo "FAIL: light-mode tamper changed the query answer"; exit 1; }
+grep -q '"cache.light_checks": [1-9]' "${CACHE_TMP}/light.json" \
+  || { echo "FAIL: load revalidation did not run the light checker"; exit 1; }
+grep -q 'HQV016' "${CACHE_DIR}"/corrupt/*.reason \
+  || { echo "FAIL: digest-chain tamper not quarantined as HQV016"; exit 1; }
 # Eviction: a 1-byte bound forces every store to sweep, yet the entry
 # just written must survive (the cache stays able to serve its own key).
 EVICT_DIR="${CACHE_TMP}/evict"

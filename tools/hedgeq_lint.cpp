@@ -128,6 +128,18 @@ int CmdOverlap(const std::string& schema_file, const std::string& q1_text,
   return Emit(report->diagnostics, json);
 }
 
+int CmdSchemaOverlap(const std::string& a_file, const std::string& b_file,
+                     bool json) {
+  hedge::Vocabulary vocab;
+  auto a = LoadSchema(a_file, vocab);
+  if (!a.ok()) return Fail(a.status().ToString());
+  auto b = LoadSchema(b_file, vocab);
+  if (!b.ok()) return Fail(b.status().ToString());
+  auto report = lint::LintSchemaOverlap(*a, *b, vocab);
+  if (!report.ok()) return Fail(report.status().ToString());
+  return Emit(report->diagnostics, json);
+}
+
 int CmdFromJson(const std::string& path, bool json) {
   auto text = ReadFile(path);
   if (!text.ok()) return Fail(text.status().ToString());
@@ -144,6 +156,8 @@ void Usage() {
       "  hedgeq_lint [--json] query '<selection query>' [schema.grammar]\n"
       "  hedgeq_lint [--json] schema file.grammar\n"
       "  hedgeq_lint [--json] overlap schema.grammar '<q1>' '<q2>'\n"
+      "  hedgeq_lint [--json] overlap a.grammar b.grammar   (certified "
+      "schema algebra)\n"
       "  hedgeq_lint [--json] from-json report.json\n"
       "exit: 0 clean or advisory findings, 2 error findings, 1 bad input\n");
 }
@@ -174,6 +188,9 @@ int main(int argc, char** argv) {
   if (cmd == "schema" && args.size() == 2) return CmdSchema(args[1], json);
   if (cmd == "overlap" && args.size() == 4) {
     return CmdOverlap(args[1], args[2], args[3], json);
+  }
+  if (cmd == "overlap" && args.size() == 3) {
+    return CmdSchemaOverlap(args[1], args[2], json);
   }
   if (cmd == "from-json" && args.size() == 2) {
     return CmdFromJson(args[1], json);

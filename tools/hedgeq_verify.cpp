@@ -6,9 +6,12 @@
 //   hedgeq_verify minimize '<hedge regular expression>'
 //   hedgeq_verify containment <schema-file|-> '<q1>' '<q2>'
 //   hedgeq_verify select-oracle '<selection query>' [max_size] [samples]
-//   hedgeq_verify emit-cert <det|trim|min> '<hedge regular expression>'
+//   hedgeq_verify from-nha '<hedge regular expression>'
+//   hedgeq_verify algebra <intersect|union|difference> <a.grammar> <b.grammar>
+//   hedgeq_verify emit-cert <det|trim|min|from-nha> '<expression>'
 //   hedgeq_verify emit-cert containment <schema-file|-> '<q1>' '<q2>'
-//   hedgeq_verify cert <file|->
+//   hedgeq_verify emit-cert algebra <op> <a.grammar> <b.grammar>
+//   hedgeq_verify [--check=light|full] cert <file|->
 //   hedgeq_verify from-json <file|->
 //
 // `expr` runs the whole pipeline on one expression — compile trace, trim,
@@ -40,8 +43,10 @@
 #include "automata/lazy_dha.h"
 #include "hre/ast.h"
 #include "hre/compile.h"
+#include "hre/from_nha.h"
 #include "lint/diagnostics.h"
 #include "query/selection.h"
+#include "schema/algebra.h"
 #include "schema/schema.h"
 #include "util/failpoint.h"
 #include "verify/certificate.h"
@@ -286,13 +291,122 @@ int CmdEmitCert(const std::string& kind, const std::string& text) {
   return Fail("emit-cert kind must be 'det', 'trim' or 'min'");
 }
 
-int CmdCert(const std::string& path, bool json) {
+int CmdFromNha(const std::string& text, bool json, bool emit_only) {
+  // As in CmdMinimize: the explicit CheckCertificate below is the gate; the
+  // inline hook would turn a seeded drop-alternative into a build error.
+  hre::SetFromNhaValidationHook(nullptr);
+  hedge::Vocabulary vocab;
+  auto e = hre::ParseHre(text, vocab);
+  if (!e.ok()) return Fail(e.status().ToString());
+  BudgetScope scope{ExecBudget{}};
+  auto nha = hre::CompileHre(*e, scope);
+  if (!nha.ok()) return Fail(nha.status().ToString());
+  auto cert = verify::BuildFromNhaCertificate(*nha, vocab);
+  if (!cert.ok()) return Fail(cert.status().ToString());
+  if (emit_only) {
+    std::printf("%s", verify::SerializeCertificate(*cert, vocab).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "from-nha: %u states, %zu splits, %zu entries\n",
+               nha->num_states(), cert->fn.splits.size(),
+               cert->fn.entries.size());
+  return Emit(verify::CheckCertificate(*cert), json);
+}
+
+int CmdAlgebra(const std::string& op_word, const std::string& a_path,
+               const std::string& b_path, bool json, bool emit_only) {
+  // As above: report the seeded algebra/drop-rule as an HQV015 finding
+  // instead of aborting inside the construction.
+  schema::SetAlgebraValidationHook(nullptr);
+  schema::AlgebraOp op;
+  if (op_word == "intersect") {
+    op = schema::AlgebraOp::kIntersect;
+  } else if (op_word == "union") {
+    op = schema::AlgebraOp::kUnion;
+  } else if (op_word == "difference") {
+    op = schema::AlgebraOp::kDifference;
+  } else {
+    return Fail("algebra op must be 'intersect', 'union' or 'difference'");
+  }
+  auto a_text = ReadFile(a_path);
+  if (!a_text.ok()) return Fail(a_text.status().ToString());
+  auto b_text = ReadFile(b_path);
+  if (!b_text.ok()) return Fail(b_text.status().ToString());
+  hedge::Vocabulary vocab;
+  auto a = schema::ParseSchema(*a_text, vocab);
+  if (!a.ok()) return Fail(a.status().ToString());
+  auto b = schema::ParseSchema(*b_text, vocab);
+  if (!b.ok()) return Fail(b.status().ToString());
+  auto cert = verify::BuildAlgebraCertificate(*a, *b, op);
+  if (!cert.ok()) return Fail(cert.status().ToString());
+  if (emit_only) {
+    std::printf("%s", verify::SerializeCertificate(*cert, vocab).c_str());
+    return 0;
+  }
+  std::fprintf(stderr, "algebra: %s, %u x %u -> %u states\n",
+               op_word.c_str(), a->nha().num_states(), b->nha().num_states(),
+               cert->alg_out.num_states());
+  return Emit(verify::CheckCertificate(*cert), json);
+}
+
+// Splits a file of concatenated serialized certificates at their "end"
+// trailer lines. A lone "end" line only terminates a chunk when the next
+// line opens a new certificate (or the file ends), so length-prefixed
+// section content containing "end" stays inside its chunk.
+std::vector<std::string> SplitCertificates(const std::string& text) {
+  std::vector<std::string> chunks;
+  std::string current;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t nl = text.find('\n', pos);
+    const bool last = nl == std::string::npos;
+    std::string line =
+        last ? text.substr(pos) : text.substr(pos, nl - pos + 1);
+    pos = last ? text.size() : nl + 1;
+    current += line;
+    if (line == "end\n" || line == "end") {
+      if (pos >= text.size() || text.compare(pos, 5, "cert ") == 0) {
+        chunks.push_back(std::move(current));
+        current.clear();
+      }
+    }
+  }
+  if (!current.empty()) chunks.push_back(std::move(current));
+  return chunks;
+}
+
+int CmdCert(const std::string& path, bool json, bool light) {
   auto text = ReadFile(path);
   if (!text.ok()) return Fail(text.status().ToString());
-  hedge::Vocabulary vocab;
-  auto cert = verify::DeserializeCertificate(*text, vocab);
-  if (!cert.ok()) return Fail(cert.status().ToString());
-  return Emit(verify::CheckCertificate(*cert), json);
+  std::vector<std::string> chunks = SplitCertificates(*text);
+  if (chunks.empty()) return Fail("no certificates in " + path);
+  // Check every certificate in the file and report all findings at once —
+  // a failed check must not hide later certificates' diagnostics.
+  std::vector<lint::Diagnostic> all;
+  for (size_t i = 0; i < chunks.size(); ++i) {
+    const std::string where =
+        chunks.size() == 1 ? std::string("certificate")
+                           : "certificate " + std::to_string(i + 1);
+    hedge::Vocabulary vocab;
+    auto cert = verify::DeserializeCertificate(chunks[i], vocab);
+    if (!cert.ok()) {
+      all.push_back(lint::Diagnostic{
+          lint::Severity::kError,
+          lint::DiagnosticCode::kCertificateMalformed, where,
+          "undeserializable: " + std::string(cert.status().message()),
+          "the file is not (or no longer) a serialized hedgeq certificate"});
+      continue;
+    }
+    size_t begin = all.size();
+    Append(all, light ? verify::CheckCertificateLight(*cert)
+                      : verify::CheckCertificate(*cert));
+    if (chunks.size() > 1) {
+      for (size_t d = begin; d < all.size(); ++d) {
+        all[d].span = all[d].span.empty() ? where : where + ": " + all[d].span;
+      }
+    }
+  }
+  return Emit(all, json);
 }
 
 int CmdFromJson(const std::string& path, bool json) {
@@ -314,10 +428,17 @@ void Usage() {
       "  hedgeq_verify [--json] containment <schema-file|-> '<q1>' '<q2>'\n"
       "  hedgeq_verify [--json] select-oracle '<query>' [max_size] "
       "[samples]\n"
-      "  hedgeq_verify emit-cert <det|trim|min> '<expression>'\n"
+      "  hedgeq_verify [--json] from-nha '<expression>'\n"
+      "  hedgeq_verify [--json] algebra <intersect|union|difference> "
+      "<a.grammar> <b.grammar>\n"
+      "  hedgeq_verify emit-cert <det|trim|min|from-nha> '<expression>'\n"
       "  hedgeq_verify emit-cert containment <schema-file|-> '<q1>' '<q2>'\n"
-      "  hedgeq_verify [--json] cert <file|->\n"
+      "  hedgeq_verify emit-cert algebra <op> <a.grammar> <b.grammar>\n"
+      "  hedgeq_verify [--json] [--check=light|full] cert <file|->\n"
       "  hedgeq_verify [--json] from-json <file|->\n"
+      "cert accepts a file of concatenated certificates and reports every\n"
+      "finding of every certificate before exiting. --check=light uses the\n"
+      "digest-chain light checker (HQV016) where a chain is present.\n"
       "exit: 0 certificates valid, 2 findings, 1 bad input\n");
 }
 
@@ -325,11 +446,16 @@ void Usage() {
 
 int main(int argc, char** argv) {
   bool json = false;
+  bool light = false;
   std::vector<std::string> args;
   for (int i = 1; i < argc; ++i) {
     std::string arg(argv[i]);
     if (arg == "--json") {
       json = true;
+    } else if (arg == "--check=light") {
+      light = true;
+    } else if (arg == "--check=full") {
+      light = false;
     } else if (arg.rfind("--failpoint=", 0) == 0) {
       // Arms a seeded bug by name (see util/failpoint.h); check.sh uses
       // this to prove each checker catches its construction's failure.
@@ -361,14 +487,26 @@ int main(int argc, char** argv) {
         args[1], std::vector<std::string>(args.begin() + 2, args.end()),
         json);
   }
+  if (cmd == "from-nha" && args.size() == 2) {
+    return CmdFromNha(args[1], json, /*emit_only=*/false);
+  }
+  if (cmd == "algebra" && args.size() == 4) {
+    return CmdAlgebra(args[1], args[2], args[3], json, /*emit_only=*/false);
+  }
   if (cmd == "emit-cert" && args.size() == 5 && args[1] == "containment") {
     return CmdContainment(args[2], args[3], args[4], json,
                           /*emit_only=*/true);
   }
+  if (cmd == "emit-cert" && args.size() == 5 && args[1] == "algebra") {
+    return CmdAlgebra(args[2], args[3], args[4], json, /*emit_only=*/true);
+  }
+  if (cmd == "emit-cert" && args.size() == 3 && args[1] == "from-nha") {
+    return CmdFromNha(args[2], json, /*emit_only=*/true);
+  }
   if (cmd == "emit-cert" && args.size() == 3) {
     return CmdEmitCert(args[1], args[2]);
   }
-  if (cmd == "cert" && args.size() == 2) return CmdCert(args[1], json);
+  if (cmd == "cert" && args.size() == 2) return CmdCert(args[1], json, light);
   if (cmd == "from-json" && args.size() == 2) {
     return CmdFromJson(args[1], json);
   }
