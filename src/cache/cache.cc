@@ -16,6 +16,7 @@
 #include "lint/diagnostics.h"
 #include "obs/catalogue.h"
 #include "obs/obs.h"
+#include "obs/scope.h"
 #include "util/digest.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
@@ -93,6 +94,11 @@ void AutomatonCache::Quarantine(const std::string& entry_path,
   ++stats_.quarantines;
   HEDGEQ_OBS_COUNT(obs::metrics::kCacheQuarantine, 1);
   last_reject_ = reason;
+  // Attribute the rejection (with its HQV reason) to the query being
+  // served, so flight records carry *why* the cache refused the entry.
+  if (auto* scope = obs::QueryScope::Current(); scope != nullptr) {
+    scope->Annotate("cache.reject", reason);
+  }
   fs::path src(entry_path);
   fs::path dst = fs::path(dir_) / "corrupt" /
                  StrCat(src.filename().string(), ".",

@@ -54,11 +54,15 @@ constexpr const char* kGauges[] = {
     metrics::kDetCertifyFracPct,
     metrics::kLazyPeakCacheBytes,
     metrics::kSchemaValidateMaxDepth,
+    metrics::kProcessPeakRssBytes,
+    metrics::kProcessWallMs,
+    metrics::kProcessThreads,
 };
 
 constexpr const char* kHistograms[] = {
     metrics::kHistDocNodes,
     metrics::kHistDetSubsets,
+    metrics::kHistQueryLatencyUs,
 };
 
 }  // namespace

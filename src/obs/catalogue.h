@@ -92,9 +92,19 @@ inline constexpr const char* kCacheStore = "cache.store";
 inline constexpr const char* kCacheStoreError = "cache.store_error";
 inline constexpr const char* kCacheEvictions = "cache.evictions";
 
+// --- process: whole-process health gauges, refreshed from the OS by
+// obs::UpdateProcessGauges() every time a snapshot is exported.
+inline constexpr const char* kProcessPeakRssBytes =
+    "process.peak_rss_bytes";  // gauge
+inline constexpr const char* kProcessWallMs = "process.wall_ms";  // gauge
+inline constexpr const char* kProcessThreads = "process.threads";  // gauge
+
 // --- histograms (value distributions across one process).
 inline constexpr const char* kHistDocNodes = "hist.doc_nodes";
 inline constexpr const char* kHistDetSubsets = "hist.determinize_subsets";
+// Wall time of each top-level QueryScope, in microseconds: the rolling
+// per-query latency distribution behind the Prometheus p50/p90/p99.
+inline constexpr const char* kHistQueryLatencyUs = "hist.query_latency_us";
 
 }  // namespace metrics
 

@@ -1,0 +1,318 @@
+#include "obs/flight.h"
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string_view>
+
+#include "obs/obs.h"
+
+namespace hedgeq::obs {
+
+namespace {
+
+constexpr size_t kRingSlots = 64;
+constexpr size_t kNameCap = 44;   // stage / counter names (truncated)
+constexpr size_t kLabelCap = 120;
+constexpr size_t kOutcomeCap = 24;
+constexpr size_t kAnnKeyCap = 24;
+constexpr size_t kAnnValueCap = 72;
+
+// Fixed-size, heap-free record payload: memcpy-able under the seqlock.
+struct PodStage {
+  char name[kNameCap];
+  uint64_t count;
+  uint64_t total_ns;
+};
+struct PodCounter {
+  char name[kNameCap];
+  uint64_t value;
+};
+struct PodAnnotation {
+  char key[kAnnKeyCap];
+  char value[kAnnValueCap];
+};
+struct PodRecord {
+  uint64_t seq;  // 1-based; 0 = slot never written
+  char label[kLabelCap];
+  char outcome[kOutcomeCap];
+  uint64_t unix_ms;
+  uint64_t wall_ns;
+  uint32_t n_stages;
+  uint32_t n_counters;
+  uint32_t n_annotations;
+  PodStage stages[kFlightRecordStages];
+  PodCounter counters[kFlightRecordCounters];
+  PodAnnotation annotations[kFlightRecordAnnotations];
+};
+
+// Per-slot seqlock: even = stable, odd = mid-write. Writers CAS the version
+// from its last-stable value to odd; losing the CAS means the ring wrapped
+// onto a slot another writer still owns — drop rather than block.
+struct Slot {
+  std::atomic<uint64_t> version{0};
+  PodRecord record{};
+};
+
+struct Ring {
+  std::atomic<bool> enabled{false};
+  std::atomic<uint64_t> next_seq{0};
+  std::atomic<uint64_t> dropped{0};
+  Slot slots[kRingSlots];
+};
+
+Ring& TheRing() {
+  static Ring* ring = new Ring();  // leaked: usable during static destruction
+  return *ring;
+}
+
+void CopyTruncated(char* dst, size_t cap, std::string_view src) {
+  const size_t n = std::min(src.size(), cap - 1);
+  std::memcpy(dst, src.data(), n);
+  dst[n] = '\0';
+}
+
+/// Ordering weight for the counter-selection pass: the record keeps the
+/// most diagnostic counters when the scope touched more than fit.
+int CounterRank(std::string_view name) {
+  if (name.rfind("cache.", 0) == 0) return 0;
+  if (name.rfind("verify.", 0) == 0) return 1;
+  if (name.rfind("query.", 0) == 0) return 2;
+  if (name.rfind("budget.", 0) == 0) return 3;
+  return 4;
+}
+
+uint64_t NowUnixMs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::system_clock::now().time_since_epoch())
+          .count());
+}
+
+void BuildPod(const ScopeSnapshot& snap, uint64_t seq, PodRecord& out) {
+  out.seq = seq;
+  CopyTruncated(out.label, kLabelCap, snap.label);
+  std::string_view outcome = "ok";
+  for (const auto& [key, value] : snap.annotations) {
+    if (key == "outcome") outcome = value;  // last one wins
+  }
+  CopyTruncated(out.outcome, kOutcomeCap, outcome);
+  out.unix_ms = NowUnixMs();
+  out.wall_ns = snap.wall_ns;
+
+  // Stages: keep the biggest contributors, emit them largest-first.
+  std::vector<SpanAggregate> stages = snap.spans;
+  std::sort(stages.begin(), stages.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+  out.n_stages = static_cast<uint32_t>(
+      std::min(stages.size(), kFlightRecordStages));
+  for (uint32_t i = 0; i < out.n_stages; ++i) {
+    CopyTruncated(out.stages[i].name, kNameCap, stages[i].name);
+    out.stages[i].count = stages[i].count;
+    out.stages[i].total_ns = stages[i].total_ns;
+  }
+
+  // Counters: diagnostic families first, then the rest alphabetically.
+  std::vector<std::pair<std::string, uint64_t>> counters = snap.counters;
+  std::sort(counters.begin(), counters.end(),
+            [](const auto& a, const auto& b) {
+              const int ra = CounterRank(a.first);
+              const int rb = CounterRank(b.first);
+              if (ra != rb) return ra < rb;
+              return a.first < b.first;
+            });
+  out.n_counters = static_cast<uint32_t>(
+      std::min(counters.size(), kFlightRecordCounters));
+  for (uint32_t i = 0; i < out.n_counters; ++i) {
+    CopyTruncated(out.counters[i].name, kNameCap, counters[i].first);
+    out.counters[i].value = counters[i].second;
+  }
+
+  out.n_annotations = static_cast<uint32_t>(
+      std::min(snap.annotations.size(), kFlightRecordAnnotations));
+  for (uint32_t i = 0; i < out.n_annotations; ++i) {
+    CopyTruncated(out.annotations[i].key, kAnnKeyCap,
+                  snap.annotations[i].first);
+    CopyTruncated(out.annotations[i].value, kAnnValueCap,
+                  snap.annotations[i].second);
+  }
+}
+
+}  // namespace
+
+bool FlightRecorderEnabled() {
+  return TheRing().enabled.load(std::memory_order_relaxed);
+}
+
+void SetFlightRecorderEnabled(bool on) {
+  TheRing().enabled.store(on, std::memory_order_relaxed);
+}
+
+size_t FlightRecorderCapacity() { return kRingSlots; }
+
+void RecordFlight(const ScopeSnapshot& snap) {
+  Ring& ring = TheRing();
+  const uint64_t seq =
+      ring.next_seq.fetch_add(1, std::memory_order_relaxed) + 1;
+  Slot& slot = ring.slots[(seq - 1) % kRingSlots];
+  // The slot's last stable version for this wrap; claim it or drop.
+  uint64_t stable = slot.version.load(std::memory_order_relaxed);
+  if ((stable & 1) != 0 ||
+      !slot.version.compare_exchange_strong(stable, stable + 1,
+                                            std::memory_order_acquire,
+                                            std::memory_order_relaxed)) {
+    ring.dropped.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  BuildPod(snap, seq, slot.record);
+  slot.version.store(stable + 2, std::memory_order_release);
+}
+
+std::vector<FlightRecordView> FlightRecords() {
+  Ring& ring = TheRing();
+  std::vector<FlightRecordView> out;
+  out.reserve(kRingSlots);
+  for (Slot& slot : ring.slots) {
+    PodRecord copy;
+    const uint64_t before = slot.version.load(std::memory_order_acquire);
+    if ((before & 1) != 0) continue;  // mid-write: skip, never block
+    std::memcpy(&copy, &slot.record, sizeof(copy));
+    if (slot.version.load(std::memory_order_acquire) != before) continue;
+    if (copy.seq == 0) continue;  // never written
+    FlightRecordView view;
+    view.seq = copy.seq;
+    view.label = copy.label;
+    view.outcome = copy.outcome;
+    view.unix_ms = copy.unix_ms;
+    view.wall_ns = copy.wall_ns;
+    view.stages.reserve(copy.n_stages);
+    for (uint32_t i = 0; i < copy.n_stages && i < kFlightRecordStages; ++i) {
+      view.stages.push_back(SpanAggregate{copy.stages[i].name,
+                                          copy.stages[i].count,
+                                          copy.stages[i].total_ns});
+    }
+    view.counters.reserve(copy.n_counters);
+    for (uint32_t i = 0; i < copy.n_counters && i < kFlightRecordCounters;
+         ++i) {
+      view.counters.emplace_back(copy.counters[i].name, copy.counters[i].value);
+    }
+    view.annotations.reserve(copy.n_annotations);
+    for (uint32_t i = 0;
+         i < copy.n_annotations && i < kFlightRecordAnnotations; ++i) {
+      view.annotations.emplace_back(copy.annotations[i].key,
+                                    copy.annotations[i].value);
+    }
+    out.push_back(std::move(view));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightRecordView& a, const FlightRecordView& b) {
+              return a.seq < b.seq;
+            });
+  return out;
+}
+
+uint64_t FlightRecordsDropped() {
+  return TheRing().dropped.load(std::memory_order_relaxed);
+}
+
+std::string FlightRecorderJson() {
+  using internal::AppendJsonEscaped;
+  const std::vector<FlightRecordView> records = FlightRecords();
+  std::string out;
+  out.reserve(1024 + records.size() * 512);
+  out += "{\"flight_recorder\": {\"capacity\": ";
+  out += std::to_string(FlightRecorderCapacity());
+  out += ", \"dropped\": ";
+  out += std::to_string(FlightRecordsDropped());
+  out += ", \"records\": [";
+  bool first_record = true;
+  for (const FlightRecordView& r : records) {
+    if (!first_record) out += ", ";
+    first_record = false;
+    out += "\n  {\"seq\": ";
+    out += std::to_string(r.seq);
+    out += ", \"label\": \"";
+    AppendJsonEscaped(out, r.label);
+    out += "\", \"outcome\": \"";
+    AppendJsonEscaped(out, r.outcome);
+    out += "\", \"unix_ms\": ";
+    out += std::to_string(r.unix_ms);
+    out += ", \"wall_ns\": ";
+    out += std::to_string(r.wall_ns);
+    out += ",\n   \"stages\": [";
+    bool first = true;
+    for (const SpanAggregate& s : r.stages) {
+      if (!first) out += ", ";
+      first = false;
+      out += "{\"name\": \"";
+      AppendJsonEscaped(out, s.name);
+      out += "\", \"count\": ";
+      out += std::to_string(s.count);
+      out += ", \"total_ns\": ";
+      out += std::to_string(s.total_ns);
+      out += "}";
+    }
+    out += "],\n   \"counters\": {";
+    first = true;
+    for (const auto& [name, value] : r.counters) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      AppendJsonEscaped(out, name);
+      out += "\": ";
+      out += std::to_string(value);
+    }
+    out += "},\n   \"annotations\": {";
+    first = true;
+    for (const auto& [key, value] : r.annotations) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"";
+      AppendJsonEscaped(out, key);
+      out += "\": \"";
+      AppendJsonEscaped(out, value);
+      out += "\"";
+    }
+    out += "}}";
+  }
+  out += "\n]}}\n";
+  return out;
+}
+
+bool WriteFlightRecorderFile(const std::string& path) {
+  const std::string text = FlightRecorderJson();
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok && written != text.size()) std::fclose(f);
+  return ok;
+}
+
+void ResetFlightRecorder() {
+  Ring& ring = TheRing();
+  ring.next_seq.store(0, std::memory_order_relaxed);
+  ring.dropped.store(0, std::memory_order_relaxed);
+  for (Slot& slot : ring.slots) {
+    uint64_t stable = slot.version.load(std::memory_order_relaxed);
+    if ((stable & 1) != 0 ||
+        !slot.version.compare_exchange_strong(stable, stable + 1,
+                                              std::memory_order_acquire,
+                                              std::memory_order_relaxed)) {
+      continue;  // writer owns it; its record will land post-reset
+    }
+    slot.record.seq = 0;
+    slot.version.store(stable + 2, std::memory_order_release);
+  }
+}
+
+}  // namespace hedgeq::obs

@@ -1,0 +1,83 @@
+#ifndef HEDGEQ_OBS_FLIGHT_H_
+#define HEDGEQ_OBS_FLIGHT_H_
+
+// Flight recorder: a fixed-size lock-free ring of structured per-query
+// records — the post-mortem answer to "what did the last N queries do".
+// Each record is the distilled ScopeSnapshot of one top-level QueryScope:
+// stage durations, the scoped cache/verify/query counters (cache verdicts
+// and HQV findings ride in as counters plus free-form annotations), the
+// budget outcome, and wall time.
+//
+// Design. Slots are plain-old-data (fixed-size char fields, no heap), so
+// a record can be published and read with memcpy under a per-slot seqlock:
+// writers claim a slot with one fetch_add on the global sequence, flip the
+// slot's version odd, copy, flip it even; a writer that finds its slot
+// mid-write (ring wrapped under extreme concurrency) drops the record and
+// counts the drop rather than blocking. Readers copy the payload out and
+// discard it if the version moved — dumping never blocks recording.
+//
+// The ring is dumped as JSON (round-trips through obs::json::Parse) via
+// `--flight-recorder=FILE` on the CLIs, on SIGUSR1, and automatically on
+// error exit; `hq repl` can dump it on demand with the `flight` command.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/scope.h"
+
+namespace hedgeq::obs {
+
+/// Capacity limits of one record. Longer inputs are truncated, never
+/// dropped: a post-mortem with a clipped label beats no post-mortem.
+inline constexpr size_t kFlightRecordStages = 12;
+inline constexpr size_t kFlightRecordCounters = 16;
+inline constexpr size_t kFlightRecordAnnotations = 6;
+
+/// One decoded flight record (the ring itself stores fixed-size POD).
+struct FlightRecordView {
+  uint64_t seq = 0;  // 1-based global sequence; monotone across the ring
+  std::string label;
+  std::string outcome;  // "ok" unless the scope annotated an outcome
+  uint64_t unix_ms = 0;  // wall-clock publish time (for log correlation)
+  uint64_t wall_ns = 0;
+  std::vector<SpanAggregate> stages;  // sorted by total_ns descending
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, std::string>> annotations;
+};
+
+/// Master gate; off by default. Turning it on makes every *top-level*
+/// QueryScope deposit a record as it closes.
+bool FlightRecorderEnabled();
+void SetFlightRecorderEnabled(bool on);
+
+/// Number of ring slots (fixed at build time).
+size_t FlightRecorderCapacity();
+
+/// Deposits one record built from `snap`. The outcome is taken from the
+/// last "outcome" annotation ("ok" when absent); counters are selected
+/// scoped-first (cache./verify./query./budget. prefixes, then the rest in
+/// name order) until the record is full; stages keep the biggest
+/// total_ns. Called automatically by ~QueryScope; callable directly.
+void RecordFlight(const ScopeSnapshot& snap);
+
+/// Decoded records, oldest to newest. Torn slots (mid-write during the
+/// read) are skipped.
+std::vector<FlightRecordView> FlightRecords();
+
+/// Records dropped because their slot was mid-write when claimed.
+uint64_t FlightRecordsDropped();
+
+/// JSON dump: {"flight_recorder": {"capacity": N, "dropped": D,
+/// "records": [...]}}. Round-trips through obs::json::Parse.
+std::string FlightRecorderJson();
+
+/// Writes FlightRecorderJson() to `path` ("-" = stdout).
+bool WriteFlightRecorderFile(const std::string& path);
+
+/// Clears the ring and the drop counter (tests, repl `reset`).
+void ResetFlightRecorder();
+
+}  // namespace hedgeq::obs
+
+#endif  // HEDGEQ_OBS_FLIGHT_H_

@@ -1,13 +1,18 @@
 #include "obs/obs.h"
 
+#include <sys/resource.h>
+
 #include <algorithm>
 #include <cstdio>
+#include <cstdlib>
 #include <deque>
 #include <fstream>
 #include <map>
 #include <mutex>
 #include <sstream>
 #include <unordered_map>
+
+#include "obs/catalogue.h"
 
 namespace hedgeq::obs {
 
@@ -32,7 +37,17 @@ uint64_t ToUs(std::chrono::steady_clock::duration d) {
       std::chrono::duration_cast<std::chrono::microseconds>(d).count());
 }
 
-void AppendEscaped(std::string& out, std::string_view s) {
+// Wall-clock zero for process.wall_ms: captured when this translation
+// unit's statics initialize, i.e. as close to process start as the
+// library can observe.
+const std::chrono::steady_clock::time_point g_process_start =
+    std::chrono::steady_clock::now();
+
+}  // namespace
+
+namespace internal {
+
+void AppendJsonEscaped(std::string& out, std::string_view s) {
   for (char c : s) {
     switch (c) {
       case '"':
@@ -60,6 +75,14 @@ void AppendEscaped(std::string& out, std::string_view s) {
         }
     }
   }
+}
+
+}  // namespace internal
+
+namespace {
+
+void AppendEscaped(std::string& out, std::string_view s) {
+  internal::AppendJsonEscaped(out, s);
 }
 
 }  // namespace
@@ -159,6 +182,7 @@ void MetricsRegistry::RecordSpan(std::string_view name, uint64_t dur_ns) {
   }
   stat->count.fetch_add(1, std::memory_order_relaxed);
   stat->total_ns.fetch_add(dur_ns, std::memory_order_relaxed);
+  if (internal::t_scope_active) internal::ScopeSpanRecord(name, dur_ns);
 }
 
 void MetricsRegistry::Reset() {
@@ -176,7 +200,41 @@ void MetricsRegistry::Reset() {
   ClearTrace();
 }
 
+void UpdateProcessGauges() {
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) == 0) {
+    // ru_maxrss is kilobytes on Linux, bytes on Darwin.
+#if defined(__APPLE__)
+    uint64_t peak = static_cast<uint64_t>(usage.ru_maxrss);
+#else
+    uint64_t peak = static_cast<uint64_t>(usage.ru_maxrss) * 1024;
+#endif
+    Registry().GetGauge(metrics::kProcessPeakRssBytes)->Set(peak);
+  }
+  uint64_t wall_ms = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::milliseconds>(
+          std::chrono::steady_clock::now() - g_process_start)
+          .count());
+  Registry().GetGauge(metrics::kProcessWallMs)->Set(wall_ms);
+  uint64_t threads = 1;
+#if defined(__linux__)
+  if (std::ifstream status("/proc/self/status"); status) {
+    std::string line;
+    while (std::getline(status, line)) {
+      if (line.rfind("Threads:", 0) == 0) {
+        threads = static_cast<uint64_t>(
+            std::strtoull(line.c_str() + sizeof("Threads:") - 1, nullptr, 10));
+        if (threads == 0) threads = 1;
+        break;
+      }
+    }
+  }
+#endif
+  Registry().GetGauge(metrics::kProcessThreads)->Set(threads);
+}
+
 std::string MetricsRegistry::MetricsJson() const {
+  UpdateProcessGauges();
   Impl& im = impl();
   // Copy values out under the structural lock, then format. std::map gives
   // the stable (sorted) key order the snapshot contract promises.

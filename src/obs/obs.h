@@ -36,6 +36,27 @@
 
 namespace hedgeq::obs {
 
+class Counter;
+class Gauge;
+class Histogram;
+
+// ---------------------------------------------------------------------------
+// Per-query scope hooks (see scope.h). While a QueryScope is open on the
+// current thread, every metric update on that thread is also accumulated
+// into the scope. The header-visible gate is one thread-local bool so the
+// no-scope fast path stays a TLS load plus a branch; constinit guarantees
+// no TLS init wrapper, keeping the access a direct load (and UBSan-clean).
+namespace internal {
+constinit inline thread_local bool t_scope_active = false;
+void ScopeCounterAdd(const Counter* c, uint64_t delta);
+void ScopeGaugeSet(const Gauge* g, uint64_t v);
+void ScopeObserve(const Histogram* h, uint64_t v);
+void ScopeSpanRecord(std::string_view name, uint64_t dur_ns);
+/// Appends `s` to `out` with JSON string escaping (quotes, backslashes,
+/// control characters). Shared by every obs exporter.
+void AppendJsonEscaped(std::string& out, std::string_view s);
+}  // namespace internal
+
 // ---------------------------------------------------------------------------
 // Global gates.
 
@@ -57,7 +78,10 @@ void SetTraceEnabled(bool on);
 class Counter {
  public:
   explicit Counter(std::string name) : name_(std::move(name)) {}
-  void Add(uint64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void Add(uint64_t delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+    if (internal::t_scope_active) internal::ScopeCounterAdd(this, delta);
+  }
   void Increment() { Add(1); }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
@@ -72,13 +96,17 @@ class Counter {
 class Gauge {
  public:
   explicit Gauge(std::string name) : name_(std::move(name)) {}
-  void Set(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Set(uint64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    if (internal::t_scope_active) internal::ScopeGaugeSet(this, v);
+  }
   /// Raises the gauge to `v` if it is below (lock-free CAS loop).
   void SetMax(uint64_t v) {
     uint64_t cur = value_.load(std::memory_order_relaxed);
     while (cur < v &&
            !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
     }
+    if (internal::t_scope_active) internal::ScopeGaugeSet(this, v);
   }
   uint64_t value() const { return value_.load(std::memory_order_relaxed); }
   const std::string& name() const { return name_; }
@@ -102,6 +130,11 @@ class Histogram {
     buckets_[b].fetch_add(1, std::memory_order_relaxed);
     count_.fetch_add(1, std::memory_order_relaxed);
     sum_.fetch_add(v, std::memory_order_relaxed);
+    if (internal::t_scope_active) internal::ScopeObserve(this, v);
+  }
+  /// Upper bound of log2 bucket `i`: the largest value that lands in it.
+  static constexpr uint64_t BucketUpperBound(size_t i) {
+    return i >= 63 ? ~uint64_t{0} : (uint64_t{2} << i) - 1;
   }
   uint64_t count() const { return count_.load(std::memory_order_relaxed); }
   uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
@@ -231,6 +264,12 @@ class Span {
 
 // ---------------------------------------------------------------------------
 // Exporters.
+
+/// Refreshes the process-level gauges (`process.peak_rss_bytes`,
+/// `process.wall_ms`, `process.threads`) from the OS. Called by the
+/// snapshot exporters so every emitted snapshot carries current values;
+/// cheap enough to call ad hoc.
+void UpdateProcessGauges();
 
 /// Writes MetricsJson() to `path` ("-" = stdout). Returns false on I/O
 /// failure.

@@ -1,0 +1,164 @@
+#include "obs/prom.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <string_view>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace hedgeq::obs {
+
+namespace {
+
+constexpr double kQuantiles[] = {0.50, 0.90, 0.99};
+constexpr const char* kQuantileLabels[] = {"0.5", "0.9", "0.99"};
+
+/// Catalogue name → Prometheus metric name: dots become underscores (the
+/// catalogue uses [a-z0-9._] only, already valid otherwise) + namespace
+/// prefix.
+std::string PromName(std::string_view name) {
+  std::string out = "hedgeq_";
+  out.reserve(out.size() + name.size());
+  for (char c : name) out += c == '.' ? '_' : c;
+  return out;
+}
+
+/// Prometheus label-value escaping: backslash, double quote, newline.
+void AppendLabelEscaped(std::string& out, std::string_view s) {
+  for (char c : s) {
+    switch (c) {
+      case '\\':
+        out += "\\\\";
+        break;
+      case '"':
+        out += "\\\"";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+}
+
+void AppendSimpleFamily(std::string& out, std::string_view name,
+                        const char* type, uint64_t value) {
+  const std::string prom = PromName(name);
+  out += "# TYPE " + prom + " " + type + "\n";
+  out += prom + " " + std::to_string(value) + "\n";
+}
+
+void AppendHistogramFamily(std::string& out, std::string_view name,
+                           const Histogram& h) {
+  const std::string prom = PromName(name);
+  const uint64_t count = h.count();
+  out += "# TYPE " + prom + " histogram\n";
+  // Emit cumulative buckets up to the highest populated one; `le` carries
+  // the exact log2 upper bound so no precision is invented.
+  size_t top = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    if (h.bucket(i) != 0) top = i;
+  }
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i <= top; ++i) {
+    cumulative += h.bucket(i);
+    out += prom + "_bucket{le=\"" +
+           std::to_string(Histogram::BucketUpperBound(i)) + "\"} " +
+           std::to_string(cumulative) + "\n";
+  }
+  out += prom + "_bucket{le=\"+Inf\"} " + std::to_string(count) + "\n";
+  out += prom + "_sum " + std::to_string(h.sum()) + "\n";
+  out += prom + "_count " + std::to_string(count) + "\n";
+  // Exact quantiles as a companion gauge family (summary-style quantiles
+  // on a histogram name would collide with the bucket series).
+  out += "# TYPE " + prom + "_quantile gauge\n";
+  for (size_t qi = 0; qi < 3; ++qi) {
+    out += prom + "_quantile{q=\"" + kQuantileLabels[qi] + "\"} " +
+           std::to_string(HistogramQuantile(h, kQuantiles[qi])) + "\n";
+  }
+}
+
+}  // namespace
+
+uint64_t HistogramQuantile(const Histogram& h, double q) {
+  const uint64_t count = h.count();
+  if (count == 0) return 0;
+  if (q < 0) q = 0;
+  if (q > 1) q = 1;
+  // Rank of the quantile observation, 1-based; q=0 still needs one.
+  uint64_t rank = static_cast<uint64_t>(std::ceil(q * static_cast<double>(count)));
+  if (rank == 0) rank = 1;
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < Histogram::kBuckets; ++i) {
+    cumulative += h.bucket(i);
+    if (cumulative >= rank) return Histogram::BucketUpperBound(i);
+  }
+  return Histogram::BucketUpperBound(Histogram::kBuckets - 1);
+}
+
+std::string PrometheusText() {
+  UpdateProcessGauges();
+  MetricsRegistry& registry = Registry();
+  std::string out;
+  out.reserve(4096);
+  // MetricNames() is the same sorted kind-prefixed surface the golden-name
+  // gate diffs, so the prom exposition enumerates exactly the snapshot set.
+  for (const std::string& prefixed : registry.MetricNames()) {
+    const size_t slash = prefixed.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string_view kind(prefixed.data(), slash);
+    const std::string_view name(prefixed.data() + slash + 1,
+                                prefixed.size() - slash - 1);
+    if (kind == "counter") {
+      AppendSimpleFamily(out, name, "counter",
+                         registry.GetCounter(name)->value());
+    } else if (kind == "gauge") {
+      AppendSimpleFamily(out, name, "gauge", registry.GetGauge(name)->value());
+    } else if (kind == "histogram") {
+      AppendHistogramFamily(out, name, *registry.GetHistogram(name));
+    }
+    // "span/" names are handled below from the aggregate table.
+  }
+  std::vector<SpanAggregate> spans = registry.SpanAggregates();
+  // Same contract as the JSON snapshot: a stage appears once it has run.
+  // (After a Reset the registry keeps zero-count span names around.)
+  spans.erase(std::remove_if(spans.begin(), spans.end(),
+                             [](const SpanAggregate& s) {
+                               return s.count == 0;
+                             }),
+              spans.end());
+  if (!spans.empty()) {
+    out += "# TYPE hedgeq_span_count counter\n";
+    for (const SpanAggregate& s : spans) {
+      out += "hedgeq_span_count{stage=\"";
+      AppendLabelEscaped(out, s.name);
+      out += "\"} " + std::to_string(s.count) + "\n";
+    }
+    out += "# TYPE hedgeq_span_total_ns counter\n";
+    for (const SpanAggregate& s : spans) {
+      out += "hedgeq_span_total_ns{stage=\"";
+      AppendLabelEscaped(out, s.name);
+      out += "\"} " + std::to_string(s.total_ns) + "\n";
+    }
+  }
+  return out;
+}
+
+bool WritePrometheusFile(const std::string& path) {
+  const std::string text = PrometheusText();
+  if (path == "-") {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return true;
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  const bool ok = written == text.size() && std::fclose(f) == 0;
+  if (!ok && written != text.size()) std::fclose(f);
+  return ok;
+}
+
+}  // namespace hedgeq::obs

@@ -1,0 +1,37 @@
+#ifndef HEDGEQ_OBS_PROM_H_
+#define HEDGEQ_OBS_PROM_H_
+
+// Prometheus text exposition (version 0.0.4) of the metrics registry,
+// behind `--metrics-format=prom` on the CLIs. Metric names are the
+// catalogue names with dots mapped to underscores and a `hedgeq_` prefix
+// (`cache.hit` → `hedgeq_cache_hit`); log2 histograms are emitted as
+// native Prometheus histograms (cumulative `_bucket{le="..."}` series
+// using the exact log2 bucket upper bounds, plus `_sum`/`_count`) and
+// additionally as an exact `_quantile{q="..."}` gauge family for p50/p90/
+// p99; span aggregates become `hedgeq_span_{count,total_ns}{stage="..."}`
+// counter families.
+
+#include <cstdint>
+#include <string>
+
+namespace hedgeq::obs {
+
+class Histogram;
+
+/// Exact quantile extraction from a log2 histogram: the smallest bucket
+/// upper bound whose cumulative count reaches ceil(q * count). Because
+/// buckets are ranges, this is the tightest upper bound the histogram can
+/// certify — never an interpolated (and therefore fabricated) value.
+/// Returns 0 for an empty histogram. `q` is clamped to [0, 1].
+uint64_t HistogramQuantile(const Histogram& h, double q);
+
+/// Full registry snapshot in Prometheus text format. Refreshes the
+/// process gauges first, like MetricsJson().
+std::string PrometheusText();
+
+/// Writes PrometheusText() to `path` ("-" = stdout).
+bool WritePrometheusFile(const std::string& path);
+
+}  // namespace hedgeq::obs
+
+#endif  // HEDGEQ_OBS_PROM_H_

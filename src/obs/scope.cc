@@ -1,0 +1,157 @@
+#include "obs/scope.h"
+
+#include <algorithm>
+
+#include "obs/catalogue.h"
+#include "obs/flight.h"
+
+namespace hedgeq::obs {
+
+namespace {
+// The innermost open scope on this thread. obs.h's header-visible gate
+// (internal::t_scope_active) mirrors "t_current != nullptr" so the inline
+// fast paths never need this type.
+thread_local QueryScope* t_current = nullptr;
+}  // namespace
+
+namespace internal {
+
+void ScopeCounterAdd(const Counter* c, uint64_t delta) {
+  if (t_current != nullptr) t_current->AccumulateCounter(c, delta);
+}
+void ScopeGaugeSet(const Gauge* g, uint64_t v) {
+  if (t_current != nullptr) t_current->AccumulateGauge(g, v);
+}
+void ScopeObserve(const Histogram* h, uint64_t v) {
+  if (t_current != nullptr) t_current->AccumulateHistogram(h, v);
+}
+void ScopeSpanRecord(std::string_view name, uint64_t dur_ns) {
+  if (t_current != nullptr) t_current->AccumulateSpan(name, dur_ns);
+}
+
+}  // namespace internal
+
+uint64_t ScopeSnapshot::CounterValue(std::string_view name) const {
+  for (const auto& [n, v] : counters) {
+    if (n == name) return v;
+  }
+  return 0;
+}
+
+uint64_t ScopeSnapshot::SpanTotalNs(std::string_view name) const {
+  for (const SpanAggregate& s : spans) {
+    if (s.name == name) return s.total_ns;
+  }
+  return 0;
+}
+
+QueryScope::QueryScope(std::string label) : label_(std::move(label)) {
+  if (!Enabled()) return;
+  active_ = true;
+  parent_ = t_current;
+  t_current = this;
+  internal::t_scope_active = true;
+  start_ = std::chrono::steady_clock::now();
+}
+
+QueryScope::~QueryScope() {
+  if (!active_) return;
+  const uint64_t wall_ns = ElapsedNs();
+  // Pop before flushing/reporting so nothing below self-attributes.
+  t_current = parent_;
+  internal::t_scope_active = parent_ != nullptr;
+  if (parent_ != nullptr) {
+    for (const auto& [c, v] : counters_) parent_->counters_[c] += v;
+    for (const auto& [g, v] : gauges_) parent_->gauges_[g] = v;
+    for (const auto& [h, cell] : hists_) {
+      HistCell& p = parent_->hists_[h];
+      p.count += cell.count;
+      p.sum += cell.sum;
+    }
+    for (const auto& [name, cell] : spans_) {
+      SpanCell& p = parent_->spans_[name];
+      p.count += cell.count;
+      p.total_ns += cell.total_ns;
+    }
+    for (auto& kv : annotations_) {
+      parent_->annotations_.push_back(std::move(kv));
+    }
+    return;
+  }
+  // Top-level scope: feed the rolling latency distribution and, when the
+  // flight recorder is on, deposit the post-mortem record.
+  if (Enabled()) {
+    Registry()
+        .GetHistogram(metrics::kHistQueryLatencyUs)
+        ->Observe(wall_ns / 1000);
+  }
+  if (FlightRecorderEnabled()) {
+    ScopeSnapshot snap = Snapshot();
+    snap.wall_ns = wall_ns;
+    RecordFlight(snap);
+  }
+}
+
+QueryScope* QueryScope::Current() { return t_current; }
+
+uint64_t QueryScope::ElapsedNs() const {
+  if (!active_) return 0;
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - start_)
+          .count());
+}
+
+void QueryScope::Annotate(std::string_view key, std::string_view value) {
+  if (!active_) return;
+  annotations_.emplace_back(std::string(key), std::string(value));
+}
+
+ScopeSnapshot QueryScope::Snapshot() const {
+  ScopeSnapshot out;
+  out.label = label_;
+  out.wall_ns = ElapsedNs();
+  out.counters.reserve(counters_.size());
+  for (const auto& [c, v] : counters_) out.counters.emplace_back(c->name(), v);
+  std::sort(out.counters.begin(), out.counters.end());
+  out.gauges.reserve(gauges_.size());
+  for (const auto& [g, v] : gauges_) out.gauges.emplace_back(g->name(), v);
+  std::sort(out.gauges.begin(), out.gauges.end());
+  out.hists.reserve(hists_.size());
+  for (const auto& [h, cell] : hists_) {
+    out.hists.push_back(ScopeSnapshot::Hist{h->name(), cell.count, cell.sum});
+  }
+  std::sort(out.hists.begin(), out.hists.end(),
+            [](const ScopeSnapshot::Hist& a, const ScopeSnapshot::Hist& b) {
+              return a.name < b.name;
+            });
+  out.spans.reserve(spans_.size());
+  for (const auto& [name, cell] : spans_) {
+    out.spans.push_back(SpanAggregate{name, cell.count, cell.total_ns});
+  }
+  std::sort(out.spans.begin(), out.spans.end(),
+            [](const SpanAggregate& a, const SpanAggregate& b) {
+              return a.name < b.name;
+            });
+  out.annotations = annotations_;
+  return out;
+}
+
+void QueryScope::AccumulateCounter(const Counter* c, uint64_t delta) {
+  counters_[c] += delta;
+}
+void QueryScope::AccumulateGauge(const Gauge* g, uint64_t v) {
+  gauges_[g] = v;
+}
+void QueryScope::AccumulateHistogram(const Histogram* h, uint64_t v) {
+  HistCell& cell = hists_[h];
+  ++cell.count;
+  cell.sum += v;
+}
+void QueryScope::AccumulateSpan(std::string_view name, uint64_t dur_ns) {
+  SpanCell& cell = spans_[std::string(name)];
+  ++cell.count;
+  cell.total_ns += dur_ns;
+}
+
+}  // namespace hedgeq::obs

@@ -1,0 +1,119 @@
+#ifndef HEDGEQ_OBS_SCOPE_H_
+#define HEDGEQ_OBS_SCOPE_H_
+
+// Per-query attribution: a QueryScope is an RAII overlay on the process
+// registry. While a scope is active on a thread, every counter increment,
+// gauge set, histogram observation and span close on that thread is
+// *also* accumulated into the scope (the process registry still sees
+// everything — scopes attribute, they never divert). Closing a scope
+// flushes its totals into the enclosing scope, so nesting composes: an
+// outer "session" scope sees the sum of its inner "query" scopes.
+//
+// Scopes are strictly thread-local: work done by other threads while a
+// scope is open is visible to the process registry but not to the scope.
+// This keeps the enabled fast path at one thread-local load plus a
+// branch per instrumentation site (the overlay map is only touched when
+// a scope is actually open) and makes scopes safe without any locking.
+//
+// A top-level scope (no enclosing scope) that closes while the flight
+// recorder is enabled deposits its snapshot as a flight record
+// (src/obs/flight.h), so long-running servers get a post-mortem ring of
+// the last N queries for free.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "obs/obs.h"
+
+namespace hedgeq::obs {
+
+/// Everything one scope attributed: counters/gauges by metric name,
+/// histogram count+sum pairs, span aggregates, free-form annotations
+/// (cache verdicts, HQV findings, budget outcomes), and the scope's own
+/// wall time. All vectors are sorted by name for deterministic output.
+struct ScopeSnapshot {
+  std::string label;
+  uint64_t wall_ns = 0;
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, uint64_t>> gauges;  // last value seen
+  struct Hist {
+    std::string name;
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+  std::vector<Hist> hists;
+  std::vector<SpanAggregate> spans;
+  std::vector<std::pair<std::string, std::string>> annotations;
+
+  /// Value of one scoped counter (0 when the scope never saw it).
+  uint64_t CounterValue(std::string_view name) const;
+  /// Total nanoseconds of one scoped span (0 when it never closed here).
+  uint64_t SpanTotalNs(std::string_view name) const;
+};
+
+/// RAII per-query attribution scope. Construction is near-free when
+/// observability is disabled (the scope stays inert and records
+/// nothing). Scopes must be destroyed on the thread that created them,
+/// in LIFO order — guaranteed by construction for stack objects.
+class QueryScope {
+ public:
+  explicit QueryScope(std::string label);
+  ~QueryScope();
+  QueryScope(const QueryScope&) = delete;
+  QueryScope& operator=(const QueryScope&) = delete;
+
+  /// The innermost scope open on this thread (nullptr when none).
+  static QueryScope* Current();
+
+  /// Attaches a free-form key/value to the scope (and so to its flight
+  /// record): cache rejection reasons, budget outcomes, HQV codes.
+  /// Repeated keys are kept in arrival order.
+  void Annotate(std::string_view key, std::string_view value);
+
+  /// The scope's attribution so far (wall_ns is elapsed-to-now). Cheap
+  /// enough for per-command reporting; the maps are scope-local so no
+  /// lock is taken.
+  ScopeSnapshot Snapshot() const;
+
+  const std::string& label() const { return label_; }
+  bool active() const { return active_; }
+  uint64_t ElapsedNs() const;
+
+  // Internal accumulation entry points, called via the internal::Scope*
+  // hooks in obs.h / obs.cc. Not for direct use.
+  void AccumulateCounter(const Counter* c, uint64_t delta);
+  void AccumulateGauge(const Gauge* g, uint64_t v);
+  void AccumulateHistogram(const Histogram* h, uint64_t v);
+  void AccumulateSpan(std::string_view name, uint64_t dur_ns);
+
+ private:
+  struct SpanCell {
+    uint64_t count = 0;
+    uint64_t total_ns = 0;
+  };
+  struct HistCell {
+    uint64_t count = 0;
+    uint64_t sum = 0;
+  };
+
+  std::string label_;
+  bool active_ = false;
+  QueryScope* parent_ = nullptr;
+  std::chrono::steady_clock::time_point start_;
+  // Keyed by registry handle (stable for the process lifetime); names are
+  // resolved at snapshot/flush time, keeping the hot path allocation-free
+  // after the first touch of each metric.
+  std::unordered_map<const Counter*, uint64_t> counters_;
+  std::unordered_map<const Gauge*, uint64_t> gauges_;
+  std::unordered_map<const Histogram*, HistCell> hists_;
+  std::unordered_map<std::string, SpanCell> spans_;
+  std::vector<std::pair<std::string, std::string>> annotations_;
+};
+
+}  // namespace hedgeq::obs
+
+#endif  // HEDGEQ_OBS_SCOPE_H_

@@ -5,6 +5,7 @@
 #include "lint/analyze.h"
 #include "obs/catalogue.h"
 #include "obs/obs.h"
+#include "obs/scope.h"
 #include "util/check.h"
 #include "util/failpoint.h"
 
@@ -85,6 +86,11 @@ Result<PhrEvaluator> PhrEvaluator::Create(const phr::Phr& phr,
   Result<LazyPhrEvaluator> lazy = LazyPhrEvaluator::Create(phr, budget);
   if (!lazy.ok()) return lazy.status();
   HEDGEQ_OBS_COUNT(obs::metrics::kQueryLazyFallbacks, 1);
+  // Budget outcome for the flight record: the answer is still exact, but
+  // this query ran on the degraded engine.
+  if (auto* qscope = obs::QueryScope::Current(); qscope != nullptr) {
+    qscope->Annotate("outcome", "degraded_lazy");
+  }
   PhrEvaluator out;
   out.lazy_ = std::move(lazy).value();
   return out;

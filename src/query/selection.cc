@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "lint/analyze.h"
+#include "obs/scope.h"
 #include "util/failpoint.h"
 #include "util/strings.h"
 
@@ -66,6 +67,11 @@ Result<SelectionEvaluator> SelectionEvaluator::CreateImpl(
       opts.max_cache_bytes =
           std::min(budget.max_memory_bytes, opts.max_cache_bytes);
       out.subhedge_lazy_.emplace(std::move(*nha), opts);
+      // Budget outcome for the flight record (same contract as the
+      // envelope-side fallback in evaluator.cc).
+      if (auto* qscope = obs::QueryScope::Current(); qscope != nullptr) {
+        qscope->Annotate("outcome", "degraded_lazy");
+      }
     } else {
       return det.status();
     }

@@ -122,6 +122,44 @@ TEST(ObsRegistryTest, MetricsJsonRoundTrips) {
   EXPECT_EQ(s->Get("total_ns")->integer(), 2000);
 }
 
+TEST(ObsRegistryTest, HostileMetricAndSpanNamesEscapeCleanly) {
+  ObsGuard guard;
+  // Nothing in the pipeline emits names like these, but the snapshot must
+  // not become unparseable if a caller does: quotes, backslashes and
+  // control characters all have to survive the JSON round trip.
+  const std::string hostile = "bad\"name\\with\tescapes";
+  Registry().GetCounter(hostile)->Add(1);
+  Registry().RecordSpan(hostile, 99);
+  const std::string snapshot = Registry().MetricsJson();
+  Result<json::ValuePtr> parsed = json::Parse(snapshot);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString() << "\n" << snapshot;
+  const json::Value* counters = (*parsed)->Get("counters");
+  ASSERT_NE(counters, nullptr);
+  ASSERT_NE(counters->Get(hostile), nullptr) << "name survives verbatim";
+  EXPECT_EQ(counters->Get(hostile)->integer(), 1);
+  const json::Value* spans = (*parsed)->Get("spans");
+  ASSERT_NE(spans, nullptr);
+  ASSERT_NE(spans->Get(hostile), nullptr);
+  EXPECT_EQ(spans->Get(hostile)->Get("total_ns")->integer(), 99);
+}
+
+TEST(ObsRegistryTest, SnapshotCarriesCurrentProcessGauges) {
+  ObsGuard guard;
+  RegisterCatalogue();
+  const std::string snapshot = Registry().MetricsJson();
+  Result<json::ValuePtr> parsed = json::Parse(snapshot);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const json::Value* gauges = (*parsed)->Get("gauges");
+  ASSERT_NE(gauges, nullptr);
+  const json::Value* rss = gauges->Get(metrics::kProcessPeakRssBytes);
+  ASSERT_NE(rss, nullptr);
+  EXPECT_GT(rss->integer(), 1 << 20) << "a running test uses > 1 MiB";
+  const json::Value* threads = gauges->Get(metrics::kProcessThreads);
+  ASSERT_NE(threads, nullptr);
+  EXPECT_GE(threads->integer(), 1);
+  ASSERT_NE(gauges->Get(metrics::kProcessWallMs), nullptr);
+}
+
 TEST(ObsTraceTest, ChromeTraceJsonRoundTripsWithNesting) {
   ObsGuard guard;
   SetTraceEnabled(true);

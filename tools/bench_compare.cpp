@@ -1,0 +1,238 @@
+// bench_compare — regression gate over the BENCH_<name>.json artifacts
+// that HEDGEQ_BENCH_MAIN writes (see bench/bench_util.h and
+// docs/OBSERVABILITY.md).
+//
+//   bench_compare [--fail-pct=25] [--warn-pct=10] BASELINE CURRENT
+//
+// BASELINE and CURRENT are either two artifact files or two directories of
+// them (matched by file name: the checked-in bench/baselines/ tree against
+// a fresh bench-out/). Every benchmark present in both reports is compared
+// on real_time and cpu_time, normalized by the report's time_unit:
+//
+//   exit 0   no metric slowed down past --warn-pct
+//   exit 1   at least one metric slowed down past --fail-pct
+//   exit 2   usage or parse error (a gate that cannot read its input must
+//            not report "no regression")
+//
+// Slowdowns between the thresholds print as warnings but stay exit 0, so
+// CI can keep advisory families visible without going red on machine
+// noise; speedups are reported and never fail. Benchmarks that exist only
+// on one side are listed (renames shouldn't silently shrink coverage) but
+// do not fail the gate.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace {
+
+using hedgeq::obs::json::Parse;
+using hedgeq::obs::json::Value;
+using hedgeq::obs::json::ValuePtr;
+
+struct Sample {
+  double real_time_ns = 0;
+  double cpu_time_ns = 0;
+};
+
+// One artifact: benchmark name -> timings, already in nanoseconds.
+using Report = std::map<std::string, Sample>;
+
+double UnitToNs(const std::string& unit) {
+  if (unit == "ns") return 1;
+  if (unit == "us") return 1e3;
+  if (unit == "ms") return 1e6;
+  if (unit == "s") return 1e9;
+  return 1;  // google-benchmark default is ns
+}
+
+bool LoadReport(const std::string& path, Report& out, std::string& error) {
+  std::ifstream in(path);
+  if (!in) {
+    error = "cannot open " + path;
+    return false;
+  }
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  auto parsed = Parse(ss.str());
+  if (!parsed.ok()) {
+    error = path + ": " + parsed.status().ToString();
+    return false;
+  }
+  const Value* report = (*parsed)->Get("report");
+  if (report == nullptr) {
+    error = path + ": no \"report\" key (not a BENCH_*.json artifact?)";
+    return false;
+  }
+  const Value* benchmarks = report->Get("benchmarks");
+  if (benchmarks == nullptr) {
+    // A bench binary that registered nothing still writes "report": null;
+    // treat it as an empty (comparable) report.
+    return true;
+  }
+  for (const ValuePtr& entry : benchmarks->array()) {
+    const Value* name = entry->Get("name");
+    const Value* real_time = entry->Get("real_time");
+    const Value* cpu_time = entry->Get("cpu_time");
+    if (name == nullptr || real_time == nullptr || cpu_time == nullptr) {
+      continue;
+    }
+    // Repetition aggregates (mean/median/stddev) describe the same runs
+    // the plain entries do; comparing both would double-report.
+    if (const Value* run_type = entry->Get("run_type");
+        run_type != nullptr && run_type->string() == "aggregate") {
+      continue;
+    }
+    const Value* unit = entry->Get("time_unit");
+    const double to_ns = UnitToNs(unit != nullptr ? unit->string() : "ns");
+    Sample s;
+    s.real_time_ns = real_time->number() * to_ns;
+    s.cpu_time_ns = cpu_time->number() * to_ns;
+    out[name->string()] = s;
+  }
+  return true;
+}
+
+struct Thresholds {
+  double fail_pct = 25;
+  double warn_pct = 10;
+};
+
+// Compares one artifact pair; prints per-metric verdicts. Returns the
+// number of hard failures.
+int ComparePair(const std::string& label, const Report& base,
+                const Report& cur, const Thresholds& t) {
+  int failures = 0;
+  for (const auto& [name, b] : base) {
+    auto it = cur.find(name);
+    if (it == cur.end()) {
+      std::printf("MISSING %s: %s (in baseline, not in current)\n",
+                  label.c_str(), name.c_str());
+      continue;
+    }
+    const Sample& c = it->second;
+    const struct {
+      const char* metric;
+      double base_ns;
+      double cur_ns;
+    } rows[] = {
+        {"real_time", b.real_time_ns, c.real_time_ns},
+        {"cpu_time", b.cpu_time_ns, c.cpu_time_ns},
+    };
+    for (const auto& row : rows) {
+      if (row.base_ns <= 0) continue;  // nothing to normalize against
+      const double delta_pct = (row.cur_ns - row.base_ns) / row.base_ns * 100;
+      if (delta_pct > t.fail_pct) {
+        std::printf("FAIL %s: %s %s %+.1f%% (%.0f ns -> %.0f ns)\n",
+                    label.c_str(), name.c_str(), row.metric, delta_pct,
+                    row.base_ns, row.cur_ns);
+        ++failures;
+      } else if (delta_pct > t.warn_pct) {
+        std::printf("WARN %s: %s %s %+.1f%% (%.0f ns -> %.0f ns)\n",
+                    label.c_str(), name.c_str(), row.metric, delta_pct,
+                    row.base_ns, row.cur_ns);
+      } else if (delta_pct < -t.warn_pct) {
+        std::printf("good %s: %s %s %+.1f%%\n", label.c_str(), name.c_str(),
+                    row.metric, delta_pct);
+      }
+    }
+  }
+  for (const auto& [name, c] : cur) {
+    (void)c;
+    if (base.find(name) == base.end()) {
+      std::printf("NEW %s: %s (not in baseline)\n", label.c_str(),
+                  name.c_str());
+    }
+  }
+  return failures;
+}
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage: bench_compare [--fail-pct=25] [--warn-pct=10] BASELINE CURRENT\n"
+      "  BASELINE/CURRENT: two BENCH_*.json artifacts, or two directories\n"
+      "  of them (compared pairwise by file name)\n"
+      "exit: 0 = within thresholds, 1 = regression past --fail-pct,\n"
+      "      2 = usage/parse error\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Thresholds thresholds;
+  std::vector<std::string> paths;
+  for (int i = 1; i < argc; ++i) {
+    const std::string a = argv[i];
+    if (a.rfind("--fail-pct=", 0) == 0) {
+      thresholds.fail_pct = std::atof(a.c_str() + sizeof("--fail-pct=") - 1);
+    } else if (a.rfind("--warn-pct=", 0) == 0) {
+      thresholds.warn_pct = std::atof(a.c_str() + sizeof("--warn-pct=") - 1);
+    } else if (a.rfind("--", 0) == 0) {
+      return Usage();
+    } else {
+      paths.push_back(a);
+    }
+  }
+  if (paths.size() != 2) return Usage();
+
+  namespace fs = std::filesystem;
+  std::vector<std::pair<std::string, std::string>> pairs;  // label -> files
+  std::error_code ec;
+  const bool base_dir = fs::is_directory(paths[0], ec);
+  const bool cur_dir = fs::is_directory(paths[1], ec);
+  if (base_dir != cur_dir) {
+    std::fprintf(stderr,
+                 "bench_compare: %s and %s must both be files or both be "
+                 "directories\n",
+                 paths[0].c_str(), paths[1].c_str());
+    return 2;
+  }
+  int failures = 0;
+  int compared = 0;
+  auto compare_files = [&](const std::string& label, const std::string& base,
+                           const std::string& cur) -> bool {
+    Report b, c;
+    std::string error;
+    if (!LoadReport(base, b, error) || !LoadReport(cur, c, error)) {
+      std::fprintf(stderr, "bench_compare: %s\n", error.c_str());
+      return false;
+    }
+    failures += ComparePair(label, b, c, thresholds);
+    ++compared;
+    return true;
+  };
+  if (base_dir) {
+    for (const fs::directory_entry& entry : fs::directory_iterator(paths[0])) {
+      const std::string file = entry.path().filename().string();
+      if (file.rfind("BENCH_", 0) != 0 ||
+          file.find(".json") == std::string::npos) {
+        continue;
+      }
+      const fs::path cur = fs::path(paths[1]) / file;
+      if (!fs::exists(cur, ec)) {
+        std::printf("MISSING %s: no current artifact\n", file.c_str());
+        continue;
+      }
+      if (!compare_files(file, entry.path().string(), cur.string())) return 2;
+    }
+  } else {
+    if (!compare_files(fs::path(paths[0]).filename().string(), paths[0],
+                       paths[1])) {
+      return 2;
+    }
+  }
+  std::printf("bench_compare: %d artifact(s) compared, %d failure(s) "
+              "(fail>%.0f%%, warn>%.0f%%)\n",
+              compared, failures, thresholds.fail_pct, thresholds.warn_pct);
+  return failures > 0 ? 1 : 0;
+}

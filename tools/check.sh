@@ -252,4 +252,88 @@ grep -q 'deadline-exceeded' "${CACHE_TMP}/deadline.err" \
   || { echo "FAIL: expired deadline not reported as deadline-exceeded"; exit 1; }
 rm -rf "${CACHE_TMP}"
 
+step "prometheus exposition (sanitized golden names, buckets, quantiles)"
+PROM_TMP="$(mktemp -d)"
+"${HQ}" gen article 200 > "${PROM_TMP}/doc.xml"
+"${HQ}" query 'select(*; figure (section|article)*)' "${PROM_TMP}/doc.xml" \
+  --metrics="${PROM_TMP}/metrics.prom" --metrics-format=prom > /dev/null
+# Same append-only name contract as the JSON gate, through the prom name
+# mapping (dots -> underscores, hedgeq_ prefix).
+while IFS= read -r name; do
+  [[ -z "${name}" || "${name}" == \#* ]] && continue
+  prom_name="hedgeq_$(printf '%s' "${name}" | tr . _)"
+  grep -q "^${prom_name}\b\|^# TYPE ${prom_name} " "${PROM_TMP}/metrics.prom" \
+    || { echo "FAIL: '${prom_name}' missing from prom exposition"; exit 1; }
+done < tools/fixtures/metric_names.golden
+grep -q '^hedgeq_hist_query_latency_us_bucket{le="+Inf"} [1-9]' \
+  "${PROM_TMP}/metrics.prom" \
+  || { echo "FAIL: query latency histogram has no +Inf bucket count"; exit 1; }
+grep -q '^hedgeq_hist_query_latency_us_quantile{q="0.99"} [0-9]' \
+  "${PROM_TMP}/metrics.prom" \
+  || { echo "FAIL: no p99 quantile in prom exposition"; exit 1; }
+grep -q '^hedgeq_span_total_ns{stage="automata.determinize"} [1-9]' \
+  "${PROM_TMP}/metrics.prom" \
+  || { echo "FAIL: span families missing from prom exposition"; exit 1; }
+rm -rf "${PROM_TMP}"
+
+step "flight recorder (SIGUSR1 dump parses and carries the query's stages)"
+FLIGHT_TMP="$(mktemp -d)"
+"${HQ}" gen article 200 > "${FLIGHT_TMP}/doc.xml"
+mkfifo "${FLIGHT_TMP}/stdin"
+"${HQ}" repl --flight-recorder="${FLIGHT_TMP}/flight.json" \
+  < "${FLIGHT_TMP}/stdin" > "${FLIGHT_TMP}/repl.out" 2>&1 &
+REPL_PID=$!
+exec 9> "${FLIGHT_TMP}/stdin"
+printf 'load %s\nquery select(*; figure (section|article)*)\n' \
+  "${FLIGHT_TMP}/doc.xml" >&9
+# Give the repl a beat to finish the query, then ask for a dump by signal
+# while it is blocked reading the fifo.
+sleep 1
+kill -USR1 "${REPL_PID}"
+for _ in $(seq 1 50); do
+  [[ -s "${FLIGHT_TMP}/flight.json" ]] && break
+  sleep 0.1
+done
+[[ -s "${FLIGHT_TMP}/flight.json" ]] \
+  || { echo "FAIL: SIGUSR1 produced no flight-recorder dump"; exit 1; }
+"${HQ}" obs-parse "${FLIGHT_TMP}/flight.json" > /dev/null \
+  || { echo "FAIL: flight dump does not round-trip through the obs parser"; exit 1; }
+grep -q '"label": "repl:query ' "${FLIGHT_TMP}/flight.json" \
+  || { echo "FAIL: flight dump has no record for the query command"; exit 1; }
+grep -q 'phr.compile\|automata.determinize' "${FLIGHT_TMP}/flight.json" \
+  || { echo "FAIL: flight record carries no stage durations"; exit 1; }
+printf 'quit\n' >&9
+exec 9>&-
+wait "${REPL_PID}"
+rm -rf "${FLIGHT_TMP}"
+
+step "bench_compare gate (identity passes, synthetic slowdown fails)"
+BC="${BUILD_DIR}/tools/bench_compare"
+BC_TMP="$(mktemp -d)"
+cp bench/baselines/BENCH_*.json "${BC_TMP}/" 2>/dev/null || true
+if ls "${BC_TMP}"/BENCH_*.json > /dev/null 2>&1; then
+  "${BC}" "${BC_TMP}" "${BC_TMP}" > /dev/null \
+    || { echo "FAIL: bench_compare rejects identical artifacts"; exit 1; }
+  one="$(ls "${BC_TMP}"/BENCH_*.json | head -1)"
+  mkdir "${BC_TMP}/slow"
+  # Replace every timing with an absurdly slow constant: far past any
+  # threshold regardless of the baseline's magnitude or number format
+  # (google-benchmark emits scientific notation).
+  sed -E 's/"(real_time|cpu_time)": [0-9.eE+-]+/"\1": 9.0e9/g' \
+    "${one}" > "${BC_TMP}/slow/$(basename "${one}")"
+  if "${BC}" "${one}" "${BC_TMP}/slow/$(basename "${one}")" \
+       > "${BC_TMP}/slow.out"; then
+    echo "FAIL: bench_compare accepted a 100x slowdown"; exit 1
+  fi
+  grep -q '^FAIL' "${BC_TMP}/slow.out" \
+    || { echo "FAIL: bench_compare slowdown produced no FAIL line"; exit 1; }
+else
+  echo "  (no committed baselines found; structural gate only)"
+  bc_rc=0
+  "${BC}" /nonexistent_a.json /nonexistent_b.json > /dev/null 2>&1 || bc_rc=$?
+  [[ "${bc_rc}" -eq 2 ]] \
+    || { echo "FAIL: bench_compare unreadable input must exit 2"; exit 1; }
+fi
+rm -rf "${BC_TMP}"
+
 step "all checks passed"

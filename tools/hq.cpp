@@ -24,11 +24,16 @@
 //                      preprocessing stages; past it, commands with a lazy
 //                      equivalent degrade to it and the rest exit 4 with
 //                      deadline-exceeded
+#include <unistd.h>
+
+#include <cerrno>
 #include <cstdio>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <memory>
+#include <optional>
 #include <sstream>
 #include <string>
 #include <vector>
@@ -38,6 +43,9 @@
 #include "baseline/xpath.h"
 #include "cache/cache.h"
 #include "hre/compile.h"
+#include "obs/flight.h"
+#include "obs/json.h"
+#include "obs/scope.h"
 #include "query/selection.h"
 #include "schema/algebra.h"
 #include "schema/transform.h"
@@ -341,6 +349,285 @@ int CmdCanon(const std::string& schema_file) {
   return 0;
 }
 
+// Round-trips an obs-produced JSON artifact (metrics snapshot, flight
+// recorder dump, BENCH_*.json) through the obs JSON parser — the check.sh
+// gates use it to assert dumps are machine-readable without needing an
+// external JSON tool.
+int CmdObsParse(const std::string& file) {
+  auto text = ReadFile(file);
+  if (!text.ok()) return Fail(text.status().ToString());
+  auto parsed = obs::json::Parse(*text);
+  if (!parsed.ok()) return Fail(file + ": " + parsed.status().ToString());
+  std::printf("ok\n");
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// hq repl — a long-running session against warm state: one vocabulary, one
+// loaded document, and a per-query-text evaluator memo, so repeating a
+// query skips every compile stage (the per-command stats line then shows
+// no automata.determinize at all). Combined with --cache-dir even the
+// first compile of a previously-seen query loads certified automata
+// instead of determinizing.
+
+// EINTR-aware line read: --flight-recorder installs a SIGUSR1 handler
+// without SA_RESTART, so a signal during a blocked read lands here and the
+// dump happens immediately instead of after the next keystroke.
+bool ReplReadLine(std::string& line, tools::ObsCli& obs_cli) {
+  line.clear();
+  char buf[4096];
+  for (;;) {
+    errno = 0;
+    if (std::fgets(buf, sizeof(buf), stdin) == nullptr) {
+      if (errno == EINTR && !std::feof(stdin)) {
+        std::clearerr(stdin);
+        if (tools::ObsCli::TakeSignalDumpRequest()) obs_cli.DumpFlightRecorder();
+        continue;
+      }
+      return !line.empty();  // EOF: deliver a final unterminated line
+    }
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      return true;
+    }
+  }
+}
+
+// The per-command stats line: wall time, the stages that actually ran this
+// command (biggest first — a warm evaluator memo hit shows no compile
+// stages), cache verdicts and the certify fraction when they moved.
+void ReplPrintStats(const obs::QueryScope& scope) {
+  const obs::ScopeSnapshot snap = scope.Snapshot();
+  std::string line = "#";
+  char num[64];
+  std::snprintf(num, sizeof(num), " %.3f ms", snap.wall_ns / 1e6);
+  line += num;
+  std::vector<obs::SpanAggregate> stages = snap.spans;
+  std::sort(stages.begin(), stages.end(),
+            [](const obs::SpanAggregate& a, const obs::SpanAggregate& b) {
+              if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+              return a.name < b.name;
+            });
+  if (!stages.empty()) {
+    line += " | stages:";
+    size_t shown = 0;
+    for (const obs::SpanAggregate& s : stages) {
+      if (++shown > 8) break;
+      std::snprintf(num, sizeof(num), "=%.3fms", s.total_ns / 1e6);
+      line += " " + s.name + num;
+    }
+  }
+  const uint64_t hits = snap.CounterValue(obs::metrics::kCacheHit);
+  const uint64_t misses = snap.CounterValue(obs::metrics::kCacheMiss);
+  if (hits != 0 || misses != 0) {
+    std::snprintf(num, sizeof(num), " | cache hit=%llu miss=%llu",
+                  static_cast<unsigned long long>(hits),
+                  static_cast<unsigned long long>(misses));
+    line += num;
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    if (name == obs::metrics::kDetCertifyFracPct) {
+      std::snprintf(num, sizeof(num), " | certify=%llu%%",
+                    static_cast<unsigned long long>(value));
+      line += num;
+    }
+  }
+  std::printf("%s\n", line.c_str());
+}
+
+void ReplHelp() {
+  std::printf(
+      "repl commands:\n"
+      "  load FILE              parse an XML document ('-' = stdin is taken\n"
+      "                         by the repl; use a file path)\n"
+      "  gen article|random N [seed]   generate a synthetic document\n"
+      "  query QUERY            evaluate a selection query against the\n"
+      "                         loaded document (evaluators are memoized by\n"
+      "                         query text: repeats skip all compilation)\n"
+      "  validate SCHEMA_FILE   validate the loaded document\n"
+      "  timings                per-stage wall-time table (whole session)\n"
+      "  metrics                metrics snapshot JSON\n"
+      "  prom                   metrics in Prometheus text format\n"
+      "  flight                 dump the flight recorder (to the\n"
+      "                         --flight-recorder file, else stdout)\n"
+      "  help                   this text\n"
+      "  quit | exit            leave (EOF works too)\n"
+      "each command ends with a '# <ms> | stages: ...' stats line\n");
+}
+
+int CmdRepl(tools::ObsCli& obs_cli) {
+  // The repl is an observability surface: metrics and scopes are always on
+  // so the stats lines have something to report, whatever flags were given.
+  obs::RegisterCatalogue();
+  obs::SetEnabled(true);
+  hedge::Vocabulary vocab;
+  BindCache(vocab);
+  std::optional<xml::XmlDocument> doc;
+  std::map<std::string, std::unique_ptr<query::SelectionEvaluator>> evals;
+  const bool tty = isatty(fileno(stdin)) != 0;
+  if (tty) {
+    std::printf("hq repl — 'help' lists commands, 'quit' leaves\n");
+  }
+  std::string line;
+  for (;;) {
+    if (tty) {
+      std::printf("hq> ");
+      std::fflush(stdout);
+    }
+    if (tools::ObsCli::TakeSignalDumpRequest()) obs_cli.DumpFlightRecorder();
+    if (!ReplReadLine(line, obs_cli)) break;
+    // Strip comments and surrounding whitespace.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    line = line.substr(begin, line.find_last_not_of(" \t") - begin + 1);
+    const size_t space = line.find(' ');
+    const std::string cmd = line.substr(0, space);
+    std::string rest =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    const size_t rb = rest.find_first_not_of(" \t");
+    rest = rb == std::string::npos ? "" : rest.substr(rb);
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "help") {
+      ReplHelp();
+      continue;
+    }
+    if (cmd == "timings") {
+      tools::ObsCli::PrintTimings("-");
+      continue;
+    }
+    if (cmd == "metrics") {
+      std::printf("%s\n", obs::Registry().MetricsJson().c_str());
+      continue;
+    }
+    if (cmd == "prom") {
+      std::printf("%s", obs::PrometheusText().c_str());
+      continue;
+    }
+    if (cmd == "flight") {
+      if (obs_cli.flight_enabled()) {
+        if (obs_cli.DumpFlightRecorder()) {
+          std::printf("flight recorder written to %s\n",
+                      obs_cli.flight_file().c_str());
+        }
+      } else {
+        std::printf("%s", obs::FlightRecorderJson().c_str());
+      }
+      continue;
+    }
+
+    // Document/query commands run under a per-command QueryScope, so the
+    // stats line (and the flight record, when armed) covers exactly this
+    // command's work.
+    obs::QueryScope scope("repl:" + line);
+    bool failed = false;
+    if (cmd == "load" && !rest.empty()) {
+      auto loaded = LoadXml(rest, vocab);
+      if (!loaded.ok()) {
+        std::printf("error: %s\n", loaded.status().ToString().c_str());
+        failed = true;
+      } else {
+        doc = std::move(*loaded);
+        std::printf("loaded %s (%zu nodes)\n", rest.c_str(),
+                    doc->hedge.num_nodes());
+      }
+    } else if (cmd == "gen") {
+      std::istringstream ss(rest);
+      std::string kind;
+      size_t nodes = 0;
+      uint64_t seed = 42;
+      ss >> kind >> nodes;
+      ss >> seed;
+      Rng rng(seed);
+      hedge::Hedge h;
+      if (kind == "article") {
+        workload::ArticleOptions options;
+        options.target_nodes = nodes;
+        h = workload::RandomArticle(rng, vocab, options);
+      } else if (kind == "random") {
+        workload::RandomHedgeOptions options;
+        options.target_nodes = nodes;
+        h = workload::RandomHedge(rng, vocab, options);
+      } else {
+        std::printf("error: gen article|random N [seed]\n");
+        failed = true;
+      }
+      if (!failed) {
+        doc = xml::WrapHedge(h, vocab);
+        std::printf("generated %s document (%zu nodes)\n", kind.c_str(),
+                    doc->hedge.num_nodes());
+      }
+    } else if (cmd == "query" && !rest.empty()) {
+      if (!doc.has_value()) {
+        std::printf("error: no document loaded (use load/gen first)\n");
+        failed = true;
+      } else {
+        auto it = evals.find(rest);
+        if (it == evals.end()) {
+          auto parsed = query::ParseSelectionQuery(rest, vocab);
+          if (!parsed.ok()) {
+            std::printf("error: %s\n", parsed.status().ToString().c_str());
+            failed = true;
+          } else {
+            auto eval =
+                query::SelectionEvaluator::Create(*parsed, FlagBudget());
+            if (!eval.ok()) {
+              std::printf("error: %s\n", eval.status().ToString().c_str());
+              failed = true;
+            } else {
+              it = evals
+                       .emplace(rest,
+                                std::make_unique<query::SelectionEvaluator>(
+                                    std::move(*eval)))
+                       .first;
+            }
+          }
+        } else {
+          scope.Annotate("evaluator", "memo_hit");
+        }
+        if (!failed) {
+          size_t located = 0;
+          for (hedge::NodeId n : it->second->LocatedNodes(doc->hedge)) {
+            std::printf("%s\t%s\n", DeweyString(doc->hedge, n).c_str(),
+                        vocab.symbols.NameOf(doc->hedge.label(n).id).c_str());
+            ++located;
+          }
+          std::printf("(%zu located)\n", located);
+        }
+      }
+    } else if (cmd == "validate" && !rest.empty()) {
+      if (!doc.has_value()) {
+        std::printf("error: no document loaded (use load/gen first)\n");
+        failed = true;
+      } else {
+        auto grammar = ReadFile(rest);
+        if (!grammar.ok()) {
+          std::printf("error: %s\n", grammar.status().ToString().c_str());
+          failed = true;
+        } else {
+          auto schema = schema::ParseSchema(*grammar, vocab);
+          if (!schema.ok()) {
+            std::printf("error: %s\n", schema.status().ToString().c_str());
+            failed = true;
+          } else {
+            std::printf("%s\n",
+                        schema->Validates(doc->hedge) ? "valid" : "INVALID");
+          }
+        }
+      }
+    } else {
+      std::printf("error: unknown command '%s' (try 'help')\n", cmd.c_str());
+      failed = true;
+    }
+    if (failed) scope.Annotate("outcome", "error");
+    ReplPrintStats(scope);
+  }
+  return 0;
+}
+
 int CmdAmbiguous(const std::string& expr) {
   hedge::Vocabulary vocab;
   BindCache(vocab);
@@ -366,10 +653,18 @@ void Usage() {
       "  hq schema-diff a.grammar b.grammar\n"
       "  hq canon schema.grammar               (canonical minimized form)\n"
       "  hq ambiguous '<hedge regular expression>'\n"
+      "  hq repl                               (interactive session: warm\n"
+      "                     evaluator memo + cache; 'help' lists commands)\n"
+      "  hq obs-parse FILE  (round-trip an obs JSON artifact; exit 0 iff ok)\n"
       "options (any command):\n"
       "  --metrics[=FILE]   emit a metrics snapshot (stderr, or FILE)\n"
+      "  --metrics-format=prom|json  snapshot format (default json);\n"
+      "                     prom is Prometheus text exposition\n"
       "  --trace=FILE       write a Chrome trace_event file\n"
-      "  --timings          per-stage wall-time summary on stderr\n"
+      "  --timings[=FILE]   per-stage wall-time summary, sorted by total\n"
+      "                     time descending (stderr, or FILE)\n"
+      "  --flight-recorder=FILE  record per-query flight records; dump\n"
+      "                     them to FILE at exit (and on SIGUSR1 in repl)\n"
       "  --cache-dir=DIR    persistent automaton cache (entries are\n"
       "                     certificate-checked on every load)\n"
       "  --cache-max-bytes=N  evict oldest entries past N total bytes on\n"
@@ -426,6 +721,12 @@ int main(int argc, char** argv) {
     return 1;
   }
   const std::string& cmd = args[0];
+  // The repl opens its own per-command scopes; everything else runs under
+  // one per-invocation QueryScope so --flight-recorder captures one-shot
+  // commands too (inert unless observability is on).
+  if (cmd == "repl" && n == 1) return CmdRepl(obs_cli);
+  obs::QueryScope scope("hq " + cmd);
+  if (cmd == "obs-parse" && n == 2) return CmdObsParse(args[1]);
   if (cmd == "query" && n == 3) return CmdQuery(args[1], args[2]);
   if (cmd == "xpath" && n == 3) return CmdXPath(args[1], args[2]);
   if (cmd == "validate" && n == 3) return CmdValidate(args[1], args[2]);

@@ -1,28 +1,50 @@
 #ifndef HEDGEQ_TOOLS_OBS_CLI_H_
 #define HEDGEQ_TOOLS_OBS_CLI_H_
 
-// Shared --metrics / --trace flag handling for the CLI tools:
+// Shared --metrics / --trace / --timings / --flight-recorder flag handling
+// for the CLI tools:
 //
-//   --metrics        print the metrics snapshot (JSON) to stderr at exit
-//   --metrics=FILE   write the snapshot to FILE instead ("-" = stdout)
-//   --trace=FILE     record spans and write a Chrome trace_event file
-//                    (loadable in about:tracing / Perfetto)
-//   --timings        print a per-stage wall-time summary to stderr at exit
-//                    (aggregated from the same spans; stages that never
-//                    ran — e.g. determinize on a warm cache hit — are
-//                    simply absent)
+//   --metrics          print the metrics snapshot (JSON) to stderr at exit
+//   --metrics=FILE     write the snapshot to FILE instead ("-" = stdout)
+//   --metrics-format=prom|json
+//                      exposition format for --metrics; "prom" emits
+//                      Prometheus text (scrape-ready, with exact log2
+//                      bucket bounds and p50/p90/p99 quantile gauges)
+//   --trace=FILE       record spans and write a Chrome trace_event file
+//                      (loadable in about:tracing / Perfetto)
+//   --timings[=FILE]   per-stage wall-time table, sorted by total time
+//                      descending, to stderr (or FILE); stages that never
+//                      ran — e.g. determinize on a warm cache hit — are
+//                      simply absent
+//   --flight-recorder=FILE
+//                      arm the flight recorder: every top-level QueryScope
+//                      deposits a structured record into the in-process
+//                      ring, dumped to FILE at exit (also on SIGUSR1 in
+//                      `hq repl`, and regardless of exit status — the
+//                      error path is exactly when you want the dump)
 //
 // Any of the flags turns observability on for the process; without them
 // the instrumentation stays behind its disabled fast path.
 
+#include <algorithm>
+#include <csignal>
 #include <cstdio>
 #include <string>
 #include <vector>
 
 #include "obs/catalogue.h"
+#include "obs/flight.h"
 #include "obs/obs.h"
+#include "obs/prom.h"
 
 namespace hedgeq::tools {
+
+namespace obs_signal {
+// SIGUSR1 support: the handler only sets a flag (async-signal-safe); the
+// repl polls it between commands and after EINTR-interrupted reads.
+inline volatile std::sig_atomic_t g_dump_requested = 0;
+inline void OnSigUsr1(int) { g_dump_requested = 1; }
+}  // namespace obs_signal
 
 class ObsCli {
  public:
@@ -31,9 +53,8 @@ class ObsCli {
   ObsCli& operator=(const ObsCli&) = delete;
   ~ObsCli() { Flush(); }
 
-  /// Strips --metrics[=FILE] and --trace=FILE out of `args` (so command
-  /// dispatch never sees them) and enables observability if either was
-  /// present.
+  /// Strips the obs flags out of `args` (so command dispatch never sees
+  /// them) and enables observability if any was present.
   void Configure(std::vector<std::string>& args) {
     std::vector<std::string> kept;
     kept.reserve(args.size());
@@ -42,24 +63,65 @@ class ObsCli {
         metrics_ = true;
       } else if (a == "--timings") {
         timings_ = true;
+      } else if (a.rfind("--timings=", 0) == 0) {
+        timings_ = true;
+        timings_file_ = a.substr(sizeof("--timings=") - 1);
       } else if (a.rfind("--metrics=", 0) == 0) {
         metrics_ = true;
         metrics_file_ = a.substr(sizeof("--metrics=") - 1);
+      } else if (a.rfind("--metrics-format=", 0) == 0) {
+        metrics_format_ = a.substr(sizeof("--metrics-format=") - 1);
       } else if (a.rfind("--trace=", 0) == 0) {
         trace_file_ = a.substr(sizeof("--trace=") - 1);
+      } else if (a.rfind("--flight-recorder=", 0) == 0) {
+        flight_file_ = a.substr(sizeof("--flight-recorder=") - 1);
       } else {
         kept.push_back(std::move(a));
       }
     }
     args = std::move(kept);
-    if (metrics_ || timings_ || !trace_file_.empty()) {
+    if (metrics_ || timings_ || !trace_file_.empty() ||
+        !flight_file_.empty()) {
       obs::RegisterCatalogue();
       obs::SetEnabled(true);
       if (!trace_file_.empty()) obs::SetTraceEnabled(true);
+      if (!flight_file_.empty()) {
+        obs::SetFlightRecorderEnabled(true);
+        // No SA_RESTART: a SIGUSR1 while the repl is blocked in a read
+        // surfaces as EINTR so the dump happens immediately, not after
+        // the next keystroke.
+        struct sigaction sa = {};
+        sa.sa_handler = obs_signal::OnSigUsr1;
+        sigemptyset(&sa.sa_mask);
+        sa.sa_flags = 0;
+        sigaction(SIGUSR1, &sa, nullptr);
+      }
     }
   }
 
   bool metrics_requested() const { return metrics_; }
+  bool flight_enabled() const { return !flight_file_.empty(); }
+  const std::string& flight_file() const { return flight_file_; }
+
+  /// True once per SIGUSR1 received since the last call.
+  static bool TakeSignalDumpRequest() {
+    if (obs_signal::g_dump_requested == 0) return false;
+    obs_signal::g_dump_requested = 0;
+    return true;
+  }
+
+  /// Dumps the flight-recorder ring to the configured file now (SIGUSR1
+  /// and the repl `flight` command). Safe to call repeatedly; each dump
+  /// rewrites the file with the current ring contents.
+  bool DumpFlightRecorder() const {
+    if (flight_file_.empty()) return false;
+    if (!obs::WriteFlightRecorderFile(flight_file_)) {
+      std::fprintf(stderr, "warning: cannot write flight recorder to %s\n",
+                   flight_file_.c_str());
+      return false;
+    }
+    return true;
+  }
 
   /// For tools whose --json output embeds the snapshot under an "obs" key:
   /// returns the snapshot and suppresses the default emission in Flush.
@@ -69,33 +131,63 @@ class ObsCli {
   }
 
   /// Writes whatever was requested. Idempotent; also run by the destructor
-  /// so every `return` path in main() flushes.
+  /// so every `return` path in main() flushes — including error exits,
+  /// which is when the flight recorder earns its keep.
   void Flush() {
     if (flushed_) return;
     flushed_ = true;
     if (metrics_ && !metrics_taken_) {
+      const bool prom = metrics_format_ == "prom";
       if (metrics_file_.empty()) {
-        std::string json = obs::Registry().MetricsJson();
-        std::fprintf(stderr, "%s\n", json.c_str());
-      } else if (!obs::WriteMetricsFile(metrics_file_)) {
-        std::fprintf(stderr, "warning: cannot write metrics to %s\n",
-                     metrics_file_.c_str());
+        std::string text =
+            prom ? obs::PrometheusText() : obs::Registry().MetricsJson();
+        std::fprintf(stderr, "%s\n", text.c_str());
+      } else {
+        const bool ok = prom ? obs::WritePrometheusFile(metrics_file_)
+                             : obs::WriteMetricsFile(metrics_file_);
+        if (!ok) {
+          std::fprintf(stderr, "warning: cannot write metrics to %s\n",
+                       metrics_file_.c_str());
+        }
       }
     }
     if (!trace_file_.empty() && !obs::WriteChromeTraceFile(trace_file_)) {
       std::fprintf(stderr, "warning: cannot write trace to %s\n",
                    trace_file_.c_str());
     }
-    if (timings_) {
-      std::vector<obs::SpanAggregate> spans = obs::Registry().SpanAggregates();
-      std::fprintf(stderr, "-- timings (stage / runs / total ms) --\n");
-      for (const obs::SpanAggregate& s : spans) {
-        std::fprintf(stderr, "%-34s %6llu %12.3f\n", s.name.c_str(),
-                     static_cast<unsigned long long>(s.count),
-                     static_cast<double>(s.total_ns) / 1e6);
+    if (timings_) PrintTimings(timings_file_);
+    if (!flight_file_.empty()) DumpFlightRecorder();
+  }
+
+  /// The --timings table: stage / runs / total ms, sorted by total wall
+  /// time descending so the expensive stage is always the first line.
+  /// Empty `path` means stderr. Also used by the repl `timings` command.
+  static void PrintTimings(const std::string& path) {
+    std::vector<obs::SpanAggregate> spans = obs::Registry().SpanAggregates();
+    std::sort(spans.begin(), spans.end(),
+              [](const obs::SpanAggregate& a, const obs::SpanAggregate& b) {
+                if (a.total_ns != b.total_ns) return a.total_ns > b.total_ns;
+                return a.name < b.name;
+              });
+    std::FILE* out = stderr;
+    if (!path.empty() && path != "-") {
+      out = std::fopen(path.c_str(), "w");
+      if (out == nullptr) {
+        std::fprintf(stderr, "warning: cannot write timings to %s\n",
+                     path.c_str());
+        return;
       }
-      if (spans.empty()) std::fprintf(stderr, "(no stages ran)\n");
+    } else if (path == "-") {
+      out = stdout;
     }
+    std::fprintf(out, "-- timings (stage / runs / total ms) --\n");
+    for (const obs::SpanAggregate& s : spans) {
+      std::fprintf(out, "%-34s %6llu %12.3f\n", s.name.c_str(),
+                   static_cast<unsigned long long>(s.count),
+                   static_cast<double>(s.total_ns) / 1e6);
+    }
+    if (spans.empty()) std::fprintf(out, "(no stages ran)\n");
+    if (out != stderr && out != stdout) std::fclose(out);
   }
 
  private:
@@ -104,7 +196,10 @@ class ObsCli {
   bool metrics_taken_ = false;
   bool flushed_ = false;
   std::string metrics_file_;
+  std::string metrics_format_ = "json";
+  std::string timings_file_;
   std::string trace_file_;
+  std::string flight_file_;
 };
 
 }  // namespace hedgeq::tools
