@@ -1,0 +1,158 @@
+// E18: the serving layer under load. Two questions: how does request
+// throughput scale with the worker pool (the admission queue and the
+// vocabulary lock are the contended resources), and how does the shed
+// rate respond to offered load once the bounded queue is the backstop —
+// the load-shedding curve that justifies admission control over an
+// unbounded queue (which converts overload into latency for everyone).
+#include <benchmark/benchmark.h>
+
+#include <cstddef>
+#include <future>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "serve/serve.h"
+#include "xml/xml.h"
+
+namespace hedgeq {
+namespace {
+
+constexpr const char* kQuery = "select(*; figure (section|article)*)";
+constexpr size_t kDocNodes = 2000;
+
+// Throughput of a warm service (memoized evaluator, steady document) as
+// the pool widens. Queue is roomy and there is no deadline, so nothing
+// sheds: this isolates dispatch + evaluation cost per request.
+void BM_ServeThroughput(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  hedge::Hedge doc = bench::MakeArticle(vocab, kDocNodes);
+  serve::EngineOptions options;
+  options.workers = static_cast<size_t>(state.range(0));
+  options.queue_cap = 4096;
+  serve::Engine engine(vocab, options);
+  engine.SetDocument(xml::WrapHedge(doc, vocab));
+  engine.Start();
+
+  constexpr size_t kBatch = 256;
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(kBatch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      futures.push_back(engine.Submit(kQuery));
+    }
+    for (auto& f : futures) {
+      serve::Response resp = f.get();
+      if (resp.outcome != serve::Outcome::kOk) {
+        state.SkipWithError("unexpected non-ok outcome");
+        return;
+      }
+      benchmark::DoNotOptimize(resp.located);
+    }
+    futures.clear();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+  engine.Stop();
+}
+BENCHMARK(BM_ServeThroughput)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// Shed rate vs offered load: a deliberately small pool behind a
+// deliberately small admission queue, hit with bursts of increasing
+// size. Admission control turns the overload into immediate, cheap
+// sheds instead of unbounded queueing; the "shed_rate" counter is the
+// E18 curve (burst 16 fits, burst 1024 mostly sheds).
+void BM_ServeShedRateVsOfferedLoad(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  hedge::Hedge doc = bench::MakeArticle(vocab, kDocNodes);
+  serve::EngineOptions options;
+  options.workers = 2;
+  options.queue_cap = 16;
+  serve::Engine engine(vocab, options);
+  engine.SetDocument(xml::WrapHedge(doc, vocab));
+  engine.Start();
+
+  const size_t burst = static_cast<size_t>(state.range(0));
+  uint64_t offered = 0;
+  uint64_t shed = 0;
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(burst);
+  for (auto _ : state) {
+    for (size_t i = 0; i < burst; ++i) {
+      futures.push_back(engine.Submit(kQuery));
+    }
+    for (auto& f : futures) {
+      serve::Response resp = f.get();
+      ++offered;
+      if (resp.outcome == serve::Outcome::kShed) ++shed;
+      benchmark::DoNotOptimize(resp.located);
+    }
+    futures.clear();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(offered));
+  state.counters["shed_rate"] = benchmark::Counter(
+      offered == 0 ? 0.0
+                   : static_cast<double>(shed) / static_cast<double>(offered));
+  engine.Stop();
+}
+BENCHMARK(BM_ServeShedRateVsOfferedLoad)
+    ->Arg(16)
+    ->Arg(64)
+    ->Arg(256)
+    ->Arg(1024)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+// The cost of resilience: the full retry + breaker machinery on the
+// happy path (no faults armed) against the same batch with the
+// machinery maximally exercised memo-off. Keeps the serving layer's
+// overhead honest relative to bare evaluator calls.
+void BM_ServeColdCompilePath(benchmark::State& state) {
+  hedge::Vocabulary vocab;
+  hedge::Hedge doc = bench::MakeArticle(vocab, kDocNodes);
+  serve::EngineOptions options;
+  options.workers = static_cast<size_t>(state.range(0));
+  options.queue_cap = 4096;
+  options.memoize = false;  // every request re-parses and re-compiles
+  serve::Engine engine(vocab, options);
+  engine.SetDocument(xml::WrapHedge(doc, vocab));
+  engine.Start();
+
+  constexpr size_t kBatch = 64;
+  std::vector<std::future<serve::Response>> futures;
+  futures.reserve(kBatch);
+  for (auto _ : state) {
+    for (size_t i = 0; i < kBatch; ++i) {
+      futures.push_back(engine.Submit(kQuery));
+    }
+    for (auto& f : futures) {
+      serve::Response resp = f.get();
+      if (resp.outcome != serve::Outcome::kOk) {
+        state.SkipWithError("unexpected non-ok outcome");
+        return;
+      }
+      benchmark::DoNotOptimize(resp.located);
+    }
+    futures.clear();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kBatch));
+  engine.Stop();
+}
+BENCHMARK(BM_ServeColdCompilePath)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond)
+    ->UseRealTime();
+
+}  // namespace
+}  // namespace hedgeq
+
+HEDGEQ_BENCH_MAIN(bench_serve)

@@ -47,6 +47,10 @@ constexpr const char* kCounters[] = {
     metrics::kCacheStore,
     metrics::kCacheStoreError,
     metrics::kCacheEvictions,
+    metrics::kServeAdmitted,
+    metrics::kServeShed,
+    metrics::kServeRetry,
+    metrics::kServeBreakerOpen,
 };
 
 constexpr const char* kGauges[] = {
@@ -57,12 +61,14 @@ constexpr const char* kGauges[] = {
     metrics::kProcessPeakRssBytes,
     metrics::kProcessWallMs,
     metrics::kProcessThreads,
+    metrics::kServeQueueDepth,
 };
 
 constexpr const char* kHistograms[] = {
     metrics::kHistDocNodes,
     metrics::kHistDetSubsets,
     metrics::kHistQueryLatencyUs,
+    metrics::kHistQueueWaitUs,
 };
 
 }  // namespace

@@ -92,6 +92,18 @@ inline constexpr const char* kCacheStore = "cache.store";
 inline constexpr const char* kCacheStoreError = "cache.store_error";
 inline constexpr const char* kCacheEvictions = "cache.evictions";
 
+// --- serve: the concurrent query service (src/serve/). Admission and
+// overload behaviour: admitted counts requests accepted into the queue,
+// shed counts every request that got a terminal kDeadlineExceeded /
+// queue-full / draining answer without (or instead of) executing, retry
+// counts backoff-retried transient attempts, breaker_open counts
+// closed->open transitions of the eager-path circuit breaker.
+inline constexpr const char* kServeAdmitted = "serve.admitted";
+inline constexpr const char* kServeShed = "serve.shed";
+inline constexpr const char* kServeRetry = "serve.retry";
+inline constexpr const char* kServeBreakerOpen = "serve.breaker_open";
+inline constexpr const char* kServeQueueDepth = "serve.queue_depth";  // gauge
+
 // --- process: whole-process health gauges, refreshed from the OS by
 // obs::UpdateProcessGauges() every time a snapshot is exported.
 inline constexpr const char* kProcessPeakRssBytes =
@@ -105,6 +117,9 @@ inline constexpr const char* kHistDetSubsets = "hist.determinize_subsets";
 // Wall time of each top-level QueryScope, in microseconds: the rolling
 // per-query latency distribution behind the Prometheus p50/p90/p99.
 inline constexpr const char* kHistQueryLatencyUs = "hist.query_latency_us";
+// Admission-queue wait of each request popped (or shed) by the serve
+// worker pool, in microseconds.
+inline constexpr const char* kHistQueueWaitUs = "hist.queue_wait_us";
 
 }  // namespace metrics
 

@@ -1,0 +1,274 @@
+#ifndef HEDGEQ_SERVE_SERVE_H_
+#define HEDGEQ_SERVE_SERVE_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "hedge/hedge.h"
+#include "obs/scope.h"
+#include "query/selection.h"
+#include "util/budget.h"
+#include "util/status.h"
+#include "xml/xml.h"
+
+namespace hedgeq::serve {
+
+/// The terminal outcome every submitted request gets exactly once.
+/// Precedence when several apply: error > shed > retried > degraded > ok
+/// (a request that needed a retry AND degraded reports `retried`; the
+/// response's `degraded` flag still says so).
+enum class Outcome {
+  kOk,        // executed eagerly, answer complete
+  kDegraded,  // executed, but some stage ran on its lazy engine (budget,
+              // injected compile fault, or an open circuit breaker)
+  kRetried,   // executed successfully after >= 1 transient-failure retry
+  kShed,      // never (fully) executed: queue full, engine draining,
+              // queue-wait or execution deadline passed, or cancelled
+  kError,     // semantic failure (parse error, no document, non-transient
+              // execution failure) — never retried
+};
+
+/// Stable lowercase name ("ok", "shed", ...) used in result lines,
+/// flight-recorder annotations and tests.
+const char* OutcomeName(Outcome outcome);
+
+/// Bounded retry with exponential backoff, applied only to *transient*
+/// failures: faults injected at the engine's own I/O failpoints
+/// ("serve/exec", "serve/load-doc") — the stand-ins for flaky disk/network
+/// resource acquisition. Semantic errors (bad query, missing document) and
+/// deadline/cancellation verdicts are never retried, and a retry is
+/// abandoned (shed) when its backoff sleep would cross the request
+/// deadline.
+struct RetryPolicy {
+  int max_attempts = 3;          // total attempts, including the first
+  uint64_t backoff_base_ms = 1;  // first backoff; doubles per retry
+  uint64_t backoff_max_ms = 50;  // backoff cap
+};
+
+/// Circuit breaker over the eager (exponential-preprocessing) path.
+/// Closed: compile eagerly; each compile that degrades to a lazy engine
+/// counts as an eager-path failure, and `failure_threshold` consecutive
+/// failures trip the breaker open. Open: requests skip eager
+/// preprocessing entirely (compiled lazy-only, outcome `degraded`) so an
+/// overloaded or fault-injected eager path cannot burn budget on every
+/// request. After `open_ms` the breaker half-opens: exactly one probe
+/// request attempts the full eager path — success re-closes, failure
+/// re-opens for another `open_ms`.
+struct BreakerPolicy {
+  int failure_threshold = 5;
+  uint64_t open_ms = 100;
+};
+
+struct EngineOptions {
+  size_t workers = 4;
+  size_t queue_cap = 64;  // admission queue bound; overflow is shed
+
+  /// Per-request deadline, re-armed at admission time so it covers queue
+  /// wait + execution (the repl's --deadline-ms fix). deadline_set=false
+  /// means no deadline; deadline_ms=0 with deadline_set means "already
+  /// expired" — every queued request sheds deterministically.
+  bool deadline_set = false;
+  uint64_t deadline_ms = 0;
+
+  RetryPolicy retry;
+  BreakerPolicy breaker;
+
+  /// Base per-request budget; the engine overwrites `deadline`/`cancel`
+  /// per request.
+  ExecBudget budget{};
+
+  /// Memoize eager-clean evaluators by query text (the repl's warm-cache
+  /// behaviour). Degraded evaluators are never memoized: lazy engines
+  /// mutate under const and must stay request-private. Turn off to force
+  /// every request through the full compile path (chaos tests).
+  bool memoize = true;
+};
+
+/// What a request resolves to. Exactly one Response is delivered per
+/// Submit, through the returned future.
+struct Response {
+  Outcome outcome = Outcome::kError;
+  Status status = Status::Ok();  // non-ok for kShed / kError
+  /// One "dewey\tsymbol" line per located node, document order.
+  std::vector<std::string> answer;
+  size_t located = 0;
+  int attempts = 0;  // 0 when shed before any execution attempt
+  uint64_t queue_wait_us = 0;
+  bool degraded = false;          // some stage ran lazy
+  bool breaker_was_open = false;  // forced lazy-only by the breaker
+  /// Per-request attribution from the worker's QueryScope (empty when
+  /// observability is off).
+  obs::ScopeSnapshot scope;
+};
+
+/// In-process concurrent query service: a fixed worker pool behind a
+/// bounded admission queue, per-request deadlines covering queue +
+/// execution, bounded retry for transient faults, a circuit breaker over
+/// the eager path, and graceful drain. `hq serve` and `hq repl` both sit
+/// on top of this class.
+///
+/// Threading contract: Submit is thread-safe and may be called from any
+/// thread. The control plane (Start/LoadDocumentFile/SetDocument/Drain/
+/// Stop) must be called from one thread at a time; document swaps act as
+/// barriers (they wait for the pool to go idle, so answers are always
+/// computed against one consistent document). The engine serializes all
+/// vocabulary access (Interner is not thread-safe) and wraps the process
+/// determinize-cache hook in a lock for its lifetime.
+class Engine {
+ public:
+  Engine(hedge::Vocabulary& vocab, EngineOptions options);
+  ~Engine();  // Stop()
+
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Spawns the worker pool. Requests submitted before Start queue up
+  /// (the admission bound applies) and run once workers exist.
+  void Start();
+
+  /// Admits one query. The returned future always receives exactly one
+  /// Response — sheds (queue full, draining, deadline) resolve it too.
+  /// `label` names the request's QueryScope (flight-recorder label);
+  /// empty uses the query text.
+  std::future<Response> Submit(std::string query_text, std::string label = {});
+
+  /// Loads and parses an XML file, then installs it as the served
+  /// document. Barrier: waits for in-flight requests first. Transient
+  /// read faults (failpoint "serve/load-doc") are retried under the
+  /// retry policy. Returns the document node count.
+  Result<size_t> LoadDocumentFile(const std::string& path);
+
+  /// Installs an already-built document (the repl's `gen`). Barrier as
+  /// above. Returns the node count.
+  size_t SetDocument(xml::XmlDocument doc);
+
+  bool has_document() const;
+  /// The currently served document (nullptr when none). The snapshot stays
+  /// valid even if a later load swaps the document out.
+  std::shared_ptr<const xml::XmlDocument> document() const;
+
+  /// Stops admitting (subsequent Submits shed immediately) and waits for
+  /// the queue to empty and all in-flight work to finish. Safe to call
+  /// more than once.
+  void Drain();
+
+  /// Drain + join workers + restore the process determinize-cache hook.
+  void Stop();
+
+  /// Cooperative hard-cancel: all in-flight budgeted work fails its next
+  /// probe with kDeadlineExceeded (those requests shed). Irreversible for
+  /// this engine instance; pair with Drain for a forced shutdown.
+  void CancelAll();
+
+  /// Engine-lifetime tallies (independent of the obs registry, so tests
+  /// and the CLI summary need no --metrics).
+  struct Counters {
+    uint64_t submitted = 0;
+    uint64_t admitted = 0;
+    uint64_t completed = 0;  // futures resolved, any outcome
+    uint64_t ok = 0;
+    uint64_t degraded = 0;
+    uint64_t retried = 0;
+    uint64_t shed = 0;
+    uint64_t errors = 0;
+    uint64_t retry_attempts = 0;  // individual backoff retries
+    uint64_t breaker_trips = 0;   // closed/half-open -> open transitions
+  };
+  Counters counters() const;
+
+  enum class BreakerState { kClosed, kOpen, kHalfOpen };
+  BreakerState breaker_state() const;
+
+  hedge::Vocabulary& vocab() { return vocab_; }
+  /// Serializes every vocabulary read/write (parse, intern, NameOf).
+  /// Callers doing vocabulary work outside the engine while requests may
+  /// be in flight must hold this.
+  std::mutex& vocab_mutex() { return vocab_mu_; }
+
+  const EngineOptions& options() const { return options_; }
+
+ private:
+  struct Item {
+    uint64_t id = 0;
+    std::string query;
+    std::string label;
+    std::chrono::steady_clock::time_point enqueue{};
+    std::chrono::steady_clock::time_point deadline{};  // {} = none
+    std::promise<Response> promise;
+  };
+
+  enum class ExecMode { kEager, kLazyOnly, kProbe };
+
+  void WorkerLoop();
+  Response Process(Item& item);
+  void ExecuteWithRetry(const Item& item, Response* resp);
+  Status ExecuteOnce(const Item& item, Response* resp);
+  Result<size_t> LoadDocumentOnce(const std::string& path);
+  void WaitIdle();
+  void ShedNow(std::promise<Response>* promise, Status status,
+               uint64_t queue_wait_us);
+
+  ExecMode BreakerAdmit();
+  void BreakerReport(ExecMode mode, bool eager_ok);
+
+  hedge::Vocabulary& vocab_;
+  EngineOptions options_;
+
+  std::mutex vocab_mu_;
+
+  mutable std::mutex mu_;  // queue + lifecycle
+  std::condition_variable cv_;       // workers wait for items
+  std::condition_variable idle_cv_;  // barriers wait for quiescence
+  std::deque<Item> queue_;
+  size_t inflight_ = 0;
+  bool draining_ = false;
+  bool stopping_ = false;
+  bool started_ = false;
+  uint64_t next_id_ = 0;
+  std::vector<std::thread> workers_;
+
+  mutable std::mutex doc_mu_;
+  std::shared_ptr<const xml::XmlDocument> doc_;
+
+  std::mutex memo_mu_;
+  std::unordered_map<std::string,
+                     std::shared_ptr<const query::SelectionEvaluator>>
+      memo_;
+
+  mutable std::mutex breaker_mu_;
+  BreakerState breaker_state_ = BreakerState::kClosed;
+  int breaker_failures_ = 0;
+  bool breaker_probe_inflight_ = false;
+  std::chrono::steady_clock::time_point breaker_opened_at_{};
+
+  CancelToken cancel_;
+
+  // The process determinize-cache hook is global and the installed cache
+  // is thread-compatible, not thread-safe: for the engine's lifetime it is
+  // wrapped in a lock (shared with vocab_mu_ — cache keys render through
+  // the vocabulary) and restored on Stop.
+  std::unique_ptr<automata::DeterminizeCache> locked_cache_;
+  automata::DeterminizeCache* prev_cache_ = nullptr;
+
+  struct AtomicCounters {
+    std::atomic<uint64_t> submitted{0}, admitted{0}, completed{0}, ok{0},
+        degraded{0}, retried{0}, shed{0}, errors{0}, retry_attempts{0},
+        breaker_trips{0};
+  };
+  AtomicCounters tallies_;
+};
+
+}  // namespace hedgeq::serve
+
+#endif  // HEDGEQ_SERVE_SERVE_H_

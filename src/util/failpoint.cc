@@ -1,6 +1,7 @@
 #include "util/failpoint.h"
 
 #include <atomic>
+#include <cstdlib>
 #include <mutex>
 #include <unordered_map>
 
@@ -10,9 +11,21 @@ namespace hedgeq::failpoint {
 
 namespace {
 
+enum class Mode {
+  kAfterSkip,     // hits > skip fail (absorbing)
+  kFirstN,        // hits <= n fail, then healed
+  kEveryNth,      // hits % n == 0 fail
+  kProbability,   // per-hit coin flip from a deterministic stream
+};
+
 struct ArmState {
-  uint64_t skip = 0;
+  Mode mode = Mode::kAfterSkip;
+  uint64_t skip = 0;   // kAfterSkip
+  uint64_t n = 1;      // kFirstN / kEveryNth
+  double p = 0.0;      // kProbability
+  uint64_t rng = 0;    // kProbability: splitmix64 state
   uint64_t hits = 0;
+  uint64_t fired = 0;
 };
 
 // Fast path: when zero points are armed, Check is one atomic load.
@@ -28,14 +41,152 @@ std::unordered_map<std::string, ArmState>& Registry() {
   return *r;
 }
 
+// Registers (or resets) `name` and returns its state. Caller holds Mutex().
+ArmState& ArmSlot(std::string_view name) {
+  auto [it, inserted] = Registry().try_emplace(std::string(name));
+  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  it->second = ArmState{};
+  return it->second;
+}
+
+uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+bool Fires(ArmState& state) {
+  switch (state.mode) {
+    case Mode::kAfterSkip:
+      return state.hits > state.skip;
+    case Mode::kFirstN:
+      return state.hits <= state.n;
+    case Mode::kEveryNth:
+      return state.n != 0 && state.hits % state.n == 0;
+    case Mode::kProbability: {
+      // 53 uniform mantissa bits; the stream depends only on (seed, hit
+      // index), never on wall clock or address layout.
+      const double u =
+          static_cast<double>(SplitMix64(state.rng) >> 11) * 0x1.0p-53;
+      return u < state.p;
+    }
+  }
+  return false;
+}
+
+bool ParseU64(std::string_view text, uint64_t* out) {
+  if (text.empty()) return false;
+  uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') return false;
+    value = value * 10 + static_cast<uint64_t>(c - '0');
+  }
+  *out = value;
+  return true;
+}
+
 }  // namespace
 
 void Arm(std::string_view name, uint64_t skip) {
   std::lock_guard<std::mutex> lock(Mutex());
-  auto [it, inserted] = Registry().try_emplace(std::string(name));
-  it->second.skip = skip;
-  it->second.hits = 0;
-  if (inserted) g_armed_count.fetch_add(1, std::memory_order_relaxed);
+  ArmState& state = ArmSlot(name);
+  state.mode = Mode::kAfterSkip;
+  state.skip = skip;
+}
+
+void ArmFirstN(std::string_view name, uint64_t n) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  ArmState& state = ArmSlot(name);
+  state.mode = Mode::kFirstN;
+  state.n = n;
+}
+
+void ArmEveryNth(std::string_view name, uint64_t n) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  ArmState& state = ArmSlot(name);
+  state.mode = Mode::kEveryNth;
+  state.n = n == 0 ? 1 : n;
+}
+
+void ArmProbability(std::string_view name, double probability, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  ArmState& state = ArmSlot(name);
+  state.mode = Mode::kProbability;
+  state.p = probability < 0.0 ? 0.0 : (probability > 1.0 ? 1.0 : probability);
+  // Fold the point name into the seed so two points armed with the same
+  // seed still draw distinct streams.
+  uint64_t mixed = seed;
+  for (char c : name) mixed = mixed * 1099511628211ULL + static_cast<uint8_t>(c);
+  state.rng = mixed;
+}
+
+Status ArmSpec(std::string_view spec) {
+  const size_t colon = spec.find(':');
+  const std::string_view name = spec.substr(0, colon);
+  if (name.empty()) {
+    return Status::InvalidArgument("failpoint spec has an empty name");
+  }
+  if (colon == std::string_view::npos) {
+    Arm(name);
+    return Status::Ok();
+  }
+  std::string_view rest = spec.substr(colon + 1);
+  // Split "k=v[,k=v]" pairs.
+  uint64_t skip = 0, first = 0, every = 0, seed = 1;
+  double p = -1.0;
+  bool has_skip = false, has_first = false, has_every = false;
+  while (!rest.empty()) {
+    const size_t comma = rest.find(',');
+    const std::string_view pair = rest.substr(0, comma);
+    rest = comma == std::string_view::npos ? std::string_view()
+                                           : rest.substr(comma + 1);
+    const size_t eq = pair.find('=');
+    if (eq == std::string_view::npos) {
+      return Status::InvalidArgument(
+          StrCat("failpoint spec '", spec, "': expected key=value, got '",
+                 pair, "'"));
+    }
+    const std::string_view key = pair.substr(0, eq);
+    const std::string_view value = pair.substr(eq + 1);
+    if (key == "skip" && ParseU64(value, &skip)) {
+      has_skip = true;
+    } else if (key == "first" && ParseU64(value, &first)) {
+      has_first = true;
+    } else if (key == "every" && ParseU64(value, &every) && every > 0) {
+      has_every = true;
+    } else if (key == "seed" && ParseU64(value, &seed)) {
+    } else if (key == "p") {
+      char* end = nullptr;
+      const std::string value_str(value);
+      p = std::strtod(value_str.c_str(), &end);
+      if (end == nullptr || *end != '\0' || p < 0.0 || p > 1.0) {
+        return Status::InvalidArgument(
+            StrCat("failpoint spec '", spec, "': bad probability '", value,
+                   "'"));
+      }
+    } else {
+      return Status::InvalidArgument(
+          StrCat("failpoint spec '", spec, "': unknown key '", key, "'"));
+    }
+  }
+  const int modes = (has_skip ? 1 : 0) + (has_first ? 1 : 0) +
+                    (has_every ? 1 : 0) + (p >= 0.0 ? 1 : 0);
+  if (modes > 1) {
+    return Status::InvalidArgument(
+        StrCat("failpoint spec '", spec, "': skip/first/every/p are "
+               "mutually exclusive"));
+  }
+  if (has_first) {
+    ArmFirstN(name, first);
+  } else if (has_every) {
+    ArmEveryNth(name, every);
+  } else if (p >= 0.0) {
+    ArmProbability(name, p, seed);
+  } else {
+    Arm(name, skip);
+  }
+  return Status::Ok();
 }
 
 void Disarm(std::string_view name) {
@@ -58,6 +209,12 @@ uint64_t HitCount(std::string_view name) {
   return it == Registry().end() ? 0 : it->second.hits;
 }
 
+uint64_t FiredCount(std::string_view name) {
+  std::lock_guard<std::mutex> lock(Mutex());
+  auto it = Registry().find(std::string(name));
+  return it == Registry().end() ? 0 : it->second.fired;
+}
+
 std::vector<std::string> ArmedPoints() {
   std::lock_guard<std::mutex> lock(Mutex());
   std::vector<std::string> out;
@@ -75,7 +232,8 @@ Status Check(const char* name) {
   if (it == Registry().end()) return Status::Ok();
   ArmState& state = it->second;
   ++state.hits;
-  if (state.hits <= state.skip) return Status::Ok();
+  if (!Fires(state)) return Status::Ok();
+  ++state.fired;
   return Status::ResourceExhausted(
       StrCat("injected failure at failpoint '", name, "' (hit ", state.hits,
              ")"));

@@ -18,10 +18,48 @@ namespace hedgeq::failpoint {
 ///
 /// When nothing is armed, Check costs one relaxed atomic load — safe to
 /// leave in release builds.
+///
+/// Trigger modes. The chaos harness (serve_chaos_test, `hq serve
+/// --failpoint=`) needs faults that are intermittent rather than absorbing,
+/// so an armed point carries one of four modes:
+///   Arm(name, skip)          the (skip+1)-th Check and every one after fail
+///                            (the original absorbing mode)
+///   ArmFirstN(name, n)       the first n Checks fail, then the point heals —
+///                            models a transient fault that a bounded retry
+///                            should survive
+///   ArmEveryNth(name, n)     every n-th Check fails (hits n, 2n, 3n, ...)
+///   ArmProbability(name, p, seed)
+///                            each Check fails with probability p, driven by
+///                            a per-point splitmix64 stream seeded with
+///                            `seed` — the decision sequence is a pure
+///                            function of (seed, hit index), so a chaos run
+///                            is reproducible given the same interleaving
+/// All modes are thread-safe (the registry mutex covers the counters and the
+/// RNG), and re-arming a name replaces its mode and resets its counters.
 
 /// Arms `name`: the (skip+1)-th Check of that name, and every one after,
 /// fails. skip=0 fails on the first hit.
 void Arm(std::string_view name, uint64_t skip = 0);
+
+/// Arms `name` to fail its first `n` Checks and succeed afterwards.
+void ArmFirstN(std::string_view name, uint64_t n);
+
+/// Arms `name` to fail every `n`-th Check (n >= 1; n == 1 always fails).
+void ArmEveryNth(std::string_view name, uint64_t n);
+
+/// Arms `name` to fail each Check independently with probability
+/// `probability` (clamped to [0,1]), deterministically derived from `seed`.
+void ArmProbability(std::string_view name, double probability, uint64_t seed);
+
+/// Arms a point from a textual spec (the `hq serve --failpoint=` syntax):
+///   "name"                  -> Arm(name)
+///   "name:skip=K"           -> Arm(name, K)
+///   "name:first=N"          -> ArmFirstN(name, N)
+///   "name:every=N"          -> ArmEveryNth(name, N)
+///   "name:p=0.25,seed=42"   -> ArmProbability(name, 0.25, 42) (seed
+///                              defaults to 1 when omitted)
+/// Returns kInvalidArgument on a malformed spec.
+Status ArmSpec(std::string_view spec);
 
 /// Disarms `name`; Check returns Ok again.
 void Disarm(std::string_view name);
@@ -32,10 +70,14 @@ void DisarmAll();
 /// How many times `name` was Checked since it was armed (0 when not armed).
 uint64_t HitCount(std::string_view name);
 
+/// How many of those Checks actually failed (0 when not armed). The chaos
+/// gate asserts every armed point fired at least once.
+uint64_t FiredCount(std::string_view name);
+
 /// Names of all currently armed points.
 std::vector<std::string> ArmedPoints();
 
-/// The probe: Ok unless `name` is armed and past its skip count.
+/// The probe: Ok unless `name` is armed and its mode fires on this hit.
 Status Check(const char* name);
 
 }  // namespace hedgeq::failpoint

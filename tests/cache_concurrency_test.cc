@@ -7,7 +7,10 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
 #include <filesystem>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <vector>
@@ -128,6 +131,151 @@ TEST(CacheConcurrencyTest, ManyThreadsShareOneDirectorySafely) {
     }
   }
   EXPECT_EQ(stray_temps, 0u);
+  fs::remove_all(dir);
+}
+
+// Serialization modulo harmless assignment rows: `absent symbol` and `row
+// of all sink targets` are the same total function, and a byte flip in a
+// sink row's symbol name manufactures exactly that difference without
+// changing any answer — the certificate checker rightly accepts it. The
+// canonical form drops sink-target assign lines so the comparison below
+// is semantic, not textual.
+std::string CanonicalDha(const automata::Dha& dha,
+                         const hedge::Vocabulary& vocab) {
+  std::istringstream in(automata::SerializeDha(dha, vocab));
+  const std::string sink = std::to_string(dha.sink());
+  std::string line, out;
+  while (std::getline(in, line)) {
+    if (line.rfind("assign ", 0) == 0 &&
+        line.size() > sink.size() + 1 &&
+        line.compare(line.size() - sink.size() - 1, sink.size() + 1,
+                     " " + sink) == 0) {
+      continue;
+    }
+    out += line;
+    out += '\n';
+  }
+  return out;
+}
+
+// The serving-era stress shape: a pool of load/store threads (one cache
+// instance each, as `hq serve` workers behind the engine's lock would
+// drive them) while one sweeper instance flips --cache-max-bytes between
+// tiny and unbounded — so eviction sweeps race every lookup and store —
+// and a tamperer flips bytes in published entries on disk. The contract:
+// corrupt or half-evicted entries quarantine into recomputes, never into
+// wrong automata; a hit is always (semantically) the correct automaton.
+TEST(CacheConcurrencyTest, EvictionSweepAndTamperingStayAnswerPreserving) {
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "hedgeq_cache_sweep").string();
+  fs::remove_all(dir);
+
+  std::vector<std::string> want;
+  {
+    hedge::Vocabulary vocab;
+    for (const CompiledExpr& c : CompileAll(vocab)) {
+      want.push_back(CanonicalDha(c.det.dha, vocab));
+    }
+  }
+  ASSERT_EQ(want.size(), kNumExprs);
+
+  constexpr int kThreads = 6;
+  constexpr int kIters = 48;
+  std::atomic<uint64_t> hits{0};
+  std::atomic<int> wrong{0};
+  std::atomic<int> setup_failures{0};
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      hedge::Vocabulary vocab;
+      auto cache = AutomatonCache::Open(dir);
+      if (!cache.ok()) {
+        ++setup_failures;
+        return;
+      }
+      cache.value()->BindVocabulary(&vocab);
+      std::vector<CompiledExpr> compiled = CompileAll(vocab);
+      if (compiled.size() != kNumExprs) {
+        ++setup_failures;
+        return;
+      }
+      for (int i = 0; i < kIters; ++i) {
+        const size_t k = static_cast<size_t>(t + i) % kNumExprs;
+        const CompiledExpr& c = compiled[k];
+        cache.value()->Store(c.nha, c.det, c.witness);
+        automata::Determinized out{automata::Dha{1, 1, 0, 0}, {}};
+        automata::DeterminizeWitness witness;
+        if (cache.value()->Lookup(c.nha, &out, &witness)) {
+          ++hits;
+          if (CanonicalDha(out.dha, vocab) != want[k]) ++wrong;
+        }
+      }
+    });
+  }
+
+  // The sweeper: its own instance over the same directory, alternating a
+  // one-byte bound (every Store sweeps everything but the newest entry)
+  // with unbounded, republishing to trigger the sweep each time.
+  std::thread sweeper([&] {
+    hedge::Vocabulary vocab;
+    auto cache = AutomatonCache::Open(dir);
+    if (!cache.ok()) {
+      ++setup_failures;
+      return;
+    }
+    cache.value()->BindVocabulary(&vocab);
+    std::vector<CompiledExpr> compiled = CompileAll(vocab);
+    int flip = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      cache.value()->set_max_bytes((flip++ % 2 == 0) ? 1 : 0);
+      const CompiledExpr& c = compiled[static_cast<size_t>(flip) % kNumExprs];
+      cache.value()->Store(c.nha, c.det, c.witness);
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  // The tamperer: flips one byte in the middle of each published entry it
+  // can see. Readers must reject these via the certificate check.
+  std::thread tamperer([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      std::error_code ec;
+      for (fs::directory_iterator it(dir, ec), end; !ec && it != end;
+           it.increment(ec)) {
+        if (!it->is_regular_file(ec)) continue;
+        const std::string name = it->path().filename().string();
+        if (name.rfind(".tmp.", 0) == 0) continue;
+        std::FILE* f = std::fopen(it->path().c_str(), "r+b");
+        if (f == nullptr) continue;
+        std::fseek(f, 0, SEEK_END);
+        const long size = std::ftell(f);
+        if (size > 8) {
+          std::fseek(f, size / 2, SEEK_SET);
+          const int byte = std::fgetc(f);
+          if (byte != EOF) {
+            std::fseek(f, size / 2, SEEK_SET);
+            std::fputc(byte ^ 0x5a, f);
+          }
+        }
+        std::fclose(f);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+
+  for (std::thread& t : pool) t.join();
+  stop.store(true, std::memory_order_relaxed);
+  sweeper.join();
+  tamperer.join();
+
+  EXPECT_EQ(setup_failures.load(), 0);
+  EXPECT_EQ(wrong.load(), 0)
+      << "eviction sweeps and tampering must only ever cause misses";
+  // Every worker stores immediately before looking up, so even the 1-byte
+  // bound leaves hits on the table.
+  EXPECT_GT(hits.load(), 0u);
   fs::remove_all(dir);
 }
 

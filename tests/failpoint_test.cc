@@ -70,6 +70,82 @@ TEST_F(FailpointTest, ArmSkipDisarmSemantics) {
   EXPECT_TRUE(failpoint::ArmedPoints().empty());
 }
 
+TEST_F(FailpointTest, FirstNModeHealsAfterNFailures) {
+  // kFirstN models a transient fault: the first n hits fail, then the
+  // point heals — this is what makes retry-success tests deterministic.
+  failpoint::ArmFirstN("unit/transient", 2);
+  EXPECT_FALSE(failpoint::Check("unit/transient").ok());
+  EXPECT_FALSE(failpoint::Check("unit/transient").ok());
+  EXPECT_TRUE(failpoint::Check("unit/transient").ok());
+  EXPECT_TRUE(failpoint::Check("unit/transient").ok());
+  EXPECT_EQ(failpoint::HitCount("unit/transient"), 4u);
+  EXPECT_EQ(failpoint::FiredCount("unit/transient"), 2u);
+}
+
+TEST_F(FailpointTest, EveryNthModeFiresPeriodically) {
+  failpoint::ArmEveryNth("unit/periodic", 3);
+  int fired = 0;
+  for (int i = 0; i < 9; ++i) {
+    if (!failpoint::Check("unit/periodic").ok()) ++fired;
+  }
+  EXPECT_EQ(fired, 3);
+  EXPECT_EQ(failpoint::FiredCount("unit/periodic"), 3u);
+}
+
+TEST_F(FailpointTest, ProbabilityModeIsSeededAndDeterministic) {
+  // Same seed → identical fire pattern; the stream is per-point (the name
+  // is mixed into the seed) so distinct points decorrelate.
+  auto pattern = [](double p, uint64_t seed) {
+    failpoint::ArmProbability("unit/prob", p, seed);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(!failpoint::Check("unit/prob").ok());
+    }
+    failpoint::DisarmAll();
+    return fires;
+  };
+  const std::vector<bool> a = pattern(0.5, 7);
+  const std::vector<bool> b = pattern(0.5, 7);
+  EXPECT_EQ(a, b);
+  // Degenerate probabilities are exact, not approximate.
+  EXPECT_EQ(pattern(0.0, 7), std::vector<bool>(64, false));
+  EXPECT_EQ(pattern(1.0, 7), std::vector<bool>(64, true));
+  // p=0.5 over 64 draws fires at least once and spares at least once.
+  EXPECT_NE(a, std::vector<bool>(64, false));
+  EXPECT_NE(a, std::vector<bool>(64, true));
+}
+
+TEST_F(FailpointTest, ArmSpecGrammar) {
+  EXPECT_TRUE(failpoint::ArmSpec("unit/a").ok());
+  EXPECT_TRUE(failpoint::ArmSpec("unit/b:skip=2").ok());
+  EXPECT_TRUE(failpoint::ArmSpec("unit/c:first=1").ok());
+  EXPECT_TRUE(failpoint::ArmSpec("unit/d:every=4").ok());
+  EXPECT_TRUE(failpoint::ArmSpec("unit/e:p=0.25,seed=9").ok());
+  EXPECT_EQ(failpoint::ArmedPoints().size(), 5u);
+  EXPECT_FALSE(failpoint::Check("unit/a").ok());
+  EXPECT_TRUE(failpoint::Check("unit/b").ok());
+  EXPECT_TRUE(failpoint::Check("unit/b").ok());
+  EXPECT_FALSE(failpoint::Check("unit/b").ok());
+  EXPECT_FALSE(failpoint::Check("unit/c").ok());
+  EXPECT_TRUE(failpoint::Check("unit/c").ok());
+  // Bad specs are rejected, not silently ignored.
+  EXPECT_FALSE(failpoint::ArmSpec("").ok());
+  EXPECT_FALSE(failpoint::ArmSpec("unit/x:every=0").ok());
+  EXPECT_FALSE(failpoint::ArmSpec("unit/x:p=2.0").ok());
+  EXPECT_FALSE(failpoint::ArmSpec("unit/x:bogus=1").ok());
+  EXPECT_FALSE(failpoint::ArmSpec("unit/x:every=2,p=0.5").ok());
+}
+
+TEST_F(FailpointTest, ReArmResetsCounters) {
+  failpoint::ArmFirstN("unit/rearm", 1);
+  EXPECT_FALSE(failpoint::Check("unit/rearm").ok());
+  EXPECT_TRUE(failpoint::Check("unit/rearm").ok());
+  failpoint::ArmFirstN("unit/rearm", 1);  // re-arm: fresh hit/fired state
+  EXPECT_EQ(failpoint::HitCount("unit/rearm"), 0u);
+  EXPECT_EQ(failpoint::FiredCount("unit/rearm"), 0u);
+  EXPECT_FALSE(failpoint::Check("unit/rearm").ok());
+}
+
 TEST_F(FailpointTest, DeterminizeSitesFailCleanly) {
   auto e = hre::ParseHre("d<p<$x $x>*>", vocab_);
   ASSERT_TRUE(e.ok());

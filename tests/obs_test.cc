@@ -11,12 +11,14 @@
 #include <set>
 #include <stdexcept>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "automata/lazy_dha.h"
 #include "obs/catalogue.h"
 #include "obs/json.h"
 #include "obs/obs.h"
+#include "obs/scope.h"
 #include "query/selection.h"
 #include "schema/schema.h"
 #include "schema/streaming.h"
@@ -249,6 +251,79 @@ TEST(ObsCatalogueTest, RegisteredNamesAreStable) {
   EXPECT_TRUE(names.count("counter/automata.lazy.cache_hits"));
   EXPECT_TRUE(names.count("gauge/automata.determinize.certify_frac_pct"));
   EXPECT_TRUE(names.count("histogram/hist.doc_nodes"));
+}
+
+TEST(ObsScopeTest, ScopesOnDistinctThreadsNeverCrossAttribute) {
+  // The serve::Engine contract: each worker opens its own top-level
+  // QueryScope, so per-request attribution must be airtight across a pool
+  // — work done by thread A while thread B's scope is open lands in A's
+  // scope only, nested scopes included, and annotations never migrate.
+  ObsGuard guard;
+
+  constexpr int kThreads = 4;
+  constexpr int kIters = 200;
+  // The shared counter every thread bumps: a scope that aggregated
+  // cross-thread would see up to kThreads * kIters here.
+  Counter* shared = Registry().GetCounter(metrics::kServeAdmitted);
+  std::vector<ScopeSnapshot> outer(kThreads);
+  std::vector<ScopeSnapshot> inner(kThreads);
+  std::vector<std::thread> pool;
+  pool.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    pool.emplace_back([&, t] {
+      // Per-thread marker counters: if attribution ever crossed threads,
+      // a scope would see some other thread's marker.
+      const std::string mine = "test.scope.thread" + std::to_string(t);
+      Counter* marker = Registry().GetCounter(mine);
+      Counter* nested = Registry().GetCounter(mine + ".nested");
+      QueryScope outer_scope("outer:" + std::to_string(t));
+      outer_scope.Annotate("thread", std::to_string(t));
+      for (int i = 0; i < kIters; ++i) {
+        marker->Increment();
+        shared->Increment();
+      }
+      {
+        QueryScope inner_scope("inner:" + std::to_string(t));
+        for (int i = 0; i < kIters; ++i) nested->Increment();
+        inner[t] = inner_scope.Snapshot();
+      }
+      outer[t] = outer_scope.Snapshot();
+    });
+  }
+  for (std::thread& t : pool) t.join();
+
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string mine = "test.scope.thread" + std::to_string(t);
+    // Own work, fully attributed.
+    EXPECT_EQ(outer[t].CounterValue(mine), static_cast<uint64_t>(kIters));
+    EXPECT_EQ(outer[t].CounterValue(metrics::kServeAdmitted),
+              static_cast<uint64_t>(kIters))
+        << "a scope must see only its own thread's share of a shared "
+           "counter";
+    // The inner scope saw only its own nested work, and the outer scope
+    // absorbed it on close (nesting composes within a thread).
+    EXPECT_EQ(inner[t].CounterValue(mine + ".nested"),
+              static_cast<uint64_t>(kIters));
+    EXPECT_EQ(inner[t].CounterValue(mine), 0u)
+        << "inner scope must not see pre-existing outer counts";
+    EXPECT_EQ(outer[t].CounterValue(mine + ".nested"),
+              static_cast<uint64_t>(kIters));
+    // No sibling thread's markers or annotations leaked in.
+    for (int u = 0; u < kThreads; ++u) {
+      if (u == t) continue;
+      const std::string theirs = "test.scope.thread" + std::to_string(u);
+      EXPECT_EQ(outer[t].CounterValue(theirs), 0u)
+          << "thread " << u << "'s work leaked into thread " << t
+          << "'s scope";
+      EXPECT_EQ(outer[t].CounterValue(theirs + ".nested"), 0u);
+    }
+    ASSERT_EQ(outer[t].annotations.size(), 1u);
+    EXPECT_EQ(outer[t].annotations[0].first, "thread");
+    EXPECT_EQ(outer[t].annotations[0].second, std::to_string(t));
+  }
+  // Scopes attribute, they never divert: the process registry still saw
+  // everything from every thread.
+  EXPECT_EQ(shared->value(), static_cast<uint64_t>(kThreads) * kIters);
 }
 
 TEST(ObsPipelineTest, InstrumentedPipelineFillsMetrics) {

@@ -1,0 +1,219 @@
+// The chaos matrix: every cache/IO failpoint armed probabilistically (with
+// fixed seeds — the schedule is chaotic, the fault pattern is not) while
+// the full worker pool serves a request storm. The robustness contract
+// under fire:
+//   1. every submitted request resolves to exactly one terminal outcome,
+//   2. every non-shed, non-error answer matches the single-threaded oracle
+//      computed with no faults armed (degraded and retried included —
+//      degradation and retry are answer-preserving, never answer-changing),
+//   3. the process neither crashes nor deadlocks (the test finishing is
+//      the assertion; ctest's timeout is the backstop).
+// Run under the tsan preset this is also the engine's data-race proof.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "automata/determinize.h"
+#include "cache/cache.h"
+#include "query/selection.h"
+#include "serve/serve.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "xml/xml.h"
+
+namespace hedgeq::serve {
+namespace {
+
+namespace fs = std::filesystem;
+
+const char* const kQueries[] = {
+    "select(*; figure (section|article)*)",
+    "select(*; caption (section|article)*)",
+    "select(*; title section*)",
+    "select((para|$x)*; [(); figure; caption] (para|figure|caption|section)*)",
+};
+constexpr size_t kNumQueries = sizeof(kQueries) / sizeof(kQueries[0]);
+
+TEST(ServeChaosTest, FullMatrixUnderConcurrency) {
+  hedge::Vocabulary vocab;
+  Rng rng(11);
+  workload::ArticleOptions doc_options;
+  doc_options.target_nodes = 200;
+  hedge::Hedge h = workload::RandomArticle(rng, vocab, doc_options);
+  xml::XmlDocument doc = xml::WrapHedge(h, vocab);
+
+  // Single-threaded oracle, computed before any fault is armed and before
+  // the cache is installed.
+  size_t oracle[kNumQueries];
+  for (size_t q = 0; q < kNumQueries; ++q) {
+    auto parsed = query::ParseSelectionQuery(kQueries[q], vocab);
+    ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+    auto eval = query::SelectionEvaluator::Create(*parsed);
+    ASSERT_TRUE(eval.ok()) << eval.status().ToString();
+    oracle[q] = eval->LocatedNodes(doc.hedge).size();
+  }
+
+  // A real on-disk automaton cache so the cache failpoints fire on the
+  // engine's actual load/store path (the engine wraps it in its lock).
+  const std::string dir =
+      (fs::path(::testing::TempDir()) / "hedgeq_serve_chaos").string();
+  fs::remove_all(dir);
+  auto cache = cache::AutomatonCache::Open(dir);
+  ASSERT_TRUE(cache.ok()) << cache.status().ToString();
+  cache.value()->BindVocabulary(&vocab);
+  automata::SetDeterminizeCache(cache.value().get());
+
+  EngineOptions options;
+  options.workers = 4;
+  options.queue_cap = 512;
+  options.memoize = false;  // every request walks the full compile path
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 1;
+  options.retry.backoff_max_ms = 4;
+  options.breaker.failure_threshold = 4;
+  options.breaker.open_ms = 5;  // the breaker cycles during the storm
+  Engine engine(vocab, options);
+  engine.SetDocument(std::move(doc));
+  engine.Start();
+
+  const char* const kArmed[] = {
+      "cache/short-read", "cache/torn-write", "cache/enospc",
+      "cache/rename",     "determinize/subset", "serve/exec",
+  };
+  failpoint::ArmProbability("cache/short-read", 0.5, 1);
+  failpoint::ArmProbability("cache/torn-write", 0.5, 2);
+  failpoint::ArmProbability("cache/enospc", 0.4, 3);
+  failpoint::ArmProbability("cache/rename", 0.4, 4);
+  failpoint::ArmEveryNth("determinize/subset", 9);
+  failpoint::ArmProbability("serve/exec", 0.15, 5);
+
+  constexpr int kSubmitters = 4;
+  constexpr int kPerSubmitter = 50;
+  struct Tagged {
+    size_t query;
+    std::future<Response> future;
+  };
+  std::vector<std::vector<Tagged>> per_thread(kSubmitters);
+  std::vector<std::thread> submitters;
+  submitters.reserve(kSubmitters);
+  for (int t = 0; t < kSubmitters; ++t) {
+    submitters.emplace_back([&, t] {
+      per_thread[t].reserve(kPerSubmitter);
+      for (int i = 0; i < kPerSubmitter; ++i) {
+        const size_t q = static_cast<size_t>(t + i) % kNumQueries;
+        per_thread[t].push_back({q, engine.Submit(kQueries[q])});
+      }
+    });
+  }
+  for (std::thread& t : submitters) t.join();
+
+  size_t total = 0, answered = 0, shed = 0, errors = 0;
+  for (auto& batch : per_thread) {
+    for (Tagged& tagged : batch) {
+      Response resp = tagged.future.get();  // exactly one terminal outcome
+      ++total;
+      switch (resp.outcome) {
+        case Outcome::kOk:
+        case Outcome::kDegraded:
+        case Outcome::kRetried:
+          // Chaos may degrade or delay an answer; it must never change it.
+          EXPECT_EQ(resp.located, oracle[tagged.query])
+              << kQueries[tagged.query] << " under "
+              << OutcomeName(resp.outcome);
+          EXPECT_TRUE(resp.status.ok());
+          ++answered;
+          break;
+        case Outcome::kShed:
+          EXPECT_FALSE(resp.status.ok());
+          ++shed;
+          break;
+        case Outcome::kError:
+          EXPECT_FALSE(resp.status.ok());
+          ++errors;
+          break;
+      }
+    }
+  }
+  EXPECT_EQ(total, static_cast<size_t>(kSubmitters * kPerSubmitter));
+  // No deadlines and a roomy queue: nothing should shed in this storm, and
+  // plenty must still answer despite the fault rates.
+  EXPECT_EQ(shed, 0u);
+  EXPECT_GT(answered, 0u);
+
+  engine.Stop();
+  const Engine::Counters tally = engine.counters();
+  EXPECT_EQ(tally.completed, total);
+  EXPECT_EQ(tally.ok + tally.degraded + tally.retried + tally.shed +
+                tally.errors,
+            total)
+      << "every request gets exactly one terminal outcome";
+  EXPECT_EQ(tally.errors, errors);
+
+  // The matrix is only a matrix if every armed point actually fired.
+  for (const char* name : kArmed) {
+    EXPECT_GE(failpoint::FiredCount(name), 1u) << name << " never fired";
+  }
+
+  failpoint::DisarmAll();
+  automata::SetDeterminizeCache(nullptr);
+  fs::remove_all(dir);
+}
+
+TEST(ServeChaosTest, DocumentLoadRetriesTransientIoFaults) {
+  hedge::Vocabulary vocab;
+  Rng rng(3);
+  workload::ArticleOptions doc_options;
+  doc_options.target_nodes = 60;
+  hedge::Hedge h = workload::RandomArticle(rng, vocab, doc_options);
+  xml::XmlDocument doc = xml::WrapHedge(h, vocab);
+  const std::string path =
+      (fs::path(::testing::TempDir()) / "hedgeq_serve_chaos_doc.xml")
+          .string();
+  {
+    const std::string text = xml::SerializeXml(doc, vocab);
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+
+  EngineOptions options;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 1;
+  Engine engine(vocab, options);
+  engine.Start();
+
+  // Two transient faults, three attempts: the load succeeds on the last.
+  failpoint::ArmFirstN("serve/load-doc", 2);
+  auto loaded = engine.LoadDocumentFile(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(*loaded, doc.hedge.num_nodes());
+  EXPECT_EQ(engine.counters().retry_attempts, 2u);
+
+  // An absorbing fault exhausts the retry budget and surfaces cleanly.
+  failpoint::Arm("serve/load-doc");
+  auto failed = engine.LoadDocumentFile(path);
+  EXPECT_FALSE(failed.ok());
+  EXPECT_EQ(failed.status().code(), StatusCode::kResourceExhausted);
+  failpoint::DisarmAll();
+
+  // A semantic error (missing file) is not retried.
+  const uint64_t retries_before = engine.counters().retry_attempts;
+  auto missing = engine.LoadDocumentFile(path + ".nope");
+  EXPECT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(engine.counters().retry_attempts, retries_before);
+
+  engine.Stop();
+  fs::remove(path);
+}
+
+}  // namespace
+}  // namespace hedgeq::serve

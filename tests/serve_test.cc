@@ -1,0 +1,324 @@
+// serve::Engine contract tests: admission control and queue-cap shedding,
+// per-request deadlines that cover queue wait + execution (re-armed at
+// admission, never process-wide), bounded retry with backoff for transient
+// faults only, the circuit breaker's closed/open/half-open cycle, and
+// graceful drain resolving every outstanding future exactly once.
+#include "serve/serve.h"
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "query/selection.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+#include "workload/generators.h"
+#include "xml/xml.h"
+
+namespace hedgeq::serve {
+namespace {
+
+constexpr const char* kQuery = "select(*; figure (section|article)*)";
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void TearDown() override { failpoint::DisarmAll(); }
+
+  // A small article document plus the single-threaded oracle answer for
+  // kQuery against it, computed with no faults armed.
+  xml::XmlDocument MakeDoc(size_t target_nodes = 120, uint64_t seed = 7) {
+    Rng rng(seed);
+    workload::ArticleOptions options;
+    options.target_nodes = target_nodes;
+    hedge::Hedge h = workload::RandomArticle(rng, vocab_, options);
+    return xml::WrapHedge(h, vocab_);
+  }
+
+  size_t OracleLocated(const xml::XmlDocument& doc) {
+    auto q = query::ParseSelectionQuery(kQuery, vocab_);
+    EXPECT_TRUE(q.ok()) << q.status().ToString();
+    auto eval = query::SelectionEvaluator::Create(*q);
+    EXPECT_TRUE(eval.ok()) << eval.status().ToString();
+    return eval->LocatedNodes(doc.hedge).size();
+  }
+
+  hedge::Vocabulary vocab_;
+};
+
+TEST_F(ServeTest, AnswersMatchDirectEvaluation) {
+  xml::XmlDocument doc = MakeDoc();
+  const size_t expected = OracleLocated(doc);
+  ASSERT_GT(expected, 0u);
+
+  EngineOptions options;
+  options.workers = 4;
+  Engine engine(vocab_, options);
+  engine.SetDocument(std::move(doc));
+  engine.Start();
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 8; ++i) futures.push_back(engine.Submit(kQuery));
+  for (auto& f : futures) {
+    Response resp = f.get();
+    EXPECT_EQ(resp.outcome, Outcome::kOk) << resp.status.ToString();
+    EXPECT_EQ(resp.located, expected);
+    EXPECT_EQ(resp.answer.size(), expected);
+    EXPECT_EQ(resp.attempts, 1);
+    EXPECT_FALSE(resp.degraded);
+  }
+  engine.Stop();
+  const Engine::Counters tally = engine.counters();
+  EXPECT_EQ(tally.submitted, 8u);
+  EXPECT_EQ(tally.admitted, 8u);
+  EXPECT_EQ(tally.completed, 8u);
+  EXPECT_EQ(tally.ok, 8u);
+  EXPECT_EQ(tally.shed, 0u);
+}
+
+TEST_F(ServeTest, QueueCapOverflowShedsImmediately) {
+  EngineOptions options;
+  options.queue_cap = 2;
+  Engine engine(vocab_, options);
+  engine.SetDocument(MakeDoc());
+
+  // Submitting before Start makes the overflow deterministic: nothing
+  // drains the queue, so requests 3 and 4 must shed at admission.
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 4; ++i) futures.push_back(engine.Submit(kQuery));
+  for (int i = 2; i < 4; ++i) {
+    ASSERT_EQ(futures[i].wait_for(std::chrono::seconds(0)),
+              std::future_status::ready);
+    Response resp = futures[i].get();
+    EXPECT_EQ(resp.outcome, Outcome::kShed);
+    EXPECT_EQ(resp.status.code(), StatusCode::kResourceExhausted);
+    EXPECT_EQ(resp.attempts, 0);  // never executed
+  }
+  // Drain still owes the two admitted requests their answers.
+  engine.Drain();
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(futures[i].get().outcome, Outcome::kOk);
+  }
+  EXPECT_EQ(engine.counters().shed, 2u);
+}
+
+TEST_F(ServeTest, ExpiredDeadlineShedsWithoutExecuting) {
+  EngineOptions options;
+  options.deadline_set = true;
+  options.deadline_ms = 0;  // every request is born expired
+  Engine engine(vocab_, options);
+  engine.SetDocument(MakeDoc());
+  engine.Start();
+  for (int i = 0; i < 4; ++i) {
+    Response resp = engine.Submit(kQuery).get();
+    EXPECT_EQ(resp.outcome, Outcome::kShed);
+    EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+    EXPECT_EQ(resp.attempts, 0) << "shed requests must never execute";
+    EXPECT_EQ(resp.located, 0u);
+  }
+  EXPECT_EQ(engine.counters().shed, 4u);
+  EXPECT_EQ(engine.counters().ok, 0u);
+}
+
+TEST_F(ServeTest, DeadlineIsReArmedPerRequest) {
+  // Regression for the repl bug this PR fixes: --deadline-ms used to be a
+  // process-wide deadline, so any request after the first deadline_ms of
+  // process lifetime failed. Per-request arming means a request submitted
+  // long after engine start still gets its full window.
+  EngineOptions options;
+  options.deadline_set = true;
+  options.deadline_ms = 5000;
+  Engine engine(vocab_, options);
+  engine.SetDocument(MakeDoc());
+  engine.Start();
+  EXPECT_EQ(engine.Submit(kQuery).get().outcome, Outcome::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(120));
+  // More engine lifetime has elapsed than one window ago; a process-wide
+  // deadline armed at start would now be closer to expiry for no reason —
+  // the re-armed one is indistinguishable from the first request's.
+  Response late = engine.Submit(kQuery).get();
+  EXPECT_EQ(late.outcome, Outcome::kOk) << late.status.ToString();
+}
+
+TEST_F(ServeTest, TransientFailureIsRetriedToSuccess) {
+  EngineOptions options;
+  options.workers = 1;
+  options.retry.backoff_base_ms = 1;
+  Engine engine(vocab_, options);
+  xml::XmlDocument doc = MakeDoc();
+  const size_t expected = OracleLocated(doc);
+  engine.SetDocument(std::move(doc));
+  engine.Start();
+
+  failpoint::ArmFirstN("serve/exec", 1);  // fail once, then heal
+  Response resp = engine.Submit(kQuery).get();
+  EXPECT_EQ(resp.outcome, Outcome::kRetried);
+  EXPECT_TRUE(resp.status.ok());
+  EXPECT_EQ(resp.attempts, 2);
+  EXPECT_EQ(resp.located, expected) << "retried answer must be complete";
+  const Engine::Counters tally = engine.counters();
+  EXPECT_EQ(tally.retried, 1u);
+  EXPECT_EQ(tally.retry_attempts, 1u);
+}
+
+TEST_F(ServeTest, RetryBudgetExhaustionIsError) {
+  EngineOptions options;
+  options.workers = 1;
+  options.retry.max_attempts = 3;
+  options.retry.backoff_base_ms = 1;
+  Engine engine(vocab_, options);
+  engine.SetDocument(MakeDoc());
+  engine.Start();
+
+  failpoint::Arm("serve/exec");  // absorbing: every attempt fails
+  Response resp = engine.Submit(kQuery).get();
+  EXPECT_EQ(resp.outcome, Outcome::kError);
+  EXPECT_EQ(resp.status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(resp.attempts, 3);
+  EXPECT_EQ(engine.counters().retry_attempts, 2u);
+  EXPECT_EQ(engine.counters().errors, 1u);
+}
+
+TEST_F(ServeTest, SemanticErrorsAreNeverRetried) {
+  EngineOptions options;
+  options.workers = 1;
+  options.retry.max_attempts = 5;
+  Engine engine(vocab_, options);
+  engine.Start();
+
+  // No document: FailedPrecondition, one attempt, no backoff sleeps.
+  Response no_doc = engine.Submit(kQuery).get();
+  EXPECT_EQ(no_doc.outcome, Outcome::kError);
+  EXPECT_EQ(no_doc.status.code(), StatusCode::kFailedPrecondition);
+  EXPECT_EQ(no_doc.attempts, 1);
+
+  engine.SetDocument(MakeDoc());
+  // Parse error: same contract.
+  Response bad = engine.Submit("select(").get();
+  EXPECT_EQ(bad.outcome, Outcome::kError);
+  EXPECT_EQ(bad.attempts, 1);
+  EXPECT_EQ(engine.counters().retry_attempts, 0u);
+}
+
+TEST_F(ServeTest, BreakerTripsAfterConsecutiveEagerFailures) {
+  EngineOptions options;
+  options.workers = 1;
+  options.breaker.failure_threshold = 3;
+  options.breaker.open_ms = 60'000;  // stays open for the whole test
+  Engine engine(vocab_, options);
+  xml::XmlDocument doc = MakeDoc();
+  const size_t expected = OracleLocated(doc);
+  engine.SetDocument(std::move(doc));
+  engine.Start();
+
+  // Every eager compile degrades to the lazy engine; answers stay correct.
+  failpoint::Arm("determinize/subset");
+  for (int i = 0; i < 3; ++i) {
+    // Degraded evaluators are never memoized, so each identical request
+    // still exercises the breaker.
+    Response resp = engine.Submit(kQuery).get();
+    EXPECT_EQ(resp.outcome, Outcome::kDegraded) << resp.status.ToString();
+    EXPECT_TRUE(resp.degraded);
+    EXPECT_FALSE(resp.breaker_was_open) << "breaker must not trip early";
+    EXPECT_EQ(resp.located, expected);
+  }
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kOpen);
+  EXPECT_EQ(engine.counters().breaker_trips, 1u);
+
+  // While open, requests skip the eager path entirely — even with the
+  // fault disarmed they run lazy-only (a closed breaker would now serve
+  // this request eagerly as kOk, so kDegraded + breaker_was_open proves
+  // the eager path was never consulted). Answers stay correct.
+  failpoint::DisarmAll();
+  Response open_resp = engine.Submit(kQuery).get();
+  EXPECT_EQ(open_resp.outcome, Outcome::kDegraded);
+  EXPECT_TRUE(open_resp.breaker_was_open);
+  EXPECT_EQ(open_resp.located, expected);
+}
+
+TEST_F(ServeTest, BreakerHalfOpensAndRecovers) {
+  EngineOptions options;
+  options.workers = 1;
+  options.breaker.failure_threshold = 2;
+  options.breaker.open_ms = 30;
+  options.memoize = false;  // every request exercises the breaker
+  Engine engine(vocab_, options);
+  xml::XmlDocument doc = MakeDoc();
+  const size_t expected = OracleLocated(doc);
+  engine.SetDocument(std::move(doc));
+  engine.Start();
+
+  failpoint::Arm("determinize/subset");
+  for (int i = 0; i < 2; ++i) {
+    EXPECT_EQ(engine.Submit(kQuery).get().outcome, Outcome::kDegraded);
+  }
+  ASSERT_EQ(engine.breaker_state(), Engine::BreakerState::kOpen);
+
+  // Probe while the fault persists: half-open -> re-open, second trip.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(engine.Submit(kQuery).get().outcome, Outcome::kDegraded);
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kOpen);
+  EXPECT_EQ(engine.counters().breaker_trips, 2u);
+
+  // Probe after the fault heals: half-open -> closed, eager service again.
+  failpoint::DisarmAll();
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  Response recovered = engine.Submit(kQuery).get();
+  EXPECT_EQ(recovered.outcome, Outcome::kOk) << recovered.status.ToString();
+  EXPECT_FALSE(recovered.degraded);
+  EXPECT_EQ(recovered.located, expected);
+  EXPECT_EQ(engine.breaker_state(), Engine::BreakerState::kClosed);
+}
+
+TEST_F(ServeTest, DrainResolvesEveryFutureThenShedsNewWork) {
+  EngineOptions options;
+  options.workers = 2;
+  Engine engine(vocab_, options);
+  engine.SetDocument(MakeDoc());
+  engine.Start();
+
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 12; ++i) futures.push_back(engine.Submit(kQuery));
+  engine.Drain();
+  size_t terminal = 0;
+  for (auto& f : futures) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(0)),
+              std::future_status::ready)
+        << "drain must resolve every outstanding future";
+    f.get();
+    ++terminal;
+  }
+  EXPECT_EQ(terminal, futures.size());
+  EXPECT_EQ(engine.counters().completed, 12u);
+
+  Response late = engine.Submit(kQuery).get();
+  EXPECT_EQ(late.outcome, Outcome::kShed);
+  EXPECT_EQ(late.status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ServeTest, DrainFlushesRequestsQueuedBeforeStart) {
+  Engine engine(vocab_, EngineOptions{});
+  engine.SetDocument(MakeDoc());
+  std::future<Response> f = engine.Submit(kQuery);
+  engine.Drain();  // brings the pool up just to flush the queue
+  EXPECT_EQ(f.get().outcome, Outcome::kOk);
+}
+
+TEST_F(ServeTest, CancelAllShedsInsteadOfAnswering) {
+  EngineOptions options;
+  options.workers = 1;
+  Engine engine(vocab_, options);
+  engine.SetDocument(MakeDoc());
+  engine.Start();
+  engine.CancelAll();
+  Response resp = engine.Submit(kQuery).get();
+  EXPECT_EQ(resp.outcome, Outcome::kShed);
+  EXPECT_EQ(resp.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(resp.located, 0u);
+}
+
+}  // namespace
+}  // namespace hedgeq::serve

@@ -307,6 +307,96 @@ exec 9>&-
 wait "${REPL_PID}"
 rm -rf "${FLIGHT_TMP}"
 
+step "serve chaos matrix (every failpoint fires, zero lost requests)"
+SERVE_TMP="$(mktemp -d)"
+{
+  printf 'gen article 200 11\n'
+  for _ in $(seq 1 40); do
+    printf 'query select(*; figure (section|article)*)\n'
+    printf 'query select(*; caption (section|article)*)\n'
+  done
+} > "${SERVE_TMP}/requests"
+REQ_COUNT="$(grep -c . "${SERVE_TMP}/requests")"
+# Same matrix as serve_chaos_test: every cache/IO failpoint armed
+# probabilistically (fixed seeds — deterministic), the eager compile path
+# failing periodically, the execution path flaking, memoization off so
+# every request walks the full pipeline, and a real cache directory so the
+# cache failpoints sit on genuinely exercised store/load paths.
+"${HQ}" serve --workers=4 --no-memoize \
+  --retry-max=3 --retry-backoff-ms=1 --retry-backoff-max-ms=4 \
+  --breaker-threshold=4 --breaker-open-ms=5 \
+  --cache-dir="${SERVE_TMP}/cache" \
+  --requests="${SERVE_TMP}/requests" --chaos-report \
+  --failpoint='cache/short-read:p=0.5,seed=1' \
+  --failpoint='cache/torn-write:p=0.5,seed=2' \
+  --failpoint='cache/enospc:p=0.4,seed=3' \
+  --failpoint='cache/rename:p=0.4,seed=4' \
+  --failpoint='determinize/subset:every=9' \
+  --failpoint='serve/exec:p=0.15,seed=5' \
+  > "${SERVE_TMP}/serve.out" 2> "${SERVE_TMP}/serve.err" \
+  || { echo "FAIL: hq serve crashed under the chaos matrix"; exit 1; }
+# Zero lost requests: exactly one result line per request, in order.
+[[ "$(grep -c . "${SERVE_TMP}/serve.out")" -eq "${REQ_COUNT}" ]] \
+  || { echo "FAIL: chaos run lost request result lines"; exit 1; }
+# The matrix is only a matrix if every armed point actually fired.
+for point in cache/short-read cache/torn-write cache/enospc cache/rename \
+             determinize/subset serve/exec; do
+  fired="$(sed -n "s|^# chaos: ${point} hits=[0-9]* fired=||p" \
+    "${SERVE_TMP}/serve.err")"
+  [[ -n "${fired}" && "${fired}" -ge 1 ]] \
+    || { echo "FAIL: failpoint ${point} never fired in the chaos run"; exit 1; }
+done
+# Chaos may shed or degrade an answer, never change it: every answered
+# line for the same query reports the same located count.
+for q in 1 2; do
+  answered="$(awk -v q="${q}" \
+    '$1 > 0 && (($1 - q) % 2 == 0) && ($2 == "ok" || $2 == "degraded" || $2 == "retried") {print $3}' \
+    "${SERVE_TMP}/serve.out" | sort -u | wc -l)"
+  [[ "${answered}" -le 1 ]] \
+    || { echo "FAIL: chaos run returned inconsistent answers for query ${q}"; exit 1; }
+done
+rm -rf "${SERVE_TMP}"
+
+step "serve graceful drain (SIGTERM: exit 0, flight dump, shed accounting)"
+DRAIN_TMP="$(mktemp -d)"
+mkfifo "${DRAIN_TMP}/stdin"
+"${HQ}" serve --workers=2 \
+  --flight-recorder="${DRAIN_TMP}/flight.json" \
+  --metrics="${DRAIN_TMP}/metrics.json" \
+  < "${DRAIN_TMP}/stdin" > "${DRAIN_TMP}/serve.out" 2> "${DRAIN_TMP}/serve.err" &
+SERVE_PID=$!
+exec 8> "${DRAIN_TMP}/stdin"
+printf 'gen article 200 11\n' >&8
+for _ in $(seq 1 8); do
+  printf 'query select(*; figure (section|article)*)\n' >&8
+done
+# Let the requests land, then terminate while the server blocks on the
+# fifo: admission stops, in-flight work finishes, everything flushes.
+sleep 1
+kill -TERM "${SERVE_PID}"
+drain_rc=0
+wait "${SERVE_PID}" || drain_rc=$?
+exec 8>&-
+[[ "${drain_rc}" -eq 0 ]] \
+  || { echo "FAIL: SIGTERM drain exited ${drain_rc}, want 0"; exit 1; }
+grep -q '(drained on signal)' "${DRAIN_TMP}/serve.err" \
+  || { echo "FAIL: serve summary does not report the signal drain"; exit 1; }
+# Every admitted request still got its result line (1 gen + 8 queries).
+[[ "$(grep -c . "${DRAIN_TMP}/serve.out")" -eq 9 ]] \
+  || { echo "FAIL: drain dropped result lines"; exit 1; }
+# The drain path flushes the flight recorder; the dump must parse.
+[[ -s "${DRAIN_TMP}/flight.json" ]] \
+  || { echo "FAIL: SIGTERM drain produced no flight-recorder dump"; exit 1; }
+"${HQ}" obs-parse "${DRAIN_TMP}/flight.json" > /dev/null \
+  || { echo "FAIL: drain flight dump does not round-trip through the obs parser"; exit 1; }
+# serve.shed in the flushed metrics equals the shed result lines printed.
+shed_lines="$(grep -c '^[0-9]* shed ' "${DRAIN_TMP}/serve.out" || true)"
+shed_metric="$(sed -n 's/.*"serve\.shed": \([0-9]*\).*/\1/p' \
+  "${DRAIN_TMP}/metrics.json" | head -1)"
+[[ -n "${shed_metric}" && "${shed_metric}" -eq "${shed_lines}" ]] \
+  || { echo "FAIL: serve.shed metric (${shed_metric:-missing}) disagrees with shed result lines (${shed_lines})"; exit 1; }
+rm -rf "${DRAIN_TMP}"
+
 step "bench_compare gate (identity passes, synthetic slowdown fails)"
 BC="${BUILD_DIR}/tools/bench_compare"
 BC_TMP="$(mktemp -d)"

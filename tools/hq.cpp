@@ -49,7 +49,10 @@
 #include "query/selection.h"
 #include "schema/algebra.h"
 #include "schema/transform.h"
+#include "serve/serve.h"
+#include "util/failpoint.h"
 #include "util/rng.h"
+#include "util/strings.h"
 #include "workload/generators.h"
 #include "xml/xml.h"
 
@@ -382,6 +385,9 @@ bool ReplReadLine(std::string& line, tools::ObsCli& obs_cli) {
       if (errno == EINTR && !std::feof(stdin)) {
         std::clearerr(stdin);
         if (tools::ObsCli::TakeSignalDumpRequest()) obs_cli.DumpFlightRecorder();
+        // SIGTERM/SIGINT: behave like 'quit' — the caller drains and
+        // returns through main, so metrics + flight recorder flush.
+        if (tools::ObsCli::TerminationRequested()) return false;
         continue;
       }
       return !line.empty();  // EOF: deliver a final unterminated line
@@ -397,8 +403,7 @@ bool ReplReadLine(std::string& line, tools::ObsCli& obs_cli) {
 // The per-command stats line: wall time, the stages that actually ran this
 // command (biggest first — a warm evaluator memo hit shows no compile
 // stages), cache verdicts and the certify fraction when they moved.
-void ReplPrintStats(const obs::QueryScope& scope) {
-  const obs::ScopeSnapshot snap = scope.Snapshot();
+void ReplPrintStats(const obs::ScopeSnapshot& snap) {
   std::string line = "#";
   char num[64];
   std::snprintf(num, sizeof(num), " %.3f ms", snap.wall_ns / 1e6);
@@ -461,10 +466,21 @@ int CmdRepl(tools::ObsCli& obs_cli) {
   // so the stats lines have something to report, whatever flags were given.
   obs::RegisterCatalogue();
   obs::SetEnabled(true);
+  // SIGTERM/SIGINT read as 'quit': the loop breaks, the engine drains, and
+  // metrics + flight recorder flush on the way out of main.
+  tools::ObsCli::InstallTerminationHandlers();
   hedge::Vocabulary vocab;
   BindCache(vocab);
-  std::optional<xml::XmlDocument> doc;
-  std::map<std::string, std::unique_ptr<query::SelectionEvaluator>> evals;
+  // load/query route through the serving engine: the document and the
+  // evaluator memo live there, and --deadline-ms is re-armed per served
+  // request at admission (not one process-wide expiry), so a long session
+  // never has later commands spuriously expire.
+  serve::EngineOptions engine_options;
+  engine_options.workers = 2;
+  engine_options.deadline_set = g_deadline_set;
+  engine_options.deadline_ms = g_deadline_ms;
+  serve::Engine engine(vocab, engine_options);
+  engine.Start();
   const bool tty = isatty(fileno(stdin)) != 0;
   if (tty) {
     std::printf("hq repl — 'help' lists commands, 'quit' leaves\n");
@@ -519,20 +535,35 @@ int CmdRepl(tools::ObsCli& obs_cli) {
       continue;
     }
 
-    // Document/query commands run under a per-command QueryScope, so the
-    // stats line (and the flight record, when armed) covers exactly this
-    // command's work.
+    if (cmd == "query" && !rest.empty()) {
+      // Served request: it runs on the engine's worker pool under its own
+      // QueryScope, so the stats line (and flight record) comes from the
+      // worker's snapshot and covers exactly this request's work.
+      serve::Response resp = engine.Submit(rest, "repl:" + line).get();
+      if (resp.outcome == serve::Outcome::kShed ||
+          resp.outcome == serve::Outcome::kError) {
+        std::printf("error: %s\n", resp.status.ToString().c_str());
+      } else {
+        for (const std::string& row : resp.answer) {
+          std::printf("%s\n", row.c_str());
+        }
+        std::printf("(%zu located)\n", resp.located);
+      }
+      ReplPrintStats(resp.scope);
+      continue;
+    }
+
+    // Document/control commands run on the repl thread under a per-command
+    // QueryScope, so their stats lines cover exactly this command's work.
     obs::QueryScope scope("repl:" + line);
     bool failed = false;
     if (cmd == "load" && !rest.empty()) {
-      auto loaded = LoadXml(rest, vocab);
+      auto loaded = engine.LoadDocumentFile(rest);
       if (!loaded.ok()) {
         std::printf("error: %s\n", loaded.status().ToString().c_str());
         failed = true;
       } else {
-        doc = std::move(*loaded);
-        std::printf("loaded %s (%zu nodes)\n", rest.c_str(),
-                    doc->hedge.num_nodes());
+        std::printf("loaded %s (%zu nodes)\n", rest.c_str(), *loaded);
       }
     } else if (cmd == "gen") {
       std::istringstream ss(rest);
@@ -543,63 +574,36 @@ int CmdRepl(tools::ObsCli& obs_cli) {
       ss >> seed;
       Rng rng(seed);
       hedge::Hedge h;
-      if (kind == "article") {
-        workload::ArticleOptions options;
-        options.target_nodes = nodes;
-        h = workload::RandomArticle(rng, vocab, options);
-      } else if (kind == "random") {
-        workload::RandomHedgeOptions options;
-        options.target_nodes = nodes;
-        h = workload::RandomHedge(rng, vocab, options);
-      } else {
-        std::printf("error: gen article|random N [seed]\n");
-        failed = true;
+      {
+        std::lock_guard<std::mutex> vlock(engine.vocab_mutex());
+        if (kind == "article") {
+          workload::ArticleOptions options;
+          options.target_nodes = nodes;
+          h = workload::RandomArticle(rng, vocab, options);
+        } else if (kind == "random") {
+          workload::RandomHedgeOptions options;
+          options.target_nodes = nodes;
+          h = workload::RandomHedge(rng, vocab, options);
+        } else {
+          std::printf("error: gen article|random N [seed]\n");
+          failed = true;
+        }
       }
       if (!failed) {
-        doc = xml::WrapHedge(h, vocab);
+        xml::XmlDocument wrapped;
+        {
+          std::lock_guard<std::mutex> vlock(engine.vocab_mutex());
+          wrapped = xml::WrapHedge(h, vocab);
+        }
+        // Outside the vocabulary lock: SetDocument waits for the pool to
+        // go idle, and in-flight workers may need that lock to finish.
+        const size_t doc_nodes = engine.SetDocument(std::move(wrapped));
         std::printf("generated %s document (%zu nodes)\n", kind.c_str(),
-                    doc->hedge.num_nodes());
-      }
-    } else if (cmd == "query" && !rest.empty()) {
-      if (!doc.has_value()) {
-        std::printf("error: no document loaded (use load/gen first)\n");
-        failed = true;
-      } else {
-        auto it = evals.find(rest);
-        if (it == evals.end()) {
-          auto parsed = query::ParseSelectionQuery(rest, vocab);
-          if (!parsed.ok()) {
-            std::printf("error: %s\n", parsed.status().ToString().c_str());
-            failed = true;
-          } else {
-            auto eval =
-                query::SelectionEvaluator::Create(*parsed, FlagBudget());
-            if (!eval.ok()) {
-              std::printf("error: %s\n", eval.status().ToString().c_str());
-              failed = true;
-            } else {
-              it = evals
-                       .emplace(rest,
-                                std::make_unique<query::SelectionEvaluator>(
-                                    std::move(*eval)))
-                       .first;
-            }
-          }
-        } else {
-          scope.Annotate("evaluator", "memo_hit");
-        }
-        if (!failed) {
-          size_t located = 0;
-          for (hedge::NodeId n : it->second->LocatedNodes(doc->hedge)) {
-            std::printf("%s\t%s\n", DeweyString(doc->hedge, n).c_str(),
-                        vocab.symbols.NameOf(doc->hedge.label(n).id).c_str());
-            ++located;
-          }
-          std::printf("(%zu located)\n", located);
-        }
+                    doc_nodes);
       }
     } else if (cmd == "validate" && !rest.empty()) {
-      if (!doc.has_value()) {
+      auto doc = engine.document();
+      if (doc == nullptr) {
         std::printf("error: no document loaded (use load/gen first)\n");
         failed = true;
       } else {
@@ -608,6 +612,7 @@ int CmdRepl(tools::ObsCli& obs_cli) {
           std::printf("error: %s\n", grammar.status().ToString().c_str());
           failed = true;
         } else {
+          std::lock_guard<std::mutex> vlock(engine.vocab_mutex());
           auto schema = schema::ParseSchema(*grammar, vocab);
           if (!schema.ok()) {
             std::printf("error: %s\n", schema.status().ToString().c_str());
@@ -623,8 +628,238 @@ int CmdRepl(tools::ObsCli& obs_cli) {
       failed = true;
     }
     if (failed) scope.Annotate("outcome", "error");
-    ReplPrintStats(scope);
+    ReplPrintStats(scope.Snapshot());
   }
+  engine.Stop();
+  return 0;
+}
+
+// ---------------------------------------------------------------------------
+// hq serve — the batch/fifo front end of serve::Engine. Reads one request
+// per line from --requests=FILE (or stdin with '-'):
+//
+//   load PATH                     install an XML document (barrier)
+//   gen article|random N [seed]   install a synthetic document (barrier)
+//   query TEXT                    evaluate a selection query
+//
+// and emits exactly one result line per request on stdout, in request
+// order: "<idx> <outcome> ..." with outcome in {ok, shed, degraded,
+// retried, error}. SIGTERM/SIGINT drain gracefully: admission stops,
+// queued + in-flight requests finish, every pending result line is still
+// printed, metrics and the flight recorder flush, and the exit code is 0.
+
+// EINTR-aware request read; returns false on EOF or a termination signal
+// (the caller drains either way).
+bool ServeReadLine(std::FILE* in, std::string& line, tools::ObsCli& obs_cli) {
+  line.clear();
+  char buf[4096];
+  for (;;) {
+    if (tools::ObsCli::TerminationRequested()) return false;
+    errno = 0;
+    if (std::fgets(buf, sizeof(buf), in) == nullptr) {
+      if (errno == EINTR && !std::feof(in)) {
+        std::clearerr(in);
+        if (tools::ObsCli::TakeSignalDumpRequest()) obs_cli.DumpFlightRecorder();
+        continue;
+      }
+      return !line.empty();
+    }
+    line += buf;
+    if (!line.empty() && line.back() == '\n') {
+      line.pop_back();
+      return true;
+    }
+  }
+}
+
+int CmdServe(const std::vector<std::string>& args, tools::ObsCli& obs_cli) {
+  serve::EngineOptions options;
+  options.deadline_set = g_deadline_set;
+  options.deadline_ms = g_deadline_ms;
+  std::string requests_path = "-";
+  bool chaos_report = false;
+  std::vector<std::string> failpoint_specs;
+  for (const std::string& a : args) {
+    if (a.rfind("--workers=", 0) == 0) {
+      options.workers = static_cast<size_t>(
+          std::atol(a.c_str() + sizeof("--workers=") - 1));
+    } else if (a.rfind("--queue-cap=", 0) == 0) {
+      options.queue_cap = static_cast<size_t>(
+          std::atol(a.c_str() + sizeof("--queue-cap=") - 1));
+    } else if (a.rfind("--requests=", 0) == 0) {
+      requests_path = a.substr(sizeof("--requests=") - 1);
+    } else if (a.rfind("--retry-max=", 0) == 0) {
+      options.retry.max_attempts =
+          std::atoi(a.c_str() + sizeof("--retry-max=") - 1);
+    } else if (a.rfind("--retry-backoff-ms=", 0) == 0) {
+      options.retry.backoff_base_ms = static_cast<uint64_t>(
+          std::atoll(a.c_str() + sizeof("--retry-backoff-ms=") - 1));
+    } else if (a.rfind("--retry-backoff-max-ms=", 0) == 0) {
+      options.retry.backoff_max_ms = static_cast<uint64_t>(
+          std::atoll(a.c_str() + sizeof("--retry-backoff-max-ms=") - 1));
+    } else if (a.rfind("--breaker-threshold=", 0) == 0) {
+      options.breaker.failure_threshold =
+          std::atoi(a.c_str() + sizeof("--breaker-threshold=") - 1);
+    } else if (a.rfind("--breaker-open-ms=", 0) == 0) {
+      options.breaker.open_ms = static_cast<uint64_t>(
+          std::atoll(a.c_str() + sizeof("--breaker-open-ms=") - 1));
+    } else if (a == "--no-memoize") {
+      options.memoize = false;
+    } else if (a.rfind("--failpoint=", 0) == 0) {
+      failpoint_specs.push_back(a.substr(sizeof("--failpoint=") - 1));
+    } else if (a == "--chaos-report") {
+      chaos_report = true;
+    } else {
+      return Fail("serve: unknown option '" + a + "'");
+    }
+  }
+  for (const std::string& spec : failpoint_specs) {
+    Status armed = failpoint::ArmSpec(spec);
+    if (!armed.ok()) return Fail(armed.ToString());
+  }
+
+  std::FILE* in = stdin;
+  if (requests_path != "-") {
+    in = std::fopen(requests_path.c_str(), "r");
+    if (in == nullptr) return Fail("cannot open " + requests_path);
+  }
+
+  tools::ObsCli::InstallTerminationHandlers();
+  hedge::Vocabulary vocab;
+  BindCache(vocab);
+  serve::Engine engine(vocab, options);
+  engine.Start();
+
+  struct Pending {
+    size_t idx;
+    std::future<serve::Response> future;
+  };
+  std::vector<Pending> pending;
+  std::vector<std::string> results;  // indexed by request idx
+
+  auto result_slot = [&results](size_t idx) -> std::string& {
+    if (idx >= results.size()) results.resize(idx + 1);
+    return results[idx];
+  };
+  auto resolve_pending = [&]() {
+    for (Pending& p : pending) {
+      serve::Response resp = p.future.get();
+      std::string line =
+          StrCat(p.idx, " ", serve::OutcomeName(resp.outcome),
+                 " located=", resp.located, " attempts=", resp.attempts,
+                 " wait_us=", resp.queue_wait_us);
+      if (!resp.status.ok()) line += " " + resp.status.ToString();
+      result_slot(p.idx) = std::move(line);
+    }
+    pending.clear();
+  };
+
+  size_t idx = 0;
+  std::string line;
+  while (ServeReadLine(in, line, obs_cli)) {
+    // Strip comments and whitespace; blank lines are not requests.
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    const size_t begin = line.find_first_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    line = line.substr(begin, line.find_last_not_of(" \t") - begin + 1);
+    const size_t space = line.find(' ');
+    const std::string cmd = line.substr(0, space);
+    std::string rest =
+        space == std::string::npos ? "" : line.substr(space + 1);
+    const size_t rb = rest.find_first_not_of(" \t");
+    rest = rb == std::string::npos ? "" : rest.substr(rb);
+    const size_t my_idx = idx++;
+
+    if (cmd == "query" && !rest.empty()) {
+      pending.push_back(
+          {my_idx, engine.Submit(rest, "serve:" + line)});
+      continue;
+    }
+    // Document installs are barriers: outstanding queries resolve against
+    // the old document first.
+    resolve_pending();
+    if (cmd == "load" && !rest.empty()) {
+      auto loaded = engine.LoadDocumentFile(rest);
+      result_slot(my_idx) =
+          loaded.ok() ? StrCat(my_idx, " ok nodes=", *loaded)
+                      : StrCat(my_idx, " error ",
+                               loaded.status().ToString());
+    } else if (cmd == "gen") {
+      std::istringstream ss(rest);
+      std::string kind;
+      size_t nodes = 0;
+      uint64_t seed = 42;
+      ss >> kind >> nodes;
+      ss >> seed;
+      Rng rng(seed);
+      hedge::Hedge h;
+      bool gen_ok = true;
+      {
+        std::lock_guard<std::mutex> vlock(engine.vocab_mutex());
+        if (kind == "article") {
+          workload::ArticleOptions gen_options;
+          gen_options.target_nodes = nodes;
+          h = workload::RandomArticle(rng, vocab, gen_options);
+        } else if (kind == "random") {
+          workload::RandomHedgeOptions gen_options;
+          gen_options.target_nodes = nodes;
+          h = workload::RandomHedge(rng, vocab, gen_options);
+        } else {
+          gen_ok = false;
+        }
+      }
+      if (gen_ok) {
+        xml::XmlDocument wrapped;
+        {
+          std::lock_guard<std::mutex> vlock(engine.vocab_mutex());
+          wrapped = xml::WrapHedge(h, vocab);
+        }
+        const size_t doc_nodes = engine.SetDocument(std::move(wrapped));
+        result_slot(my_idx) = StrCat(my_idx, " ok nodes=", doc_nodes);
+      } else {
+        result_slot(my_idx) =
+            StrCat(my_idx, " error gen article|random N [seed]");
+      }
+    } else {
+      result_slot(my_idx) =
+          StrCat(my_idx, " error unknown request '", cmd, "'");
+    }
+  }
+  if (in != stdin) std::fclose(in);
+
+  // Drain: stop admitting, let queued + in-flight requests finish, then
+  // resolve every outstanding future so each request has its result line.
+  engine.Drain();
+  resolve_pending();
+  for (const std::string& result : results) {
+    std::printf("%s\n", result.c_str());
+  }
+  std::fflush(stdout);
+
+  const serve::Engine::Counters tally = engine.counters();
+  std::fprintf(stderr,
+               "# serve: requests=%zu ok=%llu degraded=%llu retried=%llu "
+               "shed=%llu error=%llu retry_attempts=%llu breaker_trips=%llu%s\n",
+               idx, static_cast<unsigned long long>(tally.ok),
+               static_cast<unsigned long long>(tally.degraded),
+               static_cast<unsigned long long>(tally.retried),
+               static_cast<unsigned long long>(tally.shed),
+               static_cast<unsigned long long>(tally.errors),
+               static_cast<unsigned long long>(tally.retry_attempts),
+               static_cast<unsigned long long>(tally.breaker_trips),
+               tools::ObsCli::TerminationRequested() ? " (drained on signal)"
+                                                     : "");
+  if (chaos_report) {
+    for (const std::string& name : failpoint::ArmedPoints()) {
+      std::fprintf(stderr, "# chaos: %s hits=%llu fired=%llu\n", name.c_str(),
+                   static_cast<unsigned long long>(failpoint::HitCount(name)),
+                   static_cast<unsigned long long>(
+                       failpoint::FiredCount(name)));
+    }
+  }
+  engine.Stop();
+  failpoint::DisarmAll();
   return 0;
 }
 
@@ -655,6 +890,14 @@ void Usage() {
       "  hq ambiguous '<hedge regular expression>'\n"
       "  hq repl                               (interactive session: warm\n"
       "                     evaluator memo + cache; 'help' lists commands)\n"
+      "  hq serve [--workers=N] [--queue-cap=M] [--requests=FILE|-]\n"
+      "                     (concurrent query service: admission control,\n"
+      "                     load shedding, retry, circuit breaker, graceful\n"
+      "                     drain on SIGTERM/SIGINT; one result line per\n"
+      "                     request; see also --retry-max=N,\n"
+      "                     --retry-backoff-ms=N, --breaker-threshold=N,\n"
+      "                     --breaker-open-ms=N, --no-memoize,\n"
+      "                     --failpoint=SPEC (repeatable), --chaos-report)\n"
       "  hq obs-parse FILE  (round-trip an obs JSON artifact; exit 0 iff ok)\n"
       "options (any command):\n"
       "  --metrics[=FILE]   emit a metrics snapshot (stderr, or FILE)\n"
@@ -725,6 +968,10 @@ int main(int argc, char** argv) {
   // one per-invocation QueryScope so --flight-recorder captures one-shot
   // commands too (inert unless observability is on).
   if (cmd == "repl" && n == 1) return CmdRepl(obs_cli);
+  // serve opens one QueryScope per request on its worker threads.
+  if (cmd == "serve") {
+    return CmdServe({args.begin() + 1, args.end()}, obs_cli);
+  }
   obs::QueryScope scope("hq " + cmd);
   if (cmd == "obs-parse" && n == 2) return CmdObsParse(args[1]);
   if (cmd == "query" && n == 3) return CmdQuery(args[1], args[2]);

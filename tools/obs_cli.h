@@ -44,6 +44,12 @@ namespace obs_signal {
 // repl polls it between commands and after EINTR-interrupted reads.
 inline volatile std::sig_atomic_t g_dump_requested = 0;
 inline void OnSigUsr1(int) { g_dump_requested = 1; }
+// SIGTERM/SIGINT: same flag-only pattern. Long-running commands (repl,
+// serve) poll it and drain gracefully — finish in-flight work, then return
+// through main so ObsCli::Flush writes metrics and the flight recorder.
+// A killed server thereby still leaves its last 64 query records on disk.
+inline volatile std::sig_atomic_t g_term_requested = 0;
+inline void OnTerm(int) { g_term_requested = 1; }
 }  // namespace obs_signal
 
 class ObsCli {
@@ -108,6 +114,26 @@ class ObsCli {
     if (obs_signal::g_dump_requested == 0) return false;
     obs_signal::g_dump_requested = 0;
     return true;
+  }
+
+  /// Routes SIGTERM/SIGINT into the graceful-drain flag below. No
+  /// SA_RESTART, so a signal during a blocked request read surfaces as
+  /// EINTR and the drain starts immediately. Installed by the repl and
+  /// `hq serve` regardless of obs flags — drain semantics are not an
+  /// observability opt-in.
+  static void InstallTerminationHandlers() {
+    struct sigaction sa = {};
+    sa.sa_handler = obs_signal::OnTerm;
+    sigemptyset(&sa.sa_mask);
+    sa.sa_flags = 0;
+    sigaction(SIGTERM, &sa, nullptr);
+    sigaction(SIGINT, &sa, nullptr);
+  }
+
+  /// True once a SIGTERM/SIGINT arrived (sticky: the process is expected
+  /// to drain and exit, not to resume).
+  static bool TerminationRequested() {
+    return obs_signal::g_term_requested != 0;
   }
 
   /// Dumps the flight-recorder ring to the configured file now (SIGUSR1
